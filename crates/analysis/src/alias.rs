@@ -1,0 +1,242 @@
+//! Aliasing lint: checks the FORTRAN no-alias rule the analyses assume.
+//!
+//! FORTRAN 77 (and Minifor, by specification) forbids a procedure from
+//! modifying a dummy argument that is aliased to another dummy argument
+//! or to a `COMMON` variable the procedure can also access directly.
+//! Every analysis in this repository relies on that rule (kill sets treat
+//! by-reference formals and globals as independent). This lint reports
+//! the two ways a Minifor call can set up such an alias:
+//!
+//! 1. the same variable passed by reference in two argument positions,
+//!    where the callee may modify at least one of them;
+//! 2. a global passed by reference to a procedure that (transitively)
+//!    references or modifies that same global, where either access path
+//!    may write.
+//!
+//! Calls that merely *read* through both paths are conforming and not
+//! reported.
+
+use crate::modref::{ModRefInfo, Slot};
+use ipcp_ir::{BlockId, Instr, ProcId, Program, VarKind};
+use std::fmt;
+
+/// A detected aliasing violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasViolation {
+    /// Procedure containing the offending call.
+    pub caller: ProcId,
+    /// Block of the call.
+    pub block: BlockId,
+    /// Instruction index of the call.
+    pub index: usize,
+    /// The callee.
+    pub callee: ProcId,
+    /// Description of the alias.
+    pub kind: AliasKind,
+}
+
+/// The two alias shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AliasKind {
+    /// One variable bound by reference to two formal positions.
+    DuplicateActual {
+        /// Name of the variable passed twice.
+        var: String,
+        /// The two argument positions.
+        positions: (usize, usize),
+    },
+    /// A global bound by reference to a formal of a procedure that also
+    /// accesses the global directly.
+    GlobalArgument {
+        /// Name of the global.
+        var: String,
+        /// The argument position it is passed at.
+        position: usize,
+    },
+}
+
+impl fmt::Display for AliasKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AliasKind::DuplicateActual { var, positions } => write!(
+                f,
+                "`{var}` passed by reference at argument positions {} and {} with a modification",
+                positions.0, positions.1
+            ),
+            AliasKind::GlobalArgument { var, position } => write!(
+                f,
+                "global `{var}` passed by reference at position {position} to a procedure that also accesses it, with a modification"
+            ),
+        }
+    }
+}
+
+/// Scans the whole program for aliasing violations.
+pub fn check_aliasing(program: &Program, modref: &ModRefInfo) -> Vec<AliasViolation> {
+    let mut out = Vec::new();
+    for pid in program.proc_ids() {
+        let proc = program.proc(pid);
+        for b in proc.block_ids() {
+            for (i, instr) in proc.block(b).instrs.iter().enumerate() {
+                let Instr::Call { callee, args, .. } = instr else {
+                    continue;
+                };
+                let mods = modref.mods(*callee);
+                let refs = modref.refs(*callee);
+
+                // 1. Same variable in two by-ref positions.
+                for (k1, a1) in args.iter().enumerate() {
+                    if !a1.by_ref {
+                        continue;
+                    }
+                    let Some(v1) = a1.value.as_var() else {
+                        continue;
+                    };
+                    for (k2, a2) in args.iter().enumerate().skip(k1 + 1) {
+                        if !a2.by_ref || a2.value.as_var() != Some(v1) {
+                            continue;
+                        }
+                        let modified = mods.contains(&Slot::Formal(k1 as u32))
+                            || mods.contains(&Slot::Formal(k2 as u32));
+                        if modified {
+                            out.push(AliasViolation {
+                                caller: pid,
+                                block: b,
+                                index: i,
+                                callee: *callee,
+                                kind: AliasKind::DuplicateActual {
+                                    var: proc.var(v1).name.clone(),
+                                    positions: (k1, k2),
+                                },
+                            });
+                        }
+                    }
+                }
+
+                // 2. A global passed by reference to a procedure that also
+                //    touches it, with a write through either path.
+                for (k, arg) in args.iter().enumerate() {
+                    if !arg.by_ref {
+                        continue;
+                    }
+                    let Some(v) = arg.value.as_var() else {
+                        continue;
+                    };
+                    let VarKind::Global(g) = proc.var(v).kind else {
+                        continue;
+                    };
+                    let touches =
+                        mods.contains(&Slot::Global(g)) || refs.contains(&Slot::Global(g));
+                    if !touches {
+                        continue;
+                    }
+                    let writes =
+                        mods.contains(&Slot::Formal(k as u32)) || mods.contains(&Slot::Global(g));
+                    if writes {
+                        out.push(AliasViolation {
+                            caller: pid,
+                            block: b,
+                            index: i,
+                            callee: *callee,
+                            kind: AliasKind::GlobalArgument {
+                                var: proc.var(v).name.clone(),
+                                position: k,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::modref::compute_modref;
+    use ipcp_ir::compile_to_ir;
+
+    fn lint(src: &str) -> Vec<AliasViolation> {
+        let program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        check_aliasing(&program, &modref)
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let v = lint("proc f(a, b)\na = b + 1\nend\nmain\ncall f(x, y)\nend\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn duplicate_actual_with_write_flagged() {
+        let v = lint("proc f(a, b)\na = b + 1\nend\nmain\ncall f(x, x)\nend\n");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0].kind,
+            AliasKind::DuplicateActual {
+                positions: (0, 1),
+                ..
+            }
+        ));
+        assert!(!v[0].kind.to_string().is_empty());
+    }
+
+    #[test]
+    fn duplicate_actual_read_only_is_fine() {
+        let v = lint("proc f(a, b)\nprint(a + b)\nend\nmain\ncall f(x, x)\nend\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn global_argument_with_write_flagged() {
+        // f writes its formal, which aliases the global it reads.
+        let v = lint("global g\nproc f(a)\na = g + 1\nend\nmain\ncall f(g)\nend\n");
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            &v[0].kind,
+            AliasKind::GlobalArgument { position: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn global_argument_via_callee_write_flagged() {
+        // f reads its formal but writes the global directly.
+        let v = lint("global g\nproc f(a)\ng = a + 1\nend\nmain\ncall f(g)\nend\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn global_argument_read_only_is_fine() {
+        let v = lint("global g\nproc f(a)\nprint(a + g)\nend\nmain\ncall f(g)\nend\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn global_to_untouching_procedure_is_fine() {
+        // f modifies its formal but never touches g as a global.
+        let v = lint("global g\nproc f(a)\na = 1\nend\nmain\ncall f(g)\nend\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn transitive_global_access_detected() {
+        // f passes to h which writes g — MOD is transitive.
+        let src =
+            "global g\nproc h()\ng = 1\nend\nproc f(a)\ncall h()\nend\nmain\ncall f(g)\nend\n";
+        let v = lint(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn violation_fields_are_accessible() {
+        let v = lint("proc f(a, b)\na = 1\nend\nmain\ncall f(x, x)\nend\n");
+        let violation = &v[0];
+        assert_eq!(violation.caller.index(), 1);
+        assert_eq!(violation.callee.index(), 0);
+        assert_eq!(violation.index, 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Call graph construction and SCC condensation.
+//!
+//! Interprocedural constant propagation (and MOD/REF summary computation)
+//! iterate over the call graph; return jump functions are generated in a
+//! bottom-up walk over its SCC condensation (callees before callers), with
+//! recursive cycles handled conservatively.
+
+use ipcp_ir::{BlockId, Instr, ProcId, Program};
+
+/// A call site inside a procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Block containing the call.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub index: usize,
+    /// The invoked procedure.
+    pub callee: ProcId,
+}
+
+/// The program call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Call sites of each procedure, in block/instruction order.
+    sites: Vec<Vec<CallSite>>,
+    /// Direct callers of each procedure (deduplicated).
+    callers: Vec<Vec<ProcId>>,
+    /// Strongly connected components in bottom-up order: every callee's
+    /// SCC appears before (or equals) its caller's SCC.
+    sccs: Vec<Vec<ProcId>>,
+    /// SCC index of each procedure.
+    scc_of: Vec<usize>,
+    /// Whether the procedure is reachable from `main` via call edges.
+    reachable: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn new(program: &Program) -> Self {
+        let n = program.procs.len();
+        let mut sites: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+        let mut callees: Vec<Vec<ProcId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<ProcId>> = vec![Vec::new(); n];
+
+        for pid in program.proc_ids() {
+            let proc = program.proc(pid);
+            for b in proc.block_ids() {
+                for (i, instr) in proc.block(b).instrs.iter().enumerate() {
+                    if let Instr::Call { callee, .. } = instr {
+                        sites[pid.index()].push(CallSite {
+                            block: b,
+                            index: i,
+                            callee: *callee,
+                        });
+                        if !callees[pid.index()].contains(callee) {
+                            callees[pid.index()].push(*callee);
+                        }
+                        if !callers[callee.index()].contains(&pid) {
+                            callers[callee.index()].push(pid);
+                        }
+                    }
+                }
+            }
+        }
+
+        let (sccs, scc_of) = tarjan(n, &callees);
+
+        // Reachability from main.
+        let mut reachable = vec![false; n];
+        let mut stack = vec![program.main];
+        reachable[program.main.index()] = true;
+        while let Some(p) = stack.pop() {
+            for &q in &callees[p.index()] {
+                if !reachable[q.index()] {
+                    reachable[q.index()] = true;
+                    stack.push(q);
+                }
+            }
+        }
+
+        CallGraph {
+            sites,
+            callers,
+            sccs,
+            scc_of,
+            reachable,
+        }
+    }
+
+    /// Call sites of `p`, in program order.
+    pub fn sites(&self, p: ProcId) -> &[CallSite] {
+        &self.sites[p.index()]
+    }
+
+    /// Direct callers of `p`.
+    pub fn callers(&self, p: ProcId) -> &[ProcId] {
+        &self.callers[p.index()]
+    }
+
+    /// SCCs in bottom-up (callees-first) order.
+    pub fn sccs(&self) -> &[Vec<ProcId>] {
+        &self.sccs
+    }
+
+    /// Index of `p`'s SCC in [`CallGraph::sccs`].
+    pub fn scc_of(&self, p: ProcId) -> usize {
+        self.scc_of[p.index()]
+    }
+
+    /// Whether `p` belongs to a non-trivial SCC (recursion).
+    pub fn is_recursive(&self, p: ProcId) -> bool {
+        let scc = &self.sccs[self.scc_of[p.index()]];
+        scc.len() > 1 || self.sites(p).iter().any(|s| s.callee == p)
+    }
+
+    /// Whether `p` is reachable from `main` through call edges.
+    pub fn is_reachable(&self, p: ProcId) -> bool {
+        self.reachable[p.index()]
+    }
+
+    /// Total number of call sites in the program.
+    pub fn site_count(&self) -> usize {
+        self.sites.iter().map(Vec::len).sum()
+    }
+}
+
+/// Iterative Tarjan SCC; returns SCCs in reverse topological order of the
+/// condensation (successors first) plus the component index of each node.
+fn tarjan(n: usize, succs: &[Vec<ProcId>]) -> (Vec<Vec<ProcId>>, Vec<usize>) {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<ProcId>> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+    let mut counter = 0usize;
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        // Explicit DFS frame: (node, next successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = counter;
+        lowlink[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            if *next < succs[v].len() {
+                let w = succs[v][*next].index();
+                *next += 1;
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    lowlink[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        scc.push(ProcId::from_index(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.reverse();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+
+    fn graph(src: &str) -> (Program, CallGraph) {
+        let program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        (program, cg)
+    }
+
+    #[test]
+    fn empty_main() {
+        let (program, cg) = graph("main\nend\n");
+        assert!(cg.sites(program.main).is_empty());
+        assert!(cg.is_reachable(program.main));
+        assert!(!cg.is_recursive(program.main));
+        assert_eq!(cg.site_count(), 0);
+    }
+
+    #[test]
+    fn chain_bottom_up_order() {
+        let src = "proc a()\ncall b()\nend\nproc b()\ncall c()\nend\nproc c()\nend\nmain\ncall a()\nend\n";
+        let (program, cg) = graph(src);
+        let a = program.proc_by_name("a").unwrap();
+        let b = program.proc_by_name("b").unwrap();
+        let c = program.proc_by_name("c").unwrap();
+        let main = program.main;
+        // Bottom-up: callees before callers.
+        assert!(cg.scc_of(c) < cg.scc_of(b));
+        assert!(cg.scc_of(b) < cg.scc_of(a));
+        assert!(cg.scc_of(a) < cg.scc_of(main));
+        assert_eq!(cg.callers(c), &[b]);
+        assert_eq!(cg.sites(main).len(), 1);
+        assert_eq!(cg.sites(main)[0].callee, a);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let src =
+            "func f(n)\nif n <= 0 then\nreturn 0\nend\nreturn f(n - 1)\nend\nmain\nx = f(3)\nend\n";
+        let (program, cg) = graph(src);
+        let f = program.proc_by_name("f").unwrap();
+        assert!(cg.is_recursive(f));
+        assert!(!cg.is_recursive(program.main));
+    }
+
+    #[test]
+    fn mutual_recursion_single_scc() {
+        let src = "\
+proc even(n, r)\nif n == 0 then\nr = 1\nelse\ncall odd(n - 1, r)\nend\nend\n\
+proc odd(n, r)\nif n == 0 then\nr = 0\nelse\ncall even(n - 1, r)\nend\nend\n\
+main\ncall even(4, x)\nend\n";
+        let (program, cg) = graph(src);
+        let even = program.proc_by_name("even").unwrap();
+        let odd = program.proc_by_name("odd").unwrap();
+        assert_eq!(cg.scc_of(even), cg.scc_of(odd));
+        assert!(cg.is_recursive(even));
+        assert!(cg.is_recursive(odd));
+        // The recursive SCC precedes main's.
+        assert!(cg.scc_of(even) < cg.scc_of(program.main));
+    }
+
+    #[test]
+    fn unreachable_procedures_flagged() {
+        let src = "proc dead()\nend\nproc live()\nend\nmain\ncall live()\nend\n";
+        let (program, cg) = graph(src);
+        assert!(!cg.is_reachable(program.proc_by_name("dead").unwrap()));
+        assert!(cg.is_reachable(program.proc_by_name("live").unwrap()));
+    }
+
+    #[test]
+    fn multiple_sites_recorded_in_order() {
+        let src = "proc f(x)\nend\nmain\ncall f(1)\ncall f(2)\nif c then\ncall f(3)\nend\nend\n";
+        let (program, cg) = graph(src);
+        assert_eq!(cg.sites(program.main).len(), 3);
+        assert_eq!(cg.site_count(), 3);
+    }
+
+    #[test]
+    fn function_calls_in_expressions_are_sites() {
+        let src = "func g(x)\nreturn x\nend\nmain\ny = g(1) + g(2)\nend\n";
+        let (program, cg) = graph(src);
+        assert_eq!(cg.sites(program.main).len(), 2);
+    }
+}

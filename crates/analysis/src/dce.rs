@@ -1,0 +1,376 @@
+//! Dead code elimination: constant-branch folding, unreachable-code
+//! removal, and dead-assignment removal.
+//!
+//! The paper's *complete propagation* experiment (Table 3, column 3)
+//! alternates interprocedural constant propagation with dead code
+//! elimination until no more code dies, resetting the `CONSTANTS` sets to
+//! ⊤ between rounds. These transforms mutate the IR in place; the driver
+//! in `ipcp-core` re-runs the whole analysis afterwards.
+
+use crate::sccp::SccpResult;
+use ipcp_ir::{Procedure, Terminator, TrapKind};
+use ipcp_lang::ast::BinOp;
+use ipcp_ssa::{build_ssa, Cfg, KillOracle, SsaInstr, SsaName, SsaProc};
+
+/// Rewrites every executable `branch` whose condition SCCP proved constant
+/// into a `jump`. Returns whether anything changed.
+pub fn fold_constant_branches(proc: &mut Procedure, ssa: &SsaProc, sccp: &SccpResult) -> bool {
+    let mut changed = false;
+    for b in proc.block_ids().collect::<Vec<_>>() {
+        if !ssa.cfg.is_reachable(b) || !sccp.executable[b.index()] {
+            continue;
+        }
+        let Some(ssa_block) = ssa.block(b) else {
+            continue;
+        };
+        let ipcp_ssa::SsaTerminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = ssa_block.term
+        else {
+            continue;
+        };
+        if let Some(c) = sccp.of_operand(cond).as_const() {
+            let target = if c != 0 { then_bb } else { else_bb };
+            proc.block_mut(b).term = Terminator::Jump(target);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Empties CFG-unreachable blocks (turning them into `trap unreachable`
+/// markers). Run after branch folding. Returns whether anything changed.
+pub fn remove_unreachable_code(proc: &mut Procedure) -> bool {
+    let cfg = Cfg::new(proc);
+    let mut changed = false;
+    for b in proc.block_ids().collect::<Vec<_>>() {
+        if cfg.is_reachable(b) {
+            continue;
+        }
+        let block = proc.block_mut(b);
+        let already_cleared =
+            block.instrs.is_empty() && block.term == Terminator::Trap(TrapKind::Unreachable);
+        if !already_cleared {
+            block.instrs.clear();
+            block.term = Terminator::Trap(TrapKind::Unreachable);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Removes pure instructions whose results are never used.
+///
+/// Conservative about effects: calls, stores, reads, prints, loads (which
+/// bounds-check), and division/remainder (which can trap) are always kept.
+/// Returns whether anything changed.
+pub fn remove_dead_assignments(
+    program: &ipcp_ir::Program,
+    proc: &mut Procedure,
+    kills: &dyn KillOracle,
+) -> bool {
+    let ssa = build_ssa(program, proc, kills);
+
+    // Mark needed names from effectful roots.
+    let mut needed = vec![false; ssa.name_count()];
+    let mut work: Vec<SsaName> = Vec::new();
+    let require = |op: ipcp_ssa::SsaOperand, needed: &mut Vec<bool>, work: &mut Vec<SsaName>| {
+        if let Some(n) = op.as_name() {
+            if !needed[n.index()] {
+                needed[n.index()] = true;
+                work.push(n);
+            }
+        }
+    };
+
+    for (_, blk) in ssa.rpo_blocks() {
+        for instr in &blk.instrs {
+            if !is_removable(instr) {
+                instr.for_each_use(|op| require(op, &mut needed, &mut work));
+            }
+            // The caller's globals flow into every callee that may read
+            // them; root the call-site snapshots so their defining
+            // assignments survive.
+            if let SsaInstr::Call { globals_in, .. } = instr {
+                for &(_, name) in globals_in {
+                    require(ipcp_ssa::SsaOperand::Name(name), &mut needed, &mut work);
+                }
+            }
+        }
+        match &blk.term {
+            ipcp_ssa::SsaTerminator::Branch { cond, .. } => {
+                require(*cond, &mut needed, &mut work);
+            }
+            ipcp_ssa::SsaTerminator::Return { value, exit } => {
+                if let Some(v) = value {
+                    require(*v, &mut needed, &mut work);
+                }
+                // Formals (by reference) and globals escape to the caller:
+                // their exit values are observable.
+                for &(_, name) in exit {
+                    require(ipcp_ssa::SsaOperand::Name(name), &mut needed, &mut work);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Index defs: name -> (block, instr index) for instruction defs; phi
+    // defs handled through the phi list.
+    while let Some(n) = work.pop() {
+        match ssa.def(n).site {
+            ipcp_ssa::DefSite::Entry => {}
+            ipcp_ssa::DefSite::Phi { block } => {
+                let blk = ssa.block(block).expect("reachable");
+                let phi = blk.phis.iter().find(|p| p.dst == n).expect("phi exists");
+                for &(_, arg) in &phi.args {
+                    if !needed[arg.index()] {
+                        needed[arg.index()] = true;
+                        work.push(arg);
+                    }
+                }
+            }
+            ipcp_ssa::DefSite::Instr { block, index }
+            | ipcp_ssa::DefSite::CallImplicit { block, index } => {
+                let blk = ssa.block(block).expect("reachable");
+                blk.instrs[index].for_each_use(|op| require(op, &mut needed, &mut work));
+            }
+        }
+    }
+
+    // Sweep: drop removable instructions whose def is not needed.
+    let mut changed = false;
+    for b in proc.block_ids().collect::<Vec<_>>() {
+        let Some(ssa_block) = ssa.block(b) else {
+            continue;
+        };
+        let keep: Vec<bool> = ssa_block
+            .instrs
+            .iter()
+            .map(|si| {
+                if !is_removable(si) {
+                    return true;
+                }
+                match si.dst() {
+                    Some(d) => needed[d.index()],
+                    None => true,
+                }
+            })
+            .collect();
+        if keep.iter().all(|&k| k) {
+            continue;
+        }
+        let block = proc.block_mut(b);
+        debug_assert_eq!(block.instrs.len(), keep.len());
+        let mut it = keep.iter();
+        block.instrs.retain(|_| *it.next().expect("parallel"));
+        changed = true;
+    }
+    changed
+}
+
+/// Whether an SSA instruction is pure enough to delete when unused.
+fn is_removable(instr: &SsaInstr) -> bool {
+    match instr {
+        SsaInstr::Copy { .. } | SsaInstr::Unary { .. } | SsaInstr::IntToReal { .. } => true,
+        SsaInstr::Binary { op, .. } => !matches!(op, BinOp::Div | BinOp::Rem),
+        // Loads bounds-check, reads consume input, the rest have effects.
+        SsaInstr::Load { .. }
+        | SsaInstr::Store { .. }
+        | SsaInstr::Call { .. }
+        | SsaInstr::Read { .. }
+        | SsaInstr::Print { .. } => false,
+    }
+}
+
+/// Convenience: one full DCE round (fold, strip unreachable, sweep dead
+/// assignments) over a single procedure. Returns whether anything changed.
+pub fn dce_round(
+    program: &ipcp_ir::Program,
+    proc: &mut Procedure,
+    ssa: &SsaProc,
+    sccp: &SccpResult,
+    kills: &dyn KillOracle,
+) -> bool {
+    let mut changed = fold_constant_branches(proc, ssa, sccp);
+    changed |= remove_unreachable_code(proc);
+    changed |= remove_dead_assignments(program, proc, kills);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sccp::{bottom_entry, sccp, PessimisticCalls, SccpConfig};
+    use ipcp_ir::{compile_to_ir, Instr, Program};
+    use ipcp_lang::interp::{InterpConfig, Value};
+    use ipcp_ssa::WorstCaseKills;
+
+    fn run_dce(src: &str) -> (Program, bool) {
+        let mut program = compile_to_ir(src).expect("compiles");
+        let mut changed = false;
+        for pid in program.proc_ids().collect::<Vec<_>>() {
+            let proc_copy = program.proc(pid).clone();
+            let ssa = build_ssa(&program, &proc_copy, &WorstCaseKills);
+            let config = SccpConfig {
+                entry_env: &bottom_entry,
+                calls: &PessimisticCalls,
+            };
+            let result = sccp(&proc_copy, &ssa, &config);
+            let mut proc = proc_copy;
+            changed |= dce_round(&program, &mut proc, &ssa, &result, &WorstCaseKills);
+            *program.proc_mut(pid) = proc;
+        }
+        ipcp_ir::validate::validate(&program).expect("DCE output validates");
+        (program, changed)
+    }
+
+    fn outputs(program: &Program, input: Vec<i64>) -> Vec<Value> {
+        ipcp_ir::eval::run(
+            program,
+            &InterpConfig {
+                input,
+                ..InterpConfig::default()
+            },
+        )
+        .expect("runs")
+        .output
+    }
+
+    #[test]
+    fn folds_constant_branch() {
+        let src = "main\nx = 1\nif x == 1 then\nprint(10)\nelse\nprint(20)\nend\nend\n";
+        let (program, changed) = run_dce(src);
+        assert!(changed);
+        let main = program.proc(program.main);
+        // No branch remains.
+        assert!(main
+            .blocks
+            .iter()
+            .all(|b| !matches!(b.term, Terminator::Branch { .. })));
+        assert_eq!(outputs(&program, vec![]), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn nonconstant_branch_survives() {
+        let src = "main\nread(x)\nif x == 1 then\nprint(10)\nelse\nprint(20)\nend\nend\n";
+        let (program, _) = run_dce(src);
+        let main = program.proc(program.main);
+        assert!(main
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. })));
+        assert_eq!(outputs(&program, vec![1]), vec![Value::Int(10)]);
+        assert_eq!(outputs(&program, vec![5]), vec![Value::Int(20)]);
+    }
+
+    #[test]
+    fn unreachable_blocks_cleared() {
+        let src = "main\nx = 0\nif x then\ny = 1\nprint(y)\nelse\nprint(2)\nend\nend\n";
+        let (program, changed) = run_dce(src);
+        assert!(changed);
+        let main = program.proc(program.main);
+        assert!(main
+            .blocks
+            .iter()
+            .any(|b| b.term == Terminator::Trap(TrapKind::Unreachable) && b.instrs.is_empty()));
+        assert_eq!(outputs(&program, vec![]), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn dead_assignments_removed() {
+        let src = "main\nx = 1 + 2\ny = x * 3\nprint(7)\nend\n";
+        let (program, changed) = run_dce(src);
+        assert!(changed);
+        assert_eq!(
+            program.proc(program.main).instr_count(),
+            1,
+            "only the print remains"
+        );
+        assert_eq!(outputs(&program, vec![]), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn used_assignments_survive() {
+        let src = "main\nread(x)\ny = x * 3\nprint(y)\nend\n";
+        let (program, _) = run_dce(src);
+        assert_eq!(program.proc(program.main).instr_count(), 3);
+    }
+
+    #[test]
+    fn effectful_instructions_never_removed() {
+        // read consumes input; call may print; store writes memory;
+        // division may trap. None may disappear even when unused.
+        let src = "proc noisy()\nprint(99)\nend\n\
+                   main\ninteger a(3)\nread(x)\ny = 10 / x\na(1) = 5\ncall noisy()\nprint(1)\nend\n";
+        let (program, _) = run_dce(src);
+        let main = program.proc(program.main);
+        let kinds: Vec<&'static str> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .map(|i| match i {
+                Instr::Read { .. } => "read",
+                Instr::Binary { .. } => "binary",
+                Instr::Store { .. } => "store",
+                Instr::Call { .. } => "call",
+                Instr::Print { .. } => "print",
+                _ => "other",
+            })
+            .collect();
+        assert!(kinds.contains(&"read"), "{kinds:?}");
+        assert!(kinds.contains(&"binary"), "{kinds:?}");
+        assert!(kinds.contains(&"store"), "{kinds:?}");
+        assert!(kinds.contains(&"call"), "{kinds:?}");
+        assert_eq!(
+            outputs(&program, vec![2]),
+            vec![Value::Int(99), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn loads_survive_for_bounds_checks() {
+        let src = "main\ninteger a(3)\nx = a(1)\nprint(0)\nend\n";
+        let (program, _) = run_dce(src);
+        let main = program.proc(program.main);
+        assert!(main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Load { .. })));
+    }
+
+    #[test]
+    fn dce_preserves_semantics_on_loops() {
+        let src = "main\nread(n)\ns = 0\nunused = 5\ndo i = 1, n\ns = s + i\nunused2 = s * 2\nend\nprint(s)\nend\n";
+        let (program, changed) = run_dce(src);
+        assert!(changed, "unused assignments must die");
+        assert_eq!(outputs(&program, vec![4]), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn dce_is_idempotent() {
+        let src = "main\nx = 1\nif x then\nprint(1)\nelse\nprint(2)\nend\nunused = 3\nend\n";
+        let (program, changed1) = run_dce(src);
+        assert!(changed1);
+        // Second round over the already-cleaned program changes nothing.
+        let printed = ipcp_ir::print::program_to_string(&program);
+        let mut program2 = program.clone();
+        let mut changed2 = false;
+        for pid in program2.proc_ids().collect::<Vec<_>>() {
+            let proc_copy = program2.proc(pid).clone();
+            let ssa = build_ssa(&program2, &proc_copy, &WorstCaseKills);
+            let config = SccpConfig {
+                entry_env: &bottom_entry,
+                calls: &PessimisticCalls,
+            };
+            let result = sccp(&proc_copy, &ssa, &config);
+            let mut proc = proc_copy;
+            changed2 |= dce_round(&program2, &mut proc, &ssa, &result, &WorstCaseKills);
+            *program2.proc_mut(pid) = proc;
+        }
+        assert!(!changed2, "{printed}");
+    }
+}

@@ -1,0 +1,146 @@
+//! The constant-propagation lattice of the paper's Figure 1.
+//!
+//! Three levels: ⊤ (as-yet-unknown, the optimistic initial value), a
+//! single integer constant, and ⊥ (known non-constant). The lattice is
+//! infinite but of bounded depth: any value can be lowered at most twice
+//! (⊤ → c → ⊥), which bounds every fixpoint iteration built on it.
+
+use std::fmt;
+
+/// A value in the constant-propagation lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatticeVal {
+    /// ⊤ — no evidence yet; optimistic initial assumption.
+    Top,
+    /// A known integer constant.
+    Const(i64),
+    /// ⊥ — proven (or assumed) non-constant.
+    Bottom,
+}
+
+impl LatticeVal {
+    /// The meet operation (Figure 1):
+    ///
+    /// ```text
+    /// ⊤ ∧ x = x        ci ∧ cj = ci  if ci = cj
+    /// ⊥ ∧ x = ⊥        ci ∧ cj = ⊥   if ci ≠ cj
+    /// ```
+    #[must_use]
+    pub fn meet(self, other: LatticeVal) -> LatticeVal {
+        use LatticeVal::*;
+        match (self, other) {
+            (Top, x) | (x, Top) => x,
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Const(a), Const(b)) => {
+                if a == b {
+                    Const(a)
+                } else {
+                    Bottom
+                }
+            }
+        }
+    }
+
+    /// The constant, if this is one.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            LatticeVal::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True for ⊤.
+    pub fn is_top(self) -> bool {
+        self == LatticeVal::Top
+    }
+
+    /// True for ⊥.
+    pub fn is_bottom(self) -> bool {
+        self == LatticeVal::Bottom
+    }
+
+    /// Lattice height of the value: 0 for ⊤, 1 for constants, 2 for ⊥.
+    /// Meets never decrease height — the termination argument for every
+    /// solver in this repository.
+    pub fn height(self) -> u8 {
+        match self {
+            LatticeVal::Top => 0,
+            LatticeVal::Const(_) => 1,
+            LatticeVal::Bottom => 2,
+        }
+    }
+}
+
+impl fmt::Display for LatticeVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeVal::Top => f.write_str("⊤"),
+            LatticeVal::Const(c) => write!(f, "{c}"),
+            LatticeVal::Bottom => f.write_str("⊥"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LatticeVal::*;
+
+    const SAMPLES: [LatticeVal; 5] = [Top, Const(0), Const(1), Const(-7), Bottom];
+
+    #[test]
+    fn meet_matches_figure_1() {
+        assert_eq!(Top.meet(Const(3)), Const(3));
+        assert_eq!(Const(3).meet(Top), Const(3));
+        assert_eq!(Const(3).meet(Const(3)), Const(3));
+        assert_eq!(Const(3).meet(Const(4)), Bottom);
+        assert_eq!(Bottom.meet(Top), Bottom);
+        assert_eq!(Bottom.meet(Const(3)), Bottom);
+        assert_eq!(Top.meet(Top), Top);
+        assert_eq!(Bottom.meet(Bottom), Bottom);
+    }
+
+    #[test]
+    fn meet_is_commutative_associative_idempotent() {
+        for a in SAMPLES {
+            assert_eq!(a.meet(a), a, "idempotent");
+            for b in SAMPLES {
+                assert_eq!(a.meet(b), b.meet(a), "commutative");
+                for c in SAMPLES {
+                    assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_never_raises() {
+        for a in SAMPLES {
+            for b in SAMPLES {
+                let m = a.meet(b);
+                // Meet is a lower bound: it sits at or below both inputs.
+                assert!(m.height() >= a.height());
+                assert!(m.height() >= b.height());
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Const(5).as_const(), Some(5));
+        assert_eq!(Top.as_const(), None);
+        assert!(Top.is_top());
+        assert!(Bottom.is_bottom());
+        assert!(!Const(0).is_top());
+        assert_eq!(Top.height(), 0);
+        assert_eq!(Const(9).height(), 1);
+        assert_eq!(Bottom.height(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Top.to_string(), "⊤");
+        assert_eq!(Bottom.to_string(), "⊥");
+        assert_eq!(Const(-3).to_string(), "-3");
+    }
+}

@@ -1,0 +1,44 @@
+//! # ipcp-analysis — program analyses beneath interprocedural constant
+//! propagation
+//!
+//! Everything the Grove–Torczon study needed from ParaScope, rebuilt over
+//! the Minifor IR:
+//!
+//! * [`callgraph`] — call graph + SCC condensation (bottom-up order for
+//!   return-jump-function generation),
+//! * [`modref`] — interprocedural MOD/REF side-effect summaries
+//!   (Cooper–Kennedy style, alias-free FORTRAN rules) and the
+//!   MOD-backed SSA kill oracle,
+//! * [`lattice`] — the constant lattice of the paper's Figure 1,
+//! * [`poly`] / [`symexpr`] — polynomials and context-independent
+//!   symbolic expressions over entry slots,
+//! * [`symeval`] — SSA symbolic value numbering (the jump-function
+//!   generator's engine),
+//! * [`mod@sccp`] — Wegman–Zadeck sparse conditional constant propagation
+//!   (the intraprocedural propagator, seedable with interprocedural
+//!   `CONSTANTS` sets),
+//! * [`dce`] — branch folding, unreachable-code and dead-assignment
+//!   elimination (for the "complete propagation" experiment),
+//! * [`alias`] — a lint for the FORTRAN no-alias rule every analysis
+//!   assumes.
+
+pub mod alias;
+pub mod callgraph;
+pub mod dce;
+pub mod lattice;
+pub mod modref;
+pub mod poly;
+pub mod sccp;
+pub mod subscripts;
+pub mod symeval;
+pub mod symexpr;
+
+pub use alias::{check_aliasing, AliasKind, AliasViolation};
+pub use callgraph::{CallGraph, CallSite};
+pub use lattice::LatticeVal;
+pub use modref::{augment_global_vars, compute_modref, slot_of_var, ModKills, ModRefInfo, Slot};
+pub use poly::Poly;
+pub use sccp::{bottom_entry, sccp, CallLattice, PessimisticCalls, SccpConfig, SccpResult};
+pub use subscripts::{classify_subscripts, count_subscripts, SubscriptClass, SubscriptCounts};
+pub use symeval::{symbolic_eval, CallSymbolics, NoCallSymbolics, Sym, SymMap};
+pub use symexpr::{lattice_binop, SymExpr};

@@ -1,0 +1,483 @@
+//! Interprocedural MOD/REF side-effect summaries.
+//!
+//! A procedure's *slots* are its formal parameters plus the globals it
+//! (transitively) touches — the paper treats globals as extra parameters
+//! (footnote 1). `MOD(p)` is the set of slots an invocation of `p` may
+//! modify; `REF(p)` the set it may reference. Both are flow-insensitive
+//! and computed by a worklist fixpoint over the call graph, in the spirit
+//! of Cooper–Kennedy (no aliasing: FORTRAN/Minifor forbid aliased
+//! actuals, see the `ipcp-lang` crate docs).
+//!
+//! Only **integer/real scalar** slots are tracked; arrays are opaque to
+//! the constant analyses and excluded throughout (the paper's
+//! limitation 2).
+//!
+//! The [`ModKills`] oracle translates `MOD` into caller-side SSA kill
+//! sets; [`ipcp_ssa::WorstCaseKills`] is the "no MOD information"
+//! counterpart.
+
+use crate::callgraph::CallGraph;
+use ipcp_ir::{GlobalId, Instr, ProcId, Procedure, Program, VarId, VarKind};
+use ipcp_ssa::KillOracle;
+use std::collections::BTreeSet;
+
+/// An interprocedural parameter slot of a procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Slot {
+    /// The `i`-th formal parameter.
+    Formal(u32),
+    /// A program global.
+    Global(GlobalId),
+    /// The function result (Minifor functions return by value; this slot
+    /// carries returned-constant information like a by-ref formal would
+    /// in FORTRAN).
+    Result,
+}
+
+impl std::fmt::Display for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Formal(i) => write!(f, "arg{i}"),
+            Slot::Global(g) => write!(f, "{g}"),
+            Slot::Result => write!(f, "result"),
+        }
+    }
+}
+
+/// The slot a caller-side variable corresponds to, if any.
+pub fn slot_of_var(proc: &Procedure, v: VarId) -> Option<Slot> {
+    match proc.var(v).kind {
+        VarKind::Formal(i) => Some(Slot::Formal(i)),
+        VarKind::Global(g) => Some(Slot::Global(g)),
+        VarKind::Local | VarKind::Temp => None,
+    }
+}
+
+/// MOD/REF summaries for every procedure.
+#[derive(Debug, Clone)]
+pub struct ModRefInfo {
+    mods: Vec<BTreeSet<Slot>>,
+    refs: Vec<BTreeSet<Slot>>,
+}
+
+impl ModRefInfo {
+    /// Slots procedure `p` may modify.
+    pub fn mods(&self, p: ProcId) -> &BTreeSet<Slot> {
+        &self.mods[p.index()]
+    }
+
+    /// Slots procedure `p` may reference.
+    pub fn refs(&self, p: ProcId) -> &BTreeSet<Slot> {
+        &self.refs[p.index()]
+    }
+
+    /// Whether `p` may modify `slot`.
+    pub fn is_modified(&self, p: ProcId, slot: Slot) -> bool {
+        self.mods[p.index()].contains(&slot)
+    }
+
+    /// The interprocedural parameter slots of `p` for constant
+    /// propagation: its scalar integer formals plus every global in
+    /// `REF(p) ∪ MOD(p)`.
+    ///
+    /// Real-typed formals are included (they simply stay ⊥); array formals
+    /// are not.
+    pub fn param_slots(&self, program: &Program, p: ProcId) -> Vec<Slot> {
+        let proc = program.proc(p);
+        let mut slots = Vec::new();
+        for (i, v) in proc.formal_ids().enumerate() {
+            if proc.var(v).ty.is_scalar() {
+                slots.push(Slot::Formal(i as u32));
+            }
+        }
+        let mut globals: BTreeSet<GlobalId> = BTreeSet::new();
+        for s in self.refs[p.index()]
+            .iter()
+            .chain(self.mods[p.index()].iter())
+        {
+            if let Slot::Global(g) = s {
+                if program.global(*g).ty.is_scalar() {
+                    globals.insert(*g);
+                }
+            }
+        }
+        slots.extend(globals.into_iter().map(Slot::Global));
+        slots
+    }
+}
+
+/// Computes MOD/REF summaries by fixpoint over the call graph.
+pub fn compute_modref(program: &Program, cg: &CallGraph) -> ModRefInfo {
+    let n = program.procs.len();
+    let mut mods: Vec<BTreeSet<Slot>> = vec![BTreeSet::new(); n];
+    let mut refs: Vec<BTreeSet<Slot>> = vec![BTreeSet::new(); n];
+
+    // Direct (local) effects.
+    for pid in program.proc_ids() {
+        let proc = program.proc(pid);
+        let (m, r) = direct_effects(proc);
+        mods[pid.index()] = m;
+        refs[pid.index()] = r;
+    }
+
+    // Transitive effects: iterate bottom-up until stable (the bottom-up
+    // SCC order makes most programs converge in one pass; recursion takes
+    // a few more).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for scc in cg.sccs() {
+            for &pid in scc {
+                let proc = program.proc(pid);
+                let mut new_mods = Vec::new();
+                let mut new_refs = Vec::new();
+                for site in cg.sites(pid) {
+                    let Instr::Call { callee, args, .. } =
+                        &proc.block(site.block).instrs[site.index]
+                    else {
+                        unreachable!("call site indexes a call");
+                    };
+                    for slot in &mods[callee.index()] {
+                        match slot {
+                            Slot::Formal(k) => {
+                                let arg = &args[*k as usize];
+                                if arg.by_ref {
+                                    if let Some(v) = arg.value.as_var() {
+                                        if let Some(s) = slot_of_var(proc, v) {
+                                            new_mods.push(s);
+                                        }
+                                    }
+                                }
+                            }
+                            Slot::Global(g) => new_mods.push(Slot::Global(*g)),
+                            Slot::Result => {}
+                        }
+                    }
+                    for slot in &refs[callee.index()] {
+                        // Formal refs are covered by the caller's direct
+                        // operand scan (the actual's value is an operand of
+                        // the call); only global refs propagate.
+                        if let Slot::Global(g) = slot {
+                            new_refs.push(Slot::Global(*g));
+                        }
+                    }
+                }
+                for s in new_mods {
+                    if mods[pid.index()].insert(s) {
+                        changed = true;
+                    }
+                }
+                for s in new_refs {
+                    if refs[pid.index()].insert(s) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    ModRefInfo { mods, refs }
+}
+
+/// Local (intraprocedural) MOD/REF of one procedure. Scalar slots only.
+fn direct_effects(proc: &Procedure) -> (BTreeSet<Slot>, BTreeSet<Slot>) {
+    let mut mods = BTreeSet::new();
+    let mut refs = BTreeSet::new();
+    let reference = |v: VarId, set: &mut BTreeSet<Slot>| {
+        if proc.var(v).ty.is_scalar() {
+            if let Some(s) = slot_of_var(proc, v) {
+                set.insert(s);
+            }
+        }
+    };
+    for b in proc.block_ids() {
+        let block = proc.block(b);
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                reference(d, &mut mods);
+            }
+            instr.for_each_use(|op| {
+                if let Some(v) = op.as_var() {
+                    reference(v, &mut refs);
+                }
+            });
+        }
+        block.term.for_each_use(|op| {
+            if let Some(v) = op.as_var() {
+                reference(v, &mut refs);
+            }
+        });
+    }
+    (mods, refs)
+}
+
+/// Extends every procedure's variable table with an entry for each scalar
+/// global in its transitive `REF ∪ MOD` set that lowering did not already
+/// add (lowering only records globals the procedure *names*).
+///
+/// This is required for soundness of the per-procedure analyses: a global
+/// modified or read only by callees must have SSA names in the caller so
+/// call kill sets and call-site snapshots track its flow-sensitive value.
+/// Returns the number of entries added.
+pub fn augment_global_vars(program: &mut Program, modref: &ModRefInfo) -> usize {
+    let mut added = 0;
+    for p in 0..program.procs.len() {
+        let pid = ProcId::from_index(p);
+        let mut wanted: BTreeSet<GlobalId> = BTreeSet::new();
+        for s in modref.refs(pid).iter().chain(modref.mods(pid).iter()) {
+            if let Slot::Global(g) = s {
+                if program.global(*g).ty.is_scalar() {
+                    wanted.insert(*g);
+                }
+            }
+        }
+        let decls: Vec<(GlobalId, String, ipcp_lang::ast::Ty)> = wanted
+            .into_iter()
+            .map(|g| (g, program.global(g).name.clone(), program.global(g).ty))
+            .collect();
+        let proc = &mut program.procs[p];
+        for (g, name, ty) in decls {
+            let present = proc.vars.iter().any(|v| v.kind == VarKind::Global(g));
+            if !present {
+                proc.vars.push(ipcp_ir::VarDecl {
+                    name,
+                    ty,
+                    kind: VarKind::Global(g),
+                });
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// A [`KillOracle`] backed by MOD summaries: a call kills exactly the
+/// by-reference scalar actuals bound to modified formals, plus the
+/// caller-visible globals in the callee's MOD set.
+#[derive(Debug, Clone)]
+pub struct ModKills<'a> {
+    program: &'a Program,
+    modref: &'a ModRefInfo,
+}
+
+impl<'a> ModKills<'a> {
+    /// Creates the oracle.
+    pub fn new(program: &'a Program, modref: &'a ModRefInfo) -> Self {
+        ModKills { program, modref }
+    }
+}
+
+impl KillOracle for ModKills<'_> {
+    fn kills(&self, caller: &Procedure, callee: ProcId, args: &[ipcp_ir::CallArg]) -> Vec<VarId> {
+        let mods = self.modref.mods(callee);
+        let _ = self.program;
+        let mut kills = Vec::new();
+        for (k, arg) in args.iter().enumerate() {
+            if !arg.by_ref {
+                continue;
+            }
+            let Some(v) = arg.value.as_var() else {
+                continue;
+            };
+            if caller.var(v).ty.is_array() {
+                continue;
+            }
+            if mods.contains(&Slot::Formal(k as u32)) && !kills.contains(&v) {
+                kills.push(v);
+            }
+        }
+        for v in caller.var_ids() {
+            let decl = caller.var(v);
+            if let VarKind::Global(g) = decl.kind {
+                if decl.ty.is_scalar() && mods.contains(&Slot::Global(g)) && !kills.contains(&v) {
+                    kills.push(v);
+                }
+            }
+        }
+        kills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+
+    fn analyze(src: &str) -> (Program, CallGraph, ModRefInfo) {
+        let program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let mr = compute_modref(&program, &cg);
+        (program, cg, mr)
+    }
+
+    fn slot_names(program: &Program, p: ProcId, slots: &BTreeSet<Slot>) -> Vec<String> {
+        slots
+            .iter()
+            .map(|s| match s {
+                Slot::Formal(i) => {
+                    let proc = program.proc(p);
+                    proc.var(ipcp_ir::VarId(*i)).name.clone()
+                }
+                Slot::Global(g) => program.global(*g).name.clone(),
+                Slot::Result => "result".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn direct_formal_mod() {
+        let (program, _, mr) = analyze("proc f(a, b)\na = b + 1\nend\nmain\ncall f(x, y)\nend\n");
+        let f = program.proc_by_name("f").unwrap();
+        assert!(mr.is_modified(f, Slot::Formal(0)));
+        assert!(!mr.is_modified(f, Slot::Formal(1)));
+        assert!(mr.refs(f).contains(&Slot::Formal(1)));
+        assert!(!mr.refs(f).contains(&Slot::Formal(0)));
+    }
+
+    #[test]
+    fn global_mod_and_ref() {
+        let (program, _, mr) =
+            analyze("global g\nglobal h\nproc f()\ng = h\nend\nmain\ncall f()\nend\n");
+        let f = program.proc_by_name("f").unwrap();
+        assert_eq!(slot_names(&program, f, mr.mods(f)), vec!["g"]);
+        assert_eq!(slot_names(&program, f, mr.refs(f)), vec!["h"]);
+    }
+
+    #[test]
+    fn transitive_mod_through_binding() {
+        // h modifies its formal; g passes its own formal through; so g
+        // modifies its formal too, transitively.
+        let src = "proc h(x)\nx = 1\nend\nproc g(y)\ncall h(y)\nend\nmain\ncall g(z)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let g = program.proc_by_name("g").unwrap();
+        assert!(mr.is_modified(g, Slot::Formal(0)));
+        // main modifies nothing slot-like (z is a local).
+        assert!(mr.mods(program.main).is_empty());
+    }
+
+    #[test]
+    fn transitive_global_mod() {
+        let src = "global c\nproc inner()\nc = 5\nend\nproc outer()\ncall inner()\nend\nmain\ncall outer()\nend\n";
+        let (program, _, mr) = analyze(src);
+        let outer = program.proc_by_name("outer").unwrap();
+        assert_eq!(slot_names(&program, outer, mr.mods(outer)), vec!["c"]);
+        // main also "modifies" c transitively.
+        assert_eq!(
+            slot_names(&program, program.main, mr.mods(program.main)),
+            vec!["c"]
+        );
+    }
+
+    #[test]
+    fn by_value_args_do_not_propagate_mod() {
+        let src = "proc h(x)\nx = 1\nend\nproc g(y)\ncall h(y + 0)\nend\nmain\ncall g(z)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let g = program.proc_by_name("g").unwrap();
+        assert!(!mr.is_modified(g, Slot::Formal(0)));
+    }
+
+    #[test]
+    fn read_counts_as_mod() {
+        let (program, _, mr) = analyze("proc f(a)\nread(a)\nend\nmain\ncall f(x)\nend\n");
+        let f = program.proc_by_name("f").unwrap();
+        assert!(mr.is_modified(f, Slot::Formal(0)));
+    }
+
+    #[test]
+    fn recursive_mod_converges() {
+        let src = "\
+global acc\n\
+proc walk(n)\nif n > 0 then\nacc = acc + n\ncall walk(n - 1)\nend\nend\n\
+main\ncall walk(5)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let walk = program.proc_by_name("walk").unwrap();
+        assert_eq!(slot_names(&program, walk, mr.mods(walk)), vec!["acc"]);
+        assert!(mr.refs(walk).contains(&Slot::Formal(0)));
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let src = "\
+global depth\n\
+proc ping(n)\ndepth = depth + 1\nif n > 0 then\ncall pong(n - 1)\nend\nend\n\
+proc pong(n)\nif n > 0 then\ncall ping(n - 1)\nend\nend\n\
+main\ncall ping(4)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let pong = program.proc_by_name("pong").unwrap();
+        // pong modifies depth only transitively through ping.
+        assert_eq!(slot_names(&program, pong, mr.mods(pong)), vec!["depth"]);
+    }
+
+    #[test]
+    fn arrays_are_not_slots() {
+        let src = "global a(5)\nproc f(v())\nv(1) = 2\na(1) = 3\nend\nmain\ninteger b(5)\ncall f(b)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let f = program.proc_by_name("f").unwrap();
+        assert!(mr.mods(f).is_empty(), "{:?}", mr.mods(f));
+    }
+
+    #[test]
+    fn param_slots_include_touched_globals_only() {
+        let src = "global used\nglobal untouched\nglobal real r\n\
+                   proc f(a, real b, v())\na = used\nr = b\nend\nmain\ninteger w(3)\ncall f(x, 1.5, w)\nend\n";
+        let (program, _, mr) = analyze(src);
+        let f = program.proc_by_name("f").unwrap();
+        let slots = mr.param_slots(&program, f);
+        // Formals: a (int), b (real) — the array v is excluded.
+        assert!(slots.contains(&Slot::Formal(0)));
+        assert!(slots.contains(&Slot::Formal(1)));
+        assert_eq!(
+            slots
+                .iter()
+                .filter(|s| matches!(s, Slot::Formal(_)))
+                .count(),
+            2
+        );
+        // Globals: `used` (ref'd); `r` is real but scalar → included; `untouched` absent.
+        let globals: Vec<String> = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Global(g) => Some(program.global(*g).name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(globals.contains(&"used".to_string()));
+        assert!(globals.contains(&"r".to_string()));
+        assert!(!globals.contains(&"untouched".to_string()));
+    }
+
+    #[test]
+    fn mod_kills_oracle() {
+        let src = "global g\nglobal h\nproc f(a, b)\na = 1\ng = 2\nend\n\
+                   main\nx = h\ny = 0\ncall f(y, x)\nz = g\nend\n";
+        let (program, _, mr) = analyze(src);
+        let oracle = ModKills::new(&program, &mr);
+        let main = program.proc(program.main);
+        let f = program.proc_by_name("f").unwrap();
+        // Find the call's args.
+        let mut killed_names = Vec::new();
+        for b in main.block_ids() {
+            for instr in &main.block(b).instrs {
+                if let Instr::Call { args, .. } = instr {
+                    for v in oracle.kills(main, f, args) {
+                        killed_names.push(main.var(v).name.clone());
+                    }
+                }
+            }
+        }
+        // y (bound to modified formal a) and g (modified global) die;
+        // x (bound to unmodified b) and h (unreferenced... h is read by
+        // main itself but f does not modify it) survive.
+        assert!(killed_names.contains(&"y".to_string()), "{killed_names:?}");
+        assert!(killed_names.contains(&"g".to_string()), "{killed_names:?}");
+        assert!(!killed_names.contains(&"x".to_string()), "{killed_names:?}");
+        assert!(!killed_names.contains(&"h".to_string()), "{killed_names:?}");
+    }
+
+    #[test]
+    fn slot_display() {
+        assert_eq!(Slot::Formal(2).to_string(), "arg2");
+        assert_eq!(Slot::Global(GlobalId(1)).to_string(), "g1");
+        assert_eq!(Slot::Result.to_string(), "result");
+    }
+}

@@ -1,0 +1,456 @@
+//! Multivariate integer polynomials over procedure entry slots.
+//!
+//! These are the canonical form behind the paper's *polynomial parameter
+//! jump function*: an actual parameter expressible as a polynomial in the
+//! caller's entry values (formals and globals) is transmitted
+//! symbolically. Arithmetic is wrapping `i64`, matching the language
+//! semantics, so folding a polynomial at a call site produces exactly the
+//! value the program would compute.
+//!
+//! Sizes are bounded ([`MAX_TERMS`], [`MAX_DEGREE`]): operations that
+//! would exceed the bounds return `None`, and the symbolic layer falls
+//! back to an opaque expression node.
+
+use crate::modref::Slot;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Maximum number of terms a polynomial may hold.
+pub const MAX_TERMS: usize = 32;
+/// Maximum total degree of any monomial.
+pub const MAX_DEGREE: u32 = 8;
+
+/// A power product of slots, e.g. `arg0^2 * g3`. The empty monomial is
+/// the constant term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    /// `(slot, exponent)` pairs, sorted by slot, exponents ≥ 1.
+    factors: Vec<(Slot, u32)>,
+}
+
+impl Monomial {
+    /// The constant monomial (degree 0).
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial `slot^1`.
+    pub fn var(slot: Slot) -> Self {
+        Monomial {
+            factors: vec![(slot, 1)],
+        }
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut factors: BTreeMap<Slot, u32> = self.factors.iter().copied().collect();
+        for &(s, e) in &other.factors {
+            *factors.entry(s).or_insert(0) += e;
+        }
+        Monomial {
+            factors: factors.into_iter().collect(),
+        }
+    }
+
+    /// The factors, sorted by slot.
+    pub fn factors(&self) -> &[(Slot, u32)] {
+        &self.factors
+    }
+
+    /// Evaluates with wrapping arithmetic; `None` if any slot is unmapped.
+    pub fn eval(&self, env: &dyn Fn(Slot) -> Option<i64>) -> Option<i64> {
+        let mut acc = 1i64;
+        for &(s, e) in &self.factors {
+            let v = env(s)?;
+            for _ in 0..e {
+                acc = acc.wrapping_mul(v);
+            }
+        }
+        Some(acc)
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return f.write_str("1");
+        }
+        for (i, (s, e)) in self.factors.iter().enumerate() {
+            if i > 0 {
+                f.write_str("*")?;
+            }
+            if *e == 1 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{s}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multivariate polynomial with `i64` coefficients (wrapping).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    /// Terms with non-zero coefficients only.
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The constant polynomial `c`.
+    pub fn constant(c: i64) -> Poly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Monomial::unit(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `slot`.
+    pub fn var(slot: Slot) -> Poly {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(slot), 1);
+        Poly { terms }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if this polynomial is constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (m, &c) = self.terms.iter().next().expect("one term");
+                if m.degree() == 0 {
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The single slot, if this polynomial is exactly `1 * slot` — the
+    /// shape the *pass-through parameter jump function* transmits.
+    pub fn as_var(&self) -> Option<Slot> {
+        if self.terms.len() != 1 {
+            return None;
+        }
+        let (m, &c) = self.terms.iter().next().expect("one term");
+        if c == 1 && m.factors().len() == 1 && m.factors()[0].1 == 1 {
+            Some(m.factors()[0].0)
+        } else {
+            None
+        }
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total degree (0 for constants and zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// The slots this polynomial depends on (the jump function's
+    /// *support*).
+    pub fn support(&self) -> BTreeSet<Slot> {
+        let mut s = BTreeSet::new();
+        for m in self.terms.keys() {
+            for &(slot, _) in m.factors() {
+                s.insert(slot);
+            }
+        }
+        s
+    }
+
+    /// Sum, or `None` if the result would exceed [`MAX_TERMS`].
+    pub fn checked_add(&self, other: &Poly) -> Option<Poly> {
+        let mut terms = self.terms.clone();
+        for (m, &c) in &other.terms {
+            match terms.entry(m.clone()) {
+                Entry::Vacant(e) => {
+                    e.insert(c);
+                }
+                Entry::Occupied(mut e) => {
+                    let v = e.get().wrapping_add(c);
+                    if v == 0 {
+                        e.remove();
+                    } else {
+                        *e.get_mut() = v;
+                    }
+                }
+            }
+        }
+        if terms.len() > MAX_TERMS {
+            None
+        } else {
+            Some(Poly { terms })
+        }
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self) -> Poly {
+        Poly {
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, &c)| (m.clone(), c.wrapping_neg()))
+                .collect(),
+        }
+    }
+
+    /// Difference, or `None` on overflow of the term bound.
+    pub fn checked_sub(&self, other: &Poly) -> Option<Poly> {
+        self.checked_add(&other.neg())
+    }
+
+    /// Product, or `None` if the result would exceed [`MAX_TERMS`] or
+    /// [`MAX_DEGREE`].
+    pub fn checked_mul(&self, other: &Poly) -> Option<Poly> {
+        let mut terms: BTreeMap<Monomial, i64> = BTreeMap::new();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let m = ma.mul(mb);
+                if m.degree() > MAX_DEGREE {
+                    return None;
+                }
+                let c = ca.wrapping_mul(cb);
+                match terms.entry(m) {
+                    Entry::Vacant(e) => {
+                        e.insert(c);
+                    }
+                    Entry::Occupied(mut e) => {
+                        let v = e.get().wrapping_add(c);
+                        if v == 0 {
+                            e.remove();
+                        } else {
+                            *e.get_mut() = v;
+                        }
+                    }
+                }
+                if terms.len() > MAX_TERMS {
+                    return None;
+                }
+            }
+        }
+        Some(Poly { terms })
+    }
+
+    /// Evaluates with wrapping arithmetic; `None` if any needed slot is
+    /// unmapped.
+    pub fn eval(&self, env: &dyn Fn(Slot) -> Option<i64>) -> Option<i64> {
+        let mut acc = 0i64;
+        for (m, &c) in &self.terms {
+            acc = acc.wrapping_add(c.wrapping_mul(m.eval(env)?));
+        }
+        Some(acc)
+    }
+
+    /// Iterates over `(monomial, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, i64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            if m.degree() == 0 {
+                write!(f, "{c}")?;
+            } else if *c == 1 {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{c}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::GlobalId;
+
+    fn x() -> Poly {
+        Poly::var(Slot::Formal(0))
+    }
+
+    fn y() -> Poly {
+        Poly::var(Slot::Global(GlobalId(0)))
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Poly::constant(0), Poly::default());
+        assert!(Poly::constant(0).is_zero());
+        assert_eq!(Poly::constant(5).as_const(), Some(5));
+        assert_eq!(Poly::constant(0).as_const(), Some(0));
+        assert_eq!(x().as_const(), None);
+    }
+
+    #[test]
+    fn pass_through_shape() {
+        assert_eq!(x().as_var(), Some(Slot::Formal(0)));
+        assert_eq!(Poly::constant(3).as_var(), None);
+        let two_x = x().checked_add(&x()).unwrap();
+        assert_eq!(two_x.as_var(), None, "2*x is not a pass-through");
+        let x_plus_1 = x().checked_add(&Poly::constant(1)).unwrap();
+        assert_eq!(x_plus_1.as_var(), None);
+    }
+
+    #[test]
+    fn ring_identities() {
+        let p = x()
+            .checked_mul(&y())
+            .unwrap()
+            .checked_add(&Poly::constant(2))
+            .unwrap();
+        // p + 0 = p; p * 1 = p; p * 0 = 0; p - p = 0.
+        assert_eq!(p.checked_add(&Poly::constant(0)).unwrap(), p);
+        assert_eq!(p.checked_mul(&Poly::constant(1)).unwrap(), p);
+        assert!(p.checked_mul(&Poly::constant(0)).unwrap().is_zero());
+        assert!(p.checked_sub(&p).unwrap().is_zero());
+        // Commutativity.
+        assert_eq!(x().checked_add(&y()), y().checked_add(&x()));
+        assert_eq!(x().checked_mul(&y()), y().checked_mul(&x()));
+    }
+
+    #[test]
+    fn distribution() {
+        // (x + 1) * (x - 1) = x^2 - 1
+        let a = x().checked_add(&Poly::constant(1)).unwrap();
+        let b = x().checked_sub(&Poly::constant(1)).unwrap();
+        let prod = a.checked_mul(&b).unwrap();
+        let x2 = x().checked_mul(&x()).unwrap();
+        let expect = x2.checked_sub(&Poly::constant(1)).unwrap();
+        assert_eq!(prod, expect);
+        assert_eq!(prod.degree(), 2);
+    }
+
+    #[test]
+    fn eval_wrapping() {
+        // 2*x + 3 at x = i64::MAX wraps.
+        let p = x()
+            .checked_mul(&Poly::constant(2))
+            .unwrap()
+            .checked_add(&Poly::constant(3))
+            .unwrap();
+        let env = |s: Slot| {
+            if s == Slot::Formal(0) {
+                Some(i64::MAX)
+            } else {
+                None
+            }
+        };
+        let expect = i64::MAX.wrapping_mul(2).wrapping_add(3);
+        assert_eq!(p.eval(&env), Some(expect));
+    }
+
+    #[test]
+    fn eval_missing_slot() {
+        let p = x().checked_add(&y()).unwrap();
+        let env = |s: Slot| if s == Slot::Formal(0) { Some(1) } else { None };
+        assert_eq!(p.eval(&env), None);
+        assert_eq!(Poly::constant(7).eval(&|_| None), Some(7));
+    }
+
+    #[test]
+    fn support_tracks_slots() {
+        let p = x()
+            .checked_mul(&y())
+            .unwrap()
+            .checked_add(&Poly::constant(4))
+            .unwrap();
+        let s = p.support();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&Slot::Formal(0)));
+        assert!(s.contains(&Slot::Global(GlobalId(0))));
+        assert!(Poly::constant(1).support().is_empty());
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let p = x().checked_add(&Poly::constant(1)).unwrap();
+        let q = x().neg();
+        let sum = p.checked_add(&q).unwrap();
+        assert_eq!(sum.as_const(), Some(1));
+        assert_eq!(sum.term_count(), 1);
+    }
+
+    #[test]
+    fn degree_cap_enforced() {
+        // x^(MAX_DEGREE+1) fails.
+        let mut p = x();
+        let mut ok = true;
+        for _ in 0..MAX_DEGREE {
+            match p.checked_mul(&x()) {
+                Some(q) => p = q,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        assert!(!ok || p.degree() == MAX_DEGREE);
+        assert!(p.checked_mul(&x()).is_none());
+    }
+
+    #[test]
+    fn term_cap_enforced() {
+        // Product of (x0 + 1)(x1 + 1)...(x5 + 1) has 2^6 = 64 terms > MAX.
+        let mut p = Poly::constant(1);
+        let mut capped = false;
+        for i in 0..6 {
+            let factor = Poly::var(Slot::Formal(i))
+                .checked_add(&Poly::constant(1))
+                .unwrap();
+            match p.checked_mul(&factor) {
+                Some(q) => p = q,
+                None => {
+                    capped = true;
+                    break;
+                }
+            }
+        }
+        assert!(capped, "term bound must trigger");
+    }
+
+    #[test]
+    fn display_readable() {
+        let p = x()
+            .checked_mul(&x())
+            .unwrap()
+            .checked_mul(&Poly::constant(3))
+            .unwrap()
+            .checked_add(&y())
+            .unwrap()
+            .checked_add(&Poly::constant(-2))
+            .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("3*arg0^2"), "{s}");
+        assert!(s.contains("g0"), "{s}");
+        assert_eq!(Poly::constant(0).to_string(), "0");
+        assert_eq!(Monomial::unit().to_string(), "1");
+    }
+}

@@ -1,0 +1,449 @@
+//! Sparse conditional constant propagation (Wegman & Zadeck) over SSA.
+//!
+//! This is the *intraprocedural* constant propagator the whole study
+//! leans on: it implements `gcp(y, s)`-style queries (which operands are
+//! provably constant at a point), drives dead-code elimination for the
+//! "complete propagation" experiment, provides the purely intraprocedural
+//! baseline of Table 3, and — seeded with `CONSTANTS(p)` — performs the
+//! final substitution counting.
+//!
+//! The solver is parameterized over:
+//!
+//! * the **entry environment** — the lattice value of each variable on
+//!   procedure entry (⊥ for the baseline; `CONSTANTS(p)` when seeded by
+//!   the interprocedural phase), and
+//! * the **call effects** — the lattice value of killed variables and
+//!   function results after a call (⊥ without return jump functions;
+//!   return-jump-function evaluation with them).
+
+use crate::lattice::LatticeVal;
+use crate::modref::Slot;
+use crate::symexpr::lattice_binop;
+use ipcp_ir::{BlockId, GlobalId, ProcId, Procedure, VarId, VarKind};
+use ipcp_lang::ast::UnOp;
+use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc, SsaTerminator};
+use std::collections::HashSet;
+
+/// Supplies lattice values for the effects of a call.
+pub trait CallLattice {
+    /// Value of `slot` of `callee` after a call with actual-argument
+    /// values `arg(k)` and caller-side global values `global(g)`.
+    fn slot_after_call(
+        &self,
+        callee: ProcId,
+        slot: Slot,
+        arg: &dyn Fn(u32) -> LatticeVal,
+        global: &dyn Fn(GlobalId) -> LatticeVal,
+    ) -> LatticeVal;
+}
+
+/// Conservative call effects: everything a call touches is ⊥.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PessimisticCalls;
+
+impl CallLattice for PessimisticCalls {
+    fn slot_after_call(
+        &self,
+        _callee: ProcId,
+        _slot: Slot,
+        _arg: &dyn Fn(u32) -> LatticeVal,
+        _global: &dyn Fn(GlobalId) -> LatticeVal,
+    ) -> LatticeVal {
+        LatticeVal::Bottom
+    }
+}
+
+/// SCCP configuration.
+pub struct SccpConfig<'a> {
+    /// Lattice value of each variable at procedure entry.
+    pub entry_env: &'a dyn Fn(VarId) -> LatticeVal,
+    /// Call effect provider.
+    pub calls: &'a dyn CallLattice,
+}
+
+/// An entry environment with every variable ⊥ (the unseeded baseline).
+pub fn bottom_entry(_v: VarId) -> LatticeVal {
+    LatticeVal::Bottom
+}
+
+/// SCCP results for one procedure.
+#[derive(Debug, Clone)]
+pub struct SccpResult {
+    /// Lattice value of every SSA name (names in never-executed code stay
+    /// ⊤).
+    pub values: Vec<LatticeVal>,
+    /// Whether each block is executable under the seeded assumptions.
+    pub executable: Vec<bool>,
+}
+
+impl SccpResult {
+    /// Value of an operand under this result.
+    pub fn of_operand(&self, op: SsaOperand) -> LatticeVal {
+        match op {
+            SsaOperand::Const(c) => LatticeVal::Const(c),
+            SsaOperand::RealConst(_) => LatticeVal::Bottom,
+            SsaOperand::Name(n) => self.values[n.index()],
+        }
+    }
+}
+
+/// Runs SCCP on `proc`.
+pub fn sccp(proc: &Procedure, ssa: &SsaProc, config: &SccpConfig<'_>) -> SccpResult {
+    let mut values = vec![LatticeVal::Top; ssa.name_count()];
+    for (&var, &name) in &ssa.entry_names {
+        values[name.index()] = (config.entry_env)(var);
+    }
+
+    let nblocks = proc.blocks.len();
+    let mut executable = vec![false; nblocks];
+    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
+    executable[proc.entry().index()] = true;
+
+    // Simple iterate-to-fixpoint driver (the paper itself used "a simple
+    // worklist iterative scheme"; monotonicity of every transfer function
+    // plus the bounded lattice guarantees termination).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &ssa.cfg.rpo {
+            if !executable[b.index()] {
+                continue;
+            }
+            let block = ssa.block(b).expect("reachable");
+
+            for phi in &block.phis {
+                let mut acc = LatticeVal::Top;
+                for &(pred, arg) in &phi.args {
+                    if exec_edges.contains(&(pred, b)) {
+                        acc = acc.meet(values[arg.index()]);
+                    }
+                }
+                let old = values[phi.dst.index()];
+                let new = old.meet(acc);
+                if new != old {
+                    values[phi.dst.index()] = new;
+                    changed = true;
+                }
+            }
+
+            for instr in &block.instrs {
+                changed |= eval_instr(proc, instr, &mut values, config);
+            }
+
+            let targets: Vec<BlockId> = match &block.term {
+                SsaTerminator::Jump(t) => vec![*t],
+                SsaTerminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => match operand_value(&values, *cond) {
+                    LatticeVal::Top => vec![],
+                    LatticeVal::Const(c) => {
+                        vec![if c != 0 { *then_bb } else { *else_bb }]
+                    }
+                    LatticeVal::Bottom => vec![*then_bb, *else_bb],
+                },
+                SsaTerminator::Return { .. } | SsaTerminator::Trap(_) => vec![],
+            };
+            for t in targets {
+                if exec_edges.insert((b, t)) {
+                    changed = true;
+                }
+                if !executable[t.index()] {
+                    executable[t.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    SccpResult { values, executable }
+}
+
+fn operand_value(values: &[LatticeVal], op: SsaOperand) -> LatticeVal {
+    match op {
+        SsaOperand::Const(c) => LatticeVal::Const(c),
+        SsaOperand::RealConst(_) => LatticeVal::Bottom,
+        SsaOperand::Name(n) => values[n.index()],
+    }
+}
+
+/// Evaluates one instruction; returns whether any value changed.
+fn eval_instr(
+    proc: &Procedure,
+    instr: &SsaInstr,
+    values: &mut [LatticeVal],
+    config: &SccpConfig<'_>,
+) -> bool {
+    let mut changed = false;
+    let set = |name: SsaName, new: LatticeVal, values: &mut [LatticeVal], changed: &mut bool| {
+        let old = values[name.index()];
+        let met = old.meet(new);
+        if met != old {
+            values[name.index()] = met;
+            *changed = true;
+        }
+    };
+    match instr {
+        SsaInstr::Copy { dst, src } => {
+            let v = operand_value(values, *src);
+            set(*dst, v, values, &mut changed);
+        }
+        SsaInstr::Unary { dst, op, src } => {
+            let v = operand_value(values, *src);
+            let r = match (op, v) {
+                (_, LatticeVal::Top) => LatticeVal::Top,
+                (_, LatticeVal::Bottom) => LatticeVal::Bottom,
+                (UnOp::Neg, LatticeVal::Const(c)) => LatticeVal::Const(c.wrapping_neg()),
+                (UnOp::Not, LatticeVal::Const(c)) => LatticeVal::Const(i64::from(c == 0)),
+            };
+            set(*dst, r, values, &mut changed);
+        }
+        SsaInstr::Binary { dst, op, lhs, rhs } => {
+            let l = operand_value(values, *lhs);
+            let r = operand_value(values, *rhs);
+            set(*dst, lattice_binop(*op, l, r), values, &mut changed);
+        }
+        SsaInstr::IntToReal { dst, .. } | SsaInstr::Load { dst, .. } | SsaInstr::Read { dst } => {
+            set(*dst, LatticeVal::Bottom, values, &mut changed);
+        }
+        SsaInstr::Store { .. } | SsaInstr::Print { .. } => {}
+        SsaInstr::Call {
+            callee,
+            args,
+            dst,
+            kills,
+            globals_in,
+        } => {
+            let arg = |k: u32| -> LatticeVal {
+                match args.get(k as usize).and_then(|a| a.value) {
+                    Some(op) => operand_value(values, op),
+                    None => LatticeVal::Bottom,
+                }
+            };
+            // A global absent from the caller's table is ⊥: the driver
+            // augments tables with every transitively-touched global (see
+            // `modref::augment_global_vars`), so this fallback only fires
+            // on un-augmented programs, where flow-sensitivity is lost.
+            let global = |g: GlobalId| -> LatticeVal {
+                for &(var, name) in globals_in {
+                    if proc.var(var).kind == VarKind::Global(g) {
+                        return values[name.index()];
+                    }
+                }
+                LatticeVal::Bottom
+            };
+            let mut updates: Vec<(SsaName, LatticeVal)> = Vec::new();
+            for kill in kills {
+                let slot = args
+                    .iter()
+                    .position(|a| a.by_ref_var == Some(kill.var))
+                    .map(|k| Slot::Formal(k as u32))
+                    .or_else(|| match proc.var(kill.var).kind {
+                        VarKind::Global(g) => Some(Slot::Global(g)),
+                        _ => None,
+                    });
+                let v = match slot {
+                    Some(slot) if proc.var(kill.var).ty == ipcp_lang::ast::Ty::INT => {
+                        config.calls.slot_after_call(*callee, slot, &arg, &global)
+                    }
+                    _ => LatticeVal::Bottom,
+                };
+                updates.push((kill.name, v));
+            }
+            if let Some(d) = dst {
+                let v = config
+                    .calls
+                    .slot_after_call(*callee, Slot::Result, &arg, &global);
+                updates.push((*d, v));
+            }
+            for (name, v) in updates {
+                set(name, v, values, &mut changed);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+    use ipcp_ssa::{build_ssa, WorstCaseKills};
+
+    fn run_sccp(src: &str, proc_name: &str) -> (ipcp_ir::Program, SsaProc, SccpResult) {
+        let program = compile_to_ir(src).expect("compiles");
+        let pid = program.proc_by_name(proc_name).expect("proc");
+        let proc = program.proc(pid);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let config = SccpConfig {
+            entry_env: &bottom_entry,
+            calls: &PessimisticCalls,
+        };
+        let result = sccp(proc, &ssa, &config);
+        (program, ssa, result)
+    }
+
+    fn first_print_value(src: &str, proc_name: &str) -> LatticeVal {
+        let (_, ssa, result) = run_sccp(src, proc_name);
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    return result.of_operand(*value);
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn straight_line_constants() {
+        assert_eq!(
+            first_print_value("main\nx = 2\ny = x * 3 + 1\nprint(y)\nend\n", "main"),
+            LatticeVal::Const(7)
+        );
+    }
+
+    #[test]
+    fn conditional_constant_propagation_prunes_branches() {
+        // The classic SCCP win: x is 1 on the only executable path.
+        let src = "main\nx = 1\nif x == 1 then\ny = 2\nelse\ny = 3\nend\nprint(y)\nend\n";
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(2));
+        let (_, _, result) = run_sccp(src, "main");
+        // The else block never executes.
+        assert!(result.executable.iter().filter(|&&e| !e).count() >= 1);
+    }
+
+    #[test]
+    fn loop_invariant_constant_survives_loop() {
+        let src = "main\nk = 5\ns = 0\ndo i = 1, 3\ns = s + k\nend\nprint(k)\nend\n";
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(5));
+    }
+
+    #[test]
+    fn loop_carried_is_bottom() {
+        let src = "main\ns = 0\ndo i = 1, 3\ns = s + i\nend\nprint(s)\nend\n";
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Bottom);
+    }
+
+    #[test]
+    fn read_is_bottom() {
+        assert_eq!(
+            first_print_value("main\nread(x)\nprint(x)\nend\n", "main"),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn entry_formals_bottom_by_default() {
+        assert_eq!(
+            first_print_value("proc f(a)\nprint(a)\nend\nmain\ncall f(3)\nend\n", "f"),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn seeded_entry_env() {
+        let src = "proc f(a)\nprint(a + 1)\nend\nmain\ncall f(3)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let pid = program.proc_by_name("f").unwrap();
+        let proc = program.proc(pid);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let entry = |v: VarId| -> LatticeVal {
+            if proc.var(v).kind == VarKind::Formal(0) {
+                LatticeVal::Const(3)
+            } else {
+                LatticeVal::Bottom
+            }
+        };
+        let config = SccpConfig {
+            entry_env: &entry,
+            calls: &PessimisticCalls,
+        };
+        let result = sccp(proc, &ssa, &config);
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert_eq!(result.of_operand(*value), LatticeVal::Const(4));
+                    return;
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn call_kills_are_bottom_with_pessimistic_calls() {
+        let src = "global g\nproc t()\ng = 1\nend\nproc f()\ng = 5\ncall t()\nprint(g)\nend\nmain\ncall f()\nend\n";
+        assert_eq!(first_print_value(src, "f"), LatticeVal::Bottom);
+    }
+
+    #[test]
+    fn call_effects_are_pluggable() {
+        struct AlwaysNine;
+        impl CallLattice for AlwaysNine {
+            fn slot_after_call(
+                &self,
+                _c: ProcId,
+                _s: Slot,
+                _a: &dyn Fn(u32) -> LatticeVal,
+                _g: &dyn Fn(GlobalId) -> LatticeVal,
+            ) -> LatticeVal {
+                LatticeVal::Const(9)
+            }
+        }
+        let src = "func f(x)\nreturn x\nend\nmain\ny = f(1)\nprint(y)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let config = SccpConfig {
+            entry_env: &bottom_entry,
+            calls: &AlwaysNine,
+        };
+        let result = sccp(proc, &ssa, &config);
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert_eq!(result.of_operand(*value), LatticeVal::Const(9));
+                    return;
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn while_false_never_executes() {
+        let src = "main\nx = 0\nwhile x do\ny = 1\nend\nprint(x)\nend\n";
+        let (_, _, result) = run_sccp(src, "main");
+        // Loop body is not executable.
+        assert!(result.executable.iter().any(|&e| !e));
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(0));
+    }
+
+    #[test]
+    fn division_by_zero_constant_is_bottom() {
+        let src = "main\nx = 1\nz = 0\nprint(x / z)\nend\n";
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Bottom);
+    }
+
+    #[test]
+    fn mul_zero_shortcut() {
+        let src = "main\nread(x)\nprint(x * 0)\nend\n";
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(0));
+    }
+
+    #[test]
+    fn unreachable_code_values_stay_top() {
+        let src = "proc f()\nreturn\nx = 1\nprint(x)\nend\nmain\ncall f()\nend\n";
+        let (_, _, result) = run_sccp(src, "f");
+        // No name is claimed constant: entry names seed ⊥ and the dead
+        // block's code has no SSA names at all.
+        assert!(result
+            .values
+            .iter()
+            .all(|v| !matches!(v, LatticeVal::Const(_))));
+        // The dead block is simply not executable.
+        assert!(result.executable.iter().any(|&e| !e));
+    }
+}

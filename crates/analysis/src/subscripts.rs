@@ -1,0 +1,466 @@
+//! Array-subscript classification — the dependence-analysis motivation.
+//!
+//! The paper's introduction leads with Shen, Li & Yew's finding that with
+//! interprocedural constants "approximately 50 percent of the subscripts
+//! which had previously been considered nonlinear were found to be
+//! linear", which matters because "many dependence analyzers are
+//! incapable of analyzing nonlinear subscripts".
+//!
+//! This module classifies every `Load`/`Store` subscript as
+//!
+//! * **constant** — a compile-time constant under the given entry facts,
+//! * **linear** — an affine function `c₀ + Σ cᵢ·ivᵢ` of simple induction
+//!   variables with *constant* coefficients, or
+//! * **nonlinear** — anything else (unknown coefficients included, since
+//!   a dependence test cannot use them).
+//!
+//! Induction variables are recognized structurally on SSA: a phi `n` one
+//! of whose arguments is `n ± c` for a constant `c` (exactly what `do`
+//! loops lower to). Because coefficients are resolved through SCCP with a
+//! caller-supplied entry environment, seeding the environment with
+//! interprocedural `CONSTANTS` turns unknown strides into constants —
+//! reproducing the Shen–Li–Yew effect.
+
+use crate::lattice::LatticeVal;
+use crate::sccp::SccpResult;
+use ipcp_ir::Procedure;
+use ipcp_lang::ast::{BinOp, UnOp};
+use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc};
+use std::collections::{BTreeMap, HashSet};
+
+/// Classification of one subscript expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriptClass {
+    /// A compile-time constant index.
+    Constant(i64),
+    /// Affine in ≥1 induction variables with constant coefficients.
+    Linear {
+        /// Constant term.
+        offset: i64,
+        /// Induction-variable phi → coefficient.
+        coefficients: BTreeMap<SsaName, i64>,
+    },
+    /// Not analyzable as affine.
+    Nonlinear,
+}
+
+/// Aggregate counts over a procedure or program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptCounts {
+    /// Constant subscripts.
+    pub constant: usize,
+    /// Linear (affine, constant-coefficient) subscripts.
+    pub linear: usize,
+    /// Nonlinear subscripts.
+    pub nonlinear: usize,
+}
+
+impl SubscriptCounts {
+    /// Total subscripts classified.
+    pub fn total(&self) -> usize {
+        self.constant + self.linear + self.nonlinear
+    }
+
+    /// Merges another count into this one.
+    pub fn absorb(&mut self, other: SubscriptCounts) {
+        self.constant += other.constant;
+        self.linear += other.linear;
+        self.nonlinear += other.nonlinear;
+    }
+}
+
+/// Classifies every array subscript in `proc` (reachable code only).
+pub fn classify_subscripts(
+    proc: &Procedure,
+    ssa: &SsaProc,
+    sccp: &SccpResult,
+) -> Vec<SubscriptClass> {
+    let _ = proc;
+    let ivs = induction_phis(ssa, sccp);
+    let mut out = Vec::new();
+    for (b, blk) in ssa.rpo_blocks() {
+        if !sccp.executable[b.index()] {
+            continue;
+        }
+        for instr in &blk.instrs {
+            let index = match instr {
+                SsaInstr::Load { index, .. } => *index,
+                SsaInstr::Store { index, .. } => *index,
+                _ => continue,
+            };
+            out.push(classify_operand(index, ssa, sccp, &ivs, 0));
+        }
+    }
+    out
+}
+
+/// Counts [`classify_subscripts`] by class.
+pub fn count_subscripts(proc: &Procedure, ssa: &SsaProc, sccp: &SccpResult) -> SubscriptCounts {
+    let mut counts = SubscriptCounts::default();
+    for class in classify_subscripts(proc, ssa, sccp) {
+        match class {
+            SubscriptClass::Constant(_) => counts.constant += 1,
+            SubscriptClass::Linear { .. } => counts.linear += 1,
+            SubscriptClass::Nonlinear => counts.nonlinear += 1,
+        }
+    }
+    counts
+}
+
+/// Phi names of the form `n = φ(init, n ± c)` for constant `c` — the
+/// shape every `do` loop lowers to.
+fn induction_phis(ssa: &SsaProc, sccp: &SccpResult) -> HashSet<SsaName> {
+    let mut ivs = HashSet::new();
+    for (_, blk) in ssa.rpo_blocks() {
+        for phi in &blk.phis {
+            if phi.args.len() != 2 {
+                continue;
+            }
+            let is_step = |arg: SsaName| -> bool {
+                match ssa.def(arg).site {
+                    ipcp_ssa::DefSite::Instr { block, index } => {
+                        let Some(def_blk) = ssa.block(block) else {
+                            return false;
+                        };
+                        match &def_blk.instrs[index] {
+                            SsaInstr::Binary {
+                                op: BinOp::Add | BinOp::Sub,
+                                lhs,
+                                rhs,
+                                ..
+                            } => {
+                                let uses_phi = |o: &SsaOperand| o.as_name() == Some(phi.dst);
+                                let is_const = |o: &SsaOperand| {
+                                    matches!(sccp.of_operand(*o), LatticeVal::Const(_))
+                                };
+                                (uses_phi(lhs) && is_const(rhs)) || (uses_phi(rhs) && is_const(lhs))
+                            }
+                            _ => false,
+                        }
+                    }
+                    _ => false,
+                }
+            };
+            if phi.args.iter().any(|&(_, a)| is_step(a)) {
+                ivs.insert(phi.dst);
+            }
+        }
+    }
+    ivs
+}
+
+const MAX_DEPTH: u32 = 24;
+
+fn classify_operand(
+    op: SsaOperand,
+    ssa: &SsaProc,
+    sccp: &SccpResult,
+    ivs: &HashSet<SsaName>,
+    depth: u32,
+) -> SubscriptClass {
+    // Constants first: this is where interprocedural facts enter.
+    if let LatticeVal::Const(c) = sccp.of_operand(op) {
+        return SubscriptClass::Constant(c);
+    }
+    let Some(name) = op.as_name() else {
+        return SubscriptClass::Nonlinear;
+    };
+    classify_name(name, ssa, sccp, ivs, depth)
+}
+
+fn classify_name(
+    name: SsaName,
+    ssa: &SsaProc,
+    sccp: &SccpResult,
+    ivs: &HashSet<SsaName>,
+    depth: u32,
+) -> SubscriptClass {
+    if depth > MAX_DEPTH {
+        return SubscriptClass::Nonlinear;
+    }
+    if let LatticeVal::Const(c) = sccp.values[name.index()] {
+        return SubscriptClass::Constant(c);
+    }
+    if ivs.contains(&name) {
+        let mut coefficients = BTreeMap::new();
+        coefficients.insert(name, 1i64);
+        return SubscriptClass::Linear {
+            offset: 0,
+            coefficients,
+        };
+    }
+    match ssa.def(name).site {
+        ipcp_ssa::DefSite::Instr { block, index } => {
+            let Some(blk) = ssa.block(block) else {
+                return SubscriptClass::Nonlinear;
+            };
+            match &blk.instrs[index] {
+                SsaInstr::Copy { src, .. } => classify_operand(*src, ssa, sccp, ivs, depth + 1),
+                SsaInstr::Unary {
+                    op: UnOp::Neg, src, ..
+                } => scale(classify_operand(*src, ssa, sccp, ivs, depth + 1), -1),
+                SsaInstr::Binary { op, lhs, rhs, .. } => {
+                    let l = classify_operand(*lhs, ssa, sccp, ivs, depth + 1);
+                    let r = classify_operand(*rhs, ssa, sccp, ivs, depth + 1);
+                    combine(*op, l, r)
+                }
+                _ => SubscriptClass::Nonlinear,
+            }
+        }
+        _ => SubscriptClass::Nonlinear,
+    }
+}
+
+fn scale(class: SubscriptClass, factor: i64) -> SubscriptClass {
+    match class {
+        SubscriptClass::Constant(c) => SubscriptClass::Constant(c.wrapping_mul(factor)),
+        SubscriptClass::Linear {
+            offset,
+            coefficients,
+        } => SubscriptClass::Linear {
+            offset: offset.wrapping_mul(factor),
+            coefficients: coefficients
+                .into_iter()
+                .map(|(iv, c)| (iv, c.wrapping_mul(factor)))
+                .collect(),
+        },
+        SubscriptClass::Nonlinear => SubscriptClass::Nonlinear,
+    }
+}
+
+fn combine(op: BinOp, l: SubscriptClass, r: SubscriptClass) -> SubscriptClass {
+    use SubscriptClass::*;
+    match op {
+        BinOp::Add | BinOp::Sub => {
+            let r = if op == BinOp::Sub { scale(r, -1) } else { r };
+            match (l, r) {
+                (Nonlinear, _) | (_, Nonlinear) => Nonlinear,
+                (Constant(a), Constant(b)) => Constant(a.wrapping_add(b)),
+                (
+                    Constant(a),
+                    Linear {
+                        offset,
+                        coefficients,
+                    },
+                )
+                | (
+                    Linear {
+                        offset,
+                        coefficients,
+                    },
+                    Constant(a),
+                ) => Linear {
+                    offset: offset.wrapping_add(a),
+                    coefficients,
+                },
+                (
+                    Linear {
+                        offset: o1,
+                        coefficients: c1,
+                    },
+                    Linear {
+                        offset: o2,
+                        coefficients: c2,
+                    },
+                ) => {
+                    let mut coefficients = c1;
+                    for (iv, c) in c2 {
+                        let e = coefficients.entry(iv).or_insert(0);
+                        *e = e.wrapping_add(c);
+                    }
+                    coefficients.retain(|_, c| *c != 0);
+                    if coefficients.is_empty() {
+                        Constant(o1.wrapping_add(o2))
+                    } else {
+                        Linear {
+                            offset: o1.wrapping_add(o2),
+                            coefficients,
+                        }
+                    }
+                }
+            }
+        }
+        BinOp::Mul => match (l, r) {
+            (Constant(a), Constant(b)) => Constant(a.wrapping_mul(b)),
+            (Constant(a), other) | (other, Constant(a)) => scale(other, a),
+            _ => Nonlinear,
+        },
+        _ => Nonlinear,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sccp::{bottom_entry, sccp, PessimisticCalls, SccpConfig};
+    use ipcp_ir::compile_to_ir;
+    use ipcp_ssa::{build_ssa, WorstCaseKills};
+
+    fn counts(src: &str, proc_name: &str, seeds: &[(&str, i64)]) -> SubscriptCounts {
+        let program = compile_to_ir(src).expect("compiles");
+        let pid = program.proc_by_name(proc_name).expect("proc");
+        let proc = program.proc(pid);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let env = |v: ipcp_ir::VarId| -> LatticeVal {
+            for (name, value) in seeds {
+                if proc.var(v).name == *name {
+                    return LatticeVal::Const(*value);
+                }
+            }
+            bottom_entry(v)
+        };
+        let result = sccp(
+            proc,
+            &ssa,
+            &SccpConfig {
+                entry_env: &env,
+                calls: &PessimisticCalls,
+            },
+        );
+        count_subscripts(proc, &ssa, &result)
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        let c = counts(
+            "main\ninteger a(9)\na(3) = 1\nx = a(2 + 2)\nend\n",
+            "main",
+            &[],
+        );
+        assert_eq!(
+            c,
+            SubscriptCounts {
+                constant: 2,
+                linear: 0,
+                nonlinear: 0
+            }
+        );
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn loop_index_is_linear() {
+        let src = "main\ninteger a(10)\ndo i = 1, 10\na(i) = i\nend\nend\n";
+        let c = counts(src, "main", &[]);
+        assert_eq!(
+            c,
+            SubscriptCounts {
+                constant: 0,
+                linear: 1,
+                nonlinear: 0
+            }
+        );
+    }
+
+    #[test]
+    fn affine_of_loop_index_is_linear() {
+        let src =
+            "main\ninteger a(40)\ndo i = 1, 10\na(3 * i + 2) = i\nx = a(2 * i - 1)\nend\nend\n";
+        let c = counts(src, "main", &[]);
+        assert_eq!(c.linear, 2);
+        assert_eq!(c.nonlinear, 0);
+    }
+
+    #[test]
+    fn product_of_indices_is_nonlinear() {
+        let src = "main\ninteger a(100)\ndo i = 1, 9\ndo j = 1, 9\na(i * j) = 1\nend\nend\nend\n";
+        let c = counts(src, "main", &[]);
+        assert_eq!(c.nonlinear, 1);
+    }
+
+    #[test]
+    fn multi_iv_affine_is_linear() {
+        let src = "main\ninteger a(100)\ndo i = 1, 9\ndo j = 1, 9\na(10 * i + j - 10) = 1\nend\nend\nend\n";
+        let c = counts(src, "main", &[]);
+        assert_eq!(
+            c,
+            SubscriptCounts {
+                constant: 0,
+                linear: 1,
+                nonlinear: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_stride_is_nonlinear_until_seeded() {
+        // The Shen–Li–Yew effect: a(stride * i) with formal stride.
+        let src = "proc f(stride)\ninteger a(100)\ndo i = 1, 10\na(stride * i) = 1\nend\nend\nmain\ncall f(7)\nend\n";
+        let without = counts(src, "f", &[]);
+        assert_eq!(
+            without,
+            SubscriptCounts {
+                constant: 0,
+                linear: 0,
+                nonlinear: 1
+            }
+        );
+        let with = counts(src, "f", &[("stride", 7)]);
+        assert_eq!(
+            with,
+            SubscriptCounts {
+                constant: 0,
+                linear: 1,
+                nonlinear: 0
+            }
+        );
+    }
+
+    #[test]
+    fn read_values_are_nonlinear() {
+        let src = "main\ninteger a(9)\nread(k)\nx = a(k)\nend\n";
+        let c = counts(src, "main", &[]);
+        assert_eq!(c.nonlinear, 1);
+    }
+
+    #[test]
+    fn classification_details() {
+        let src = "main\ninteger a(40)\ndo i = 1, 10\na(3 * i + 2) = 1\nend\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let result = sccp(
+            proc,
+            &ssa,
+            &SccpConfig {
+                entry_env: &bottom_entry,
+                calls: &PessimisticCalls,
+            },
+        );
+        let classes = classify_subscripts(proc, &ssa, &result);
+        assert_eq!(classes.len(), 1);
+        match &classes[0] {
+            SubscriptClass::Linear {
+                offset,
+                coefficients,
+            } => {
+                assert_eq!(*offset, 2);
+                assert_eq!(coefficients.len(), 1);
+                assert_eq!(*coefficients.values().next().unwrap(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_absorb() {
+        let mut a = SubscriptCounts {
+            constant: 1,
+            linear: 2,
+            nonlinear: 3,
+        };
+        a.absorb(SubscriptCounts {
+            constant: 4,
+            linear: 5,
+            nonlinear: 6,
+        });
+        assert_eq!(
+            a,
+            SubscriptCounts {
+                constant: 5,
+                linear: 7,
+                nonlinear: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,667 @@
+//! Symbolic evaluation over SSA — the analogue of the paper's "SSA-based
+//! value number graph" (§4.1).
+//!
+//! Every SSA name receives a [`Sym`]: either a context-independent
+//! [`SymExpr`] over the procedure's entry slots, or ⊥. Formals and
+//! globals start as themselves; locals' undefined entry values, real
+//! values, array loads, and `read` results are ⊥ (paper §4,
+//! limitations 1–2). Phi nodes meet their arguments structurally: equal
+//! expressions survive, anything else (including loop-carried values) is
+//! ⊥ — a single pessimistic reverse-postorder pass, which is exactly as
+//! strong as the paper's value numbering needs to be.
+//!
+//! The effect of calls on the caller's values (killed by-ref actuals,
+//! killed globals, function results) is delegated to a
+//! [`CallSymbolics`] provider; `ipcp-core` plugs in return-jump-function
+//! evaluation there, and [`NoCallSymbolics`] models the
+//! no-return-jump-function configurations.
+
+use crate::modref::Slot;
+use crate::symexpr::SymExpr;
+use ipcp_ir::{GlobalId, ProcId, Procedure, VarKind};
+use ipcp_lang::ast::{BinOp, UnOp};
+use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc};
+
+/// A symbolic value: a representable expression or ⊥.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// A context-independent expression over entry slots.
+    Expr(SymExpr),
+    /// Not representable / not constant.
+    Bottom,
+}
+
+impl Sym {
+    /// A constant symbolic value.
+    pub fn constant(c: i64) -> Sym {
+        Sym::Expr(SymExpr::constant(c))
+    }
+
+    /// The expression, if any.
+    pub fn as_expr(&self) -> Option<&SymExpr> {
+        match self {
+            Sym::Expr(e) => Some(e),
+            Sym::Bottom => None,
+        }
+    }
+
+    /// The constant, if the value is one.
+    pub fn as_const(&self) -> Option<i64> {
+        self.as_expr().and_then(SymExpr::as_const)
+    }
+
+    /// True for ⊥.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, Sym::Bottom)
+    }
+}
+
+/// Supplies the symbolic value of a callee slot after a call.
+pub trait CallSymbolics {
+    /// Value of `slot` (a formal, global, or [`Slot::Result`]) of `callee`
+    /// after a call whose actual argument values are `arg_sym(k)` and
+    /// whose caller-side global values are `global_sym(g)`.
+    fn slot_after_call(
+        &self,
+        callee: ProcId,
+        slot: Slot,
+        arg_sym: &dyn Fn(u32) -> Sym,
+        global_sym: &dyn Fn(GlobalId) -> Sym,
+    ) -> Sym;
+}
+
+/// Conservative provider: everything a call touches becomes ⊥ (the
+/// "no return jump functions" configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCallSymbolics;
+
+impl CallSymbolics for NoCallSymbolics {
+    fn slot_after_call(
+        &self,
+        _callee: ProcId,
+        _slot: Slot,
+        _arg_sym: &dyn Fn(u32) -> Sym,
+        _global_sym: &dyn Fn(GlobalId) -> Sym,
+    ) -> Sym {
+        Sym::Bottom
+    }
+}
+
+/// Options for symbolic evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymEvalOptions {
+    /// Build gated (γ) values for two-way if-join phis instead of ⊥ when
+    /// the branch values differ — the gated-single-assignment extension
+    /// the paper sketches in §4.2. Off by default (the paper's analyzer
+    /// did not do this; it needed iterated dead-code elimination to get
+    /// the same effect).
+    pub gated_phis: bool,
+}
+
+/// Symbolic values of every SSA name of one procedure.
+#[derive(Debug, Clone)]
+pub struct SymMap {
+    values: Vec<Sym>,
+}
+
+impl SymMap {
+    /// The value of `name`.
+    pub fn of(&self, name: SsaName) -> &Sym {
+        &self.values[name.index()]
+    }
+
+    /// The value of an operand (literals become constant expressions;
+    /// real literals are ⊥).
+    pub fn of_operand(&self, op: SsaOperand) -> Sym {
+        match op {
+            SsaOperand::Const(c) => Sym::constant(c),
+            SsaOperand::RealConst(_) => Sym::Bottom,
+            SsaOperand::Name(n) => self.values[n.index()].clone(),
+        }
+    }
+
+    /// Number of tracked names.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Runs symbolic evaluation for `proc` with default options.
+pub fn symbolic_eval(proc: &Procedure, ssa: &SsaProc, calls: &dyn CallSymbolics) -> SymMap {
+    symbolic_eval_with(proc, ssa, calls, SymEvalOptions::default())
+}
+
+/// Runs symbolic evaluation for `proc`.
+pub fn symbolic_eval_with(
+    proc: &Procedure,
+    ssa: &SsaProc,
+    calls: &dyn CallSymbolics,
+    options: SymEvalOptions,
+) -> SymMap {
+    let mut values: Vec<Option<Sym>> = vec![None; ssa.name_count()];
+
+    // Entry names: formals and globals are themselves; everything else ⊥.
+    for (&var, &name) in &ssa.entry_names {
+        let decl = proc.var(var);
+        let sym = if decl.ty == ipcp_lang::ast::Ty::INT {
+            match decl.kind {
+                VarKind::Formal(i) => Sym::Expr(SymExpr::var(Slot::Formal(i))),
+                VarKind::Global(g) => Sym::Expr(SymExpr::var(Slot::Global(g))),
+                VarKind::Local | VarKind::Temp => Sym::Bottom,
+            }
+        } else {
+            Sym::Bottom
+        };
+        values[name.index()] = Some(sym);
+    }
+
+    let mut eval = Evaluator {
+        proc,
+        ssa,
+        calls,
+        values,
+        options,
+    };
+    for &b in &eval.ssa.cfg.rpo.clone() {
+        eval.eval_block(b);
+    }
+
+    SymMap {
+        values: eval
+            .values
+            .into_iter()
+            .map(|v| v.unwrap_or(Sym::Bottom))
+            .collect(),
+    }
+}
+
+struct Evaluator<'a> {
+    proc: &'a Procedure,
+    ssa: &'a SsaProc,
+    calls: &'a dyn CallSymbolics,
+    values: Vec<Option<Sym>>,
+    options: SymEvalOptions,
+}
+
+impl Evaluator<'_> {
+    fn operand(&self, op: SsaOperand) -> Sym {
+        match op {
+            SsaOperand::Const(c) => Sym::constant(c),
+            SsaOperand::RealConst(_) => Sym::Bottom,
+            SsaOperand::Name(n) => {
+                // Dominance + RPO guarantee non-phi uses are computed;
+                // back-edge phi arguments are handled at the phi itself.
+                self.values[n.index()].clone().unwrap_or(Sym::Bottom)
+            }
+        }
+    }
+
+    fn set(&mut self, name: SsaName, sym: Sym) {
+        self.values[name.index()] = Some(sym);
+    }
+
+    fn eval_block(&mut self, b: ipcp_ir::BlockId) {
+        let block = self.ssa.block(b).expect("reachable").clone();
+
+        for phi in &block.phis {
+            let mut merged: Option<Sym> = None;
+            let mut bottom = false;
+            for &(_, arg) in &phi.args {
+                let v = match &self.values[arg.index()] {
+                    Some(v) => v.clone(),
+                    None => Sym::Bottom, // back edge: pessimistic
+                };
+                match (&merged, &v) {
+                    (_, Sym::Bottom) => {
+                        bottom = true;
+                        break;
+                    }
+                    (None, _) => merged = Some(v),
+                    (Some(m), _) => {
+                        if *m != v {
+                            bottom = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            let mut result = match (bottom, merged) {
+                (false, Some(v)) => v,
+                _ => Sym::Bottom,
+            };
+            if result.is_bottom() && self.options.gated_phis {
+                if let Some(gated) = self.gated_phi(b, phi) {
+                    result = gated;
+                }
+            }
+            self.set(phi.dst, result);
+        }
+
+        for instr in &block.instrs {
+            self.eval_instr(instr);
+        }
+    }
+
+    /// Attempts to build a gated (γ) value for a two-way if-join phi: the
+    /// immediate dominator must end in a branch whose arms dominate the
+    /// two (forward-edge) predecessors exclusively, with the arm blocks
+    /// entered only from that branch.
+    fn gated_phi(&self, b: ipcp_ir::BlockId, phi: &ipcp_ssa::Phi) -> Option<Sym> {
+        let [(p1, n1), (p2, n2)] = phi.args[..] else {
+            return None;
+        };
+        let my_rpo = self.ssa.cfg.rpo_index[b.index()];
+        if self.ssa.cfg.rpo_index[p1.index()] >= my_rpo
+            || self.ssa.cfg.rpo_index[p2.index()] >= my_rpo
+        {
+            return None; // back edge: not an if-join
+        }
+        let d = self.ssa.dom.idom(b)?;
+        let d_block = self.ssa.block(d)?;
+        let ipcp_ssa::SsaTerminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } = d_block.term
+        else {
+            return None;
+        };
+        if then_bb == else_bb {
+            return None;
+        }
+        // The arms must be entered only through the branch.
+        if self.ssa.cfg.preds[then_bb.index()].len() != 1
+            || self.ssa.cfg.preds[else_bb.index()].len() != 1
+        {
+            return None;
+        }
+        let classify = |p: ipcp_ir::BlockId| -> Option<bool> {
+            let via_then = self.ssa.dom.dominates(then_bb, p);
+            let via_else = self.ssa.dom.dominates(else_bb, p);
+            match (via_then, via_else) {
+                (true, false) => Some(true),
+                (false, true) => Some(false),
+                _ => None,
+            }
+        };
+        let (then_name, else_name) = match (classify(p1)?, classify(p2)?) {
+            (true, false) => (n1, n2),
+            (false, true) => (n2, n1),
+            _ => return None,
+        };
+        let cond_sym = match cond {
+            SsaOperand::Const(c) => Sym::constant(c),
+            SsaOperand::RealConst(_) => Sym::Bottom,
+            SsaOperand::Name(n) => self.values[n.index()].clone().unwrap_or(Sym::Bottom),
+        };
+        let cond_expr = cond_sym.as_expr()?;
+        let then_sym = self.values[then_name.index()]
+            .clone()
+            .unwrap_or(Sym::Bottom);
+        let else_sym = self.values[else_name.index()]
+            .clone()
+            .unwrap_or(Sym::Bottom);
+        let gate =
+            crate::symexpr::SymExpr::gate(cond_expr, then_sym.as_expr(), else_sym.as_expr())?;
+        Some(Sym::Expr(gate))
+    }
+
+    fn eval_instr(&mut self, instr: &SsaInstr) {
+        match instr {
+            SsaInstr::Copy { dst, src } => {
+                let v = self.operand(*src);
+                self.set(*dst, v);
+            }
+            SsaInstr::Unary { dst, op, src } => {
+                let v = self.operand(*src);
+                let r = match (op, v) {
+                    (_, Sym::Bottom) => Sym::Bottom,
+                    (UnOp::Neg, Sym::Expr(e)) => SymExpr::neg(&e).map_or(Sym::Bottom, Sym::Expr),
+                    (UnOp::Not, Sym::Expr(e)) => SymExpr::not(&e).map_or(Sym::Bottom, Sym::Expr),
+                };
+                self.set(*dst, r);
+            }
+            SsaInstr::Binary { dst, op, lhs, rhs } => {
+                let l = self.operand(*lhs);
+                let r = self.operand(*rhs);
+                self.set(*dst, sym_binop(*op, &l, &r));
+            }
+            SsaInstr::IntToReal { dst, .. }
+            | SsaInstr::Load { dst, .. }
+            | SsaInstr::Read { dst } => {
+                self.set(*dst, Sym::Bottom);
+            }
+            SsaInstr::Store { .. } | SsaInstr::Print { .. } => {}
+            SsaInstr::Call {
+                callee,
+                args,
+                dst,
+                kills,
+                globals_in,
+            } => {
+                let arg_sym = |k: u32| -> Sym {
+                    match args.get(k as usize).and_then(|a| a.value) {
+                        Some(op) => match op {
+                            SsaOperand::Const(c) => Sym::constant(c),
+                            SsaOperand::RealConst(_) => Sym::Bottom,
+                            SsaOperand::Name(n) => {
+                                self.values[n.index()].clone().unwrap_or(Sym::Bottom)
+                            }
+                        },
+                        None => Sym::Bottom,
+                    }
+                };
+                // A global absent from the caller's table is ⊥: the driver
+                // augments tables with every transitively-touched global
+                // (`modref::augment_global_vars`), which both preserves its
+                // flow-sensitive value here and lets pass-through detection
+                // see an untouched global as its own entry value.
+                let global_sym = |g: GlobalId| -> Sym {
+                    for &(var, name) in globals_in {
+                        if self.proc.var(var).kind == VarKind::Global(g) {
+                            return self.values[name.index()].clone().unwrap_or(Sym::Bottom);
+                        }
+                    }
+                    Sym::Bottom
+                };
+
+                let mut updates: Vec<(SsaName, Sym)> = Vec::new();
+                for kill in kills {
+                    let slot = args
+                        .iter()
+                        .position(|a| a.by_ref_var == Some(kill.var))
+                        .map(|k| Slot::Formal(k as u32))
+                        .or_else(|| match self.proc.var(kill.var).kind {
+                            VarKind::Global(g) => Some(Slot::Global(g)),
+                            _ => None,
+                        });
+                    let sym = match slot {
+                        Some(slot) if self.proc.var(kill.var).ty == ipcp_lang::ast::Ty::INT => self
+                            .calls
+                            .slot_after_call(*callee, slot, &arg_sym, &global_sym),
+                        _ => Sym::Bottom,
+                    };
+                    updates.push((kill.name, sym));
+                }
+                if let Some(d) = dst {
+                    let sym =
+                        self.calls
+                            .slot_after_call(*callee, Slot::Result, &arg_sym, &global_sym);
+                    updates.push((*d, sym));
+                }
+                for (name, sym) in updates {
+                    self.set(name, sym);
+                }
+            }
+        }
+    }
+}
+
+/// Symbolic transfer function of one binary operation.
+pub fn sym_binop(op: BinOp, l: &Sym, r: &Sym) -> Sym {
+    // Absorbing shortcuts survive a ⊥ on the other side.
+    let (cl, cr) = (l.as_const(), r.as_const());
+    match op {
+        BinOp::Mul | BinOp::And if cl == Some(0) || cr == Some(0) => {
+            return Sym::constant(0);
+        }
+        BinOp::Or if cl.is_some_and(|c| c != 0) || cr.is_some_and(|c| c != 0) => {
+            return Sym::constant(1);
+        }
+        _ => {}
+    }
+    match (l, r) {
+        (Sym::Expr(a), Sym::Expr(b)) => SymExpr::binop(op, a, b).map_or(Sym::Bottom, Sym::Expr),
+        _ => Sym::Bottom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::{compile_to_ir, Program};
+    use ipcp_ssa::{build_ssa, WorstCaseKills};
+
+    /// Returns the symbolic value of the operand printed by the first
+    /// `print` in `proc_name`.
+    fn sym_of_first_print(src: &str, proc_name: &str) -> Sym {
+        let (program, ssa, map) = eval_proc(src, proc_name);
+        let _ = program;
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    return map.of_operand(*value);
+                }
+            }
+        }
+        panic!("no print in {proc_name}");
+    }
+
+    fn eval_proc(src: &str, proc_name: &str) -> (Program, SsaProc, SymMap) {
+        let program = compile_to_ir(src).expect("compiles");
+        let pid = program.proc_by_name(proc_name).expect("proc");
+        let proc = program.proc(pid);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let map = symbolic_eval(proc, &ssa, &NoCallSymbolics);
+        (program, ssa, map)
+    }
+
+    #[test]
+    fn constants_fold_through_straight_line() {
+        let s = sym_of_first_print("main\nx = 2\ny = x * 3 + 4\nprint(y)\nend\n", "main");
+        assert_eq!(s.as_const(), Some(10));
+    }
+
+    #[test]
+    fn formals_are_symbolic() {
+        let s = sym_of_first_print(
+            "proc f(a, b)\nprint(a * 2 + b)\nend\nmain\ncall f(1, 2)\nend\n",
+            "f",
+        );
+        let e = s.as_expr().expect("expression");
+        assert_eq!(e.support().len(), 2);
+        assert!(e.support().contains(&Slot::Formal(0)));
+        assert!(e.support().contains(&Slot::Formal(1)));
+    }
+
+    #[test]
+    fn pass_through_shape_detected() {
+        let s = sym_of_first_print(
+            "proc f(a)\nx = a\ny = x + 0\nprint(y)\nend\nmain\ncall f(1)\nend\n",
+            "f",
+        );
+        assert_eq!(s.as_expr().and_then(SymExpr::as_var), Some(Slot::Formal(0)));
+    }
+
+    #[test]
+    fn globals_are_symbolic() {
+        let s = sym_of_first_print("global n\nmain\nprint(n + 1)\nend\n", "main");
+        let e = s.as_expr().unwrap();
+        assert_eq!(e.support().len(), 1);
+    }
+
+    #[test]
+    fn reads_and_loads_are_bottom() {
+        let s = sym_of_first_print("main\nread(x)\nprint(x)\nend\n", "main");
+        assert!(s.is_bottom());
+        let s = sym_of_first_print("main\ninteger a(3)\nprint(a(1))\nend\n", "main");
+        assert!(s.is_bottom());
+    }
+
+    #[test]
+    fn reals_are_bottom() {
+        let s = sym_of_first_print("main\nreal r\nr = 1.5\nprint(r)\nend\n", "main");
+        assert!(s.is_bottom());
+        // Comparisons against reals too.
+        let s = sym_of_first_print("main\nreal r\nprint(r < 2.0)\nend\n", "main");
+        assert!(s.is_bottom());
+    }
+
+    #[test]
+    fn equal_branch_values_merge() {
+        let src = "proc f(a, c)\nif c then\nx = a + 1\nelse\nx = a + 1\nend\nprint(x)\nend\nmain\ncall f(1, 2)\nend\n";
+        let s = sym_of_first_print(src, "f");
+        let e = s.as_expr().expect("merged");
+        assert!(e.support().contains(&Slot::Formal(0)));
+    }
+
+    #[test]
+    fn unequal_branch_values_are_bottom() {
+        let src = "proc f(a, c)\nif c then\nx = a + 1\nelse\nx = a + 2\nend\nprint(x)\nend\nmain\ncall f(1, 2)\nend\n";
+        assert!(sym_of_first_print(src, "f").is_bottom());
+    }
+
+    #[test]
+    fn loop_carried_values_are_bottom() {
+        let src = "main\ns = 0\ndo i = 1, 3\ns = s + i\nend\nprint(s)\nend\n";
+        assert!(sym_of_first_print(src, "main").is_bottom());
+    }
+
+    #[test]
+    fn value_unmodified_through_loop_stays_symbolic() {
+        let src =
+            "proc f(n)\ns = 0\ndo i = 1, 10\ns = s + 1\nend\nprint(n)\nend\nmain\ncall f(4)\nend\n";
+        let s = sym_of_first_print(src, "f");
+        assert_eq!(s.as_expr().and_then(SymExpr::as_var), Some(Slot::Formal(0)));
+    }
+
+    #[test]
+    fn calls_kill_values_without_return_info() {
+        let src = "global g\nproc touch()\ng = 1\nend\nproc f()\ng = 5\ncall touch()\nprint(g)\nend\nmain\ncall f()\nend\n";
+        assert!(sym_of_first_print(src, "f").is_bottom());
+    }
+
+    #[test]
+    fn value_before_call_is_still_constant() {
+        let src = "global g\nproc touch()\ng = 1\nend\nproc f()\ng = 5\nprint(g)\ncall touch()\nend\nmain\ncall f()\nend\n";
+        let s = sym_of_first_print(src, "f");
+        assert_eq!(s.as_const(), Some(5));
+    }
+
+    #[test]
+    fn function_results_bottom_without_return_info() {
+        let src = "func g(x)\nreturn 3\nend\nmain\ny = g(1)\nprint(y)\nend\n";
+        assert!(sym_of_first_print(src, "main").is_bottom());
+    }
+
+    #[test]
+    fn custom_call_symbolics_applied() {
+        // A provider that claims every touched slot becomes 42.
+        struct FortyTwo;
+        impl CallSymbolics for FortyTwo {
+            fn slot_after_call(
+                &self,
+                _c: ProcId,
+                _s: Slot,
+                _a: &dyn Fn(u32) -> Sym,
+                _g: &dyn Fn(GlobalId) -> Sym,
+            ) -> Sym {
+                Sym::constant(42)
+            }
+        }
+        let src = "func g(x)\nreturn 3\nend\nmain\ny = g(1)\nprint(y)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let map = symbolic_eval(proc, &ssa, &FortyTwo);
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert_eq!(map.of_operand(*value).as_const(), Some(42));
+                    return;
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn division_symbolics() {
+        let s = sym_of_first_print("proc f(a)\nprint(a / 2)\nend\nmain\ncall f(8)\nend\n", "f");
+        let e = s.as_expr().expect("division is representable");
+        assert_eq!(e.eval(&|_| Some(9)), Some(4));
+        // Constant division folds.
+        let s = sym_of_first_print("main\nx = 7\nprint(x / 2)\nend\n", "main");
+        assert_eq!(s.as_const(), Some(3));
+        // Division by zero constant is ⊥.
+        let s = sym_of_first_print("main\nx = 7\nz = 0\nprint(x / z)\nend\n", "main");
+        assert!(s.is_bottom());
+    }
+
+    #[test]
+    fn gated_phi_builds_gamma_values() {
+        // Without gating the phi is ⊥; with gating it is a γ over `c`.
+        let src = "proc f(a, c)\nif c then\nx = a + 1\nelse\nx = 7\nend\nprint(x)\nend\nmain\ncall f(1, 2)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let pid = program.proc_by_name("f").unwrap();
+        let proc = program.proc(pid);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+
+        let plain = symbolic_eval(proc, &ssa, &NoCallSymbolics);
+        let gated = crate::symeval::symbolic_eval_with(
+            proc,
+            &ssa,
+            &NoCallSymbolics,
+            SymEvalOptions { gated_phis: true },
+        );
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert!(plain.of_operand(*value).is_bottom());
+                    let sym = gated.of_operand(*value);
+                    let e = sym.as_expr().expect("gated value");
+                    // c ≠ 0 selects a + 1; c = 0 selects 7.
+                    let env = |s: Slot| match s {
+                        Slot::Formal(0) => Some(4i64),
+                        Slot::Formal(1) => Some(1),
+                        _ => None,
+                    };
+                    assert_eq!(e.eval(&env), Some(5));
+                    let env0 = |s: Slot| match s {
+                        Slot::Formal(0) => Some(4i64),
+                        Slot::Formal(1) => Some(0),
+                        _ => None,
+                    };
+                    assert_eq!(e.eval(&env0), Some(7));
+                    return;
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn gated_phi_skips_loops() {
+        // Loop-carried phis must stay ⊥ even with gating enabled.
+        let src = "main\ns = 0\ndo i = 1, 3\ns = s + i\nend\nprint(s)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let gated = crate::symeval::symbolic_eval_with(
+            proc,
+            &ssa,
+            &NoCallSymbolics,
+            SymEvalOptions { gated_phis: true },
+        );
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert!(gated.of_operand(*value).is_bottom());
+                    return;
+                }
+            }
+        }
+        panic!("no print");
+    }
+
+    #[test]
+    fn mul_zero_absorbs_bottom() {
+        let s = sym_of_first_print("main\nread(x)\nprint(x * 0)\nend\n", "main");
+        assert_eq!(s.as_const(), Some(0));
+    }
+}

@@ -1,0 +1,837 @@
+//! Context-independent symbolic expressions over procedure entry slots.
+//!
+//! The paper's jump-function generator "can build an arbitrarily complex
+//! representation for an arithmetic expression … converted into a
+//! context-independent representation" (§4.1). [`SymExpr`] is that
+//! representation: polynomials (the `+ - *` fragment, kept in canonical
+//! form by [`crate::poly`]) plus opaque operator nodes for division,
+//! remainder, comparisons, and logical operators, so *all* standard
+//! integer operations are supported (§3.1.4).
+//!
+//! Expressions are persistent (`Rc`-shared) and size-bounded; smart
+//! constructors return `None` when a result would exceed [`MAX_NODES`],
+//! and callers treat that as ⊥.
+
+use crate::lattice::LatticeVal;
+use crate::modref::Slot;
+use crate::poly::Poly;
+use ipcp_lang::ast::BinOp;
+use ipcp_lang::interp::eval_binop_int;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// Maximum weight (roughly, node count) of one expression.
+pub const MAX_NODES: u32 = 512;
+
+/// A symbolic integer expression over entry slots.
+#[derive(Debug, Clone)]
+pub enum SymExpr {
+    /// A polynomial (canonical form for `+ - *` and constants).
+    Poly(Poly),
+    /// An opaque binary operation (division, remainder, comparison,
+    /// logical).
+    Node {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Rc<SymExpr>,
+        /// Right operand.
+        rhs: Rc<SymExpr>,
+        /// Cached weight.
+        size: u32,
+    },
+    /// Logical negation (`not e`).
+    Not {
+        /// Operand.
+        inner: Rc<SymExpr>,
+        /// Cached weight.
+        size: u32,
+    },
+    /// A gated (γ) value: `then_val` when `cond ≠ 0`, `else_val`
+    /// otherwise. `None` branches are ⊥ (unrepresentable on that side).
+    /// This is the gated-single-assignment extension the paper sketches
+    /// in §4.2 — it lets a jump function carry a branch-dependent value
+    /// that the interprocedural phase resolves once the predicate's
+    /// inputs are known.
+    Gate {
+        /// The branch predicate.
+        cond: Rc<SymExpr>,
+        /// Value on the non-zero side (`None` = ⊥).
+        then_val: Option<Rc<SymExpr>>,
+        /// Value on the zero side (`None` = ⊥).
+        else_val: Option<Rc<SymExpr>>,
+        /// Cached weight.
+        size: u32,
+    },
+}
+
+impl PartialEq for SymExpr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (SymExpr::Poly(a), SymExpr::Poly(b)) => a == b,
+            (
+                SymExpr::Node {
+                    op: oa,
+                    lhs: la,
+                    rhs: ra,
+                    ..
+                },
+                SymExpr::Node {
+                    op: ob,
+                    lhs: lb,
+                    rhs: rb,
+                    ..
+                },
+            ) => oa == ob && (Rc::ptr_eq(la, lb) || la == lb) && (Rc::ptr_eq(ra, rb) || ra == rb),
+            (SymExpr::Not { inner: a, .. }, SymExpr::Not { inner: b, .. }) => {
+                Rc::ptr_eq(a, b) || a == b
+            }
+            (
+                SymExpr::Gate {
+                    cond: ca,
+                    then_val: ta,
+                    else_val: ea,
+                    ..
+                },
+                SymExpr::Gate {
+                    cond: cb,
+                    then_val: tb,
+                    else_val: eb,
+                    ..
+                },
+            ) => {
+                let rc_eq = |x: &Option<Rc<SymExpr>>, y: &Option<Rc<SymExpr>>| match (x, y) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => Rc::ptr_eq(x, y) || x == y,
+                    _ => false,
+                };
+                (Rc::ptr_eq(ca, cb) || ca == cb) && rc_eq(ta, tb) && rc_eq(ea, eb)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SymExpr {}
+
+impl SymExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> SymExpr {
+        SymExpr::Poly(Poly::constant(c))
+    }
+
+    /// The entry value of `slot`.
+    pub fn var(slot: Slot) -> SymExpr {
+        SymExpr::Poly(Poly::var(slot))
+    }
+
+    /// Expression weight (used for the size cap).
+    pub fn size(&self) -> u32 {
+        match self {
+            SymExpr::Poly(p) => 1 + p.term_count() as u32,
+            SymExpr::Node { size, .. } | SymExpr::Not { size, .. } | SymExpr::Gate { size, .. } => {
+                *size
+            }
+        }
+    }
+
+    /// The constant value, if the expression is a constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            SymExpr::Poly(p) => p.as_const(),
+            _ => None,
+        }
+    }
+
+    /// The single slot, if the expression is exactly one entry value (the
+    /// pass-through shape).
+    pub fn as_var(&self) -> Option<Slot> {
+        match self {
+            SymExpr::Poly(p) => p.as_var(),
+            _ => None,
+        }
+    }
+
+    /// The polynomial, if the expression is one.
+    pub fn as_poly(&self) -> Option<&Poly> {
+        match self {
+            SymExpr::Poly(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Applies `op`, folding constants and keeping the polynomial fragment
+    /// canonical. Returns `None` when the result is not representable
+    /// (compile-time division by zero, or size caps exceeded) — callers
+    /// treat that as ⊥.
+    pub fn binop(op: BinOp, a: &SymExpr, b: &SymExpr) -> Option<SymExpr> {
+        // Constant folding first (also catches div/rem by a zero constant).
+        if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+            return eval_binop_int(op, x, y).ok().map(SymExpr::constant);
+        }
+
+        // Algebraic shortcuts that are sound under wrapping semantics.
+        let (ca, cb) = (a.as_const(), b.as_const());
+        match op {
+            BinOp::Mul | BinOp::And if ca == Some(0) || cb == Some(0) => {
+                return Some(SymExpr::constant(0));
+            }
+            BinOp::Mul if ca == Some(1) => return Some(b.clone()),
+            BinOp::Mul if cb == Some(1) => return Some(a.clone()),
+            BinOp::Add if ca == Some(0) => return Some(b.clone()),
+            BinOp::Add | BinOp::Sub if cb == Some(0) => return Some(a.clone()),
+            BinOp::Div if cb == Some(1) => return Some(a.clone()),
+            BinOp::Or if ca.is_some_and(|c| c != 0) || cb.is_some_and(|c| c != 0) => {
+                return Some(SymExpr::constant(1));
+            }
+            _ => {}
+        }
+
+        // Polynomial fragment.
+        if let (SymExpr::Poly(pa), SymExpr::Poly(pb)) = (a, b) {
+            let poly = match op {
+                BinOp::Add => pa.checked_add(pb),
+                BinOp::Sub => pa.checked_sub(pb),
+                BinOp::Mul => pa.checked_mul(pb),
+                _ => None,
+            };
+            if let Some(p) = poly {
+                return Some(SymExpr::Poly(p));
+            }
+        }
+
+        // Opaque node.
+        let size = 1u32.saturating_add(a.size()).saturating_add(b.size());
+        if size > MAX_NODES {
+            return None;
+        }
+        Some(SymExpr::Node {
+            op,
+            lhs: Rc::new(a.clone()),
+            rhs: Rc::new(b.clone()),
+            size,
+        })
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(a: &SymExpr) -> Option<SymExpr> {
+        if let SymExpr::Poly(p) = a {
+            return Some(SymExpr::Poly(p.neg()));
+        }
+        SymExpr::binop(BinOp::Sub, &SymExpr::constant(0), a)
+    }
+
+    /// Logical negation.
+    pub fn not(a: &SymExpr) -> Option<SymExpr> {
+        if let Some(c) = a.as_const() {
+            return Some(SymExpr::constant(i64::from(c == 0)));
+        }
+        let size = 1u32.saturating_add(a.size());
+        if size > MAX_NODES {
+            return None;
+        }
+        Some(SymExpr::Not {
+            inner: Rc::new(a.clone()),
+            size,
+        })
+    }
+
+    /// Builds a gated value (see [`SymExpr::Gate`]); `None` branches are
+    /// ⊥. Folds immediately when the predicate is constant, and collapses
+    /// to the shared value when both branches are equal. Returns `None`
+    /// when the result is entirely ⊥ or exceeds the size cap.
+    pub fn gate(
+        cond: &SymExpr,
+        then_val: Option<&SymExpr>,
+        else_val: Option<&SymExpr>,
+    ) -> Option<SymExpr> {
+        if let Some(c) = cond.as_const() {
+            let chosen = if c != 0 { then_val } else { else_val };
+            return chosen.cloned();
+        }
+        match (then_val, else_val) {
+            (None, None) => None,
+            (Some(a), Some(b)) if a == b => Some(a.clone()),
+            _ => {
+                let size = 1u32
+                    .saturating_add(cond.size())
+                    .saturating_add(then_val.map_or(0, SymExpr::size))
+                    .saturating_add(else_val.map_or(0, SymExpr::size));
+                if size > MAX_NODES {
+                    return None;
+                }
+                Some(SymExpr::Gate {
+                    cond: Rc::new(cond.clone()),
+                    then_val: then_val.map(|e| Rc::new(e.clone())),
+                    else_val: else_val.map(|e| Rc::new(e.clone())),
+                    size,
+                })
+            }
+        }
+    }
+
+    /// Slots the expression depends on (the jump function's *support*,
+    /// §2).
+    pub fn support(&self) -> BTreeSet<Slot> {
+        let mut out = BTreeSet::new();
+        self.collect_support(&mut out);
+        out
+    }
+
+    fn collect_support(&self, out: &mut BTreeSet<Slot>) {
+        match self {
+            SymExpr::Poly(p) => out.extend(p.support()),
+            SymExpr::Node { lhs, rhs, .. } => {
+                lhs.collect_support(out);
+                rhs.collect_support(out);
+            }
+            SymExpr::Not { inner, .. } => inner.collect_support(out),
+            SymExpr::Gate {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                cond.collect_support(out);
+                if let Some(t) = then_val {
+                    t.collect_support(out);
+                }
+                if let Some(e) = else_val {
+                    e.collect_support(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates with concrete slot values; `None` if a needed slot is
+    /// unmapped or evaluation would trap (division by zero).
+    pub fn eval(&self, env: &dyn Fn(Slot) -> Option<i64>) -> Option<i64> {
+        match self {
+            SymExpr::Poly(p) => p.eval(env),
+            SymExpr::Node { op, lhs, rhs, .. } => {
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                eval_binop_int(*op, l, r).ok()
+            }
+            SymExpr::Not { inner, .. } => Some(i64::from(inner.eval(env)? == 0)),
+            SymExpr::Gate {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                let c = cond.eval(env)?;
+                let chosen = if c != 0 { then_val } else { else_val };
+                chosen.as_ref()?.eval(env)
+            }
+        }
+    }
+
+    /// Evaluates over the three-level constant lattice: ⊥ inputs poison
+    /// the result, ⊤ inputs leave it optimistic, with the absorbing
+    /// shortcuts (`0 * x`, `0 and x`, `c≠0 or x`) applied.
+    pub fn eval_lattice(&self, env: &dyn Fn(Slot) -> LatticeVal) -> LatticeVal {
+        match self {
+            SymExpr::Poly(p) => {
+                if let Some(c) = p.as_const() {
+                    return LatticeVal::Const(c);
+                }
+                let mut any_top = false;
+                for s in p.support() {
+                    match env(s) {
+                        LatticeVal::Bottom => return LatticeVal::Bottom,
+                        LatticeVal::Top => any_top = true,
+                        LatticeVal::Const(_) => {}
+                    }
+                }
+                if any_top {
+                    return LatticeVal::Top;
+                }
+                match p.eval(&|s| env(s).as_const()) {
+                    Some(c) => LatticeVal::Const(c),
+                    None => LatticeVal::Bottom,
+                }
+            }
+            SymExpr::Node { op, lhs, rhs, .. } => {
+                let l = lhs.eval_lattice(env);
+                let r = rhs.eval_lattice(env);
+                lattice_binop(*op, l, r)
+            }
+            SymExpr::Not { inner, .. } => match inner.eval_lattice(env) {
+                LatticeVal::Const(c) => LatticeVal::Const(i64::from(c == 0)),
+                other => other,
+            },
+            SymExpr::Gate {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                let branch = |b: &Option<Rc<SymExpr>>| match b {
+                    Some(e) => e.eval_lattice(env),
+                    None => LatticeVal::Bottom,
+                };
+                match cond.eval_lattice(env) {
+                    LatticeVal::Const(c) => branch(if c != 0 { then_val } else { else_val }),
+                    LatticeVal::Top => LatticeVal::Top,
+                    // Unknown predicate: the value is one of the branches.
+                    LatticeVal::Bottom => branch(then_val).meet(branch(else_val)),
+                }
+            }
+        }
+    }
+
+    /// Substitutes every slot with `map(slot)`; returns `None` if any slot
+    /// is unmapped or the result exceeds the size caps. This is jump
+    /// function *composition* (used when return jump functions are folded
+    /// into a caller's symbolic state).
+    pub fn subst(&self, map: &dyn Fn(Slot) -> Option<SymExpr>) -> Option<SymExpr> {
+        match self {
+            SymExpr::Poly(p) => {
+                let mut acc = SymExpr::constant(0);
+                for (m, c) in p.terms() {
+                    let mut term = SymExpr::constant(c);
+                    for &(slot, exp) in m.factors() {
+                        let v = map(slot)?;
+                        for _ in 0..exp {
+                            term = SymExpr::binop(BinOp::Mul, &term, &v)?;
+                        }
+                    }
+                    acc = SymExpr::binop(BinOp::Add, &acc, &term)?;
+                }
+                Some(acc)
+            }
+            SymExpr::Node { op, lhs, rhs, .. } => {
+                let l = lhs.subst(map)?;
+                let r = rhs.subst(map)?;
+                SymExpr::binop(*op, &l, &r)
+            }
+            SymExpr::Not { inner, .. } => SymExpr::not(&inner.subst(map)?),
+            SymExpr::Gate {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                let c = cond.subst(map)?;
+                // A branch that fails to substitute degrades to ⊥ rather
+                // than poisoning the whole gate.
+                let t = then_val.as_ref().and_then(|e| e.subst(map));
+                let e = else_val.as_ref().and_then(|e| e.subst(map));
+                SymExpr::gate(&c, t.as_ref(), e.as_ref())
+            }
+        }
+    }
+}
+
+/// Lattice transfer function of one binary operator, including the
+/// absorbing shortcuts.
+pub fn lattice_binop(op: BinOp, l: LatticeVal, r: LatticeVal) -> LatticeVal {
+    use LatticeVal::*;
+    if let (Const(a), Const(b)) = (l, r) {
+        return match eval_binop_int(op, a, b) {
+            Ok(v) => Const(v),
+            Err(_) => Bottom, // a compile-time trap is not a constant
+        };
+    }
+    // Absorbing shortcuts (sound under wrapping semantics).
+    match op {
+        BinOp::Mul | BinOp::And if l == Const(0) || r == Const(0) => return Const(0),
+        BinOp::Or if matches!(l, Const(c) if c != 0) || matches!(r, Const(c) if c != 0) => {
+            return Const(1);
+        }
+        _ => {}
+    }
+    if l == Bottom || r == Bottom {
+        Bottom
+    } else {
+        Top
+    }
+}
+
+impl fmt::Display for SymExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymExpr::Poly(p) => write!(f, "{p}"),
+            SymExpr::Node { op, lhs, rhs, .. } => write!(f, "({lhs} {op} {rhs})"),
+            SymExpr::Not { inner, .. } => write!(f, "(not {inner})"),
+            SymExpr::Gate {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                let fmt_branch = |b: &Option<Rc<SymExpr>>| match b {
+                    Some(e) => e.to_string(),
+                    None => "⊥".to_string(),
+                };
+                write!(
+                    f,
+                    "γ({cond} ? {} : {})",
+                    fmt_branch(then_val),
+                    fmt_branch(else_val)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::GlobalId;
+
+    fn x() -> SymExpr {
+        SymExpr::var(Slot::Formal(0))
+    }
+
+    fn g() -> SymExpr {
+        SymExpr::var(Slot::Global(GlobalId(0)))
+    }
+
+    fn bin(op: BinOp, a: &SymExpr, b: &SymExpr) -> SymExpr {
+        SymExpr::binop(op, a, b).expect("representable")
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            bin(BinOp::Add, &SymExpr::constant(2), &SymExpr::constant(3)).as_const(),
+            Some(5)
+        );
+        assert_eq!(
+            bin(BinOp::Div, &SymExpr::constant(7), &SymExpr::constant(2)).as_const(),
+            Some(3)
+        );
+        assert_eq!(
+            bin(BinOp::Lt, &SymExpr::constant(1), &SymExpr::constant(2)).as_const(),
+            Some(1)
+        );
+        // Division by a zero constant is unrepresentable (⊥).
+        assert!(SymExpr::binop(BinOp::Div, &SymExpr::constant(1), &SymExpr::constant(0)).is_none());
+        assert!(SymExpr::binop(BinOp::Rem, &SymExpr::constant(1), &SymExpr::constant(0)).is_none());
+    }
+
+    #[test]
+    fn polynomial_fragment_stays_canonical() {
+        // (x + 1) + (x - 1) = 2x — still a polynomial, commutatively equal.
+        let a = bin(BinOp::Add, &x(), &SymExpr::constant(1));
+        let b = bin(BinOp::Sub, &x(), &SymExpr::constant(1));
+        let s1 = bin(BinOp::Add, &a, &b);
+        let s2 = bin(BinOp::Add, &b, &a);
+        assert_eq!(s1, s2);
+        assert!(s1.as_poly().is_some());
+        assert_eq!(s1.as_poly().unwrap().degree(), 1);
+    }
+
+    #[test]
+    fn pass_through_detection() {
+        assert_eq!(x().as_var(), Some(Slot::Formal(0)));
+        let x_plus_0 = bin(BinOp::Add, &x(), &SymExpr::constant(0));
+        assert_eq!(
+            x_plus_0.as_var(),
+            Some(Slot::Formal(0)),
+            "x + 0 simplifies to x"
+        );
+        let x_times_1 = bin(BinOp::Mul, &x(), &SymExpr::constant(1));
+        assert_eq!(x_times_1.as_var(), Some(Slot::Formal(0)));
+        // x - x + x normalizes back to x.
+        let e = bin(BinOp::Add, &bin(BinOp::Sub, &x(), &x()), &x());
+        assert_eq!(e.as_var(), Some(Slot::Formal(0)));
+    }
+
+    #[test]
+    fn division_becomes_opaque_node() {
+        let e = bin(BinOp::Div, &x(), &SymExpr::constant(2));
+        assert!(matches!(e, SymExpr::Node { .. }));
+        assert_eq!(e.as_const(), None);
+        // But it still evaluates.
+        let env = |s: Slot| if s == Slot::Formal(0) { Some(9) } else { None };
+        assert_eq!(e.eval(&env), Some(4));
+    }
+
+    #[test]
+    fn absorbing_shortcuts() {
+        assert_eq!(
+            bin(BinOp::Mul, &x(), &SymExpr::constant(0)).as_const(),
+            Some(0)
+        );
+        assert_eq!(
+            bin(BinOp::And, &SymExpr::constant(0), &x()).as_const(),
+            Some(0)
+        );
+        assert_eq!(
+            bin(BinOp::Or, &x(), &SymExpr::constant(5)).as_const(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn support_union() {
+        let e = bin(
+            BinOp::Div,
+            &bin(BinOp::Add, &x(), &g()),
+            &SymExpr::constant(2),
+        );
+        let s = e.support();
+        assert!(s.contains(&Slot::Formal(0)));
+        assert!(s.contains(&Slot::Global(GlobalId(0))));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn eval_matches_interpreter_semantics() {
+        // (x % 4) * (x / 2) at x = -7: rem truncates toward zero.
+        let e = bin(
+            BinOp::Mul,
+            &bin(BinOp::Rem, &x(), &SymExpr::constant(4)),
+            &bin(BinOp::Div, &x(), &SymExpr::constant(2)),
+        );
+        let env = |_: Slot| Some(-7i64);
+        assert_eq!(e.eval(&env), Some((-7 % 4) * (-7 / 2)));
+    }
+
+    #[test]
+    fn eval_runtime_div_zero_is_none() {
+        let e = bin(BinOp::Div, &SymExpr::constant(1), &x());
+        assert_eq!(e.eval(&|_| Some(0)), None);
+        assert_eq!(e.eval(&|_| Some(5)), Some(0));
+    }
+
+    #[test]
+    fn eval_lattice_levels() {
+        use LatticeVal::*;
+        let e = bin(BinOp::Add, &x(), &g());
+        assert_eq!(e.eval_lattice(&|_| Const(2)), Const(4));
+        assert_eq!(
+            e.eval_lattice(&|s| if s == Slot::Formal(0) { Const(2) } else { Top }),
+            Top
+        );
+        assert_eq!(
+            e.eval_lattice(&|s| if s == Slot::Formal(0) {
+                Const(2)
+            } else {
+                Bottom
+            }),
+            Bottom
+        );
+        // 0 * ⊥ = 0 via the shortcut.
+        let z = bin(BinOp::Div, &x(), &x()); // opaque, support {x}
+        let prod = SymExpr::binop(BinOp::Mul, &SymExpr::constant(0), &z);
+        // binop already folds 0 * anything.
+        assert_eq!(prod.unwrap().as_const(), Some(0));
+        assert_eq!(lattice_binop(BinOp::Mul, Const(0), Bottom), Const(0));
+        assert_eq!(lattice_binop(BinOp::Or, Bottom, Const(3)), Const(1));
+        assert_eq!(lattice_binop(BinOp::Add, Top, Bottom), Bottom);
+        assert_eq!(lattice_binop(BinOp::Add, Top, Const(1)), Top);
+        assert_eq!(lattice_binop(BinOp::Div, Const(1), Const(0)), Bottom);
+    }
+
+    #[test]
+    fn substitution_composes() {
+        // e = 2*x + g; substitute x ↦ y + 1, g ↦ 7  ⇒  2y + 9.
+        let e = bin(
+            BinOp::Add,
+            &bin(BinOp::Mul, &SymExpr::constant(2), &x()),
+            &g(),
+        );
+        let y = SymExpr::var(Slot::Formal(1));
+        let composed = e
+            .subst(&|s| match s {
+                Slot::Formal(0) => Some(bin(BinOp::Add, &y, &SymExpr::constant(1))),
+                Slot::Global(_) => Some(SymExpr::constant(7)),
+                _ => None,
+            })
+            .expect("substitutable");
+        let expect = bin(
+            BinOp::Add,
+            &bin(
+                BinOp::Mul,
+                &SymExpr::constant(2),
+                &SymExpr::var(Slot::Formal(1)),
+            ),
+            &SymExpr::constant(9),
+        );
+        assert_eq!(composed, expect);
+    }
+
+    #[test]
+    fn substitution_unmapped_slot_fails() {
+        let e = bin(BinOp::Add, &x(), &g());
+        assert!(e
+            .subst(&|s| if s == Slot::Formal(0) {
+                Some(SymExpr::constant(1))
+            } else {
+                None
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn substitution_through_opaque_nodes() {
+        let e = bin(BinOp::Div, &x(), &SymExpr::constant(3));
+        let composed = e.subst(&|_| Some(SymExpr::constant(10))).unwrap();
+        assert_eq!(composed.as_const(), Some(3));
+    }
+
+    #[test]
+    fn not_semantics() {
+        assert_eq!(
+            SymExpr::not(&SymExpr::constant(0)).unwrap().as_const(),
+            Some(1)
+        );
+        assert_eq!(
+            SymExpr::not(&SymExpr::constant(9)).unwrap().as_const(),
+            Some(0)
+        );
+        let e = SymExpr::not(&x()).unwrap();
+        assert_eq!(e.eval(&|_| Some(0)), Some(1));
+        assert_eq!(e.eval(&|_| Some(3)), Some(0));
+        use LatticeVal::*;
+        assert_eq!(e.eval_lattice(&|_| Bottom), Bottom);
+        assert_eq!(e.eval_lattice(&|_| Top), Top);
+    }
+
+    #[test]
+    fn neg_of_poly() {
+        let e = SymExpr::neg(&bin(BinOp::Add, &x(), &SymExpr::constant(2))).unwrap();
+        let p = e.as_poly().unwrap();
+        assert_eq!(p.eval(&|_| Some(3)), Some(-5));
+    }
+
+    #[test]
+    fn size_cap_triggers() {
+        // Build a deep chain of opaque divisions until the cap trips.
+        let mut e = x();
+        let mut tripped = false;
+        for _ in 0..MAX_NODES {
+            match SymExpr::binop(BinOp::Div, &e, &g()) {
+                Some(next) => e = next,
+                None => {
+                    tripped = true;
+                    break;
+                }
+            }
+        }
+        assert!(tripped, "size cap must trigger");
+    }
+
+    #[test]
+    fn gate_construction_and_folding() {
+        let cond = x();
+        let g0 = SymExpr::gate(
+            &cond,
+            Some(&SymExpr::constant(1)),
+            Some(&SymExpr::constant(2)),
+        )
+        .unwrap();
+        assert!(matches!(g0, SymExpr::Gate { .. }));
+        // Constant predicate folds immediately.
+        let folded =
+            SymExpr::gate(&SymExpr::constant(1), Some(&SymExpr::constant(7)), None).unwrap();
+        assert_eq!(folded.as_const(), Some(7));
+        assert!(SymExpr::gate(&SymExpr::constant(0), Some(&SymExpr::constant(7)), None).is_none());
+        // Equal branches collapse.
+        let same = SymExpr::gate(&cond, Some(&g()), Some(&g())).unwrap();
+        assert_eq!(same.as_var(), Some(Slot::Global(GlobalId(0))));
+        // Entirely-⊥ gates are unrepresentable.
+        assert!(SymExpr::gate(&cond, None, None).is_none());
+    }
+
+    #[test]
+    fn gate_eval_selects_branch() {
+        let gate = SymExpr::gate(&x(), Some(&SymExpr::constant(10)), Some(&g())).unwrap();
+        // cond = 1 → then; cond = 0 → else (g's value).
+        let env_then = |s: Slot| {
+            if s == Slot::Formal(0) {
+                Some(1)
+            } else {
+                Some(99)
+            }
+        };
+        assert_eq!(gate.eval(&env_then), Some(10));
+        let env_else = |s: Slot| {
+            if s == Slot::Formal(0) {
+                Some(0)
+            } else {
+                Some(99)
+            }
+        };
+        assert_eq!(gate.eval(&env_else), Some(99));
+        // A ⊥ branch selected concretely evaluates to None.
+        let half = SymExpr::gate(&x(), None, Some(&SymExpr::constant(4))).unwrap();
+        assert_eq!(half.eval(&env_then), None);
+        assert_eq!(half.eval(&env_else), Some(4));
+    }
+
+    #[test]
+    fn gate_eval_lattice() {
+        use LatticeVal::*;
+        let gate = SymExpr::gate(&x(), Some(&SymExpr::constant(10)), None).unwrap();
+        assert_eq!(gate.eval_lattice(&|_| Const(1)), Const(10));
+        assert_eq!(
+            gate.eval_lattice(&|_| Const(0)),
+            Bottom,
+            "⊥ branch selected"
+        );
+        assert_eq!(gate.eval_lattice(&|_| Top), Top);
+        assert_eq!(
+            gate.eval_lattice(&|_| Bottom),
+            Bottom,
+            "unknown predicate meets branches"
+        );
+        // Agreeing branches survive an unknown predicate.
+        let both = SymExpr::gate(
+            &bin(BinOp::Div, &x(), &g()),
+            Some(&SymExpr::constant(3)),
+            Some(&SymExpr::constant(3)),
+        )
+        .unwrap();
+        assert_eq!(both.eval_lattice(&|_| Bottom), Const(3));
+    }
+
+    #[test]
+    fn gate_support_and_subst() {
+        let gate = SymExpr::gate(&x(), Some(&g()), None).unwrap();
+        assert_eq!(gate.support().len(), 2);
+        // Substituting the predicate to a constant folds the gate away.
+        let out = gate
+            .subst(&|s| match s {
+                Slot::Formal(0) => Some(SymExpr::constant(1)),
+                Slot::Global(_) => Some(SymExpr::constant(42)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(out.as_const(), Some(42));
+        // A branch that fails to substitute degrades to ⊥ on that side only.
+        let out = gate.subst(&|s| match s {
+            Slot::Formal(0) => Some(SymExpr::var(Slot::Formal(1))),
+            _ => None, // g unmapped → then-branch becomes ⊥
+        });
+        assert!(
+            out.is_none(),
+            "gate with both branches ⊥ is unrepresentable"
+        );
+    }
+
+    #[test]
+    fn gate_display_and_eq() {
+        let a = SymExpr::gate(&x(), Some(&SymExpr::constant(1)), None).unwrap();
+        let b = SymExpr::gate(&x(), Some(&SymExpr::constant(1)), None).unwrap();
+        let c = SymExpr::gate(&x(), Some(&SymExpr::constant(2)), None).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "γ(arg0 ? 1 : ⊥)");
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = bin(
+            BinOp::Div,
+            &bin(BinOp::Add, &x(), &SymExpr::constant(1)),
+            &SymExpr::constant(2),
+        );
+        assert_eq!(e.to_string(), "(1 + arg0 / 2)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Ablation benchmarks for design choices DESIGN.md calls out:
+//!
+//! * **solver formulation** — the paper's simple call-graph worklist vs
+//!   the binding-multigraph sparse solver (§2);
+//! * **literal construction** — the paper's "textual scan" claim
+//!   (§3.1.5): building literal jump functions without SSA or value
+//!   numbering vs the general symbolic path;
+//! * **gsa** — the gated-single-assignment extension vs plain analysis vs
+//!   iterated complete propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp_analysis::{augment_global_vars, compute_modref, CallGraph, ModKills};
+use ipcp_core::{
+    analyze, build_forward_jfs, build_literal_jfs_fast, build_return_jfs, solve, solve_binding,
+    AnalysisConfig, JumpFunctionKind, RjfConstEval, SolverKind,
+};
+use ipcp_suite::{generate, spec};
+use std::hint::black_box;
+
+struct Prepared {
+    name: String,
+    program: ipcp_ir::Program,
+}
+
+fn prepare(names: &[&str]) -> Vec<Prepared> {
+    names
+        .iter()
+        .map(|name| {
+            let g = generate(&spec(name).expect("spec"));
+            let mut program = ipcp_ir::compile_to_ir(&g.source).expect("compiles");
+            let cg = CallGraph::new(&program);
+            let modref = compute_modref(&program, &cg);
+            augment_global_vars(&mut program, &modref);
+            Prepared {
+                name: g.name,
+                program,
+            }
+        })
+        .collect()
+}
+
+fn bench_solver_formulations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_formulation");
+    group.sample_size(30);
+    for p in prepare(&["adm", "ocean"]) {
+        let cg = CallGraph::new(&p.program);
+        let modref = compute_modref(&p.program, &cg);
+        let kills = ModKills::new(&p.program, &modref);
+        let rjfs = build_return_jfs(&p.program, &cg, &kills);
+        let jfs = build_forward_jfs(
+            &p.program,
+            &cg,
+            &modref,
+            JumpFunctionKind::Polynomial,
+            &kills,
+            &RjfConstEval { rjfs: &rjfs },
+        );
+        group.bench_with_input(BenchmarkId::new("call_graph", &p.name), &(), |b, ()| {
+            b.iter(|| black_box(solve(&p.program, &cg, &modref, &jfs)))
+        });
+        group.bench_with_input(BenchmarkId::new("binding_graph", &p.name), &(), |b, ()| {
+            b.iter(|| black_box(solve_binding(&p.program, &cg, &modref, &jfs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_literal_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("literal_jf_construction");
+    group.sample_size(30);
+    for p in prepare(&["adm"]) {
+        let cg = CallGraph::new(&p.program);
+        let modref = compute_modref(&p.program, &cg);
+        let kills = ModKills::new(&p.program, &modref);
+        let rjfs = build_return_jfs(&p.program, &cg, &kills);
+        group.bench_with_input(
+            BenchmarkId::new("general_ssa_path", &p.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(build_forward_jfs(
+                        &p.program,
+                        &cg,
+                        &modref,
+                        JumpFunctionKind::Literal,
+                        &kills,
+                        &RjfConstEval { rjfs: &rjfs },
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("textual_scan", &p.name), &(), |b, ()| {
+            b.iter(|| black_box(build_literal_jfs_fast(&p.program, &cg, &modref)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gsa_and_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gsa_vs_complete");
+    group.sample_size(15);
+    for p in prepare(&["ocean", "spec77"]) {
+        let configs: Vec<(&str, AnalysisConfig)> = vec![
+            ("plain", AnalysisConfig::default()),
+            (
+                "gsa",
+                AnalysisConfig {
+                    gsa: true,
+                    ..AnalysisConfig::default()
+                },
+            ),
+            (
+                "complete",
+                AnalysisConfig {
+                    complete_propagation: true,
+                    ..AnalysisConfig::default()
+                },
+            ),
+            (
+                "binding_solver",
+                AnalysisConfig {
+                    solver: SolverKind::BindingGraph,
+                    ..AnalysisConfig::default()
+                },
+            ),
+        ];
+        for (label, config) in &configs {
+            group.bench_with_input(BenchmarkId::new(*label, &p.name), &(), |b, ()| {
+                b.iter(|| black_box(analyze(&p.program, config)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver_formulations,
+    bench_literal_construction,
+    bench_gsa_and_complete
+);
+criterion_main!(benches);

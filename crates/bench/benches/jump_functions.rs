@@ -1,0 +1,88 @@
+//! Analysis cost per jump-function implementation (the paper's §3.1.5
+//! cost/precision tradeoff, measured end-to-end).
+//!
+//! The paper argues the pass-through parameter jump function is the most
+//! cost-effective: polynomial buys no extra constants (Table 2) but pays
+//! for more complex data structures. These benches measure full analysis
+//! time per kind over three representative suite programs (the largest,
+//! a mid-size, and the return-jump-function-heavy one), plus the Table 3
+//! configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp_core::{analyze, AnalysisConfig, JumpFunctionKind};
+use ipcp_suite::{generate, spec};
+use std::hint::black_box;
+
+fn programs() -> Vec<(String, ipcp_ir::Program)> {
+    ["adm", "linpackd", "ocean"]
+        .iter()
+        .map(|name| {
+            let g = generate(&spec(name).expect("spec"));
+            let ir = ipcp_ir::compile_to_ir(&g.source).expect("compiles");
+            (g.name, ir)
+        })
+        .collect()
+}
+
+fn bench_jump_function_kinds(c: &mut Criterion) {
+    let programs = programs();
+    let mut group = c.benchmark_group("analysis_by_jump_function");
+    group.sample_size(20);
+    for (name, ir) in &programs {
+        for kind in JumpFunctionKind::ALL {
+            let config = AnalysisConfig {
+                jump_function: kind,
+                ..AnalysisConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), name), ir, |b, ir| {
+                b.iter(|| black_box(analyze(black_box(ir), &config)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_table3_configs(c: &mut Criterion) {
+    let programs = programs();
+    let mut group = c.benchmark_group("analysis_by_technique");
+    group.sample_size(20);
+    let configs: Vec<(&str, AnalysisConfig)> = vec![
+        (
+            "no_mod",
+            AnalysisConfig {
+                mod_info: false,
+                ..AnalysisConfig::default()
+            },
+        ),
+        ("with_mod", AnalysisConfig::default()),
+        (
+            "complete",
+            AnalysisConfig {
+                complete_propagation: true,
+                ..AnalysisConfig::default()
+            },
+        ),
+        (
+            "intraprocedural",
+            AnalysisConfig::intraprocedural_baseline(),
+        ),
+        (
+            "no_rjf",
+            AnalysisConfig {
+                return_jump_functions: false,
+                ..AnalysisConfig::default()
+            },
+        ),
+    ];
+    for (name, ir) in &programs {
+        for (label, config) in &configs {
+            group.bench_with_input(BenchmarkId::new(*label, name), ir, |b, ir| {
+                b.iter(|| black_box(analyze(black_box(ir), config)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jump_function_kinds, bench_table3_configs);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Per-phase costs on the largest suite program (`adm`): front end,
+//! lowering, call graph, MOD/REF summaries, SSA construction, symbolic
+//! value numbering, return/forward jump function generation, the
+//! interprocedural solver, and the substitution-counting SCCP.
+//!
+//! The paper observes that "the cost of intraprocedural analysis
+//! dominates the cost of the interprocedural phase" (§4.1) — these
+//! benches make that claim measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipcp_analysis::symeval::symbolic_eval;
+use ipcp_analysis::{augment_global_vars, compute_modref, CallGraph, ModKills, NoCallSymbolics};
+use ipcp_core::{build_forward_jfs, build_return_jfs, solver, JumpFunctionKind, RjfConstEval};
+use ipcp_ssa::build_ssa;
+use ipcp_suite::{generate, spec};
+use std::hint::black_box;
+
+fn bench_phases(c: &mut Criterion) {
+    let source = generate(&spec("adm").expect("spec")).source;
+    let mut group = c.benchmark_group("phases_adm");
+    group.sample_size(20);
+
+    group.bench_function("front_end", |b| {
+        b.iter(|| black_box(ipcp_lang::compile(black_box(&source)).expect("compiles")))
+    });
+
+    let checked = ipcp_lang::compile(&source).expect("compiles");
+    group.bench_function("lowering", |b| {
+        b.iter(|| black_box(ipcp_ir::lower::lower(black_box(&checked))))
+    });
+
+    let mut program = ipcp_ir::lower::lower(&checked);
+    group.bench_function("call_graph", |b| {
+        b.iter(|| black_box(CallGraph::new(black_box(&program))))
+    });
+
+    let cg = CallGraph::new(&program);
+    group.bench_function("modref_summaries", |b| {
+        b.iter(|| black_box(compute_modref(black_box(&program), &cg)))
+    });
+
+    let modref = compute_modref(&program, &cg);
+    augment_global_vars(&mut program, &modref);
+    let cg = CallGraph::new(&program);
+    let kills = ModKills::new(&program, &modref);
+
+    group.bench_function("ssa_all_procs", |b| {
+        b.iter(|| {
+            for pid in program.proc_ids() {
+                black_box(build_ssa(&program, program.proc(pid), &kills));
+            }
+        })
+    });
+
+    group.bench_function("symbolic_eval_all_procs", |b| {
+        let ssas: Vec<_> = program
+            .proc_ids()
+            .map(|pid| (pid, build_ssa(&program, program.proc(pid), &kills)))
+            .collect();
+        b.iter(|| {
+            for (pid, ssa) in &ssas {
+                black_box(symbolic_eval(program.proc(*pid), ssa, &NoCallSymbolics));
+            }
+        })
+    });
+
+    group.bench_function("return_jump_functions", |b| {
+        b.iter(|| black_box(build_return_jfs(&program, &cg, &kills)))
+    });
+
+    let rjfs = build_return_jfs(&program, &cg, &kills);
+    let eval = RjfConstEval { rjfs: &rjfs };
+    group.bench_function("forward_jump_functions", |b| {
+        b.iter(|| {
+            black_box(build_forward_jfs(
+                &program,
+                &cg,
+                &modref,
+                JumpFunctionKind::Polynomial,
+                &kills,
+                &eval,
+            ))
+        })
+    });
+
+    let jfs = build_forward_jfs(
+        &program,
+        &cg,
+        &modref,
+        JumpFunctionKind::Polynomial,
+        &kills,
+        &eval,
+    );
+    group.bench_function("interprocedural_solver", |b| {
+        b.iter(|| black_box(solver::solve(&program, &cg, &modref, &jfs)))
+    });
+
+    let vals = solver::solve(&program, &cg, &modref, &jfs);
+    let lattice = ipcp_core::RjfLattice { rjfs: &rjfs };
+    group.bench_function("substitution_counting", |b| {
+        b.iter(|| {
+            black_box(ipcp_core::count_substitutions(
+                &program,
+                &cg,
+                &kills,
+                &lattice,
+                Some(&vals),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Scaling sweeps: how analysis cost grows with program structure,
+//! matching the paper's §3.1.5 complexity discussion.
+//!
+//! * `chain_depth` — pass-through chains of growing length: literal and
+//!   intraprocedural jump functions propagate only one edge, so their
+//!   cost stays flat while pass-through/polynomial pay for each hop
+//!   (`O(Σ cost(J))`, §3.1.5 case 2).
+//! * `fanout` — one constant distributed to N leaf procedures.
+//! * `program_size` — the full pipeline over generated programs of
+//!   growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp_core::{analyze, AnalysisConfig, JumpFunctionKind};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// A pass-through chain of `depth` procedures.
+fn chain_program(depth: usize) -> ipcp_ir::Program {
+    let mut src = String::new();
+    let _ = writeln!(src, "proc p{depth}(v)\n  print(v)\nend");
+    for i in (1..depth).rev() {
+        let _ = writeln!(src, "proc p{i}(v)\n  call p{}(v)\nend", i + 1);
+    }
+    let _ = writeln!(src, "main\n  call p1(42)\nend");
+    ipcp_ir::compile_to_ir(&src).expect("chain compiles")
+}
+
+/// One source procedure feeding `n` leaves.
+fn fanout_program(n: usize) -> ipcp_ir::Program {
+    let mut src = String::new();
+    for i in 0..n {
+        let _ = writeln!(src, "proc leaf{i}(v)\n  print(v + {i})\nend");
+    }
+    src.push_str("main\n");
+    for i in 0..n {
+        let _ = writeln!(src, "  call leaf{i}(7)");
+    }
+    src.push_str("end\n");
+    ipcp_ir::compile_to_ir(&src).expect("fanout compiles")
+}
+
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_depth");
+    group.sample_size(15);
+    for depth in [4usize, 16, 64, 256] {
+        let program = chain_program(depth);
+        for kind in [JumpFunctionKind::Literal, JumpFunctionKind::PassThrough] {
+            let config = AnalysisConfig {
+                jump_function: kind,
+                ..AnalysisConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), depth),
+                &program,
+                |b, p| b.iter(|| black_box(analyze(black_box(p), &config))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout");
+    group.sample_size(15);
+    for n in [8usize, 32, 128] {
+        let program = fanout_program(n);
+        let config = AnalysisConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| black_box(analyze(black_box(p), &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_size");
+    group.sample_size(10);
+    // Scale the `trfd` spec up by growing its noise budget.
+    for scale in [1usize, 4, 16] {
+        let mut spec = ipcp_suite::spec("trfd").expect("spec");
+        spec.target_lines *= scale;
+        spec.target_procs *= scale;
+        let source = ipcp_suite::generate(&spec).source;
+        let program = ipcp_ir::compile_to_ir(&source).expect("compiles");
+        let lines = source.lines().count();
+        let config = AnalysisConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{lines}_lines")),
+            &program,
+            |b, p| b.iter(|| black_box(analyze(black_box(p), &config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_depth, bench_fanout, bench_program_size);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates all evaluation tables side by side with the paper.
+//! Pass `--timing` to also print single-run analysis times per
+//! configuration (Criterion benches give the careful numbers).
+fn main() {
+    let timing = std::env::args().any(|a| a == "--timing");
+    let suite = ipcp_bench::prepare_suite();
+    println!("{}", ipcp_bench::render_table1(&suite));
+    println!("{}", ipcp_bench::render_table2(&suite));
+    println!("{}", ipcp_bench::render_table3(&suite));
+    if timing {
+        println!("{}", ipcp_bench::render_timings(&suite));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 3 over the synthetic suite.
+fn main() {
+    let suite = ipcp_bench::prepare_suite();
+    print!("{}", ipcp_bench::render_table3(&suite));
+}

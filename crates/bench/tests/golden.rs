@@ -1,0 +1,76 @@
+//! Golden regression test: the measured table cells are deterministic
+//! (fixed generator seeds, deterministic analyzer), so any change to
+//! these numbers is a behaviour change that EXPERIMENTS.md must track.
+
+use ipcp_bench::{measure, prepare_suite, table2_configs, table3_configs};
+
+/// (program, [poly, pass, intra, literal, poly-noRJF, pass-noRJF]).
+const TABLE2: [(&str, [usize; 6]); 12] = [
+    ("adm", [110, 110, 110, 110, 110, 110]),
+    ("doduc", [289, 289, 289, 286, 287, 287]),
+    ("fpppp", [60, 60, 54, 49, 56, 56]),
+    ("linpackd", [170, 170, 170, 94, 170, 170]),
+    ("matrix300", [138, 138, 122, 71, 138, 138]),
+    ("mdg", [41, 41, 40, 31, 40, 40]),
+    ("ocean", [194, 194, 194, 57, 62, 62]),
+    ("qcd", [180, 180, 180, 180, 180, 180]),
+    ("simple", [183, 183, 179, 174, 183, 183]),
+    ("snasa7", [336, 336, 336, 254, 336, 336]),
+    ("spec77", [137, 137, 137, 104, 137, 137]),
+    ("trfd", [16, 16, 16, 16, 16, 16]),
+];
+
+/// (program, [poly w/o MOD, poly w/ MOD, complete, intraprocedural]).
+const TABLE3: [(&str, [usize; 4]); 12] = [
+    ("adm", [25, 110, 110, 105]),
+    ("doduc", [286, 289, 289, 3]),
+    ("fpppp", [34, 60, 60, 38]),
+    ("linpackd", [33, 170, 170, 74]),
+    ("matrix300", [18, 138, 138, 69]),
+    ("mdg", [31, 41, 41, 31]),
+    ("ocean", [62, 194, 204, 55]),
+    ("qcd", [169, 180, 180, 179]),
+    ("simple", [3, 183, 183, 173]),
+    ("snasa7", [303, 336, 336, 254]),
+    ("spec77", [76, 137, 141, 82]),
+    ("trfd", [10, 16, 16, 15]),
+];
+
+#[test]
+fn table2_numbers_are_pinned() {
+    let suite = prepare_suite();
+    let configs = table2_configs();
+    for (p, (name, expect)) in suite.iter().zip(TABLE2.iter()) {
+        assert_eq!(&p.generated.name, name);
+        let measured = measure(&p.ir, &configs);
+        assert_eq!(measured, expect.to_vec(), "{name}");
+    }
+}
+
+#[test]
+fn table3_numbers_are_pinned() {
+    let suite = prepare_suite();
+    let configs = table3_configs();
+    for (p, (name, expect)) in suite.iter().zip(TABLE3.iter()) {
+        assert_eq!(&p.generated.name, name);
+        let measured = measure(&p.ir, &configs);
+        assert_eq!(measured, expect.to_vec(), "{name}");
+    }
+}
+
+#[test]
+fn suite_is_alias_clean() {
+    // The generator must respect the FORTRAN no-alias rule the analyses
+    // assume.
+    use ipcp_analysis::{check_aliasing, compute_modref, CallGraph};
+    for p in prepare_suite() {
+        let cg = CallGraph::new(&p.ir);
+        let modref = compute_modref(&p.ir, &cg);
+        let violations = check_aliasing(&p.ir, &modref);
+        assert!(
+            violations.is_empty(),
+            "{}: {violations:?}",
+            p.generated.name
+        );
+    }
+}

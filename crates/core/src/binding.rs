@@ -1,0 +1,235 @@
+//! The binding-(multi)graph formulation of the interprocedural solve.
+//!
+//! The paper notes (§2) that "alternative formulations based on the
+//! binding multi-graph are possible", citing Cooper–Kennedy. Instead of
+//! iterating over *procedures*, this solver builds a graph whose nodes
+//! are `(procedure, slot)` pairs and whose edges connect each slot to the
+//! jump-function applications whose *support* contains it. When a node's
+//! value lowers, exactly the dependent jump functions are re-evaluated —
+//! the sparse propagation that achieves the paper's §3.1.5 case-2 bound
+//! `O(Σ_s Σ_y cost(J_y^s))` for pass-through jump functions (each
+//! application re-runs at most twice per support slot).
+//!
+//! [`solve_binding`] computes exactly the same `VAL` sets as
+//! [`crate::solver::solve`]; the differential tests and an ablation bench
+//! pin that down.
+
+use crate::forward::ForwardJumpFns;
+use crate::jump::JumpFn;
+use crate::solver::ValSets;
+use ipcp_analysis::{CallGraph, LatticeVal, ModRefInfo, Slot};
+use ipcp_ir::{ProcId, Program};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One jump-function application: a `(call site, callee slot)` pair.
+struct JfApp {
+    caller: ProcId,
+    jf: JumpFn,
+    /// Target node index.
+    target: usize,
+}
+
+/// Runs the interprocedural propagation on the binding graph. Produces
+/// the same result as [`crate::solver::solve`].
+pub fn solve_binding(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    jfs: &ForwardJumpFns,
+) -> ValSets {
+    // ---- nodes -----------------------------------------------------------
+    let mut nodes: Vec<(ProcId, Slot)> = Vec::new();
+    let mut node_of: HashMap<(ProcId, Slot), usize> = HashMap::new();
+    for pid in program.proc_ids() {
+        for slot in modref.param_slots(program, pid) {
+            node_of.insert((pid, slot), nodes.len());
+            nodes.push((pid, slot));
+        }
+    }
+
+    let mut values: Vec<LatticeVal> = vec![LatticeVal::Top; nodes.len()];
+
+    // Seed main's globals from their initializers (⊥ when uninitialized).
+    let main = program.main;
+    for (i, &(pid, slot)) in nodes.iter().enumerate() {
+        if pid == main {
+            if let Slot::Global(g) = slot {
+                values[i] = match program.global(g).init {
+                    Some(c) => LatticeVal::Const(c),
+                    None => LatticeVal::Bottom,
+                };
+            }
+        }
+    }
+
+    // ---- jump-function applications and dependence edges -----------------
+    let mut apps: Vec<JfApp> = Vec::new();
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for pid in program.proc_ids() {
+        if !cg.is_reachable(pid) {
+            continue;
+        }
+        for site in jfs.sites(pid) {
+            if !site.reachable {
+                continue;
+            }
+            for (&slot, jf) in &site.jfs {
+                let Some(&target) = node_of.get(&(site.callee, slot)) else {
+                    continue;
+                };
+                let app = apps.len();
+                for support in jf.support() {
+                    if let Some(&src) = node_of.get(&(pid, support)) {
+                        uses[src].push(app);
+                    }
+                }
+                apps.push(JfApp {
+                    caller: pid,
+                    jf: jf.clone(),
+                    target,
+                });
+            }
+        }
+    }
+
+    // ---- sparse worklist over applications --------------------------------
+    let mut queued = vec![false; apps.len()];
+    let mut work: VecDeque<usize> = (0..apps.len()).collect();
+    queued.iter_mut().for_each(|q| *q = true);
+
+    let mut evaluations = 0usize;
+    while let Some(a) = work.pop_front() {
+        queued[a] = false;
+        evaluations += 1;
+        let app = &apps[a];
+        let caller = app.caller;
+        let env = |s: Slot| -> LatticeVal {
+            node_of
+                .get(&(caller, s))
+                .map(|&i| values[i])
+                .unwrap_or(LatticeVal::Bottom)
+        };
+        let incoming = app.jf.eval_lattice(&env);
+        let old = values[app.target];
+        let new = old.meet(incoming);
+        if new != old {
+            values[app.target] = new;
+            for &dep in &uses[app.target] {
+                if !queued[dep] {
+                    queued[dep] = true;
+                    work.push_back(dep);
+                }
+            }
+        }
+    }
+
+    // ---- package as ValSets ----------------------------------------------
+    let mut vals: Vec<BTreeMap<Slot, LatticeVal>> = vec![BTreeMap::new(); program.procs.len()];
+    for (i, &(pid, slot)) in nodes.iter().enumerate() {
+        vals[pid.index()].insert(slot, values[i]);
+    }
+    ValSets::from_parts(vals, evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::build_forward_jfs;
+    use crate::jump::JumpFunctionKind;
+    use crate::retjf::{build_return_jfs, RjfConstEval};
+    use crate::solver::solve;
+    use ipcp_analysis::{augment_global_vars, compute_modref, ModKills};
+    use ipcp_ir::compile_to_ir;
+
+    fn both(src: &str, kind: JumpFunctionKind) -> (Program, ValSets, ValSets) {
+        let mut program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let rjfs = build_return_jfs(&program, &cg, &kills);
+        let eval = RjfConstEval { rjfs: &rjfs };
+        let jfs = build_forward_jfs(&program, &cg, &modref, kind, &kills, &eval);
+        let a = solve(&program, &cg, &modref, &jfs);
+        let b = solve_binding(&program, &cg, &modref, &jfs);
+        (program, a, b)
+    }
+
+    fn assert_equal_vals(program: &Program, a: &ValSets, b: &ValSets) {
+        for pid in program.proc_ids() {
+            assert_eq!(
+                a.of(pid),
+                b.of(pid),
+                "VAL({}) differs",
+                program.proc(pid).name
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_chains() {
+        let src = "proc c(z)\nprint(z)\nend\nproc b(y)\ncall c(y)\nend\nproc a(x)\ncall b(x)\nend\nmain\ncall a(7)\nend\n";
+        for kind in JumpFunctionKind::ALL {
+            let (p, a, b) = both(src, kind);
+            assert_equal_vals(&p, &a, &b);
+        }
+    }
+
+    #[test]
+    fn agrees_on_conflicts_and_globals() {
+        let src = "global g = 3\nproc f(a, b)\nx = g\nend\nmain\ncall f(1, q)\ncall f(1, 2)\nend\n";
+        for kind in JumpFunctionKind::ALL {
+            let (p, a, b) = both(src, kind);
+            assert_equal_vals(&p, &a, &b);
+        }
+    }
+
+    #[test]
+    fn agrees_on_recursion() {
+        let src = "proc walk(n, k)\nif n > 0 then\ncall walk(n - 1, k)\nend\nend\nmain\ncall walk(9, 3)\nend\n";
+        let (p, a, b) = both(src, JumpFunctionKind::Polynomial);
+        assert_equal_vals(&p, &a, &b);
+    }
+
+    #[test]
+    fn agrees_on_init_pattern() {
+        let src = "global n\nproc init()\nn = 64\nend\nproc use0()\nx = n\nend\nmain\ncall init()\ncall use0()\nend\n";
+        let (p, a, b) = both(src, JumpFunctionKind::Polynomial);
+        assert_equal_vals(&p, &a, &b);
+    }
+
+    #[test]
+    fn agrees_on_slotless_intermediaries() {
+        let src = "proc r(a)\nprint(a)\nend\nproc q()\ncall r(5)\nend\nmain\ncall q()\nend\n";
+        let (p, a, b) = both(src, JumpFunctionKind::Literal);
+        assert_equal_vals(&p, &a, &b);
+    }
+
+    #[test]
+    fn unreachable_procs_stay_top() {
+        let src = "proc dead(a)\nend\nmain\nprint(1)\nend\n";
+        let (p, _, b) = both(src, JumpFunctionKind::Polynomial);
+        let dead = p.proc_by_name("dead").unwrap();
+        assert_eq!(b.value(dead, Slot::Formal(0)), LatticeVal::Top);
+    }
+
+    #[test]
+    fn evaluation_count_is_bounded() {
+        // Each application re-evaluates at most 1 + 2·|support| times; a
+        // pass-through chain of length d therefore needs O(d) evaluations.
+        let mut src = String::new();
+        let depth = 40;
+        src.push_str(&format!("proc p{depth}(v)\nprint(v)\nend\n"));
+        for i in (1..depth).rev() {
+            src.push_str(&format!("proc p{i}(v)\ncall p{}(v)\nend\n", i + 1));
+        }
+        src.push_str("main\ncall p1(9)\nend\n");
+        let (_, _, b) = both(&src, JumpFunctionKind::PassThrough);
+        assert!(
+            b.iterations() <= 3 * depth,
+            "evaluations {} should be linear in depth {depth}",
+            b.iterations()
+        );
+    }
+}

@@ -1,0 +1,531 @@
+//! The analyzer driver: wires the full pipeline together under one
+//! configuration, reproducing every column of the paper's Tables 2 and 3.
+//!
+//! Pipeline (paper §4.1): call graph → MOD/REF summaries → return jump
+//! function generation (bottom-up) → forward jump function generation →
+//! interprocedural propagation → substitution counting; with *complete
+//! propagation* (Table 3, column 3) the driver additionally runs dead
+//! code elimination and, if anything died, resets and repeats from
+//! scratch.
+
+use crate::binding::solve_binding;
+use crate::forward::{build_forward_jfs_with, ForwardJumpFns};
+use crate::jump::JumpFunctionKind;
+use crate::retjf::{
+    build_return_jfs, build_return_jfs_with, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice,
+};
+use crate::solver::{entry_env_of, solve, ValSets};
+use crate::subst::{count_substitutions, SubstitutionCounts};
+use ipcp_analysis::dce::dce_round;
+use ipcp_analysis::sccp::{bottom_entry, sccp, SccpConfig};
+use ipcp_analysis::symeval::{CallSymbolics, NoCallSymbolics, SymEvalOptions};
+use ipcp_analysis::{
+    augment_global_vars, compute_modref, CallGraph, CallLattice, ModKills, PessimisticCalls, Slot,
+};
+use ipcp_ir::Program;
+use ipcp_lang::Diagnostics;
+use ipcp_ssa::{build_ssa, KillOracle, WorstCaseKills};
+use std::collections::BTreeMap;
+
+/// Which interprocedural solver formulation to run (both produce
+/// identical `VAL` sets; see `crate::binding`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// The paper's simple worklist iteration over the call graph (§4.1).
+    #[default]
+    CallGraph,
+    /// The sparse binding-multigraph formulation (§2, citing
+    /// Cooper–Kennedy).
+    BindingGraph,
+}
+
+/// Full analyzer configuration — one point in the study's design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Which forward jump function implementation to use (Table 2
+    /// columns).
+    pub jump_function: JumpFunctionKind,
+    /// Whether return jump functions are generated and used (Table 2,
+    /// "Using"/"No Return Jump Functions").
+    pub return_jump_functions: bool,
+    /// Whether interprocedural MOD information is available (Table 3,
+    /// "without MOD"/"with MOD"). Without it, SSA construction assumes
+    /// every call kills every by-ref actual and every global.
+    pub mod_info: bool,
+    /// Whether to iterate propagation with dead code elimination until
+    /// nothing more dies (Table 3, "Complete Propagation").
+    pub complete_propagation: bool,
+    /// Whether interprocedural propagation runs at all; `false` is the
+    /// purely intraprocedural baseline (Table 3, column 4 — MOD
+    /// information is still honoured).
+    pub interprocedural: bool,
+    /// Extension beyond the paper: evaluate return jump functions at
+    /// forward-generation time by full symbolic composition instead of
+    /// the paper's constant-or-⊥ rule (§3.2). Off by default.
+    pub rjf_full_composition: bool,
+    /// Which solver formulation to use (identical results either way).
+    pub solver: SolverKind,
+    /// Extension beyond the paper: build gated (γ) jump functions from
+    /// if-joins, the gated-single-assignment idea of §4.2. Subsumes most
+    /// of what complete propagation buys, without iterating dead code
+    /// elimination. Off by default.
+    pub gsa: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            jump_function: JumpFunctionKind::Polynomial,
+            return_jump_functions: true,
+            mod_info: true,
+            complete_propagation: false,
+            interprocedural: true,
+            rjf_full_composition: false,
+            solver: SolverKind::CallGraph,
+            gsa: false,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The paper's best practical configuration: pass-through jump
+    /// functions with return jump functions and MOD information.
+    pub fn pass_through() -> Self {
+        AnalysisConfig {
+            jump_function: JumpFunctionKind::PassThrough,
+            ..Self::default()
+        }
+    }
+
+    /// The purely intraprocedural baseline (Table 3, column 4).
+    pub fn intraprocedural_baseline() -> Self {
+        AnalysisConfig {
+            interprocedural: false,
+            return_jump_functions: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Aggregate cost/size statistics of one analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Return jump functions built (non-⊥).
+    pub return_jfs: usize,
+    /// Forward (site, slot) jump functions built.
+    pub forward_jfs: usize,
+    /// Non-⊥ forward jump functions.
+    pub useful_forward_jfs: usize,
+    /// Worklist pops in the interprocedural solver.
+    pub solver_iterations: usize,
+    /// Complete-propagation rounds that found dead code.
+    pub dce_rounds: usize,
+}
+
+/// Everything an analysis run produces.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    /// The analyzed program (transformed when complete propagation ran).
+    pub program: Program,
+    /// `CONSTANTS(p)` per procedure (empty maps for the intraprocedural
+    /// baseline).
+    pub constants: Vec<BTreeMap<Slot, i64>>,
+    /// Substitution counts — the study's effectiveness metric.
+    pub substitutions: SubstitutionCounts,
+    /// Cost statistics.
+    pub stats: PhaseStats,
+}
+
+impl AnalysisOutcome {
+    /// Total number of interprocedural constants across all `CONSTANTS`
+    /// sets.
+    pub fn constant_slot_count(&self) -> usize {
+        self.constants.iter().map(BTreeMap::len).sum()
+    }
+}
+
+/// Runs the configured analysis on a program.
+pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
+    let pristine = program.clone();
+    let mut program = program.clone();
+    let mut stats = PhaseStats::default();
+
+    loop {
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+
+        // Everything below borrows `program` immutably; the DCE rewrites
+        // are collected and applied after the borrows end.
+        let (substitutions, vals, changed, new_procs) = {
+            // The kill oracle realizes the MOD configuration.
+            let mod_kills;
+            let kills: &dyn KillOracle = if config.mod_info {
+                mod_kills = ModKills::new(&program, &modref);
+                &mod_kills
+            } else {
+                &WorstCaseKills
+            };
+
+            let sym_options = SymEvalOptions {
+                gated_phis: config.gsa,
+            };
+
+            // Return jump functions.
+            let rjfs: ReturnJumpFns = if config.return_jump_functions {
+                build_return_jfs_with(&program, &cg, kills, sym_options)
+            } else {
+                ReturnJumpFns::empty(program.procs.len())
+            };
+            stats.return_jfs = rjfs.useful_count();
+
+            // Without MOD information the paper's value numbering "had to use
+            // worst case assumptions about any call sites" (§4.2): every call
+            // kills everything and nothing is recovered through return jump
+            // functions, regardless of whether they were built.
+            let rjf_recovery = config.return_jump_functions && config.mod_info;
+            let const_eval = RjfConstEval { rjfs: &rjfs };
+            let composer = RjfComposer { rjfs: &rjfs };
+            let call_sym: &dyn CallSymbolics = if !rjf_recovery {
+                &NoCallSymbolics
+            } else if config.rjf_full_composition {
+                &composer
+            } else {
+                &const_eval
+            };
+
+            // Forward jump functions and interprocedural propagation.
+            let vals: Option<ValSets> = if config.interprocedural {
+                let jfs: ForwardJumpFns = build_forward_jfs_with(
+                    &program,
+                    &cg,
+                    &modref,
+                    config.jump_function,
+                    kills,
+                    call_sym,
+                    sym_options,
+                );
+                stats.forward_jfs = jfs.count();
+                stats.useful_forward_jfs = jfs.useful_count();
+                let v = match config.solver {
+                    SolverKind::CallGraph => solve(&program, &cg, &modref, &jfs),
+                    SolverKind::BindingGraph => solve_binding(&program, &cg, &modref, &jfs),
+                };
+                stats.solver_iterations += v.iterations();
+                Some(v)
+            } else {
+                None
+            };
+
+            // Call effects for the counting/DCE SCCP (same no-MOD rule).
+            let rjf_lattice = RjfLattice { rjfs: &rjfs };
+            let calls: &dyn CallLattice = if rjf_recovery {
+                &rjf_lattice
+            } else {
+                &PessimisticCalls
+            };
+
+            let substitutions = count_substitutions(&program, &cg, kills, calls, vals.as_ref());
+
+            // Complete propagation: eliminate dead code and start over if
+            // anything died (the paper resets all CONSTANTS to ⊤ and
+            // reruns).
+            let mut changed = false;
+            let mut new_procs = Vec::new();
+            if config.complete_propagation {
+                for pid in program.proc_ids().collect::<Vec<_>>() {
+                    let proc_copy = program.proc(pid).clone();
+                    let ssa = build_ssa(&program, &proc_copy, kills);
+                    let result = match vals.as_ref() {
+                        Some(v) => {
+                            let env = entry_env_of(&program, pid, v);
+                            sccp(
+                                &proc_copy,
+                                &ssa,
+                                &SccpConfig {
+                                    entry_env: &env,
+                                    calls,
+                                },
+                            )
+                        }
+                        None => sccp(
+                            &proc_copy,
+                            &ssa,
+                            &SccpConfig {
+                                entry_env: &bottom_entry,
+                                calls,
+                            },
+                        ),
+                    };
+                    let mut proc = proc_copy;
+                    changed |= dce_round(&program, &mut proc, &ssa, &result, kills);
+                    new_procs.push((pid, proc));
+                }
+            }
+            (substitutions, vals, changed, new_procs)
+        };
+
+        for (pid, proc) in new_procs {
+            *program.proc_mut(pid) = proc;
+        }
+        if changed {
+            stats.dce_rounds += 1;
+            continue;
+        }
+
+        let constants: Vec<BTreeMap<Slot, i64>> = match vals.as_ref() {
+            Some(v) => program.proc_ids().map(|p| v.constants(p)).collect(),
+            None => vec![BTreeMap::new(); program.procs.len()],
+        };
+
+        // Complete propagation substitutes into the *original* source:
+        // recount against the pristine program with the final (DCE-refined)
+        // CONSTANTS. DCE-deleted code still hosts its substitutions there.
+        let substitutions = if stats.dce_rounds > 0 {
+            let mut orig = pristine;
+            counting_pass(&mut orig, config, vals.as_ref())
+        } else {
+            substitutions
+        };
+
+        return AnalysisOutcome {
+            program,
+            constants,
+            substitutions,
+            stats,
+        };
+    }
+}
+
+/// One substitution-counting pass over `program` under `config`,
+/// rebuilding the per-program side tables it needs.
+fn counting_pass(
+    program: &mut Program,
+    config: &AnalysisConfig,
+    vals: Option<&ValSets>,
+) -> SubstitutionCounts {
+    let cg = CallGraph::new(program);
+    let modref = compute_modref(program, &cg);
+    augment_global_vars(program, &modref);
+    let program = &*program;
+    let mod_kills;
+    let kills: &dyn KillOracle = if config.mod_info {
+        mod_kills = ModKills::new(program, &modref);
+        &mod_kills
+    } else {
+        &WorstCaseKills
+    };
+    let rjfs = if config.return_jump_functions {
+        build_return_jfs(program, &cg, kills)
+    } else {
+        ReturnJumpFns::empty(program.procs.len())
+    };
+    let rjf_lattice = RjfLattice { rjfs: &rjfs };
+    let calls: &dyn CallLattice = if config.return_jump_functions && config.mod_info {
+        &rjf_lattice
+    } else {
+        &PessimisticCalls
+    };
+    count_substitutions(program, &cg, kills, calls, vals)
+}
+
+/// Compiles Minifor source and runs the configured analysis.
+///
+/// # Errors
+///
+/// Returns front-end diagnostics if the source does not compile.
+pub fn analyze_source(
+    source: &str,
+    config: &AnalysisConfig,
+) -> Result<AnalysisOutcome, Diagnostics> {
+    let program = ipcp_ir::compile_to_ir(source)?;
+    Ok(analyze(&program, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 2/3 configurations, by column.
+    fn table2_config(kind: JumpFunctionKind, rjf: bool) -> AnalysisConfig {
+        AnalysisConfig {
+            jump_function: kind,
+            return_jump_functions: rjf,
+            ..Default::default()
+        }
+    }
+
+    const OCEAN_LIKE: &str = "\
+global n\nglobal m\n\
+proc init()\nn = 64\nm = 32\nend\n\
+proc compute(k)\nx = n\ny = m\nz = k\nprint(x + y + z)\nend\n\
+main\ncall init()\ncall compute(8)\nend\n";
+
+    #[test]
+    fn default_config_finds_init_constants() {
+        let out = analyze_source(OCEAN_LIKE, &AnalysisConfig::default()).unwrap();
+        // compute sees n=64, m=32, k=8.
+        assert!(out.constant_slot_count() >= 3, "{:?}", out.constants);
+        assert!(out.substitutions.total >= 3);
+        assert!(out.stats.return_jfs >= 2);
+    }
+
+    #[test]
+    fn return_jfs_matter_for_init_pattern() {
+        let with = analyze_source(
+            OCEAN_LIKE,
+            &table2_config(JumpFunctionKind::Polynomial, true),
+        )
+        .unwrap();
+        let without = analyze_source(
+            OCEAN_LIKE,
+            &table2_config(JumpFunctionKind::Polynomial, false),
+        )
+        .unwrap();
+        assert!(
+            with.substitutions.total > without.substitutions.total,
+            "with {} vs without {}",
+            with.substitutions.total,
+            without.substitutions.total
+        );
+    }
+
+    const CHAIN: &str = "\
+proc c(z)\nprint(z)\nend\n\
+proc b(y)\ncall c(y)\nend\n\
+proc a(x)\ncall b(x)\nend\n\
+main\ncall a(7)\nend\n";
+
+    #[test]
+    fn jump_function_hierarchy_on_chain() {
+        let mut totals = Vec::new();
+        for kind in JumpFunctionKind::ALL {
+            let out = analyze_source(CHAIN, &table2_config(kind, true)).unwrap();
+            totals.push(out.substitutions.total);
+        }
+        // Non-decreasing in precision; pass-through strictly beats
+        // intraprocedural here.
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]), "{totals:?}");
+        assert!(totals[2] > totals[1], "{totals:?}");
+        // Pass-through and polynomial agree (the paper's headline).
+        assert_eq!(totals[2], totals[3], "{totals:?}");
+    }
+
+    const MOD_SENSITIVE: &str = "\
+global g\n\
+proc harmless(x)\nprint(x)\nend\n\
+proc f()\ng = 5\ncall harmless(1)\nprint(g)\nend\n\
+main\ncall f()\nend\n";
+
+    #[test]
+    fn mod_information_matters() {
+        let with = analyze_source(
+            MOD_SENSITIVE,
+            &AnalysisConfig {
+                mod_info: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = analyze_source(
+            MOD_SENSITIVE,
+            &AnalysisConfig {
+                mod_info: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            with.substitutions.total > without.substitutions.total,
+            "with {} vs without {}",
+            with.substitutions.total,
+            without.substitutions.total
+        );
+    }
+
+    const DEAD_GUARD: &str = "\
+proc f(debug)\n\
+if debug then\n\
+read(q)\nx = q\n\
+else\n\
+x = 3\n\
+end\n\
+print(x)\nend\n\
+main\ncall f(0)\nend\n";
+
+    #[test]
+    fn complete_propagation_exposes_more() {
+        let plain = analyze_source(DEAD_GUARD, &AnalysisConfig::default()).unwrap();
+        let complete = analyze_source(
+            DEAD_GUARD,
+            &AnalysisConfig {
+                complete_propagation: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // With debug = 0 the read-branch is dead; x is 3 at the print.
+        assert!(complete.substitutions.total >= plain.substitutions.total);
+        assert!(complete.stats.dce_rounds >= 1);
+    }
+
+    #[test]
+    fn intraprocedural_baseline_finds_less() {
+        let inter = analyze_source(CHAIN, &AnalysisConfig::default()).unwrap();
+        let intra = analyze_source(CHAIN, &AnalysisConfig::intraprocedural_baseline()).unwrap();
+        assert!(intra.substitutions.total < inter.substitutions.total);
+        assert_eq!(intra.constant_slot_count(), 0);
+    }
+
+    #[test]
+    fn full_composition_extension_is_at_least_as_good() {
+        let src = "\
+global g\n\
+proc setg(v)\ng = v\nend\n\
+proc f(a)\ncall setg(a)\ncall useg()\nend\n\
+proc useg()\nprint(g)\nend\n\
+main\ncall f(5)\nend\n";
+        let paper = analyze_source(src, &AnalysisConfig::default()).unwrap();
+        let ext = analyze_source(
+            src,
+            &AnalysisConfig {
+                rjf_full_composition: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(ext.substitutions.total >= paper.substitutions.total);
+        // Composition tracks g = a through f's body; the paper rule cannot.
+        assert!(
+            ext.constant_slot_count() > paper.constant_slot_count(),
+            "ext {:?} vs paper {:?}",
+            ext.constants,
+            paper.constants
+        );
+    }
+
+    #[test]
+    fn analyze_source_reports_errors() {
+        assert!(analyze_source("main\n", &AnalysisConfig::default()).is_err());
+    }
+
+    #[test]
+    fn outcome_program_still_validates() {
+        let out = analyze_source(
+            DEAD_GUARD,
+            &AnalysisConfig {
+                complete_propagation: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        ipcp_ir::validate::validate(&out.program).expect("transformed program validates");
+    }
+
+    #[test]
+    fn pass_through_constructor() {
+        let c = AnalysisConfig::pass_through();
+        assert_eq!(c.jump_function, JumpFunctionKind::PassThrough);
+        assert!(c.return_jump_functions && c.mod_info && c.interprocedural);
+    }
+}

@@ -1,0 +1,271 @@
+//! The whole-program optimizer: analysis plus transformation in one call.
+//!
+//! [`optimize`] is the entry point a downstream compiler would use: run
+//! interprocedural constant propagation at a chosen configuration, then
+//! *apply* the results — substitute constants into the IR, fold branches,
+//! strip unreachable code, delete dead assignments, and (optionally)
+//! clone procedures by arriving constant and re-run to convergence. The
+//! result is a semantically equivalent program (pinned by the equivalence
+//! tests) plus a metrics trail.
+
+use crate::cloning::{apply_cloning, cloning_opportunities};
+use crate::driver::AnalysisConfig;
+use crate::forward::build_forward_jfs_with;
+use crate::retjf::{build_return_jfs_with, ReturnJumpFns, RjfConstEval, RjfLattice};
+use crate::solver::{entry_env_of, solve, ValSets};
+use crate::subst::apply_substitutions;
+use ipcp_analysis::dce::dce_round;
+use ipcp_analysis::sccp::{sccp, SccpConfig};
+use ipcp_analysis::symeval::SymEvalOptions;
+use ipcp_analysis::{augment_global_vars, compute_modref, CallGraph, CallLattice, ModKills};
+use ipcp_ir::Program;
+use ipcp_ssa::build_ssa;
+
+/// Options for [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeConfig {
+    /// The analysis configuration (jump function kind, MOD, return JFs,
+    /// gsa, …). `complete_propagation` is ignored: the optimizer always
+    /// iterates substitution + DCE to a fixpoint itself.
+    pub analysis: AnalysisConfig,
+    /// Additionally clone procedures whose slots receive conflicting
+    /// constants, then re-analyze (Metzger & Stroud).
+    pub clone_procedures: bool,
+    /// Upper bound on substitute/DCE/clone rounds (a safety valve; two or
+    /// three rounds reach the fixpoint in practice).
+    pub max_rounds: usize,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            analysis: AnalysisConfig::default(),
+            clone_procedures: false,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// What [`optimize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Operands rewritten to constants.
+    pub substituted_operands: usize,
+    /// Procedure clones created.
+    pub clones_created: usize,
+    /// Substitute/DCE rounds executed.
+    pub rounds: usize,
+    /// Instructions before optimization.
+    pub instrs_before: usize,
+    /// Instructions after optimization.
+    pub instrs_after: usize,
+}
+
+/// Runs the full optimize pipeline; returns the transformed program and
+/// the work done. The result is observationally equivalent to the input.
+pub fn optimize(program: &Program, config: &OptimizeConfig) -> (Program, OptimizeStats) {
+    let mut program = program.clone();
+    let mut stats = OptimizeStats {
+        instrs_before: program.instr_count(),
+        ..OptimizeStats::default()
+    };
+    let sym_options = SymEvalOptions {
+        gated_phis: config.analysis.gsa,
+    };
+
+    for _round in 0..config.max_rounds {
+        stats.rounds += 1;
+        let mut changed = false;
+
+        // ---- analyze -----------------------------------------------------
+        // The analysis borrows an immutable view so the transforms below
+        // can mutate `program` (the view and the program are identical at
+        // this point).
+        let pre_cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &pre_cg);
+        augment_global_vars(&mut program, &modref);
+        let view = program.clone();
+        let cg = CallGraph::new(&view);
+        let kills = ModKills::new(&view, &modref);
+        let rjfs: ReturnJumpFns = if config.analysis.return_jump_functions {
+            build_return_jfs_with(&view, &cg, &kills, sym_options)
+        } else {
+            ReturnJumpFns::empty(view.procs.len())
+        };
+        let const_eval = RjfConstEval { rjfs: &rjfs };
+        let jfs = build_forward_jfs_with(
+            &view,
+            &cg,
+            &modref,
+            config.analysis.jump_function,
+            &kills,
+            &const_eval,
+            sym_options,
+        );
+        let vals: ValSets = solve(&view, &cg, &modref, &jfs);
+        let rjf_lattice = RjfLattice { rjfs: &rjfs };
+        let calls: &dyn CallLattice = &rjf_lattice;
+
+        // ---- clone (optional) ---------------------------------------------
+        if config.clone_procedures {
+            let ops = cloning_opportunities(&view, &cg, &jfs, &vals);
+            if !ops.is_empty() {
+                let (cloned, n) = apply_cloning(&view, &cg, &jfs, &vals, &ops);
+                if n > 0 {
+                    program = cloned;
+                    stats.clones_created += n;
+                    // Re-analyze the cloned program next round.
+                    continue;
+                }
+            }
+        }
+
+        // ---- substitute ----------------------------------------------------
+        let n = apply_substitutions(&mut program, &kills, calls, Some(&vals));
+        stats.substituted_operands += n;
+        changed |= n > 0;
+
+        // ---- dead code elimination ------------------------------------------
+        for pid in program.proc_ids().collect::<Vec<_>>() {
+            let proc_copy = program.proc(pid).clone();
+            let ssa = build_ssa(&program, &proc_copy, &kills);
+            let env = entry_env_of(&view, pid, &vals);
+            let result = sccp(
+                &proc_copy,
+                &ssa,
+                &SccpConfig {
+                    entry_env: &env,
+                    calls,
+                },
+            );
+            let mut proc = proc_copy;
+            changed |= dce_round(&program, &mut proc, &ssa, &result, &kills);
+            *program.proc_mut(pid) = proc;
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    stats.instrs_after = program.instr_count();
+    (program, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+    use ipcp_lang::interp::{InterpConfig, Value};
+
+    fn run_program(p: &Program, input: Vec<i64>) -> Vec<Value> {
+        ipcp_ir::eval::run(
+            p,
+            &InterpConfig {
+                input,
+                ..InterpConfig::default()
+            },
+        )
+        .expect("runs")
+        .output
+    }
+
+    #[test]
+    fn optimize_shrinks_and_preserves() {
+        let src = "
+global mode
+proc configure()
+  mode = 2
+end
+proc kernel(n)
+  if mode == 1 then
+    read(extra)
+    print(n + extra)
+  else
+    print(n * mode)
+  end
+end
+main
+  call configure()
+  call kernel(21)
+end
+";
+        let program = compile_to_ir(src).unwrap();
+        let before = run_program(&program, vec![]);
+        let (optimized, stats) = optimize(&program, &OptimizeConfig::default());
+        ipcp_ir::validate::validate(&optimized).expect("valid");
+        assert_eq!(run_program(&optimized, vec![]), before);
+        assert!(stats.substituted_operands > 0);
+        assert!(stats.instrs_after < stats.instrs_before, "{stats:?}");
+        // The dead `mode == 1` arm is gone: no Read instructions remain.
+        let reads = optimized
+            .procs
+            .iter()
+            .flat_map(|p| p.blocks.iter())
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| matches!(i, ipcp_ir::Instr::Read { .. }))
+            .count();
+        assert_eq!(reads, 0);
+    }
+
+    #[test]
+    fn optimize_with_cloning_specializes() {
+        let src = "
+proc kernel(radius)
+  s = 0
+  do i = 1, 8
+    s = s + i * radius
+  end
+  print(s)
+end
+main
+  call kernel(1)
+  call kernel(3)
+end
+";
+        let program = compile_to_ir(src).unwrap();
+        let before = run_program(&program, vec![]);
+        let config = OptimizeConfig {
+            clone_procedures: true,
+            ..OptimizeConfig::default()
+        };
+        let (optimized, stats) = optimize(&program, &config);
+        ipcp_ir::validate::validate(&optimized).expect("valid");
+        assert_eq!(run_program(&optimized, vec![]), before);
+        assert_eq!(stats.clones_created, 2);
+        // Each clone has its radius substituted: no remaining reference to
+        // the clones' formal in their multiply.
+        assert!(stats.substituted_operands >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_quickly() {
+        let src = "main\nx = 1\nif x then\nprint(2)\nelse\nprint(3)\nend\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let (optimized, stats) = optimize(&program, &OptimizeConfig::default());
+        assert!(stats.rounds <= 3, "{stats:?}");
+        assert_eq!(run_program(&optimized, vec![]), vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn optimize_is_idempotent() {
+        let src = "global n\nproc init()\nn = 4\nend\nproc f(k)\nprint(n + k)\nend\nmain\ncall init()\ncall f(1)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let (once, _) = optimize(&program, &OptimizeConfig::default());
+        let (twice, stats) = optimize(&once, &OptimizeConfig::default());
+        assert_eq!(
+            ipcp_ir::print::program_to_string(&once),
+            ipcp_ir::print::program_to_string(&twice)
+        );
+        assert_eq!(stats.substituted_operands, 0, "nothing left to do");
+    }
+
+    #[test]
+    fn optimize_noop_on_dynamic_program() {
+        let src = "main\nread(x)\nprint(x + 1)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let (optimized, stats) = optimize(&program, &OptimizeConfig::default());
+        assert_eq!(stats.substituted_operands, 0);
+        assert_eq!(run_program(&optimized, vec![7]), vec![Value::Int(8)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable rendering of analysis outcomes.
+
+use crate::driver::AnalysisOutcome;
+use ipcp_analysis::Slot;
+use ipcp_ir::{ProcId, Program};
+use std::fmt::Write as _;
+
+/// Renders a slot with source-level names resolved against `program`.
+pub fn slot_name(program: &Program, p: ProcId, slot: Slot) -> String {
+    match slot {
+        Slot::Formal(i) => {
+            let proc = program.proc(p);
+            proc.vars
+                .get(i as usize)
+                .map(|v| v.name.clone())
+                .unwrap_or_else(|| format!("arg{i}"))
+        }
+        Slot::Global(g) => program.global(g).name.clone(),
+        Slot::Result => "<result>".to_string(),
+    }
+}
+
+/// Renders every non-empty `CONSTANTS(p)` set, one procedure per line:
+///
+/// ```text
+/// CONSTANTS(compute) = { k = 8, n = 64 }
+/// ```
+pub fn constants_to_string(outcome: &AnalysisOutcome) -> String {
+    let program = &outcome.program;
+    let mut out = String::new();
+    for pid in program.proc_ids() {
+        let consts = &outcome.constants[pid.index()];
+        if consts.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "CONSTANTS({}) = {{ ", program.proc(pid).name);
+        for (i, (slot, value)) in consts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} = {value}", slot_name(program, pid, *slot));
+        }
+        out.push_str(" }\n");
+    }
+    if out.is_empty() {
+        out.push_str("(no interprocedural constants)\n");
+    }
+    out
+}
+
+/// Renders a one-line summary of an outcome.
+pub fn summary_line(outcome: &AnalysisOutcome) -> String {
+    format!(
+        "constants: {} slots, substitutions: {}, return JFs: {}, forward JFs: {}/{} useful, solver iterations: {}, DCE rounds: {}",
+        outcome.constant_slot_count(),
+        outcome.substitutions.total,
+        outcome.stats.return_jfs,
+        outcome.stats.useful_forward_jfs,
+        outcome.stats.forward_jfs,
+        outcome.stats.solver_iterations,
+        outcome.stats.dce_rounds,
+    )
+}
+
+/// Renders per-procedure substitution counts (procedures with zero counts
+/// are omitted).
+pub fn substitutions_to_string(outcome: &AnalysisOutcome) -> String {
+    let program = &outcome.program;
+    let mut out = String::new();
+    for pid in program.proc_ids() {
+        let n = outcome.substitutions.per_proc[pid.index()];
+        if n > 0 {
+            let _ = writeln!(out, "{:>6}  {}", n, program.proc(pid).name);
+        }
+    }
+    let _ = writeln!(out, "{:>6}  total", outcome.substitutions.total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{analyze_source, AnalysisConfig};
+
+    const SRC: &str = "\
+global n\n\
+proc init()\nn = 64\nend\n\
+proc compute(k)\nprint(n + k)\nend\n\
+main\ncall init()\ncall compute(8)\nend\n";
+
+    #[test]
+    fn constants_rendering() {
+        let out = analyze_source(SRC, &AnalysisConfig::default()).unwrap();
+        let s = constants_to_string(&out);
+        assert!(s.contains("CONSTANTS(compute)"), "{s}");
+        assert!(s.contains("k = 8"), "{s}");
+        assert!(s.contains("n = 64"), "{s}");
+    }
+
+    #[test]
+    fn empty_constants_rendering() {
+        let out = analyze_source("main\nprint(1)\nend\n", &AnalysisConfig::default()).unwrap();
+        assert!(constants_to_string(&out).contains("no interprocedural constants"));
+    }
+
+    #[test]
+    fn summary_and_substitutions() {
+        let out = analyze_source(SRC, &AnalysisConfig::default()).unwrap();
+        let s = summary_line(&out);
+        assert!(s.contains("substitutions"), "{s}");
+        let t = substitutions_to_string(&out);
+        assert!(t.contains("total"), "{t}");
+        assert!(t.contains("compute"), "{t}");
+    }
+
+    #[test]
+    fn slot_names_resolve() {
+        let out = analyze_source(SRC, &AnalysisConfig::default()).unwrap();
+        let program = &out.program;
+        let compute = program.proc_by_name("compute").unwrap();
+        assert_eq!(slot_name(program, compute, Slot::Formal(0)), "k");
+        assert_eq!(
+            slot_name(program, compute, Slot::Global(ipcp_ir::GlobalId(0))),
+            "n"
+        );
+        assert_eq!(slot_name(program, compute, Slot::Result), "<result>");
+    }
+}

@@ -1,0 +1,381 @@
+//! The interprocedural propagation phase (paper §2, §4.1).
+//!
+//! A worklist iteration over the call graph: each procedure's `VAL` set
+//! maps its slots (formals + transitively-touched globals) to lattice
+//! values, initialized optimistically to ⊤; `main`'s globals are seeded
+//! from their compile-time initializers (uninitialized globals are ⊥,
+//! like FORTRAN's undefined values). Processing a procedure evaluates the
+//! jump functions at each of its (reachable) call sites against its
+//! current `VAL` and meets the results into the callees. The lattice has
+//! bounded depth (every value lowers at most twice), so the iteration
+//! terminates; the paper reports the same scheme "converged quickly".
+
+use crate::forward::ForwardJumpFns;
+use ipcp_analysis::{CallGraph, LatticeVal, ModRefInfo, Slot};
+use ipcp_ir::{ProcId, Program, VarKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The solver's result: per-procedure `VAL` sets.
+#[derive(Debug, Clone)]
+pub struct ValSets {
+    vals: Vec<BTreeMap<Slot, LatticeVal>>,
+    iterations: usize,
+}
+
+impl ValSets {
+    /// The `VAL` set of `p`.
+    pub fn of(&self, p: ProcId) -> &BTreeMap<Slot, LatticeVal> {
+        &self.vals[p.index()]
+    }
+
+    /// Value of one slot (⊤ when the slot is untracked).
+    pub fn value(&self, p: ProcId, slot: Slot) -> LatticeVal {
+        self.vals[p.index()]
+            .get(&slot)
+            .copied()
+            .unwrap_or(LatticeVal::Top)
+    }
+
+    /// `CONSTANTS(p)`: the slots with known constant entry values.
+    pub fn constants(&self, p: ProcId) -> BTreeMap<Slot, i64> {
+        self.vals[p.index()]
+            .iter()
+            .filter_map(|(s, v)| v.as_const().map(|c| (*s, c)))
+            .collect()
+    }
+
+    /// Number of worklist steps taken (a cost proxy: procedure visits for
+    /// the call-graph solver, jump-function evaluations for the
+    /// binding-graph solver).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assembles a result (used by the alternative solver formulations).
+    pub(crate) fn from_parts(vals: Vec<BTreeMap<Slot, LatticeVal>>, iterations: usize) -> ValSets {
+        ValSets { vals, iterations }
+    }
+}
+
+/// Runs the interprocedural propagation.
+pub fn solve(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    jfs: &ForwardJumpFns,
+) -> ValSets {
+    let n = program.procs.len();
+    let mut vals: Vec<BTreeMap<Slot, LatticeVal>> = Vec::with_capacity(n);
+    for pid in program.proc_ids() {
+        let mut map = BTreeMap::new();
+        for slot in modref.param_slots(program, pid) {
+            map.insert(slot, LatticeVal::Top);
+        }
+        vals.push(map);
+    }
+
+    // Seed main's entry environment: global initializers are constants,
+    // uninitialized globals are ⊥ (FORTRAN-undefined). Main has no formals.
+    let main = program.main;
+    let main_slots: Vec<Slot> = vals[main.index()].keys().copied().collect();
+    for slot in main_slots {
+        if let Slot::Global(g) = slot {
+            let v = match program.global(g).init {
+                Some(c) => LatticeVal::Const(c),
+                None => LatticeVal::Bottom,
+            };
+            vals[main.index()].insert(slot, v);
+        }
+    }
+
+    // Seed the worklist with every procedure reachable from main (main
+    // first): a procedure's call sites must be evaluated at least once
+    // even if its own VAL set never changes (e.g. it has no slots at all).
+    let mut queued = vec![false; n];
+    let mut work: VecDeque<ProcId> = VecDeque::new();
+    work.push_back(main);
+    queued[main.index()] = true;
+    for pid in program.proc_ids() {
+        if cg.is_reachable(pid) && !queued[pid.index()] {
+            queued[pid.index()] = true;
+            work.push_back(pid);
+        }
+    }
+
+    let mut iterations = 0usize;
+    while let Some(p) = work.pop_front() {
+        queued[p.index()] = false;
+        iterations += 1;
+
+        for site in jfs.sites(p) {
+            if !site.reachable {
+                continue;
+            }
+            let q = site.callee;
+            for (&slot, jf) in &site.jfs {
+                let env = |s: Slot| -> LatticeVal {
+                    debug_assert!(
+                        vals[p.index()].contains_key(&s) || matches!(s, Slot::Result),
+                        "jump function support slot {s} missing from caller {}",
+                        program.proc(p).name
+                    );
+                    vals[p.index()]
+                        .get(&s)
+                        .copied()
+                        .unwrap_or(LatticeVal::Bottom)
+                };
+                let incoming = jf.eval_lattice(&env);
+                let old = vals[q.index()]
+                    .get(&slot)
+                    .copied()
+                    .unwrap_or(LatticeVal::Top);
+                let new = old.meet(incoming);
+                if new != old {
+                    vals[q.index()].insert(slot, new);
+                    if !queued[q.index()] {
+                        queued[q.index()] = true;
+                        work.push_back(q);
+                    }
+                }
+            }
+        }
+    }
+
+    ValSets { vals, iterations }
+}
+
+/// Builds a per-variable entry environment for SCCP from a procedure's
+/// `VAL` set (used by substitution counting and complete propagation).
+/// Variables without slots (locals, temporaries) are ⊥; ⊤ slots — a
+/// procedure never actually invoked — are conservatively ⊥ as well.
+pub fn entry_env_of(
+    program: &Program,
+    p: ProcId,
+    vals: &ValSets,
+) -> impl Fn(ipcp_ir::VarId) -> LatticeVal {
+    let proc = program.proc(p);
+    let mut per_var = Vec::with_capacity(proc.vars.len());
+    for v in proc.var_ids() {
+        let slot = match proc.var(v).kind {
+            VarKind::Formal(i) => Some(Slot::Formal(i)),
+            VarKind::Global(g) => Some(Slot::Global(g)),
+            _ => None,
+        };
+        let value = match slot.map(|s| vals.value(p, s)) {
+            Some(LatticeVal::Const(c)) => LatticeVal::Const(c),
+            _ => LatticeVal::Bottom,
+        };
+        per_var.push(value);
+    }
+    move |v: ipcp_ir::VarId| {
+        per_var
+            .get(v.index())
+            .copied()
+            .unwrap_or(LatticeVal::Bottom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::build_forward_jfs;
+    use crate::jump::JumpFunctionKind;
+    use crate::retjf::{build_return_jfs, RjfConstEval};
+    use ipcp_analysis::symeval::NoCallSymbolics;
+    use ipcp_analysis::{augment_global_vars, compute_modref, ModKills};
+    use ipcp_ir::compile_to_ir;
+
+    fn run(src: &str, kind: JumpFunctionKind, rjf: bool) -> (Program, ValSets) {
+        let mut program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let rjfs = build_return_jfs(&program, &cg, &kills);
+        let jfs = if rjf {
+            let eval = RjfConstEval { rjfs: &rjfs };
+            build_forward_jfs(&program, &cg, &modref, kind, &kills, &eval)
+        } else {
+            build_forward_jfs(&program, &cg, &modref, kind, &kills, &NoCallSymbolics)
+        };
+        let vals = solve(&program, &cg, &modref, &jfs);
+        (program, vals)
+    }
+
+    fn const_of(program: &Program, vals: &ValSets, proc: &str, slot: Slot) -> Option<i64> {
+        vals.value(program.proc_by_name(proc).unwrap(), slot)
+            .as_const()
+    }
+
+    #[test]
+    fn single_literal_call() {
+        let (p, v) = run(
+            "proc f(a)\nend\nmain\ncall f(5)\nend\n",
+            JumpFunctionKind::Literal,
+            true,
+        );
+        assert_eq!(const_of(&p, &v, "f", Slot::Formal(0)), Some(5));
+    }
+
+    #[test]
+    fn conflicting_calls_meet_to_bottom() {
+        let src = "proc f(a)\nend\nmain\ncall f(5)\ncall f(6)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        assert_eq!(
+            v.value(p.proc_by_name("f").unwrap(), Slot::Formal(0)),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn agreeing_calls_stay_constant() {
+        let src = "proc f(a)\nend\nmain\ncall f(5)\ncall f(2 + 3)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        assert_eq!(const_of(&p, &v, "f", Slot::Formal(0)), Some(5));
+    }
+
+    #[test]
+    fn pass_through_chains_constants() {
+        // 7 flows main → a → b → c only with pass-through or better.
+        let src = "proc c(z)\nend\nproc b(y)\ncall c(y)\nend\nproc a(x)\ncall b(x)\nend\nmain\ncall a(7)\nend\n";
+        for (kind, expect) in [
+            (JumpFunctionKind::Literal, None),
+            (JumpFunctionKind::IntraproceduralConstant, None),
+            (JumpFunctionKind::PassThrough, Some(7)),
+            (JumpFunctionKind::Polynomial, Some(7)),
+        ] {
+            let (p, v) = run(src, kind, true);
+            assert_eq!(const_of(&p, &v, "c", Slot::Formal(0)), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn polynomial_chains_computed_values() {
+        let src =
+            "proc leaf(z)\nend\nproc mid(x)\ncall leaf(x * x + 1)\nend\nmain\ncall mid(3)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        assert_eq!(const_of(&p, &v, "leaf", Slot::Formal(0)), Some(10));
+        // Pass-through cannot express x*x+1.
+        let (p, v) = run(src, JumpFunctionKind::PassThrough, true);
+        assert_eq!(const_of(&p, &v, "leaf", Slot::Formal(0)), None);
+    }
+
+    #[test]
+    fn global_initializers_seed_main() {
+        let src = "global n = 11\nproc f()\nx = n\nend\nmain\ncall f()\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::PassThrough, true);
+        let g = Slot::Global(ipcp_ir::GlobalId(0));
+        assert_eq!(const_of(&p, &v, "f", g), Some(11));
+    }
+
+    #[test]
+    fn uninitialized_globals_are_bottom() {
+        let src = "global n\nproc f()\nx = n\nend\nmain\ncall f()\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        let g = Slot::Global(ipcp_ir::GlobalId(0));
+        assert_eq!(v.value(p.proc_by_name("f").unwrap(), g), LatticeVal::Bottom);
+    }
+
+    #[test]
+    fn init_routine_requires_return_jfs() {
+        // The ocean pattern: an initialization routine assigns globals,
+        // and later calls see them — but only with return jump functions.
+        let src = "global n\nproc init()\nn = 64\nend\nproc compute()\nx = n\nend\n\
+                   main\ncall init()\ncall compute()\nend\n";
+        let g = Slot::Global(ipcp_ir::GlobalId(0));
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        assert_eq!(const_of(&p, &v, "compute", g), Some(64));
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, false);
+        assert_eq!(
+            v.value(p.proc_by_name("compute").unwrap(), g),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn uncalled_procedures_stay_top() {
+        let src = "proc dead(a)\nend\nproc live(b)\nend\nmain\ncall live(1)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        assert_eq!(
+            v.value(p.proc_by_name("dead").unwrap(), Slot::Formal(0)),
+            LatticeVal::Top
+        );
+        assert_eq!(const_of(&p, &v, "live", Slot::Formal(0)), Some(1));
+        // ⊤ slots are not constants.
+        assert!(v.constants(p.proc_by_name("dead").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let src = "proc walk(n, k)\nif n > 0 then\ncall walk(n - 1, k)\nend\nend\nmain\ncall walk(9, 3)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        let walk = p.proc_by_name("walk").unwrap();
+        // n varies (9, n-1), k is invariant 3.
+        assert_eq!(v.value(walk, Slot::Formal(0)), LatticeVal::Bottom);
+        assert_eq!(v.value(walk, Slot::Formal(1)).as_const(), Some(3));
+    }
+
+    #[test]
+    fn function_results_propagate_through_rjfs() {
+        let src = "func five()\nreturn 5\nend\nproc f(a)\nend\nmain\nx = five()\ncall f(x)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::IntraproceduralConstant, true);
+        assert_eq!(const_of(&p, &v, "f", Slot::Formal(0)), Some(5));
+        let (p, v) = run(src, JumpFunctionKind::IntraproceduralConstant, false);
+        assert_eq!(
+            v.value(p.proc_by_name("f").unwrap(), Slot::Formal(0)),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn constants_sets_extracted() {
+        let src = "global g = 2\nproc f(a, b)\nx = g\nend\nmain\ncall f(1, q)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        let f = p.proc_by_name("f").unwrap();
+        let consts = v.constants(f);
+        assert_eq!(consts.get(&Slot::Formal(0)), Some(&1));
+        assert_eq!(
+            consts.get(&Slot::Formal(1)),
+            None,
+            "q is an undefined local → ⊥"
+        );
+        assert_eq!(consts.get(&Slot::Global(ipcp_ir::GlobalId(0))), Some(&2));
+    }
+
+    #[test]
+    fn slotless_intermediaries_still_propagate() {
+        // q has no formals and touches no globals, so its VAL set never
+        // changes — its call sites must still be evaluated.
+        let src = "proc r(a)\nprint(a)\nend\nproc q()\ncall r(5)\nend\nmain\ncall q()\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Literal, true);
+        assert_eq!(const_of(&p, &v, "r", Slot::Formal(0)), Some(5));
+    }
+
+    #[test]
+    fn iterations_counted() {
+        let (_, v) = run(
+            "proc f(a)\nend\nmain\ncall f(1)\nend\n",
+            JumpFunctionKind::Literal,
+            true,
+        );
+        assert!(v.iterations() >= 1);
+    }
+
+    #[test]
+    fn entry_env_maps_vars() {
+        let src = "global g = 2\nproc f(a)\nx = g + a\nend\nmain\ncall f(1)\nend\n";
+        let (p, v) = run(src, JumpFunctionKind::Polynomial, true);
+        let f = p.proc_by_name("f").unwrap();
+        let env = entry_env_of(&p, f, &v);
+        let proc = p.proc(f);
+        for var in proc.var_ids() {
+            let val = env(var);
+            match proc.var(var).kind {
+                VarKind::Formal(0) => assert_eq!(val, LatticeVal::Const(1)),
+                VarKind::Global(_) => assert_eq!(val, LatticeVal::Const(2)),
+                _ => assert_eq!(val, LatticeVal::Bottom),
+            }
+        }
+    }
+}

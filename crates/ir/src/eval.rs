@@ -1,0 +1,441 @@
+//! An evaluator for IR programs.
+//!
+//! Observationally equivalent to the AST interpreter in
+//! [`ipcp_lang::interp`]; the integration tests run both on the same
+//! programs and require identical output. It reuses that module's
+//! [`Value`] and [`InterpError`] types so results compare directly.
+//!
+//! The step limit here counts executed instructions and terminators
+//! (the AST interpreter counts statements), so the two limits are not
+//! numerically comparable — only termination behaviour matters.
+
+use crate::ids::{BlockId, ProcId, VarId};
+use crate::instr::{Instr, Operand, Terminator, TrapKind};
+use crate::procedure::{Procedure, VarKind};
+use crate::program::Program;
+use ipcp_lang::ast::{Base, Shape, Ty, UnOp};
+use ipcp_lang::interp::{eval_binop, InterpConfig, InterpError, Outcome, Value};
+
+/// Runs an IR program's `main`.
+///
+/// # Errors
+///
+/// Returns the first [`InterpError`] encountered (traps surface as
+/// [`InterpError::ZeroStep`]).
+pub fn run(program: &Program, config: &InterpConfig) -> Result<Outcome, InterpError> {
+    let mut interp = Evaluator {
+        program,
+        config,
+        slots: Vec::new(),
+        globals: Vec::new(),
+        output: Vec::new(),
+        steps: 0,
+        input_pos: 0,
+    };
+    interp.alloc_globals();
+    interp.call(program.main, Vec::new(), 0)?;
+    Ok(Outcome {
+        output: interp.output,
+        steps: interp.steps,
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Int(i64),
+    Real(f64),
+    IntArray(Vec<i64>),
+    RealArray(Vec<f64>),
+}
+
+impl Slot {
+    fn zero_of(ty: Ty) -> Slot {
+        match (ty.base, ty.shape) {
+            (Base::Int, Shape::Scalar) => Slot::Int(0),
+            (Base::Real, Shape::Scalar) => Slot::Real(0.0),
+            (Base::Int, Shape::Array(n)) => Slot::IntArray(vec![0; n.unwrap_or(0) as usize]),
+            (Base::Real, Shape::Array(n)) => Slot::RealArray(vec![0.0; n.unwrap_or(0) as usize]),
+        }
+    }
+}
+
+struct Evaluator<'a> {
+    program: &'a Program,
+    config: &'a InterpConfig,
+    slots: Vec<Slot>,
+    globals: Vec<usize>,
+    output: Vec<Value>,
+    steps: u64,
+    input_pos: usize,
+}
+
+impl Evaluator<'_> {
+    fn alloc_globals(&mut self) {
+        for g in &self.program.globals {
+            let mut slot = Slot::zero_of(g.ty);
+            if let (Some(v), Slot::Int(dst)) = (g.init, &mut slot) {
+                *dst = v;
+            }
+            let id = self.slots.len();
+            self.slots.push(slot);
+            self.globals.push(id);
+        }
+    }
+
+    fn alloc(&mut self, slot: Slot) -> usize {
+        let id = self.slots.len();
+        self.slots.push(slot);
+        id
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            Err(InterpError::StepLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call(
+        &mut self,
+        pid: ProcId,
+        arg_slots: Vec<usize>,
+        depth: u32,
+    ) -> Result<Option<Value>, InterpError> {
+        if depth >= self.config.max_depth {
+            return Err(InterpError::DepthLimit);
+        }
+        let proc = self.program.proc(pid);
+        let mut slot_of_var = Vec::with_capacity(proc.vars.len());
+        for var in &proc.vars {
+            let slot = match var.kind {
+                VarKind::Formal(i) => arg_slots[i as usize],
+                VarKind::Global(g) => self.globals[g.index()],
+                VarKind::Local | VarKind::Temp => self.alloc(Slot::zero_of(var.ty)),
+            };
+            slot_of_var.push(slot);
+        }
+
+        let mut block = proc.entry();
+        loop {
+            let b = proc.block(block);
+            for instr in &b.instrs {
+                self.tick()?;
+                self.exec_instr(proc, instr, &slot_of_var, depth)?;
+            }
+            self.tick()?;
+            match &b.term {
+                Terminator::Jump(next) => block = *next,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.eval_int(*cond, &slot_of_var);
+                    block = if c != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Return(val) => {
+                    return Ok(val.map(|v| self.eval_operand(v, &slot_of_var)));
+                }
+                Terminator::Trap(TrapKind::ZeroStep) => return Err(InterpError::ZeroStep),
+                Terminator::Trap(TrapKind::Unreachable) => {
+                    unreachable!("executed a block DCE proved unreachable")
+                }
+            }
+            debug_assert!(block.index() < proc.blocks.len());
+            let _: BlockId = block;
+        }
+    }
+
+    fn eval_operand(&self, op: Operand, slot_of_var: &[usize]) -> Value {
+        match op {
+            Operand::Const(c) => Value::Int(c),
+            Operand::RealConst(c) => Value::Real(c),
+            Operand::Var(v) => match &self.slots[slot_of_var[v.index()]] {
+                Slot::Int(x) => Value::Int(*x),
+                Slot::Real(x) => Value::Real(*x),
+                _ => unreachable!("array used as scalar operand"),
+            },
+        }
+    }
+
+    fn eval_int(&self, op: Operand, slot_of_var: &[usize]) -> i64 {
+        match self.eval_operand(op, slot_of_var) {
+            Value::Int(v) => v,
+            Value::Real(_) => unreachable!("validated IR keeps bases separate"),
+        }
+    }
+
+    fn store_scalar(&mut self, v: VarId, value: Value, slot_of_var: &[usize]) {
+        match (&mut self.slots[slot_of_var[v.index()]], value) {
+            (Slot::Int(dst), Value::Int(x)) => *dst = x,
+            (Slot::Real(dst), Value::Real(x)) => *dst = x,
+            (Slot::Real(dst), Value::Int(x)) => *dst = x as f64,
+            _ => unreachable!("validated IR keeps bases separate"),
+        }
+    }
+
+    fn array_len(&self, v: VarId, slot_of_var: &[usize]) -> usize {
+        match &self.slots[slot_of_var[v.index()]] {
+            Slot::IntArray(a) => a.len(),
+            Slot::RealArray(a) => a.len(),
+            _ => unreachable!("scalar used as array"),
+        }
+    }
+
+    fn exec_instr(
+        &mut self,
+        proc: &Procedure,
+        instr: &Instr,
+        slot_of_var: &[usize],
+        depth: u32,
+    ) -> Result<(), InterpError> {
+        match instr {
+            Instr::Copy { dst, src } => {
+                let v = self.eval_operand(*src, slot_of_var);
+                self.store_scalar(*dst, v, slot_of_var);
+            }
+            Instr::Unary { dst, op, src } => {
+                let v = self.eval_operand(*src, slot_of_var);
+                let r = match (op, v) {
+                    (UnOp::Neg, Value::Int(x)) => Value::Int(x.wrapping_neg()),
+                    (UnOp::Neg, Value::Real(x)) => Value::Real(-x),
+                    (UnOp::Not, Value::Int(x)) => Value::Int(i64::from(x == 0)),
+                    (UnOp::Not, Value::Real(_)) => unreachable!("validated"),
+                };
+                self.store_scalar(*dst, r, slot_of_var);
+            }
+            Instr::Binary { dst, op, lhs, rhs } => {
+                let l = self.eval_operand(*lhs, slot_of_var);
+                let r = self.eval_operand(*rhs, slot_of_var);
+                let v = eval_binop(*op, l, r)?;
+                self.store_scalar(*dst, v, slot_of_var);
+            }
+            Instr::IntToReal { dst, src } => {
+                let v = match self.eval_operand(*src, slot_of_var) {
+                    Value::Int(x) => Value::Real(x as f64),
+                    Value::Real(_) => unreachable!("validated"),
+                };
+                self.store_scalar(*dst, v, slot_of_var);
+            }
+            Instr::Load { dst, arr, index } => {
+                let i = self.eval_int(*index, slot_of_var);
+                let len = self.array_len(*arr, slot_of_var);
+                if i < 1 || i as u128 > len as u128 {
+                    return Err(InterpError::OutOfBounds {
+                        name: proc.var(*arr).name.clone(),
+                        index: i,
+                        len,
+                    });
+                }
+                let v = match &self.slots[slot_of_var[arr.index()]] {
+                    Slot::IntArray(a) => Value::Int(a[(i - 1) as usize]),
+                    Slot::RealArray(a) => Value::Real(a[(i - 1) as usize]),
+                    _ => unreachable!("validated"),
+                };
+                self.store_scalar(*dst, v, slot_of_var);
+            }
+            Instr::Store { arr, index, value } => {
+                let i = self.eval_int(*index, slot_of_var);
+                let v = self.eval_operand(*value, slot_of_var);
+                let len = self.array_len(*arr, slot_of_var);
+                if i < 1 || i as u128 > len as u128 {
+                    return Err(InterpError::OutOfBounds {
+                        name: proc.var(*arr).name.clone(),
+                        index: i,
+                        len,
+                    });
+                }
+                match (&mut self.slots[slot_of_var[arr.index()]], v) {
+                    (Slot::IntArray(a), Value::Int(x)) => a[(i - 1) as usize] = x,
+                    (Slot::RealArray(a), Value::Real(x)) => a[(i - 1) as usize] = x,
+                    (Slot::RealArray(a), Value::Int(x)) => a[(i - 1) as usize] = x as f64,
+                    _ => unreachable!("validated"),
+                }
+            }
+            Instr::Call { callee, args, dst } => {
+                let target = self.program.proc(*callee);
+                let mut arg_slots = Vec::with_capacity(args.len());
+                for (k, arg) in args.iter().enumerate() {
+                    if arg.by_ref {
+                        let v = arg.value.as_var().expect("validated by-ref var");
+                        arg_slots.push(slot_of_var[v.index()]);
+                    } else {
+                        let v = self.eval_operand(arg.value, slot_of_var);
+                        let formal_base = target.vars[k].ty.base;
+                        let slot = match (formal_base, v) {
+                            (Base::Int, Value::Int(x)) => Slot::Int(x),
+                            (Base::Real, Value::Real(x)) => Slot::Real(x),
+                            (Base::Real, Value::Int(x)) => Slot::Real(x as f64),
+                            (Base::Int, Value::Real(_)) => unreachable!("validated"),
+                        };
+                        arg_slots.push(self.alloc(slot));
+                    }
+                }
+                let ret = self.call(*callee, arg_slots, depth + 1)?;
+                if let Some(d) = dst {
+                    self.store_scalar(*d, ret.unwrap_or(Value::Int(0)), slot_of_var);
+                }
+            }
+            Instr::Read { dst } => {
+                let raw = *self
+                    .config
+                    .input
+                    .get(self.input_pos)
+                    .ok_or(InterpError::InputExhausted)?;
+                self.input_pos += 1;
+                self.store_scalar(*dst, Value::Int(raw), slot_of_var);
+            }
+            Instr::Print { value } => {
+                let v = self.eval_operand(*value, slot_of_var);
+                self.output.push(v);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use ipcp_lang::compile;
+    use ipcp_lang::interp as ast_interp;
+
+    /// Runs source through both interpreters; asserts identical output.
+    fn both(src: &str, input: Vec<i64>) -> Result<Vec<Value>, InterpError> {
+        let checked = compile(src).expect("compiles");
+        let config = InterpConfig {
+            input,
+            ..InterpConfig::default()
+        };
+        let ast_out = ast_interp::run(&checked, &config).map(|o| o.output);
+        let program = lower(&checked);
+        crate::validate::validate(&program).expect("lowered IR validates");
+        let ir_out = run(&program, &config).map(|o| o.output);
+        assert_eq!(ast_out, ir_out, "AST and IR semantics diverge for:\n{src}");
+        ir_out
+    }
+
+    fn ints(vs: &[i64]) -> Vec<Value> {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        assert_eq!(
+            both("main\nprint(2 + 3 * 4)\nend\n", vec![]),
+            Ok(ints(&[14]))
+        );
+        assert_eq!(
+            both(
+                "main\nx = 5\nif x > 3 then\nprint(1)\nelse\nprint(0)\nend\nend\n",
+                vec![]
+            ),
+            Ok(ints(&[1]))
+        );
+    }
+
+    #[test]
+    fn loops_match() {
+        let src = "main\ns = 0\ndo i = 1, 10\ns = s + i\nend\nprint(s)\nprint(i)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[55, 11])));
+        let src = "main\ns = 0\ndo i = 10, 1, -3\ns = s + i\nend\nprint(s)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[22])));
+        let src = "main\ns = 7\ndo i = 5, 1\ns = 0\nend\nprint(s)\nprint(i)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[7, 5])));
+    }
+
+    #[test]
+    fn runtime_step_traps_match() {
+        let src = "main\nread(k)\ndo i = 1, 3, k\nprint(i)\nend\nend\n";
+        assert_eq!(both(src, vec![0]), Err(InterpError::ZeroStep));
+        assert_eq!(both(src, vec![2]), Ok(ints(&[1, 3])));
+    }
+
+    #[test]
+    fn by_reference_effects_match() {
+        let src = "proc swap(a, b)\nt = a\na = b\nb = t\nend\nmain\nx = 1\ny = 2\ncall swap(x, y)\nprint(x)\nprint(y)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[2, 1])));
+    }
+
+    #[test]
+    fn globals_and_functions_match() {
+        let src = "global c\nfunc bump()\nc = c + 1\nreturn c\nend\nmain\nx = bump() + bump() * 10\nprint(x)\nprint(c)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[21, 2])));
+    }
+
+    #[test]
+    fn arrays_match() {
+        let src = "proc fill(v(), n)\ndo i = 1, n\nv(i) = i * i\nend\nend\n\
+                   main\ninteger a(6)\ncall fill(a, 6)\nprint(a(5))\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[25])));
+    }
+
+    #[test]
+    fn bounds_errors_match() {
+        let src = "main\ninteger a(3)\nread(i)\na(i) = 1\nend\n";
+        assert!(matches!(
+            both(src, vec![7]),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn div_by_zero_matches() {
+        let src = "main\nread(d)\nprint(10 / d)\nend\n";
+        assert_eq!(both(src, vec![0]), Err(InterpError::DivByZero));
+        assert_eq!(both(src, vec![3]), Ok(ints(&[3])));
+    }
+
+    #[test]
+    fn real_arithmetic_matches() {
+        let src = "main\nreal r\nread(x)\nr = x / 2 + 0.25\nprint(r)\nprint(r >= 2.0)\nend\n";
+        assert_eq!(
+            both(src, vec![4]),
+            Ok(vec![Value::Real(2.25), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn input_exhaustion_matches() {
+        assert_eq!(
+            both("main\nread(x)\nread(y)\nend\n", vec![1]),
+            Err(InterpError::InputExhausted)
+        );
+    }
+
+    #[test]
+    fn recursion_matches() {
+        let src = "func fib(n)\nif n < 2 then\nreturn n\nend\nreturn fib(n - 1) + fib(n - 2)\nend\nmain\nprint(fib(12))\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[144])));
+    }
+
+    #[test]
+    fn expression_actuals_do_not_alias() {
+        let src = "proc zap(p)\np = 0\nend\nmain\nx = 9\ncall zap(x * 1)\nprint(x)\nend\n";
+        assert_eq!(both(src, vec![]), Ok(ints(&[9])));
+    }
+
+    #[test]
+    fn step_limit_applies() {
+        let src = "main\nwhile 1 do\nend\nend\n";
+        let checked = compile(src).unwrap();
+        let program = lower(&checked);
+        let config = InterpConfig {
+            max_steps: 100,
+            ..InterpConfig::default()
+        };
+        assert_eq!(run(&program, &config).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn depth_limit_applies() {
+        let src = "proc f()\ncall f()\nend\nmain\ncall f()\nend\n";
+        let checked = compile(src).unwrap();
+        let program = lower(&checked);
+        let config = InterpConfig::default();
+        assert_eq!(run(&program, &config).unwrap_err(), InterpError::DepthLimit);
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed index newtypes for the IR.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The underlying index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id overflow");
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a procedure within a [`crate::Program`].
+    ProcId,
+    "p"
+);
+id_type!(
+    /// Identifies a basic block within a [`crate::Procedure`].
+    BlockId,
+    "b"
+);
+id_type!(
+    /// Identifies a variable within a [`crate::Procedure`]'s variable table.
+    VarId,
+    "v"
+);
+id_type!(
+    /// Identifies a global variable within a [`crate::Program`].
+    GlobalId,
+    "g"
+);
+
+/// The entry block of every procedure.
+pub const ENTRY_BLOCK: BlockId = BlockId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(VarId(7).to_string(), "v7");
+        assert_eq!(GlobalId(1).to_string(), "g1");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(VarId::from_index(5).index(), 5);
+        assert_eq!(BlockId::from_index(0), ENTRY_BLOCK);
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflow")]
+    fn overflow_panics() {
+        let _ = VarId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VarId(1) < VarId(2));
+    }
+}

@@ -1,0 +1,350 @@
+//! IR instructions, operands, and terminators.
+//!
+//! The IR is a conventional three-address code over a per-procedure
+//! variable table. Scalars are either integers or reals (operand base
+//! types never mix inside one instruction — lowering inserts
+//! [`Instr::IntToReal`] conversions); arrays are accessed only through
+//! [`Instr::Load`] / [`Instr::Store`] and are opaque to the constant
+//! analyses, as in the paper.
+
+use crate::ids::{BlockId, ProcId, VarId};
+pub use ipcp_lang::ast::{BinOp, UnOp};
+use std::fmt;
+
+/// An instruction operand: a literal or a scalar variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Integer literal.
+    Const(i64),
+    /// Real literal.
+    RealConst(f64),
+    /// A scalar variable.
+    Var(VarId),
+}
+
+impl Operand {
+    /// Returns the variable if this operand is one.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer literal if this operand is one.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Operand::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::RealConst(c) => write!(f, "{c:?}"),
+            Operand::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Var(v)
+    }
+}
+
+/// An actual argument at a call site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallArg {
+    /// The passed value. For `by_ref` arguments this is always
+    /// [`Operand::Var`].
+    pub value: Operand,
+    /// True when the argument is bound by reference (a bare variable whose
+    /// type matches the formal exactly; whole arrays are always by
+    /// reference). By-value arguments are copied into a fresh callee
+    /// temporary, so callee stores do not escape.
+    pub by_ref: bool,
+}
+
+impl CallArg {
+    /// A by-reference argument.
+    pub fn by_ref(var: VarId) -> Self {
+        CallArg {
+            value: Operand::Var(var),
+            by_ref: true,
+        }
+    }
+
+    /// A by-value argument.
+    pub fn by_value(value: Operand) -> Self {
+        CallArg {
+            value,
+            by_ref: false,
+        }
+    }
+}
+
+/// A three-address instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = src`
+    Copy {
+        /// Destination scalar.
+        dst: VarId,
+        /// Source operand (same base type as `dst`).
+        src: Operand,
+    },
+    /// `dst = op src`
+    Unary {
+        /// Destination scalar.
+        dst: VarId,
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`
+    Binary {
+        /// Destination scalar.
+        dst: VarId,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = (real) src` — integer to real conversion.
+    IntToReal {
+        /// Destination (real scalar).
+        dst: VarId,
+        /// Source (integer operand).
+        src: Operand,
+    },
+    /// `dst = arr(index)` — 1-based, bounds-checked at runtime.
+    Load {
+        /// Destination scalar.
+        dst: VarId,
+        /// Source array variable.
+        arr: VarId,
+        /// Integer index operand.
+        index: Operand,
+    },
+    /// `arr(index) = value`
+    Store {
+        /// Destination array variable.
+        arr: VarId,
+        /// Integer index operand.
+        index: Operand,
+        /// Stored value (same base type as the array).
+        value: Operand,
+    },
+    /// `dst = call callee(args)` / `call callee(args)`
+    Call {
+        /// The callee.
+        callee: ProcId,
+        /// Actual arguments, positionally matching the callee's formals.
+        args: Vec<CallArg>,
+        /// Result variable for function calls.
+        dst: Option<VarId>,
+    },
+    /// `dst = read()` — consumes one input value (converted for real
+    /// destinations).
+    Read {
+        /// Destination scalar.
+        dst: VarId,
+    },
+    /// `print(value)`
+    Print {
+        /// Printed operand.
+        value: Operand,
+    },
+}
+
+impl Instr {
+    /// The scalar variable this instruction defines, if any.
+    ///
+    /// Note that a [`Instr::Call`] additionally *may* define by-reference
+    /// arguments and globals; those implicit definitions are computed by
+    /// the side-effect analysis, not here.
+    pub fn def(&self) -> Option<VarId> {
+        match self {
+            Instr::Copy { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::Binary { dst, .. }
+            | Instr::IntToReal { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::Read { dst } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            Instr::Store { .. } | Instr::Print { .. } => None,
+        }
+    }
+
+    /// Invokes `f` for every operand read by this instruction (array
+    /// variables in `Load`/`Store` and by-ref call arguments included, as
+    /// `Operand::Var`).
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Instr::Copy { src, .. } | Instr::Unary { src, .. } | Instr::IntToReal { src, .. } => {
+                f(*src)
+            }
+            Instr::Binary { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Instr::Load { arr, index, .. } => {
+                f(Operand::Var(*arr));
+                f(*index);
+            }
+            Instr::Store { arr, index, value } => {
+                f(Operand::Var(*arr));
+                f(*index);
+                f(*value);
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    f(a.value);
+                }
+            }
+            Instr::Print { value } => f(*value),
+            Instr::Read { .. } => {}
+        }
+    }
+}
+
+/// Why a [`Terminator::Trap`] fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// A `do` loop step evaluated to zero.
+    ZeroStep,
+    /// Marks a block proven unreachable by dead-code elimination; executing
+    /// it would be a compiler bug.
+    Unreachable,
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::ZeroStep => f.write_str("zero do-step"),
+            TrapKind::Unreachable => f.write_str("unreachable"),
+        }
+    }
+}
+
+/// A basic block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an integer condition (non-zero → `then_bb`).
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Successor when the condition is non-zero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the procedure, with a value for functions.
+    Return(Option<Operand>),
+    /// Abort execution with a runtime error.
+    Trap(TrapKind),
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) | Terminator::Trap(_) => vec![],
+        }
+    }
+
+    /// Invokes `f` on each operand read by the terminator.
+    pub fn for_each_use(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Terminator::Branch { cond, .. } => f(*cond),
+            Terminator::Return(Some(v)) => f(*v),
+            Terminator::Return(None) | Terminator::Jump(_) | Terminator::Trap(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Const(3).as_const(), Some(3));
+        assert_eq!(Operand::Const(3).as_var(), None);
+        assert_eq!(Operand::Var(VarId(2)).as_var(), Some(VarId(2)));
+        assert_eq!(Operand::from(VarId(1)), Operand::Var(VarId(1)));
+    }
+
+    #[test]
+    fn instr_def() {
+        let i = Instr::Binary {
+            dst: VarId(1),
+            op: BinOp::Add,
+            lhs: Operand::Const(1),
+            rhs: Operand::Var(VarId(0)),
+        };
+        assert_eq!(i.def(), Some(VarId(1)));
+        let s = Instr::Store {
+            arr: VarId(0),
+            index: Operand::Const(1),
+            value: Operand::Const(2),
+        };
+        assert_eq!(s.def(), None);
+        let c = Instr::Call {
+            callee: ProcId(0),
+            args: vec![],
+            dst: None,
+        };
+        assert_eq!(c.def(), None);
+    }
+
+    #[test]
+    fn uses_enumerated() {
+        let s = Instr::Store {
+            arr: VarId(0),
+            index: Operand::Var(VarId(1)),
+            value: Operand::Var(VarId(2)),
+        };
+        let mut uses = vec![];
+        s.for_each_use(|o| uses.push(o));
+        assert_eq!(uses.len(), 3);
+    }
+
+    #[test]
+    fn successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: Operand::Const(1),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2)
+            }
+            .successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+        assert!(Terminator::Return(None).successors().is_empty());
+        assert!(Terminator::Trap(TrapKind::ZeroStep).successors().is_empty());
+    }
+
+    #[test]
+    fn call_args() {
+        let a = CallArg::by_ref(VarId(4));
+        assert!(a.by_ref);
+        assert_eq!(a.value.as_var(), Some(VarId(4)));
+        let b = CallArg::by_value(Operand::Const(9));
+        assert!(!b.by_ref);
+    }
+}

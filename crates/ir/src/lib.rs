@@ -1,0 +1,56 @@
+//! # ipcp-ir — mid-level IR for Minifor
+//!
+//! This crate lowers checked Minifor ASTs (from [`ipcp_lang`]) into a
+//! conventional control-flow-graph IR of three-address instructions, the
+//! substrate on which the SSA construction (`ipcp-ssa`), the data-flow
+//! analyses (`ipcp-analysis`), and the interprocedural constant
+//! propagation itself (`ipcp-core`) operate.
+//!
+//! * [`lower::lower`] — AST → [`Program`],
+//! * [`validate::validate`] — structural invariants,
+//! * [`eval::run`] — an evaluator observationally equivalent to the AST
+//!   interpreter (used heavily by the equivalence test suites),
+//! * [`mod@print`] — textual rendering.
+//!
+//! ```
+//! # fn main() {
+//! use ipcp_ir::{eval, lower, validate};
+//! use ipcp_lang::interp::{InterpConfig, Value};
+//!
+//! let checked = ipcp_lang::compile("main\nprint(6 * 7)\nend\n").unwrap();
+//! let program = lower::lower(&checked);
+//! validate::validate(&program).unwrap();
+//! let out = eval::run(&program, &InterpConfig::default()).unwrap();
+//! assert_eq!(out.output, vec![Value::Int(42)]);
+//! # }
+//! ```
+
+pub mod eval;
+pub mod ids;
+pub mod instr;
+pub mod lower;
+pub mod print;
+pub mod procedure;
+pub mod program;
+pub mod validate;
+
+pub use ids::{BlockId, GlobalId, ProcId, VarId, ENTRY_BLOCK};
+pub use instr::{CallArg, Instr, Operand, Terminator, TrapKind};
+pub use procedure::{Block, Procedure, VarDecl, VarKind};
+pub use program::{GlobalVar, Program};
+
+/// Compiles Minifor source all the way to validated IR.
+///
+/// # Errors
+///
+/// Returns front-end diagnostics; lowering itself cannot fail on checked
+/// input (the result always validates — a debug assertion enforces it).
+pub fn compile_to_ir(source: &str) -> Result<Program, ipcp_lang::Diagnostics> {
+    let checked = ipcp_lang::compile(source)?;
+    let program = lower::lower(&checked);
+    debug_assert!(
+        validate::validate(&program).is_ok(),
+        "lowering produced invalid IR"
+    );
+    Ok(program)
+}

@@ -1,0 +1,161 @@
+//! Textual rendering of IR programs for debugging and golden tests.
+
+use crate::instr::{Instr, Operand, Terminator};
+use crate::procedure::{Procedure, VarKind};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, g) in program.globals.iter().enumerate() {
+        let _ = write!(out, "global g{i} {}: {}", g.name, g.ty);
+        if let Some(v) = g.init {
+            let _ = write!(out, " = {v}");
+        }
+        out.push('\n');
+    }
+    for (i, p) in program.procs.iter().enumerate() {
+        if i > 0 || !program.globals.is_empty() {
+            out.push('\n');
+        }
+        let marker = if crate::ids::ProcId::from_index(i) == program.main {
+            " (entry)"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{} p{i} {}{marker}:", p.kind, p.name);
+        out.push_str(&proc_to_string(p, program));
+    }
+    out
+}
+
+/// Renders a single procedure body.
+pub fn proc_to_string(proc: &Procedure, program: &Program) -> String {
+    let mut out = String::new();
+    for (i, v) in proc.vars.iter().enumerate() {
+        let kind = match v.kind {
+            VarKind::Formal(k) => format!("formal {k}"),
+            VarKind::Global(g) => format!("global {g}"),
+            VarKind::Local => "local".to_string(),
+            VarKind::Temp => "temp".to_string(),
+        };
+        let _ = writeln!(out, "  v{i} {}: {} ({kind})", v.name, v.ty);
+    }
+    for b in proc.block_ids() {
+        let _ = writeln!(out, "  {b}:");
+        let block = proc.block(b);
+        for instr in &block.instrs {
+            let _ = writeln!(out, "    {}", instr_to_string(instr, program));
+        }
+        let _ = writeln!(out, "    {}", term_to_string(&block.term));
+    }
+    out
+}
+
+/// Renders one instruction.
+pub fn instr_to_string(instr: &Instr, program: &Program) -> String {
+    match instr {
+        Instr::Copy { dst, src } => format!("{dst} = {src}"),
+        Instr::Unary { dst, op, src } => format!("{dst} = {op}{src}"),
+        Instr::Binary { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op} {rhs}"),
+        Instr::IntToReal { dst, src } => format!("{dst} = real({src})"),
+        Instr::Load { dst, arr, index } => format!("{dst} = {arr}[{index}]"),
+        Instr::Store { arr, index, value } => format!("{arr}[{index}] = {value}"),
+        Instr::Call { callee, args, dst } => {
+            let mut s = String::new();
+            if let Some(d) = dst {
+                let _ = write!(s, "{d} = ");
+            }
+            let name = &program.proc(*callee).name;
+            let _ = write!(s, "call {name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                if a.by_ref {
+                    s.push('&');
+                }
+                let _ = write!(s, "{}", a.value);
+            }
+            s.push(')');
+            s
+        }
+        Instr::Read { dst } => format!("{dst} = read()"),
+        Instr::Print { value } => format!("print({value})"),
+    }
+}
+
+/// Renders one terminator.
+pub fn term_to_string(term: &Terminator) -> String {
+    match term {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            format!("branch {cond} ? {then_bb} : {else_bb}")
+        }
+        Terminator::Return(None) => "return".to_string(),
+        Terminator::Return(Some(v)) => format!("return {v}"),
+        Terminator::Trap(k) => format!("trap ({k})"),
+    }
+}
+
+/// Renders an operand (shared with test helpers).
+pub fn operand_to_string(op: Operand) -> String {
+    op.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use ipcp_lang::compile;
+
+    #[test]
+    fn renders_whole_program() {
+        let p = lower(
+            &compile("global n = 2\nfunc f(x)\nreturn x * n\nend\nmain\nprint(f(3))\nend\n")
+                .unwrap(),
+        );
+        let s = program_to_string(&p);
+        assert!(s.contains("global g0 n: integer = 2"), "{s}");
+        assert!(s.contains("func p0 f:"), "{s}");
+        assert!(s.contains("main p1 main (entry):"), "{s}");
+        assert!(s.contains("call f("), "{s}");
+        assert!(s.contains("return"), "{s}");
+    }
+
+    #[test]
+    fn renders_branches_and_traps() {
+        let p = lower(&compile("main\nread(k)\ndo i = 1, 3, k\nend\nend\n").unwrap());
+        let s = program_to_string(&p);
+        assert!(s.contains("branch"), "{s}");
+        assert!(s.contains("trap (zero do-step)"), "{s}");
+        assert!(s.contains("read()"), "{s}");
+    }
+
+    #[test]
+    fn renders_by_ref_args() {
+        let p = lower(&compile("proc f(a)\na = 1\nend\nmain\ncall f(x)\nend\n").unwrap());
+        let s = program_to_string(&p);
+        assert!(s.contains("call f(&v"), "{s}");
+    }
+
+    #[test]
+    fn renders_array_ops() {
+        let p = lower(&compile("main\ninteger a(5)\na(1) = 2\nx = a(1)\nend\n").unwrap());
+        let s = program_to_string(&p);
+        assert!(s.contains("[1] = 2"), "{s}");
+        assert!(s.contains("= v"), "{s}");
+    }
+
+    #[test]
+    fn operand_rendering() {
+        assert_eq!(operand_to_string(Operand::Const(-3)), "-3");
+        assert_eq!(operand_to_string(Operand::RealConst(1.5)), "1.5");
+        assert_eq!(operand_to_string(Operand::Var(crate::ids::VarId(2))), "v2");
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-procedure IR: variable tables and basic blocks.
+
+use crate::ids::{BlockId, GlobalId, VarId, ENTRY_BLOCK};
+use crate::instr::{Instr, Terminator};
+pub use ipcp_lang::ast::{ProcKind, Ty};
+
+/// How a variable entered the procedure's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// The `i`-th formal parameter (0-based).
+    Formal(u32),
+    /// A reference to the program-level global `g`, routed through the
+    /// procedure's table so the analyses treat it like an extra parameter
+    /// (the paper's footnote 1).
+    Global(GlobalId),
+    /// A named local (declared or implicit).
+    Local,
+    /// A compiler-introduced temporary.
+    Temp,
+}
+
+impl VarKind {
+    /// True for formals.
+    pub fn is_formal(self) -> bool {
+        matches!(self, VarKind::Formal(_))
+    }
+
+    /// True for globals.
+    pub fn is_global(self) -> bool {
+        matches!(self, VarKind::Global(_))
+    }
+}
+
+/// A variable table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Source name (synthesized for temporaries).
+    pub name: String,
+    /// Variable type.
+    pub ty: Ty,
+    /// Formal / global / local / temp.
+    pub kind: VarKind,
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions, in execution order.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block ending in `term`.
+    pub fn new(term: Terminator) -> Self {
+        Block {
+            instrs: Vec::new(),
+            term,
+        }
+    }
+}
+
+/// A procedure in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Source name.
+    pub name: String,
+    /// Subroutine / function / main.
+    pub kind: ProcKind,
+    /// Variable table; the first [`Procedure::num_formals`] entries are the
+    /// formals, in declaration order.
+    pub vars: Vec<VarDecl>,
+    /// Number of formal parameters.
+    pub num_formals: u32,
+    /// Basic blocks; [`ENTRY_BLOCK`] is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Procedure {
+    /// Creates an empty procedure with a lone `return` block.
+    pub fn new(name: impl Into<String>, kind: ProcKind) -> Self {
+        Procedure {
+            name: name.into(),
+            kind,
+            vars: Vec::new(),
+            num_formals: 0,
+            blocks: vec![Block::new(Terminator::Return(None))],
+        }
+    }
+
+    /// Adds a variable and returns its id.
+    pub fn add_var(&mut self, decl: VarDecl) -> VarId {
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(decl);
+        id
+    }
+
+    /// Adds a block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// The block with id `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// The variable declaration for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// Iterator over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId::from_index)
+    }
+
+    /// Iterator over all variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(VarId::from_index)
+    }
+
+    /// Ids of the formal parameters, in order.
+    pub fn formal_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.num_formals as usize).map(VarId::from_index)
+    }
+
+    /// Computes the predecessor lists of every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.block(b).term.successors() {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Total number of instructions (excluding terminators).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// The entry block id (always [`ENTRY_BLOCK`]).
+    pub fn entry(&self) -> BlockId {
+        ENTRY_BLOCK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Operand;
+    use ipcp_lang::ast::ProcKind;
+
+    fn sample() -> Procedure {
+        let mut p = Procedure::new("f", ProcKind::Subroutine);
+        let x = p.add_var(VarDecl {
+            name: "x".into(),
+            ty: Ty::INT,
+            kind: VarKind::Formal(0),
+        });
+        p.num_formals = 1;
+        let b1 = p.add_block(Block::new(Terminator::Return(None)));
+        let b2 = p.add_block(Block::new(Terminator::Jump(b1)));
+        p.block_mut(ENTRY_BLOCK).term = Terminator::Branch {
+            cond: Operand::Var(x),
+            then_bb: b1,
+            else_bb: b2,
+        };
+        p
+    }
+
+    #[test]
+    fn predecessors_computed() {
+        let p = sample();
+        let preds = p.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0), BlockId(2)]);
+        assert_eq!(preds[2], vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn var_and_block_access() {
+        let p = sample();
+        assert_eq!(p.var(VarId(0)).name, "x");
+        assert_eq!(p.block_ids().count(), 3);
+        assert_eq!(p.var_ids().count(), 1);
+        assert_eq!(p.formal_ids().collect::<Vec<_>>(), vec![VarId(0)]);
+        assert_eq!(p.instr_count(), 0);
+        assert_eq!(p.entry(), ENTRY_BLOCK);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(VarKind::Formal(0).is_formal());
+        assert!(!VarKind::Formal(0).is_global());
+        assert!(VarKind::Global(GlobalId(1)).is_global());
+        assert!(!VarKind::Local.is_formal());
+    }
+}

@@ -1,0 +1,107 @@
+//! Whole-program IR container.
+
+use crate::ids::{GlobalId, ProcId};
+use crate::procedure::Procedure;
+use ipcp_lang::ast::Ty;
+
+/// A program-level global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVar {
+    /// Source name.
+    pub name: String,
+    /// Variable type.
+    pub ty: Ty,
+    /// Compile-time initializer for integer scalars; `None` means
+    /// zero-initialized at run time but *unknown* (⊥) to the analysis,
+    /// matching FORTRAN's undefined initial values.
+    pub init: Option<i64>,
+}
+
+/// A whole program in IR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variables, indexable by [`GlobalId`].
+    pub globals: Vec<GlobalVar>,
+    /// Procedures, indexable by [`ProcId`].
+    pub procs: Vec<Procedure>,
+    /// The entry procedure.
+    pub main: ProcId,
+}
+
+impl Program {
+    /// The procedure with id `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn proc(&self, p: ProcId) -> &Procedure {
+        &self.procs[p.index()]
+    }
+
+    /// Mutable access to procedure `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn proc_mut(&mut self, p: ProcId) -> &mut Procedure {
+        &mut self.procs[p.index()]
+    }
+
+    /// The global with id `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn global(&self, g: GlobalId) -> &GlobalVar {
+        &self.globals[g.index()]
+    }
+
+    /// Iterator over all procedure ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.procs.len()).map(ProcId::from_index)
+    }
+
+    /// Iterator over all global ids.
+    pub fn global_ids(&self) -> impl Iterator<Item = GlobalId> + '_ {
+        (0..self.globals.len()).map(GlobalId::from_index)
+    }
+
+    /// Finds a procedure id by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(ProcId::from_index)
+    }
+
+    /// Total instruction count across all procedures.
+    pub fn instr_count(&self) -> usize {
+        self.procs.iter().map(Procedure::instr_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_lang::ast::ProcKind;
+
+    #[test]
+    fn lookups() {
+        let program = Program {
+            globals: vec![GlobalVar {
+                name: "n".into(),
+                ty: Ty::INT,
+                init: Some(4),
+            }],
+            procs: vec![Procedure::new("main", ProcKind::Main)],
+            main: ProcId(0),
+        };
+        assert_eq!(program.proc(ProcId(0)).name, "main");
+        assert_eq!(program.global(GlobalId(0)).init, Some(4));
+        assert_eq!(program.proc_by_name("main"), Some(ProcId(0)));
+        assert_eq!(program.proc_by_name("nope"), None);
+        assert_eq!(program.proc_ids().count(), 1);
+        assert_eq!(program.global_ids().count(), 1);
+        assert_eq!(program.instr_count(), 0);
+    }
+}

@@ -1,0 +1,556 @@
+//! Structural validation of IR programs.
+//!
+//! The validator enforces every invariant later phases rely on; lowering
+//! output must always validate, and tests feed it hand-built IR to pin the
+//! rules down.
+
+use crate::ids::{ProcId, VarId};
+use crate::instr::{Instr, Operand, Terminator};
+use crate::procedure::{Procedure, VarKind};
+use crate::program::Program;
+use ipcp_lang::ast::{Base, BinOp, ProcKind, UnOp};
+
+/// A validation failure, as a human-readable message with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Procedure where the problem was found (`None` for program-level
+    /// problems).
+    pub proc: Option<ProcId>,
+    /// Description of the violated invariant.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.proc {
+            Some(p) => write!(f, "in {p}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates `program`, returning all violations found.
+///
+/// # Errors
+///
+/// Returns a non-empty list of violations if the program is malformed.
+pub fn validate(program: &Program) -> Result<(), Vec<ValidateError>> {
+    let mut v = Validator {
+        program,
+        proc: None,
+        errors: Vec::new(),
+    };
+    v.run();
+    if v.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errors)
+    }
+}
+
+struct Validator<'a> {
+    program: &'a Program,
+    proc: Option<ProcId>,
+    errors: Vec<ValidateError>,
+}
+
+impl Validator<'_> {
+    fn error(&mut self, message: impl Into<String>) {
+        self.errors.push(ValidateError {
+            proc: self.proc,
+            message: message.into(),
+        });
+    }
+
+    fn run(&mut self) {
+        if self.program.main.index() >= self.program.procs.len() {
+            self.error("main procedure id out of range");
+            return;
+        }
+        if self.program.proc(self.program.main).kind != ProcKind::Main {
+            self.error("main procedure id does not refer to a `main`");
+        }
+        for pid in self.program.proc_ids() {
+            self.proc = Some(pid);
+            self.check_proc(self.program.proc(pid));
+        }
+    }
+
+    fn check_proc(&mut self, proc: &Procedure) {
+        if proc.blocks.is_empty() {
+            self.error("procedure has no blocks");
+            return;
+        }
+        if proc.num_formals as usize > proc.vars.len() {
+            self.error("num_formals exceeds variable count");
+            return;
+        }
+        if proc.kind == ProcKind::Main && proc.num_formals != 0 {
+            self.error("main must have no formals");
+        }
+        for (i, var) in proc.vars.iter().enumerate() {
+            match var.kind {
+                VarKind::Formal(k) => {
+                    if i >= proc.num_formals as usize || k as usize != i {
+                        self.error(format!("formal `{}` misplaced at slot {i}", var.name));
+                    }
+                }
+                VarKind::Global(g) => {
+                    if g.index() >= self.program.globals.len() {
+                        self.error(format!("global id {g} out of range for `{}`", var.name));
+                    } else if self.program.global(g).ty != var.ty {
+                        self.error(format!("global `{}` type mismatch", var.name));
+                    }
+                }
+                VarKind::Local | VarKind::Temp => {
+                    if i < proc.num_formals as usize {
+                        self.error(format!("non-formal `{}` in formal slots", var.name));
+                    }
+                }
+            }
+        }
+
+        for b in proc.block_ids() {
+            let block = proc.block(b);
+            for instr in &block.instrs {
+                self.check_instr(proc, instr);
+            }
+            self.check_term(proc, &block.term);
+        }
+    }
+
+    fn operand_base(&mut self, proc: &Procedure, op: Operand) -> Option<Base> {
+        match op {
+            Operand::Const(_) => Some(Base::Int),
+            Operand::RealConst(_) => Some(Base::Real),
+            Operand::Var(v) => {
+                if v.index() >= proc.vars.len() {
+                    self.error(format!("variable {v} out of range"));
+                    return None;
+                }
+                let ty = proc.var(v).ty;
+                if ty.is_array() {
+                    self.error(format!(
+                        "array `{}` used as a scalar operand",
+                        proc.var(v).name
+                    ));
+                    return None;
+                }
+                Some(ty.base)
+            }
+        }
+    }
+
+    fn scalar_var(&mut self, proc: &Procedure, v: VarId, what: &str) -> Option<Base> {
+        if v.index() >= proc.vars.len() {
+            self.error(format!("{what} variable {v} out of range"));
+            return None;
+        }
+        let ty = proc.var(v).ty;
+        if ty.is_array() {
+            self.error(format!("{what} `{}` must be a scalar", proc.var(v).name));
+            return None;
+        }
+        Some(ty.base)
+    }
+
+    fn array_var(&mut self, proc: &Procedure, v: VarId, what: &str) -> Option<Base> {
+        if v.index() >= proc.vars.len() {
+            self.error(format!("{what} variable {v} out of range"));
+            return None;
+        }
+        let ty = proc.var(v).ty;
+        if !ty.is_array() {
+            self.error(format!("{what} `{}` must be an array", proc.var(v).name));
+            return None;
+        }
+        Some(ty.base)
+    }
+
+    fn check_instr(&mut self, proc: &Procedure, instr: &Instr) {
+        match instr {
+            Instr::Copy { dst, src } => {
+                let d = self.scalar_var(proc, *dst, "copy destination");
+                let s = self.operand_base(proc, *src);
+                if let (Some(d), Some(s)) = (d, s) {
+                    if d != s {
+                        self.error("copy between different base types");
+                    }
+                }
+            }
+            Instr::Unary { dst, op, src } => {
+                let d = self.scalar_var(proc, *dst, "unary destination");
+                let s = self.operand_base(proc, *src);
+                if let (Some(d), Some(s)) = (d, s) {
+                    match op {
+                        UnOp::Neg => {
+                            if d != s {
+                                self.error("negation changes base type");
+                            }
+                        }
+                        UnOp::Not => {
+                            if d != Base::Int || s != Base::Int {
+                                self.error("`not` requires integer operands");
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Binary { dst, op, lhs, rhs } => {
+                let d = self.scalar_var(proc, *dst, "binary destination");
+                let l = self.operand_base(proc, *lhs);
+                let r = self.operand_base(proc, *rhs);
+                if let (Some(d), Some(l), Some(r)) = (d, l, r) {
+                    if l != r {
+                        self.error(format!("`{op}` operands have different base types"));
+                    }
+                    if (op.is_logical() || *op == BinOp::Rem) && l != Base::Int {
+                        self.error(format!("`{op}` requires integer operands"));
+                    }
+                    let expect = if op.is_arithmetic() { l } else { Base::Int };
+                    if d != expect {
+                        self.error(format!("`{op}` destination has wrong base type"));
+                    }
+                }
+            }
+            Instr::IntToReal { dst, src } => {
+                let d = self.scalar_var(proc, *dst, "conversion destination");
+                let s = self.operand_base(proc, *src);
+                if d.is_some() && d != Some(Base::Real) {
+                    self.error("int-to-real destination must be real");
+                }
+                if s.is_some() && s != Some(Base::Int) {
+                    self.error("int-to-real source must be integer");
+                }
+            }
+            Instr::Load { dst, arr, index } => {
+                let d = self.scalar_var(proc, *dst, "load destination");
+                let a = self.array_var(proc, *arr, "load source");
+                let i = self.operand_base(proc, *index);
+                if let (Some(d), Some(a)) = (d, a) {
+                    if d != a {
+                        self.error("load destination base type mismatch");
+                    }
+                }
+                if i.is_some() && i != Some(Base::Int) {
+                    self.error("array index must be integer");
+                }
+            }
+            Instr::Store { arr, index, value } => {
+                let a = self.array_var(proc, *arr, "store target");
+                let i = self.operand_base(proc, *index);
+                let v = self.operand_base(proc, *value);
+                if i.is_some() && i != Some(Base::Int) {
+                    self.error("array index must be integer");
+                }
+                if let (Some(a), Some(v)) = (a, v) {
+                    if a != v {
+                        self.error("store value base type mismatch");
+                    }
+                }
+            }
+            Instr::Call { callee, args, dst } => {
+                if callee.index() >= self.program.procs.len() {
+                    self.error(format!("callee {callee} out of range"));
+                    return;
+                }
+                let target = self.program.proc(*callee);
+                if target.kind == ProcKind::Main {
+                    self.error("calls to main are not allowed");
+                }
+                if dst.is_some() && target.kind != ProcKind::Function {
+                    self.error("non-function call has a result");
+                }
+                if args.len() != target.num_formals as usize {
+                    self.error(format!(
+                        "call to `{}` has {} args, expected {}",
+                        target.name,
+                        args.len(),
+                        target.num_formals
+                    ));
+                    return;
+                }
+                if let Some(d) = dst {
+                    let db = self.scalar_var(proc, *d, "call result");
+                    if db.is_some() && db != Some(Base::Int) {
+                        self.error("function results are integers");
+                    }
+                }
+                for (k, arg) in args.iter().enumerate() {
+                    let Some(formal) = target.vars.get(k) else {
+                        self.error(format!("callee `{}` formal table too short", target.name));
+                        break;
+                    };
+                    let formal_ty = formal.ty;
+                    if arg.by_ref {
+                        match arg.value {
+                            Operand::Var(v) if v.index() < proc.vars.len() => {
+                                let actual_ty = proc.var(v).ty;
+                                if actual_ty.base != formal_ty.base
+                                    || actual_ty.is_array() != formal_ty.is_array()
+                                {
+                                    self.error(format!(
+                                        "by-ref argument {k} type mismatch calling `{}`",
+                                        target.name
+                                    ));
+                                }
+                            }
+                            _ => self.error(format!("by-ref argument {k} must be a variable")),
+                        }
+                    } else {
+                        if formal_ty.is_array() {
+                            self.error(format!("array formal {k} requires a by-ref argument"));
+                        }
+                        let ab = self.operand_base(proc, arg.value);
+                        if let Some(ab) = ab {
+                            if ab != formal_ty.base {
+                                self.error(format!(
+                                    "by-value argument {k} base type mismatch calling `{}`",
+                                    target.name
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Read { dst } => {
+                self.scalar_var(proc, *dst, "read destination");
+            }
+            Instr::Print { value } => {
+                self.operand_base(proc, *value);
+            }
+        }
+    }
+
+    fn check_term(&mut self, proc: &Procedure, term: &Terminator) {
+        match term {
+            Terminator::Jump(b) => {
+                if b.index() >= proc.blocks.len() {
+                    self.error(format!("jump target {b} out of range"));
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.operand_base(proc, *cond);
+                if c.is_some() && c != Some(Base::Int) {
+                    self.error("branch condition must be integer");
+                }
+                for b in [then_bb, else_bb] {
+                    if b.index() >= proc.blocks.len() {
+                        self.error(format!("branch target {b} out of range"));
+                    }
+                }
+            }
+            Terminator::Return(val) => match (proc.kind, val) {
+                (ProcKind::Function, None) => self.error("function return without a value"),
+                (ProcKind::Function, Some(op)) => {
+                    let b = self.operand_base(proc, *op);
+                    if b.is_some() && b != Some(Base::Int) {
+                        self.error("function return value must be integer");
+                    }
+                }
+                (_, Some(_)) => self.error("non-function return with a value"),
+                (_, None) => {}
+            },
+            Terminator::Trap(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, GlobalId};
+    use crate::instr::CallArg;
+    use crate::procedure::VarDecl;
+    use ipcp_lang::ast::Ty;
+    use ipcp_lang::compile;
+
+    fn valid_main() -> Program {
+        Program {
+            globals: vec![],
+            procs: vec![Procedure::new("main", ProcKind::Main)],
+            main: ProcId(0),
+        }
+    }
+
+    #[test]
+    fn empty_main_validates() {
+        assert!(validate(&valid_main()).is_ok());
+    }
+
+    #[test]
+    fn lowered_programs_validate() {
+        let srcs = [
+            "main\nx = 1\nend\n",
+            "global n = 3\nproc f(a, real b, v())\ninteger t\nt = a * 2\nv(t) = t\nend\n\
+             main\ninteger arr(9)\nreal r\ncall f(n, r, arr)\nend\n",
+            "func g(x)\nreturn x + 1\nend\nmain\ndo i = 1, 10, 2\ns = s + g(i)\nend\nprint(s)\nend\n",
+            "main\nread(k)\ndo i = 1, 5, k\nwhile i > 0 do\ni = i - 1\nend\nend\nend\n",
+        ];
+        for src in srcs {
+            let program = crate::lower::lower(&compile(src).unwrap());
+            if let Err(errs) = validate(&program) {
+                panic!("{src}\n{errs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_main_id() {
+        let mut p = valid_main();
+        p.main = ProcId(5);
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn main_with_formals_rejected() {
+        let mut p = valid_main();
+        p.procs[0].add_var(VarDecl {
+            name: "x".into(),
+            ty: Ty::INT,
+            kind: VarKind::Formal(0),
+        });
+        p.procs[0].num_formals = 1;
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("main must have no formals")));
+    }
+
+    #[test]
+    fn out_of_range_jump_rejected() {
+        let mut p = valid_main();
+        p.procs[0].block_mut(BlockId(0)).term = Terminator::Jump(BlockId(9));
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let mut p = valid_main();
+        let x = p.procs[0].add_var(VarDecl {
+            name: "x".into(),
+            ty: Ty::INT,
+            kind: VarKind::Local,
+        });
+        let r = p.procs[0].add_var(VarDecl {
+            name: "r".into(),
+            ty: Ty::REAL,
+            kind: VarKind::Local,
+        });
+        p.procs[0].block_mut(BlockId(0)).instrs.push(Instr::Copy {
+            dst: x,
+            src: Operand::Var(r),
+        });
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("different base types")));
+    }
+
+    #[test]
+    fn mixed_binary_rejected() {
+        let mut p = valid_main();
+        let x = p.procs[0].add_var(VarDecl {
+            name: "x".into(),
+            ty: Ty::INT,
+            kind: VarKind::Local,
+        });
+        p.procs[0].block_mut(BlockId(0)).instrs.push(Instr::Binary {
+            dst: x,
+            op: BinOp::Add,
+            lhs: Operand::Const(1),
+            rhs: Operand::RealConst(2.0),
+        });
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("different base types")));
+    }
+
+    #[test]
+    fn bad_global_reference_rejected() {
+        let mut p = valid_main();
+        p.procs[0].add_var(VarDecl {
+            name: "g".into(),
+            ty: Ty::INT,
+            kind: VarKind::Global(GlobalId(3)),
+        });
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut p = valid_main();
+        let mut f = Procedure::new("f", ProcKind::Subroutine);
+        f.add_var(VarDecl {
+            name: "a".into(),
+            ty: Ty::INT,
+            kind: VarKind::Formal(0),
+        });
+        f.num_formals = 1;
+        p.procs.push(f);
+        p.procs[0].block_mut(BlockId(0)).instrs.push(Instr::Call {
+            callee: ProcId(1),
+            args: vec![],
+            dst: None,
+        });
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 1")));
+    }
+
+    #[test]
+    fn by_ref_literal_rejected() {
+        let mut p = valid_main();
+        let mut f = Procedure::new("f", ProcKind::Subroutine);
+        f.add_var(VarDecl {
+            name: "a".into(),
+            ty: Ty::INT,
+            kind: VarKind::Formal(0),
+        });
+        f.num_formals = 1;
+        p.procs.push(f);
+        p.procs[0].block_mut(BlockId(0)).instrs.push(Instr::Call {
+            callee: ProcId(1),
+            args: vec![CallArg {
+                value: Operand::Const(1),
+                by_ref: true,
+            }],
+            dst: None,
+        });
+        let errs = validate(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("must be a variable")));
+    }
+
+    #[test]
+    fn function_bare_return_rejected() {
+        let mut p = valid_main();
+        let f = Procedure::new("f", ProcKind::Function);
+        p.procs.push(f);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("without a value")));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidateError {
+            proc: Some(ProcId(1)),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "in p1: boom");
+        let e = ValidateError {
+            proc: None,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -1,0 +1,183 @@
+//! Diagnostics for the Minifor front end.
+
+use crate::span::{LineMap, Span};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Which front-end phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / name resolution.
+    Check,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single front-end diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Producing phase.
+    pub phase: Phase,
+    /// Location in the source buffer.
+    pub span: Span,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with `line:col` resolved against `source`.
+    pub fn render(&self, source: &str) -> String {
+        let map = LineMap::new(source);
+        let (line, col) = map.line_col(self.span.start);
+        format!("{}:{}: {} error: {}", line, col, self.phase, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl StdError for Diagnostic {}
+
+/// A non-empty collection of diagnostics, returned by fallible front-end phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostics(Vec<Diagnostic>);
+
+impl Diagnostics {
+    /// Wraps a non-empty list of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diags` is empty.
+    pub fn new(diags: Vec<Diagnostic>) -> Self {
+        assert!(
+            !diags.is_empty(),
+            "diagnostics collection must be non-empty"
+        );
+        Diagnostics(diags)
+    }
+
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        Diagnostics(vec![diag])
+    }
+
+    /// The diagnostics, in source order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.0.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false: the collection is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The first diagnostic.
+    pub fn first(&self) -> &Diagnostic {
+        &self.0[0]
+    }
+
+    /// Renders all diagnostics against `source`, one per line.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        for d in &self.0 {
+            out.push_str(&d.render(source));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl StdError for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics::single(d)
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_line_col() {
+        let src = "a\nbad token here";
+        let d = Diagnostic::new(Phase::Lex, Span::new(2, 5), "unexpected character");
+        assert_eq!(d.render(src), "2:1: lex error: unexpected character");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let d = Diagnostic::new(Phase::Parse, Span::new(0, 1), "expected `end`");
+        assert!(!format!("{d}").is_empty());
+        assert!(!format!("{d:?}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_diagnostics_panics() {
+        let _ = Diagnostics::new(vec![]);
+    }
+
+    #[test]
+    fn diagnostics_roundtrip() {
+        let d = Diagnostic::new(Phase::Check, Span::new(1, 2), "unknown procedure");
+        let ds = Diagnostics::single(d.clone());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.first(), &d);
+        assert!(!ds.is_empty());
+        let collected: Vec<_> = ds.into_iter().collect();
+        assert_eq!(collected, vec![d]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Source locations and spans.
+
+use std::fmt;
+
+/// A half-open byte range into a source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: u32) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line/column pairs for diagnostics.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Returns the 1-based `(line, column)` of byte offset `pos`.
+    pub fn line_col(&self, pos: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&pos) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        let col = pos - self.line_starts[line];
+        (line as u32 + 1, col + 1)
+    }
+
+    /// Number of lines in the mapped source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let map = LineMap::new("ab\ncd\n\nxyz");
+        assert_eq!(map.line_col(0), (1, 1));
+        assert_eq!(map.line_col(1), (1, 2));
+        assert_eq!(map.line_col(3), (2, 1));
+        assert_eq!(map.line_col(6), (3, 1));
+        assert_eq!(map.line_col(7), (4, 1));
+        assert_eq!(map.line_col(9), (4, 3));
+        assert_eq!(map.line_count(), 4);
+    }
+
+    #[test]
+    fn line_col_empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_col(0), (1, 1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Tokens of the Minifor language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier such as `matmul`.
+    Ident(String),
+    /// An integer literal. Stored as `i64`; the lexer rejects overflow.
+    Int(i64),
+    /// A real (floating-point) literal such as `1.5`.
+    Real(f64),
+
+    // Keywords.
+    /// `global`
+    KwGlobal,
+    /// `proc`
+    KwProc,
+    /// `func`
+    KwFunc,
+    /// `main`
+    KwMain,
+    /// `end`
+    KwEnd,
+    /// `integer`
+    KwInteger,
+    /// `real`
+    KwReal,
+    /// `if`
+    KwIf,
+    /// `then`
+    KwThen,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `do`
+    KwDo,
+    /// `call`
+    KwCall,
+    /// `return`
+    KwReturn,
+    /// `read`
+    KwRead,
+    /// `print`
+    KwPrint,
+    /// `and`
+    KwAnd,
+    /// `or`
+    KwOr,
+    /// `not`
+    KwNot,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of statement: a newline or `;` (consecutive separators collapse).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "global" => KwGlobal,
+            "proc" => KwProc,
+            "func" => KwFunc,
+            "main" => KwMain,
+            "end" => KwEnd,
+            "integer" => KwInteger,
+            "real" => KwReal,
+            "if" => KwIf,
+            "then" => KwThen,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "do" => KwDo,
+            "call" => KwCall,
+            "return" => KwReturn,
+            "read" => KwRead,
+            "print" => KwPrint,
+            "and" => KwAnd,
+            "or" => KwOr,
+            "not" => KwNot,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(name) => format!("identifier `{name}`"),
+            Int(v) => format!("integer literal `{v}`"),
+            Real(v) => format!("real literal `{v}`"),
+            KwGlobal => "`global`".into(),
+            KwProc => "`proc`".into(),
+            KwFunc => "`func`".into(),
+            KwMain => "`main`".into(),
+            KwEnd => "`end`".into(),
+            KwInteger => "`integer`".into(),
+            KwReal => "`real`".into(),
+            KwIf => "`if`".into(),
+            KwThen => "`then`".into(),
+            KwElse => "`else`".into(),
+            KwWhile => "`while`".into(),
+            KwDo => "`do`".into(),
+            KwCall => "`call`".into(),
+            KwReturn => "`return`".into(),
+            KwRead => "`read`".into(),
+            KwPrint => "`print`".into(),
+            KwAnd => "`and`".into(),
+            KwOr => "`or`".into(),
+            KwNot => "`not`".into(),
+            LParen => "`(`".into(),
+            RParen => "`)`".into(),
+            Comma => "`,`".into(),
+            Assign => "`=`".into(),
+            Plus => "`+`".into(),
+            Minus => "`-`".into(),
+            Star => "`*`".into(),
+            Slash => "`/`".into(),
+            Percent => "`%`".into(),
+            EqEq => "`==`".into(),
+            NotEq => "`!=`".into(),
+            Lt => "`<`".into(),
+            Le => "`<=`".into(),
+            Gt => "`>`".into(),
+            Ge => "`>=`".into(),
+            Newline => "end of line".into(),
+            Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("proc"), Some(TokenKind::KwProc));
+        assert_eq!(TokenKind::keyword("do"), Some(TokenKind::KwDo));
+        assert_eq!(TokenKind::keyword("xyz"), None);
+        // Keywords are case-sensitive (lowercase only).
+        assert_eq!(TokenKind::keyword("PROC"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_fixed_tokens() {
+        use TokenKind::*;
+        let all = [
+            KwGlobal, KwProc, KwFunc, KwMain, KwEnd, KwInteger, KwReal, KwIf, KwThen, KwElse,
+            KwWhile, KwDo, KwCall, KwReturn, KwRead, KwPrint, KwAnd, KwOr, KwNot, LParen, RParen,
+            Comma, Assign, Plus, Minus, Star, Slash, Percent, EqEq, NotEq, Lt, Le, Gt, Ge, Newline,
+            Eof,
+        ];
+        for t in all {
+            assert!(!t.describe().is_empty(), "{t:?}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Robustness: the front end must never panic, whatever bytes it is fed —
+//! it either produces a program or diagnostics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics(src in ".{0,200}") {
+        let _ = ipcp_lang::lexer::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in ".{0,200}") {
+        let _ = ipcp_lang::parser::parse(&src);
+    }
+
+    #[test]
+    fn compile_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "main", "end", "proc", "func", "global", "if", "then", "else", "while",
+                "do", "call", "return", "read", "print", "integer", "real", "x", "y",
+                "f", "(", ")", ",", "=", "+", "-", "*", "/", "%", "==", "<", "1", "2.5",
+                "\n",
+            ]),
+            0..60,
+        )
+    ) {
+        let src: String = words.join(" ");
+        let _ = ipcp_lang::compile(&src);
+    }
+
+    #[test]
+    fn diagnostics_always_render(src in ".{0,200}") {
+        if let Err(diags) = ipcp_lang::compile(&src) {
+            // Rendering must stay in bounds for any span.
+            let rendered = diags.render(&src);
+            prop_assert!(!rendered.is_empty());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! CFG utilities: reachability, reverse postorder, predecessor lists.
+
+use ipcp_ir::{BlockId, Procedure};
+
+/// Precomputed CFG facts for one procedure, restricted to blocks reachable
+/// from the entry.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `reachable[b]` — whether block `b` is reachable from the entry.
+    pub reachable: Vec<bool>,
+    /// Reachable blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` — position of `b` in [`Cfg::rpo`] (`usize::MAX` for
+    /// unreachable blocks).
+    pub rpo_index: Vec<usize>,
+    /// Predecessors of each block, restricted to reachable predecessors.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes CFG facts for `proc`.
+    pub fn new(proc: &Procedure) -> Self {
+        let n = proc.blocks.len();
+        let mut reachable = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+
+        // Iterative DFS computing postorder.
+        let mut stack: Vec<(BlockId, usize)> = vec![(proc.entry(), 0)];
+        reachable[proc.entry().index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = proc.block(b).term.successors();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+
+        let rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let mut preds = vec![Vec::new(); n];
+        for &b in &rpo {
+            for s in proc.block(b).term.successors() {
+                if reachable[s.index()] {
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+
+        Cfg {
+            reachable,
+            rpo,
+            rpo_index,
+            preds,
+        }
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Number of reachable blocks.
+    pub fn reachable_count(&self) -> usize {
+        self.rpo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+
+    fn cfg_of(src: &str) -> (ipcp_ir::Program, Cfg) {
+        let program = compile_to_ir(src).expect("compiles");
+        let cfg = Cfg::new(program.proc(program.main));
+        (program, cfg)
+    }
+
+    #[test]
+    fn straight_line() {
+        let (_, cfg) = cfg_of("main\nx = 1\nend\n");
+        assert_eq!(cfg.rpo.len(), 1);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert!(cfg.preds[0].is_empty());
+    }
+
+    #[test]
+    fn diamond_rpo_order() {
+        let (program, cfg) = cfg_of("main\nif x then\ny = 1\nelse\ny = 2\nend\nz = y\nend\n");
+        let main = program.proc(program.main);
+        assert_eq!(cfg.rpo.len(), main.blocks.len());
+        // Entry first; join last.
+        assert_eq!(cfg.rpo[0], main.entry());
+        let join = cfg.rpo[cfg.rpo.len() - 1];
+        assert_eq!(cfg.preds[join.index()].len(), 2);
+        // RPO property: every non-back-edge predecessor precedes the block.
+        for &b in &cfg.rpo {
+            for &p in &cfg.preds[b.index()] {
+                // In an acyclic CFG preds come strictly earlier.
+                assert!(cfg.rpo_index[p.index()] < cfg.rpo_index[b.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let (_, cfg) = cfg_of("main\nwhile x < 3 do\nx = x + 1\nend\nend\n");
+        // Header (index 1 in lowering) has entry and body as preds.
+        let header = BlockId(1);
+        assert_eq!(cfg.preds[header.index()].len(), 2);
+        // One of them is a back edge (later in RPO).
+        let later = cfg.preds[header.index()]
+            .iter()
+            .filter(|p| cfg.rpo_index[p.index()] > cfg.rpo_index[header.index()])
+            .count();
+        assert_eq!(later, 1);
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let (program, cfg) = {
+            let program =
+                compile_to_ir("proc f()\nreturn\nx = 1\nend\nmain\ncall f()\nend\n").unwrap();
+            let f = program.proc_by_name("f").unwrap();
+            let cfg = Cfg::new(program.proc(f));
+            (program, cfg)
+        };
+        let f = program.proc(program.proc_by_name("f").unwrap());
+        assert!(cfg.reachable_count() < f.blocks.len());
+        assert!(cfg.is_reachable(f.entry()));
+        let unreachable = f.block_ids().find(|&b| !cfg.is_reachable(b)).unwrap();
+        assert_eq!(cfg.rpo_index[unreachable.index()], usize::MAX);
+    }
+}

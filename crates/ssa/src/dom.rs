@@ -1,0 +1,279 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Uses the iterative algorithm of Cooper, Harvey & Kennedy ("A Simple,
+//! Fast Dominance Algorithm"), which is near-linear on reducible CFGs like
+//! the ones structured Minifor lowering produces.
+
+use crate::cfg::Cfg;
+use ipcp_ir::{BlockId, Procedure};
+
+/// Dominator tree over the reachable blocks of one procedure.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block; the entry maps to itself, and
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree.
+    children: Vec<Vec<BlockId>>,
+    /// Preorder interval [in, out) for O(1) dominance queries.
+    pre_in: Vec<u32>,
+    pre_out: Vec<u32>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Builds the dominator tree for `proc` given its CFG facts.
+    pub fn new(proc: &Procedure, cfg: &Cfg) -> Self {
+        let n = proc.blocks.len();
+        let entry = proc.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while cfg.rpo_index[a.index()] > cfg.rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while cfg.rpo_index[b.index()] > cfg.rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                let new_idom = new_idom.expect("reachable block has a processed predecessor");
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            if b != entry {
+                let parent = idom[b.index()].expect("reachable");
+                children[parent.index()].push(b);
+            }
+        }
+
+        // Preorder intervals via iterative DFS.
+        let mut pre_in = vec![0u32; n];
+        let mut pre_out = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        pre_in[entry.index()] = clock;
+        clock += 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < children[b.index()].len() {
+                let c = children[b.index()][*next];
+                *next += 1;
+                pre_in[c.index()] = clock;
+                clock += 1;
+                stack.push((c, 0));
+            } else {
+                pre_out[b.index()] = clock;
+                stack.pop();
+            }
+        }
+
+        DomTree {
+            idom,
+            children,
+            pre_in,
+            pre_out,
+            entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Dominator-tree children of `b`.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexively). False if either block is
+    /// unreachable.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[a.index()].is_none() && a != self.entry {
+            return false;
+        }
+        if self.idom[b.index()].is_none() && b != self.entry {
+            return false;
+        }
+        self.pre_in[a.index()] <= self.pre_in[b.index()]
+            && self.pre_out[b.index()] <= self.pre_out[a.index()]
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+}
+
+/// Dominance frontiers of every block.
+#[derive(Debug, Clone)]
+pub struct DominanceFrontiers {
+    /// `df[b]` — blocks on the dominance frontier of `b`.
+    df: Vec<Vec<BlockId>>,
+}
+
+impl DominanceFrontiers {
+    /// Computes dominance frontiers from the CFG and dominator tree.
+    pub fn new(proc: &Procedure, cfg: &Cfg, dom: &DomTree) -> Self {
+        let n = proc.blocks.len();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &b in &cfg.rpo {
+            let preds = &cfg.preds[b.index()];
+            if preds.len() < 2 {
+                continue;
+            }
+            let idom_b = dom.idom(b).expect("join block has idom");
+            for &p in preds {
+                let mut runner = p;
+                while runner != idom_b {
+                    if !df[runner.index()].contains(&b) {
+                        df[runner.index()].push(b);
+                    }
+                    runner = dom.idom(runner).unwrap_or(idom_b);
+                    if runner == dom.entry() && idom_b != dom.entry() && runner != idom_b {
+                        // Safety valve: entry reached without meeting
+                        // idom(b); cannot happen on valid input.
+                        break;
+                    }
+                }
+            }
+        }
+        DominanceFrontiers { df }
+    }
+
+    /// The dominance frontier of `b`.
+    pub fn of(&self, b: BlockId) -> &[BlockId] {
+        &self.df[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+
+    fn analyze(src: &str) -> (ipcp_ir::Program, Cfg, DomTree, DominanceFrontiers) {
+        let program = compile_to_ir(src).expect("compiles");
+        let main = program.proc(program.main);
+        let cfg = Cfg::new(main);
+        let dom = DomTree::new(main, &cfg);
+        let df = DominanceFrontiers::new(main, &cfg, &dom);
+        (program, cfg, dom, df)
+    }
+
+    #[test]
+    fn entry_has_no_idom() {
+        let (program, _, dom, _) = analyze("main\nx = 1\nend\n");
+        assert_eq!(dom.idom(program.proc(program.main).entry()), None);
+        assert!(dom.dominates(BlockId(0), BlockId(0)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // entry(0) -> then(1), else(2); both -> join(3).
+        let (_, _, dom, df) = analyze("main\nif x then\ny = 1\nelse\ny = 2\nend\nz = y\nend\n");
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        // DF(then) = DF(else) = {join}; DF(entry) = {} .
+        assert_eq!(df.of(BlockId(1)), &[BlockId(3)]);
+        assert_eq!(df.of(BlockId(2)), &[BlockId(3)]);
+        assert!(df.of(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry(0) -> header(1); header -> body(2) | exit(3); body -> header.
+        let (_, _, dom, df) = analyze("main\nwhile x < 3 do\nx = x + 1\nend\nend\n");
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(1), BlockId(3)));
+        // The body's frontier contains the header (back edge target).
+        assert!(df.of(BlockId(2)).contains(&BlockId(1)));
+        // The header's own frontier contains itself (it does not dominate
+        // its predecessor via the back edge... it does dominate body; DF of
+        // header is header itself since body->header and header dominates
+        // body but not strictly itself).
+        assert!(df.of(BlockId(1)).contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn nested_ifs() {
+        let src = "main\nif a then\nif b then\nx = 1\nend\nend\ny = x\nend\n";
+        let (_, cfg, dom, _) = analyze(src);
+        // Every reachable block is dominated by the entry.
+        for &b in &cfg.rpo {
+            assert!(dom.dominates(BlockId(0), b));
+        }
+        // idom chain is consistent: idom precedes in RPO.
+        for &b in cfg.rpo.iter().skip(1) {
+            let i = dom.idom(b).unwrap();
+            assert!(cfg.rpo_index[i.index()] < cfg.rpo_index[b.index()]);
+        }
+    }
+
+    #[test]
+    fn dominates_is_partial_order_on_samples() {
+        let src =
+            "main\nwhile a do\nif b then\nx = x + 1\nelse\nx = x - 1\nend\nend\nprint(x)\nend\n";
+        let (_, cfg, dom, _) = analyze(src);
+        for &a in &cfg.rpo {
+            assert!(dom.dominates(a, a), "reflexive");
+            for &b in &cfg.rpo {
+                for &c in &cfg.rpo {
+                    if dom.dominates(a, b) && dom.dominates(b, c) {
+                        assert!(dom.dominates(a, c), "transitive");
+                    }
+                }
+                if a != b && dom.dominates(a, b) && dom.dominates(b, a) {
+                    panic!("antisymmetry violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_never_dominate() {
+        let program = compile_to_ir("proc f()\nreturn\nx = 1\nend\nmain\ncall f()\nend\n").unwrap();
+        let f = program.proc(program.proc_by_name("f").unwrap());
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let dead = f.block_ids().find(|&b| !cfg.is_reachable(b)).unwrap();
+        assert!(!dom.dominates(dead, f.entry()));
+        assert!(!dom.dominates(f.entry(), dead));
+        assert_eq!(dom.idom(dead), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ipcp-ssa — SSA construction for the Minifor IR
+//!
+//! Builds pruned-to-reachable, minimal SSA form (Cytron et al.) over
+//! [`ipcp_ir`] procedures, with dominators and dominance frontiers computed
+//! by the Cooper–Harvey–Kennedy iterative algorithm. The paper's analyzer
+//! was "built on top of an SSA-based value number graph" (§4.1); this crate
+//! is that substrate.
+//!
+//! The distinctive feature is the [`build::KillOracle`]: call instructions
+//! implicitly redefine by-reference actuals and globals, and the oracle
+//! decides *which*. Plugging in a MOD-summary-backed oracle gives the
+//! paper's "with MOD information" configurations; [`build::WorstCaseKills`]
+//! gives the "without MOD" ones, where "the presence of any call in a
+//! routine eliminated potential constants along paths leaving the call
+//! site" (§4.2).
+//!
+//! ```
+//! use ipcp_ssa::build::{build_ssa, WorstCaseKills};
+//!
+//! let program = ipcp_ir::compile_to_ir("main\nx = 1\nprint(x)\nend\n").unwrap();
+//! let main = program.proc(program.main);
+//! let ssa = build_ssa(&program, main, &WorstCaseKills);
+//! ipcp_ssa::verify::verify(main, &ssa).unwrap();
+//! assert_eq!(ssa.rpo_blocks().count(), 1);
+//! ```
+
+pub mod build;
+pub mod cfg;
+pub mod dom;
+pub mod ssa;
+pub mod verify;
+
+pub use build::{build_ssa, KillOracle, NoKills, WorstCaseKills};
+pub use cfg::Cfg;
+pub use dom::{DomTree, DominanceFrontiers};
+pub use ssa::{
+    DefInfo, DefSite, Phi, SsaBlock, SsaCallArg, SsaInstr, SsaKill, SsaName, SsaOperand, SsaProc,
+    SsaTerminator,
+};

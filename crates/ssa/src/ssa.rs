@@ -1,0 +1,374 @@
+//! SSA form data structures.
+//!
+//! SSA is built as a *parallel* representation: the underlying IR is left
+//! untouched, and an [`SsaProc`] mirrors its reachable blocks with renamed
+//! operands. Only integer/real **scalars** get SSA names; arrays remain
+//! opaque (loads are treated as unknown values by the constant analyses,
+//! exactly as in the paper).
+//!
+//! Calls carry explicit *kill* lists: the caller-side variables a call may
+//! redefine (by-reference actuals and globals). The kill sets are supplied
+//! by a [`crate::build::KillOracle`], which is how interprocedural MOD
+//! information — or its absence — is threaded into SSA construction.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use ipcp_ir::{BlockId, ProcId, TrapKind, VarId};
+pub use ipcp_lang::ast::{BinOp, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An SSA value name (index into [`SsaProc::defs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SsaName(pub u32);
+
+impl SsaName {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SsaName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Where an SSA name is defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The variable's value on procedure entry (formals and globals carry
+    /// the incoming interprocedural value; locals are undefined/zero).
+    Entry,
+    /// A phi node at the start of `block`.
+    Phi {
+        /// Block holding the phi.
+        block: BlockId,
+    },
+    /// The explicit destination of the instruction at `block.index`.
+    Instr {
+        /// Defining block.
+        block: BlockId,
+        /// Instruction index within the block.
+        index: usize,
+    },
+    /// An implicit definition by the call at `block.index` (a by-reference
+    /// actual or global the callee may modify).
+    CallImplicit {
+        /// Defining block.
+        block: BlockId,
+        /// Instruction index within the block.
+        index: usize,
+    },
+}
+
+/// Metadata for one SSA name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefInfo {
+    /// The source variable this name is a version of.
+    pub var: VarId,
+    /// Defining site.
+    pub site: DefSite,
+}
+
+/// An operand in SSA form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SsaOperand {
+    /// Integer literal.
+    Const(i64),
+    /// Real literal.
+    RealConst(f64),
+    /// An SSA value.
+    Name(SsaName),
+}
+
+impl SsaOperand {
+    /// The SSA name, if this operand is one.
+    pub fn as_name(self) -> Option<SsaName> {
+        match self {
+            SsaOperand::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The integer literal, if this operand is one.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            SsaOperand::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A call argument in SSA form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsaCallArg {
+    /// The value flowing into the callee (for by-ref arguments, the current
+    /// SSA name of the referenced variable; `None` for whole arrays, which
+    /// have no scalar SSA value).
+    pub value: Option<SsaOperand>,
+    /// The referenced variable for by-ref arguments.
+    pub by_ref_var: Option<VarId>,
+}
+
+/// A variable implicitly redefined by a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsaKill {
+    /// The caller-side variable.
+    pub var: VarId,
+    /// Its new SSA name after the call.
+    pub name: SsaName,
+}
+
+/// An instruction in SSA form (mirrors [`ipcp_ir::Instr`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsaInstr {
+    /// `dst = src`
+    Copy {
+        /// Defined name.
+        dst: SsaName,
+        /// Source.
+        src: SsaOperand,
+    },
+    /// `dst = op src`
+    Unary {
+        /// Defined name.
+        dst: SsaName,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: SsaOperand,
+    },
+    /// `dst = lhs op rhs`
+    Binary {
+        /// Defined name.
+        dst: SsaName,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: SsaOperand,
+        /// Right operand.
+        rhs: SsaOperand,
+    },
+    /// `dst = (real) src`
+    IntToReal {
+        /// Defined name.
+        dst: SsaName,
+        /// Source.
+        src: SsaOperand,
+    },
+    /// `dst = arr(index)` — always an unknown value to the analyses.
+    Load {
+        /// Defined name.
+        dst: SsaName,
+        /// Array variable (not SSA-renamed).
+        arr: VarId,
+        /// Index operand.
+        index: SsaOperand,
+    },
+    /// `arr(index) = value`
+    Store {
+        /// Array variable (not SSA-renamed).
+        arr: VarId,
+        /// Index operand.
+        index: SsaOperand,
+        /// Stored value.
+        value: SsaOperand,
+    },
+    /// A call with explicit implicit-def (kill) list.
+    Call {
+        /// Callee procedure.
+        callee: ProcId,
+        /// Arguments, positionally matching the callee's formals.
+        args: Vec<SsaCallArg>,
+        /// Function result name.
+        dst: Option<SsaName>,
+        /// Variables this call may redefine, with their post-call names.
+        kills: Vec<SsaKill>,
+        /// Snapshot of the reaching names of every scalar global in the
+        /// caller's variable table, taken *before* the call. Jump function
+        /// construction reads a global's value at the call site from here
+        /// (globals are implicit actual parameters — the paper's
+        /// footnote 1).
+        globals_in: Vec<(VarId, SsaName)>,
+    },
+    /// `dst = read()`
+    Read {
+        /// Defined name.
+        dst: SsaName,
+    },
+    /// `print(value)`
+    Print {
+        /// Printed operand.
+        value: SsaOperand,
+    },
+}
+
+impl SsaInstr {
+    /// The explicit destination name, if any (does not include call kills).
+    pub fn dst(&self) -> Option<SsaName> {
+        match self {
+            SsaInstr::Copy { dst, .. }
+            | SsaInstr::Unary { dst, .. }
+            | SsaInstr::Binary { dst, .. }
+            | SsaInstr::IntToReal { dst, .. }
+            | SsaInstr::Load { dst, .. }
+            | SsaInstr::Read { dst } => Some(*dst),
+            SsaInstr::Call { dst, .. } => *dst,
+            SsaInstr::Store { .. } | SsaInstr::Print { .. } => None,
+        }
+    }
+
+    /// Invokes `f` on every operand this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(SsaOperand)) {
+        match self {
+            SsaInstr::Copy { src, .. }
+            | SsaInstr::Unary { src, .. }
+            | SsaInstr::IntToReal { src, .. } => f(*src),
+            SsaInstr::Binary { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            SsaInstr::Load { index, .. } => f(*index),
+            SsaInstr::Store { index, value, .. } => {
+                f(*index);
+                f(*value);
+            }
+            SsaInstr::Call { args, .. } => {
+                for a in args {
+                    if let Some(v) = a.value {
+                        f(v);
+                    }
+                }
+            }
+            SsaInstr::Print { value } => f(*value),
+            SsaInstr::Read { .. } => {}
+        }
+    }
+}
+
+/// A block terminator in SSA form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsaTerminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        cond: SsaOperand,
+        /// Non-zero successor.
+        then_bb: BlockId,
+        /// Zero successor.
+        else_bb: BlockId,
+    },
+    /// Procedure return.
+    Return {
+        /// Returned value (functions only).
+        value: Option<SsaOperand>,
+        /// Snapshot of the reaching names of every formal and scalar
+        /// global at this exit. Return jump function construction reads a
+        /// slot's exit value from here.
+        exit: Vec<(VarId, SsaName)>,
+    },
+    /// Runtime trap.
+    Trap(TrapKind),
+}
+
+impl SsaTerminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            SsaTerminator::Jump(b) => vec![*b],
+            SsaTerminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            _ => vec![],
+        }
+    }
+
+    /// The returned operand, if this is a `Return` with a value.
+    pub fn return_value(&self) -> Option<SsaOperand> {
+        match self {
+            SsaTerminator::Return { value, .. } => *value,
+            _ => None,
+        }
+    }
+}
+
+/// A phi node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phi {
+    /// Defined name.
+    pub dst: SsaName,
+    /// The merged variable.
+    pub var: VarId,
+    /// `(predecessor, incoming name)` pairs, one per reachable predecessor.
+    pub args: Vec<(BlockId, SsaName)>,
+}
+
+/// One block in SSA form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsaBlock {
+    /// Phi nodes (conceptually executed in parallel at block entry).
+    pub phis: Vec<Phi>,
+    /// Instructions.
+    pub instrs: Vec<SsaInstr>,
+    /// Terminator.
+    pub term: SsaTerminator,
+}
+
+/// A procedure in SSA form, parallel to its IR [`ipcp_ir::Procedure`].
+#[derive(Debug, Clone)]
+pub struct SsaProc {
+    /// Per-block SSA data; `None` for unreachable blocks.
+    pub blocks: Vec<Option<SsaBlock>>,
+    /// All SSA names.
+    pub defs: Vec<DefInfo>,
+    /// Entry name of each variable that has one (created on demand for
+    /// variables whose entry value is observable).
+    pub entry_names: HashMap<VarId, SsaName>,
+    /// CFG facts used during construction (reused by downstream passes).
+    pub cfg: Cfg,
+    /// Dominator tree used during construction.
+    pub dom: DomTree,
+}
+
+impl SsaProc {
+    /// Metadata for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is out of range.
+    pub fn def(&self, name: SsaName) -> DefInfo {
+        self.defs[name.index()]
+    }
+
+    /// The variable `name` is a version of.
+    pub fn var_of(&self, name: SsaName) -> VarId {
+        self.def(name).var
+    }
+
+    /// Number of SSA names.
+    pub fn name_count(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// The SSA block for `b`, if reachable.
+    pub fn block(&self, b: BlockId) -> Option<&SsaBlock> {
+        self.blocks[b.index()].as_ref()
+    }
+
+    /// The entry name of `var`, if the entry value is observable anywhere.
+    pub fn entry_name(&self, var: VarId) -> Option<SsaName> {
+        self.entry_names.get(&var).copied()
+    }
+
+    /// Iterates over reachable blocks in reverse postorder.
+    pub fn rpo_blocks(&self) -> impl Iterator<Item = (BlockId, &SsaBlock)> + '_ {
+        self.cfg
+            .rpo
+            .iter()
+            .map(move |&b| (b, self.blocks[b.index()].as_ref().expect("reachable")))
+    }
+}

@@ -1,0 +1,402 @@
+//! SSA well-formedness verification.
+//!
+//! Checks the invariants downstream analyses rely on:
+//!
+//! 1. every name is defined exactly once, at the site its
+//!    [`DefInfo`] records;
+//! 2. every use is dominated by its definition (phi uses are checked at
+//!    the end of the corresponding predecessor);
+//! 3. each phi has exactly one argument per reachable predecessor edge;
+//! 4. names are versions of the variable their uses claim.
+
+use crate::ssa::*;
+use ipcp_ir::{BlockId, Procedure};
+use std::collections::HashMap;
+
+/// Verifies SSA form, returning all violations.
+///
+/// # Errors
+///
+/// Returns a non-empty list of violation messages if `ssa` is malformed.
+pub fn verify(_proc: &Procedure, ssa: &SsaProc) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+
+    // ---- 1. definition sites are consistent and unique ------------------
+    let mut seen_def = vec![false; ssa.name_count()];
+    let mut record_def = |name: SsaName, site: DefSite, errors: &mut Vec<String>| {
+        if name.index() >= ssa.name_count() {
+            errors.push(format!("{name} out of range"));
+            return;
+        }
+        if seen_def[name.index()] {
+            errors.push(format!("{name} defined more than once"));
+        }
+        seen_def[name.index()] = true;
+        let info = ssa.def(name);
+        if info.site != site {
+            errors.push(format!(
+                "{name} recorded at {:?} but found at {site:?}",
+                info.site
+            ));
+        }
+    };
+
+    for (b, blk) in ssa.rpo_blocks() {
+        for phi in &blk.phis {
+            record_def(phi.dst, DefSite::Phi { block: b }, &mut errors);
+            if ssa.var_of(phi.dst) != phi.var {
+                errors.push(format!("phi {} merges wrong variable", phi.dst));
+            }
+        }
+        for (i, instr) in blk.instrs.iter().enumerate() {
+            if let Some(d) = instr.dst() {
+                record_def(d, DefSite::Instr { block: b, index: i }, &mut errors);
+            }
+            if let SsaInstr::Call { kills, .. } = instr {
+                for k in kills {
+                    record_def(
+                        k.name,
+                        DefSite::CallImplicit { block: b, index: i },
+                        &mut errors,
+                    );
+                    if ssa.var_of(k.name) != k.var {
+                        errors.push(format!("kill {} tagged with wrong variable", k.name));
+                    }
+                }
+            }
+        }
+    }
+    for (&var, &name) in &ssa.entry_names {
+        record_def(name, DefSite::Entry, &mut errors);
+        if ssa.var_of(name) != var {
+            errors.push(format!("entry name {name} tagged with wrong variable"));
+        }
+    }
+    for (i, defined) in seen_def.iter().enumerate() {
+        if !defined {
+            errors.push(format!("s{i} has no defining site"));
+        }
+    }
+
+    // ---- 2. uses dominated by defs --------------------------------------
+    // Position of each def for intra-block ordering: phis count as position
+    // 0, instruction i as position i + 1.
+    let def_pos = |name: SsaName| -> Option<(BlockId, usize)> {
+        match ssa.def(name).site {
+            DefSite::Entry => None,
+            DefSite::Phi { block } => Some((block, 0)),
+            DefSite::Instr { block, index } | DefSite::CallImplicit { block, index } => {
+                Some((block, index + 1))
+            }
+        }
+    };
+    let dominated = |use_block: BlockId, use_pos: usize, name: SsaName| -> bool {
+        match def_pos(name) {
+            None => true, // entry dominates everything
+            Some((db, dp)) => {
+                if db == use_block {
+                    dp <= use_pos
+                } else {
+                    ssa.dom.dominates(db, use_block)
+                }
+            }
+        }
+    };
+
+    for (b, blk) in ssa.rpo_blocks() {
+        for (i, instr) in blk.instrs.iter().enumerate() {
+            instr.for_each_use(|op| {
+                if let Some(n) = op.as_name() {
+                    if !dominated(b, i + 1, n) {
+                        errors.push(format!("use of {n} at {b}[{i}] not dominated by its def"));
+                    }
+                }
+            });
+        }
+        // Snapshot names on calls are uses too.
+        for (i, instr) in blk.instrs.iter().enumerate() {
+            if let SsaInstr::Call { globals_in, .. } = instr {
+                for &(var, n) in globals_in {
+                    if ssa.var_of(n) != var {
+                        errors.push(format!("call snapshot {n} tagged with wrong variable"));
+                    }
+                    if !dominated(b, i + 1, n) {
+                        errors.push(format!(
+                            "call snapshot use of {n} at {b}[{i}] not dominated"
+                        ));
+                    }
+                }
+            }
+        }
+        match &blk.term {
+            SsaTerminator::Branch { cond, .. } => {
+                if let Some(n) = cond.as_name() {
+                    if !dominated(b, usize::MAX, n) {
+                        errors.push(format!("branch use of {n} at {b} not dominated"));
+                    }
+                }
+            }
+            SsaTerminator::Return { value, exit } => {
+                if let Some(n) = value.and_then(|op| op.as_name()) {
+                    if !dominated(b, usize::MAX, n) {
+                        errors.push(format!("return use of {n} at {b} not dominated"));
+                    }
+                }
+                for &(var, n) in exit {
+                    if ssa.var_of(n) != var {
+                        errors.push(format!("exit snapshot {n} tagged with wrong variable"));
+                    }
+                    if !dominated(b, usize::MAX, n) {
+                        errors.push(format!("exit snapshot use of {n} at {b} not dominated"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- 3. phi arguments match predecessor edges ------------------------
+    for (b, blk) in ssa.rpo_blocks() {
+        // Count predecessor edges.
+        let mut edge_count: HashMap<BlockId, usize> = HashMap::new();
+        for &p in &ssa.cfg.preds[b.index()] {
+            *edge_count.entry(p).or_default() += 1;
+        }
+        for phi in &blk.phis {
+            let mut arg_count: HashMap<BlockId, usize> = HashMap::new();
+            for &(p, arg) in &phi.args {
+                *arg_count.entry(p).or_default() += 1;
+                if ssa.var_of(arg) != phi.var {
+                    errors.push(format!(
+                        "phi {} argument {arg} is a version of the wrong variable",
+                        phi.dst
+                    ));
+                }
+                // The argument must be live at the end of the predecessor.
+                if !dominated(p, usize::MAX, arg) {
+                    errors.push(format!(
+                        "phi {} argument {arg} not dominated at end of {p}",
+                        phi.dst
+                    ));
+                }
+            }
+            if arg_count != edge_count {
+                errors.push(format!(
+                    "phi {} at {b} has args {arg_count:?} but predecessor edges {edge_count:?}",
+                    phi.dst
+                ));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_ssa, NoKills, WorstCaseKills};
+    use ipcp_ir::compile_to_ir;
+
+    fn verify_src(src: &str) {
+        let program = compile_to_ir(src).expect("compiles");
+        for pid in program.proc_ids() {
+            let proc = program.proc(pid);
+            for oracle in [&WorstCaseKills as &dyn crate::build::KillOracle, &NoKills] {
+                let ssa = build_ssa(&program, proc, oracle);
+                if let Err(errs) = verify(proc, &ssa) {
+                    panic!(
+                        "SSA verification failed for `{}`:\n{errs:#?}\n{src}",
+                        proc.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verifies_straight_line() {
+        verify_src("main\nx = 1\ny = x + 2\nprint(y)\nend\n");
+    }
+
+    #[test]
+    fn verifies_branches_and_loops() {
+        verify_src(
+            "main\nread(n)\ns = 0\ndo i = 1, n\nif i % 2 == 0 then\ns = s + i\nelse\ns = s - i\nend\nend\nprint(s)\nend\n",
+        );
+    }
+
+    #[test]
+    fn verifies_nested_loops() {
+        verify_src(
+            "main\ns = 0\ndo i = 1, 5\nj = i\nwhile j > 0 do\nj = j - 1\ns = s + 1\nend\nend\nprint(s)\nend\n",
+        );
+    }
+
+    #[test]
+    fn verifies_calls_with_kills() {
+        verify_src(
+            "global g\nproc f(a, b)\na = b + g\ng = g + 1\nend\n\
+             main\nx = 1\ny = 2\ncall f(x, y)\ncall f(y, x)\nprint(x + y + g)\nend\n",
+        );
+    }
+
+    #[test]
+    fn verifies_functions_and_recursion() {
+        verify_src(
+            "func fib(n)\nif n < 2 then\nreturn n\nend\nreturn fib(n - 1) + fib(n - 2)\nend\n\
+             main\nprint(fib(10))\nend\n",
+        );
+    }
+
+    #[test]
+    fn verifies_arrays_and_reads() {
+        verify_src(
+            "main\ninteger a(10)\nread(k)\ndo i = 1, 10\na(i) = k * i\nend\nprint(a(k))\nend\n",
+        );
+    }
+
+    #[test]
+    fn verifies_unreachable_code() {
+        verify_src("proc f()\nreturn\nx = 1\nprint(x)\nend\nmain\ncall f()\nend\n");
+    }
+
+    #[test]
+    fn verifies_variable_step_do() {
+        verify_src("main\nread(k)\ndo i = 10, 0, k\nprint(i)\nend\nend\n");
+    }
+
+    #[test]
+    fn verifies_hand_built_irreducible_cfg() {
+        // Structured lowering never produces irreducible graphs, but the
+        // substrate must not assume reducibility (hand-built IR and future
+        // transforms could). Build the classic two-entry loop:
+        //
+        //   entry --c--> A --> B --> A   (B also jumps back to A)
+        //         \----> B
+        use ipcp_ir::{Block, Instr, Operand, Procedure, Terminator, VarDecl, VarKind};
+        use ipcp_lang::ast::{BinOp, ProcKind, Ty};
+
+        let mut main = Procedure::new("main", ProcKind::Main);
+        let c = main.add_var(VarDecl {
+            name: "c".into(),
+            ty: Ty::INT,
+            kind: VarKind::Local,
+        });
+        let x = main.add_var(VarDecl {
+            name: "x".into(),
+            ty: Ty::INT,
+            kind: VarKind::Local,
+        });
+        let exit_cond = main.add_var(VarDecl {
+            name: "t".into(),
+            ty: Ty::INT,
+            kind: VarKind::Local,
+        });
+
+        let a = main.add_block(Block::new(Terminator::Return(None)));
+        let b = main.add_block(Block::new(Terminator::Return(None)));
+        let out = main.add_block(Block::new(Terminator::Return(None)));
+
+        // entry: read c; branch c ? A : B
+        main.block_mut(ipcp_ir::ENTRY_BLOCK)
+            .instrs
+            .push(Instr::Read { dst: c });
+        main.block_mut(ipcp_ir::ENTRY_BLOCK).term = Terminator::Branch {
+            cond: Operand::Var(c),
+            then_bb: a,
+            else_bb: b,
+        };
+        // A: x = x + 1; jump B
+        main.block_mut(a).instrs.push(Instr::Binary {
+            dst: x,
+            op: BinOp::Add,
+            lhs: Operand::Var(x),
+            rhs: Operand::Const(1),
+        });
+        main.block_mut(a).term = Terminator::Jump(b);
+        // B: t = x < 10; branch t ? A : out
+        main.block_mut(b).instrs.push(Instr::Binary {
+            dst: exit_cond,
+            op: BinOp::Lt,
+            lhs: Operand::Var(x),
+            rhs: Operand::Const(10),
+        });
+        main.block_mut(b).term = Terminator::Branch {
+            cond: Operand::Var(exit_cond),
+            then_bb: a,
+            else_bb: out,
+        };
+        // out: print x; return
+        main.block_mut(out).instrs.push(Instr::Print {
+            value: Operand::Var(x),
+        });
+
+        let program = ipcp_ir::Program {
+            globals: vec![],
+            procs: vec![main],
+            main: ipcp_ir::ProcId(0),
+        };
+        ipcp_ir::validate::validate(&program).expect("hand-built IR is valid");
+        let proc = program.proc(program.main);
+        for oracle in [&WorstCaseKills as &dyn crate::build::KillOracle, &NoKills] {
+            let ssa = build_ssa(&program, proc, oracle);
+            if let Err(errs) = verify(proc, &ssa) {
+                panic!("irreducible CFG broke SSA: {errs:#?}");
+            }
+        }
+        // The evaluator agrees with expectations: entry reads c.
+        use ipcp_lang::interp::{InterpConfig, Value};
+        let out1 = ipcp_ir::eval::run(
+            &program,
+            &InterpConfig {
+                input: vec![1],
+                ..InterpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out1.output, vec![Value::Int(10)]);
+        let out0 = ipcp_ir::eval::run(
+            &program,
+            &InterpConfig {
+                input: vec![0],
+                ..InterpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out0.output, vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn detects_corrupted_phi() {
+        let program =
+            compile_to_ir("main\nif c then\ny = 1\nelse\ny = 2\nend\nprint(y)\nend\n").unwrap();
+        let proc = program.proc(program.main);
+        let mut ssa = build_ssa(&program, proc, &WorstCaseKills);
+        // Drop one phi argument.
+        for blk in ssa.blocks.iter_mut().flatten() {
+            for phi in &mut blk.phis {
+                phi.args.pop();
+            }
+        }
+        assert!(verify(proc, &ssa).is_err());
+    }
+
+    #[test]
+    fn detects_wrong_def_site() {
+        let program = compile_to_ir("main\nx = 1\nprint(x)\nend\n").unwrap();
+        let proc = program.proc(program.main);
+        let mut ssa = build_ssa(&program, proc, &WorstCaseKills);
+        // Corrupt a def record.
+        for d in &mut ssa.defs {
+            if let DefSite::Instr { block, .. } = d.site {
+                d.site = DefSite::Phi { block };
+            }
+        }
+        assert!(verify(proc, &ssa).is_err());
+    }
+}

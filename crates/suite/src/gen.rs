@@ -1,0 +1,484 @@
+//! Deterministic Minifor source generator for the benchmark suite.
+//!
+//! Each [`Spec`] is turned into a complete, runnable Minifor program whose
+//! *countable substitution sites* are produced in exact, motif-controlled
+//! numbers (see [`crate::specs`]). Every procedure is padded with
+//! analysis-neutral "noise" stanzas (array/loop/real arithmetic over a
+//! `read` input, which can never be constant) so the program approaches
+//! the paper's Table 1 size figures with the "fairly even distribution of
+//! code throughout the procedures" the paper describes; the two programs
+//! the paper flags as skewed (`fpppp`, `simple`) concentrate a large
+//! share of their lines in one big routine instead.
+//!
+//! Generation is deterministic: the same spec always yields byte-identical
+//! source (the RNG is seeded from the spec). When a small program's motif
+//! counts require more procedures than its Table 1 target, the constant
+//! structure wins and the procedure count overshoots (documented in
+//! EXPERIMENTS.md).
+
+use crate::specs::Spec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// A generated benchmark program.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// Benchmark name.
+    pub name: String,
+    /// Minifor source text.
+    pub source: String,
+    /// Number of `read` statements executed on the main path.
+    pub reads_needed: usize,
+}
+
+impl GeneratedProgram {
+    /// A deterministic input vector long enough to satisfy every `read`.
+    pub fn input(&self) -> Vec<i64> {
+        (0..self.reads_needed as i64).map(|i| (i % 7) + 1).collect()
+    }
+}
+
+/// Generates the program described by `spec`.
+pub fn generate(spec: &Spec) -> GeneratedProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // Size procedures so the total approaches the line target even when
+    // the motif structure forces more procedures than Table 1 lists; a
+    // skewed program reserves its big routine's share up front.
+    let estimated_procs = motif_proc_count(spec).max(spec.target_procs);
+    let big_share = if spec.skewed {
+        spec.target_lines * 2 / 5
+    } else {
+        0
+    };
+    let avg = (spec.target_lines.saturating_sub(big_share) / estimated_procs.max(1)).max(6);
+    let mut g = Gen {
+        globals: String::new(),
+        procs: String::new(),
+        main_body: String::new(),
+        proc_count: 0,
+        reads: 1, // read(gnz) at the top of main
+        avg,
+    };
+    // The never-constant seed every noise stanza reads.
+    g.push_global("global gnz\n");
+    g.main_line("read(gnz)");
+
+    // The innocuous callee used by MOD-sensitive motifs: modifies nothing.
+    g.emit_proc("proc inert()".into(), "  t = 1\n".into(), &mut rng, false);
+
+    // A shared integer mixer used by noise stanzas.
+    g.push_proc("func mix(a, b)\n  return (a * 31 + b) % 1009\nend\n");
+
+    emit_literal_leaves(&mut g, spec, &mut rng);
+    emit_loc_safe(&mut g, spec, &mut rng);
+    emit_loc_mod(&mut g, spec, &mut rng);
+    emit_computed(&mut g, spec, &mut rng, /*mod_variant=*/ false);
+    emit_computed(&mut g, spec, &mut rng, /*mod_variant=*/ true);
+    emit_chains(&mut g, spec, &mut rng, /*mod_variant=*/ false);
+    emit_chains(&mut g, spec, &mut rng, /*mod_variant=*/ true);
+    emit_init_users(&mut g, spec, &mut rng);
+    emit_dead_guard(&mut g, spec, &mut rng);
+
+    emit_noise(&mut g, spec, &mut rng);
+
+    let mut source = String::new();
+    source.push_str(&g.globals);
+    source.push_str(&g.procs);
+    source.push_str("main\n");
+    source.push_str(&g.main_body);
+    source.push_str("end\n");
+
+    GeneratedProgram {
+        name: spec.name.to_string(),
+        source,
+        reads_needed: g.reads,
+    }
+}
+
+/// Generates all twelve benchmark programs.
+pub fn generate_all() -> Vec<GeneratedProgram> {
+    crate::specs::all_specs().iter().map(generate).collect()
+}
+
+struct Gen {
+    globals: String,
+    procs: String,
+    main_body: String,
+    proc_count: usize,
+    reads: usize,
+    /// Average lines-per-procedure target.
+    avg: usize,
+}
+
+impl Gen {
+    fn push_proc(&mut self, text: &str) {
+        self.procs.push_str(text);
+        self.proc_count += 1;
+    }
+
+    fn push_global(&mut self, decl: &str) {
+        self.globals.push_str(decl);
+    }
+
+    fn main_line(&mut self, line: &str) {
+        self.main_body.push_str("  ");
+        self.main_body.push_str(line);
+        self.main_body.push('\n');
+    }
+
+    /// Emits a procedure, padding its body with noise stanzas toward the
+    /// program's average procedure size (with jitter). `exact_lines`
+    /// overrides the target for the skewed big routine.
+    fn emit_proc(&mut self, header: String, body: String, rng: &mut StdRng, pad: bool) {
+        self.emit_proc_sized(header, body, rng, pad, None);
+    }
+
+    fn emit_proc_sized(
+        &mut self,
+        header: String,
+        body: String,
+        rng: &mut StdRng,
+        pad: bool,
+        exact_lines: Option<usize>,
+    ) {
+        let mut text = header;
+        text.push('\n');
+        let body_lines = body.matches('\n').count();
+        let target = exact_lines
+            .unwrap_or_else(|| {
+                let jitter = self.avg / 3 + 1;
+                self.avg + rng.gen_range(0..jitter * 2) - jitter
+            })
+            .max(body_lines + 2);
+        let mut stanzas = 0usize;
+        if pad {
+            // header + decls(2) + body + stanzas*13 + end ≈ target
+            let room = target.saturating_sub(body_lines + 4);
+            stanzas = room / 13;
+        }
+        if stanzas > 0 {
+            text.push_str("  integer nza(16)\n  real nzr\n");
+        }
+        text.push_str(&body);
+        for _ in 0..stanzas {
+            noise_stanza(&mut text, rng);
+        }
+        text.push_str("end\n");
+        self.push_proc(&text);
+    }
+}
+
+/// Number of procedures the motifs require (including `main`, `inert`,
+/// `mix`, and the skewed big routine).
+fn motif_proc_count(spec: &Spec) -> usize {
+    let ch = |t: usize| chunks(t, spec.uses_per_proc).len();
+    let depth = spec.chain_depth.max(2);
+    2 + 1 // inert + mix + main
+        + ch(spec.lit)
+        + ch(spec.loc_safe)
+        + ch(spec.loc_mod)
+        + 2 * ch(spec.comp_safe)
+        + 2 * ch(spec.comp_mod)
+        + (ch(spec.chain_safe) + ch(spec.chain_mod)) * depth
+        + if spec.init_uses > 0 { 1 + ch(spec.init_uses) } else { 0 }
+        + if spec.dead_guard > 0 { 2 } else { 0 }
+        + usize::from(spec.skewed)
+}
+
+/// Splits `total` uses into chunks of at most `cap`.
+fn chunks(total: usize, cap: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut left = total;
+    while left > 0 {
+        let take = left.min(cap);
+        out.push(take);
+        left -= take;
+    }
+    out
+}
+
+/// Emits `uses` countable uses of scalar `name` into a body.
+fn use_lines(body: &mut String, name: &str, uses: usize) {
+    for i in 0..uses {
+        let _ = writeln!(body, "  print({name} + {i})");
+    }
+}
+
+/// One ~13-line noise stanza over the global `gnz` seed.
+fn noise_stanza(body: &mut String, rng: &mut StdRng) {
+    let m1 = rng.gen_range(2..9);
+    let m2 = rng.gen_range(1..5);
+    let _ = writeln!(body, "  nzs = mix(gnz, {m1})");
+    let _ = writeln!(body, "  do nzi = 1, 16");
+    let _ = writeln!(body, "    nza(nzi) = gnz * nzi + {m2}");
+    let _ = writeln!(body, "  end");
+    let _ = writeln!(body, "  do nzi = 1, 16");
+    let _ = writeln!(body, "    nzs = nzs + nza(nzi)");
+    let _ = writeln!(body, "  end");
+    let _ = writeln!(body, "  if nzs % 2 == 0 then");
+    let _ = writeln!(body, "    nzr = nzs / {m1}");
+    let _ = writeln!(body, "  else");
+    let _ = writeln!(body, "    nzr = nzs * 1.5");
+    let _ = writeln!(body, "  end");
+    let _ = writeln!(body, "  print(nzs % 1009)");
+}
+
+fn emit_literal_leaves(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    for (k, uses) in chunks(spec.lit, spec.uses_per_proc).into_iter().enumerate() {
+        let mut body = String::new();
+        use_lines(&mut body, "p", uses);
+        g.emit_proc(format!("proc lit{k}(p)"), body, rng, true);
+        g.main_line(&format!("call lit{k}({})", 7 + k));
+    }
+}
+
+fn emit_loc_safe(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    for (k, uses) in chunks(spec.loc_safe, spec.uses_per_proc)
+        .into_iter()
+        .enumerate()
+    {
+        let mut body = format!("  x = {}\n", 9 + k);
+        use_lines(&mut body, "x", uses);
+        g.emit_proc(format!("proc lsf{k}()"), body, rng, true);
+        g.main_line(&format!("call lsf{k}()"));
+    }
+}
+
+fn emit_loc_mod(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    for (k, uses) in chunks(spec.loc_mod, spec.uses_per_proc)
+        .into_iter()
+        .enumerate()
+    {
+        g.push_global(&format!("global glm{k}\n"));
+        let mut body = format!("  glm{k} = {}\n  call inert()\n", 5 + k);
+        use_lines(&mut body, &format!("glm{k}"), uses);
+        g.emit_proc(format!("proc lmd{k}()"), body, rng, true);
+        g.main_line(&format!("call lmd{k}()"));
+    }
+}
+
+fn emit_computed(g: &mut Gen, spec: &Spec, rng: &mut StdRng, mod_variant: bool) {
+    let (total, tag) = if mod_variant {
+        (spec.comp_mod, "cmm")
+    } else {
+        (spec.comp_safe, "cms")
+    };
+    for (k, uses) in chunks(total, spec.uses_per_proc).into_iter().enumerate() {
+        let mut leaf = String::new();
+        use_lines(&mut leaf, "p", uses);
+        g.emit_proc(format!("proc {tag}leaf{k}(p)"), leaf, rng, true);
+
+        let mut src = String::new();
+        if mod_variant {
+            g.push_global(&format!("global gcm{k}\n"));
+            let _ = writeln!(src, "  gcm{k} = {} * 3 + 1", k + 2);
+            src.push_str("  call inert()\n");
+            let _ = writeln!(src, "  call {tag}leaf{k}(gcm{k})");
+        } else {
+            let _ = writeln!(src, "  kv = {} * 3 + 1", k + 2);
+            let _ = writeln!(src, "  call {tag}leaf{k}(kv)");
+        }
+        g.emit_proc(format!("proc {tag}src{k}()"), src, rng, true);
+        g.main_line(&format!("call {tag}src{k}()"));
+    }
+}
+
+fn emit_chains(g: &mut Gen, spec: &Spec, rng: &mut StdRng, mod_variant: bool) {
+    let (total, tag) = if mod_variant {
+        (spec.chain_mod, "chm")
+    } else {
+        (spec.chain_safe, "chs")
+    };
+    let depth = spec.chain_depth.max(2);
+    for (k, uses) in chunks(total, spec.uses_per_proc).into_iter().enumerate() {
+        // Link 1 (optionally routing through a global across a call) …
+        let mut first = String::new();
+        if mod_variant {
+            g.push_global(&format!("global gch{k}\n"));
+            let _ = writeln!(first, "  gch{k} = v");
+            first.push_str("  call inert()\n");
+            let _ = writeln!(first, "  call {tag}{k}x2(gch{k})");
+        } else {
+            let _ = writeln!(first, "  call {tag}{k}x2(v)");
+        }
+        g.emit_proc(format!("proc {tag}{k}x1(v)"), first, rng, true);
+        // … intermediate links …
+        for d in 2..depth {
+            let body = format!("  call {tag}{k}x{}(v)\n", d + 1);
+            g.emit_proc(format!("proc {tag}{k}x{d}(v)"), body, rng, true);
+        }
+        // … and the consuming leaf.
+        let mut leaf = String::new();
+        use_lines(&mut leaf, "v", uses);
+        g.emit_proc(format!("proc {tag}{k}x{depth}(v)"), leaf, rng, true);
+        g.main_line(&format!("call {tag}{k}x1({})", 3 + k));
+    }
+}
+
+fn emit_init_users(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    if spec.init_uses == 0 {
+        return;
+    }
+    // One initialization routine assigning a handful of globals, and user
+    // procedures spreading the uses over them — the `ocean` pattern.
+    let user_chunks = chunks(spec.init_uses, spec.uses_per_proc);
+    let nglobals = user_chunks.len().clamp(1, 6);
+    let mut init = String::new();
+    for j in 0..nglobals {
+        g.push_global(&format!("global gio{j}\n"));
+        let _ = writeln!(init, "  gio{j} = {}", 16 * (j + 1));
+    }
+    g.emit_proc("proc init0()".into(), init, rng, true);
+    g.main_line("call init0()");
+
+    for (k, uses) in user_chunks.into_iter().enumerate() {
+        let j = if nglobals == 1 {
+            0
+        } else {
+            rng.gen_range(0..nglobals)
+        };
+        let mut body = String::new();
+        use_lines(&mut body, &format!("gio{j}"), uses);
+        g.emit_proc(format!("proc iou{k}()"), body, rng, true);
+        g.main_line(&format!("call iou{k}()"));
+    }
+}
+
+fn emit_dead_guard(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    if spec.dead_guard == 0 {
+        return;
+    }
+    let mut leaf = String::new();
+    use_lines(&mut leaf, "p", spec.dead_guard);
+    g.emit_proc("proc dgleaf(p)".into(), leaf, rng, true);
+    let body =
+        "  if flag then\n    read(tv)\n    y = tv\n  else\n    y = 11\n  end\n  call dgleaf(y)\n";
+    g.emit_proc("proc dguard(flag)".into(), body.into(), rng, true);
+    g.main_line("call dguard(0)");
+}
+
+fn emit_noise(g: &mut Gen, spec: &Spec, rng: &mut StdRng) {
+    let count_lines = |g: &Gen| {
+        g.globals.matches('\n').count()
+            + g.procs.matches('\n').count()
+            + g.main_body.matches('\n').count()
+            + 2 // `main` + `end`
+    };
+    // +1 accounts for `main` itself in the procedure count.
+    let mut remaining_procs = spec.target_procs.saturating_sub(g.proc_count + 1);
+
+    // The skewed programs put a large share of the remaining lines into
+    // one big routine.
+    if spec.skewed {
+        let big = spec.target_lines * 2 / 5;
+        g.emit_proc_sized("proc big0()".into(), String::new(), rng, true, Some(big));
+        g.main_line("call big0()");
+        remaining_procs = remaining_procs.saturating_sub(1);
+    }
+
+    for k in 0..remaining_procs {
+        let remaining_lines = spec.target_lines.saturating_sub(count_lines(g));
+        let procs_left = remaining_procs - k;
+        let budget = (remaining_lines / procs_left.max(1)).clamp(6, g.avg * 2);
+        g.emit_proc_sized(
+            format!("proc noise{k}()"),
+            String::new(),
+            rng,
+            true,
+            Some(budget),
+        );
+        g.main_line(&format!("call noise{k}()"));
+    }
+
+    // Top up with extra noise procedures if we are still far short on
+    // lines (at the cost of overshooting the procedure count).
+    let mut extra = 0usize;
+    while count_lines(g) + g.avg <= spec.target_lines && extra < 4096 {
+        g.emit_proc_sized(
+            format!("proc xnoise{extra}()"),
+            String::new(),
+            rng,
+            true,
+            Some(g.avg),
+        );
+        g.main_line(&format!("call xnoise{extra}()"));
+        extra += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::all_specs;
+    use ipcp_lang::interp::InterpConfig;
+
+    #[test]
+    fn all_programs_compile_and_validate() {
+        for program in generate_all() {
+            let ir = ipcp_ir::compile_to_ir(&program.source).unwrap_or_else(|e| {
+                panic!(
+                    "{} does not compile:\n{}",
+                    program.name,
+                    e.render(&program.source)
+                )
+            });
+            ipcp_ir::validate::validate(&ir)
+                .unwrap_or_else(|e| panic!("{} IR invalid: {e:?}", program.name));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_all();
+        let b = generate_all();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.source, y.source, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn programs_run_to_completion() {
+        for program in generate_all() {
+            let ir = ipcp_ir::compile_to_ir(&program.source).expect("compiles");
+            let config = InterpConfig {
+                input: program.input(),
+                max_steps: 200_000_000,
+                ..InterpConfig::default()
+            };
+            let out = ipcp_ir::eval::run(&ir, &config)
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", program.name));
+            assert!(
+                !out.output.is_empty(),
+                "{} produced no output",
+                program.name
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_roughly_match_table_1() {
+        for spec in all_specs() {
+            let program = generate(&spec);
+            let lines = program
+                .source
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count();
+            let tolerance = spec.target_lines / 4 + 80;
+            assert!(
+                lines.abs_diff(spec.target_lines) <= tolerance,
+                "{}: {lines} lines vs target {}",
+                spec.name,
+                spec.target_lines
+            );
+        }
+    }
+
+    #[test]
+    fn input_vector_is_long_enough() {
+        for program in generate_all() {
+            assert_eq!(program.input().len(), program.reads_needed);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # ipcp-suite — synthetic benchmark programs
+//!
+//! The paper evaluated twelve scientific FORTRAN programs from the SPEC
+//! and PERFECT suites. Those sources cannot be redistributed (and the
+//! study predates easy archival), so this crate *synthesizes* stand-ins:
+//! deterministic Minifor programs whose size/modularity match Table 1 and
+//! whose constant-flow structure is fitted so the analyzer reproduces the
+//! relative shape of Tables 2 and 3 (see `DESIGN.md` §2 and
+//! `EXPERIMENTS.md` for the fitting model and the measured numbers).
+//!
+//! * [`specs`] — the twelve program specifications (motif counts),
+//! * [`gen`] — the source generator,
+//! * [`stats`] — Table 1 statistics,
+//! * [`paper`] — the paper's reference numbers for side-by-side output.
+
+pub mod gen;
+pub mod paper;
+pub mod specs;
+pub mod stats;
+
+pub use gen::{generate, generate_all, GeneratedProgram};
+pub use paper::{paper_row, PaperRow, PaperSizeRow, PAPER_RESULTS, PAPER_SIZES};
+pub use specs::{all_specs, spec, Spec};
+pub use stats::{program_stats, ProgramStats};

@@ -1,0 +1,318 @@
+//! Reference values from the paper, for side-by-side reporting.
+//!
+//! Table 1's scan is partially illegible in the available text; the
+//! `lines`/`procedures` figures marked approximate are reconstructed from
+//! the legible fragments and the paper's description ("small to medium
+//! size, fairly high degree of modularity"). Tables 2 and 3 are fully
+//! legible and reproduced exactly.
+
+/// One row of the paper's Table 2 (constants found through jump
+/// functions) and Table 3 (propagation technique comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Table 2, polynomial forward + return JFs.
+    pub poly: usize,
+    /// Table 2, pass-through forward + return JFs.
+    pub pass_through: usize,
+    /// Table 2, intraprocedural-constant forward + return JFs.
+    pub intraprocedural: usize,
+    /// Table 2, literal forward + return JFs.
+    pub literal: usize,
+    /// Table 2, polynomial forward, no return JFs.
+    pub poly_no_rjf: usize,
+    /// Table 2, pass-through forward, no return JFs.
+    pub pass_through_no_rjf: usize,
+    /// Table 3, polynomial without MOD information.
+    pub poly_no_mod: usize,
+    /// Table 3, complete propagation.
+    pub complete: usize,
+    /// Table 3, purely intraprocedural propagation (with MOD).
+    pub intraprocedural_only: usize,
+}
+
+/// The paper's Tables 2 and 3, one entry per benchmark.
+pub const PAPER_RESULTS: [PaperRow; 12] = [
+    PaperRow {
+        name: "adm",
+        poly: 110,
+        pass_through: 110,
+        intraprocedural: 110,
+        literal: 110,
+        poly_no_rjf: 110,
+        pass_through_no_rjf: 110,
+        poly_no_mod: 25,
+        complete: 110,
+        intraprocedural_only: 105,
+    },
+    PaperRow {
+        name: "doduc",
+        poly: 289,
+        pass_through: 289,
+        intraprocedural: 289,
+        literal: 288,
+        poly_no_rjf: 287,
+        pass_through_no_rjf: 287,
+        poly_no_mod: 288,
+        complete: 289,
+        intraprocedural_only: 3,
+    },
+    PaperRow {
+        name: "fpppp",
+        poly: 60,
+        pass_through: 60,
+        intraprocedural: 54,
+        literal: 49,
+        poly_no_rjf: 56,
+        pass_through_no_rjf: 56,
+        poly_no_mod: 34,
+        complete: 60,
+        intraprocedural_only: 38,
+    },
+    PaperRow {
+        name: "linpackd",
+        poly: 170,
+        pass_through: 170,
+        intraprocedural: 170,
+        literal: 94,
+        poly_no_rjf: 170,
+        pass_through_no_rjf: 170,
+        poly_no_mod: 33,
+        complete: 170,
+        intraprocedural_only: 74,
+    },
+    PaperRow {
+        name: "matrix300",
+        poly: 138,
+        pass_through: 138,
+        intraprocedural: 122,
+        literal: 71,
+        poly_no_rjf: 138,
+        pass_through_no_rjf: 138,
+        poly_no_mod: 18,
+        complete: 138,
+        intraprocedural_only: 69,
+    },
+    PaperRow {
+        name: "mdg",
+        poly: 41,
+        pass_through: 41,
+        intraprocedural: 40,
+        literal: 31,
+        poly_no_rjf: 40,
+        pass_through_no_rjf: 40,
+        poly_no_mod: 31,
+        complete: 41,
+        intraprocedural_only: 31,
+    },
+    PaperRow {
+        name: "ocean",
+        poly: 194,
+        pass_through: 194,
+        intraprocedural: 194,
+        literal: 57,
+        poly_no_rjf: 62,
+        pass_through_no_rjf: 62,
+        poly_no_mod: 79,
+        complete: 204,
+        intraprocedural_only: 56,
+    },
+    PaperRow {
+        name: "qcd",
+        poly: 180,
+        pass_through: 180,
+        intraprocedural: 180,
+        literal: 180,
+        poly_no_rjf: 180,
+        pass_through_no_rjf: 180,
+        poly_no_mod: 169,
+        complete: 180,
+        intraprocedural_only: 179,
+    },
+    PaperRow {
+        name: "simple",
+        poly: 183,
+        pass_through: 183,
+        intraprocedural: 179,
+        literal: 174,
+        poly_no_rjf: 183,
+        pass_through_no_rjf: 183,
+        poly_no_mod: 2,
+        complete: 183,
+        intraprocedural_only: 174,
+    },
+    PaperRow {
+        name: "snasa7",
+        poly: 336,
+        pass_through: 336,
+        intraprocedural: 336,
+        literal: 254,
+        poly_no_rjf: 336,
+        pass_through_no_rjf: 336,
+        poly_no_mod: 303,
+        complete: 336,
+        intraprocedural_only: 254,
+    },
+    PaperRow {
+        name: "spec77",
+        poly: 137,
+        pass_through: 137,
+        intraprocedural: 137,
+        literal: 104,
+        poly_no_rjf: 137,
+        pass_through_no_rjf: 137,
+        poly_no_mod: 76,
+        complete: 141,
+        intraprocedural_only: 83,
+    },
+    PaperRow {
+        name: "trfd",
+        poly: 16,
+        pass_through: 16,
+        intraprocedural: 16,
+        literal: 16,
+        poly_no_rjf: 16,
+        pass_through_no_rjf: 16,
+        poly_no_mod: 10,
+        complete: 16,
+        intraprocedural_only: 15,
+    },
+];
+
+/// One row of the paper's Table 1 (program characteristics). Values
+/// flagged `approximate` were reconstructed from a damaged scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperSizeRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Non-comment lines.
+    pub lines: usize,
+    /// Procedure count.
+    pub procedures: usize,
+    /// Whether the figures are reconstructed approximations.
+    pub approximate: bool,
+}
+
+/// The paper's Table 1 (partially reconstructed).
+pub const PAPER_SIZES: [PaperSizeRow; 12] = [
+    PaperSizeRow {
+        name: "adm",
+        lines: 6105,
+        procedures: 97,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "doduc",
+        lines: 5334,
+        procedures: 41,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "fpppp",
+        lines: 2718,
+        procedures: 37,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "linpackd",
+        lines: 797,
+        procedures: 11,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "matrix300",
+        lines: 439,
+        procedures: 7,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "mdg",
+        lines: 1238,
+        procedures: 16,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "ocean",
+        lines: 1728,
+        procedures: 36,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "qcd",
+        lines: 2279,
+        procedures: 35,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "simple",
+        lines: 805,
+        procedures: 8,
+        approximate: false,
+    },
+    PaperSizeRow {
+        name: "snasa7",
+        lines: 696,
+        procedures: 17,
+        approximate: true,
+    },
+    PaperSizeRow {
+        name: "spec77",
+        lines: 2904,
+        procedures: 65,
+        approximate: false,
+    },
+    PaperSizeRow {
+        name: "trfd",
+        lines: 401,
+        procedures: 8,
+        approximate: false,
+    },
+];
+
+/// Looks up a Table 2/3 row.
+pub fn paper_row(name: &str) -> Option<&'static PaperRow> {
+    PAPER_RESULTS.iter().find(|r| r.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_each() {
+        assert_eq!(PAPER_RESULTS.len(), 12);
+        assert_eq!(PAPER_SIZES.len(), 12);
+    }
+
+    #[test]
+    fn paper_invariants() {
+        for r in &PAPER_RESULTS {
+            // The paper's headline: pass-through equals polynomial.
+            assert_eq!(r.poly, r.pass_through, "{}", r.name);
+            assert_eq!(r.poly_no_rjf, r.pass_through_no_rjf, "{}", r.name);
+            // Monotone precision.
+            assert!(r.literal <= r.intraprocedural, "{}", r.name);
+            assert!(r.intraprocedural <= r.poly, "{}", r.name);
+            assert!(r.poly_no_rjf <= r.poly, "{}", r.name);
+            assert!(r.complete >= r.poly, "{}", r.name);
+            assert!(r.intraprocedural_only <= r.poly, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn names_align_with_specs() {
+        for (row, spec) in PAPER_RESULTS.iter().zip(crate::specs::all_specs()) {
+            assert_eq!(row.name, spec.name);
+        }
+        for (row, spec) in PAPER_SIZES.iter().zip(crate::specs::all_specs()) {
+            assert_eq!(row.name, spec.name);
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(paper_row("ocean").unwrap().poly, 194);
+        assert!(paper_row("nope").is_none());
+    }
+}

@@ -1,0 +1,437 @@
+//! Specifications of the twelve synthetic benchmark programs.
+//!
+//! The paper evaluated twelve SPEC/PERFECT FORTRAN programs. Their
+//! sources are not available here, so each program is *synthesized* from
+//! a spec describing (a) its size and modularity (Table 1) and (b) the
+//! mix of constant-flow motifs that produce its Table 2/3 behaviour. The
+//! motif counts were fitted from the paper's numbers with the linear
+//! model documented in EXPERIMENTS.md:
+//!
+//! * `lit` — uses of formals that receive source literals at a call site
+//!   (found by every jump function);
+//! * `loc_safe` — uses of purely local constants (found even by the
+//!   intraprocedural baseline, surviving without MOD);
+//! * `loc_mod` — uses of a constant-valued global after an innocuous call
+//!   inside one procedure (needs MOD information, found by the baseline);
+//! * `comp_safe` / `comp_mod` — uses of formals receiving locally
+//!   *computed* constants (need the intraprocedural-constant jump
+//!   function or better; the `_mod` variant routes the value through a
+//!   global across an innocuous call);
+//! * `chain_safe` / `chain_mod` — uses of formals at the end of a
+//!   pass-through chain (need the pass-through jump function or better);
+//! * `init_uses` — uses of globals assigned constants by an
+//!   initialization routine (need return jump functions — the `ocean`
+//!   pattern);
+//! * `dead_guard` — uses guarded by a configuration flag whose dead arm
+//!   blocks the jump function until dead code elimination removes it
+//!   (the *complete propagation* motif).
+
+/// Shape and motif specification of one synthetic benchmark program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spec {
+    /// Program name (matches the paper's benchmark name).
+    pub name: &'static str,
+    /// Deterministic generation seed.
+    pub seed: u64,
+    /// Target non-comment line count (Table 1).
+    pub target_lines: usize,
+    /// Target procedure count (Table 1).
+    pub target_procs: usize,
+    /// Whether one procedure carries most of the code (the paper notes
+    /// `fpppp` and `simple` are skewed this way).
+    pub skewed: bool,
+    /// Literal-argument uses.
+    pub lit: usize,
+    /// Safe local-constant uses.
+    pub loc_safe: usize,
+    /// MOD-sensitive local global-constant uses.
+    pub loc_mod: usize,
+    /// Computed-constant argument uses (safe variant).
+    pub comp_safe: usize,
+    /// Computed-constant argument uses routed through a global across an
+    /// innocuous call (lost without MOD).
+    pub comp_mod: usize,
+    /// Pass-through chain uses (safe variant).
+    pub chain_safe: usize,
+    /// Pass-through chain uses routed through a global (lost without MOD).
+    pub chain_mod: usize,
+    /// Length of each pass-through chain.
+    pub chain_depth: usize,
+    /// Uses of init-routine-assigned globals (return-jump-function
+    /// dependent).
+    pub init_uses: usize,
+    /// Dead-guard uses exposed only by complete propagation.
+    pub dead_guard: usize,
+    /// Maximum countable uses placed in one procedure (scaled up for the
+    /// small programs so motif procedures fit the Table 1 procedure
+    /// budget).
+    pub uses_per_proc: usize,
+}
+
+impl Spec {
+    /// Expected substitution totals per configuration under the fitted
+    /// model (see module docs); used by shape tests with tolerance.
+    pub fn expected_polynomial(&self) -> usize {
+        self.lit
+            + self.loc_safe
+            + self.loc_mod
+            + self.comp_safe
+            + self.comp_mod
+            + self.chain_safe
+            + self.chain_mod
+            + self.init_uses
+    }
+
+    /// Expected literal-jump-function total.
+    pub fn expected_literal(&self) -> usize {
+        self.lit + self.loc_safe + self.loc_mod
+    }
+
+    /// Expected intraprocedural-constant-jump-function total.
+    pub fn expected_intraprocedural(&self) -> usize {
+        self.expected_literal() + self.comp_safe + self.comp_mod + self.init_uses
+    }
+
+    /// Expected total without return jump functions.
+    pub fn expected_no_rjf(&self) -> usize {
+        self.expected_polynomial() - self.init_uses
+    }
+
+    /// Expected total without MOD information.
+    pub fn expected_no_mod(&self) -> usize {
+        self.lit + self.loc_safe + self.comp_safe + self.chain_safe
+    }
+
+    /// Expected purely intraprocedural baseline total.
+    pub fn expected_baseline(&self) -> usize {
+        self.loc_safe + self.loc_mod
+    }
+
+    /// Expected complete-propagation total.
+    pub fn expected_complete(&self) -> usize {
+        self.expected_polynomial() + self.dead_guard
+    }
+}
+
+/// The twelve benchmark specs, in the paper's table order.
+pub fn all_specs() -> Vec<Spec> {
+    vec![
+        Spec {
+            name: "adm",
+            seed: 0xad30,
+            target_lines: 6105,
+            target_procs: 97,
+            skewed: false,
+            lit: 5,
+            loc_safe: 20,
+            loc_mod: 85,
+            comp_safe: 0,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "doduc",
+            seed: 0xd0d0c,
+            target_lines: 5334,
+            target_procs: 41,
+            skewed: false,
+            lit: 283,
+            loc_safe: 2,
+            loc_mod: 1,
+            comp_safe: 1,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 2,
+            dead_guard: 0,
+            uses_per_proc: 12,
+        },
+        Spec {
+            name: "fpppp",
+            seed: 0xf9999,
+            target_lines: 2718,
+            target_procs: 37,
+            skewed: true,
+            lit: 11,
+            loc_safe: 16,
+            loc_mod: 22,
+            comp_safe: 1,
+            comp_mod: 0,
+            chain_safe: 6,
+            chain_mod: 0,
+            chain_depth: 4,
+            init_uses: 4,
+            dead_guard: 0,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "linpackd",
+            seed: 0x11924,
+            target_lines: 797,
+            target_procs: 11,
+            skewed: false,
+            lit: 20,
+            loc_safe: 13,
+            loc_mod: 61,
+            comp_safe: 0,
+            comp_mod: 76,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 40,
+        },
+        Spec {
+            name: "matrix300",
+            seed: 0x300300,
+            target_lines: 439,
+            target_procs: 7,
+            skewed: false,
+            lit: 2,
+            loc_safe: 0,
+            loc_mod: 69,
+            comp_safe: 0,
+            comp_mod: 51,
+            chain_safe: 16,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 40,
+        },
+        Spec {
+            name: "mdg",
+            seed: 0x3d9,
+            target_lines: 1238,
+            target_procs: 16,
+            skewed: false,
+            lit: 0,
+            loc_safe: 30,
+            loc_mod: 1,
+            comp_safe: 0,
+            comp_mod: 8,
+            chain_safe: 1,
+            chain_mod: 0,
+            chain_depth: 2,
+            init_uses: 1,
+            dead_guard: 0,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "ocean",
+            seed: 0x0cea4,
+            target_lines: 1728,
+            target_procs: 36,
+            skewed: false,
+            lit: 1,
+            loc_safe: 55,
+            loc_mod: 0,
+            comp_safe: 5,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 132,
+            dead_guard: 10,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "qcd",
+            seed: 0x9cd,
+            target_lines: 2279,
+            target_procs: 35,
+            skewed: false,
+            lit: 1,
+            loc_safe: 168,
+            loc_mod: 11,
+            comp_safe: 0,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "simple",
+            seed: 0x51395e,
+            target_lines: 805,
+            target_procs: 8,
+            skewed: true,
+            lit: 0,
+            loc_safe: 2,
+            loc_mod: 171,
+            comp_safe: 0,
+            comp_mod: 5,
+            chain_safe: 0,
+            chain_mod: 4,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 48,
+        },
+        Spec {
+            name: "snasa7",
+            seed: 0x4a5a7,
+            target_lines: 696,
+            target_procs: 17,
+            skewed: false,
+            lit: 0,
+            loc_safe: 221,
+            loc_mod: 33,
+            comp_safe: 82,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 24,
+        },
+        Spec {
+            name: "spec77",
+            seed: 0x59ec77,
+            target_lines: 2904,
+            target_procs: 65,
+            skewed: false,
+            lit: 21,
+            loc_safe: 21,
+            loc_mod: 61,
+            comp_safe: 33,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 4,
+            uses_per_proc: 8,
+        },
+        Spec {
+            name: "trfd",
+            seed: 0x79fd,
+            target_lines: 401,
+            target_procs: 8,
+            skewed: false,
+            lit: 1,
+            loc_safe: 9,
+            loc_mod: 6,
+            comp_safe: 0,
+            comp_mod: 0,
+            chain_safe: 0,
+            chain_mod: 0,
+            chain_depth: 3,
+            init_uses: 0,
+            dead_guard: 0,
+            uses_per_proc: 8,
+        },
+    ]
+}
+
+/// Finds a spec by benchmark name.
+pub fn spec(name: &str) -> Option<Spec> {
+    all_specs().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_programs() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 12);
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "adm",
+                "doduc",
+                "fpppp",
+                "linpackd",
+                "matrix300",
+                "mdg",
+                "ocean",
+                "qcd",
+                "simple",
+                "snasa7",
+                "spec77",
+                "trfd"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(spec("ocean").is_some());
+        assert!(spec("nope").is_none());
+    }
+
+    #[test]
+    fn expected_totals_roughly_match_paper() {
+        // Fitted model vs paper Table 2 (polynomial, with return JFs).
+        let paper: &[(&str, usize)] = &[
+            ("adm", 110),
+            ("doduc", 289),
+            ("fpppp", 60),
+            ("linpackd", 170),
+            ("matrix300", 138),
+            ("mdg", 41),
+            ("ocean", 194),
+            ("qcd", 180),
+            ("simple", 183),
+            ("snasa7", 336),
+            ("spec77", 137),
+            ("trfd", 16),
+        ];
+        for (name, expect) in paper {
+            let s = spec(name).unwrap();
+            let got = s.expected_polynomial();
+            assert!(
+                got.abs_diff(*expect) <= 1,
+                "{name}: model {got} vs paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_hierarchy_holds() {
+        for s in all_specs() {
+            assert!(
+                s.expected_literal() <= s.expected_intraprocedural(),
+                "{}",
+                s.name
+            );
+            assert!(
+                s.expected_intraprocedural() <= s.expected_polynomial(),
+                "{}",
+                s.name
+            );
+            assert!(s.expected_no_rjf() <= s.expected_polynomial(), "{}", s.name);
+            assert!(s.expected_no_mod() <= s.expected_polynomial(), "{}", s.name);
+            assert!(
+                s.expected_baseline() <= s.expected_polynomial(),
+                "{}",
+                s.name
+            );
+            assert!(
+                s.expected_complete() >= s.expected_polynomial(),
+                "{}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn ocean_is_the_return_jf_story() {
+        let s = spec("ocean").unwrap();
+        assert!(s.expected_polynomial() as f64 / s.expected_no_rjf() as f64 > 2.5);
+    }
+}

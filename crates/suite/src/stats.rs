@@ -1,0 +1,166 @@
+//! Program characteristics — the paper's Table 1.
+//!
+//! Reports non-blank, non-comment line counts, procedure counts, and the
+//! mean/median lines per procedure. The scanner assumes the layout both
+//! the generator and the pretty printer produce: procedure headers
+//! (`proc` / `func` / `main`) start at column 0 and are closed by an
+//! unindented `end`.
+
+/// Size and modularity statistics of one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramStats {
+    /// Non-blank, non-comment lines.
+    pub lines: usize,
+    /// Number of procedures (including `main`).
+    pub procedures: usize,
+    /// Mean lines per procedure.
+    pub mean_proc_lines: f64,
+    /// Median lines per procedure.
+    pub median_proc_lines: f64,
+    /// Largest procedure, in lines.
+    pub max_proc_lines: usize,
+}
+
+/// Computes statistics for a Minifor source text.
+pub fn program_stats(source: &str) -> ProgramStats {
+    let mut lines = 0usize;
+    let mut proc_lines: Vec<usize> = Vec::new();
+    let mut current: Option<usize> = None;
+
+    for raw in source.lines() {
+        let without_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        if without_comment.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+
+        let at_col0 = !raw.starts_with(' ') && !raw.starts_with('\t');
+        let trimmed = without_comment.trim();
+        let is_header = at_col0
+            && (trimmed.starts_with("proc ")
+                || trimmed.starts_with("func ")
+                || trimmed == "main"
+                || trimmed.starts_with("main "));
+        if is_header {
+            current = Some(1);
+            continue;
+        }
+        if let Some(count) = current.as_mut() {
+            *count += 1;
+            if at_col0 && trimmed == "end" {
+                proc_lines.push(*count);
+                current = None;
+            }
+        }
+    }
+    if let Some(count) = current {
+        proc_lines.push(count);
+    }
+
+    let procedures = proc_lines.len();
+    let mean = if procedures == 0 {
+        0.0
+    } else {
+        proc_lines.iter().sum::<usize>() as f64 / procedures as f64
+    };
+    let median = if procedures == 0 {
+        0.0
+    } else {
+        let mut sorted = proc_lines.clone();
+        sorted.sort_unstable();
+        let mid = procedures / 2;
+        if procedures % 2 == 1 {
+            sorted[mid] as f64
+        } else {
+            (sorted[mid - 1] + sorted[mid]) as f64 / 2.0
+        }
+    };
+    let max = proc_lines.iter().copied().max().unwrap_or(0);
+
+    ProgramStats {
+        lines,
+        procedures,
+        mean_proc_lines: mean,
+        median_proc_lines: median,
+        max_proc_lines: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_program() {
+        let src = "global n = 1\n\nproc f()\n  x = 1\nend\nmain\n  call f()\nend\n";
+        let s = program_stats(src);
+        assert_eq!(s.lines, 7);
+        assert_eq!(s.procedures, 2);
+        assert_eq!(s.mean_proc_lines, 3.0);
+        assert_eq!(s.median_proc_lines, 3.0);
+        assert_eq!(s.max_proc_lines, 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_excluded() {
+        let src = "# header\nmain\n  # comment line\n  x = 1  # trailing\n\nend\n";
+        let s = program_stats(src);
+        assert_eq!(s.lines, 3); // main, x = 1, end
+        assert_eq!(s.procedures, 1);
+    }
+
+    #[test]
+    fn nested_ends_do_not_close_procs() {
+        let src = "main\n  if x then\n    y = 1\n  end\n  z = 2\nend\n";
+        let s = program_stats(src);
+        assert_eq!(s.procedures, 1);
+        assert_eq!(s.max_proc_lines, 6);
+    }
+
+    #[test]
+    fn median_even_count() {
+        let src =
+            "proc a()\nend\nproc b()\n  x = 1\n  y = 2\nend\nmain\nend\nproc c()\n  q = 1\nend\n";
+        let s = program_stats(src);
+        // Proc lengths: a=2, b=4, main=2, c=3 → sorted [2,2,3,4], median 2.5.
+        assert_eq!(s.procedures, 4);
+        assert_eq!(s.median_proc_lines, 2.5);
+    }
+
+    #[test]
+    fn empty_source() {
+        let s = program_stats("");
+        assert_eq!(s.lines, 0);
+        assert_eq!(s.procedures, 0);
+        assert_eq!(s.mean_proc_lines, 0.0);
+    }
+
+    #[test]
+    fn skew_visible_in_mean_vs_median() {
+        let spec = crate::specs::spec("fpppp").unwrap();
+        let program = crate::gen::generate(&spec);
+        let s = program_stats(&program.source);
+        assert!(
+            s.mean_proc_lines > s.median_proc_lines * 1.3,
+            "skewed program should have mean ≫ median: mean {} median {}",
+            s.mean_proc_lines,
+            s.median_proc_lines
+        );
+    }
+
+    #[test]
+    fn balanced_program_mean_close_to_median() {
+        let spec = crate::specs::spec("qcd").unwrap();
+        let program = crate::gen::generate(&spec);
+        let s = program_stats(&program.source);
+        assert!(
+            s.mean_proc_lines <= s.median_proc_lines * 2.2 + 10.0,
+            "mean {} median {}",
+            s.mean_proc_lines,
+            s.median_proc_lines
+        );
+    }
+}

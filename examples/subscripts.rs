@@ -1,0 +1,105 @@
+//! The dependence-analysis motivation (paper §1): Shen, Li & Yew found
+//! that with interprocedural constants "approximately 50 percent of the
+//! subscripts which had previously been considered nonlinear were found
+//! to be linear" — and nonlinear subscripts defeat dependence analyzers.
+//!
+//! This example classifies every array subscript in a library-style
+//! program under the intraprocedural baseline and under full
+//! interprocedural constant propagation.
+//!
+//! ```sh
+//! cargo run --example subscripts
+//! ```
+
+use ipcp::core::{subscript_counts, AnalysisConfig};
+
+/// A BLAS-flavoured library: strides and leading dimensions arrive as
+/// arguments or via a configuration routine, so the baseline sees them as
+/// unknown. Two kernels are genuinely nonlinear (indirect/diagonal-
+/// product indexing) and stay that way.
+const SOURCE: &str = "
+global lda
+
+proc setlda()
+  lda = 8
+end
+
+proc axpy(x(), y(), n, incx)
+  do i = 1, n
+    y(i) = y(i) + x(incx * i - incx + 1)
+  end
+end
+
+proc getcol(m(), col, n, out())
+  do i = 1, n
+    out(i) = m(lda * (i - 1) + col)
+  end
+end
+
+proc diagprod(m(), n)
+  p = 1
+  do i = 1, n
+    p = p * m(i * i)
+  end
+  print(p)
+end
+
+proc gather(m(), idx(), n)
+  s = 0
+  do i = 1, n
+    s = s + m(idx(i))
+  end
+  print(s)
+end
+
+main
+  integer a(64), b(64), c(64), perm(8)
+  call setlda()
+  do i = 1, 8
+    a(i) = i
+    perm(i) = 9 - i
+  end
+  call axpy(a, b, 8, 1)
+  call getcol(a, 3, 8, c)
+  call diagprod(a, 8)
+  call gather(a, perm, 8)
+end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = ipcp::ir::compile_to_ir(SOURCE)?;
+
+    let baseline = subscript_counts(&program, &AnalysisConfig::intraprocedural_baseline());
+    let full = subscript_counts(&program, &AnalysisConfig::default());
+
+    println!("array subscripts: {}", baseline.total());
+    println!(
+        "  intraprocedural view:   {} constant, {} linear, {} nonlinear",
+        baseline.constant, baseline.linear, baseline.nonlinear
+    );
+    println!(
+        "  with interprocedural:   {} constant, {} linear, {} nonlinear",
+        full.constant, full.linear, full.nonlinear
+    );
+
+    let recovered = baseline.nonlinear - full.nonlinear;
+    let pct = 100.0 * recovered as f64 / baseline.nonlinear as f64;
+    println!(
+        "\n{recovered} of {} previously-nonlinear subscripts became analyzable ({pct:.0}%)",
+        baseline.nonlinear
+    );
+    println!("(Shen, Li & Yew measured ≈50% on FORTRAN library routines — paper §1)");
+
+    // axpy's strided access and getcol's lda-indexed access linearize;
+    // diagprod (i*i) and gather (indirect) legitimately stay nonlinear.
+    assert!(full.nonlinear < baseline.nonlinear);
+    assert!(
+        full.nonlinear >= 2,
+        "i*i and indirect indexing stay nonlinear"
+    );
+    assert!(
+        (40.0..=80.0).contains(&pct),
+        "roughly the Shen-Li-Yew ratio, got {pct}"
+    );
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! The `ipcp` command-line driver: analyze, run, transform, and lint
+//! Minifor programs. Run with no arguments for usage.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match ipcp::cli::parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", cli.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match ipcp::cli::execute(&cli, &source) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Command-line interface for the `ipcp` binary.
+//!
+//! Hand-rolled argument parsing (no CLI dependency) kept in the library
+//! so it is unit-testable; the binary in `src/bin/ipcp.rs` is a thin
+//! wrapper.
+
+use crate::core::{AnalysisConfig, JumpFunctionKind, SolverKind};
+use std::fmt;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Input source file.
+    pub file: String,
+    /// Analysis configuration assembled from the flags.
+    pub config: AnalysisConfig,
+    /// Whether `optimize` should clone procedures (`--clone`).
+    pub clone_procedures: bool,
+    /// `read` inputs for `run` (from `--input a,b,c`).
+    pub input: Vec<i64>,
+}
+
+/// Subcommands of the `ipcp` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Analyze and print CONSTANTS sets plus the substitution counts.
+    Analyze,
+    /// Run the program through the IR evaluator.
+    Run,
+    /// Print the lowered IR.
+    Ir,
+    /// Substitute constants + eliminate dead code, print transformed IR.
+    Transform,
+    /// Run the full optimizer (substitute + DCE + optional cloning) and
+    /// print the optimized IR.
+    Optimize,
+    /// Report procedure-cloning opportunities.
+    Clones,
+    /// Check the FORTRAN no-alias rule.
+    Lint,
+}
+
+impl Command {
+    fn parse(word: &str) -> Option<Command> {
+        Some(match word {
+            "analyze" => Command::Analyze,
+            "run" => Command::Run,
+            "ir" => Command::Ir,
+            "transform" => Command::Transform,
+            "optimize" => Command::Optimize,
+            "clones" => Command::Clones,
+            "lint" => Command::Lint,
+            _ => return None,
+        })
+    }
+}
+
+/// A usage / parse error with a message for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.0)?;
+        f.write_str(USAGE)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+usage: ipcp <command> <file.mf> [options]
+
+commands:
+  analyze     print CONSTANTS sets and substitution counts
+  run         execute the program (IR evaluator)
+  ir          print the lowered IR
+  transform   substitute constants into the *source* and print it
+  optimize    full optimizer: substitute + DCE (+ cloning with --clone)
+  clones      report procedure-cloning opportunities
+  lint        check the FORTRAN no-alias rule
+
+options:
+  --jf <literal|intra|pass|poly>  forward jump function kind (default poly)
+  --no-rjf                        disable return jump functions
+  --no-mod                        drop interprocedural MOD information
+  --complete                      iterate propagation with dead code elimination
+  --intraprocedural               purely intraprocedural baseline
+  --composition                   full symbolic return-JF composition (extension)
+  --gsa                           gated (γ) jump functions (extension)
+  --binding-solver                use the binding-multigraph solver
+  --clone                         enable procedure cloning in `optimize`
+  --input <a,b,c>                 read() inputs for `run`
+";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the first problem found.
+pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .and_then(|w| Command::parse(w))
+        .ok_or_else(|| UsageError("missing or unknown command".into()))?;
+    let file = it
+        .next()
+        .cloned()
+        .ok_or_else(|| UsageError("missing input file".into()))?;
+
+    let mut config = AnalysisConfig::default();
+    let mut input = Vec::new();
+    let mut clone_procedures = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jf" => {
+                let kind = it
+                    .next()
+                    .ok_or_else(|| UsageError("--jf needs a value".into()))?;
+                config.jump_function = match kind.as_str() {
+                    "literal" => JumpFunctionKind::Literal,
+                    "intra" => JumpFunctionKind::IntraproceduralConstant,
+                    "pass" => JumpFunctionKind::PassThrough,
+                    "poly" => JumpFunctionKind::Polynomial,
+                    other => {
+                        return Err(UsageError(format!("unknown jump function `{other}`")));
+                    }
+                };
+            }
+            "--no-rjf" => config.return_jump_functions = false,
+            "--no-mod" => config.mod_info = false,
+            "--complete" => config.complete_propagation = true,
+            "--intraprocedural" => {
+                config.interprocedural = false;
+                config.return_jump_functions = false;
+            }
+            "--composition" => config.rjf_full_composition = true,
+            "--gsa" => config.gsa = true,
+            "--clone" => clone_procedures = true,
+            "--binding-solver" => config.solver = SolverKind::BindingGraph,
+            "--input" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| UsageError("--input needs a value".into()))?;
+                input = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.trim()
+                            .parse::<i64>()
+                            .map_err(|_| UsageError(format!("bad --input element `{s}`")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(UsageError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(Cli {
+        command,
+        file,
+        config,
+        clone_procedures,
+        input,
+    })
+}
+
+/// Executes a parsed command against source text; returns the output to
+/// print.
+///
+/// # Errors
+///
+/// Returns a rendered error string (front-end diagnostics or runtime
+/// failures).
+pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
+    use crate::analysis::{augment_global_vars, compute_modref, CallGraph, ModKills};
+    use crate::core::report;
+    use std::fmt::Write as _;
+
+    let render_diag = |e: crate::lang::Diagnostics| -> String { e.render(source) };
+
+    match cli.command {
+        Command::Analyze => {
+            let outcome = crate::core::analyze_source(source, &cli.config).map_err(render_diag)?;
+            let mut out = String::new();
+            out.push_str(&report::constants_to_string(&outcome));
+            out.push('\n');
+            out.push_str(&report::substitutions_to_string(&outcome));
+            let _ = writeln!(out, "\n{}", report::summary_line(&outcome));
+            Ok(out)
+        }
+        Command::Run => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let config = crate::lang::interp::InterpConfig {
+                input: cli.input.clone(),
+                ..Default::default()
+            };
+            let outcome = crate::ir::eval::run(&program, &config).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for v in &outcome.output {
+                let _ = writeln!(out, "{v}");
+            }
+            Ok(out)
+        }
+        Command::Ir => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            Ok(crate::ir::print::program_to_string(&program))
+        }
+        Command::Transform => {
+            let out = crate::core::transform_source(source, &cli.config).map_err(render_diag)?;
+            Ok(format!(
+                "# {} occurrences substituted\n{}",
+                out.substitutions, out.source
+            ))
+        }
+        Command::Optimize => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let config = crate::core::OptimizeConfig {
+                analysis: cli.config,
+                clone_procedures: cli.clone_procedures,
+                ..Default::default()
+            };
+            let (optimized, stats) = crate::core::optimize(&program, &config);
+            let mut out = format!(
+                "# {} operands substituted, {} clones, {} rounds, {} -> {} instructions\n",
+                stats.substituted_operands,
+                stats.clones_created,
+                stats.rounds,
+                stats.instrs_before,
+                stats.instrs_after
+            );
+            out.push_str(&crate::ir::print::program_to_string(&optimized));
+            Ok(out)
+        }
+        Command::Clones => {
+            let mut program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let cg = CallGraph::new(&program);
+            let modref = compute_modref(&program, &cg);
+            augment_global_vars(&mut program, &modref);
+            let cg = CallGraph::new(&program);
+            let kills = ModKills::new(&program, &modref);
+            let rjfs = crate::core::build_return_jfs(&program, &cg, &kills);
+            let jfs = crate::core::build_forward_jfs(
+                &program,
+                &cg,
+                &modref,
+                cli.config.jump_function,
+                &kills,
+                &crate::core::RjfConstEval { rjfs: &rjfs },
+            );
+            let vals = crate::core::solver::solve(&program, &cg, &modref, &jfs);
+            let ops = crate::core::cloning_opportunities(&program, &cg, &jfs, &vals);
+            Ok(crate::core::cloning::opportunities_to_string(
+                &program, &ops,
+            ))
+        }
+        Command::Lint => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let cg = CallGraph::new(&program);
+            let modref = compute_modref(&program, &cg);
+            let violations = crate::analysis::check_aliasing(&program, &modref);
+            if violations.is_empty() {
+                Ok("no aliasing violations\n".into())
+            } else {
+                let mut out = String::new();
+                for v in &violations {
+                    let _ = writeln!(
+                        out,
+                        "{}: call to `{}`: {}",
+                        program.proc(v.caller).name,
+                        program.proc(v.callee).name,
+                        v.kind
+                    );
+                }
+                Err(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    const PROGRAM: &str = "proc f(a)\n  print(a)\nend\nmain\n  call f(5)\nend\n";
+
+    #[test]
+    fn parse_minimal() {
+        let cli = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        assert_eq!(cli.command, Command::Analyze);
+        assert_eq!(cli.file, "x.mf");
+        assert_eq!(cli.config, AnalysisConfig::default());
+    }
+
+    #[test]
+    fn parse_all_flags() {
+        let cli = parse_args(&args(&[
+            "analyze",
+            "x.mf",
+            "--jf",
+            "pass",
+            "--no-rjf",
+            "--no-mod",
+            "--complete",
+            "--composition",
+            "--gsa",
+            "--binding-solver",
+        ]))
+        .unwrap();
+        assert_eq!(cli.config.jump_function, JumpFunctionKind::PassThrough);
+        assert!(!cli.config.return_jump_functions);
+        assert!(!cli.config.mod_info);
+        assert!(cli.config.complete_propagation);
+        assert!(cli.config.rjf_full_composition);
+        assert!(cli.config.gsa);
+        assert_eq!(cli.config.solver, SolverKind::BindingGraph);
+    }
+
+    #[test]
+    fn parse_input_list() {
+        let cli = parse_args(&args(&["run", "x.mf", "--input", "1,2, 3"])).unwrap();
+        assert_eq!(cli.input, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["bogus", "x.mf"])).is_err());
+        assert!(parse_args(&args(&["analyze"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--jf"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--jf", "magic"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--wat"])).is_err());
+        assert!(parse_args(&args(&["run", "x.mf", "--input", "1,x"])).is_err());
+        let err = parse_args(&args(&[])).unwrap_err();
+        assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn execute_analyze() {
+        let cli = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert!(out.contains("CONSTANTS(f)"), "{out}");
+        assert!(out.contains("a = 5"), "{out}");
+    }
+
+    #[test]
+    fn execute_run() {
+        let cli = parse_args(&args(&["run", "x.mf"])).unwrap();
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert_eq!(out, "5\n");
+    }
+
+    #[test]
+    fn execute_run_with_input() {
+        let cli = parse_args(&args(&["run", "x.mf", "--input", "9"])).unwrap();
+        let out = execute(&cli, "main\n  read(x)\n  print(x + 1)\nend\n").unwrap();
+        assert_eq!(out, "10\n");
+    }
+
+    #[test]
+    fn execute_ir_and_transform() {
+        let cli = parse_args(&args(&["ir", "x.mf"])).unwrap();
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert!(out.contains("call f"), "{out}");
+
+        let cli = parse_args(&args(&["transform", "x.mf"])).unwrap();
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert!(out.contains("occurrences substituted"), "{out}");
+        assert!(out.contains("print(5)"), "{out}");
+    }
+
+    #[test]
+    fn execute_optimize() {
+        let cli = parse_args(&args(&["optimize", "x.mf", "--clone"])).unwrap();
+        assert!(cli.clone_procedures);
+        let src = "proc f(a)\n  print(a)\nend\nmain\n  call f(1)\n  call f(2)\nend\n";
+        let out = execute(&cli, src).unwrap();
+        assert!(out.contains("clones"), "{out}");
+        assert!(out.contains("f__c1"), "{out}");
+    }
+
+    #[test]
+    fn execute_clones() {
+        let cli = parse_args(&args(&["clones", "x.mf"])).unwrap();
+        let src = "proc f(a)\n  print(a)\nend\nmain\n  call f(1)\n  call f(2)\nend\n";
+        let out = execute(&cli, src).unwrap();
+        assert!(out.contains("clone `f`"), "{out}");
+    }
+
+    #[test]
+    fn execute_lint() {
+        let cli = parse_args(&args(&["lint", "x.mf"])).unwrap();
+        assert!(execute(&cli, PROGRAM).unwrap().contains("no aliasing"));
+        let bad = "proc f(a, b)\n  a = 1\nend\nmain\n  call f(x, x)\nend\n";
+        let err = execute(&cli, bad).unwrap_err();
+        assert!(err.contains("passed by reference"), "{err}");
+    }
+
+    #[test]
+    fn execute_reports_compile_errors() {
+        let cli = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let err = execute(&cli, "main\ncall nope()\nend\n").unwrap_err();
+        assert!(err.contains("unknown procedure"), "{err}");
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end pipeline tests: exact `CONSTANTS` sets and substitution
+//! counts on hand-written programs, across the full configuration matrix.
+
+use ipcp::core::{analyze_source, AnalysisConfig, JumpFunctionKind, Slot};
+use ipcp::ir::GlobalId;
+
+fn config(kind: JumpFunctionKind) -> AnalysisConfig {
+    AnalysisConfig {
+        jump_function: kind,
+        ..AnalysisConfig::default()
+    }
+}
+
+/// CONSTANTS of `proc_name` as (slot, value) pairs.
+fn constants_of(outcome: &ipcp::core::AnalysisOutcome, proc_name: &str) -> Vec<(Slot, i64)> {
+    let pid = outcome.program.proc_by_name(proc_name).expect("proc");
+    outcome.constants[pid.index()]
+        .iter()
+        .map(|(s, v)| (*s, *v))
+        .collect()
+}
+
+const DOC_EXAMPLE: &str = "
+global n
+proc init()
+  n = 64
+end
+proc compute(k)
+  print(n + k)
+end
+main
+  call init()
+  call compute(8)
+end
+";
+
+#[test]
+fn doc_example_exact_constants() {
+    let out = analyze_source(DOC_EXAMPLE, &AnalysisConfig::default()).unwrap();
+    let mut consts = constants_of(&out, "compute");
+    consts.sort();
+    assert_eq!(
+        consts,
+        vec![(Slot::Formal(0), 8), (Slot::Global(GlobalId(0)), 64)]
+    );
+    // compute's body: `n + k` has two countable uses.
+    assert_eq!(out.substitutions.total, 2);
+}
+
+#[test]
+fn doc_example_without_rjf_loses_global() {
+    let cfg = AnalysisConfig {
+        return_jump_functions: false,
+        ..AnalysisConfig::default()
+    };
+    let out = analyze_source(DOC_EXAMPLE, &cfg).unwrap();
+    assert_eq!(constants_of(&out, "compute"), vec![(Slot::Formal(0), 8)]);
+    assert_eq!(out.substitutions.total, 1);
+}
+
+/// The paper's running structure: constants along multi-edge paths.
+const MULTI_HOP: &str = "
+proc level3(c)
+  print(c)
+  print(c * c)
+end
+proc level2(b)
+  call level3(b)
+end
+proc level1(a)
+  call level2(a)
+end
+main
+  call level1(6)
+end
+";
+
+#[test]
+fn multi_hop_by_kind() {
+    // literal: only level1 learns a = 6 (1 slot), no uses inside level1.
+    let out = analyze_source(MULTI_HOP, &config(JumpFunctionKind::Literal)).unwrap();
+    assert_eq!(out.constant_slot_count(), 1);
+    assert_eq!(out.substitutions.total, 0);
+
+    // intraprocedural: same (the actual at level1's site is a formal).
+    let out = analyze_source(
+        MULTI_HOP,
+        &config(JumpFunctionKind::IntraproceduralConstant),
+    )
+    .unwrap();
+    assert_eq!(out.constant_slot_count(), 1);
+    assert_eq!(out.substitutions.total, 0);
+
+    // pass-through: the whole chain lights up; level3 uses c three times
+    // (`print(c)` once, `print(c * c)` twice).
+    let out = analyze_source(MULTI_HOP, &config(JumpFunctionKind::PassThrough)).unwrap();
+    assert_eq!(out.constant_slot_count(), 3);
+    assert_eq!(out.substitutions.total, 3);
+
+    // polynomial: identical here (the paper's empirical headline).
+    let out = analyze_source(MULTI_HOP, &config(JumpFunctionKind::Polynomial)).unwrap();
+    assert_eq!(out.constant_slot_count(), 3);
+    assert_eq!(out.substitutions.total, 3);
+}
+
+const POLYNOMIAL_ONLY: &str = "
+proc sink(z)
+  print(z)
+end
+proc middle(x)
+  call sink(3 * x * x + 2 * x + 1)
+end
+main
+  call middle(2)
+end
+";
+
+#[test]
+fn polynomial_expressions_need_polynomial_kind() {
+    let out = analyze_source(POLYNOMIAL_ONLY, &config(JumpFunctionKind::PassThrough)).unwrap();
+    assert_eq!(constants_of(&out, "sink"), vec![]);
+    let out = analyze_source(POLYNOMIAL_ONLY, &config(JumpFunctionKind::Polynomial)).unwrap();
+    assert_eq!(constants_of(&out, "sink"), vec![(Slot::Formal(0), 17)]);
+}
+
+const DIVISION_JF: &str = "
+proc sink(z)
+  print(z)
+end
+proc middle(x)
+  call sink(x / 2 + x % 3)
+end
+main
+  call middle(9)
+end
+";
+
+#[test]
+fn division_and_remainder_supported_in_jump_functions() {
+    // 9/2 + 9%3 = 4 — expression jump functions cover all integer ops.
+    let out = analyze_source(DIVISION_JF, &config(JumpFunctionKind::Polynomial)).unwrap();
+    assert_eq!(constants_of(&out, "sink"), vec![(Slot::Formal(0), 4)]);
+}
+
+const CONFLICT: &str = "
+proc f(a, b)
+  print(a + b)
+end
+main
+  call f(1, 9)
+  call f(2, 9)
+end
+";
+
+#[test]
+fn conflicting_sites_meet_to_bottom_agreeing_stay() {
+    let out = analyze_source(CONFLICT, &AnalysisConfig::default()).unwrap();
+    assert_eq!(constants_of(&out, "f"), vec![(Slot::Formal(1), 9)]);
+    assert_eq!(out.substitutions.total, 1);
+}
+
+const BY_REF_RETURN: &str = "
+proc answer(x)
+  x = 42
+end
+proc double(x)
+  x = x * 2
+end
+main
+  call answer(q)
+  call double(q)
+  print(q)
+end
+";
+
+#[test]
+fn by_reference_results_flow_through_rjfs() {
+    let out = analyze_source(BY_REF_RETURN, &AnalysisConfig::default()).unwrap();
+    // double is invoked with q = 42, and main's final print sees 84.
+    assert_eq!(constants_of(&out, "double"), vec![(Slot::Formal(0), 42)]);
+    assert_eq!(out.substitutions.total, 2); // `x * 2` inside double, print(q)
+}
+
+#[test]
+fn rjf_composition_extension_beats_paper_rule() {
+    // g is set from a *parameter* of the caller's caller; the paper's
+    // constant-or-⊥ return jump function evaluation cannot track it, the
+    // full-composition extension can.
+    let src = "
+global g
+proc setg(v)
+  g = v
+end
+proc relay(w)
+  call setg(w + 1)
+  call reader()
+end
+proc reader()
+  print(g)
+end
+main
+  call relay(4)
+end
+";
+    let paper = analyze_source(src, &AnalysisConfig::default()).unwrap();
+    let ext = analyze_source(
+        src,
+        &AnalysisConfig {
+            rjf_full_composition: true,
+            ..AnalysisConfig::default()
+        },
+    )
+    .unwrap();
+    let g = Slot::Global(GlobalId(0));
+    let reader_paper = constants_of(&paper, "reader");
+    let reader_ext = constants_of(&ext, "reader");
+    assert!(!reader_paper.contains(&(g, 5)), "{reader_paper:?}");
+    assert!(reader_ext.contains(&(g, 5)), "{reader_ext:?}");
+}
+
+const COMPLETE_PROP: &str = "
+proc kernel(debug)
+  if debug then
+    read(v)
+    x = v
+  else
+    x = 12
+  end
+  call leaf(x)
+end
+proc leaf(p)
+  print(p)
+  print(p + 1)
+  print(p + 2)
+end
+main
+  call kernel(0)
+end
+";
+
+#[test]
+fn complete_propagation_unlocks_guarded_constants() {
+    let plain = analyze_source(COMPLETE_PROP, &AnalysisConfig::default()).unwrap();
+    assert_eq!(constants_of(&plain, "leaf"), vec![]);
+    let complete = analyze_source(
+        COMPLETE_PROP,
+        &AnalysisConfig {
+            complete_propagation: true,
+            ..AnalysisConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(constants_of(&complete, "leaf"), vec![(Slot::Formal(0), 12)]);
+    assert_eq!(complete.stats.dce_rounds, 1);
+    assert!(complete.substitutions.total > plain.substitutions.total);
+}
+
+#[test]
+fn gsa_extension_subsumes_complete_propagation_here() {
+    // The paper (§4.2): complete propagation's results "can be achieved by
+    // basing the jump-function generator on a gated single-assignment
+    // form". The gsa extension finds leaf's constant in ONE pass, no DCE.
+    let gsa = analyze_source(
+        COMPLETE_PROP,
+        &AnalysisConfig {
+            gsa: true,
+            ..AnalysisConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(constants_of(&gsa, "leaf"), vec![(Slot::Formal(0), 12)]);
+    assert_eq!(gsa.stats.dce_rounds, 0);
+
+    let complete = analyze_source(
+        COMPLETE_PROP,
+        &AnalysisConfig {
+            complete_propagation: true,
+            ..AnalysisConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(gsa.substitutions.total, complete.substitutions.total);
+}
+
+#[test]
+fn binding_solver_matches_worklist_solver() {
+    use ipcp::core::SolverKind;
+    for src in [
+        DOC_EXAMPLE,
+        MULTI_HOP,
+        CONFLICT,
+        BY_REF_RETURN,
+        COMPLETE_PROP,
+    ] {
+        let a = analyze_source(src, &AnalysisConfig::default()).unwrap();
+        let b = analyze_source(
+            src,
+            &AnalysisConfig {
+                solver: SolverKind::BindingGraph,
+                ..AnalysisConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.constants, b.constants, "{src}");
+        assert_eq!(a.substitutions, b.substitutions, "{src}");
+    }
+}
+
+#[test]
+fn recursive_programs_are_sound() {
+    let src = "
+func fact(n)
+  if n <= 1 then
+    return 1
+  end
+  return n * fact(n - 1)
+end
+main
+  print(fact(5))
+end
+";
+    for kind in JumpFunctionKind::ALL {
+        let out = analyze_source(src, &config(kind)).unwrap();
+        // n varies across the recursion; nothing may be claimed constant.
+        assert_eq!(constants_of(&out, "fact"), vec![], "{kind}");
+    }
+}
+
+#[test]
+fn uncalled_procedures_report_no_constants() {
+    let src = "
+proc orphan(a)
+  print(a)
+end
+main
+  print(1)
+end
+";
+    let out = analyze_source(src, &AnalysisConfig::default()).unwrap();
+    assert_eq!(constants_of(&out, "orphan"), vec![]);
+    assert_eq!(out.substitutions.total, 0);
+}
+
+#[test]
+fn real_values_never_propagate() {
+    let src = "
+proc f(real r, k)
+  print(r)
+  print(k)
+end
+main
+  call f(1.5, 3)
+end
+";
+    let out = analyze_source(src, &AnalysisConfig::default()).unwrap();
+    // Only the integer k is a constant (the paper propagates integers only).
+    assert_eq!(constants_of(&out, "f"), vec![(Slot::Formal(1), 3)]);
+}
+
+#[test]
+fn array_elements_never_propagate() {
+    let src = "
+proc f(p)
+  print(p)
+end
+main
+  integer a(4)
+  a(1) = 7
+  call f(a(1))
+end
+";
+    let out = analyze_source(src, &AnalysisConfig::default()).unwrap();
+    // a(1) holds 7 at the call, but array elements are ⊥ by design.
+    assert_eq!(constants_of(&out, "f"), vec![]);
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let a = analyze_source(DOC_EXAMPLE, &AnalysisConfig::default()).unwrap();
+    let b = analyze_source(DOC_EXAMPLE, &AnalysisConfig::default()).unwrap();
+    assert_eq!(a.constants, b.constants);
+    assert_eq!(a.substitutions, b.substitutions);
+    assert_eq!(a.stats, b.stats);
+}

@@ -1,0 +1,348 @@
+//! Property-based tests over randomly generated Minifor programs.
+//!
+//! The generator below produces arbitrary well-typed programs (globals,
+//! two subroutines, one function, and a main, with nested control flow,
+//! arrays, reads, and cross-procedure calls) whose loops always have
+//! small literal bounds, so every program terminates quickly. On these
+//! programs we check the repository's deepest invariants:
+//!
+//! 1. the AST interpreter and the IR evaluator agree exactly;
+//! 2. SSA construction always verifies (under both kill oracles);
+//! 3. substituting the analyzer's constants into the IR — at any
+//!    configuration — never changes program behaviour;
+//! 4. the `CONSTANTS` sets grow monotonically with jump-function
+//!    precision;
+//! 5. the analysis is deterministic.
+
+use ipcp::core::{analyze, AnalysisConfig, JumpFunctionKind};
+use ipcp::lang::interp::{self as ast_interp, InterpConfig};
+use proptest::prelude::*;
+
+// ---- random program generation -----------------------------------------
+
+/// Scalar integer variables usable inside a procedure body.
+const VARS: [&str; 4] = ["va", "vb", "vc", "vd"];
+/// Global integer scalars.
+const GLOBALS: [&str; 2] = ["ga", "gb"];
+
+fn literal() -> impl Strategy<Value = String> {
+    (-20i64..21).prop_map(|v| {
+        if v < 0 {
+            format!("(0 - {})", -v)
+        } else {
+            v.to_string()
+        }
+    })
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::sample::select(VARS.to_vec()).prop_map(str::to_string),
+        proptest::sample::select(GLOBALS.to_vec()).prop_map(str::to_string),
+    ]
+}
+
+fn expr(depth: u32, params: &'static [&'static str]) -> BoxedStrategy<String> {
+    let leaf = if params.is_empty() {
+        prop_oneof![
+            literal(),
+            var_name(),
+            // Bounded array read: index forced into 1..=7 (length 8).
+            var_name().prop_map(|v| format!("arr({v} % 4 + 4)")),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            literal(),
+            var_name(),
+            proptest::sample::select(params.to_vec()).prop_map(str::to_string),
+            var_name().prop_map(|v| format!("arr({v} % 4 + 4)")),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            proptest::sample::select(vec!["+", "-", "*", "/", "%", "==", "<", ">="]),
+        )
+            .prop_map(|(a, b, op)| format!("({a} {op} {b})"))
+    })
+    .boxed()
+}
+
+fn stmt(depth: u32, params: &'static [&'static str], calls: bool) -> BoxedStrategy<String> {
+    let assign = (var_name(), expr(2, params)).prop_map(|(v, e)| format!("{v} = {e}\n"));
+    let store =
+        (var_name(), expr(1, params)).prop_map(|(v, e)| format!("arr({v} % 4 + 4) = {e}\n"));
+    let print = expr(2, params).prop_map(|e| format!("print({e})\n"));
+    let read = var_name().prop_map(|v| format!("read({v})\n"));
+    // Real-typed traffic exercises the promotion/conversion paths; real
+    // values never propagate, so these are analysis-neutral.
+    let real_stmt = (expr(1, params), prop::bool::ANY).prop_map(|(e, show)| {
+        if show {
+            format!("rv = {e} * 0.5\nprint(rv)\n")
+        } else {
+            format!("rv = rv + {e}\n")
+        }
+    });
+    let base = if params.is_empty() {
+        prop_oneof![3 => assign, 2 => print, 1 => store, 1 => read, 1 => real_stmt].boxed()
+    } else {
+        let param_assign = (proptest::sample::select(params.to_vec()), expr(2, params))
+            .prop_map(|(v, e)| format!("{v} = {e}\n"));
+        prop_oneof![3 => assign, 2 => param_assign, 2 => print, 1 => store, 1 => read, 1 => real_stmt]
+            .boxed()
+    };
+    if depth == 0 {
+        return base;
+    }
+    let block =
+        proptest::collection::vec(stmt(depth - 1, params, calls), 0..3).prop_map(|v| v.concat());
+    let if_stmt = (expr(1, params), block.clone(), block.clone())
+        .prop_map(|(c, t, e)| format!("if {c} then\n{t}else\n{e}end\n"));
+    // Each nesting level gets its own loop variable: reusing one across
+    // nested loops can produce a non-terminating reset cycle under the
+    // language's while-style `do` semantics.
+    let do_stmt = (1i64..4, 1i64..6, block.clone())
+        .prop_map(move |(lo, hi, b)| format!("do d{depth} = {lo}, {hi}\n{b}end\n"));
+    // Bounded `while`: a dedicated counter (per nesting level, never
+    // touched by the generated body, which only uses VARS/GLOBALS/params)
+    // guarantees termination.
+    let while_stmt = (1i64..6, block.clone()).prop_map(move |(n, b)| {
+        format!("w{depth} = {n}\nwhile w{depth} > 0 do\nw{depth} = w{depth} - 1\n{b}end\n")
+    });
+    let call_p0 = expr(1, params).prop_map(|e| format!("call p0({e})\n"));
+    let call_fn = (var_name(), expr(1, params)).prop_map(|(v, e)| format!("{v} = f0({e})\n"));
+    if calls {
+        prop_oneof![4 => base, 2 => if_stmt, 2 => do_stmt, 1 => while_stmt, 1 => call_p0, 1 => call_fn]
+            .boxed()
+    } else {
+        prop_oneof![4 => base, 2 => if_stmt, 2 => do_stmt, 1 => while_stmt].boxed()
+    }
+}
+
+fn body(params: &'static [&'static str], calls: bool) -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(2, params, calls), 0..6).prop_map(|v| v.concat())
+}
+
+prop_compose! {
+    fn program()(
+        ga in -9i64..10,
+        p0_body in body(&["px"], false),
+        f0_body in body(&["fx"], false),
+        p1_body in body(&["qx", "qy"], true),
+        main_body in body(&[], true),
+        ret in expr(1, &["fx"]),
+    ) -> String {
+        format!(
+            "global ga = {ga}\nglobal gb\n\
+             proc p0(px)\n  integer arr(8)\n  real rv\n{p0_body}end\n\
+             func f0(fx)\n  integer arr(8)\n  real rv\n{f0_body}  return {ret}\nend\n\
+             proc p1(qx, qy)\n  integer arr(8)\n  real rv\n{p1_body}end\n\
+             main\n  integer arr(8)\n  real rv\n{main_body}  call p1(3, va)\nend\n"
+        )
+    }
+}
+
+/// Plenty of input for `read` (bounded loops keep the count finite).
+fn test_input() -> Vec<i64> {
+    (0..512).map(|i| (i * 7 + 3) % 23 - 11).collect()
+}
+
+fn interp_config() -> InterpConfig {
+    InterpConfig {
+        input: test_input(),
+        max_steps: 2_000_000,
+        ..InterpConfig::default()
+    }
+}
+
+// ---- properties ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ast_and_ir_semantics_agree(src in program()) {
+        let checked = ipcp::lang::compile(&src).expect("generated programs compile");
+        let ir = ipcp::ir::lower::lower(&checked);
+        ipcp::ir::validate::validate(&ir).expect("lowered IR validates");
+        let cfg = interp_config();
+        let ast_out = ast_interp::run(&checked, &cfg).map(|o| o.output);
+        let ir_out = ipcp::ir::eval::run(&ir, &cfg).map(|o| o.output);
+        prop_assert_eq!(ast_out, ir_out);
+    }
+
+    #[test]
+    fn ssa_always_verifies(src in program()) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        for pid in ir.proc_ids() {
+            let proc = ir.proc(pid);
+            for oracle in [
+                &ipcp::ssa::WorstCaseKills as &dyn ipcp::ssa::KillOracle,
+                &ipcp::ssa::NoKills,
+            ] {
+                let ssa = ipcp::ssa::build_ssa(&ir, proc, oracle);
+                if let Err(errs) = ipcp::ssa::verify::verify(proc, &ssa) {
+                    prop_assert!(false, "SSA invalid for {}: {errs:?}", proc.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substitution_preserves_behaviour(src in program()) {
+        use ipcp::analysis::{augment_global_vars, compute_modref, CallGraph, ModKills};
+        use ipcp::core::{apply_substitutions, build_return_jfs, solver, RjfConstEval, RjfLattice};
+
+        let mut ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let cfg = interp_config();
+        let before = ipcp::ir::eval::run(&ir, &cfg);
+
+        let cg = CallGraph::new(&ir);
+        let modref = compute_modref(&ir, &cg);
+        augment_global_vars(&mut ir, &modref);
+        let cg = CallGraph::new(&ir);
+        let kills = ModKills::new(&ir, &modref);
+        let rjfs = build_return_jfs(&ir, &cg, &kills);
+        let eval_rjfs = RjfConstEval { rjfs: &rjfs };
+        let jfs = ipcp::core::build_forward_jfs(
+            &ir, &cg, &modref, JumpFunctionKind::Polynomial, &kills, &eval_rjfs,
+        );
+        let vals = solver::solve(&ir, &cg, &modref, &jfs);
+        let lattice = RjfLattice { rjfs: &rjfs };
+
+        let mut transformed = ir.clone();
+        apply_substitutions(&mut transformed, &kills, &lattice, Some(&vals));
+        ipcp::ir::validate::validate(&transformed).expect("valid after substitution");
+        let after = ipcp::ir::eval::run(&transformed, &cfg);
+
+        match (&before, &after) {
+            (Ok(b), Ok(a)) => prop_assert_eq!(&b.output, &a.output),
+            // Runtime errors (division by zero, bounds) must be identical.
+            (Err(b), Err(a)) => prop_assert_eq!(b, a),
+            _ => prop_assert!(false, "one run failed, the other did not: {before:?} vs {after:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_grow_with_jump_function_precision(src in program()) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let mut prev: Option<Vec<std::collections::BTreeMap<ipcp::core::Slot, i64>>> = None;
+        for kind in JumpFunctionKind::ALL {
+            let out = analyze(&ir, &AnalysisConfig { jump_function: kind, ..Default::default() });
+            if let Some(prev_consts) = &prev {
+                for (weaker, stronger) in prev_consts.iter().zip(out.constants.iter()) {
+                    for (slot, value) in weaker {
+                        prop_assert_eq!(
+                            stronger.get(slot),
+                            Some(value),
+                            "{:?} lost by more precise kind {}",
+                            slot,
+                            kind
+                        );
+                    }
+                }
+            }
+            prev = Some(out.constants);
+        }
+    }
+
+    #[test]
+    fn gsa_extension_is_sound_and_no_weaker(src in program()) {
+        // Gated jump functions must (a) find at least the default
+        // configuration's constants and (b) stay semantically sound when
+        // substituted.
+        use ipcp::analysis::{augment_global_vars, compute_modref, CallGraph, ModKills};
+        use ipcp::core::{apply_substitutions, solver, RjfLattice};
+        use ipcp::analysis::symeval::SymEvalOptions;
+
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let plain = analyze(&ir, &AnalysisConfig::default());
+        let gsa_cfg = AnalysisConfig { gsa: true, ..AnalysisConfig::default() };
+        let gsa = analyze(&ir, &gsa_cfg);
+        for (weaker, stronger) in plain.constants.iter().zip(gsa.constants.iter()) {
+            for (slot, value) in weaker {
+                prop_assert_eq!(stronger.get(slot), Some(value), "gsa lost {:?}", slot);
+            }
+        }
+
+        // Soundness via substitution equivalence under gsa.
+        let mut prog = ir.clone();
+        let cfg = interp_config();
+        let before = ipcp::ir::eval::run(&prog, &cfg);
+        let cg = CallGraph::new(&prog);
+        let modref = compute_modref(&prog, &cg);
+        augment_global_vars(&mut prog, &modref);
+        let cg = CallGraph::new(&prog);
+        let kills = ModKills::new(&prog, &modref);
+        let options = SymEvalOptions { gated_phis: true };
+        let rjfs = ipcp::core::retjf::build_return_jfs_with(&prog, &cg, &kills, options);
+        let eval_rjfs = ipcp::core::RjfConstEval { rjfs: &rjfs };
+        let jfs = ipcp::core::forward::build_forward_jfs_with(
+            &prog, &cg, &modref, JumpFunctionKind::Polynomial, &kills, &eval_rjfs, options,
+        );
+        let vals = solver::solve(&prog, &cg, &modref, &jfs);
+        let lattice = RjfLattice { rjfs: &rjfs };
+        let mut transformed = prog.clone();
+        apply_substitutions(&mut transformed, &kills, &lattice, Some(&vals));
+        ipcp::ir::validate::validate(&transformed).expect("valid");
+        let after = ipcp::ir::eval::run(&transformed, &cfg);
+        match (&before, &after) {
+            (Ok(b), Ok(a)) => prop_assert_eq!(&b.output, &a.output),
+            (Err(b), Err(a)) => prop_assert_eq!(b, a),
+            _ => prop_assert!(false, "divergence: {before:?} vs {after:?}"),
+        }
+    }
+
+    #[test]
+    fn optimize_preserves_behaviour(src in program()) {
+        use ipcp::core::{optimize, OptimizeConfig};
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let cfg = interp_config();
+        let before = ipcp::ir::eval::run(&ir, &cfg);
+        for (clone_procedures, gsa) in [(false, false), (true, false), (false, true)] {
+            let config = OptimizeConfig {
+                clone_procedures,
+                analysis: AnalysisConfig { gsa, ..AnalysisConfig::default() },
+                ..OptimizeConfig::default()
+            };
+            let (optimized, _) = optimize(&ir, &config);
+            ipcp::ir::validate::validate(&optimized).expect("valid");
+            let after = ipcp::ir::eval::run(&optimized, &cfg);
+            match (&before, &after) {
+                (Ok(b), Ok(a)) => prop_assert_eq!(&b.output, &a.output),
+                (Err(b), Err(a)) => prop_assert_eq!(b, a),
+                _ => prop_assert!(
+                    false,
+                    "optimize diverged (clone={clone_procedures}, gsa={gsa}): {before:?} vs {after:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_deterministic(src in program()) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let a = analyze(&ir, &AnalysisConfig::default());
+        let b = analyze(&ir, &AnalysisConfig::default());
+        prop_assert_eq!(a.constants, b.constants);
+        prop_assert_eq!(a.substitutions, b.substitutions);
+    }
+}
+
+// ---- front-end round-trip property ---------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pretty_print_round_trips(src in program()) {
+        let ast = ipcp::lang::parser::parse(&src).expect("parses");
+        let printed = ipcp::lang::pretty::program_to_string(&ast);
+        let reparsed = ipcp::lang::parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed:\n{}\n{printed}", e.render(&printed)));
+        prop_assert_eq!(ipcp::lang::pretty::program_to_string(&reparsed), printed);
+    }
+}

@@ -1,0 +1,287 @@
+//! Reproduction tests over the full synthetic benchmark suite: the
+//! analyzer's measured substitution counts must land on (or within a
+//! couple of counts of) the paper's Tables 2 and 3, and every qualitative
+//! conclusion of the paper must hold.
+
+use ipcp::core::{analyze, AnalysisConfig, JumpFunctionKind};
+use ipcp::suite::{all_specs, generate, paper_row};
+
+struct Measured {
+    name: String,
+    poly: usize,
+    pass_through: usize,
+    intra: usize,
+    literal: usize,
+    poly_no_rjf: usize,
+    poly_no_mod: usize,
+    complete: usize,
+    baseline: usize,
+}
+
+fn measure_all() -> Vec<Measured> {
+    all_specs()
+        .iter()
+        .map(|spec| {
+            let program = generate(spec);
+            let ir = ipcp::ir::compile_to_ir(&program.source).expect("compiles");
+            let base = AnalysisConfig::default();
+            let run = |c: &AnalysisConfig| analyze(&ir, c).substitutions.total;
+            Measured {
+                name: spec.name.to_string(),
+                poly: run(&base),
+                pass_through: run(&AnalysisConfig {
+                    jump_function: JumpFunctionKind::PassThrough,
+                    ..base
+                }),
+                intra: run(&AnalysisConfig {
+                    jump_function: JumpFunctionKind::IntraproceduralConstant,
+                    ..base
+                }),
+                literal: run(&AnalysisConfig {
+                    jump_function: JumpFunctionKind::Literal,
+                    ..base
+                }),
+                poly_no_rjf: run(&AnalysisConfig {
+                    return_jump_functions: false,
+                    ..base
+                }),
+                poly_no_mod: run(&AnalysisConfig {
+                    mod_info: false,
+                    ..base
+                }),
+                complete: run(&AnalysisConfig {
+                    complete_propagation: true,
+                    ..base
+                }),
+                baseline: run(&AnalysisConfig::intraprocedural_baseline()),
+            }
+        })
+        .collect()
+}
+
+/// |measured − paper| must stay within this absolute tolerance for the
+/// tightly-fitted cells (the generator places countable uses exactly;
+/// the ±2 slack covers the documented off-by-one motif interactions).
+const TIGHT: usize = 2;
+
+#[test]
+fn table2_matches_paper() {
+    for m in measure_all() {
+        let p = paper_row(&m.name).expect("paper row");
+        assert!(
+            m.poly.abs_diff(p.poly) <= TIGHT,
+            "{}: poly {} vs {}",
+            m.name,
+            m.poly,
+            p.poly
+        );
+        assert!(
+            m.pass_through.abs_diff(p.pass_through) <= TIGHT,
+            "{}: pass-through {} vs {}",
+            m.name,
+            m.pass_through,
+            p.pass_through
+        );
+        assert!(
+            m.intra.abs_diff(p.intraprocedural) <= TIGHT,
+            "{}: intra {} vs {}",
+            m.name,
+            m.intra,
+            p.intraprocedural
+        );
+        assert!(
+            m.literal.abs_diff(p.literal) <= TIGHT,
+            "{}: literal {} vs {}",
+            m.name,
+            m.literal,
+            p.literal
+        );
+        assert!(
+            m.poly_no_rjf.abs_diff(p.poly_no_rjf) <= TIGHT,
+            "{}: no-RJF {} vs {}",
+            m.name,
+            m.poly_no_rjf,
+            p.poly_no_rjf
+        );
+    }
+}
+
+#[test]
+fn table3_matches_paper() {
+    // `ocean` without MOD is the one documented loose cell: the paper's
+    // implementation retained some init constants that the fitted motif
+    // model cannot express (EXPERIMENTS.md discusses it).
+    for m in measure_all() {
+        let p = paper_row(&m.name).expect("paper row");
+        let no_mod_tolerance = if m.name == "ocean" { 20 } else { TIGHT };
+        assert!(
+            m.poly_no_mod.abs_diff(p.poly_no_mod) <= no_mod_tolerance,
+            "{}: no-MOD {} vs {}",
+            m.name,
+            m.poly_no_mod,
+            p.poly_no_mod
+        );
+        assert!(
+            m.complete.abs_diff(p.complete) <= TIGHT,
+            "{}: complete {} vs {}",
+            m.name,
+            m.complete,
+            p.complete
+        );
+        assert!(
+            m.baseline.abs_diff(p.intraprocedural_only) <= TIGHT,
+            "{}: baseline {} vs {}",
+            m.name,
+            m.baseline,
+            p.intraprocedural_only
+        );
+    }
+}
+
+#[test]
+fn paper_conclusions_hold() {
+    let all = measure_all();
+    for m in &all {
+        // §6: "The pass-through and polynomial parameter forward jump
+        // functions were equivalent in the number of constants found."
+        assert_eq!(m.poly, m.pass_through, "{}", m.name);
+        // Precision hierarchy.
+        assert!(m.literal <= m.intra, "{}", m.name);
+        assert!(m.intra <= m.pass_through, "{}", m.name);
+        // Return jump functions never hurt.
+        assert!(m.poly_no_rjf <= m.poly, "{}", m.name);
+        // "Incorporating MOD information is important."
+        assert!(m.poly_no_mod <= m.poly, "{}", m.name);
+        // Complete propagation never finds fewer.
+        assert!(m.complete >= m.poly, "{}", m.name);
+        // "Interprocedural propagation always detected more constants
+        // than strictly intraprocedural propagation" (for programs that
+        // contained constants).
+        assert!(m.baseline <= m.poly, "{}", m.name);
+    }
+
+    // §4.2: return jump functions "more than tripled" ocean's constants.
+    let ocean = all.iter().find(|m| m.name == "ocean").unwrap();
+    assert!(ocean.poly as f64 / ocean.poly_no_rjf as f64 > 2.5);
+
+    // §4.2: MOD strikingly matters in adm, linpackd, matrix300, ocean,
+    // simple, and spec77.
+    for name in ["adm", "linpackd", "matrix300", "ocean", "simple", "spec77"] {
+        let m = all.iter().find(|m| m.name == name).unwrap();
+        assert!(
+            (m.poly_no_mod as f64) <= 0.6 * m.poly as f64,
+            "{name}: MOD effect should be large ({} vs {})",
+            m.poly_no_mod,
+            m.poly
+        );
+    }
+
+    // §4.2: complete propagation "exposed few additional constants" —
+    // only ocean and spec77 gain at all, and modestly.
+    for m in &all {
+        let gain = m.complete - m.poly;
+        if m.name == "ocean" || m.name == "spec77" {
+            assert!(gain > 0, "{}", m.name);
+            assert!(gain <= 12, "{}: {gain}", m.name);
+        } else {
+            assert_eq!(gain, 0, "{}", m.name);
+        }
+    }
+}
+
+#[test]
+fn binding_solver_agrees_on_whole_suite() {
+    use ipcp::core::SolverKind;
+    for spec in all_specs() {
+        let program = generate(&spec);
+        let ir = ipcp::ir::compile_to_ir(&program.source).expect("compiles");
+        let a = analyze(&ir, &AnalysisConfig::default());
+        let b = analyze(
+            &ir,
+            &AnalysisConfig {
+                solver: SolverKind::BindingGraph,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert_eq!(a.constants, b.constants, "{}", spec.name);
+        assert_eq!(a.substitutions, b.substitutions, "{}", spec.name);
+    }
+}
+
+#[test]
+fn gsa_extension_subsumes_complete_propagation_on_suite() {
+    // §4.2: gated single assignment achieves complete propagation's
+    // results in a single pass. On every suite program, gsa must reach at
+    // least the complete-propagation count without any DCE round.
+    for spec in all_specs() {
+        let program = generate(&spec);
+        let ir = ipcp::ir::compile_to_ir(&program.source).expect("compiles");
+        let complete = analyze(
+            &ir,
+            &AnalysisConfig {
+                complete_propagation: true,
+                ..AnalysisConfig::default()
+            },
+        );
+        let gsa = analyze(
+            &ir,
+            &AnalysisConfig {
+                gsa: true,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert!(
+            gsa.substitutions.total >= complete.substitutions.total,
+            "{}: gsa {} vs complete {}",
+            spec.name,
+            gsa.substitutions.total,
+            complete.substitutions.total
+        );
+        assert_eq!(gsa.stats.dce_rounds, 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn suite_transformation_preserves_behaviour() {
+    use ipcp::analysis::{augment_global_vars, compute_modref, CallGraph, ModKills};
+    use ipcp::core::{apply_substitutions, build_return_jfs, solver, RjfConstEval, RjfLattice};
+    use ipcp::lang::interp::InterpConfig;
+
+    // End-to-end soundness at scale: substituting the discovered
+    // constants into every suite program must not change its output.
+    for spec in all_specs() {
+        let generated = generate(&spec);
+        let mut program = ipcp::ir::compile_to_ir(&generated.source).expect("compiles");
+        let config = InterpConfig {
+            input: generated.input(),
+            max_steps: 200_000_000,
+            ..InterpConfig::default()
+        };
+        let before = ipcp::ir::eval::run(&program, &config).expect("runs");
+
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let rjfs = build_return_jfs(&program, &cg, &kills);
+        let eval_rjfs = RjfConstEval { rjfs: &rjfs };
+        let jfs = ipcp::core::build_forward_jfs(
+            &program,
+            &cg,
+            &modref,
+            JumpFunctionKind::Polynomial,
+            &kills,
+            &eval_rjfs,
+        );
+        let vals = solver::solve(&program, &cg, &modref, &jfs);
+        let lattice = RjfLattice { rjfs: &rjfs };
+
+        let mut transformed = program.clone();
+        let n = apply_substitutions(&mut transformed, &kills, &lattice, Some(&vals));
+        assert!(n > 0, "{}: something must be substitutable", spec.name);
+        ipcp::ir::validate::validate(&transformed).expect("valid after substitution");
+        let after = ipcp::ir::eval::run(&transformed, &config).expect("still runs");
+        assert_eq!(before.output, after.output, "{}", spec.name);
+    }
+}
