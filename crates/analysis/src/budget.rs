@@ -1,0 +1,506 @@
+//! Resource governance for the analysis pipeline.
+//!
+//! Every expensive phase of interprocedural constant propagation —
+//! symbolic evaluation, polynomial construction, SCCP, the MOD/REF
+//! fixpoint, return-jump-function composition, and the interprocedural
+//! solvers — draws *fuel* from a shared [`Budget`]. When the budget is
+//! exhausted the pipeline does not panic or loop: each phase degrades
+//! to a sound, coarser answer (jump functions slide down the paper's
+//! precision ladder `Polynomial → PassThrough → IntraproceduralConstant
+//! → Literal → ⊥`; lattice values drop to ⊥), and every degradation is
+//! recorded in a [`RobustnessReport`].
+//!
+//! The fuel supply is abstracted behind [`FuelSource`] so tests can
+//! substitute a deterministic [`FaultInjector`] that trips exhaustion at
+//! exactly the Nth checkpoint — the fault-injection harness behind the
+//! no-panic/soundness property tests.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The analysis phases that draw fuel, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Per-instruction/per-phi symbolic evaluation work.
+    SymEval,
+    /// Polynomial and symbolic-expression construction.
+    Poly,
+    /// Sparse conditional constant propagation iterations.
+    Sccp,
+    /// MOD/REF interprocedural fixpoint iterations.
+    ModRef,
+    /// Return-jump-function construction per procedure.
+    ReturnJf,
+    /// Forward jump-function construction per procedure.
+    ForwardJf,
+    /// Interprocedural solver worklist pops / edge evaluations.
+    Solver,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 7] = [
+        Phase::SymEval,
+        Phase::Poly,
+        Phase::Sccp,
+        Phase::ModRef,
+        Phase::ReturnJf,
+        Phase::ForwardJf,
+        Phase::Solver,
+    ];
+
+    /// Stable lowercase name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SymEval => "symeval",
+            Phase::Poly => "poly",
+            Phase::Sccp => "sccp",
+            Phase::ModRef => "modref",
+            Phase::ReturnJf => "retjf",
+            Phase::ForwardJf => "forward-jf",
+            Phase::Solver => "solver",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the driver does when the budget runs dry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExhaustionPolicy {
+    /// Degrade jump functions and lattice values soundly and finish.
+    #[default]
+    Degrade,
+    /// Report an error instead of a (coarser) result.
+    Error,
+}
+
+impl fmt::Display for ExhaustionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExhaustionPolicy::Degrade => "degrade",
+            ExhaustionPolicy::Error => "error",
+        })
+    }
+}
+
+/// A supply of fuel. Implementations decide when a consumption request
+/// fails; once any request fails the owning [`Budget`] stays exhausted.
+pub trait FuelSource {
+    /// Attempts to consume `amount` units for `phase`. Returns `false`
+    /// when the supply is (now) exhausted.
+    fn try_consume(&self, phase: Phase, amount: u64) -> bool;
+
+    /// Units still available, or `None` when unlimited / unknown.
+    fn remaining(&self) -> Option<u64>;
+}
+
+/// Unlimited fuel: every request succeeds.
+struct UnlimitedFuel;
+
+impl FuelSource for UnlimitedFuel {
+    fn try_consume(&self, _phase: Phase, _amount: u64) -> bool {
+        true
+    }
+    fn remaining(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A finite tank of `limit` units.
+struct FiniteFuel {
+    limit: u64,
+    used: RefCell<u64>,
+}
+
+impl FuelSource for FiniteFuel {
+    fn try_consume(&self, _phase: Phase, amount: u64) -> bool {
+        let mut used = self.used.borrow_mut();
+        match used.checked_add(amount) {
+            Some(next) if next <= self.limit => {
+                *used = next;
+                true
+            }
+            _ => false,
+        }
+    }
+    fn remaining(&self) -> Option<u64> {
+        Some(self.limit.saturating_sub(*self.used.borrow()))
+    }
+}
+
+/// Deterministic fault injector: allows the first `n` checkpoints and
+/// fails every one after, regardless of phase or cost. Driving an
+/// analysis with `FaultInjector::new(n)` for increasing `n` sweeps the
+/// exhaustion point across every checkpoint in the pipeline.
+pub struct FaultInjector {
+    allowed: u64,
+    seen: RefCell<u64>,
+}
+
+impl FaultInjector {
+    /// An injector that permits exactly `allowed` checkpoints.
+    pub fn new(allowed: u64) -> Self {
+        FaultInjector {
+            allowed,
+            seen: RefCell::new(0),
+        }
+    }
+}
+
+impl FuelSource for FaultInjector {
+    fn try_consume(&self, _phase: Phase, _amount: u64) -> bool {
+        let mut seen = self.seen.borrow_mut();
+        *seen += 1;
+        *seen <= self.allowed
+    }
+    fn remaining(&self) -> Option<u64> {
+        // Unknown by design: the injector counts checkpoints, not units,
+        // so phases must not plan ahead based on it.
+        None
+    }
+}
+
+/// Everything the budget learned while the analysis ran.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RobustnessReport {
+    /// The configured fuel limit, if finite.
+    pub fuel_limit: Option<u64>,
+    /// Units successfully consumed across all phases.
+    pub fuel_consumed: u64,
+    /// Whether any checkpoint failed.
+    pub exhausted: bool,
+    /// How many times each phase degraded its result.
+    pub degradations: BTreeMap<Phase, u64>,
+    /// Precision-ladder steps taken by jump-function construction,
+    /// keyed by `(from, to)` kind names.
+    pub ladder_steps: BTreeMap<(String, String), u64>,
+}
+
+impl RobustnessReport {
+    /// Total degradation events across all phases.
+    pub fn total_degradations(&self) -> u64 {
+        self.degradations.values().sum()
+    }
+
+    /// True when the analysis ran to completion at full precision.
+    pub fn is_clean(&self) -> bool {
+        !self.exhausted && self.degradations.is_empty() && self.ladder_steps.is_empty()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        match self.fuel_limit {
+            Some(n) => out.push_str(&format!("\"fuel_limit\":{n},")),
+            None => out.push_str("\"fuel_limit\":null,"),
+        }
+        out.push_str(&format!("\"fuel_consumed\":{},", self.fuel_consumed));
+        out.push_str(&format!("\"exhausted\":{},", self.exhausted));
+        out.push_str("\"degradations\":{");
+        let mut first = true;
+        for (phase, count) in &self.degradations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{count}", phase.name()));
+        }
+        out.push_str("},\"ladder_steps\":[");
+        let mut first = true;
+        for ((from, to), count) in &self.ladder_steps {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"from\":\"{from}\",\"to\":\"{to}\",\"count\":{count}}}"
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fuel_limit {
+            Some(n) => writeln!(f, "fuel: {} consumed of {n}", self.fuel_consumed)?,
+            None => writeln!(f, "fuel: {} consumed (unlimited)", self.fuel_consumed)?,
+        }
+        writeln!(
+            f,
+            "exhausted: {}; degradations: {}",
+            if self.exhausted { "yes" } else { "no" },
+            self.total_degradations()
+        )?;
+        for (phase, count) in &self.degradations {
+            writeln!(f, "  {phase}: {count}")?;
+        }
+        for ((from, to), count) in &self.ladder_steps {
+            writeln!(f, "  ladder {from} -> {to}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+struct BudgetState {
+    consumed: u64,
+    exhausted: bool,
+    degradations: BTreeMap<Phase, u64>,
+    ladder_steps: BTreeMap<(String, String), u64>,
+}
+
+struct BudgetInner {
+    source: Box<dyn FuelSource>,
+    fuel_limit: Option<u64>,
+    state: RefCell<BudgetState>,
+}
+
+/// Shared fuel handle threaded through the analysis phases. Cloning is
+/// cheap and clones draw from the same tank.
+///
+/// Exhaustion is *sticky*: after the first failed [`checkpoint`]
+/// (`Budget::checkpoint`) every later checkpoint fails too, so a phase
+/// that observed exhaustion can rely on downstream phases observing it
+/// as well.
+#[derive(Clone)]
+pub struct Budget {
+    inner: Rc<BudgetInner>,
+}
+
+impl Budget {
+    fn from_parts(source: Box<dyn FuelSource>, fuel_limit: Option<u64>) -> Self {
+        Budget {
+            inner: Rc::new(BudgetInner {
+                source,
+                fuel_limit,
+                state: RefCell::new(BudgetState {
+                    consumed: 0,
+                    exhausted: false,
+                    degradations: BTreeMap::new(),
+                    ladder_steps: BTreeMap::new(),
+                }),
+            }),
+        }
+    }
+
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Self {
+        Budget::from_parts(Box::new(UnlimitedFuel), None)
+    }
+
+    /// A budget with a finite tank of `limit` units.
+    pub fn with_fuel(limit: u64) -> Self {
+        Budget::from_parts(
+            Box::new(FiniteFuel {
+                limit,
+                used: RefCell::new(0),
+            }),
+            Some(limit),
+        )
+    }
+
+    /// A budget drawing from a custom source (e.g. a [`FaultInjector`]).
+    pub fn from_source<S: FuelSource + 'static>(source: S) -> Self {
+        Budget::from_parts(Box::new(source), None)
+    }
+
+    /// Builds the budget implied by an optional fuel limit.
+    pub fn for_limit(limit: Option<u64>) -> Self {
+        match limit {
+            Some(n) => Budget::with_fuel(n),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// Attempts to spend `amount` units on behalf of `phase`. Returns
+    /// `false` — permanently, for all callers — once the supply fails.
+    pub fn checkpoint(&self, phase: Phase, amount: u64) -> bool {
+        let mut state = self.inner.state.borrow_mut();
+        if state.exhausted {
+            return false;
+        }
+        if self.inner.source.try_consume(phase, amount) {
+            state.consumed += amount;
+            true
+        } else {
+            state.exhausted = true;
+            false
+        }
+    }
+
+    /// True once any checkpoint has failed.
+    pub fn is_exhausted(&self) -> bool {
+        self.inner.state.borrow().exhausted
+    }
+
+    /// Units still available, or `None` when unlimited / unknown.
+    /// Reports `Some(0)` once exhaustion has been observed.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        if self.inner.state.borrow().exhausted {
+            return Some(0);
+        }
+        self.inner.source.remaining()
+    }
+
+    /// Records that `phase` produced a degraded (coarser but sound)
+    /// result.
+    pub fn record_degradation(&self, phase: Phase) {
+        let mut state = self.inner.state.borrow_mut();
+        *state.degradations.entry(phase).or_insert(0) += 1;
+    }
+
+    /// Records one precision-ladder step from jump-function kind `from`
+    /// down to `to`.
+    pub fn record_ladder_step(&self, from: &str, to: &str) {
+        let mut state = self.inner.state.borrow_mut();
+        *state
+            .ladder_steps
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(0) += 1;
+    }
+
+    /// Snapshots the report accumulated so far.
+    pub fn report(&self) -> RobustnessReport {
+        let state = self.inner.state.borrow();
+        RobustnessReport {
+            fuel_limit: self.inner.fuel_limit,
+            fuel_consumed: state.consumed,
+            exhausted: state.exhausted,
+            degradations: state.degradations.clone(),
+            ladder_steps: state.ladder_steps.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.state.borrow();
+        f.debug_struct("Budget")
+            .field("fuel_limit", &self.inner.fuel_limit)
+            .field("consumed", &state.consumed)
+            .field("exhausted", &state.exhausted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.checkpoint(Phase::Solver, 1_000));
+        }
+        assert!(!b.is_exhausted());
+        assert_eq!(b.fuel_remaining(), None);
+        assert!(b.report().is_clean());
+    }
+
+    #[test]
+    fn finite_fuel_exhausts_and_sticks() {
+        let b = Budget::with_fuel(5);
+        assert!(b.checkpoint(Phase::SymEval, 3));
+        assert!(b.checkpoint(Phase::SymEval, 2));
+        assert_eq!(b.fuel_remaining(), Some(0));
+        assert!(!b.checkpoint(Phase::SymEval, 1));
+        assert!(b.is_exhausted());
+        // Sticky: even a zero-cost checkpoint fails after exhaustion.
+        assert!(!b.checkpoint(Phase::Solver, 0));
+        let report = b.report();
+        assert!(report.exhausted);
+        assert_eq!(report.fuel_consumed, 5);
+        assert_eq!(report.fuel_limit, Some(5));
+    }
+
+    #[test]
+    fn zero_fuel_fails_first_costly_checkpoint() {
+        let b = Budget::with_fuel(0);
+        assert!(!b.checkpoint(Phase::Sccp, 1));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn clones_share_the_tank() {
+        let a = Budget::with_fuel(2);
+        let b = a.clone();
+        assert!(a.checkpoint(Phase::Poly, 1));
+        assert!(b.checkpoint(Phase::Poly, 1));
+        assert!(!a.checkpoint(Phase::Poly, 1));
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn fault_injector_trips_at_exactly_n() {
+        let b = Budget::from_source(FaultInjector::new(3));
+        assert!(b.checkpoint(Phase::SymEval, 100));
+        assert!(b.checkpoint(Phase::Sccp, 100));
+        assert!(b.checkpoint(Phase::Solver, 100));
+        assert!(!b.checkpoint(Phase::Solver, 1));
+        assert!(b.is_exhausted());
+        // Costs are irrelevant to the injector; only the count matters.
+        assert_eq!(b.report().fuel_consumed, 300);
+    }
+
+    #[test]
+    fn degradations_and_ladder_steps_accumulate() {
+        let b = Budget::with_fuel(0);
+        b.record_degradation(Phase::Sccp);
+        b.record_degradation(Phase::Sccp);
+        b.record_degradation(Phase::Solver);
+        b.record_ladder_step("polynomial", "pass-through");
+        b.record_ladder_step("polynomial", "pass-through");
+        let report = b.report();
+        assert_eq!(report.total_degradations(), 3);
+        assert_eq!(report.degradations[&Phase::Sccp], 2);
+        assert_eq!(
+            report.ladder_steps[&("polynomial".to_string(), "pass-through".to_string())],
+            2
+        );
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let b = Budget::with_fuel(4);
+        assert!(b.checkpoint(Phase::ModRef, 4));
+        assert!(!b.checkpoint(Phase::ModRef, 1));
+        b.record_degradation(Phase::ModRef);
+        b.record_ladder_step("pass-through", "literal");
+        let json = b.report().to_json();
+        assert_eq!(
+            json,
+            "{\"fuel_limit\":4,\"fuel_consumed\":4,\"exhausted\":true,\
+             \"degradations\":{\"modref\":1},\
+             \"ladder_steps\":[{\"from\":\"pass-through\",\"to\":\"literal\",\"count\":1}]}"
+        );
+    }
+
+    #[test]
+    fn display_mentions_fuel_and_degradations() {
+        let b = Budget::with_fuel(1);
+        assert!(b.checkpoint(Phase::SymEval, 1));
+        assert!(!b.checkpoint(Phase::SymEval, 1));
+        b.record_degradation(Phase::SymEval);
+        let text = b.report().to_string();
+        assert!(text.contains("fuel: 1 consumed of 1"));
+        assert!(text.contains("exhausted: yes"));
+        assert!(text.contains("symeval: 1"));
+    }
+
+    #[test]
+    fn for_limit_maps_none_to_unlimited() {
+        assert_eq!(Budget::for_limit(None).fuel_remaining(), None);
+        assert_eq!(Budget::for_limit(Some(7)).fuel_remaining(), Some(7));
+    }
+}

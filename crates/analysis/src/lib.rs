@@ -20,9 +20,13 @@
 //! * [`dce`] — branch folding, unreachable-code and dead-assignment
 //!   elimination (for the "complete propagation" experiment),
 //! * [`alias`] — a lint for the FORTRAN no-alias rule every analysis
-//!   assumes.
+//!   assumes,
+//! * [`budget`] — fuel budgets, graceful degradation bookkeeping, and
+//!   the deterministic fault-injection harness behind the robustness
+//!   tests.
 
 pub mod alias;
+pub mod budget;
 pub mod callgraph;
 pub mod dce;
 pub mod lattice;
@@ -34,11 +38,21 @@ pub mod symeval;
 pub mod symexpr;
 
 pub use alias::{check_aliasing, AliasKind, AliasViolation};
+pub use budget::{
+    Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, RobustnessReport,
+};
 pub use callgraph::{CallGraph, CallSite};
 pub use lattice::LatticeVal;
-pub use modref::{augment_global_vars, compute_modref, slot_of_var, ModKills, ModRefInfo, Slot};
-pub use poly::Poly;
-pub use sccp::{bottom_entry, sccp, CallLattice, PessimisticCalls, SccpConfig, SccpResult};
+pub use modref::{
+    augment_global_vars, compute_modref, compute_modref_budgeted, slot_of_var, ModKills,
+    ModRefInfo, Slot,
+};
+pub use poly::{Poly, PolyCaps};
+pub use sccp::{
+    bottom_entry, sccp, sccp_budgeted, CallLattice, PessimisticCalls, SccpConfig, SccpResult,
+};
 pub use subscripts::{classify_subscripts, count_subscripts, SubscriptClass, SubscriptCounts};
-pub use symeval::{symbolic_eval, CallSymbolics, NoCallSymbolics, Sym, SymMap};
-pub use symexpr::{lattice_binop, SymExpr};
+pub use symeval::{
+    symbolic_eval, symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, Sym, SymMap,
+};
+pub use symexpr::{lattice_binop, ExprCaps, SymExpr};

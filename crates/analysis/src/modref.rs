@@ -16,6 +16,7 @@
 //! sets; [`ipcp_ssa::WorstCaseKills`] is the "no MOD information"
 //! counterpart.
 
+use crate::budget::{Budget, Phase};
 use crate::callgraph::CallGraph;
 use ipcp_ir::{GlobalId, Instr, ProcId, Procedure, Program, VarId, VarKind};
 use ipcp_ssa::KillOracle;
@@ -108,6 +109,39 @@ impl ModRefInfo {
 
 /// Computes MOD/REF summaries by fixpoint over the call graph.
 pub fn compute_modref(program: &Program, cg: &CallGraph) -> ModRefInfo {
+    compute_modref_budgeted(program, cg, &Budget::unlimited())
+}
+
+/// The sound worst case: every procedure may modify and reference all of
+/// its scalar formals and every scalar global — what "no MOD/REF
+/// information" means for the downstream analyses.
+fn worst_case_modref(program: &Program) -> ModRefInfo {
+    let globals: Vec<Slot> = program
+        .global_ids()
+        .filter(|&g| program.global(g).ty.is_scalar())
+        .map(Slot::Global)
+        .collect();
+    let mut mods = Vec::with_capacity(program.procs.len());
+    let mut refs = Vec::with_capacity(program.procs.len());
+    for pid in program.proc_ids() {
+        let proc = program.proc(pid);
+        let mut set: BTreeSet<Slot> = globals.iter().copied().collect();
+        for (i, v) in proc.formal_ids().enumerate() {
+            if proc.var(v).ty.is_scalar() {
+                set.insert(Slot::Formal(i as u32));
+            }
+        }
+        mods.push(set.clone());
+        refs.push(set);
+    }
+    ModRefInfo { mods, refs }
+}
+
+/// Computes MOD/REF summaries under a fuel budget. Each procedure visit
+/// of the transitive fixpoint draws one unit; on exhaustion every
+/// summary degrades to the worst case (all scalar formals and globals
+/// both modified and referenced), which is sound for every consumer.
+pub fn compute_modref_budgeted(program: &Program, cg: &CallGraph, budget: &Budget) -> ModRefInfo {
     let n = program.procs.len();
     let mut mods: Vec<BTreeSet<Slot>> = vec![BTreeSet::new(); n];
     let mut refs: Vec<BTreeSet<Slot>> = vec![BTreeSet::new(); n];
@@ -128,6 +162,10 @@ pub fn compute_modref(program: &Program, cg: &CallGraph) -> ModRefInfo {
         changed = false;
         for scc in cg.sccs() {
             for &pid in scc {
+                if !budget.checkpoint(Phase::ModRef, 1) {
+                    budget.record_degradation(Phase::ModRef);
+                    return worst_case_modref(program);
+                }
                 let proc = program.proc(pid);
                 let mut new_mods = Vec::new();
                 let mut new_refs = Vec::new();
@@ -322,6 +360,27 @@ mod tests {
                 Slot::Result => "result".into(),
             })
             .collect()
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_worst_case() {
+        let src = "global g\nproc f(a, b)\na = b + 1\nend\nmain\ncall f(x, y)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let cg = CallGraph::new(&program);
+        let budget = Budget::with_fuel(0);
+        let mr = compute_modref_budgeted(&program, &cg, &budget);
+        let f = program.proc_by_name("f").unwrap();
+        // Worst case: both formals and the global count as modified and
+        // referenced — a superset of the precise answer, sound everywhere.
+        assert!(mr.is_modified(f, Slot::Formal(0)));
+        assert!(mr.is_modified(f, Slot::Formal(1)));
+        assert!(mr.refs(f).iter().any(|s| matches!(s, Slot::Global(_))));
+        assert!(budget.report().degradations[&Phase::ModRef] > 0);
+        // The precise run is a subset of the degraded one.
+        let precise = compute_modref(&program, &cg);
+        for pid in program.proc_ids() {
+            assert!(precise.mods(pid).is_subset(mr.mods(pid)));
+        }
     }
 
     #[test]

@@ -21,6 +21,26 @@ pub const MAX_TERMS: usize = 32;
 /// Maximum total degree of any monomial.
 pub const MAX_DEGREE: u32 = 8;
 
+/// Size bounds for polynomial arithmetic. The defaults are the module
+/// constants; fuel-governed callers tighten them so symbolic work
+/// shrinks as the budget runs down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyCaps {
+    /// Maximum number of terms a result may hold.
+    pub max_terms: usize,
+    /// Maximum total degree of any monomial in a result.
+    pub max_degree: u32,
+}
+
+impl Default for PolyCaps {
+    fn default() -> Self {
+        PolyCaps {
+            max_terms: MAX_TERMS,
+            max_degree: MAX_DEGREE,
+        }
+    }
+}
+
 /// A power product of slots, e.g. `arg0^2 * g3`. The empty monomial is
 /// the constant term.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -178,6 +198,11 @@ impl Poly {
 
     /// Sum, or `None` if the result would exceed [`MAX_TERMS`].
     pub fn checked_add(&self, other: &Poly) -> Option<Poly> {
+        self.checked_add_with(other, &PolyCaps::default())
+    }
+
+    /// Sum under explicit size bounds.
+    pub fn checked_add_with(&self, other: &Poly, caps: &PolyCaps) -> Option<Poly> {
         let mut terms = self.terms.clone();
         for (m, &c) in &other.terms {
             match terms.entry(m.clone()) {
@@ -194,7 +219,7 @@ impl Poly {
                 }
             }
         }
-        if terms.len() > MAX_TERMS {
+        if terms.len() > caps.max_terms {
             None
         } else {
             Some(Poly { terms })
@@ -218,14 +243,24 @@ impl Poly {
         self.checked_add(&other.neg())
     }
 
+    /// Difference under explicit size bounds.
+    pub fn checked_sub_with(&self, other: &Poly, caps: &PolyCaps) -> Option<Poly> {
+        self.checked_add_with(&other.neg(), caps)
+    }
+
     /// Product, or `None` if the result would exceed [`MAX_TERMS`] or
     /// [`MAX_DEGREE`].
     pub fn checked_mul(&self, other: &Poly) -> Option<Poly> {
+        self.checked_mul_with(other, &PolyCaps::default())
+    }
+
+    /// Product under explicit size bounds.
+    pub fn checked_mul_with(&self, other: &Poly, caps: &PolyCaps) -> Option<Poly> {
         let mut terms: BTreeMap<Monomial, i64> = BTreeMap::new();
         for (ma, &ca) in &self.terms {
             for (mb, &cb) in &other.terms {
                 let m = ma.mul(mb);
-                if m.degree() > MAX_DEGREE {
+                if m.degree() > caps.max_degree {
                     return None;
                 }
                 let c = ca.wrapping_mul(cb);
@@ -242,7 +277,7 @@ impl Poly {
                         }
                     }
                 }
-                if terms.len() > MAX_TERMS {
+                if terms.len() > caps.max_terms {
                     return None;
                 }
             }
@@ -434,6 +469,29 @@ mod tests {
             }
         }
         assert!(capped, "term bound must trigger");
+    }
+
+    #[test]
+    fn tightened_caps_reject_what_defaults_allow() {
+        let tight = PolyCaps {
+            max_terms: 1,
+            max_degree: 1,
+        };
+        // x + 1 has two terms: fine by default, rejected under the cap.
+        assert!(x().checked_add(&Poly::constant(1)).is_some());
+        assert!(x().checked_add_with(&Poly::constant(1), &tight).is_none());
+        // x * x has degree 2: fine by default, rejected under the cap.
+        assert!(x().checked_mul(&x()).is_some());
+        assert!(x().checked_mul_with(&x(), &tight).is_none());
+        // Subtraction shares the add path.
+        assert!(x().checked_sub_with(&Poly::constant(1), &tight).is_none());
+        // Results within the caps still succeed.
+        assert_eq!(
+            x().checked_mul_with(&Poly::constant(2), &tight)
+                .unwrap()
+                .term_count(),
+            1
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   function results after a call (⊥ without return jump functions;
 //!   return-jump-function evaluation with them).
 
+use crate::budget::{Budget, Phase};
 use crate::lattice::LatticeVal;
 use crate::modref::Slot;
 use crate::symexpr::lattice_binop;
@@ -89,6 +90,19 @@ impl SccpResult {
 
 /// Runs SCCP on `proc`.
 pub fn sccp(proc: &Procedure, ssa: &SsaProc, config: &SccpConfig<'_>) -> SccpResult {
+    sccp_budgeted(proc, ssa, config, &Budget::unlimited())
+}
+
+/// Runs SCCP on `proc` under a fuel budget. Each block visit draws one
+/// unit; on exhaustion the result degrades to the sound worst case —
+/// every name ⊥, every block executable — and the degradation is
+/// recorded.
+pub fn sccp_budgeted(
+    proc: &Procedure,
+    ssa: &SsaProc,
+    config: &SccpConfig<'_>,
+    budget: &Budget,
+) -> SccpResult {
     let mut values = vec![LatticeVal::Top; ssa.name_count()];
     for (&var, &name) in &ssa.entry_names {
         values[name.index()] = (config.entry_env)(var);
@@ -108,6 +122,14 @@ pub fn sccp(proc: &Procedure, ssa: &SsaProc, config: &SccpConfig<'_>) -> SccpRes
         for &b in &ssa.cfg.rpo {
             if !executable[b.index()] {
                 continue;
+            }
+            if !budget.checkpoint(Phase::Sccp, 1) {
+                // Sound worst case: no name is constant, all code may run.
+                budget.record_degradation(Phase::Sccp);
+                return SccpResult {
+                    values: vec![LatticeVal::Bottom; ssa.name_count()],
+                    executable: vec![true; nblocks],
+                };
             }
             let block = ssa.block(b).expect("reachable");
 
@@ -431,6 +453,33 @@ mod tests {
     fn mul_zero_shortcut() {
         let src = "main\nread(x)\nprint(x * 0)\nend\n";
         assert_eq!(first_print_value(src, "main"), LatticeVal::Const(0));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_all_bottom_all_executable() {
+        let src = "main\nx = 2\ny = x * 3 + 1\nprint(y)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let config = SccpConfig {
+            entry_env: &bottom_entry,
+            calls: &PessimisticCalls,
+        };
+        let budget = Budget::with_fuel(0);
+        let result = sccp_budgeted(proc, &ssa, &config, &budget);
+        assert!(result.values.iter().all(|&v| v == LatticeVal::Bottom));
+        assert!(result.executable.iter().all(|&e| e));
+        assert!(budget.report().degradations[&Phase::Sccp] > 0);
+        // Partial budgets stay sound: anything not ⊥ matches the full run.
+        let full = sccp(proc, &ssa, &config);
+        for fuel in 0..12u64 {
+            let partial = sccp_budgeted(proc, &ssa, &config, &Budget::with_fuel(fuel));
+            for (i, &v) in partial.values.iter().enumerate() {
+                if let LatticeVal::Const(c) = v {
+                    assert_eq!(full.values[i], LatticeVal::Const(c), "fuel {fuel}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! evaluation there, and [`NoCallSymbolics`] models the
 //! no-return-jump-function configurations.
 
+use crate::budget::{Budget, Phase};
 use crate::modref::Slot;
-use crate::symexpr::SymExpr;
+use crate::symexpr::{ExprCaps, SymExpr};
 use ipcp_ir::{GlobalId, ProcId, Procedure, VarKind};
 use ipcp_lang::ast::{BinOp, UnOp};
 use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc};
@@ -143,6 +144,20 @@ pub fn symbolic_eval_with(
     calls: &dyn CallSymbolics,
     options: SymEvalOptions,
 ) -> SymMap {
+    symbolic_eval_budgeted(proc, ssa, calls, options, &Budget::unlimited())
+}
+
+/// Runs symbolic evaluation for `proc` under a fuel budget. Each phi and
+/// instruction draws one unit; once the budget is exhausted the remaining
+/// names become ⊥ — coarser than the full result, never different.
+pub fn symbolic_eval_budgeted(
+    proc: &Procedure,
+    ssa: &SsaProc,
+    calls: &dyn CallSymbolics,
+    options: SymEvalOptions,
+    budget: &Budget,
+) -> SymMap {
+    let caps = ExprCaps::for_fuel(budget.fuel_remaining());
     let mut values: Vec<Option<Sym>> = vec![None; ssa.name_count()];
 
     // Entry names: formals and globals are themselves; everything else ⊥.
@@ -166,6 +181,8 @@ pub fn symbolic_eval_with(
         calls,
         values,
         options,
+        budget: budget.clone(),
+        caps,
     };
     for &b in &eval.ssa.cfg.rpo.clone() {
         eval.eval_block(b);
@@ -186,6 +203,8 @@ struct Evaluator<'a> {
     calls: &'a dyn CallSymbolics,
     values: Vec<Option<Sym>>,
     options: SymEvalOptions,
+    budget: Budget,
+    caps: ExprCaps,
 }
 
 impl Evaluator<'_> {
@@ -209,6 +228,11 @@ impl Evaluator<'_> {
         let block = self.ssa.block(b).expect("reachable").clone();
 
         for phi in &block.phis {
+            if !self.budget.checkpoint(Phase::SymEval, 1) {
+                self.budget.record_degradation(Phase::SymEval);
+                self.set(phi.dst, Sym::Bottom);
+                continue;
+            }
             let mut merged: Option<Sym> = None;
             let mut bottom = false;
             for &(_, arg) in &phi.args {
@@ -243,7 +267,36 @@ impl Evaluator<'_> {
         }
 
         for instr in &block.instrs {
+            if !self.budget.checkpoint(Phase::SymEval, 1) {
+                self.budget.record_degradation(Phase::SymEval);
+                self.bottom_dsts(instr);
+                continue;
+            }
             self.eval_instr(instr);
+        }
+    }
+
+    /// Sets every name the instruction defines to ⊥ — the degraded
+    /// transfer function used once the budget is exhausted.
+    fn bottom_dsts(&mut self, instr: &SsaInstr) {
+        match instr {
+            SsaInstr::Copy { dst, .. }
+            | SsaInstr::Unary { dst, .. }
+            | SsaInstr::Binary { dst, .. }
+            | SsaInstr::IntToReal { dst, .. }
+            | SsaInstr::Load { dst, .. }
+            | SsaInstr::Read { dst } => self.set(*dst, Sym::Bottom),
+            SsaInstr::Store { .. } | SsaInstr::Print { .. } => {}
+            SsaInstr::Call { dst, kills, .. } => {
+                let names: Vec<SsaName> = kills
+                    .iter()
+                    .map(|k| k.name)
+                    .chain(dst.iter().copied())
+                    .collect();
+                for name in names {
+                    self.set(name, Sym::Bottom);
+                }
+            }
         }
     }
 
@@ -306,8 +359,12 @@ impl Evaluator<'_> {
         let else_sym = self.values[else_name.index()]
             .clone()
             .unwrap_or(Sym::Bottom);
-        let gate =
-            crate::symexpr::SymExpr::gate(cond_expr, then_sym.as_expr(), else_sym.as_expr())?;
+        let gate = SymExpr::gate_with(
+            cond_expr,
+            then_sym.as_expr(),
+            else_sym.as_expr(),
+            &self.caps,
+        )?;
         Some(Sym::Expr(gate))
     }
 
@@ -319,17 +376,33 @@ impl Evaluator<'_> {
             }
             SsaInstr::Unary { dst, op, src } => {
                 let v = self.operand(*src);
+                let caps = self.caps;
                 let r = match (op, v) {
                     (_, Sym::Bottom) => Sym::Bottom,
-                    (UnOp::Neg, Sym::Expr(e)) => SymExpr::neg(&e).map_or(Sym::Bottom, Sym::Expr),
-                    (UnOp::Not, Sym::Expr(e)) => SymExpr::not(&e).map_or(Sym::Bottom, Sym::Expr),
+                    (UnOp::Neg, Sym::Expr(e)) => {
+                        SymExpr::neg_with(&e, &caps).map_or(Sym::Bottom, Sym::Expr)
+                    }
+                    (UnOp::Not, Sym::Expr(e)) => {
+                        SymExpr::not_with(&e, &caps).map_or(Sym::Bottom, Sym::Expr)
+                    }
                 };
                 self.set(*dst, r);
             }
             SsaInstr::Binary { dst, op, lhs, rhs } => {
                 let l = self.operand(*lhs);
                 let r = self.operand(*rhs);
-                self.set(*dst, sym_binop(*op, &l, &r));
+                // Expression construction is the part that can blow up;
+                // it draws from its own phase so the report attributes
+                // the cost of symbolic arithmetic separately.
+                let result = if l.is_bottom() && r.is_bottom() {
+                    Sym::Bottom
+                } else if self.budget.checkpoint(Phase::Poly, 1) {
+                    sym_binop_with(*op, &l, &r, &self.caps)
+                } else {
+                    self.budget.record_degradation(Phase::Poly);
+                    Sym::Bottom
+                };
+                self.set(*dst, result);
             }
             SsaInstr::IntToReal { dst, .. }
             | SsaInstr::Load { dst, .. }
@@ -404,6 +477,11 @@ impl Evaluator<'_> {
 
 /// Symbolic transfer function of one binary operation.
 pub fn sym_binop(op: BinOp, l: &Sym, r: &Sym) -> Sym {
+    sym_binop_with(op, l, r, &ExprCaps::default())
+}
+
+/// [`sym_binop`] under explicit size bounds.
+pub fn sym_binop_with(op: BinOp, l: &Sym, r: &Sym, caps: &ExprCaps) -> Sym {
     // Absorbing shortcuts survive a ⊥ on the other side.
     let (cl, cr) = (l.as_const(), r.as_const());
     match op {
@@ -416,7 +494,9 @@ pub fn sym_binop(op: BinOp, l: &Sym, r: &Sym) -> Sym {
         _ => {}
     }
     match (l, r) {
-        (Sym::Expr(a), Sym::Expr(b)) => SymExpr::binop(op, a, b).map_or(Sym::Bottom, Sym::Expr),
+        (Sym::Expr(a), Sym::Expr(b)) => {
+            SymExpr::binop_with(op, a, b, caps).map_or(Sym::Bottom, Sym::Expr)
+        }
         _ => Sym::Bottom,
     }
 }
@@ -663,5 +743,57 @@ mod tests {
     fn mul_zero_absorbs_bottom() {
         let s = sym_of_first_print("main\nread(x)\nprint(x * 0)\nend\n", "main");
         assert_eq!(s.as_const(), Some(0));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_bottom_not_panic() {
+        let src = "main\nx = 2\ny = x * 3 + 4\nprint(y)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let budget = Budget::with_fuel(0);
+        let map = symbolic_eval_budgeted(
+            proc,
+            &ssa,
+            &NoCallSymbolics,
+            SymEvalOptions::default(),
+            &budget,
+        );
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Print { value } = instr {
+                    assert!(map.of_operand(*value).is_bottom());
+                }
+            }
+        }
+        assert!(budget.is_exhausted());
+        let report = budget.report();
+        assert!(report.degradations[&crate::budget::Phase::SymEval] > 0);
+    }
+
+    #[test]
+    fn partial_budget_is_sound_vs_full_run() {
+        // A degraded run may only replace values with ⊥, never change them.
+        let src = "main\na = 1\nb = a + 1\nc = b * 2\nd = c - 3\nprint(d)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let proc = program.proc(program.main);
+        let ssa = build_ssa(&program, proc, &WorstCaseKills);
+        let full = symbolic_eval(proc, &ssa, &NoCallSymbolics);
+        for fuel in 0..16 {
+            let map = symbolic_eval_budgeted(
+                proc,
+                &ssa,
+                &NoCallSymbolics,
+                SymEvalOptions::default(),
+                &Budget::with_fuel(fuel),
+            );
+            for i in 0..map.len() {
+                let name = SsaName(i as u32);
+                let degraded = map.of(name);
+                if !degraded.is_bottom() {
+                    assert_eq!(degraded, full.of(name), "fuel {fuel}, name {i}");
+                }
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 
 use crate::lattice::LatticeVal;
 use crate::modref::Slot;
-use crate::poly::Poly;
+use crate::poly::{Poly, PolyCaps, MAX_DEGREE, MAX_TERMS};
 use ipcp_lang::ast::BinOp;
 use ipcp_lang::interp::eval_binop_int;
 use std::collections::BTreeSet;
@@ -23,6 +23,45 @@ use std::rc::Rc;
 
 /// Maximum weight (roughly, node count) of one expression.
 pub const MAX_NODES: u32 = 512;
+
+/// Size bounds for symbolic-expression construction: an expression
+/// weight cap plus the polynomial caps beneath it. Defaults match the
+/// module constants; fuel-governed callers tighten them via
+/// [`ExprCaps::for_fuel`] so expressions stay small when fuel is short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExprCaps {
+    /// Maximum expression weight (see [`SymExpr::size`]).
+    pub max_nodes: u32,
+    /// Bounds for the polynomial fragment.
+    pub poly: PolyCaps,
+}
+
+impl Default for ExprCaps {
+    fn default() -> Self {
+        ExprCaps {
+            max_nodes: MAX_NODES,
+            poly: PolyCaps::default(),
+        }
+    }
+}
+
+impl ExprCaps {
+    /// Caps proportional to the remaining fuel: unlimited fuel keeps the
+    /// defaults; a small tank shrinks the representable expressions so
+    /// symbolic evaluation cannot outspend the budget building one value.
+    pub fn for_fuel(limit: Option<u64>) -> ExprCaps {
+        let Some(n) = limit else {
+            return ExprCaps::default();
+        };
+        ExprCaps {
+            max_nodes: (MAX_NODES as u64).min(n.clamp(4, MAX_NODES as u64)) as u32,
+            poly: PolyCaps {
+                max_terms: (MAX_TERMS as u64).min((n / 8).clamp(1, MAX_TERMS as u64)) as usize,
+                max_degree: (MAX_DEGREE as u64).min((n / 64).clamp(1, MAX_DEGREE as u64)) as u32,
+            },
+        }
+    }
+}
 
 /// A symbolic integer expression over entry slots.
 #[derive(Debug, Clone)]
@@ -166,6 +205,11 @@ impl SymExpr {
     /// (compile-time division by zero, or size caps exceeded) — callers
     /// treat that as ⊥.
     pub fn binop(op: BinOp, a: &SymExpr, b: &SymExpr) -> Option<SymExpr> {
+        SymExpr::binop_with(op, a, b, &ExprCaps::default())
+    }
+
+    /// [`SymExpr::binop`] under explicit size bounds.
+    pub fn binop_with(op: BinOp, a: &SymExpr, b: &SymExpr, caps: &ExprCaps) -> Option<SymExpr> {
         // Constant folding first (also catches div/rem by a zero constant).
         if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
             return eval_binop_int(op, x, y).ok().map(SymExpr::constant);
@@ -191,9 +235,9 @@ impl SymExpr {
         // Polynomial fragment.
         if let (SymExpr::Poly(pa), SymExpr::Poly(pb)) = (a, b) {
             let poly = match op {
-                BinOp::Add => pa.checked_add(pb),
-                BinOp::Sub => pa.checked_sub(pb),
-                BinOp::Mul => pa.checked_mul(pb),
+                BinOp::Add => pa.checked_add_with(pb, &caps.poly),
+                BinOp::Sub => pa.checked_sub_with(pb, &caps.poly),
+                BinOp::Mul => pa.checked_mul_with(pb, &caps.poly),
                 _ => None,
             };
             if let Some(p) = poly {
@@ -203,7 +247,7 @@ impl SymExpr {
 
         // Opaque node.
         let size = 1u32.saturating_add(a.size()).saturating_add(b.size());
-        if size > MAX_NODES {
+        if size > caps.max_nodes {
             return None;
         }
         Some(SymExpr::Node {
@@ -216,19 +260,29 @@ impl SymExpr {
 
     /// Arithmetic negation.
     pub fn neg(a: &SymExpr) -> Option<SymExpr> {
+        SymExpr::neg_with(a, &ExprCaps::default())
+    }
+
+    /// [`SymExpr::neg`] under explicit size bounds.
+    pub fn neg_with(a: &SymExpr, caps: &ExprCaps) -> Option<SymExpr> {
         if let SymExpr::Poly(p) = a {
             return Some(SymExpr::Poly(p.neg()));
         }
-        SymExpr::binop(BinOp::Sub, &SymExpr::constant(0), a)
+        SymExpr::binop_with(BinOp::Sub, &SymExpr::constant(0), a, caps)
     }
 
     /// Logical negation.
     pub fn not(a: &SymExpr) -> Option<SymExpr> {
+        SymExpr::not_with(a, &ExprCaps::default())
+    }
+
+    /// [`SymExpr::not`] under explicit size bounds.
+    pub fn not_with(a: &SymExpr, caps: &ExprCaps) -> Option<SymExpr> {
         if let Some(c) = a.as_const() {
             return Some(SymExpr::constant(i64::from(c == 0)));
         }
         let size = 1u32.saturating_add(a.size());
-        if size > MAX_NODES {
+        if size > caps.max_nodes {
             return None;
         }
         Some(SymExpr::Not {
@@ -246,6 +300,16 @@ impl SymExpr {
         then_val: Option<&SymExpr>,
         else_val: Option<&SymExpr>,
     ) -> Option<SymExpr> {
+        SymExpr::gate_with(cond, then_val, else_val, &ExprCaps::default())
+    }
+
+    /// [`SymExpr::gate`] under explicit size bounds.
+    pub fn gate_with(
+        cond: &SymExpr,
+        then_val: Option<&SymExpr>,
+        else_val: Option<&SymExpr>,
+        caps: &ExprCaps,
+    ) -> Option<SymExpr> {
         if let Some(c) = cond.as_const() {
             let chosen = if c != 0 { then_val } else { else_val };
             return chosen.cloned();
@@ -258,7 +322,7 @@ impl SymExpr {
                     .saturating_add(cond.size())
                     .saturating_add(then_val.map_or(0, SymExpr::size))
                     .saturating_add(else_val.map_or(0, SymExpr::size));
-                if size > MAX_NODES {
+                if size > caps.max_nodes {
                     return None;
                 }
                 Some(SymExpr::Gate {
@@ -833,5 +897,47 @@ mod tests {
             &SymExpr::constant(2),
         );
         assert_eq!(e.to_string(), "(1 + arg0 / 2)");
+    }
+
+    #[test]
+    fn tightened_caps_shrink_representable_expressions() {
+        let tight = ExprCaps {
+            max_nodes: 4,
+            poly: PolyCaps {
+                max_terms: 1,
+                max_degree: 1,
+            },
+        };
+        // x + 1 needs two polynomial terms: rejected under the tight
+        // caps (the opaque-node fallback for Add also exceeds nothing,
+        // but Add of two polys that overflows falls through to a node of
+        // size 1 + 2 + 2 = 5 > 4).
+        assert!(SymExpr::binop_with(BinOp::Add, &x(), &SymExpr::constant(1), &tight).is_none());
+        // Constant folding still works regardless of caps.
+        assert_eq!(
+            SymExpr::binop_with(BinOp::Add, &SymExpr::constant(2), &SymExpr::constant(3), &tight)
+                .unwrap()
+                .as_const(),
+            Some(5)
+        );
+        // Division of two vars forms a node of size 1+2+2 = 5 > 4.
+        assert!(SymExpr::binop_with(BinOp::Div, &x(), &g(), &tight).is_none());
+        // not(x) has size 3 ≤ 4 and still builds.
+        assert!(SymExpr::not_with(&x(), &tight).is_some());
+        // A gate over three vars exceeds the node cap.
+        assert!(SymExpr::gate_with(&x(), Some(&g()), None, &tight).is_none());
+    }
+
+    #[test]
+    fn for_fuel_scales_caps() {
+        assert_eq!(ExprCaps::for_fuel(None), ExprCaps::default());
+        let small = ExprCaps::for_fuel(Some(8));
+        assert_eq!(small.max_nodes, 8);
+        assert_eq!(small.poly.max_terms, 1);
+        assert_eq!(small.poly.max_degree, 1);
+        let zero = ExprCaps::for_fuel(Some(0));
+        assert_eq!(zero.max_nodes, 4, "floor keeps trivial exprs buildable");
+        let large = ExprCaps::for_fuel(Some(u64::MAX));
+        assert_eq!(large, ExprCaps::default());
     }
 }

@@ -1,8 +1,40 @@
 //! Regenerates all evaluation tables side by side with the paper.
 //! Pass `--timing` to also print single-run analysis times per
 //! configuration (Criterion benches give the careful numbers).
+//! Pass `--robustness [fuel]` to instead emit one JSON line per suite
+//! program describing how a fuel-limited run (default 10000 units)
+//! degraded — the machine-readable face of the resource-governance
+//! subsystem.
+use ipcp_core::{analyze, AnalysisConfig};
+
+fn robustness_report(fuel: u64) {
+    let suite = ipcp_bench::prepare_suite();
+    let config = AnalysisConfig {
+        fuel: Some(fuel),
+        ..Default::default()
+    };
+    for prepared in &suite {
+        let outcome = analyze(&prepared.ir, &config);
+        println!(
+            "{{\"program\":\"{}\",\"substitutions\":{},\"report\":{}}}",
+            prepared.generated.name,
+            outcome.substitutions.total,
+            outcome.robustness.to_json()
+        );
+    }
+}
+
 fn main() {
-    let timing = std::env::args().any(|a| a == "--timing");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--robustness") {
+        let fuel = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(10_000);
+        robustness_report(fuel);
+        return;
+    }
+    let timing = args.iter().any(|a| a == "--timing");
     let suite = ipcp_bench::prepare_suite();
     println!("{}", ipcp_bench::render_table1(&suite));
     println!("{}", ipcp_bench::render_table2(&suite));

@@ -17,7 +17,7 @@
 use crate::forward::ForwardJumpFns;
 use crate::jump::JumpFn;
 use crate::solver::ValSets;
-use ipcp_analysis::{CallGraph, LatticeVal, ModRefInfo, Slot};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Phase, Slot};
 use ipcp_ir::{ProcId, Program};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -36,6 +36,21 @@ pub fn solve_binding(
     cg: &CallGraph,
     modref: &ModRefInfo,
     jfs: &ForwardJumpFns,
+) -> ValSets {
+    solve_binding_budgeted(program, cg, modref, jfs, &Budget::unlimited())
+}
+
+/// [`solve_binding`] under a fuel budget: each jump-function evaluation
+/// costs one unit of [`Phase::Solver`] fuel. On exhaustion the sparse
+/// iteration stops and every node is lowered to ⊥ — the same sound
+/// fallback as the call-graph solver's, so the two formulations stay
+/// interchangeable even when starved.
+pub fn solve_binding_budgeted(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    jfs: &ForwardJumpFns,
+    budget: &Budget,
 ) -> ValSets {
     // ---- nodes -----------------------------------------------------------
     let mut nodes: Vec<(ProcId, Slot)> = Vec::new();
@@ -99,6 +114,11 @@ pub fn solve_binding(
 
     let mut evaluations = 0usize;
     while let Some(a) = work.pop_front() {
+        if !budget.checkpoint(Phase::Solver, 1) {
+            budget.record_degradation(Phase::Solver);
+            values.fill(LatticeVal::Bottom);
+            break;
+        }
         queued[a] = false;
         evaluations += 1;
         let app = &apps[a];
@@ -212,6 +232,46 @@ mod tests {
         let (p, _, b) = both(src, JumpFunctionKind::Polynomial);
         let dead = p.proc_by_name("dead").unwrap();
         assert_eq!(b.value(dead, Slot::Formal(0)), LatticeVal::Top);
+    }
+
+    #[test]
+    fn exhausted_budget_lowers_every_node_to_bottom() {
+        let src = "proc c(z)\nprint(z)\nend\nproc b(y)\ncall c(y)\nend\nproc a(x)\ncall b(x)\nend\nmain\ncall a(7)\nend\n";
+        let mut program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let rjfs = build_return_jfs(&program, &cg, &kills);
+        let eval = RjfConstEval { rjfs: &rjfs };
+        let jfs = build_forward_jfs(
+            &program,
+            &cg,
+            &modref,
+            JumpFunctionKind::Polynomial,
+            &kills,
+            &eval,
+        );
+        let full = solve_binding(&program, &cg, &modref, &jfs);
+        for fuel in 0..8u64 {
+            let budget = Budget::with_fuel(fuel);
+            let v = solve_binding_budgeted(&program, &cg, &modref, &jfs, &budget);
+            for pid in program.proc_ids() {
+                for (&slot, &val) in v.of(pid) {
+                    if let LatticeVal::Const(c) = val {
+                        assert_eq!(
+                            full.value(pid, slot),
+                            LatticeVal::Const(c),
+                            "degraded run invented a constant at fuel {fuel}"
+                        );
+                    }
+                    if budget.is_exhausted() {
+                        assert_eq!(val, LatticeVal::Bottom, "{slot} left optimistic");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

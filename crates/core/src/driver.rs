@@ -8,19 +8,20 @@
 //! code elimination and, if anything died, resets and repeats from
 //! scratch.
 
-use crate::binding::solve_binding;
-use crate::forward::{build_forward_jfs_with, ForwardJumpFns};
+use crate::binding::solve_binding_budgeted;
+use crate::forward::{build_forward_jfs_budgeted, ForwardJumpFns};
 use crate::jump::JumpFunctionKind;
 use crate::retjf::{
-    build_return_jfs, build_return_jfs_with, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice,
+    build_return_jfs_budgeted, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice,
 };
-use crate::solver::{entry_env_of, solve, ValSets};
+use crate::solver::{entry_env_of, solve_budgeted, ValSets};
 use crate::subst::{count_substitutions, SubstitutionCounts};
 use ipcp_analysis::dce::dce_round;
-use ipcp_analysis::sccp::{bottom_entry, sccp, SccpConfig};
+use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
 use ipcp_analysis::symeval::{CallSymbolics, NoCallSymbolics, SymEvalOptions};
 use ipcp_analysis::{
-    augment_global_vars, compute_modref, CallGraph, CallLattice, ModKills, PessimisticCalls, Slot,
+    augment_global_vars, compute_modref_budgeted, Budget, CallGraph, CallLattice,
+    ExhaustionPolicy, ModKills, PessimisticCalls, RobustnessReport, Slot,
 };
 use ipcp_ir::Program;
 use ipcp_lang::Diagnostics;
@@ -70,6 +71,14 @@ pub struct AnalysisConfig {
     /// of what complete propagation buys, without iterating dead code
     /// elimination. Off by default.
     pub gsa: bool,
+    /// Fuel budget shared by every analysis phase; `None` is unlimited.
+    /// When the tank runs dry, phases degrade along the jump-function
+    /// precision ladder instead of panicking or looping (see
+    /// [`ipcp_analysis::budget`]).
+    pub fuel: Option<u64>,
+    /// What exhaustion means for the caller: keep the degraded (sound,
+    /// coarser) result, or treat it as an error.
+    pub on_exhausted: ExhaustionPolicy,
 }
 
 impl Default for AnalysisConfig {
@@ -83,6 +92,8 @@ impl Default for AnalysisConfig {
             rjf_full_composition: false,
             solver: SolverKind::CallGraph,
             gsa: false,
+            fuel: None,
+            on_exhausted: ExhaustionPolicy::Degrade,
         }
     }
 }
@@ -134,6 +145,10 @@ pub struct AnalysisOutcome {
     pub substitutions: SubstitutionCounts,
     /// Cost statistics.
     pub stats: PhaseStats,
+    /// What the fuel budget did to the run: consumption, exhaustion,
+    /// per-phase degradation counts and precision-ladder steps. Clean
+    /// (all-zero) for unlimited fuel.
+    pub robustness: RobustnessReport,
 }
 
 impl AnalysisOutcome {
@@ -144,15 +159,70 @@ impl AnalysisOutcome {
     }
 }
 
+/// The analysis ran out of fuel under [`ExhaustionPolicy::Error`]. The
+/// degraded-but-sound outcome is included so the caller can still
+/// inspect (or salvage) it.
+#[derive(Debug, Clone)]
+pub struct ResourceExhausted {
+    /// What degraded, and by how much.
+    pub report: RobustnessReport,
+}
+
+impl std::fmt::Display for ResourceExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "analysis fuel exhausted after {} units ({} degradations); \
+             rerun with a larger --fuel or --on-exhausted degrade",
+            self.report.fuel_consumed,
+            self.report.total_degradations()
+        )
+    }
+}
+
+impl std::error::Error for ResourceExhausted {}
+
 /// Runs the configured analysis on a program.
 pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
+    analyze_with_budget(program, config, &Budget::for_limit(config.fuel))
+}
+
+/// [`analyze`], but honoring [`AnalysisConfig::on_exhausted`]: under
+/// [`ExhaustionPolicy::Error`] a run that exhausts its fuel becomes an
+/// error instead of a silently coarser result.
+///
+/// # Errors
+///
+/// Returns [`ResourceExhausted`] when the budget ran dry and the policy
+/// is [`ExhaustionPolicy::Error`].
+pub fn analyze_checked(
+    program: &Program,
+    config: &AnalysisConfig,
+) -> Result<AnalysisOutcome, ResourceExhausted> {
+    let outcome = analyze(program, config);
+    if config.on_exhausted == ExhaustionPolicy::Error && outcome.robustness.exhausted {
+        return Err(ResourceExhausted {
+            report: outcome.robustness,
+        });
+    }
+    Ok(outcome)
+}
+
+/// [`analyze`] against a caller-supplied fuel source — the entry point
+/// the fault-injection harness uses to fail the analysis at an exact
+/// checkpoint. `config.fuel` is ignored; the budget decides.
+pub fn analyze_with_budget(
+    program: &Program,
+    config: &AnalysisConfig,
+    budget: &Budget,
+) -> AnalysisOutcome {
     let pristine = program.clone();
     let mut program = program.clone();
     let mut stats = PhaseStats::default();
 
     loop {
         let cg = CallGraph::new(&program);
-        let modref = compute_modref(&program, &cg);
+        let modref = compute_modref_budgeted(&program, &cg, budget);
         augment_global_vars(&mut program, &modref);
 
         // Everything below borrows `program` immutably; the DCE rewrites
@@ -173,7 +243,7 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
 
             // Return jump functions.
             let rjfs: ReturnJumpFns = if config.return_jump_functions {
-                build_return_jfs_with(&program, &cg, kills, sym_options)
+                build_return_jfs_budgeted(&program, &cg, kills, sym_options, budget)
             } else {
                 ReturnJumpFns::empty(program.procs.len())
             };
@@ -196,7 +266,7 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
 
             // Forward jump functions and interprocedural propagation.
             let vals: Option<ValSets> = if config.interprocedural {
-                let jfs: ForwardJumpFns = build_forward_jfs_with(
+                let jfs: ForwardJumpFns = build_forward_jfs_budgeted(
                     &program,
                     &cg,
                     &modref,
@@ -204,12 +274,15 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
                     kills,
                     call_sym,
                     sym_options,
+                    budget,
                 );
                 stats.forward_jfs = jfs.count();
                 stats.useful_forward_jfs = jfs.useful_count();
                 let v = match config.solver {
-                    SolverKind::CallGraph => solve(&program, &cg, &modref, &jfs),
-                    SolverKind::BindingGraph => solve_binding(&program, &cg, &modref, &jfs),
+                    SolverKind::CallGraph => solve_budgeted(&program, &cg, &modref, &jfs, budget),
+                    SolverKind::BindingGraph => {
+                        solve_binding_budgeted(&program, &cg, &modref, &jfs, budget)
+                    }
                 };
                 stats.solver_iterations += v.iterations();
                 Some(v)
@@ -239,22 +312,24 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
                     let result = match vals.as_ref() {
                         Some(v) => {
                             let env = entry_env_of(&program, pid, v);
-                            sccp(
+                            sccp_budgeted(
                                 &proc_copy,
                                 &ssa,
                                 &SccpConfig {
                                     entry_env: &env,
                                     calls,
                                 },
+                                budget,
                             )
                         }
-                        None => sccp(
+                        None => sccp_budgeted(
                             &proc_copy,
                             &ssa,
                             &SccpConfig {
                                 entry_env: &bottom_entry,
                                 calls,
                             },
+                            budget,
                         ),
                     };
                     let mut proc = proc_copy;
@@ -283,7 +358,7 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
         // CONSTANTS. DCE-deleted code still hosts its substitutions there.
         let substitutions = if stats.dce_rounds > 0 {
             let mut orig = pristine;
-            counting_pass(&mut orig, config, vals.as_ref())
+            counting_pass(&mut orig, config, vals.as_ref(), budget)
         } else {
             substitutions
         };
@@ -293,6 +368,7 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
             constants,
             substitutions,
             stats,
+            robustness: budget.report(),
         };
     }
 }
@@ -303,9 +379,10 @@ fn counting_pass(
     program: &mut Program,
     config: &AnalysisConfig,
     vals: Option<&ValSets>,
+    budget: &Budget,
 ) -> SubstitutionCounts {
     let cg = CallGraph::new(program);
-    let modref = compute_modref(program, &cg);
+    let modref = compute_modref_budgeted(program, &cg, budget);
     augment_global_vars(program, &modref);
     let program = &*program;
     let mod_kills;
@@ -316,7 +393,7 @@ fn counting_pass(
         &WorstCaseKills
     };
     let rjfs = if config.return_jump_functions {
-        build_return_jfs(program, &cg, kills)
+        build_return_jfs_budgeted(program, &cg, kills, SymEvalOptions::default(), budget)
     } else {
         ReturnJumpFns::empty(program.procs.len())
     };

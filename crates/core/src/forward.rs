@@ -18,8 +18,8 @@
 //! skipped by the solver (they can never execute).
 
 use crate::jump::{JumpFn, JumpFunctionKind};
-use ipcp_analysis::symeval::{symbolic_eval_with, CallSymbolics, SymEvalOptions};
-use ipcp_analysis::{CallGraph, ModRefInfo, Slot};
+use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, SymEvalOptions};
+use ipcp_analysis::{Budget, CallGraph, ModRefInfo, Phase, Slot};
 use ipcp_ir::{ProcId, Program, VarKind};
 use ipcp_ssa::{build_ssa, KillOracle, SsaInstr, SsaOperand};
 use std::collections::HashMap;
@@ -101,11 +101,132 @@ pub fn build_forward_jfs_with(
     call_sym: &dyn CallSymbolics,
     options: SymEvalOptions,
 ) -> ForwardJumpFns {
+    build_forward_jfs_budgeted(
+        program,
+        cg,
+        modref,
+        kind,
+        kills,
+        call_sym,
+        options,
+        &Budget::unlimited(),
+    )
+}
+
+/// Relative construction cost of each jump-function kind — the §3.1.5
+/// cost ordering, used to decide which rung of the precision ladder the
+/// remaining fuel can afford.
+fn kind_weight(kind: JumpFunctionKind) -> u64 {
+    match kind {
+        JumpFunctionKind::Literal => 1,
+        JumpFunctionKind::IntraproceduralConstant => 2,
+        JumpFunctionKind::PassThrough => 4,
+        JumpFunctionKind::Polynomial => 8,
+    }
+}
+
+/// The next rung down the precision ladder, or `None` below Literal (⊥).
+fn next_rung_down(kind: JumpFunctionKind) -> Option<JumpFunctionKind> {
+    match kind {
+        JumpFunctionKind::Polynomial => Some(JumpFunctionKind::PassThrough),
+        JumpFunctionKind::PassThrough => Some(JumpFunctionKind::IntraproceduralConstant),
+        JumpFunctionKind::IntraproceduralConstant => Some(JumpFunctionKind::Literal),
+        JumpFunctionKind::Literal => None,
+    }
+}
+
+/// All-⊥ jump functions for every site of `pid` — the bottom of the
+/// precision ladder. Sites stay `reachable` (an unreachable-marked site
+/// would be skipped by the solver, which is only sound when reachability
+/// was actually proven); ⊥ functions merely propagate nothing.
+fn bottom_sites_for_proc(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    pid: ProcId,
+) -> Vec<SiteJumpFns> {
+    cg.sites(pid)
+        .iter()
+        .map(|site| {
+            let jfs = modref
+                .param_slots(program, site.callee)
+                .into_iter()
+                .filter(|slot| *slot != Slot::Result)
+                .map(|slot| (slot, JumpFn::Bottom))
+                .collect();
+            SiteJumpFns {
+                callee: site.callee,
+                reachable: true,
+                jfs,
+            }
+        })
+        .collect()
+}
+
+/// Builds forward jump functions under a fuel budget. Per procedure the
+/// cost is `kind_weight × instruction count`; when the remaining fuel
+/// cannot afford the requested kind the builder slides down the paper's
+/// precision ladder (`Polynomial → PassThrough → IntraproceduralConstant
+/// → Literal → ⊥`), recording every ladder step, until a rung fits. At ⊥
+/// no SSA is built at all: every slot's jump function is ⊥, which
+/// propagates nothing and is sound for any solver.
+#[allow(clippy::too_many_arguments)]
+pub fn build_forward_jfs_budgeted(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    kind: JumpFunctionKind,
+    kills: &dyn KillOracle,
+    call_sym: &dyn CallSymbolics,
+    options: SymEvalOptions,
+    budget: &Budget,
+) -> ForwardJumpFns {
     let mut per_proc = Vec::with_capacity(program.procs.len());
     for pid in program.proc_ids() {
         let proc = program.proc(pid);
+        let estimate: u64 = proc
+            .block_ids()
+            .map(|b| proc.block(b).instrs.len() as u64 + 1)
+            .sum::<u64>()
+            .max(1);
+
+        // Slide down the ladder until a rung fits the remaining fuel.
+        let mut effective = Some(kind);
+        if let Some(remaining) = budget.fuel_remaining() {
+            while let Some(k) = effective {
+                if kind_weight(k).saturating_mul(estimate) <= remaining {
+                    break;
+                }
+                let lower = next_rung_down(k);
+                budget.record_ladder_step(
+                    &k.to_string(),
+                    &lower.map_or("⊥".to_string(), |l| l.to_string()),
+                );
+                effective = lower;
+            }
+        }
+        let affordable = match effective {
+            Some(k) => budget.checkpoint(Phase::ForwardJf, kind_weight(k).saturating_mul(estimate)),
+            None => false,
+        };
+        if !affordable {
+            if let Some(k) = effective {
+                // The checkpoint itself failed (shared tank drained by a
+                // concurrent phase or a fault injector): fall to ⊥.
+                budget.record_ladder_step(&k.to_string(), "⊥");
+            }
+            budget.record_degradation(Phase::ForwardJf);
+            per_proc.push(bottom_sites_for_proc(program, cg, modref, pid));
+            continue;
+        }
+        let effective = effective.expect("affordable rung");
+        if effective != kind {
+            budget.record_degradation(Phase::ForwardJf);
+        }
+
         let ssa = build_ssa(program, proc, kills);
-        let sym = symbolic_eval_with(proc, &ssa, call_sym, options);
+        let sym = symbolic_eval_budgeted(proc, &ssa, call_sym, options, budget);
+        let kind = effective;
 
         let mut sites = Vec::new();
         for site in cg.sites(pid) {
@@ -464,6 +585,88 @@ mod tests {
                     assert_eq!(x.callee, y.callee, "{src}");
                     assert_eq!(x.reachable, y.reachable, "{src}");
                     assert_eq!(x.jfs, y.jfs, "{src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fuel_bottoms_every_site_without_panicking() {
+        let mut program = compile_to_ir(CHAIN).unwrap();
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let budget = Budget::with_fuel(0);
+        let jfs = build_forward_jfs_budgeted(
+            &program,
+            &cg,
+            &modref,
+            JumpFunctionKind::Polynomial,
+            &kills,
+            &NoCallSymbolics,
+            SymEvalOptions::default(),
+            &budget,
+        );
+        for pid in program.proc_ids() {
+            for site in jfs.sites(pid) {
+                assert!(site.reachable, "⊥ sites stay reachable for soundness");
+                assert!(site.jfs.values().all(|jf| jf.is_bottom()));
+            }
+        }
+        let report = budget.report();
+        assert!(report.degradations[&Phase::ForwardJf] > 0);
+        // The full ladder was walked: polynomial → … → ⊥.
+        assert!(report
+            .ladder_steps
+            .keys()
+            .any(|(from, to)| from == "polynomial" && to == "pass-through"));
+        assert!(report.ladder_steps.keys().any(|(_, to)| to == "⊥"));
+    }
+
+    #[test]
+    fn small_fuel_clamps_to_a_cheaper_rung() {
+        // Enough fuel for literal-kind construction but not polynomial.
+        let mut program = compile_to_ir(CHAIN).unwrap();
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        for fuel in 1..64u64 {
+            let budget = Budget::with_fuel(fuel);
+            let jfs = build_forward_jfs_budgeted(
+                &program,
+                &cg,
+                &modref,
+                JumpFunctionKind::Polynomial,
+                &kills,
+                &NoCallSymbolics,
+                SymEvalOptions::default(),
+                &budget,
+            );
+            // Whatever rung was used, the result must be sound: any
+            // constant it claims must match the polynomial run's claim.
+            let full = build_forward_jfs(
+                &program,
+                &cg,
+                &modref,
+                JumpFunctionKind::Polynomial,
+                &kills,
+                &NoCallSymbolics,
+            );
+            for pid in program.proc_ids() {
+                for (site, full_site) in jfs.sites(pid).iter().zip(full.sites(pid)) {
+                    for (slot, jf) in &site.jfs {
+                        if let Some(c) = jf.as_const() {
+                            assert_eq!(
+                                full_site.jfs.get(slot).and_then(JumpFn::as_const),
+                                Some(c),
+                                "fuel {fuel}"
+                            );
+                        }
+                    }
                 }
             }
         }

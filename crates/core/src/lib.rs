@@ -62,21 +62,26 @@ pub mod lattice {
     pub use ipcp_analysis::lattice::LatticeVal;
 }
 
-pub use binding::solve_binding;
+pub use binding::{solve_binding, solve_binding_budgeted};
 pub use cloning::{apply_cloning, cloning_opportunities, CloneOpportunity};
 pub use dependence::subscript_counts;
 pub use driver::{
-    analyze, analyze_source, AnalysisConfig, AnalysisOutcome, PhaseStats, SolverKind,
+    analyze, analyze_checked, analyze_source, analyze_with_budget, AnalysisConfig, AnalysisOutcome,
+    PhaseStats, ResourceExhausted, SolverKind,
 };
 pub use forward::{
-    build_forward_jfs, build_forward_jfs_with, build_literal_jfs_fast, ForwardJumpFns, SiteJumpFns,
+    build_forward_jfs, build_forward_jfs_budgeted, build_forward_jfs_with, build_literal_jfs_fast,
+    ForwardJumpFns, SiteJumpFns,
 };
-pub use ipcp_analysis::{LatticeVal, Slot};
+pub use ipcp_analysis::{
+    Budget, ExhaustionPolicy, FaultInjector, FuelSource, LatticeVal, Phase, RobustnessReport, Slot,
+};
 pub use jump::{JumpFn, JumpFunctionKind};
 pub use optimize::{optimize, OptimizeConfig, OptimizeStats};
 pub use retjf::{
-    build_return_jfs, build_return_jfs_with, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice,
+    build_return_jfs, build_return_jfs_budgeted, build_return_jfs_with, ReturnJumpFns, RjfComposer,
+    RjfConstEval, RjfLattice,
 };
-pub use solver::{solve, ValSets};
+pub use solver::{solve, solve_budgeted, ValSets};
 pub use source_transform::{transform_source, TransformedSource};
 pub use subst::{apply_substitutions, count_substitutions, SubstitutionCounts};

@@ -77,6 +77,35 @@ pub fn substitutions_to_string(outcome: &AnalysisOutcome) -> String {
     out
 }
 
+/// Renders the robustness report of a fuel-limited run: consumption,
+/// per-phase degradation counts, and precision-ladder steps. Returns the
+/// empty string for a clean run, so default output stays untouched.
+pub fn robustness_to_string(outcome: &AnalysisOutcome) -> String {
+    let r = &outcome.robustness;
+    if r.is_clean() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let limit = match r.fuel_limit {
+        Some(n) => n.to_string(),
+        None => "unlimited".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "robustness: fuel {}/{} consumed, {}",
+        r.fuel_consumed,
+        limit,
+        if r.exhausted { "exhausted" } else { "within budget" },
+    );
+    for (phase, count) in &r.degradations {
+        let _ = writeln!(out, "  degraded {phase}: {count}");
+    }
+    for ((from, to), count) in &r.ladder_steps {
+        let _ = writeln!(out, "  ladder {from} -> {to}: {count}");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +140,23 @@ main\ncall init()\ncall compute(8)\nend\n";
         let t = substitutions_to_string(&out);
         assert!(t.contains("total"), "{t}");
         assert!(t.contains("compute"), "{t}");
+    }
+
+    #[test]
+    fn robustness_rendering() {
+        let clean = analyze_source(SRC, &AnalysisConfig::default()).unwrap();
+        assert!(robustness_to_string(&clean).is_empty());
+        let starved = analyze_source(
+            SRC,
+            &AnalysisConfig {
+                fuel: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = robustness_to_string(&starved);
+        assert!(s.contains("exhausted"), "{s}");
+        assert!(s.contains("degraded"), "{s}");
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! extension toggle in the driver.
 
 use crate::jump::{JumpFn, JumpFunctionKind};
-use ipcp_analysis::symeval::{symbolic_eval_with, CallSymbolics, Sym, SymEvalOptions};
-use ipcp_analysis::{CallGraph, LatticeVal, Slot};
+use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, Sym, SymEvalOptions};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, Phase, Slot};
 use ipcp_ir::{GlobalId, ProcId, Program};
 use ipcp_ssa::{build_ssa, KillOracle, SsaTerminator};
 use std::collections::HashMap;
@@ -79,12 +79,31 @@ pub fn build_return_jfs_with(
     kills: &dyn KillOracle,
     options: SymEvalOptions,
 ) -> ReturnJumpFns {
+    build_return_jfs_budgeted(program, cg, kills, options, &Budget::unlimited())
+}
+
+/// Builds return jump functions under a fuel budget. Each procedure
+/// draws one unit before its SSA construction and symbolic evaluation;
+/// on exhaustion the procedure's table stays empty — every lookup misses
+/// and call effects degrade to ⊥, exactly the "no return jump functions"
+/// configuration.
+pub fn build_return_jfs_budgeted(
+    program: &Program,
+    cg: &CallGraph,
+    kills: &dyn KillOracle,
+    options: SymEvalOptions,
+    budget: &Budget,
+) -> ReturnJumpFns {
     let mut rjfs = ReturnJumpFns::empty(program.procs.len());
     for scc in cg.sccs() {
         // Members of a recursive SCC see ⊥ for in-SCC callees (their
         // entries are still empty when processed).
         for &pid in scc {
-            let map = build_for_proc(program, pid, &rjfs, kills, options);
+            if !budget.checkpoint(Phase::ReturnJf, 1) {
+                budget.record_degradation(Phase::ReturnJf);
+                continue;
+            }
+            let map = build_for_proc(program, pid, &rjfs, kills, options, budget);
             rjfs.per_proc[pid.index()] = map;
         }
     }
@@ -97,11 +116,12 @@ fn build_for_proc(
     rjfs: &ReturnJumpFns,
     kills: &dyn KillOracle,
     options: SymEvalOptions,
+    budget: &Budget,
 ) -> HashMap<Slot, JumpFn> {
     let proc = program.proc(pid);
     let ssa = build_ssa(program, proc, kills);
     let composer = RjfComposer { rjfs };
-    let sym = symbolic_eval_with(proc, &ssa, &composer, options);
+    let sym = symbolic_eval_budgeted(proc, &ssa, &composer, options, budget);
 
     // Meet the exit snapshots of every reachable return.
     let mut merged: HashMap<ipcp_ir::VarId, Option<Sym>> = HashMap::new();
@@ -455,5 +475,26 @@ mod tests {
         let (p, r) = build("proc f(x)\nx = 1\nend\nmain\ncall f(a)\nend\n");
         let _ = p;
         assert!(r.useful_count() >= 1);
+    }
+
+    #[test]
+    fn exhausted_budget_leaves_tables_empty() {
+        let src = "proc init(x)\nx = 42\nend\nmain\ncall init(q)\nprint(q)\nend\n";
+        let mut program = compile_to_ir(src).unwrap();
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let budget = Budget::with_fuel(0);
+        let rjfs = build_return_jfs_budgeted(
+            &program,
+            &cg,
+            &kills,
+            SymEvalOptions::default(),
+            &budget,
+        );
+        assert_eq!(rjfs.useful_count(), 0, "every lookup misses (⊥)");
+        assert!(budget.report().degradations[&Phase::ReturnJf] > 0);
     }
 }

@@ -11,7 +11,7 @@
 //! terminates; the paper reports the same scheme "converged quickly".
 
 use crate::forward::ForwardJumpFns;
-use ipcp_analysis::{CallGraph, LatticeVal, ModRefInfo, Slot};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Phase, Slot};
 use ipcp_ir::{ProcId, Program, VarKind};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -64,6 +64,22 @@ pub fn solve(
     modref: &ModRefInfo,
     jfs: &ForwardJumpFns,
 ) -> ValSets {
+    solve_budgeted(program, cg, modref, jfs, &Budget::unlimited())
+}
+
+/// [`solve`] under a fuel budget: each worklist pop costs one unit of
+/// [`Phase::Solver`] fuel. On exhaustion the iteration stops and every
+/// tracked slot is lowered to ⊥ — an always-sound (if useless) fixpoint.
+/// Leaving the optimistic intermediate values in place would be unsound:
+/// a slot still at ⊤ or at a constant may not have seen all its call
+/// sites yet.
+pub fn solve_budgeted(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    jfs: &ForwardJumpFns,
+    budget: &Budget,
+) -> ValSets {
     let n = program.procs.len();
     let mut vals: Vec<BTreeMap<Slot, LatticeVal>> = Vec::with_capacity(n);
     for pid in program.proc_ids() {
@@ -104,6 +120,15 @@ pub fn solve(
 
     let mut iterations = 0usize;
     while let Some(p) = work.pop_front() {
+        if !budget.checkpoint(Phase::Solver, 1) {
+            budget.record_degradation(Phase::Solver);
+            for map in &mut vals {
+                for v in map.values_mut() {
+                    *v = LatticeVal::Bottom;
+                }
+            }
+            break;
+        }
         queued[p.index()] = false;
         iterations += 1;
 
@@ -360,6 +385,52 @@ mod tests {
             true,
         );
         assert!(v.iterations() >= 1);
+    }
+
+    #[test]
+    fn exhausted_budget_lowers_every_slot_to_bottom() {
+        let src = "proc c(z)\nend\nproc b(y)\ncall c(y)\nend\nproc a(x)\ncall b(x)\nend\nmain\ncall a(7)\nend\n";
+        let mut program = compile_to_ir(src).expect("compiles");
+        let cg = CallGraph::new(&program);
+        let modref = compute_modref(&program, &cg);
+        augment_global_vars(&mut program, &modref);
+        let cg = CallGraph::new(&program);
+        let kills = ModKills::new(&program, &modref);
+        let rjfs = build_return_jfs(&program, &cg, &kills);
+        let eval = RjfConstEval { rjfs: &rjfs };
+        let jfs = build_forward_jfs(
+            &program,
+            &cg,
+            &modref,
+            JumpFunctionKind::Polynomial,
+            &kills,
+            &eval,
+        );
+        let full = solve(&program, &cg, &modref, &jfs);
+        // Partial budgets never claim a constant the full run disagrees with.
+        for fuel in 0..8u64 {
+            let budget = Budget::with_fuel(fuel);
+            let v = solve_budgeted(&program, &cg, &modref, &jfs, &budget);
+            for pid in program.proc_ids() {
+                for (&slot, &val) in v.of(pid) {
+                    if let LatticeVal::Const(c) = val {
+                        assert_eq!(
+                            full.value(pid, slot),
+                            LatticeVal::Const(c),
+                            "degraded run invented a constant at fuel {fuel}"
+                        );
+                    }
+                }
+            }
+            if budget.is_exhausted() {
+                for pid in program.proc_ids() {
+                    for (&slot, &val) in v.of(pid) {
+                        assert_eq!(val, LatticeVal::Bottom, "{slot} left optimistic");
+                    }
+                }
+                assert!(budget.report().degradations[&Phase::Solver] > 0);
+            }
+        }
     }
 
     #[test]

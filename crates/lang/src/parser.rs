@@ -44,13 +44,31 @@ use crate::token::{Token, TokenKind};
 /// Returns lexical errors, or the first parse error encountered.
 pub fn parse(source: &str) -> Result<Program, Diagnostics> {
     let tokens = lex(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     parser.program().map_err(Diagnostics::single)
 }
+
+/// Maximum statement/expression nesting the recursive-descent parser
+/// accepts. Beyond this a pathological input (say, ten thousand nested
+/// parentheses) would overflow the parser's own call stack — an abort no
+/// `Result` can catch — so it is rejected with a regular diagnostic
+/// instead. Each nesting level costs around ten parser frames (the
+/// precedence chain), so the bound is sized for the smallest stack the
+/// parser must survive on: a 2 MiB test thread in a debug build. It is
+/// still far above anything a human-written program reaches, and it
+/// covers the later recursive passes (type checking, lowering,
+/// interpretation) with room to spare.
+const MAX_NESTING_DEPTH: u32 = 64;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current combined statement + expression nesting depth.
+    depth: u32,
 }
 
 type PResult<T> = Result<T, Diagnostic>;
@@ -344,6 +362,19 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> PResult<Stmt> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            self.depth -= 1;
+            return Err(self.error(format!(
+                "statement nesting exceeds the supported depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        let result = self.stmt_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn stmt_inner(&mut self) -> PResult<Stmt> {
         let start = self.peek_span();
         match self.peek().clone() {
             TokenKind::Ident(_) => self.assign_stmt(),
@@ -515,7 +546,16 @@ impl Parser {
     // ---- expressions --------------------------------------------------
 
     fn expr(&mut self) -> PResult<Expr> {
-        self.or_expr()
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            self.depth -= 1;
+            return Err(self.error(format!(
+                "expression nesting exceeds the supported depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
     }
 
     fn or_expr(&mut self) -> PResult<Expr> {
@@ -546,9 +586,18 @@ impl Parser {
 
     fn not_expr(&mut self) -> PResult<Expr> {
         if self.at(&TokenKind::KwNot) {
+            self.depth += 1;
+            if self.depth > MAX_NESTING_DEPTH {
+                self.depth -= 1;
+                return Err(self.error(format!(
+                    "expression nesting exceeds the supported depth of {MAX_NESTING_DEPTH}"
+                )));
+            }
             let start = self.peek_span();
             self.bump();
-            let operand = self.not_expr()?;
+            let operand = self.not_expr();
+            self.depth -= 1;
+            let operand = operand?;
             let span = start.merge(operand.span);
             Ok(Expr {
                 kind: ExprKind::Unary(UnOp::Not, Box::new(operand)),
@@ -977,5 +1026,60 @@ mod tests {
     fn semicolons_separate_statements() {
         let p = parse_ok("main; x = 1; y = 2; end");
         assert_eq!(p.procs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn pathological_paren_nesting_is_a_diagnostic_not_an_abort() {
+        // Deep enough to overflow the parser's call stack without the
+        // depth guard; must come back as an ordinary parse error.
+        let deep = format!("main\nx = {}1{}\nend\n", "(".repeat(50_000), ")".repeat(50_000));
+        let msg = parse_err(&deep);
+        assert!(msg.contains("nesting exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn pathological_not_nesting_is_a_diagnostic_not_an_abort() {
+        let deep = format!("main\nif {}1 then\nend\nend\n", "not ".repeat(50_000));
+        let msg = parse_err(&deep);
+        assert!(msg.contains("nesting exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn pathological_if_nesting_is_a_diagnostic_not_an_abort() {
+        let deep = format!(
+            "main\n{}x = 1\n{}end\n",
+            "if 1 then\n".repeat(50_000),
+            "end\n".repeat(50_000)
+        );
+        let msg = parse_err(&deep);
+        assert!(msg.contains("nesting exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let depth = 48;
+        let src = format!("main\nx = {}1{}\nend\n", "(".repeat(depth), ")".repeat(depth));
+        parse_ok(&src);
+    }
+
+    #[test]
+    fn adversarial_inputs_never_panic() {
+        // Truncations, overflows, stray bytes: every one must come back
+        // as a Diagnostics value, not a panic.
+        for src in [
+            "",
+            "main",
+            "main\nx = ",
+            "main\nx = 99999999999999999999999\nend\n",
+            "main\nx = 1.\nend\n",
+            "proc f(",
+            "main\n\u{0}\u{1}\nend\n",
+            "main\nπ = 1\nend\n",
+            "main\nx = (((\nend\n",
+            "do do do",
+            "main\ncall\nend\n",
+        ] {
+            let _ = parse(src);
+        }
     }
 }

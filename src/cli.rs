@@ -4,7 +4,7 @@
 //! so it is unit-testable; the binary in `src/bin/ipcp.rs` is a thin
 //! wrapper.
 
-use crate::core::{AnalysisConfig, JumpFunctionKind, SolverKind};
+use crate::core::{AnalysisConfig, ExhaustionPolicy, JumpFunctionKind, SolverKind};
 use std::fmt;
 
 /// A parsed command line.
@@ -94,6 +94,9 @@ options:
   --binding-solver                use the binding-multigraph solver
   --clone                         enable procedure cloning in `optimize`
   --input <a,b,c>                 read() inputs for `run`
+  --fuel <N>                      analysis fuel budget (default unlimited);
+                                  exhausted phases degrade gracefully
+  --on-exhausted <degrade|error>  what fuel exhaustion means (default degrade)
 ";
 
 /// Parses the argument list (without the program name).
@@ -142,6 +145,29 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             "--gsa" => config.gsa = true,
             "--clone" => clone_procedures = true,
             "--binding-solver" => config.solver = SolverKind::BindingGraph,
+            "--fuel" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--fuel needs a value".into()))?;
+                config.fuel = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| UsageError(format!("bad --fuel value `{n}`")))?,
+                );
+            }
+            "--on-exhausted" => {
+                let policy = it
+                    .next()
+                    .ok_or_else(|| UsageError("--on-exhausted needs a value".into()))?;
+                config.on_exhausted = match policy.as_str() {
+                    "degrade" => ExhaustionPolicy::Degrade,
+                    "error" => ExhaustionPolicy::Error,
+                    other => {
+                        return Err(UsageError(format!(
+                            "unknown exhaustion policy `{other}` (expected degrade or error)"
+                        )));
+                    }
+                };
+            }
             "--input" => {
                 let list = it
                     .next()
@@ -184,12 +210,20 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
 
     match cli.command {
         Command::Analyze => {
-            let outcome = crate::core::analyze_source(source, &cli.config).map_err(render_diag)?;
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let outcome =
+                crate::core::analyze_checked(&program, &cli.config).map_err(|e| e.to_string())?;
             let mut out = String::new();
             out.push_str(&report::constants_to_string(&outcome));
             out.push('\n');
             out.push_str(&report::substitutions_to_string(&outcome));
             let _ = writeln!(out, "\n{}", report::summary_line(&outcome));
+            // Only fuel-limited runs that actually degraded say anything
+            // extra; default output is untouched.
+            let robustness = report::robustness_to_string(&outcome);
+            if !robustness.is_empty() {
+                let _ = write!(out, "\n{robustness}");
+            }
             Ok(out)
         }
         Command::Run => {
@@ -340,6 +374,70 @@ mod tests {
         assert!(parse_args(&args(&["run", "x.mf", "--input", "1,x"])).is_err());
         let err = parse_args(&args(&[])).unwrap_err();
         assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn parse_fuel_flags() {
+        let cli = parse_args(&args(&[
+            "analyze",
+            "x.mf",
+            "--fuel",
+            "10000",
+            "--on-exhausted",
+            "error",
+        ]))
+        .unwrap();
+        assert_eq!(cli.config.fuel, Some(10000));
+        assert_eq!(cli.config.on_exhausted, ExhaustionPolicy::Error);
+        let cli = parse_args(&args(&["analyze", "x.mf", "--on-exhausted", "degrade"])).unwrap();
+        assert_eq!(cli.config.on_exhausted, ExhaustionPolicy::Degrade);
+        assert_eq!(cli.config.fuel, None);
+    }
+
+    #[test]
+    fn parse_fuel_errors() {
+        assert!(parse_args(&args(&["analyze", "x.mf", "--fuel"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--fuel", "lots"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--fuel", "-3"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--on-exhausted"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--on-exhausted", "panic"])).is_err());
+        let err = parse_args(&args(&["analyze", "x.mf", "--fuel", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("bad --fuel value"), "{err}");
+    }
+
+    #[test]
+    fn execute_analyze_starved_degrades() {
+        let cli = parse_args(&args(&["analyze", "x.mf", "--fuel", "0"])).unwrap();
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert!(out.contains("robustness:"), "{out}");
+        assert!(out.contains("exhausted"), "{out}");
+        // Degraded result is coarser, never wrong: no constants claimed.
+        assert!(out.contains("no interprocedural constants"), "{out}");
+    }
+
+    #[test]
+    fn execute_analyze_starved_error_policy() {
+        let cli = parse_args(&args(&[
+            "analyze",
+            "x.mf",
+            "--fuel",
+            "0",
+            "--on-exhausted",
+            "error",
+        ]))
+        .unwrap();
+        let err = execute(&cli, PROGRAM).unwrap_err();
+        assert!(err.contains("fuel exhausted"), "{err}");
+    }
+
+    #[test]
+    fn execute_analyze_ample_fuel_is_clean() {
+        let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let fueled = parse_args(&args(&["analyze", "x.mf", "--fuel", "1000000"])).unwrap();
+        let a = execute(&plain, PROGRAM).unwrap();
+        let b = execute(&fueled, PROGRAM).unwrap();
+        assert_eq!(a, b, "ample fuel must not change output");
+        assert!(!a.contains("robustness:"));
     }
 
     #[test]

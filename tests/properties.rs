@@ -332,6 +332,116 @@ proptest! {
     }
 }
 
+// ---- resource-governance properties ---------------------------------------
+
+/// Asserts a degraded outcome is sound against the full-fuel outcome:
+/// where the degraded run claims a constant, the full run must have
+/// found the *same* constant. (The converse — the full run knowing more
+/// — is exactly what degradation is allowed to lose.)
+fn assert_degraded_soundness(
+    full: &ipcp::core::AnalysisOutcome,
+    degraded: &ipcp::core::AnalysisOutcome,
+) {
+    for (p, (full_consts, degraded_consts)) in full
+        .constants
+        .iter()
+        .zip(degraded.constants.iter())
+        .enumerate()
+    {
+        for (slot, value) in degraded_consts {
+            assert_eq!(
+                full_consts.get(slot),
+                Some(value),
+                "degraded run invented {slot:?} = {value} in proc {p}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The whole pipeline terminates without panicking at any fuel level,
+    /// and every constant a starved run still claims agrees with the
+    /// unlimited run.
+    #[test]
+    fn fuel_limited_analysis_never_panics_and_stays_sound(
+        src in program(),
+        fuel in 0u64..4000,
+    ) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let full = analyze(&ir, &AnalysisConfig::default());
+        let starved = analyze(&ir, &AnalysisConfig { fuel: Some(fuel), ..Default::default() });
+        assert_degraded_soundness(&full, &starved);
+        let report = &starved.robustness;
+        prop_assert!(report.exhausted || report.total_degradations() == 0);
+        if let Some(limit) = report.fuel_limit {
+            prop_assert!(report.fuel_consumed <= limit);
+        }
+    }
+
+    /// Deterministic fault injection: failing the budget at exactly the
+    /// Nth checkpoint — for every configuration corner — still produces a
+    /// sound outcome. 48 cases × 4 configs ≥ the issue's 100-pair floor.
+    #[test]
+    fn fault_injection_at_any_checkpoint_is_sound(
+        src in program(),
+        allowed in 0u64..600,
+    ) {
+        use ipcp::core::{analyze_with_budget, Budget, FaultInjector, SolverKind};
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        for config in [
+            AnalysisConfig::default(),
+            AnalysisConfig { solver: SolverKind::BindingGraph, ..Default::default() },
+            AnalysisConfig { complete_propagation: true, ..Default::default() },
+            AnalysisConfig { gsa: true, rjf_full_composition: true, ..Default::default() },
+        ] {
+            let full = analyze(&ir, &config);
+            let budget = Budget::from_source(FaultInjector::new(allowed));
+            let injected = analyze_with_budget(&ir, &config, &budget);
+            assert_degraded_soundness(&full, &injected);
+        }
+    }
+}
+
+#[test]
+fn deep_call_chain_completes_under_tiny_fuel() {
+    let depth = 60;
+    let mut src = format!("proc p{depth}(v)\nprint(v)\nend\n");
+    for i in (1..depth).rev() {
+        src.push_str(&format!("proc p{i}(v)\ncall p{}(v + 1)\nend\n", i + 1));
+    }
+    src.push_str("main\ncall p1(0)\nend\n");
+    let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+    let full = analyze(&ir, &AnalysisConfig::default());
+    assert!(full.constant_slot_count() >= depth as usize);
+    for fuel in [0, 1, 7, 50, 500] {
+        let out = analyze(&ir, &AnalysisConfig { fuel: Some(fuel), ..Default::default() });
+        for (full_consts, degraded) in full.constants.iter().zip(out.constants.iter()) {
+            for (slot, value) in degraded {
+                assert_eq!(full_consts.get(slot), Some(value), "fuel {fuel}");
+            }
+        }
+        assert!(out.robustness.exhausted, "fuel {fuel} should starve the chain");
+    }
+}
+
+#[test]
+fn mutual_recursion_completes_under_tiny_fuel() {
+    let src = "\
+proc even(n)\nif n > 0 then\ncall odd(n - 1)\nend\nend\n\
+proc odd(n)\nif n > 0 then\ncall even(n - 1)\nend\nend\n\
+main\ncall even(8)\nend\n";
+    let ir = ipcp::ir::compile_to_ir(src).expect("compiles");
+    for fuel in 0..40u64 {
+        let out = analyze(&ir, &AnalysisConfig { fuel: Some(fuel), ..Default::default() });
+        // No panic, no divergence; a starved run records why it is coarse.
+        if out.robustness.exhausted {
+            assert!(out.robustness.total_degradations() > 0, "fuel {fuel}");
+        }
+    }
+}
+
 // ---- front-end round-trip property ---------------------------------------
 
 proptest! {

@@ -1,0 +1,380 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of proptest its tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`
+//!   and `boxed`;
+//! * strategies for integer ranges, tuples, `&'static str` patterns of
+//!   the form `.{a,b}`, [`sample::select`], [`collection::vec`] and
+//!   [`bool::ANY`];
+//! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`],
+//!   [`prop_assert!`] and [`prop_assert_eq!`] macros;
+//! * [`test_runner::ProptestConfig`] with a `cases` knob.
+//!
+//! Generation is deterministic (per-case seeded splitmix64) so CI
+//! failures reproduce exactly. There is no shrinking: on failure the
+//! runner prints the generated input and re-raises the panic, which is
+//! enough to paste the offending program into a unit test.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is consulted; `max_shrink_iters`
+    /// exists for struct-update compatibility (`..Default::default()`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim does not shrink.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Deterministic per-case generator state (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(case: u64) -> Self {
+            // Distinct, well-mixed stream per case index.
+            TestRng {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Drives one property: generates `config.cases` inputs and runs the
+    /// body on each, reporting the failing input on panic.
+    pub fn run_proptest<S, F>(config: ProptestConfig, strategy: S, mut body: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(case as u64);
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:#?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(value);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!("proptest: case {case}/{} failed for input:\n{shown}", config.cases);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding one element of `options`, uniformly.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among the given options (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy yielding a `Vec` whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `&'static str` acts as a string strategy, as in upstream proptest
+    /// where the pattern is a full regex. The shim understands the one
+    /// form the repository uses — `.{lo,hi}` — and treats any other
+    /// pattern as a literal. Generated characters mix printable ASCII
+    /// with newlines, tabs and a few multibyte code points so lexer
+    /// fuzzing still sees interesting input.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_dot_repeat(self) {
+                Some((lo, hi)) => {
+                    let span = (hi - lo + 1) as u64;
+                    let n = lo + rng.below(span) as usize;
+                    (0..n).map(|_| random_char(rng)).collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    /// Parses `.{lo,hi}` and returns `(lo, hi)`.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    fn random_char(rng: &mut TestRng) -> char {
+        match rng.below(20) {
+            0 => '\n',
+            1 => '\t',
+            2 => char::from_u32(0x00C0 + rng.below(0x80) as u32).unwrap_or('é'),
+            3 => char::from_u32(0x4E00 + rng.below(0x100) as u32).unwrap_or('中'),
+            _ => (0x20 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+}
+
+// ---- macros ---------------------------------------------------------------
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_proptest(
+                    config,
+                    ($($strategy,)+),
+                    |($($arg,)+)| $body,
+                );
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `prop_compose! { fn name()(a in s1, b in s2) -> T { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)(
+        $($arg:ident in $strategy:expr),+ $(,)?
+    ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strategy,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Asserts inside a property; the runner reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn digits() -> impl Strategy<Value = String> {
+        (0i64..10).prop_map(|d| d.to_string())
+    }
+
+    prop_compose! {
+        fn pair()(a in 1i64..5, b in digits()) -> String {
+            format!("{a}:{b}")
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_in_bounds(v in -20i64..21) {
+            prop_assert!((-20..21).contains(&v));
+        }
+
+        #[test]
+        fn composed_pairs_parse(s in pair()) {
+            let (a, b) = s.split_once(':').expect("separator");
+            prop_assert!(a.parse::<i64>().is_ok(), "bad a: {}", a);
+            prop_assert!(b.parse::<i64>().is_ok());
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            words in crate::collection::vec(
+                crate::sample::select(vec!["x", "y"]),
+                0..4,
+            ),
+            flag in crate::bool::ANY,
+            text in ".{0,16}",
+        ) {
+            prop_assert!(words.len() < 4);
+            prop_assert!(text.chars().count() <= 16);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..10).prop_map(|v| v.to_string()).boxed();
+        let expr = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| format!("({a}+{b})"))
+                .boxed()
+        });
+        let mut rng = crate::test_runner::TestRng::for_case(9);
+        for _ in 0..50 {
+            let s = expr.generate(&mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_loosely() {
+        let u = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        let ones = (0..200).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(ones > 120, "weighted union heavily favors 1, got {ones}");
+    }
+}
