@@ -99,6 +99,16 @@ pub trait FuelSource {
 
     /// Units still available, or `None` when unlimited / unknown.
     fn remaining(&self) -> Option<u64>;
+
+    /// True when this source *provably* never fails a request — i.e. the
+    /// supply is unlimited, not merely of unknown size. Memoization in
+    /// the analysis session is only sound under an unmetered budget
+    /// (cached artifacts replay their recorded fuel instead of re-earning
+    /// it), so sources default to `false` and only the genuinely
+    /// unlimited supply opts in.
+    fn is_unmetered(&self) -> bool {
+        false
+    }
 }
 
 /// Unlimited fuel: every request succeeds.
@@ -110,6 +120,9 @@ impl FuelSource for UnlimitedFuel {
     }
     fn remaining(&self) -> Option<u64> {
         None
+    }
+    fn is_unmetered(&self) -> bool {
+        true
     }
 }
 
@@ -342,6 +355,18 @@ impl Budget {
         self.inner.state.borrow().exhausted
     }
 
+    /// True when every checkpoint is guaranteed to succeed (see
+    /// [`FuelSource::is_unmetered`]).
+    pub fn is_unmetered(&self) -> bool {
+        self.inner.source.is_unmetered() && !self.inner.state.borrow().exhausted
+    }
+
+    /// Units consumed so far — a cheap accessor for fuel accounting
+    /// (avoids snapshotting the whole report).
+    pub fn fuel_consumed(&self) -> u64 {
+        self.inner.state.borrow().consumed
+    }
+
     /// Units still available, or `None` when unlimited / unknown.
     /// Reports `Some(0)` once exhaustion has been observed.
     pub fn fuel_remaining(&self) -> Option<u64> {
@@ -405,6 +430,25 @@ mod tests {
         assert!(!b.is_exhausted());
         assert_eq!(b.fuel_remaining(), None);
         assert!(b.report().is_clean());
+    }
+
+    #[test]
+    fn only_unlimited_budgets_are_unmetered() {
+        assert!(Budget::unlimited().is_unmetered());
+        assert!(Budget::for_limit(None).is_unmetered());
+        assert!(!Budget::with_fuel(u64::MAX).is_unmetered());
+        assert!(!Budget::for_limit(Some(5)).is_unmetered());
+        assert!(!Budget::from_source(FaultInjector::new(1_000)).is_unmetered());
+    }
+
+    #[test]
+    fn fuel_consumed_accessor_tracks_checkpoints() {
+        let b = Budget::unlimited();
+        assert_eq!(b.fuel_consumed(), 0);
+        assert!(b.checkpoint(Phase::SymEval, 7));
+        assert!(b.checkpoint(Phase::Solver, 3));
+        assert_eq!(b.fuel_consumed(), 10);
+        assert_eq!(b.report().fuel_consumed, 10);
     }
 
     #[test]

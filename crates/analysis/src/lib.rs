@@ -38,9 +38,7 @@ pub mod symeval;
 pub mod symexpr;
 
 pub use alias::{check_aliasing, AliasKind, AliasViolation};
-pub use budget::{
-    Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, RobustnessReport,
-};
+pub use budget::{Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, RobustnessReport};
 pub use callgraph::{CallGraph, CallSite};
 pub use lattice::LatticeVal;
 pub use modref::{

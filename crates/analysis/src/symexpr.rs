@@ -915,9 +915,14 @@ mod tests {
         assert!(SymExpr::binop_with(BinOp::Add, &x(), &SymExpr::constant(1), &tight).is_none());
         // Constant folding still works regardless of caps.
         assert_eq!(
-            SymExpr::binop_with(BinOp::Add, &SymExpr::constant(2), &SymExpr::constant(3), &tight)
-                .unwrap()
-                .as_const(),
+            SymExpr::binop_with(
+                BinOp::Add,
+                &SymExpr::constant(2),
+                &SymExpr::constant(3),
+                &tight
+            )
+            .unwrap()
+            .as_const(),
             Some(5)
         );
         // Division of two vars forms a node of size 1+2+2 = 5 > 4.

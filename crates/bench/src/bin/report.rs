@@ -1,25 +1,36 @@
 //! Regenerates all evaluation tables side by side with the paper.
+//!
+//! The suite is generated, compiled, and fingerprinted exactly once:
+//! every table reuses the same prepared programs and their analysis
+//! sessions, so configuration-independent artifacts (call graph,
+//! MOD/REF, SSA, return jump functions) are built once per program
+//! rather than once per table column.
+//!
 //! Pass `--timing` to also print single-run analysis times per
 //! configuration (Criterion benches give the careful numbers).
 //! Pass `--robustness [fuel]` to instead emit one JSON line per suite
 //! program describing how a fuel-limited run (default 10000 units)
 //! degraded — the machine-readable face of the resource-governance
-//! subsystem.
-use ipcp_core::{analyze, AnalysisConfig};
+//! subsystem — including a `phase_stats` block with the session's
+//! per-phase wall-clock and cache traffic.
+use ipcp_core::AnalysisConfig;
 
 fn robustness_report(fuel: u64) {
-    let suite = ipcp_bench::prepare_suite();
+    let mut suite = ipcp_bench::prepare_suite();
     let config = AnalysisConfig {
         fuel: Some(fuel),
         ..Default::default()
     };
-    for prepared in &suite {
-        let outcome = analyze(&prepared.ir, &config);
+    for prepared in &mut suite {
+        let name = prepared.generated.name.clone();
+        let session = prepared.session();
+        let outcome = session.analyze(&config);
         println!(
-            "{{\"program\":\"{}\",\"substitutions\":{},\"report\":{}}}",
-            prepared.generated.name,
+            "{{\"program\":\"{}\",\"substitutions\":{},\"report\":{},\"phase_stats\":{}}}",
+            name,
             outcome.substitutions.total,
-            outcome.robustness.to_json()
+            outcome.robustness.to_json(),
+            session.stats().to_json()
         );
     }
 }
@@ -35,10 +46,10 @@ fn main() {
         return;
     }
     let timing = args.iter().any(|a| a == "--timing");
-    let suite = ipcp_bench::prepare_suite();
+    let mut suite = ipcp_bench::prepare_suite();
     println!("{}", ipcp_bench::render_table1(&suite));
-    println!("{}", ipcp_bench::render_table2(&suite));
-    println!("{}", ipcp_bench::render_table3(&suite));
+    println!("{}", ipcp_bench::render_table2(&mut suite));
+    println!("{}", ipcp_bench::render_table3(&mut suite));
     if timing {
         println!("{}", ipcp_bench::render_timings(&suite));
     }

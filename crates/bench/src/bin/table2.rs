@@ -1,5 +1,6 @@
-//! Regenerates the paper's Table 2 over the synthetic suite.
+//! Regenerates the paper's Table 2 over the synthetic suite, driving
+//! one analysis session per program so shared artifacts are built once.
 fn main() {
-    let suite = ipcp_bench::prepare_suite();
-    print!("{}", ipcp_bench::render_table2(&suite));
+    let mut suite = ipcp_bench::prepare_suite();
+    print!("{}", ipcp_bench::render_table2(&mut suite));
 }

@@ -2,7 +2,7 @@
 //! (fixed generator seeds, deterministic analyzer), so any change to
 //! these numbers is a behaviour change that EXPERIMENTS.md must track.
 
-use ipcp_bench::{measure, prepare_suite, table2_configs, table3_configs};
+use ipcp_bench::{measure, measure_reference, prepare_suite, table2_configs, table3_configs};
 
 /// (program, [poly, pass, intra, literal, poly-noRJF, pass-noRJF]).
 const TABLE2: [(&str, [usize; 6]); 12] = [
@@ -38,23 +38,38 @@ const TABLE3: [(&str, [usize; 4]); 12] = [
 
 #[test]
 fn table2_numbers_are_pinned() {
-    let suite = prepare_suite();
+    let mut suite = prepare_suite();
     let configs = table2_configs();
-    for (p, (name, expect)) in suite.iter().zip(TABLE2.iter()) {
+    for (p, (name, expect)) in suite.iter_mut().zip(TABLE2.iter()) {
         assert_eq!(&p.generated.name, name);
-        let measured = measure(&p.ir, &configs);
+        let measured = measure(p, &configs);
         assert_eq!(measured, expect.to_vec(), "{name}");
     }
 }
 
 #[test]
 fn table3_numbers_are_pinned() {
-    let suite = prepare_suite();
+    let mut suite = prepare_suite();
     let configs = table3_configs();
-    for (p, (name, expect)) in suite.iter().zip(TABLE3.iter()) {
+    for (p, (name, expect)) in suite.iter_mut().zip(TABLE3.iter()) {
         assert_eq!(&p.generated.name, name);
-        let measured = measure(&p.ir, &configs);
+        let measured = measure(p, &configs);
         assert_eq!(measured, expect.to_vec(), "{name}");
+    }
+}
+
+/// The session-driven tables equal the straight-line pipeline cell for
+/// cell — across BOTH sweeps through one warm session per program, so
+/// Table-3 columns are measured against caches primed by Table 2.
+#[test]
+fn session_tables_match_reference_pipeline() {
+    let mut suite = prepare_suite();
+    let mut configs = table2_configs();
+    configs.extend(table3_configs());
+    for p in suite.iter_mut() {
+        let want = measure_reference(&p.ir, &configs);
+        let got = measure(p, &configs);
+        assert_eq!(got, want, "{}", p.generated.name);
     }
 }
 

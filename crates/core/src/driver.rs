@@ -20,8 +20,8 @@ use ipcp_analysis::dce::dce_round;
 use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
 use ipcp_analysis::symeval::{CallSymbolics, NoCallSymbolics, SymEvalOptions};
 use ipcp_analysis::{
-    augment_global_vars, compute_modref_budgeted, Budget, CallGraph, CallLattice,
-    ExhaustionPolicy, ModKills, PessimisticCalls, RobustnessReport, Slot,
+    augment_global_vars, compute_modref_budgeted, Budget, CallGraph, CallLattice, ExhaustionPolicy,
+    ModKills, PessimisticCalls, RobustnessReport, Slot,
 };
 use ipcp_ir::Program;
 use ipcp_lang::Diagnostics;
@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 
 /// Which interprocedural solver formulation to run (both produce
 /// identical `VAL` sets; see `crate::binding`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverKind {
     /// The paper's simple worklist iteration over the call graph (§4.1).
     #[default]
@@ -183,8 +183,20 @@ impl std::fmt::Display for ResourceExhausted {
 impl std::error::Error for ResourceExhausted {}
 
 /// Runs the configured analysis on a program.
+///
+/// One-shot entry point: opens a throwaway [`crate::AnalysisSession`]
+/// and analyzes once. Callers analyzing the same program under several
+/// configurations (a Table-2/3 sweep) should hold a session themselves
+/// to reuse artifacts across the runs.
 pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
     analyze_with_budget(program, config, &Budget::for_limit(config.fuel))
+}
+
+/// [`analyze`] through the straight-line single-shot pipeline, with no
+/// session or memoization involved — the pre-session behaviour, kept as
+/// the equivalence oracle for the session path.
+pub fn analyze_reference(program: &Program, config: &AnalysisConfig) -> AnalysisOutcome {
+    analyze_with_budget_reference(program, config, &Budget::for_limit(config.fuel))
 }
 
 /// [`analyze`], but honoring [`AnalysisConfig::on_exhausted`]: under
@@ -212,6 +224,21 @@ pub fn analyze_checked(
 /// the fault-injection harness uses to fail the analysis at an exact
 /// checkpoint. `config.fuel` is ignored; the budget decides.
 pub fn analyze_with_budget(
+    program: &Program,
+    config: &AnalysisConfig,
+    budget: &Budget,
+) -> AnalysisOutcome {
+    crate::session::AnalysisSession::new(program).analyze_with_budget(config, budget)
+}
+
+/// The straight-line single-shot pipeline behind [`analyze_with_budget`].
+///
+/// This is the original (pre-[`crate::AnalysisSession`]) driver, kept
+/// both as the equivalence oracle for the memoized phase-split path and
+/// as the execution path for *metered* budgets, whose degradation
+/// behaviour depends on exact fuel ordering and must not be interleaved
+/// with cache hits.
+pub fn analyze_with_budget_reference(
     program: &Program,
     config: &AnalysisConfig,
     budget: &Budget,

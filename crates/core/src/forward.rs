@@ -63,6 +63,12 @@ impl ForwardJumpFns {
             .filter(|jf| !jf.is_bottom())
             .count()
     }
+
+    /// Assembles a table from per-procedure site vectors (used by the
+    /// session, which caches those vectors individually).
+    pub(crate) fn from_parts(per_proc: Vec<Vec<SiteJumpFns>>) -> Self {
+        ForwardJumpFns { per_proc }
+    }
 }
 
 /// Builds forward jump functions of the given kind for the whole program.
@@ -116,7 +122,7 @@ pub fn build_forward_jfs_with(
 /// Relative construction cost of each jump-function kind — the §3.1.5
 /// cost ordering, used to decide which rung of the precision ladder the
 /// remaining fuel can afford.
-fn kind_weight(kind: JumpFunctionKind) -> u64 {
+pub(crate) fn kind_weight(kind: JumpFunctionKind) -> u64 {
     match kind {
         JumpFunctionKind::Literal => 1,
         JumpFunctionKind::IntraproceduralConstant => 2,
@@ -184,11 +190,7 @@ pub fn build_forward_jfs_budgeted(
     let mut per_proc = Vec::with_capacity(program.procs.len());
     for pid in program.proc_ids() {
         let proc = program.proc(pid);
-        let estimate: u64 = proc
-            .block_ids()
-            .map(|b| proc.block(b).instrs.len() as u64 + 1)
-            .sum::<u64>()
-            .max(1);
+        let estimate = proc_estimate(proc);
 
         // Slide down the ladder until a rung fits the remaining fuel.
         let mut effective = Some(kind);
@@ -226,72 +228,96 @@ pub fn build_forward_jfs_budgeted(
 
         let ssa = build_ssa(program, proc, kills);
         let sym = symbolic_eval_budgeted(proc, &ssa, call_sym, options, budget);
-        let kind = effective;
-
-        let mut sites = Vec::new();
-        for site in cg.sites(pid) {
-            let Some(ssa_block) = ssa.block(site.block) else {
-                sites.push(SiteJumpFns {
-                    callee: site.callee,
-                    reachable: false,
-                    jfs: HashMap::new(),
-                });
-                continue;
-            };
-            let SsaInstr::Call {
-                callee,
-                args,
-                globals_in,
-                ..
-            } = &ssa_block.instrs[site.index]
-            else {
-                unreachable!("call site indexes a call instruction");
-            };
-            debug_assert_eq!(*callee, site.callee);
-
-            let mut jfs = HashMap::new();
-            for slot in modref.param_slots(program, site.callee) {
-                let jf = match slot {
-                    Slot::Formal(k) => {
-                        let value = args.get(k as usize).and_then(|a| a.value);
-                        match (kind, value) {
-                            // Literal: only source literals count.
-                            (JumpFunctionKind::Literal, Some(SsaOperand::Const(c))) => {
-                                JumpFn::Const(c)
-                            }
-                            (JumpFunctionKind::Literal, _) => JumpFn::Bottom,
-                            (_, Some(op)) => JumpFn::from_sym(kind, &sym.of_operand(op)),
-                            (_, None) => JumpFn::Bottom,
-                        }
-                    }
-                    Slot::Global(g) => {
-                        if kind == JumpFunctionKind::Literal {
-                            // Globals are passed implicitly; the literal
-                            // jump function misses them (§3.1.1).
-                            JumpFn::Bottom
-                        } else {
-                            let snapshot = globals_in
-                                .iter()
-                                .find(|&&(var, _)| proc.var(var).kind == VarKind::Global(g));
-                            match snapshot {
-                                Some(&(_, name)) => JumpFn::from_sym(kind, sym.of(name)),
-                                None => JumpFn::Bottom,
-                            }
-                        }
-                    }
-                    Slot::Result => continue,
-                };
-                jfs.insert(slot, jf);
-            }
-            sites.push(SiteJumpFns {
-                callee: site.callee,
-                reachable: true,
-                jfs,
-            });
-        }
-        per_proc.push(sites);
+        per_proc.push(site_jfs_for_proc(
+            program, cg, modref, effective, pid, &ssa, &sym,
+        ));
     }
     ForwardJumpFns { per_proc }
+}
+
+/// The per-procedure fuel estimate of forward jump function construction
+/// (`kind_weight × this`): one unit per instruction plus one per block.
+pub(crate) fn proc_estimate(proc: &ipcp_ir::Procedure) -> u64 {
+    proc.block_ids()
+        .map(|b| proc.block(b).instrs.len() as u64 + 1)
+        .sum::<u64>()
+        .max(1)
+}
+
+/// Builds the jump functions of every call site of `pid` from its SSA
+/// form and symbolic values — the pure, fuel-free tail of the budgeted
+/// builder, exposed at crate level so the session can reuse cached SSA
+/// and symbolic-evaluation artifacts.
+pub(crate) fn site_jfs_for_proc(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    kind: JumpFunctionKind,
+    pid: ProcId,
+    ssa: &ipcp_ssa::SsaProc,
+    sym: &ipcp_analysis::symeval::SymMap,
+) -> Vec<SiteJumpFns> {
+    let proc = program.proc(pid);
+    let mut sites = Vec::new();
+    for site in cg.sites(pid) {
+        let Some(ssa_block) = ssa.block(site.block) else {
+            sites.push(SiteJumpFns {
+                callee: site.callee,
+                reachable: false,
+                jfs: HashMap::new(),
+            });
+            continue;
+        };
+        let SsaInstr::Call {
+            callee,
+            args,
+            globals_in,
+            ..
+        } = &ssa_block.instrs[site.index]
+        else {
+            unreachable!("call site indexes a call instruction");
+        };
+        debug_assert_eq!(*callee, site.callee);
+
+        let mut jfs = HashMap::new();
+        for slot in modref.param_slots(program, site.callee) {
+            let jf = match slot {
+                Slot::Formal(k) => {
+                    let value = args.get(k as usize).and_then(|a| a.value);
+                    match (kind, value) {
+                        // Literal: only source literals count.
+                        (JumpFunctionKind::Literal, Some(SsaOperand::Const(c))) => JumpFn::Const(c),
+                        (JumpFunctionKind::Literal, _) => JumpFn::Bottom,
+                        (_, Some(op)) => JumpFn::from_sym(kind, &sym.of_operand(op)),
+                        (_, None) => JumpFn::Bottom,
+                    }
+                }
+                Slot::Global(g) => {
+                    if kind == JumpFunctionKind::Literal {
+                        // Globals are passed implicitly; the literal
+                        // jump function misses them (§3.1.1).
+                        JumpFn::Bottom
+                    } else {
+                        let snapshot = globals_in
+                            .iter()
+                            .find(|&&(var, _)| proc.var(var).kind == VarKind::Global(g));
+                        match snapshot {
+                            Some(&(_, name)) => JumpFn::from_sym(kind, sym.of(name)),
+                            None => JumpFn::Bottom,
+                        }
+                    }
+                }
+                Slot::Result => continue,
+            };
+            jfs.insert(slot, jf);
+        }
+        sites.push(SiteJumpFns {
+            callee: site.callee,
+            reachable: true,
+            jfs,
+        });
+    }
+    sites
 }
 
 /// Builds **literal** jump functions with the cheap construction the

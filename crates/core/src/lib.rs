@@ -53,6 +53,7 @@ pub mod jump;
 pub mod optimize;
 pub mod report;
 pub mod retjf;
+pub mod session;
 pub mod solver;
 pub mod source_transform;
 pub mod subst;
@@ -66,8 +67,9 @@ pub use binding::{solve_binding, solve_binding_budgeted};
 pub use cloning::{apply_cloning, cloning_opportunities, CloneOpportunity};
 pub use dependence::subscript_counts;
 pub use driver::{
-    analyze, analyze_checked, analyze_source, analyze_with_budget, AnalysisConfig, AnalysisOutcome,
-    PhaseStats, ResourceExhausted, SolverKind,
+    analyze, analyze_checked, analyze_reference, analyze_source, analyze_with_budget,
+    analyze_with_budget_reference, AnalysisConfig, AnalysisOutcome, PhaseStats, ResourceExhausted,
+    SolverKind,
 };
 pub use forward::{
     build_forward_jfs, build_forward_jfs_budgeted, build_forward_jfs_with, build_literal_jfs_fast,
@@ -82,6 +84,9 @@ pub use retjf::{
     build_return_jfs, build_return_jfs_budgeted, build_return_jfs_with, ReturnJumpFns, RjfComposer,
     RjfConstEval, RjfLattice,
 };
+pub use session::{AnalysisSession, ArtifactStore, PhaseCounter, SessionPhase, SessionStats};
 pub use solver::{solve, solve_budgeted, ValSets};
 pub use source_transform::{transform_source, TransformedSource};
-pub use subst::{apply_substitutions, count_substitutions, SubstitutionCounts};
+pub use subst::{
+    apply_substitutions, count_substitutions, count_substitutions_with_ssa, SubstitutionCounts,
+};

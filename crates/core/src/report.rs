@@ -95,7 +95,11 @@ pub fn robustness_to_string(outcome: &AnalysisOutcome) -> String {
         "robustness: fuel {}/{} consumed, {}",
         r.fuel_consumed,
         limit,
-        if r.exhausted { "exhausted" } else { "within budget" },
+        if r.exhausted {
+            "exhausted"
+        } else {
+            "within budget"
+        },
     );
     for (phase, count) in &r.degradations {
         let _ = writeln!(out, "  degraded {phase}: {count}");

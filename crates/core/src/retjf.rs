@@ -59,6 +59,12 @@ impl ReturnJumpFns {
             .filter(|jf| !jf.is_bottom())
             .count()
     }
+
+    /// Installs the slot table of `p` (used by the session when it
+    /// assembles a table from cached per-procedure pieces).
+    pub(crate) fn set_proc(&mut self, p: ProcId, map: HashMap<Slot, JumpFn>) {
+        self.per_proc[p.index()] = map;
+    }
 }
 
 /// Builds return jump functions for all procedures, bottom-up over the
@@ -103,25 +109,29 @@ pub fn build_return_jfs_budgeted(
                 budget.record_degradation(Phase::ReturnJf);
                 continue;
             }
-            let map = build_for_proc(program, pid, &rjfs, kills, options, budget);
+            let ssa = build_ssa(program, program.proc(pid), kills);
+            let map = build_rjf_for_proc(program, pid, &rjfs, &ssa, options, budget);
             rjfs.per_proc[pid.index()] = map;
         }
     }
     rjfs
 }
 
-fn build_for_proc(
+/// Builds the return-jump-function table of one procedure from its
+/// (prebuilt) SSA form and the tables of its already-processed callees.
+/// Exposed at crate level so the session can drive the bottom-up pass
+/// with cached SSA artifacts.
+pub(crate) fn build_rjf_for_proc(
     program: &Program,
     pid: ProcId,
     rjfs: &ReturnJumpFns,
-    kills: &dyn KillOracle,
+    ssa: &ipcp_ssa::SsaProc,
     options: SymEvalOptions,
     budget: &Budget,
 ) -> HashMap<Slot, JumpFn> {
     let proc = program.proc(pid);
-    let ssa = build_ssa(program, proc, kills);
     let composer = RjfComposer { rjfs };
-    let sym = symbolic_eval_budgeted(proc, &ssa, &composer, options, budget);
+    let sym = symbolic_eval_budgeted(proc, ssa, &composer, options, budget);
 
     // Meet the exit snapshots of every reachable return.
     let mut merged: HashMap<ipcp_ir::VarId, Option<Sym>> = HashMap::new();
@@ -487,13 +497,8 @@ mod tests {
         let cg = CallGraph::new(&program);
         let kills = ModKills::new(&program, &modref);
         let budget = Budget::with_fuel(0);
-        let rjfs = build_return_jfs_budgeted(
-            &program,
-            &cg,
-            &kills,
-            SymEvalOptions::default(),
-            &budget,
-        );
+        let rjfs =
+            build_return_jfs_budgeted(&program, &cg, &kills, SymEvalOptions::default(), &budget);
         assert_eq!(rjfs.useful_count(), 0, "every lookup misses (⊥)");
         assert!(budget.report().degradations[&Phase::ReturnJf] > 0);
     }

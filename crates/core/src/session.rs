@@ -1,0 +1,1418 @@
+//! Analysis sessions: a memoized, phase-split pass manager.
+//!
+//! The paper's study is inherently multi-configuration — Tables 2 and 3
+//! analyze the *same* programs under 8+ jump-function/MOD/solver
+//! configurations — yet the single-shot driver rebuilds the call graph,
+//! MOD/REF summaries, and per-procedure SSA from scratch on every
+//! `analyze()` call. An [`AnalysisSession`] wraps one program and splits
+//! the pipeline into individually cacheable phases:
+//!
+//! ```text
+//! call graph ─┬─► MOD/REF ─► (augment) ─► per-proc SSA ─┬─► return JFs ─┐
+//!             │                                         ├─► sym values ─┤
+//!             │                                         │               ▼
+//!             └─────────────────────────────────────────┴─► forward JFs ─► solve ─► substitute ─► DCE
+//! ```
+//!
+//! Each artifact is keyed by a content fingerprint of the IR it read —
+//! the owning procedure plus its transitive callees and the globals
+//! (per-procedure artifacts), or the whole program (solver-level
+//! artifacts) — together with *only the configuration facets that phase
+//! consults*: SSA construction depends on `mod_info` but not on
+//! `jump_function`; symbolic values additionally depend on `gsa` and the
+//! return-jump-function evaluation mode; the solver depends on the JF
+//! kind and solver choice but not on how SSA was built. A Table-2/3
+//! sweep therefore reuses SSA/MOD/RJF work across columns instead of
+//! recomputing it, and *complete propagation* becomes incremental for
+//! free: after a DCE round only the procedures whose IR fingerprint
+//! changed — plus their call-graph dependents, whose closure
+//! fingerprints change with them — miss the cache.
+//!
+//! ## Fuel semantics
+//!
+//! Budgets are threaded through unchanged. Memoization is only enabled
+//! under an *unmetered* budget ([`Budget::is_unmetered`]): a cached
+//! artifact records the fuel its computation consumed and **replays**
+//! that amount on every hit, so `RobustnessReport::fuel_consumed` is
+//! byte-identical to the single-shot pipeline. Metered budgets (finite
+//! fuel, fault injectors) route to the preserved straight-line reference
+//! pipeline ([`crate::driver::analyze_with_budget_reference`]), whose
+//! degradation behaviour depends on exact fuel *ordering* and therefore
+//! must not be interleaved with cache hits.
+
+use crate::binding::solve_binding_budgeted;
+use crate::driver::{
+    analyze_with_budget_reference, AnalysisConfig, AnalysisOutcome, PhaseStats, ResourceExhausted,
+    SolverKind,
+};
+use crate::forward::{kind_weight, proc_estimate, site_jfs_for_proc, ForwardJumpFns, SiteJumpFns};
+use crate::jump::{JumpFn, JumpFunctionKind};
+use crate::retjf::{build_rjf_for_proc, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice};
+use crate::solver::{entry_env_of, solve_budgeted, ValSets};
+use crate::subst::{count_substitutions_with_ssa, SubstitutionCounts};
+use ipcp_analysis::dce::dce_round;
+use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
+use ipcp_analysis::symeval::{
+    symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, SymEvalOptions, SymMap,
+};
+use ipcp_analysis::{
+    augment_global_vars, compute_modref_budgeted, Budget, CallGraph, CallLattice, ExhaustionPolicy,
+    ModKills, ModRefInfo, PessimisticCalls, Phase, Slot,
+};
+use ipcp_ir::fingerprint::{combine, fingerprint_debug};
+use ipcp_ir::{ProcId, Procedure, Program};
+use ipcp_lang::Diagnostics;
+use ipcp_ssa::{build_ssa, KillOracle, SsaProc, WorstCaseKills};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// The session's observable phases — the cacheable pipeline stages plus
+/// the `pipeline` fallback bucket used for metered (reference-path) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SessionPhase {
+    /// Content fingerprinting of the program and procedure closures.
+    Fingerprint,
+    /// Call graph construction.
+    CallGraph,
+    /// MOD/REF summary computation.
+    ModRef,
+    /// Per-procedure SSA construction.
+    Ssa,
+    /// Return jump function generation.
+    ReturnJf,
+    /// Per-procedure symbolic evaluation for forward generation.
+    SymVals,
+    /// Forward jump function construction.
+    ForwardJf,
+    /// Interprocedural propagation.
+    Solve,
+    /// Substitution counting.
+    Subst,
+    /// Complete-propagation SCCP + dead code elimination rounds.
+    Dce,
+    /// Whole uncached runs routed to the reference pipeline (metered
+    /// budgets only).
+    Pipeline,
+}
+
+impl SessionPhase {
+    /// All phases, in pipeline order.
+    pub const ALL: [SessionPhase; 11] = [
+        SessionPhase::Fingerprint,
+        SessionPhase::CallGraph,
+        SessionPhase::ModRef,
+        SessionPhase::Ssa,
+        SessionPhase::ReturnJf,
+        SessionPhase::SymVals,
+        SessionPhase::ForwardJf,
+        SessionPhase::Solve,
+        SessionPhase::Subst,
+        SessionPhase::Dce,
+        SessionPhase::Pipeline,
+    ];
+
+    /// Stable lowercase name, used in reports and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionPhase::Fingerprint => "fingerprint",
+            SessionPhase::CallGraph => "callgraph",
+            SessionPhase::ModRef => "modref",
+            SessionPhase::Ssa => "ssa",
+            SessionPhase::ReturnJf => "retjf",
+            SessionPhase::SymVals => "symvals",
+            SessionPhase::ForwardJf => "forward-jf",
+            SessionPhase::Solve => "solve",
+            SessionPhase::Subst => "subst",
+            SessionPhase::Dce => "dce",
+            SessionPhase::Pipeline => "pipeline",
+        }
+    }
+}
+
+impl fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wall-clock and cache traffic of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounter {
+    /// Accumulated wall-clock time spent in the phase.
+    pub wall_nanos: u128,
+    /// Artifact-store hits.
+    pub hits: u64,
+    /// Artifact-store misses (artifact computed and inserted).
+    pub misses: u64,
+}
+
+/// Per-phase observability: wall clock plus cache hit/miss counters,
+/// accumulated over every analysis the session ran.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Analyses run through the session (cached or reference path).
+    pub analyses: u64,
+    /// Pipeline rounds executed (≥ 1 per cached analysis; complete
+    /// propagation adds one per DCE iteration).
+    pub rounds: u64,
+    counters: BTreeMap<SessionPhase, PhaseCounter>,
+}
+
+impl SessionStats {
+    /// The counter of one phase (zeros when the phase never ran).
+    pub fn counter(&self, phase: SessionPhase) -> PhaseCounter {
+        self.counters.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Total artifact-store hits across phases.
+    pub fn total_hits(&self) -> u64 {
+        self.counters.values().map(|c| c.hits).sum()
+    }
+
+    /// Total artifact-store misses across phases.
+    pub fn total_misses(&self) -> u64 {
+        self.counters.values().map(|c| c.misses).sum()
+    }
+
+    fn record_wall(&mut self, phase: SessionPhase, elapsed: Duration) {
+        self.counters.entry(phase).or_default().wall_nanos += elapsed.as_nanos();
+    }
+
+    fn hit(&mut self, phase: SessionPhase) {
+        self.counters.entry(phase).or_default().hits += 1;
+    }
+
+    fn miss(&mut self, phase: SessionPhase) {
+        self.counters.entry(phase).or_default().misses += 1;
+    }
+
+    /// Renders the stats as a JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"analyses\":{},\"rounds\":{},\"phases\":{{",
+            self.analyses, self.rounds
+        ));
+        let mut first = true;
+        for phase in SessionPhase::ALL {
+            let c = self.counter(phase);
+            if c == PhaseCounter::default() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"wall_us\":{},\"hits\":{},\"misses\":{}}}",
+                phase.name(),
+                c.wall_nanos / 1_000,
+                c.hits,
+                c.misses
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for SessionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "analyses: {}; rounds: {}", self.analyses, self.rounds)?;
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>6} {:>7}",
+            "phase", "wall(µs)", "hits", "misses"
+        )?;
+        for phase in SessionPhase::ALL {
+            let c = self.counter(phase);
+            if c == PhaseCounter::default() {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>6} {:>7}",
+                phase.name(),
+                c.wall_nanos / 1_000,
+                c.hits,
+                c.misses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// How return jump functions feed the caller's symbolic evaluation — the
+/// facet of the configuration that symbolic values and forward jump
+/// functions actually read (`return_jump_functions`/`mod_info`/
+/// `rjf_full_composition` collapse into this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CallSymMode {
+    /// No recovery through calls (RJFs disabled *or* no MOD info).
+    Pessimistic,
+    /// The paper's constant-or-⊥ evaluation rule.
+    ConstEval,
+    /// The full-composition extension.
+    Compose,
+}
+
+fn call_sym_mode(config: &AnalysisConfig) -> CallSymMode {
+    if !(config.return_jump_functions && config.mod_info) {
+        CallSymMode::Pessimistic
+    } else if config.rjf_full_composition {
+        CallSymMode::Compose
+    } else {
+        CallSymMode::ConstEval
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SsaKey {
+    closure_fp: u64,
+    mod_info: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RjfKey {
+    closure_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SymKey {
+    closure_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+    mode: CallSymMode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ForwardKey {
+    closure_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+    mode: CallSymMode,
+    kind: JumpFunctionKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SolveKey {
+    state_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+    mode: CallSymMode,
+    kind: JumpFunctionKind,
+    solver: SolverKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SubstKey {
+    state_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+    mode: CallSymMode,
+    /// `(jump_function, solver)` when interprocedural propagation seeded
+    /// the count; `None` for the intraprocedural baseline.
+    forward: Option<(JumpFunctionKind, SolverKind)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DceKey {
+    closure_fp: u64,
+    mod_info: bool,
+    gsa: bool,
+    /// Whether call effects go through the RJF lattice.
+    recovery: bool,
+    /// Fingerprint of the procedure's entry `VAL` set (or of `None` for
+    /// the unseeded baseline).
+    env_fp: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CountingKey {
+    /// Fingerprint of the pristine program the count runs over.
+    orig_fp: u64,
+    /// Fingerprint of the final (post-DCE) state whose solve produced
+    /// the seeding `VAL` sets.
+    final_fp: u64,
+    mod_info: bool,
+    /// The `VAL` sets seeding the count were solved under this facet,
+    /// even though the counting pass itself always uses default
+    /// symbolic-evaluation options.
+    gsa: bool,
+    mode: CallSymMode,
+    rjf: bool,
+    forward: Option<(JumpFunctionKind, SolverKind)>,
+}
+
+/// A cached artifact plus the fuel its computation consumed, replayed on
+/// every hit so budget accounting matches the uncached pipeline.
+struct Cached<T> {
+    value: Rc<T>,
+    fuel: u64,
+}
+
+impl<T> Clone for Cached<T> {
+    fn clone(&self) -> Self {
+        Cached {
+            value: Rc::clone(&self.value),
+            fuel: self.fuel,
+        }
+    }
+}
+
+/// Result of one cached DCE step over a procedure.
+struct DceStep {
+    proc: Procedure,
+    changed: bool,
+}
+
+/// The session-scoped artifact store. Every map is keyed by content
+/// fingerprints plus the configuration facets its phase reads; see the
+/// module docs for the key structure.
+#[derive(Default)]
+pub struct ArtifactStore {
+    call_graphs: HashMap<u64, Rc<CallGraph>>,
+    modrefs: HashMap<u64, Cached<ModRefInfo>>,
+    /// Per-procedure closure fingerprints of the *augmented* program, by
+    /// pre-augmentation state fingerprint (augmentation is deterministic,
+    /// so the state fingerprint determines them).
+    closures: HashMap<u64, Rc<Vec<u64>>>,
+    ssas: HashMap<SsaKey, Rc<SsaProc>>,
+    rjf_procs: HashMap<RjfKey, Cached<HashMap<Slot, JumpFn>>>,
+    syms: HashMap<SymKey, Cached<SymMap>>,
+    forward_procs: HashMap<ForwardKey, Cached<Vec<SiteJumpFns>>>,
+    solves: HashMap<SolveKey, Cached<ValSets>>,
+    substs: HashMap<SubstKey, Rc<SubstitutionCounts>>,
+    dces: HashMap<DceKey, Cached<DceStep>>,
+    countings: HashMap<CountingKey, Cached<SubstitutionCounts>>,
+}
+
+impl ArtifactStore {
+    /// Total number of cached artifacts, across all phases.
+    pub fn len(&self) -> usize {
+        self.call_graphs.len()
+            + self.modrefs.len()
+            + self.closures.len()
+            + self.ssas.len()
+            + self.rjf_procs.len()
+            + self.syms.len()
+            + self.forward_procs.len()
+            + self.solves.len()
+            + self.substs.len()
+            + self.dces.len()
+            + self.countings.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-round derived context: the program-state fingerprint and the
+/// per-procedure closure fingerprints all cache keys build on.
+struct RoundCtx {
+    state_fp: u64,
+    closure_fps: Rc<Vec<u64>>,
+    mod_info: bool,
+    gsa: bool,
+    mode: CallSymMode,
+}
+
+/// A memoized pass manager over one program. See the module docs.
+pub struct AnalysisSession {
+    base: Program,
+    /// `fingerprint_debug(&base)`, computed once: every analysis starts
+    /// from the pristine program, so round 0 never re-fingerprints it.
+    base_fp: u64,
+    store: ArtifactStore,
+    stats: SessionStats,
+}
+
+impl AnalysisSession {
+    /// Opens a session over `program`.
+    pub fn new(program: &Program) -> Self {
+        AnalysisSession {
+            base: program.clone(),
+            base_fp: fingerprint_debug(program),
+            store: ArtifactStore::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Compiles Minifor source and opens a session over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns front-end diagnostics if the source does not compile.
+    pub fn from_source(source: &str) -> Result<Self, Diagnostics> {
+        Ok(Self::new(&ipcp_ir::compile_to_ir(source)?))
+    }
+
+    /// The session's (pristine) program.
+    pub fn program(&self) -> &Program {
+        &self.base
+    }
+
+    /// Observability counters accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The artifact store (for introspection; tests and diagnostics).
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Runs the configured analysis, reusing cached artifacts where the
+    /// fingerprints and configuration facets allow.
+    pub fn analyze(&mut self, config: &AnalysisConfig) -> AnalysisOutcome {
+        self.analyze_with_budget(config, &Budget::for_limit(config.fuel))
+    }
+
+    /// [`Self::analyze`] honoring [`AnalysisConfig::on_exhausted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResourceExhausted`] when the budget ran dry and the
+    /// policy is [`ExhaustionPolicy::Error`].
+    pub fn analyze_checked(
+        &mut self,
+        config: &AnalysisConfig,
+    ) -> Result<AnalysisOutcome, ResourceExhausted> {
+        let outcome = self.analyze(config);
+        if config.on_exhausted == ExhaustionPolicy::Error && outcome.robustness.exhausted {
+            return Err(ResourceExhausted {
+                report: outcome.robustness,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Runs the analysis against a caller-supplied fuel source. Metered
+    /// budgets take the straight-line reference pipeline (see the module
+    /// docs on fuel semantics); unmetered budgets use the artifact store.
+    pub fn analyze_with_budget(
+        &mut self,
+        config: &AnalysisConfig,
+        budget: &Budget,
+    ) -> AnalysisOutcome {
+        self.stats.analyses += 1;
+        if !budget.is_unmetered() {
+            let start = Instant::now();
+            let outcome = analyze_with_budget_reference(&self.base, config, budget);
+            self.stats
+                .record_wall(SessionPhase::Pipeline, start.elapsed());
+            return outcome;
+        }
+
+        let mut program = self.base.clone();
+        let mut stats = PhaseStats::default();
+        let mut first_round = true;
+
+        loop {
+            self.stats.rounds += 1;
+
+            // Program-level artifacts: fingerprint, call graph, MOD/REF.
+            // The call graph is built against the pre-augmentation
+            // program, exactly like the single-shot pipeline (call edges
+            // are unaffected by augmentation). Round 0 always runs over
+            // the pristine program, whose fingerprint is precomputed.
+            let start = Instant::now();
+            let state_fp = if first_round {
+                self.base_fp
+            } else {
+                fingerprint_debug(&program)
+            };
+            first_round = false;
+            self.stats
+                .record_wall(SessionPhase::Fingerprint, start.elapsed());
+
+            let cg = self.cached_call_graph(&program, state_fp);
+            let modref = self.cached_modref(&program, &cg, state_fp, budget);
+            augment_global_vars(&mut program, &modref);
+
+            let closure_fps = self.cached_closures(&program, &cg, state_fp);
+
+            let round = RoundCtx {
+                state_fp,
+                closure_fps,
+                mod_info: config.mod_info,
+                gsa: config.gsa,
+                mode: call_sym_mode(config),
+            };
+
+            // Everything below borrows `program` immutably; DCE rewrites
+            // are collected and applied after the borrows end.
+            let (substitutions, vals, changed, new_procs) = {
+                let program = &program;
+                let mod_kills;
+                let kills: &dyn KillOracle = if config.mod_info {
+                    mod_kills = ModKills::new(program, &modref);
+                    &mod_kills
+                } else {
+                    &WorstCaseKills
+                };
+                let sym_options = SymEvalOptions {
+                    gated_phis: config.gsa,
+                };
+
+                let rjfs: ReturnJumpFns = if config.return_jump_functions {
+                    self.cached_return_jfs(program, &cg, &round, kills, sym_options, budget)
+                } else {
+                    ReturnJumpFns::empty(program.procs.len())
+                };
+                stats.return_jfs = rjfs.useful_count();
+
+                let vals: Option<Rc<ValSets>> = if config.interprocedural {
+                    let jfs = self.cached_forward_jfs(
+                        program,
+                        &cg,
+                        &modref,
+                        config.jump_function,
+                        &rjfs,
+                        &round,
+                        kills,
+                        sym_options,
+                        budget,
+                    );
+                    stats.forward_jfs = jfs.count();
+                    stats.useful_forward_jfs = jfs.useful_count();
+                    let v = self.cached_solve(
+                        program,
+                        &cg,
+                        &modref,
+                        &jfs,
+                        config.jump_function,
+                        config.solver,
+                        &round,
+                        budget,
+                    );
+                    stats.solver_iterations += v.iterations();
+                    Some(v)
+                } else {
+                    None
+                };
+
+                let rjf_lattice = RjfLattice { rjfs: &rjfs };
+                let calls: &dyn CallLattice = if round.mode != CallSymMode::Pessimistic {
+                    &rjf_lattice
+                } else {
+                    &PessimisticCalls
+                };
+
+                let substitutions =
+                    self.cached_subst(program, &cg, calls, vals.as_deref(), config, &round, kills);
+
+                let mut changed = false;
+                let mut new_procs = Vec::new();
+                if config.complete_propagation {
+                    let start = Instant::now();
+                    // Every procedure is rewritten (like the single-shot
+                    // loop), not just the changed ones — the `changed`
+                    // flag only decides whether another round runs.
+                    for pid in program.proc_ids() {
+                        let step = self.cached_dce_step(
+                            program,
+                            pid,
+                            &round,
+                            kills,
+                            calls,
+                            vals.as_deref(),
+                            budget,
+                        );
+                        changed |= step.changed;
+                        new_procs.push((pid, step.proc));
+                    }
+                    self.stats.record_wall(SessionPhase::Dce, start.elapsed());
+                }
+                (substitutions, vals, changed, new_procs)
+            };
+
+            for (pid, proc) in new_procs {
+                *program.proc_mut(pid) = proc;
+            }
+            if changed {
+                stats.dce_rounds += 1;
+                continue;
+            }
+
+            let constants: Vec<BTreeMap<Slot, i64>> = match vals.as_deref() {
+                Some(v) => program.proc_ids().map(|p| v.constants(p)).collect(),
+                None => vec![BTreeMap::new(); program.procs.len()],
+            };
+
+            // Complete propagation substitutes into the *original*
+            // source: recount against the pristine program with the
+            // final (DCE-refined) CONSTANTS.
+            let substitutions = if stats.dce_rounds > 0 {
+                let final_fp = fingerprint_debug(&program);
+                self.cached_counting_pass(config, vals.as_deref(), final_fp, budget)
+            } else {
+                substitutions
+            };
+
+            return AnalysisOutcome {
+                program,
+                constants,
+                substitutions: (*substitutions).clone(),
+                stats,
+                robustness: budget.report(),
+            };
+        }
+    }
+
+    /// Closure fingerprints of the augmented program, cached by the
+    /// pre-augmentation state fingerprint (augmentation is a pure
+    /// function of that state, so the key is sound).
+    fn cached_closures(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        state_fp: u64,
+    ) -> Rc<Vec<u64>> {
+        let start = Instant::now();
+        let fps = match self.store.closures.get(&state_fp) {
+            Some(fps) => Rc::clone(fps),
+            None => {
+                let fps = Rc::new(closure_fingerprints(program, cg));
+                self.store.closures.insert(state_fp, Rc::clone(&fps));
+                fps
+            }
+        };
+        self.stats
+            .record_wall(SessionPhase::Fingerprint, start.elapsed());
+        fps
+    }
+
+    fn cached_call_graph(&mut self, program: &Program, state_fp: u64) -> Rc<CallGraph> {
+        let start = Instant::now();
+        let cg = match self.store.call_graphs.get(&state_fp) {
+            Some(cg) => {
+                self.stats.hit(SessionPhase::CallGraph);
+                Rc::clone(cg)
+            }
+            None => {
+                self.stats.miss(SessionPhase::CallGraph);
+                let cg = Rc::new(CallGraph::new(program));
+                self.store.call_graphs.insert(state_fp, Rc::clone(&cg));
+                cg
+            }
+        };
+        self.stats
+            .record_wall(SessionPhase::CallGraph, start.elapsed());
+        cg
+    }
+
+    fn cached_modref(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        state_fp: u64,
+        budget: &Budget,
+    ) -> Rc<ModRefInfo> {
+        let start = Instant::now();
+        let modref = match self.store.modrefs.get(&state_fp) {
+            Some(cached) => {
+                self.stats.hit(SessionPhase::ModRef);
+                budget.checkpoint(Phase::ModRef, cached.fuel);
+                Rc::clone(&cached.value)
+            }
+            None => {
+                self.stats.miss(SessionPhase::ModRef);
+                let before = budget.fuel_consumed();
+                let modref = Rc::new(compute_modref_budgeted(program, cg, budget));
+                let fuel = budget.fuel_consumed() - before;
+                self.store.modrefs.insert(
+                    state_fp,
+                    Cached {
+                        value: Rc::clone(&modref),
+                        fuel,
+                    },
+                );
+                modref
+            }
+        };
+        self.stats
+            .record_wall(SessionPhase::ModRef, start.elapsed());
+        modref
+    }
+
+    fn cached_ssa(
+        &mut self,
+        program: &Program,
+        pid: ProcId,
+        kills: &dyn KillOracle,
+        round: &RoundCtx,
+    ) -> Rc<SsaProc> {
+        let key = SsaKey {
+            closure_fp: round.closure_fps[pid.index()],
+            mod_info: round.mod_info,
+        };
+        let start = Instant::now();
+        let ssa = match self.store.ssas.get(&key) {
+            Some(ssa) => {
+                self.stats.hit(SessionPhase::Ssa);
+                Rc::clone(ssa)
+            }
+            None => {
+                self.stats.miss(SessionPhase::Ssa);
+                let ssa = Rc::new(build_ssa(program, program.proc(pid), kills));
+                self.store.ssas.insert(key, Rc::clone(&ssa));
+                ssa
+            }
+        };
+        self.stats.record_wall(SessionPhase::Ssa, start.elapsed());
+        ssa
+    }
+
+    /// Builds the full return-jump-function table, bottom-up over the
+    /// call-graph condensation, reusing cached per-procedure tables.
+    fn cached_return_jfs(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        options: SymEvalOptions,
+        budget: &Budget,
+    ) -> ReturnJumpFns {
+        let mut rjfs = ReturnJumpFns::empty(program.procs.len());
+        for scc in cg.sccs() {
+            for &pid in scc {
+                let key = RjfKey {
+                    closure_fp: round.closure_fps[pid.index()],
+                    mod_info: round.mod_info,
+                    gsa: options.gated_phis,
+                };
+                if let Some(cached) = self.store.rjf_procs.get(&key) {
+                    self.stats.hit(SessionPhase::ReturnJf);
+                    budget.checkpoint(Phase::ReturnJf, cached.fuel);
+                    rjfs.set_proc(pid, (*cached.value).clone());
+                    continue;
+                }
+                self.stats.miss(SessionPhase::ReturnJf);
+                let before = budget.fuel_consumed();
+                // Unmetered budgets never fail a checkpoint; mirror the
+                // single-shot builder's per-procedure draw.
+                budget.checkpoint(Phase::ReturnJf, 1);
+                let ssa = self.cached_ssa(program, pid, kills, round);
+                let start = Instant::now();
+                let map = build_rjf_for_proc(program, pid, &rjfs, &ssa, options, budget);
+                let fuel = budget.fuel_consumed() - before;
+                self.store.rjf_procs.insert(
+                    key,
+                    Cached {
+                        value: Rc::new(map.clone()),
+                        fuel,
+                    },
+                );
+                rjfs.set_proc(pid, map);
+                self.stats
+                    .record_wall(SessionPhase::ReturnJf, start.elapsed());
+            }
+        }
+        rjfs
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cached_sym(
+        &mut self,
+        program: &Program,
+        pid: ProcId,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        call_sym: &dyn CallSymbolics,
+        options: SymEvalOptions,
+        budget: &Budget,
+    ) -> Rc<SymMap> {
+        let key = SymKey {
+            closure_fp: round.closure_fps[pid.index()],
+            mod_info: round.mod_info,
+            gsa: round.gsa,
+            mode: round.mode,
+        };
+        if let Some(cached) = self.store.syms.get(&key) {
+            self.stats.hit(SessionPhase::SymVals);
+            budget.checkpoint(Phase::SymEval, cached.fuel);
+            return Rc::clone(&cached.value);
+        }
+        self.stats.miss(SessionPhase::SymVals);
+        let ssa = self.cached_ssa(program, pid, kills, round);
+        let start = Instant::now();
+        let before = budget.fuel_consumed();
+        let sym = Rc::new(symbolic_eval_budgeted(
+            program.proc(pid),
+            &ssa,
+            call_sym,
+            options,
+            budget,
+        ));
+        let fuel = budget.fuel_consumed() - before;
+        self.store.syms.insert(
+            key,
+            Cached {
+                value: Rc::clone(&sym),
+                fuel,
+            },
+        );
+        self.stats
+            .record_wall(SessionPhase::SymVals, start.elapsed());
+        sym
+    }
+
+    /// Assembles the forward jump function table from cached
+    /// per-procedure site vectors.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_forward_jfs(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        modref: &ModRefInfo,
+        kind: JumpFunctionKind,
+        rjfs: &ReturnJumpFns,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        options: SymEvalOptions,
+        budget: &Budget,
+    ) -> ForwardJumpFns {
+        let const_eval = RjfConstEval { rjfs };
+        let composer = RjfComposer { rjfs };
+        let call_sym: &dyn CallSymbolics = match round.mode {
+            CallSymMode::Pessimistic => &NoCallSymbolics,
+            CallSymMode::ConstEval => &const_eval,
+            CallSymMode::Compose => &composer,
+        };
+
+        let mut per_proc = Vec::with_capacity(program.procs.len());
+        for pid in program.proc_ids() {
+            // The per-procedure construction checkpoint. Unmetered
+            // budgets always afford the requested rung, so the precision
+            // ladder of the single-shot builder never engages here.
+            budget.checkpoint(
+                Phase::ForwardJf,
+                kind_weight(kind).saturating_mul(proc_estimate(program.proc(pid))),
+            );
+            // Symbolic values are resolved (computed or fuel-replayed)
+            // even when the site table below hits, so consumption
+            // matches the single-shot builder, which evaluates every
+            // procedure.
+            let sym = self.cached_sym(program, pid, round, kills, call_sym, options, budget);
+
+            let key = ForwardKey {
+                closure_fp: round.closure_fps[pid.index()],
+                mod_info: round.mod_info,
+                gsa: round.gsa,
+                mode: round.mode,
+                kind,
+            };
+            let start = Instant::now();
+            match self.store.forward_procs.get(&key) {
+                Some(cached) => {
+                    self.stats.hit(SessionPhase::ForwardJf);
+                    per_proc.push((*cached.value).clone());
+                }
+                None => {
+                    self.stats.miss(SessionPhase::ForwardJf);
+                    let ssa = self.cached_ssa(program, pid, kills, round);
+                    let sites = site_jfs_for_proc(program, cg, modref, kind, pid, &ssa, &sym);
+                    self.store.forward_procs.insert(
+                        key,
+                        Cached {
+                            value: Rc::new(sites.clone()),
+                            fuel: 0,
+                        },
+                    );
+                    per_proc.push(sites);
+                }
+            }
+            self.stats
+                .record_wall(SessionPhase::ForwardJf, start.elapsed());
+        }
+        ForwardJumpFns::from_parts(per_proc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cached_solve(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        modref: &ModRefInfo,
+        jfs: &ForwardJumpFns,
+        kind: JumpFunctionKind,
+        solver: SolverKind,
+        round: &RoundCtx,
+        budget: &Budget,
+    ) -> Rc<ValSets> {
+        let key = SolveKey {
+            state_fp: round.state_fp,
+            mod_info: round.mod_info,
+            gsa: round.gsa,
+            mode: round.mode,
+            kind,
+            solver,
+        };
+        let start = Instant::now();
+        let vals = match self.store.solves.get(&key) {
+            Some(cached) => {
+                self.stats.hit(SessionPhase::Solve);
+                budget.checkpoint(Phase::Solver, cached.fuel);
+                Rc::clone(&cached.value)
+            }
+            None => {
+                self.stats.miss(SessionPhase::Solve);
+                let before = budget.fuel_consumed();
+                let v = match solver {
+                    SolverKind::CallGraph => solve_budgeted(program, cg, modref, jfs, budget),
+                    SolverKind::BindingGraph => {
+                        solve_binding_budgeted(program, cg, modref, jfs, budget)
+                    }
+                };
+                let fuel = budget.fuel_consumed() - before;
+                let v = Rc::new(v);
+                self.store.solves.insert(
+                    key,
+                    Cached {
+                        value: Rc::clone(&v),
+                        fuel,
+                    },
+                );
+                v
+            }
+        };
+        self.stats.record_wall(SessionPhase::Solve, start.elapsed());
+        vals
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cached_subst(
+        &mut self,
+        program: &Program,
+        cg: &CallGraph,
+        calls: &dyn CallLattice,
+        vals: Option<&ValSets>,
+        config: &AnalysisConfig,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+    ) -> Rc<SubstitutionCounts> {
+        let key = SubstKey {
+            state_fp: round.state_fp,
+            mod_info: round.mod_info,
+            gsa: round.gsa,
+            mode: round.mode,
+            forward: config
+                .interprocedural
+                .then_some((config.jump_function, config.solver)),
+        };
+        if let Some(counts) = self.store.substs.get(&key) {
+            self.stats.hit(SessionPhase::Subst);
+            return Rc::clone(counts);
+        }
+        self.stats.miss(SessionPhase::Subst);
+        // Prefetch SSA through the cache (substitution counting itself
+        // draws no fuel; SSA construction is fuel-free).
+        let ssas: Vec<Rc<SsaProc>> = program
+            .proc_ids()
+            .map(|pid| self.cached_ssa(program, pid, kills, round))
+            .collect();
+        let start = Instant::now();
+        let counts = Rc::new(count_substitutions_with_ssa(
+            program,
+            cg,
+            calls,
+            vals,
+            &|pid| Rc::clone(&ssas[pid.index()]),
+        ));
+        self.store.substs.insert(key, Rc::clone(&counts));
+        self.stats.record_wall(SessionPhase::Subst, start.elapsed());
+        counts
+    }
+
+    /// One SCCP + DCE step over a procedure, cached by closure
+    /// fingerprint and entry environment: after a DCE round, only
+    /// procedures whose IR changed (or whose callees' IR changed, or
+    /// whose entry `VAL` set moved) are re-processed.
+    #[allow(clippy::too_many_arguments)]
+    fn cached_dce_step(
+        &mut self,
+        program: &Program,
+        pid: ProcId,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        calls: &dyn CallLattice,
+        vals: Option<&ValSets>,
+        budget: &Budget,
+    ) -> DceStep {
+        let env_fp = fingerprint_debug(&vals.map(|v| v.of(pid)));
+        let key = DceKey {
+            closure_fp: round.closure_fps[pid.index()],
+            mod_info: round.mod_info,
+            gsa: round.gsa,
+            recovery: round.mode != CallSymMode::Pessimistic,
+            env_fp,
+        };
+        if let Some(cached) = self.store.dces.get(&key) {
+            self.stats.hit(SessionPhase::Dce);
+            budget.checkpoint(Phase::Sccp, cached.fuel);
+            return DceStep {
+                proc: cached.value.proc.clone(),
+                changed: cached.value.changed,
+            };
+        }
+        self.stats.miss(SessionPhase::Dce);
+        let ssa = self.cached_ssa(program, pid, kills, round);
+        let before = budget.fuel_consumed();
+        let proc_copy = program.proc(pid).clone();
+        let result = match vals {
+            Some(v) => {
+                let env = entry_env_of(program, pid, v);
+                sccp_budgeted(
+                    &proc_copy,
+                    &ssa,
+                    &SccpConfig {
+                        entry_env: &env,
+                        calls,
+                    },
+                    budget,
+                )
+            }
+            None => sccp_budgeted(
+                &proc_copy,
+                &ssa,
+                &SccpConfig {
+                    entry_env: &bottom_entry,
+                    calls,
+                },
+                budget,
+            ),
+        };
+        let mut proc = proc_copy;
+        let changed = dce_round(program, &mut proc, &ssa, &result, kills);
+        let fuel = budget.fuel_consumed() - before;
+        let step = DceStep {
+            proc: proc.clone(),
+            changed,
+        };
+        self.store.dces.insert(
+            key,
+            Cached {
+                value: Rc::new(DceStep { proc, changed }),
+                fuel,
+            },
+        );
+        step
+    }
+
+    /// The complete-propagation recount over the pristine program,
+    /// mirroring the single-shot `counting_pass` (which rebuilds its
+    /// side tables with *default* symbolic-evaluation options).
+    fn cached_counting_pass(
+        &mut self,
+        config: &AnalysisConfig,
+        vals: Option<&ValSets>,
+        final_fp: u64,
+        budget: &Budget,
+    ) -> Rc<SubstitutionCounts> {
+        let mut orig = self.base.clone();
+        let orig_fp = self.base_fp;
+        let key = CountingKey {
+            orig_fp,
+            final_fp,
+            mod_info: config.mod_info,
+            gsa: config.gsa,
+            mode: call_sym_mode(config),
+            rjf: config.return_jump_functions,
+            forward: config
+                .interprocedural
+                .then_some((config.jump_function, config.solver)),
+        };
+        if let Some(cached) = self.store.countings.get(&key) {
+            self.stats.hit(SessionPhase::Subst);
+            budget.checkpoint(Phase::ModRef, cached.fuel);
+            return Rc::clone(&cached.value);
+        }
+        self.stats.miss(SessionPhase::Subst);
+        let before = budget.fuel_consumed();
+
+        let cg = self.cached_call_graph(&orig, orig_fp);
+        let modref = self.cached_modref(&orig, &cg, orig_fp, budget);
+        augment_global_vars(&mut orig, &modref);
+        let closure_fps = self.cached_closures(&orig, &cg, orig_fp);
+        // The single-shot counting pass builds its return jump functions
+        // with default symbolic-evaluation options — gsa facets pinned to
+        // their defaults here for the same behaviour.
+        let round = RoundCtx {
+            state_fp: orig_fp,
+            closure_fps,
+            mod_info: config.mod_info,
+            gsa: false,
+            mode: call_sym_mode(config),
+        };
+        let counts = {
+            let orig = &orig;
+            let mod_kills;
+            let kills: &dyn KillOracle = if config.mod_info {
+                mod_kills = ModKills::new(orig, &modref);
+                &mod_kills
+            } else {
+                &WorstCaseKills
+            };
+            let rjfs = if config.return_jump_functions {
+                self.cached_return_jfs(orig, &cg, &round, kills, SymEvalOptions::default(), budget)
+            } else {
+                ReturnJumpFns::empty(orig.procs.len())
+            };
+            let rjf_lattice = RjfLattice { rjfs: &rjfs };
+            let calls: &dyn CallLattice = if round.mode != CallSymMode::Pessimistic {
+                &rjf_lattice
+            } else {
+                &PessimisticCalls
+            };
+            let ssas: Vec<Rc<SsaProc>> = orig
+                .proc_ids()
+                .map(|pid| self.cached_ssa(orig, pid, kills, &round))
+                .collect();
+            let start = Instant::now();
+            let counts = Rc::new(count_substitutions_with_ssa(
+                orig,
+                &cg,
+                calls,
+                vals,
+                &|pid| Rc::clone(&ssas[pid.index()]),
+            ));
+            self.stats.record_wall(SessionPhase::Subst, start.elapsed());
+            counts
+        };
+        let fuel = budget.fuel_consumed() - before;
+        self.store.countings.insert(
+            key,
+            Cached {
+                value: Rc::clone(&counts),
+                fuel,
+            },
+        );
+        counts
+    }
+}
+
+/// Per-procedure closure fingerprints: each procedure's own IR combined
+/// with the IR of every transitively reachable callee plus the global
+/// table. Any artifact derived from a procedure reads at most this set,
+/// so the closure fingerprint is a sound cache key — and after a DCE
+/// round it changes exactly for the procedures whose own IR changed plus
+/// their call-graph dependents, which is what makes complete propagation
+/// incremental.
+fn closure_fingerprints(program: &Program, cg: &CallGraph) -> Vec<u64> {
+    let proc_fps: Vec<u64> = program.procs.iter().map(fingerprint_debug).collect();
+    let globals_fp = fingerprint_debug(&(&program.globals, program.main));
+    program
+        .proc_ids()
+        .map(|pid| {
+            let mut seen = vec![false; program.procs.len()];
+            seen[pid.index()] = true;
+            let mut stack = vec![pid];
+            while let Some(p) = stack.pop() {
+                for site in cg.sites(p) {
+                    if !seen[site.callee.index()] {
+                        seen[site.callee.index()] = true;
+                        stack.push(site.callee);
+                    }
+                }
+            }
+            let mut parts = vec![globals_fp, proc_fps[pid.index()]];
+            for (i, in_closure) in seen.iter().enumerate() {
+                if *in_closure {
+                    parts.push(i as u64);
+                    parts.push(proc_fps[i]);
+                }
+            }
+            combine(parts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{analyze, analyze_with_budget_reference};
+
+    const OCEAN_LIKE: &str = "\
+global n\nglobal m\n\
+proc init()\nn = 64\nm = 32\nend\n\
+proc compute(k)\nx = n\ny = m\nz = k\nprint(x + y + z)\nend\n\
+main\ncall init()\ncall compute(8)\nend\n";
+
+    const DEAD_GUARD: &str = "\
+proc f(debug)\n\
+if debug then\n\
+read(q)\nx = q\n\
+else\n\
+x = 3\n\
+end\n\
+print(x)\nend\n\
+main\ncall f(0)\nend\n";
+
+    fn assert_outcomes_equal(a: &AnalysisOutcome, b: &AnalysisOutcome, what: &str) {
+        assert_eq!(a.program, b.program, "{what}: program");
+        assert_eq!(a.constants, b.constants, "{what}: constants");
+        assert_eq!(a.substitutions, b.substitutions, "{what}: substitutions");
+        assert_eq!(a.stats, b.stats, "{what}: stats");
+        assert_eq!(a.robustness, b.robustness, "{what}: robustness");
+    }
+
+    fn sweep_configs() -> Vec<AnalysisConfig> {
+        let mut configs = Vec::new();
+        for kind in JumpFunctionKind::ALL {
+            for rjf in [true, false] {
+                configs.push(AnalysisConfig {
+                    jump_function: kind,
+                    return_jump_functions: rjf,
+                    ..AnalysisConfig::default()
+                });
+            }
+        }
+        configs.push(AnalysisConfig {
+            mod_info: false,
+            ..AnalysisConfig::default()
+        });
+        configs.push(AnalysisConfig {
+            complete_propagation: true,
+            ..AnalysisConfig::default()
+        });
+        configs.push(AnalysisConfig::intraprocedural_baseline());
+        configs.push(AnalysisConfig {
+            gsa: true,
+            ..AnalysisConfig::default()
+        });
+        configs.push(AnalysisConfig {
+            rjf_full_composition: true,
+            ..AnalysisConfig::default()
+        });
+        configs.push(AnalysisConfig {
+            solver: SolverKind::BindingGraph,
+            ..AnalysisConfig::default()
+        });
+        configs
+    }
+
+    #[test]
+    fn session_sweep_matches_reference_pipeline() {
+        for src in [OCEAN_LIKE, DEAD_GUARD] {
+            let program = ipcp_ir::compile_to_ir(src).unwrap();
+            let mut session = AnalysisSession::new(&program);
+            for (i, config) in sweep_configs().iter().enumerate() {
+                let got = session.analyze(config);
+                let want = analyze_with_budget_reference(
+                    &program,
+                    config,
+                    &Budget::for_limit(config.fuel),
+                );
+                assert_outcomes_equal(&got, &want, &format!("config #{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_analyses_hit_the_store() {
+        let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
+        let mut session = AnalysisSession::new(&program);
+        let first = session.analyze(&AnalysisConfig::default());
+        let cold_misses = session.stats().total_misses();
+        assert!(cold_misses > 0, "cold run computes artifacts");
+        let second = session.analyze(&AnalysisConfig::default());
+        assert_outcomes_equal(&first, &second, "warm rerun");
+        assert_eq!(
+            session.stats().total_misses(),
+            cold_misses,
+            "warm rerun computes nothing new"
+        );
+        assert!(session.stats().total_hits() > 5, "warm rerun hits");
+        assert!(!session.store().is_empty());
+    }
+
+    #[test]
+    fn config_sweep_reuses_config_independent_artifacts() {
+        let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
+        let mut session = AnalysisSession::new(&program);
+        session.analyze(&AnalysisConfig::default());
+        let ssa_misses = session.stats().counter(SessionPhase::Ssa).misses;
+        // A different jump-function kind shares SSA, MOD/REF, call graph,
+        // symbolic values and return jump functions.
+        session.analyze(&AnalysisConfig {
+            jump_function: JumpFunctionKind::PassThrough,
+            ..AnalysisConfig::default()
+        });
+        assert_eq!(
+            session.stats().counter(SessionPhase::Ssa).misses,
+            ssa_misses,
+            "no new SSA for a JF-kind change"
+        );
+        assert_eq!(session.stats().counter(SessionPhase::SymVals).misses, 3);
+        assert!(session.stats().counter(SessionPhase::ReturnJf).hits >= 3);
+    }
+
+    #[test]
+    fn incremental_complete_propagation_reuses_unchanged_procs() {
+        // DEAD_GUARD's DCE only rewrites `f`; `main` keeps its fingerprint,
+        // but as a caller of `f` its closure changes — while `f`'s leaf
+        // position means round 2 must still re-derive only what changed.
+        let program = ipcp_ir::compile_to_ir(DEAD_GUARD).unwrap();
+        let mut session = AnalysisSession::new(&program);
+        let complete = AnalysisConfig {
+            complete_propagation: true,
+            ..AnalysisConfig::default()
+        };
+        let out = session.analyze(&complete);
+        assert!(out.stats.dce_rounds >= 1);
+        let want = analyze(&program, &complete);
+        assert_outcomes_equal(&out, &want, "complete propagation");
+        // Rerunning is a pure replay: every phase hits.
+        let misses = session.stats().total_misses();
+        session.analyze(&complete);
+        assert_eq!(session.stats().total_misses(), misses);
+    }
+
+    #[test]
+    fn metered_budgets_take_the_reference_path() {
+        let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
+        let mut session = AnalysisSession::new(&program);
+        let config = AnalysisConfig {
+            fuel: Some(40),
+            ..AnalysisConfig::default()
+        };
+        let got = session.analyze(&config);
+        let want = analyze(&program, &config);
+        assert_outcomes_equal(&got, &want, "fuel-limited");
+        assert!(session.store().is_empty(), "metered runs never cache");
+        assert!(session.stats().counter(SessionPhase::Pipeline).wall_nanos > 0);
+    }
+
+    #[test]
+    fn checked_analysis_propagates_exhaustion_policy() {
+        let mut session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
+        let config = AnalysisConfig {
+            fuel: Some(3),
+            on_exhausted: ExhaustionPolicy::Error,
+            ..AnalysisConfig::default()
+        };
+        assert!(session.analyze_checked(&config).is_err());
+        assert!(session.analyze_checked(&AnalysisConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn stats_render_as_json_and_text() {
+        let mut session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
+        session.analyze(&AnalysisConfig::default());
+        let json = session.stats().to_json();
+        assert!(json.starts_with("{\"analyses\":1,\"rounds\":1,\"phases\":{"));
+        assert!(json.contains("\"ssa\":{\"wall_us\":"));
+        let text = session.stats().to_string();
+        assert!(text.contains("phase"));
+        assert!(text.contains("ssa"));
+    }
+}

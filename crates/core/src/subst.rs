@@ -39,13 +39,29 @@ pub fn count_substitutions(
     calls: &dyn CallLattice,
     vals: Option<&ValSets>,
 ) -> SubstitutionCounts {
+    count_substitutions_with_ssa(program, cg, calls, vals, &|pid| {
+        std::rc::Rc::new(build_ssa(program, program.proc(pid), kills))
+    })
+}
+
+/// [`count_substitutions`] with a caller-supplied SSA provider, so the
+/// session can feed cached SSA artifacts instead of rebuilding them per
+/// counting pass. The provider must return the SSA form `build_ssa`
+/// would produce for the same program and kill oracle.
+pub fn count_substitutions_with_ssa(
+    program: &Program,
+    cg: &CallGraph,
+    calls: &dyn CallLattice,
+    vals: Option<&ValSets>,
+    ssa_of: &dyn Fn(ipcp_ir::ProcId) -> std::rc::Rc<ipcp_ssa::SsaProc>,
+) -> SubstitutionCounts {
     let mut per_proc = vec![0usize; program.procs.len()];
     for pid in program.proc_ids() {
         if !cg.is_reachable(pid) {
             continue;
         }
         let proc = program.proc(pid);
-        let ssa = build_ssa(program, proc, kills);
+        let ssa = ssa_of(pid);
         let bottom = ipcp_analysis::sccp::bottom_entry;
         let result = match vals {
             Some(v) => {

@@ -1,0 +1,115 @@
+//! Content fingerprints over IR values.
+//!
+//! The analysis session (`ipcp-core`) keys cached artifacts by *what the
+//! phase actually read*: a procedure's own IR, the IR of its transitive
+//! callees, and the handful of configuration facets the phase consults.
+//! The IR side of those keys is a 64-bit FNV-1a hash of the value's
+//! `Debug` rendering — deterministic within a process, allocation-free
+//! (the hasher implements [`fmt::Write`] and consumes the formatter's
+//! output directly), and sensitive to every structural detail the
+//! derived `Debug` impls expose, which for this IR is the entire value.
+//!
+//! These fingerprints are *cache keys*, not cryptographic digests: a
+//! collision costs a stale artifact, so the 64-bit space is only
+//! acceptable because session stores hold at most thousands of entries.
+
+use std::fmt::{self, Write};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher usable as a [`fmt::Write`] sink.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian), e.g. another fingerprint.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// The digest accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Fingerprints any `Debug` value by streaming its rendering through
+/// FNV-1a, without materializing the string.
+pub fn fingerprint_debug<T: fmt::Debug + ?Sized>(value: &T) -> u64 {
+    let mut hasher = Fnv1a::new();
+    // Writing into an FNV sink cannot fail.
+    let _ = write!(hasher, "{value:?}");
+    hasher.finish()
+}
+
+/// Folds already-computed fingerprints (order-sensitive) into one.
+pub fn combine(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hasher = Fnv1a::new();
+    for part in parts {
+        hasher.write_u64(part);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(fingerprint_debug("abc"), fingerprint_debug("abc"));
+        assert_ne!(fingerprint_debug("abc"), fingerprint_debug("abd"));
+        assert_ne!(fingerprint_debug(&1u32), fingerprint_debug(&2u32));
+    }
+
+    #[test]
+    fn streaming_matches_string_hash() {
+        let value = vec![1u8, 2, 3];
+        let rendered = format!("{value:?}");
+        let mut h = Fnv1a::new();
+        h.write_bytes(rendered.as_bytes());
+        assert_eq!(fingerprint_debug(&value), h.finish());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_eq!(combine([1, 2, 3]), combine([1, 2, 3]));
+        assert_ne!(combine([1, 2, 3]), combine([3, 2, 1]));
+        assert_ne!(combine([]), combine([0]));
+    }
+
+    #[test]
+    fn program_fingerprints_track_edits() {
+        let a = crate::compile_to_ir("main\nx = 1\nprint(x)\nend\n").unwrap();
+        let b = crate::compile_to_ir("main\nx = 2\nprint(x)\nend\n").unwrap();
+        assert_eq!(fingerprint_debug(&a), fingerprint_debug(&a.clone()));
+        assert_ne!(fingerprint_debug(&a), fingerprint_debug(&b));
+    }
+}

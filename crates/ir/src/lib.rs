@@ -26,6 +26,7 @@
 //! ```
 
 pub mod eval;
+pub mod fingerprint;
 pub mod ids;
 pub mod instr;
 pub mod lower;

@@ -1032,7 +1032,11 @@ mod tests {
     fn pathological_paren_nesting_is_a_diagnostic_not_an_abort() {
         // Deep enough to overflow the parser's call stack without the
         // depth guard; must come back as an ordinary parse error.
-        let deep = format!("main\nx = {}1{}\nend\n", "(".repeat(50_000), ")".repeat(50_000));
+        let deep = format!(
+            "main\nx = {}1{}\nend\n",
+            "(".repeat(50_000),
+            ")".repeat(50_000)
+        );
         let msg = parse_err(&deep);
         assert!(msg.contains("nesting exceeds"), "{msg}");
     }
@@ -1058,7 +1062,11 @@ mod tests {
     #[test]
     fn reasonable_nesting_still_parses() {
         let depth = 48;
-        let src = format!("main\nx = {}1{}\nend\n", "(".repeat(depth), ")".repeat(depth));
+        let src = format!(
+            "main\nx = {}1{}\nend\n",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
         parse_ok(&src);
     }
 

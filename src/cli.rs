@@ -20,6 +20,9 @@ pub struct Cli {
     pub clone_procedures: bool,
     /// `read` inputs for `run` (from `--input a,b,c`).
     pub input: Vec<i64>,
+    /// Whether `analyze` should print per-phase wall-clock and cache
+    /// statistics from the analysis session (`--timings`).
+    pub timings: bool,
 }
 
 /// Subcommands of the `ipcp` binary.
@@ -96,6 +99,8 @@ options:
   --input <a,b,c>                 read() inputs for `run`
   --fuel <N>                      analysis fuel budget (default unlimited);
                                   exhausted phases degrade gracefully
+  --timings                       print per-phase wall-clock + cache stats
+                                  of the analysis session (`analyze` only)
   --on-exhausted <degrade|error>  what fuel exhaustion means (default degrade)
 ";
 
@@ -118,6 +123,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut config = AnalysisConfig::default();
     let mut input = Vec::new();
     let mut clone_procedures = false;
+    let mut timings = false;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--jf" => {
@@ -144,6 +150,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             "--composition" => config.rjf_full_composition = true,
             "--gsa" => config.gsa = true,
             "--clone" => clone_procedures = true,
+            "--timings" => timings = true,
             "--binding-solver" => config.solver = SolverKind::BindingGraph,
             "--fuel" => {
                 let n = it
@@ -191,6 +198,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         config,
         clone_procedures,
         input,
+        timings,
     })
 }
 
@@ -211,8 +219,10 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
     match cli.command {
         Command::Analyze => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
-            let outcome =
-                crate::core::analyze_checked(&program, &cli.config).map_err(|e| e.to_string())?;
+            let mut session = crate::core::AnalysisSession::new(&program);
+            let outcome = session
+                .analyze_checked(&cli.config)
+                .map_err(|e| e.to_string())?;
             let mut out = String::new();
             out.push_str(&report::constants_to_string(&outcome));
             out.push('\n');
@@ -223,6 +233,13 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
             let robustness = report::robustness_to_string(&outcome);
             if !robustness.is_empty() {
                 let _ = write!(out, "\n{robustness}");
+            }
+            if cli.timings {
+                let _ = write!(
+                    out,
+                    "\nphase timings (analysis session):\n{}",
+                    session.stats()
+                );
             }
             Ok(out)
         }
@@ -446,6 +463,21 @@ mod tests {
         let out = execute(&cli, PROGRAM).unwrap();
         assert!(out.contains("CONSTANTS(f)"), "{out}");
         assert!(out.contains("a = 5"), "{out}");
+    }
+
+    #[test]
+    fn parse_and_execute_timings() {
+        let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        assert!(!plain.timings);
+        let cli = parse_args(&args(&["analyze", "x.mf", "--timings"])).unwrap();
+        assert!(cli.timings);
+        let out = execute(&cli, PROGRAM).unwrap();
+        assert!(out.contains("phase timings"), "{out}");
+        assert!(out.contains("ssa"), "{out}");
+        assert!(out.contains("misses"), "{out}");
+        // Without the flag the output is unchanged.
+        let quiet = execute(&plain, PROGRAM).unwrap();
+        assert!(!quiet.contains("phase timings"), "{quiet}");
     }
 
     #[test]

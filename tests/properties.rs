@@ -416,13 +416,22 @@ fn deep_call_chain_completes_under_tiny_fuel() {
     let full = analyze(&ir, &AnalysisConfig::default());
     assert!(full.constant_slot_count() >= depth as usize);
     for fuel in [0, 1, 7, 50, 500] {
-        let out = analyze(&ir, &AnalysisConfig { fuel: Some(fuel), ..Default::default() });
+        let out = analyze(
+            &ir,
+            &AnalysisConfig {
+                fuel: Some(fuel),
+                ..Default::default()
+            },
+        );
         for (full_consts, degraded) in full.constants.iter().zip(out.constants.iter()) {
             for (slot, value) in degraded {
                 assert_eq!(full_consts.get(slot), Some(value), "fuel {fuel}");
             }
         }
-        assert!(out.robustness.exhausted, "fuel {fuel} should starve the chain");
+        assert!(
+            out.robustness.exhausted,
+            "fuel {fuel} should starve the chain"
+        );
     }
 }
 
@@ -434,11 +443,130 @@ proc odd(n)\nif n > 0 then\ncall even(n - 1)\nend\nend\n\
 main\ncall even(8)\nend\n";
     let ir = ipcp::ir::compile_to_ir(src).expect("compiles");
     for fuel in 0..40u64 {
-        let out = analyze(&ir, &AnalysisConfig { fuel: Some(fuel), ..Default::default() });
+        let out = analyze(
+            &ir,
+            &AnalysisConfig {
+                fuel: Some(fuel),
+                ..Default::default()
+            },
+        );
         // No panic, no divergence; a starved run records why it is coarse.
         if out.robustness.exhausted {
             assert!(out.robustness.total_degradations() > 0, "fuel {fuel}");
         }
+    }
+}
+
+// ---- analysis-session properties -------------------------------------------
+
+/// A random point in the full configuration space, including fuel-limited
+/// corners (which the session routes through the reference pipeline).
+fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
+    use ipcp::core::{ExhaustionPolicy, SolverKind};
+    (
+        proptest::sample::select(JumpFunctionKind::ALL.to_vec()),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        (proptest::bool::ANY, proptest::bool::ANY),
+        proptest::sample::select(vec![SolverKind::CallGraph, SolverKind::BindingGraph]),
+        proptest::sample::select(vec![None, Some(0u64), Some(50), Some(5000)]),
+    )
+        .prop_map(
+            |(
+                jump_function,
+                rjf,
+                mod_info,
+                complete,
+                interprocedural,
+                (compose, gsa),
+                solver,
+                fuel,
+            )| {
+                AnalysisConfig {
+                    jump_function,
+                    return_jump_functions: rjf,
+                    mod_info,
+                    complete_propagation: complete,
+                    interprocedural,
+                    rjf_full_composition: compose,
+                    solver,
+                    gsa,
+                    fuel,
+                    on_exhausted: ExhaustionPolicy::Degrade,
+                }
+            },
+        )
+}
+
+/// Field-by-field outcome equality (the outcome struct itself is not
+/// `PartialEq`).
+fn assert_outcomes_identical(
+    got: &ipcp::core::AnalysisOutcome,
+    want: &ipcp::core::AnalysisOutcome,
+    what: &str,
+) {
+    assert_eq!(got.program, want.program, "{what}: program");
+    assert_eq!(got.constants, want.constants, "{what}: constants");
+    assert_eq!(
+        got.substitutions, want.substitutions,
+        "{what}: substitutions"
+    );
+    assert_eq!(got.stats, want.stats, "{what}: stats");
+    assert_eq!(got.robustness, want.robustness, "{what}: robustness");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// One shared session, an arbitrary sweep of configurations: every
+    /// outcome — program, CONSTANTS, substitution counts, cost stats, and
+    /// the robustness report — is identical to the pre-session
+    /// straight-line pipeline run fresh per configuration.
+    #[test]
+    fn session_sweep_equivalent_to_reference(
+        src in program(),
+        configs in proptest::collection::vec(arb_config(), 1..5),
+    ) {
+        use ipcp::core::{analyze_reference, AnalysisSession};
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let mut session = AnalysisSession::new(&ir);
+        for (i, config) in configs.iter().enumerate() {
+            let got = session.analyze(config);
+            let want = analyze_reference(&ir, config);
+            assert_outcomes_identical(&got, &want, &format!("config #{i}: {config:?}"));
+        }
+    }
+
+    /// Incremental complete propagation (invalidate only fingerprints
+    /// that moved) reaches exactly the fixpoint of the reference restart
+    /// loop — and replaying the converged analysis is pure cache traffic.
+    #[test]
+    fn incremental_complete_propagation_matches_restart_loop(
+        src in program(),
+        kind in proptest::sample::select(JumpFunctionKind::ALL.to_vec()),
+        gsa in proptest::bool::ANY,
+    ) {
+        use ipcp::core::{analyze_reference, AnalysisSession};
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let config = AnalysisConfig {
+            jump_function: kind,
+            complete_propagation: true,
+            gsa,
+            ..AnalysisConfig::default()
+        };
+        let mut session = AnalysisSession::new(&ir);
+        let got = session.analyze(&config);
+        let want = analyze_reference(&ir, &config);
+        assert_outcomes_identical(&got, &want, "complete propagation");
+
+        // The converged state is fully memoized: re-analyzing computes
+        // nothing new, whatever the DCE round count was.
+        let misses = session.stats().total_misses();
+        let again = session.analyze(&config);
+        assert_outcomes_identical(&again, &want, "replay");
+        prop_assert_eq!(session.stats().total_misses(), misses, "replay computed artifacts");
     }
 }
 

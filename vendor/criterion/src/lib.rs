@@ -76,7 +76,10 @@ fn run_one(name: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
         .get(bencher.samples.len() / 2)
         .copied()
         .unwrap_or_default();
-    println!("bench: {name:<60} median {median:>12.3?} ({} samples)", bencher.samples.len());
+    println!(
+        "bench: {name:<60} median {median:>12.3?} ({} samples)",
+        bencher.samples.len()
+    );
 }
 
 /// A named group of related benchmarks.

@@ -83,7 +83,10 @@ pub mod test_runner {
                 body(value);
             }));
             if let Err(payload) = outcome {
-                eprintln!("proptest: case {case}/{} failed for input:\n{shown}", config.cases);
+                eprintln!(
+                    "proptest: case {case}/{} failed for input:\n{shown}",
+                    config.cases
+                );
                 std::panic::resume_unwind(payload);
             }
         }
@@ -226,7 +229,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
 }
 
 // ---- macros ---------------------------------------------------------------
