@@ -9,6 +9,9 @@
 //! * [`modref`] — interprocedural MOD/REF side-effect summaries
 //!   (Cooper–Kennedy style, alias-free FORTRAN rules) and the
 //!   MOD-backed SSA kill oracle,
+//! * [`par`] — the dependency-free scoped thread pool behind the
+//!   deterministic parallel analysis engine (per-procedure fan-out and
+//!   SCC-wave scheduling),
 //! * [`lattice`] — the constant lattice of the paper's Figure 1,
 //! * [`poly`] / [`symexpr`] — polynomials and context-independent
 //!   symbolic expressions over entry slots,
@@ -31,6 +34,7 @@ pub mod callgraph;
 pub mod dce;
 pub mod lattice;
 pub mod modref;
+pub mod par;
 pub mod poly;
 pub mod sccp;
 pub mod subscripts;
@@ -42,9 +46,10 @@ pub use budget::{Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, Rob
 pub use callgraph::{CallGraph, CallSite};
 pub use lattice::LatticeVal;
 pub use modref::{
-    augment_global_vars, compute_modref, compute_modref_budgeted, slot_of_var, ModKills,
-    ModRefInfo, Slot,
+    augment_global_vars, compute_modref, compute_modref_budgeted, compute_modref_par, slot_of_var,
+    ModKills, ModRefInfo, Slot,
 };
+pub use par::{par_map, scc_waves, Parallelism, PAR_WAVE_MIN};
 pub use poly::{Poly, PolyCaps};
 pub use sccp::{
     bottom_entry, sccp, sccp_budgeted, CallLattice, PessimisticCalls, SccpConfig, SccpResult,

@@ -167,39 +167,10 @@ pub fn compute_modref_budgeted(program: &Program, cg: &CallGraph, budget: &Budge
                     return worst_case_modref(program);
                 }
                 let proc = program.proc(pid);
-                let mut new_mods = Vec::new();
-                let mut new_refs = Vec::new();
-                for site in cg.sites(pid) {
-                    let Instr::Call { callee, args, .. } =
-                        &proc.block(site.block).instrs[site.index]
-                    else {
-                        unreachable!("call site indexes a call");
-                    };
-                    for slot in &mods[callee.index()] {
-                        match slot {
-                            Slot::Formal(k) => {
-                                let arg = &args[*k as usize];
-                                if arg.by_ref {
-                                    if let Some(v) = arg.value.as_var() {
-                                        if let Some(s) = slot_of_var(proc, v) {
-                                            new_mods.push(s);
-                                        }
-                                    }
-                                }
-                            }
-                            Slot::Global(g) => new_mods.push(Slot::Global(*g)),
-                            Slot::Result => {}
-                        }
-                    }
-                    for slot in &refs[callee.index()] {
-                        // Formal refs are covered by the caller's direct
-                        // operand scan (the actual's value is an operand of
-                        // the call); only global refs propagate.
-                        if let Slot::Global(g) = slot {
-                            new_refs.push(Slot::Global(*g));
-                        }
-                    }
-                }
+                let (new_mods, new_refs) =
+                    transitive_effects(proc, cg.sites(pid), &|c| mods[c.index()].clone(), &|c| {
+                        refs[c.index()].clone()
+                    });
                 for s in new_mods {
                     if mods[pid.index()].insert(s) {
                         changed = true;
@@ -209,6 +180,162 @@ pub fn compute_modref_budgeted(program: &Program, cg: &CallGraph, budget: &Budge
                     if refs[pid.index()].insert(s) {
                         changed = true;
                     }
+                }
+            }
+        }
+    }
+
+    ModRefInfo { mods, refs }
+}
+
+/// The slots one transitive step propagates into `proc` from its call
+/// sites, given the current callee summaries. Shared by the sequential
+/// fixpoint and the SCC-wave parallel fixpoint so both see identical
+/// propagation rules.
+fn transitive_effects(
+    proc: &Procedure,
+    sites: &[crate::callgraph::CallSite],
+    callee_mods: &dyn Fn(ProcId) -> BTreeSet<Slot>,
+    callee_refs: &dyn Fn(ProcId) -> BTreeSet<Slot>,
+) -> (Vec<Slot>, Vec<Slot>) {
+    let mut new_mods = Vec::new();
+    let mut new_refs = Vec::new();
+    for site in sites {
+        let Instr::Call { callee, args, .. } = &proc.block(site.block).instrs[site.index] else {
+            unreachable!("call site indexes a call");
+        };
+        for slot in callee_mods(*callee) {
+            match slot {
+                Slot::Formal(k) => {
+                    let arg = &args[k as usize];
+                    if arg.by_ref {
+                        if let Some(v) = arg.value.as_var() {
+                            if let Some(s) = slot_of_var(proc, v) {
+                                new_mods.push(s);
+                            }
+                        }
+                    }
+                }
+                Slot::Global(g) => new_mods.push(Slot::Global(g)),
+                Slot::Result => {}
+            }
+        }
+        for slot in callee_refs(*callee) {
+            // Formal refs are covered by the caller's direct operand scan
+            // (the actual's value is an operand of the call); only global
+            // refs propagate.
+            if let Slot::Global(g) = slot {
+                new_refs.push(Slot::Global(g));
+            }
+        }
+    }
+    (new_mods, new_refs)
+}
+
+/// One transitive step over a whole SCC against a snapshot of the global
+/// summaries. Members are visited in SCC order and see each other's
+/// updates through a local overlay — exactly the data the sequential
+/// bottom-up iteration would read, because same-wave SCCs never call
+/// each other and lower waves are already merged into `mods`/`refs`.
+#[allow(clippy::type_complexity)]
+fn scc_transitive_step(
+    program: &Program,
+    cg: &CallGraph,
+    members: &[ProcId],
+    mods: &[BTreeSet<Slot>],
+    refs: &[BTreeSet<Slot>],
+) -> (Vec<(ProcId, BTreeSet<Slot>, BTreeSet<Slot>)>, bool) {
+    let mut local: Vec<(ProcId, BTreeSet<Slot>, BTreeSet<Slot>)> = members
+        .iter()
+        .map(|&p| (p, mods[p.index()].clone(), refs[p.index()].clone()))
+        .collect();
+    let mut changed = false;
+    for idx in 0..members.len() {
+        let pid = members[idx];
+        let proc = program.proc(pid);
+        let (new_mods, new_refs) = transitive_effects(
+            proc,
+            cg.sites(pid),
+            &|c| match members.iter().position(|&m| m == c) {
+                Some(j) => local[j].1.clone(),
+                None => mods[c.index()].clone(),
+            },
+            &|c| match members.iter().position(|&m| m == c) {
+                Some(j) => local[j].2.clone(),
+                None => refs[c.index()].clone(),
+            },
+        );
+        let entry = &mut local[idx];
+        for s in new_mods {
+            if entry.1.insert(s) {
+                changed = true;
+            }
+        }
+        for s in new_refs {
+            if entry.2.insert(s) {
+                changed = true;
+            }
+        }
+    }
+    (local, changed)
+}
+
+/// Computes MOD/REF summaries with the transitive fixpoint scheduled in
+/// SCC-condensation waves: every SCC of one reverse-topological level
+/// runs concurrently, and each wave's results merge before the next wave
+/// starts. Bit-identical to [`compute_modref_budgeted`] (same data reads,
+/// same pass count, same fuel draw) at any `jobs` value; with `jobs <= 1`
+/// it simply delegates to the sequential fixpoint.
+pub fn compute_modref_par(
+    program: &Program,
+    cg: &CallGraph,
+    budget: &Budget,
+    jobs: usize,
+) -> ModRefInfo {
+    if jobs <= 1 {
+        return compute_modref_budgeted(program, cg, budget);
+    }
+    let pids: Vec<ProcId> = program.proc_ids().collect();
+
+    // Direct (local) effects: per-procedure fan-out, merged in ProcId
+    // order by construction.
+    let mut mods: Vec<BTreeSet<Slot>> = Vec::with_capacity(pids.len());
+    let mut refs: Vec<BTreeSet<Slot>> = Vec::with_capacity(pids.len());
+    for (m, r) in crate::par::par_map(jobs, &pids, |_, &pid| direct_effects(program.proc(pid))) {
+        mods.push(m);
+        refs.push(r);
+    }
+
+    let sccs = cg.sccs();
+    let waves = crate::par::scc_waves(cg);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for wave in &waves {
+            // Fuel: one unit per procedure visit, drawn deterministically
+            // on the calling thread — the same count per pass as the
+            // sequential fixpoint.
+            for &si in wave {
+                for _ in &sccs[si] {
+                    if !budget.checkpoint(Phase::ModRef, 1) {
+                        budget.record_degradation(Phase::ModRef);
+                        return worst_case_modref(program);
+                    }
+                }
+            }
+            let wave_jobs = if wave.len() >= crate::par::PAR_WAVE_MIN {
+                jobs
+            } else {
+                1
+            };
+            let results = crate::par::par_map(wave_jobs, wave, |_, &si| {
+                scc_transitive_step(program, cg, &sccs[si], &mods, &refs)
+            });
+            for (updates, scc_changed) in results {
+                changed |= scc_changed;
+                for (pid, m, r) in updates {
+                    mods[pid.index()] = m;
+                    refs[pid.index()] = r;
                 }
             }
         }
@@ -531,6 +658,34 @@ main\ncall ping(4)\nend\n";
         assert!(killed_names.contains(&"g".to_string()), "{killed_names:?}");
         assert!(!killed_names.contains(&"x".to_string()), "{killed_names:?}");
         assert!(!killed_names.contains(&"h".to_string()), "{killed_names:?}");
+    }
+
+    #[test]
+    fn parallel_fixpoint_matches_sequential_bit_for_bit() {
+        let sources = [
+            "global c\nproc inner()\nc = 5\nend\nproc outer()\ncall inner()\nend\nmain\ncall outer()\nend\n",
+            "global depth\n\
+             proc ping(n)\ndepth = depth + 1\nif n > 0 then\ncall pong(n - 1)\nend\nend\n\
+             proc pong(n)\nif n > 0 then\ncall ping(n - 1)\nend\nend\n\
+             main\ncall ping(4)\nend\n",
+            "proc h(x)\nx = 1\nend\nproc g(y)\ncall h(y)\nend\nmain\ncall g(z)\nend\n",
+        ];
+        for src in sources {
+            let program = compile_to_ir(src).unwrap();
+            let cg = CallGraph::new(&program);
+            let seq_budget = Budget::unlimited();
+            let seq = compute_modref_budgeted(&program, &cg, &seq_budget);
+            for jobs in [0, 1, 2, 8] {
+                let par_budget = Budget::unlimited();
+                let par = compute_modref_par(&program, &cg, &par_budget, jobs);
+                for pid in program.proc_ids() {
+                    assert_eq!(seq.mods(pid), par.mods(pid), "mods of {pid:?} at {jobs}");
+                    assert_eq!(seq.refs(pid), par.refs(pid), "refs of {pid:?} at {jobs}");
+                }
+                // Identical pass count → identical fuel draw.
+                assert_eq!(seq_budget.fuel_consumed(), par_budget.fuel_consumed());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! A dependency-free scoped thread pool for the parallel analysis
+//! engine.
+//!
+//! The workspace is offline (no rayon), so this module provides the
+//! minimal primitive the analyses need: [`par_map`], a deterministic
+//! fork/join map built on [`std::thread::scope`] with chunked
+//! self-scheduling — workers claim contiguous index ranges from a shared
+//! atomic cursor, so load balances like a work-stealing deque without
+//! the deque. Determinism comes from the *merge*, not the schedule:
+//! every worker tags results with their item index and the caller
+//! receives them in input order, bit-identical at any thread count.
+//!
+//! [`Parallelism`] is the knob plumbed from the CLI/config down to the
+//! fan-outs; [`scc_waves`] levels a call graph's SCC condensation so
+//! bottom-up passes (MOD/REF, return jump functions) can run every SCC
+//! of a reverse-topological level concurrently.
+
+use crate::callgraph::CallGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum wave width worth a fork/join: a thread spawn costs tens of
+/// microseconds, so narrow waves (deep call chains degenerate to one SCC
+/// per level) run inline and only wide levels fan out.
+pub const PAR_WAVE_MIN: usize = 4;
+
+/// Degree of parallelism for the analysis engine.
+///
+/// `jobs == 0` and `jobs == 1` both mean sequential execution; any
+/// higher value caps the worker threads a fan-out may use. Results are
+/// bit-identical at every setting — parallelism only changes wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Requested worker threads (0 is treated as 1).
+    pub jobs: usize,
+}
+
+impl Parallelism {
+    /// Sequential execution.
+    pub fn sequential() -> Self {
+        Parallelism { jobs: 1 }
+    }
+
+    /// The effective worker count: 0 is treated as 1.
+    pub fn effective(self) -> usize {
+        self.jobs.max(1)
+    }
+
+    /// Whether fan-outs actually spawn workers.
+    pub fn is_parallel(self) -> bool {
+        self.effective() > 1
+    }
+
+    /// The machine's available parallelism (1 when undetectable).
+    pub fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The `IPCP_JOBS` environment override, when set and parseable.
+    pub fn from_env() -> Option<usize> {
+        std::env::var("IPCP_JOBS").ok()?.trim().parse().ok()
+    }
+
+    /// The library default: `IPCP_JOBS` when set, else sequential.
+    pub fn default_jobs() -> usize {
+        Self::from_env().unwrap_or(1)
+    }
+
+    /// The CLI default: `IPCP_JOBS` when set, else every available core.
+    pub fn auto() -> Self {
+        Parallelism {
+            jobs: Self::from_env().unwrap_or_else(Self::available),
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads and
+/// returns the results in input order.
+///
+/// Workers claim chunked index ranges from a shared atomic cursor and
+/// tag each result with its item index; the merge re-assembles them in
+/// order, so the output is identical to the sequential map regardless
+/// of scheduling. With `jobs <= 1` (or fewer than two items) no threads
+/// are spawned. A panicking worker propagates its panic to the caller.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Chunks several times smaller than a fair share keep late stragglers
+    // balanced without hammering the cursor.
+    let chunk = (items.len() / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Deterministic ordered merge: place by item index.
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in collected.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("par_map computed every index"))
+        .collect()
+}
+
+/// Levels the call graph's SCC condensation into reverse-topological
+/// waves: wave 0 holds the leaf SCCs, and every SCC's callees live in
+/// strictly lower waves. All SCCs of one wave are therefore mutually
+/// call-independent and a bottom-up pass may process them concurrently;
+/// running the waves in order reads exactly the data the sequential
+/// bottom-up SCC iteration would.
+///
+/// Returns SCC indices (into [`CallGraph::sccs`]); within a wave they
+/// keep the bottom-up order, so ordered merges stay deterministic.
+pub fn scc_waves(cg: &CallGraph) -> Vec<Vec<usize>> {
+    let sccs = cg.sccs();
+    let mut level = vec![0usize; sccs.len()];
+    let mut max_level = 0;
+    // `sccs()` is bottom-up (callees first), so callee levels are final
+    // by the time their callers read them.
+    for (i, scc) in sccs.iter().enumerate() {
+        let mut l = 0;
+        for &pid in scc {
+            for site in cg.sites(pid) {
+                let callee_scc = cg.scc_of(site.callee);
+                if callee_scc != i {
+                    l = l.max(level[callee_scc] + 1);
+                }
+            }
+        }
+        level[i] = l;
+        max_level = max_level.max(l);
+    }
+    let mut waves = vec![Vec::new(); max_level + 1];
+    for (i, &l) in level.iter().enumerate() {
+        waves[l].push(i);
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::compile_to_ir;
+
+    #[test]
+    fn effective_treats_zero_as_one() {
+        assert_eq!(Parallelism { jobs: 0 }.effective(), 1);
+        assert_eq!(Parallelism { jobs: 1 }.effective(), 1);
+        assert_eq!(Parallelism { jobs: 7 }.effective(), 7);
+        assert!(!Parallelism { jobs: 0 }.is_parallel());
+        assert!(Parallelism { jobs: 2 }.is_parallel());
+        assert_eq!(Parallelism::sequential().effective(), 1);
+        assert!(Parallelism::available() >= 1);
+        assert!(Parallelism::auto().effective() >= 1);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let want: Vec<usize> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [0, 1, 2, 3, 8, 200] {
+            let got = par_map(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * x + 1
+            });
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_jobs_exceeding_items_is_fine() {
+        let items = [1u64, 2, 3];
+        assert_eq!(par_map(64, &items, |_, &x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn scc_waves_respect_call_levels() {
+        let src = "\
+proc leaf1()\nprint(1)\nend\n\
+proc leaf2()\nprint(2)\nend\n\
+proc mid(x)\ncall leaf1()\ncall leaf2()\nend\n\
+main\ncall mid(0)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let cg = CallGraph::new(&program);
+        let waves = scc_waves(&cg);
+        // Every SCC appears exactly once…
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, cg.sccs().len());
+        // …and every callee's SCC sits in a strictly lower wave.
+        let wave_of = |scc: usize| waves.iter().position(|w| w.contains(&scc)).unwrap();
+        for (i, scc) in cg.sccs().iter().enumerate() {
+            for &pid in scc {
+                for site in cg.sites(pid) {
+                    let callee_scc = cg.scc_of(site.callee);
+                    if callee_scc != i {
+                        assert!(wave_of(callee_scc) < wave_of(i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_sccs_stay_single_wave_entries() {
+        let src = "\
+proc ping(n)\nif n > 0 then\ncall pong(n - 1)\nend\nend\n\
+proc pong(n)\nif n > 0 then\ncall ping(n - 1)\nend\nend\n\
+main\ncall ping(4)\nend\n";
+        let program = compile_to_ir(src).unwrap();
+        let cg = CallGraph::new(&program);
+        let waves = scc_waves(&cg);
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, cg.sccs().len());
+        // The mutual-recursion SCC is one entry, not split across waves.
+        assert!(cg.sccs().iter().any(|scc| scc.len() == 2));
+    }
+}

@@ -26,7 +26,7 @@ use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc, SsaTerminator};
 use std::collections::HashSet;
 
 /// Supplies lattice values for the effects of a call.
-pub trait CallLattice {
+pub trait CallLattice: Sync {
     /// Value of `slot` of `callee` after a call with actual-argument
     /// values `arg(k)` and caller-side global values `global(g)`.
     fn slot_after_call(

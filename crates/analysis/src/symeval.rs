@@ -58,7 +58,7 @@ impl Sym {
 }
 
 /// Supplies the symbolic value of a callee slot after a call.
-pub trait CallSymbolics {
+pub trait CallSymbolics: Sync {
     /// Value of `slot` (a formal, global, or [`Slot::Result`]) of `callee`
     /// after a call whose actual argument values are `arg_sym(k)` and
     /// whose caller-side global values are `global_sym(g)`.

@@ -8,7 +8,7 @@
 //! remainder, comparisons, and logical operators, so *all* standard
 //! integer operations are supported (§3.1.4).
 //!
-//! Expressions are persistent (`Rc`-shared) and size-bounded; smart
+//! Expressions are persistent (`Arc`-shared) and size-bounded; smart
 //! constructors return `None` when a result would exceed [`MAX_NODES`],
 //! and callers treat that as ⊥.
 
@@ -19,7 +19,7 @@ use ipcp_lang::ast::BinOp;
 use ipcp_lang::interp::eval_binop_int;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum weight (roughly, node count) of one expression.
 pub const MAX_NODES: u32 = 512;
@@ -74,16 +74,16 @@ pub enum SymExpr {
         /// The operator.
         op: BinOp,
         /// Left operand.
-        lhs: Rc<SymExpr>,
+        lhs: Arc<SymExpr>,
         /// Right operand.
-        rhs: Rc<SymExpr>,
+        rhs: Arc<SymExpr>,
         /// Cached weight.
         size: u32,
     },
     /// Logical negation (`not e`).
     Not {
         /// Operand.
-        inner: Rc<SymExpr>,
+        inner: Arc<SymExpr>,
         /// Cached weight.
         size: u32,
     },
@@ -95,11 +95,11 @@ pub enum SymExpr {
     /// inputs are known.
     Gate {
         /// The branch predicate.
-        cond: Rc<SymExpr>,
+        cond: Arc<SymExpr>,
         /// Value on the non-zero side (`None` = ⊥).
-        then_val: Option<Rc<SymExpr>>,
+        then_val: Option<Arc<SymExpr>>,
         /// Value on the zero side (`None` = ⊥).
-        else_val: Option<Rc<SymExpr>>,
+        else_val: Option<Arc<SymExpr>>,
         /// Cached weight.
         size: u32,
     },
@@ -122,9 +122,9 @@ impl PartialEq for SymExpr {
                     rhs: rb,
                     ..
                 },
-            ) => oa == ob && (Rc::ptr_eq(la, lb) || la == lb) && (Rc::ptr_eq(ra, rb) || ra == rb),
+            ) => oa == ob && (Arc::ptr_eq(la, lb) || la == lb) && (Arc::ptr_eq(ra, rb) || ra == rb),
             (SymExpr::Not { inner: a, .. }, SymExpr::Not { inner: b, .. }) => {
-                Rc::ptr_eq(a, b) || a == b
+                Arc::ptr_eq(a, b) || a == b
             }
             (
                 SymExpr::Gate {
@@ -140,12 +140,12 @@ impl PartialEq for SymExpr {
                     ..
                 },
             ) => {
-                let rc_eq = |x: &Option<Rc<SymExpr>>, y: &Option<Rc<SymExpr>>| match (x, y) {
+                let arc_eq = |x: &Option<Arc<SymExpr>>, y: &Option<Arc<SymExpr>>| match (x, y) {
                     (None, None) => true,
-                    (Some(x), Some(y)) => Rc::ptr_eq(x, y) || x == y,
+                    (Some(x), Some(y)) => Arc::ptr_eq(x, y) || x == y,
                     _ => false,
                 };
-                (Rc::ptr_eq(ca, cb) || ca == cb) && rc_eq(ta, tb) && rc_eq(ea, eb)
+                (Arc::ptr_eq(ca, cb) || ca == cb) && arc_eq(ta, tb) && arc_eq(ea, eb)
             }
             _ => false,
         }
@@ -252,8 +252,8 @@ impl SymExpr {
         }
         Some(SymExpr::Node {
             op,
-            lhs: Rc::new(a.clone()),
-            rhs: Rc::new(b.clone()),
+            lhs: Arc::new(a.clone()),
+            rhs: Arc::new(b.clone()),
             size,
         })
     }
@@ -286,7 +286,7 @@ impl SymExpr {
             return None;
         }
         Some(SymExpr::Not {
-            inner: Rc::new(a.clone()),
+            inner: Arc::new(a.clone()),
             size,
         })
     }
@@ -326,9 +326,9 @@ impl SymExpr {
                     return None;
                 }
                 Some(SymExpr::Gate {
-                    cond: Rc::new(cond.clone()),
-                    then_val: then_val.map(|e| Rc::new(e.clone())),
-                    else_val: else_val.map(|e| Rc::new(e.clone())),
+                    cond: Arc::new(cond.clone()),
+                    then_val: then_val.map(|e| Arc::new(e.clone())),
+                    else_val: else_val.map(|e| Arc::new(e.clone())),
                     size,
                 })
             }
@@ -432,7 +432,7 @@ impl SymExpr {
                 else_val,
                 ..
             } => {
-                let branch = |b: &Option<Rc<SymExpr>>| match b {
+                let branch = |b: &Option<Arc<SymExpr>>| match b {
                     Some(e) => e.eval_lattice(env),
                     None => LatticeVal::Bottom,
                 };
@@ -526,7 +526,7 @@ impl fmt::Display for SymExpr {
                 else_val,
                 ..
             } => {
-                let fmt_branch = |b: &Option<Rc<SymExpr>>| match b {
+                let fmt_branch = |b: &Option<Arc<SymExpr>>| match b {
                     Some(e) => e.to_string(),
                     None => "⊥".to_string(),
                 };

@@ -1,0 +1,85 @@
+//! Parallel vs sequential analysis — the deterministic thread-pool's
+//! wall-clock payoff.
+//!
+//! Two scenarios per program:
+//!
+//! * `sweep` — the full 8-configuration Table-2 sweep through one fresh
+//!   session, at `jobs = 1` (sequential columns) vs `jobs = 4` (one warm
+//!   column, then the columns fanned out over the shared `RwLock`'d
+//!   store). Target on a ≥ 4-core host: ≥ 2×; a single-core host (CI
+//!   containers often are) shows parity, since the fan-outs fall back to
+//!   timesharing one core.
+//! * `single` — one default-config analysis at `jobs = 1` vs `jobs = 4`:
+//!   the per-procedure fan-out and SCC-wave scheduling alone.
+//!
+//! Substitution totals are asserted equal across worker counts on every
+//! iteration — the determinism guarantee is exercised, not assumed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipcp_core::{AnalysisConfig, AnalysisSession};
+use ipcp_suite::{generate, spec};
+use std::hint::black_box;
+
+const JOBS: usize = 4;
+
+fn programs() -> Vec<(String, ipcp_ir::Program)> {
+    ["adm", "linpackd", "ocean"]
+        .iter()
+        .map(|name| {
+            let g = generate(&spec(name).expect("spec"));
+            let ir = ipcp_ir::compile_to_ir(&g.source).expect("compiles");
+            (g.name, ir)
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let programs = programs();
+    let mut group = c.benchmark_group("parallel_sweep");
+    group.sample_size(10);
+    for (name, ir) in &programs {
+        let baseline = ipcp_bench::run_sweep(ir, 1).1;
+        for jobs in [1usize, JOBS] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("jobs{jobs}"), name),
+                ir,
+                |b, ir| {
+                    b.iter(|| {
+                        let (_, totals) = ipcp_bench::run_sweep(black_box(ir), jobs);
+                        assert_eq!(totals, baseline, "jobs={jobs} diverged on {name}");
+                        black_box(totals)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_single(c: &mut Criterion) {
+    let programs = programs();
+    let mut group = c.benchmark_group("parallel_single");
+    group.sample_size(10);
+    for (name, ir) in &programs {
+        for jobs in [1usize, JOBS] {
+            let config = AnalysisConfig {
+                jobs,
+                ..AnalysisConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("jobs{jobs}"), name),
+                ir,
+                |b, ir| {
+                    b.iter(|| {
+                        let session = AnalysisSession::new(black_box(ir));
+                        black_box(session.analyze(&config).substitutions.total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_single);
+criterion_main!(benches);

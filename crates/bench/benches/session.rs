@@ -60,7 +60,7 @@ fn bench_sweep(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("session", name), ir, |b, ir| {
             b.iter(|| {
-                let mut session = AnalysisSession::new(black_box(ir));
+                let session = AnalysisSession::new(black_box(ir));
                 let mut total = 0usize;
                 for config in &configs {
                     total += session.analyze(config).substitutions.total;

@@ -13,26 +13,68 @@
 //! degraded — the machine-readable face of the resource-governance
 //! subsystem — including a `phase_stats` block with the session's
 //! per-phase wall-clock and cache traffic.
+//! Pass `--bench-json [jobs]` to instead run the 8-configuration
+//! Table-2 sweep per program at `jobs = 1` and `jobs = N` (default:
+//! every available core) and write `BENCH_parallel.json` — sweep
+//! wall-clock, speedup, and the per-phase wall/span stats at both
+//! worker counts.
 use ipcp_core::AnalysisConfig;
+use std::fmt::Write as _;
 
 fn robustness_report(fuel: u64) {
-    let mut suite = ipcp_bench::prepare_suite();
+    let suite = ipcp_bench::prepare_suite();
     let config = AnalysisConfig {
         fuel: Some(fuel),
         ..Default::default()
     };
-    for prepared in &mut suite {
-        let name = prepared.generated.name.clone();
+    for prepared in &suite {
         let session = prepared.session();
         let outcome = session.analyze(&config);
         println!(
             "{{\"program\":\"{}\",\"substitutions\":{},\"report\":{},\"phase_stats\":{}}}",
-            name,
+            prepared.generated.name,
             outcome.substitutions.total,
             outcome.robustness.to_json(),
             session.stats().to_json()
         );
     }
+}
+
+fn bench_json(jobs: usize) {
+    let suite = ipcp_bench::prepare_suite();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"bench\":\"table2_sweep\",\"jobs\":{jobs},\"programs\":["
+    );
+    for (i, p) in suite.iter().enumerate() {
+        let start = std::time::Instant::now();
+        let (seq_session, seq_totals) = ipcp_bench::run_sweep(&p.ir, 1);
+        let seq_us = start.elapsed().as_micros();
+        let start = std::time::Instant::now();
+        let (par_session, par_totals) = ipcp_bench::run_sweep(&p.ir, jobs);
+        let par_us = start.elapsed().as_micros();
+        assert_eq!(
+            seq_totals, par_totals,
+            "parallel sweep diverged for {}",
+            p.generated.name
+        );
+        let speedup = seq_us as f64 / par_us.max(1) as f64;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"program\":\"{}\",\"wall_us\":{{\"jobs_1\":{seq_us},\"jobs_n\":{par_us}}},\
+             \"speedup\":{speedup:.2},\"phase_stats_jobs_1\":{},\"phase_stats_jobs_n\":{}}}",
+            p.generated.name,
+            seq_session.stats().to_json(),
+            par_session.stats().to_json()
+        );
+    }
+    out.push_str("]}");
+    std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json ({jobs} workers)");
 }
 
 fn main() {
@@ -45,11 +87,20 @@ fn main() {
         robustness_report(fuel);
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        let jobs = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| ipcp_core::Parallelism::auto().effective());
+        bench_json(jobs.max(1));
+        return;
+    }
     let timing = args.iter().any(|a| a == "--timing");
-    let mut suite = ipcp_bench::prepare_suite();
+    let jobs = ipcp_core::Parallelism::auto().effective();
+    let suite = ipcp_bench::prepare_suite();
     println!("{}", ipcp_bench::render_table1(&suite));
-    println!("{}", ipcp_bench::render_table2(&mut suite));
-    println!("{}", ipcp_bench::render_table3(&mut suite));
+    println!("{}", ipcp_bench::render_table2(&suite, jobs));
+    println!("{}", ipcp_bench::render_table3(&suite, jobs));
     if timing {
         println!("{}", ipcp_bench::render_timings(&suite));
     }

@@ -1,6 +1,9 @@
 //! Regenerates the paper's Table 3 over the synthetic suite, driving
-//! one analysis session per program so shared artifacts are built once.
+//! one analysis session per program so shared artifacts are built once;
+//! columns fan out over every available core (the numbers are identical
+//! at any worker count).
 fn main() {
-    let mut suite = ipcp_bench::prepare_suite();
-    print!("{}", ipcp_bench::render_table3(&mut suite));
+    let suite = ipcp_bench::prepare_suite();
+    let jobs = ipcp_core::Parallelism::auto().effective();
+    print!("{}", ipcp_bench::render_table3(&suite, jobs));
 }

@@ -30,8 +30,8 @@ pub struct PreparedProgram {
 
 impl PreparedProgram {
     /// The program's memoized analysis session.
-    pub fn session(&mut self) -> &mut AnalysisSession {
-        &mut self.session
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
     }
 }
 
@@ -167,13 +167,78 @@ pub fn render_table1(suite: &[PreparedProgram]) -> String {
 /// through the program's session so per-program artifacts are computed
 /// once rather than once per column.
 pub fn measure(
-    program: &mut PreparedProgram,
+    program: &PreparedProgram,
     configs: &[(&'static str, AnalysisConfig)],
 ) -> Vec<usize> {
     configs
         .iter()
         .map(|(_, c)| program.session.analyze(c).substitutions.total)
         .collect()
+}
+
+/// [`measure`] with the columns fanned out over `jobs` worker threads,
+/// all sharing the program's one session store (the `RwLock`'d
+/// [`ipcp_core::ArtifactStore`] admits concurrent readers). Results come
+/// back in column order and are bit-identical to the sequential sweep.
+pub fn measure_par(
+    program: &PreparedProgram,
+    configs: &[(&'static str, AnalysisConfig)],
+    jobs: usize,
+) -> Vec<usize> {
+    ipcp_core::parallel::par_map(jobs, configs, |_, (_, c)| {
+        program.session.analyze(c).substitutions.total
+    })
+}
+
+/// The full Table-2-style sweep — all four jump-function kinds, each
+/// with and without return jump functions (8 configurations) — with the
+/// per-analysis worker count pinned to `jobs`.
+pub fn sweep_configs(jobs: usize) -> Vec<(&'static str, AnalysisConfig)> {
+    const NAMES: [[&str; 2]; 4] = [
+        ["lit+rjf", "lit-rjf"],
+        ["intra+rjf", "intra-rjf"],
+        ["pass+rjf", "pass-rjf"],
+        ["poly+rjf", "poly-rjf"],
+    ];
+    let mut configs = Vec::new();
+    for (i, kind) in JumpFunctionKind::ALL.into_iter().enumerate() {
+        for (j, rjf) in [true, false].into_iter().enumerate() {
+            configs.push((
+                NAMES[i][j],
+                AnalysisConfig {
+                    jump_function: kind,
+                    return_jump_functions: rjf,
+                    jobs,
+                    ..AnalysisConfig::default()
+                },
+            ));
+        }
+    }
+    configs
+}
+
+/// Runs the 8-config sweep through one fresh session with the *columns*
+/// fanned out over `jobs` workers, returning the session (for its phase
+/// stats) and the substitution totals. Each column's analysis runs
+/// sequentially inside its worker — parallelizing at the coarsest level
+/// keeps the thread count at `jobs` instead of `jobs²`; intra-analysis
+/// fan-out is for single-configuration runs.
+pub fn run_sweep(ir: &ipcp_ir::Program, jobs: usize) -> (AnalysisSession, Vec<usize>) {
+    let configs = sweep_configs(1);
+    let session = AnalysisSession::new(ir);
+    // Warm the configuration-independent artifacts (call graph, MOD/REF,
+    // per-procedure SSA, return jump functions) with one sequential
+    // column; the remaining columns then fan out as mostly cache-hit
+    // traffic plus their per-configuration work, instead of racing to
+    // compute the shared artifacts redundantly.
+    let mut totals = Vec::with_capacity(configs.len());
+    totals.push(session.analyze(&configs[0].1).substitutions.total);
+    totals.extend(ipcp_core::parallel::par_map(
+        jobs,
+        &configs[1..],
+        |_, (_, c)| session.analyze(c).substitutions.total,
+    ));
+    (session, totals)
 }
 
 /// [`measure`] through the straight-line single-shot pipeline — the
@@ -242,7 +307,10 @@ polynomial kind approaches pass-through)."
 }
 
 /// Renders Table 2: constants found through use of jump functions.
-pub fn render_table2(suite: &mut [PreparedProgram]) -> String {
+/// Columns are measured concurrently over `jobs` workers, sharing each
+/// program's session store; the printed numbers are identical at any
+/// worker count.
+pub fn render_table2(suite: &[PreparedProgram], jobs: usize) -> String {
     let configs = table2_configs();
     let mut out = String::new();
     let _ = writeln!(
@@ -256,7 +324,7 @@ pub fn render_table2(suite: &mut [PreparedProgram]) -> String {
         "program", "polynomial", "pass-thru", "intraproc", "literal", "poly no-RJF", "pass no-RJF"
     );
     for p in suite {
-        let measured = measure(p, &configs);
+        let measured = measure_par(p, &configs, jobs);
         let paper = paper_row(&p.generated.name).expect("paper row");
         let pv = [
             paper.poly,
@@ -283,7 +351,8 @@ pub fn render_table2(suite: &mut [PreparedProgram]) -> String {
 }
 
 /// Renders Table 3: comparison with other propagation techniques.
-pub fn render_table3(suite: &mut [PreparedProgram]) -> String {
+/// Columns fan out over `jobs` workers like [`render_table2`].
+pub fn render_table3(suite: &[PreparedProgram], jobs: usize) -> String {
     let configs = table3_configs();
     let mut out = String::new();
     let _ = writeln!(
@@ -297,7 +366,7 @@ pub fn render_table3(suite: &mut [PreparedProgram]) -> String {
         "program", "poly w/o MOD", "poly w/ MOD", "complete", "intraproc"
     );
     for p in suite {
-        let measured = measure(p, &configs);
+        let measured = measure_par(p, &configs, jobs);
         let paper = paper_row(&p.generated.name).expect("paper row");
         let pv = [
             paper.poly_no_mod,

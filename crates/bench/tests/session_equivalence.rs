@@ -26,7 +26,7 @@ fn assert_outcomes_identical(got: &AnalysisOutcome, want: &AnalysisOutcome, what
 }
 
 fn check_program(name: &str, ir: &ipcp_ir::Program) {
-    let mut session = AnalysisSession::new(ir);
+    let session = AnalysisSession::new(ir);
     for (label, config) in sweep() {
         let got = session.analyze(&config);
         let want = analyze_reference(ir, &config);

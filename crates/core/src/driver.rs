@@ -71,6 +71,15 @@ pub struct AnalysisConfig {
     /// of what complete propagation buys, without iterating dead code
     /// elimination. Off by default.
     pub gsa: bool,
+    /// Worker threads for the session's parallel fan-outs (0 is treated
+    /// as 1; see [`ipcp_analysis::Parallelism`]). Results are
+    /// bit-identical at every setting — parallelism only changes
+    /// wall-clock — so `jobs` deliberately takes no part in artifact
+    /// cache keys. Metered (finite-fuel) runs ignore it and stay on the
+    /// sequential reference pipeline. Defaults to the `IPCP_JOBS`
+    /// environment override, else 1; the CLI defaults to every
+    /// available core instead.
+    pub jobs: usize,
     /// Fuel budget shared by every analysis phase; `None` is unlimited.
     /// When the tank runs dry, phases degrade along the jump-function
     /// precision ladder instead of panicking or looping (see
@@ -92,6 +101,7 @@ impl Default for AnalysisConfig {
             rjf_full_composition: false,
             solver: SolverKind::CallGraph,
             gsa: false,
+            jobs: ipcp_analysis::Parallelism::default_jobs(),
             fuel: None,
             on_exhausted: ExhaustionPolicy::Degrade,
         }

@@ -22,7 +22,7 @@ use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, SymEvalOptio
 use ipcp_analysis::{Budget, CallGraph, ModRefInfo, Phase, Slot};
 use ipcp_ir::{ProcId, Program, VarKind};
 use ipcp_ssa::{build_ssa, KillOracle, SsaInstr, SsaOperand};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Jump functions of one call site.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ pub struct SiteJumpFns {
     /// never propagate.
     pub reachable: bool,
     /// Callee slot → jump function over the *caller's* entry slots.
-    pub jfs: HashMap<Slot, JumpFn>,
+    pub jfs: BTreeMap<Slot, JumpFn>,
 }
 
 /// Forward jump functions for every call site of every procedure,
@@ -264,7 +264,7 @@ pub(crate) fn site_jfs_for_proc(
             sites.push(SiteJumpFns {
                 callee: site.callee,
                 reachable: false,
-                jfs: HashMap::new(),
+                jfs: BTreeMap::new(),
             });
             continue;
         };
@@ -279,7 +279,7 @@ pub(crate) fn site_jfs_for_proc(
         };
         debug_assert_eq!(*callee, site.callee);
 
-        let mut jfs = HashMap::new();
+        let mut jfs = BTreeMap::new();
         for slot in modref.param_slots(program, site.callee) {
             let jf = match slot {
                 Slot::Formal(k) => {
@@ -342,7 +342,7 @@ pub fn build_literal_jfs_fast(
                 sites.push(SiteJumpFns {
                     callee: site.callee,
                     reachable: false,
-                    jfs: HashMap::new(),
+                    jfs: BTreeMap::new(),
                 });
                 continue;
             }
@@ -350,7 +350,7 @@ pub fn build_literal_jfs_fast(
             else {
                 unreachable!("call site indexes a call instruction");
             };
-            let mut jfs = HashMap::new();
+            let mut jfs = BTreeMap::new();
             for slot in modref.param_slots(program, site.callee) {
                 let jf = match slot {
                     Slot::Formal(k) => match args.get(k as usize) {

@@ -51,6 +51,7 @@ pub mod driver;
 pub mod forward;
 pub mod jump;
 pub mod optimize;
+pub mod parallel;
 pub mod report;
 pub mod retjf;
 pub mod session;
@@ -80,6 +81,7 @@ pub use ipcp_analysis::{
 };
 pub use jump::{JumpFn, JumpFunctionKind};
 pub use optimize::{optimize, OptimizeConfig, OptimizeStats};
+pub use parallel::{effective_jobs, Parallelism};
 pub use retjf::{
     build_return_jfs, build_return_jfs_budgeted, build_return_jfs_with, ReturnJumpFns, RjfComposer,
     RjfConstEval, RjfLattice,
@@ -88,5 +90,6 @@ pub use session::{AnalysisSession, ArtifactStore, PhaseCounter, SessionPhase, Se
 pub use solver::{solve, solve_budgeted, ValSets};
 pub use source_transform::{transform_source, TransformedSource};
 pub use subst::{
-    apply_substitutions, count_substitutions, count_substitutions_with_ssa, SubstitutionCounts,
+    apply_substitutions, count_substitutions, count_substitutions_with_ssa,
+    count_substitutions_with_ssa_jobs, SubstitutionCounts,
 };

@@ -1,0 +1,36 @@
+//! Parallelism plumbing for the analysis pipeline.
+//!
+//! The actual thread pool lives in [`ipcp_analysis::par`] (the analysis
+//! crate owns the dependency-free scoped `par_map` and the SCC wave
+//! scheduler); this module re-exports the configuration knob and maps an
+//! [`AnalysisConfig`] to the effective worker count the session's
+//! fan-outs use. Results are bit-identical at every setting — see the
+//! determinism notes in [`crate::session`].
+
+use crate::driver::AnalysisConfig;
+pub use ipcp_analysis::{par_map, scc_waves, Parallelism};
+
+/// The worker count a session run under `config` fans out to
+/// (`jobs == 0` is treated as 1; see [`Parallelism::effective`]).
+pub fn effective_jobs(config: &AnalysisConfig) -> usize {
+    Parallelism { jobs: config.jobs }.effective()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jobs_runs_sequentially() {
+        let config = AnalysisConfig {
+            jobs: 0,
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(effective_jobs(&config), 1);
+        let config = AnalysisConfig {
+            jobs: 6,
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(effective_jobs(&config), 6);
+    }
+}

@@ -23,13 +23,13 @@ use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, Sym, SymEval
 use ipcp_analysis::{Budget, CallGraph, LatticeVal, Phase, Slot};
 use ipcp_ir::{GlobalId, ProcId, Program};
 use ipcp_ssa::{build_ssa, KillOracle, SsaTerminator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Return jump functions of every procedure, keyed by slot and expressed
 /// over the owning procedure's entry slots.
 #[derive(Debug, Clone, Default)]
 pub struct ReturnJumpFns {
-    per_proc: Vec<HashMap<Slot, JumpFn>>,
+    per_proc: Vec<BTreeMap<Slot, JumpFn>>,
 }
 
 impl ReturnJumpFns {
@@ -37,7 +37,7 @@ impl ReturnJumpFns {
     /// every lookup misses, so every call effect is ⊥).
     pub fn empty(proc_count: usize) -> Self {
         ReturnJumpFns {
-            per_proc: vec![HashMap::new(); proc_count],
+            per_proc: vec![BTreeMap::new(); proc_count],
         }
     }
 
@@ -62,7 +62,7 @@ impl ReturnJumpFns {
 
     /// Installs the slot table of `p` (used by the session when it
     /// assembles a table from cached per-procedure pieces).
-    pub(crate) fn set_proc(&mut self, p: ProcId, map: HashMap<Slot, JumpFn>) {
+    pub(crate) fn set_proc(&mut self, p: ProcId, map: BTreeMap<Slot, JumpFn>) {
         self.per_proc[p.index()] = map;
     }
 }
@@ -128,13 +128,13 @@ pub(crate) fn build_rjf_for_proc(
     ssa: &ipcp_ssa::SsaProc,
     options: SymEvalOptions,
     budget: &Budget,
-) -> HashMap<Slot, JumpFn> {
+) -> BTreeMap<Slot, JumpFn> {
     let proc = program.proc(pid);
     let composer = RjfComposer { rjfs };
     let sym = symbolic_eval_budgeted(proc, ssa, &composer, options, budget);
 
     // Meet the exit snapshots of every reachable return.
-    let mut merged: HashMap<ipcp_ir::VarId, Option<Sym>> = HashMap::new();
+    let mut merged: BTreeMap<ipcp_ir::VarId, Option<Sym>> = BTreeMap::new();
     let mut result: Option<Sym> = None;
     let mut saw_return = false;
     for (_, blk) in ssa.rpo_blocks() {
@@ -165,7 +165,7 @@ pub(crate) fn build_rjf_for_proc(
         }
     }
 
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     if !saw_return {
         // The procedure never returns normally; leave everything ⊥ (miss).
         return map;

@@ -39,6 +39,26 @@
 //! pipeline ([`crate::driver::analyze_with_budget_reference`]), whose
 //! degradation behaviour depends on exact fuel *ordering* and therefore
 //! must not be interleaved with cache hits.
+//!
+//! ## Parallel execution
+//!
+//! With [`AnalysisConfig::jobs`] > 1, the per-procedure phases (SSA,
+//! symbolic values, forward jump functions, DCE steps, substitution
+//! counting) fan out over [`ipcp_analysis::par_map`]'s scoped worker
+//! pool, bottom-up phases (MOD/REF, return jump functions) run SCC
+//! condensation *waves* ([`ipcp_analysis::scc_waves`]) concurrently, and
+//! results merge in deterministic `ProcId`/SCC order. Workers meter
+//! their work on private scratch budgets; the coordinator *replays* each
+//! item's fuel on the main budget in merge order, so consumption totals
+//! — the only thing `RobustnessReport` exposes — are bit-identical to
+//! the sequential path at any thread count. (Per-item fuel ordering is
+//! unobservable under unmetered budgets: no checkpoint can fail, so no
+//! degradation can fire.) The artifact store sits behind per-map
+//! `RwLock`s and stats behind a `Mutex`, making [`AnalysisSession`]
+//! `Sync`: a config sweep may call [`AnalysisSession::analyze`] from
+//! several threads against one shared store. Artifact *values* are
+//! deterministic, so a racing double-compute inserts the same bytes;
+//! only hit/miss counters can differ under concurrent sweeps.
 
 use crate::binding::solve_binding_budgeted;
 use crate::driver::{
@@ -49,15 +69,15 @@ use crate::forward::{kind_weight, proc_estimate, site_jfs_for_proc, ForwardJumpF
 use crate::jump::{JumpFn, JumpFunctionKind};
 use crate::retjf::{build_rjf_for_proc, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice};
 use crate::solver::{entry_env_of, solve_budgeted, ValSets};
-use crate::subst::{count_substitutions_with_ssa, SubstitutionCounts};
+use crate::subst::{count_substitutions_with_ssa_jobs, SubstitutionCounts};
 use ipcp_analysis::dce::dce_round;
 use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
 use ipcp_analysis::symeval::{
     symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, SymEvalOptions, SymMap,
 };
 use ipcp_analysis::{
-    augment_global_vars, compute_modref_budgeted, Budget, CallGraph, CallLattice, ExhaustionPolicy,
-    ModKills, ModRefInfo, PessimisticCalls, Phase, Slot,
+    augment_global_vars, compute_modref_par, par_map, scc_waves, Budget, CallGraph, CallLattice,
+    ExhaustionPolicy, ModKills, ModRefInfo, PessimisticCalls, Phase, Slot, PAR_WAVE_MIN,
 };
 use ipcp_ir::fingerprint::{combine, fingerprint_debug};
 use ipcp_ir::{ProcId, Procedure, Program};
@@ -65,7 +85,7 @@ use ipcp_lang::Diagnostics;
 use ipcp_ssa::{build_ssa, KillOracle, SsaProc, WorstCaseKills};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// The session's observable phases — the cacheable pipeline stages plus
@@ -140,8 +160,14 @@ impl fmt::Display for SessionPhase {
 /// Wall-clock and cache traffic of one phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseCounter {
-    /// Accumulated wall-clock time spent in the phase.
+    /// Accumulated compute time spent in the phase, summed across worker
+    /// threads (equals elapsed time when the phase ran sequentially).
     pub wall_nanos: u128,
+    /// Coordinator-observed elapsed time of *parallel* fan-outs covering
+    /// this phase (0 when it only ever ran sequentially). With workers
+    /// active, `wall_nanos / span_nanos` approximates the parallel
+    /// speedup.
+    pub span_nanos: u128,
     /// Artifact-store hits.
     pub hits: u64,
     /// Artifact-store misses (artifact computed and inserted).
@@ -180,6 +206,10 @@ impl SessionStats {
         self.counters.entry(phase).or_default().wall_nanos += elapsed.as_nanos();
     }
 
+    fn record_span(&mut self, phase: SessionPhase, elapsed: Duration) {
+        self.counters.entry(phase).or_default().span_nanos += elapsed.as_nanos();
+    }
+
     fn hit(&mut self, phase: SessionPhase) {
         self.counters.entry(phase).or_default().hits += 1;
     }
@@ -207,12 +237,16 @@ impl SessionStats {
             }
             first = false;
             out.push_str(&format!(
-                "\"{}\":{{\"wall_us\":{},\"hits\":{},\"misses\":{}}}",
+                "\"{}\":{{\"wall_us\":{},\"hits\":{},\"misses\":{}",
                 phase.name(),
                 c.wall_nanos / 1_000,
                 c.hits,
                 c.misses
             ));
+            if c.span_nanos > 0 {
+                out.push_str(&format!(",\"span_us\":{}", c.span_nanos / 1_000));
+            }
+            out.push('}');
         }
         out.push_str("}}");
         out
@@ -224,22 +258,37 @@ impl fmt::Display for SessionStats {
         writeln!(f, "analyses: {}; rounds: {}", self.analyses, self.rounds)?;
         writeln!(
             f,
-            "{:<12} {:>10} {:>6} {:>7}",
-            "phase", "wall(µs)", "hits", "misses"
+            "{:<12} {:>10} {:>6} {:>7} {:>10} {:>6}",
+            "phase", "wall(µs)", "hits", "misses", "span(µs)", "par×"
         )?;
         for phase in SessionPhase::ALL {
             let c = self.counter(phase);
             if c == PhaseCounter::default() {
                 continue;
             }
-            writeln!(
-                f,
-                "{:<12} {:>10} {:>6} {:>7}",
-                phase.name(),
-                c.wall_nanos / 1_000,
-                c.hits,
-                c.misses
-            )?;
+            if c.span_nanos > 0 {
+                writeln!(
+                    f,
+                    "{:<12} {:>10} {:>6} {:>7} {:>10} {:>5.1}x",
+                    phase.name(),
+                    c.wall_nanos / 1_000,
+                    c.hits,
+                    c.misses,
+                    c.span_nanos / 1_000,
+                    c.wall_nanos as f64 / c.span_nanos as f64
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "{:<12} {:>10} {:>6} {:>7} {:>10} {:>6}",
+                    phase.name(),
+                    c.wall_nanos / 1_000,
+                    c.hits,
+                    c.misses,
+                    "-",
+                    "-"
+                )?;
+            }
         }
         Ok(())
     }
@@ -352,14 +401,14 @@ struct CountingKey {
 /// A cached artifact plus the fuel its computation consumed, replayed on
 /// every hit so budget accounting matches the uncached pipeline.
 struct Cached<T> {
-    value: Rc<T>,
+    value: Arc<T>,
     fuel: u64,
 }
 
 impl<T> Clone for Cached<T> {
     fn clone(&self) -> Self {
         Cached {
-            value: Rc::clone(&self.value),
+            value: Arc::clone(&self.value),
             fuel: self.fuel,
         }
     }
@@ -374,38 +423,42 @@ struct DceStep {
 /// The session-scoped artifact store. Every map is keyed by content
 /// fingerprints plus the configuration facets its phase reads; see the
 /// module docs for the key structure.
+///
+/// Each map sits behind its own `RwLock`, so concurrent cache *hits*
+/// (the common case in a warm sweep) only take read locks and never
+/// serialize; writes hold one map's lock for a single insert.
 #[derive(Default)]
 pub struct ArtifactStore {
-    call_graphs: HashMap<u64, Rc<CallGraph>>,
-    modrefs: HashMap<u64, Cached<ModRefInfo>>,
+    call_graphs: RwLock<HashMap<u64, Arc<CallGraph>>>,
+    modrefs: RwLock<HashMap<u64, Cached<ModRefInfo>>>,
     /// Per-procedure closure fingerprints of the *augmented* program, by
     /// pre-augmentation state fingerprint (augmentation is deterministic,
     /// so the state fingerprint determines them).
-    closures: HashMap<u64, Rc<Vec<u64>>>,
-    ssas: HashMap<SsaKey, Rc<SsaProc>>,
-    rjf_procs: HashMap<RjfKey, Cached<HashMap<Slot, JumpFn>>>,
-    syms: HashMap<SymKey, Cached<SymMap>>,
-    forward_procs: HashMap<ForwardKey, Cached<Vec<SiteJumpFns>>>,
-    solves: HashMap<SolveKey, Cached<ValSets>>,
-    substs: HashMap<SubstKey, Rc<SubstitutionCounts>>,
-    dces: HashMap<DceKey, Cached<DceStep>>,
-    countings: HashMap<CountingKey, Cached<SubstitutionCounts>>,
+    closures: RwLock<HashMap<u64, Arc<Vec<u64>>>>,
+    ssas: RwLock<HashMap<SsaKey, Arc<SsaProc>>>,
+    rjf_procs: RwLock<HashMap<RjfKey, Cached<BTreeMap<Slot, JumpFn>>>>,
+    syms: RwLock<HashMap<SymKey, Cached<SymMap>>>,
+    forward_procs: RwLock<HashMap<ForwardKey, Cached<Vec<SiteJumpFns>>>>,
+    solves: RwLock<HashMap<SolveKey, Cached<ValSets>>>,
+    substs: RwLock<HashMap<SubstKey, Arc<SubstitutionCounts>>>,
+    dces: RwLock<HashMap<DceKey, Cached<DceStep>>>,
+    countings: RwLock<HashMap<CountingKey, Cached<SubstitutionCounts>>>,
 }
 
 impl ArtifactStore {
     /// Total number of cached artifacts, across all phases.
     pub fn len(&self) -> usize {
-        self.call_graphs.len()
-            + self.modrefs.len()
-            + self.closures.len()
-            + self.ssas.len()
-            + self.rjf_procs.len()
-            + self.syms.len()
-            + self.forward_procs.len()
-            + self.solves.len()
-            + self.substs.len()
-            + self.dces.len()
-            + self.countings.len()
+        self.call_graphs.read().unwrap().len()
+            + self.modrefs.read().unwrap().len()
+            + self.closures.read().unwrap().len()
+            + self.ssas.read().unwrap().len()
+            + self.rjf_procs.read().unwrap().len()
+            + self.syms.read().unwrap().len()
+            + self.forward_procs.read().unwrap().len()
+            + self.solves.read().unwrap().len()
+            + self.substs.read().unwrap().len()
+            + self.dces.read().unwrap().len()
+            + self.countings.read().unwrap().len()
     }
 
     /// True when nothing has been cached yet.
@@ -418,7 +471,7 @@ impl ArtifactStore {
 /// per-procedure closure fingerprints all cache keys build on.
 struct RoundCtx {
     state_fp: u64,
-    closure_fps: Rc<Vec<u64>>,
+    closure_fps: Arc<Vec<u64>>,
     mod_info: bool,
     gsa: bool,
     mode: CallSymMode,
@@ -431,7 +484,7 @@ pub struct AnalysisSession {
     /// from the pristine program, so round 0 never re-fingerprints it.
     base_fp: u64,
     store: ArtifactStore,
-    stats: SessionStats,
+    stats: Mutex<SessionStats>,
 }
 
 impl AnalysisSession {
@@ -441,7 +494,7 @@ impl AnalysisSession {
             base: program.clone(),
             base_fp: fingerprint_debug(program),
             store: ArtifactStore::default(),
-            stats: SessionStats::default(),
+            stats: Mutex::new(SessionStats::default()),
         }
     }
 
@@ -459,9 +512,9 @@ impl AnalysisSession {
         &self.base
     }
 
-    /// Observability counters accumulated so far.
-    pub fn stats(&self) -> &SessionStats {
-        &self.stats
+    /// A snapshot of the observability counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.lock().unwrap().clone()
     }
 
     /// The artifact store (for introspection; tests and diagnostics).
@@ -469,9 +522,28 @@ impl AnalysisSession {
         &self.store
     }
 
+    fn phase_hit(&self, phase: SessionPhase) {
+        self.stats.lock().unwrap().hit(phase);
+    }
+
+    fn phase_miss(&self, phase: SessionPhase) {
+        self.stats.lock().unwrap().miss(phase);
+    }
+
+    fn phase_wall(&self, phase: SessionPhase, elapsed: Duration) {
+        self.stats.lock().unwrap().record_wall(phase, elapsed);
+    }
+
+    fn phase_span(&self, phase: SessionPhase, elapsed: Duration) {
+        self.stats.lock().unwrap().record_span(phase, elapsed);
+    }
+
     /// Runs the configured analysis, reusing cached artifacts where the
     /// fingerprints and configuration facets allow.
-    pub fn analyze(&mut self, config: &AnalysisConfig) -> AnalysisOutcome {
+    ///
+    /// Takes `&self`: the store is internally synchronized, so a config
+    /// sweep may fan analyses out over threads against one session.
+    pub fn analyze(&self, config: &AnalysisConfig) -> AnalysisOutcome {
         self.analyze_with_budget(config, &Budget::for_limit(config.fuel))
     }
 
@@ -482,7 +554,7 @@ impl AnalysisSession {
     /// Returns [`ResourceExhausted`] when the budget ran dry and the
     /// policy is [`ExhaustionPolicy::Error`].
     pub fn analyze_checked(
-        &mut self,
+        &self,
         config: &AnalysisConfig,
     ) -> Result<AnalysisOutcome, ResourceExhausted> {
         let outcome = self.analyze(config);
@@ -496,27 +568,24 @@ impl AnalysisSession {
 
     /// Runs the analysis against a caller-supplied fuel source. Metered
     /// budgets take the straight-line reference pipeline (see the module
-    /// docs on fuel semantics); unmetered budgets use the artifact store.
-    pub fn analyze_with_budget(
-        &mut self,
-        config: &AnalysisConfig,
-        budget: &Budget,
-    ) -> AnalysisOutcome {
-        self.stats.analyses += 1;
+    /// docs on fuel semantics); unmetered budgets use the artifact store
+    /// and, with `config.jobs > 1`, the parallel fan-outs.
+    pub fn analyze_with_budget(&self, config: &AnalysisConfig, budget: &Budget) -> AnalysisOutcome {
+        self.stats.lock().unwrap().analyses += 1;
         if !budget.is_unmetered() {
             let start = Instant::now();
             let outcome = analyze_with_budget_reference(&self.base, config, budget);
-            self.stats
-                .record_wall(SessionPhase::Pipeline, start.elapsed());
+            self.phase_wall(SessionPhase::Pipeline, start.elapsed());
             return outcome;
         }
 
+        let jobs = crate::parallel::effective_jobs(config);
         let mut program = self.base.clone();
         let mut stats = PhaseStats::default();
         let mut first_round = true;
 
         loop {
-            self.stats.rounds += 1;
+            self.stats.lock().unwrap().rounds += 1;
 
             // Program-level artifacts: fingerprint, call graph, MOD/REF.
             // The call graph is built against the pre-augmentation
@@ -530,14 +599,13 @@ impl AnalysisSession {
                 fingerprint_debug(&program)
             };
             first_round = false;
-            self.stats
-                .record_wall(SessionPhase::Fingerprint, start.elapsed());
+            self.phase_wall(SessionPhase::Fingerprint, start.elapsed());
 
             let cg = self.cached_call_graph(&program, state_fp);
-            let modref = self.cached_modref(&program, &cg, state_fp, budget);
+            let modref = self.cached_modref(&program, &cg, state_fp, budget, jobs);
             augment_global_vars(&mut program, &modref);
 
-            let closure_fps = self.cached_closures(&program, &cg, state_fp);
+            let closure_fps = self.cached_closures(&program, &cg, state_fp, jobs);
 
             let round = RoundCtx {
                 state_fp,
@@ -563,13 +631,13 @@ impl AnalysisSession {
                 };
 
                 let rjfs: ReturnJumpFns = if config.return_jump_functions {
-                    self.cached_return_jfs(program, &cg, &round, kills, sym_options, budget)
+                    self.cached_return_jfs(program, &cg, &round, kills, sym_options, budget, jobs)
                 } else {
                     ReturnJumpFns::empty(program.procs.len())
                 };
                 stats.return_jfs = rjfs.useful_count();
 
-                let vals: Option<Rc<ValSets>> = if config.interprocedural {
+                let vals: Option<Arc<ValSets>> = if config.interprocedural {
                     let jfs = self.cached_forward_jfs(
                         program,
                         &cg,
@@ -580,6 +648,7 @@ impl AnalysisSession {
                         kills,
                         sym_options,
                         budget,
+                        jobs,
                     );
                     stats.forward_jfs = jfs.count();
                     stats.useful_forward_jfs = jfs.useful_count();
@@ -606,8 +675,16 @@ impl AnalysisSession {
                     &PessimisticCalls
                 };
 
-                let substitutions =
-                    self.cached_subst(program, &cg, calls, vals.as_deref(), config, &round, kills);
+                let substitutions = self.cached_subst(
+                    program,
+                    &cg,
+                    calls,
+                    vals.as_deref(),
+                    config,
+                    &round,
+                    kills,
+                    jobs,
+                );
 
                 let mut changed = false;
                 let mut new_procs = Vec::new();
@@ -616,20 +693,18 @@ impl AnalysisSession {
                     // Every procedure is rewritten (like the single-shot
                     // loop), not just the changed ones — the `changed`
                     // flag only decides whether another round runs.
-                    for pid in program.proc_ids() {
-                        let step = self.cached_dce_step(
-                            program,
-                            pid,
-                            &round,
-                            kills,
-                            calls,
-                            vals.as_deref(),
-                            budget,
-                        );
+                    let pids: Vec<ProcId> = program.proc_ids().collect();
+                    let steps = par_map(jobs, &pids, |_, &pid| {
+                        self.dce_step_for_proc(program, pid, &round, kills, calls, vals.as_deref())
+                    });
+                    for (pid, (step, fuel)) in pids.into_iter().zip(steps) {
+                        budget.checkpoint(Phase::Sccp, fuel);
                         changed |= step.changed;
                         new_procs.push((pid, step.proc));
                     }
-                    self.stats.record_wall(SessionPhase::Dce, start.elapsed());
+                    if jobs > 1 {
+                        self.phase_span(SessionPhase::Dce, start.elapsed());
+                    }
                 }
                 (substitutions, vals, changed, new_procs)
             };
@@ -652,7 +727,7 @@ impl AnalysisSession {
             // final (DCE-refined) CONSTANTS.
             let substitutions = if stats.dce_rounds > 0 {
                 let final_fp = fingerprint_debug(&program);
-                self.cached_counting_pass(config, vals.as_deref(), final_fp, budget)
+                self.cached_counting_pass(config, vals.as_deref(), final_fp, budget, jobs)
             } else {
                 substitutions
             };
@@ -671,206 +746,330 @@ impl AnalysisSession {
     /// pre-augmentation state fingerprint (augmentation is a pure
     /// function of that state, so the key is sound).
     fn cached_closures(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         state_fp: u64,
-    ) -> Rc<Vec<u64>> {
+        jobs: usize,
+    ) -> Arc<Vec<u64>> {
         let start = Instant::now();
-        let fps = match self.store.closures.get(&state_fp) {
-            Some(fps) => Rc::clone(fps),
+        let hit = self.store.closures.read().unwrap().get(&state_fp).cloned();
+        let fps = match hit {
+            Some(fps) => fps,
             None => {
-                let fps = Rc::new(closure_fingerprints(program, cg));
-                self.store.closures.insert(state_fp, Rc::clone(&fps));
+                let fps = Arc::new(closure_fingerprints(program, cg, jobs));
+                self.store
+                    .closures
+                    .write()
+                    .unwrap()
+                    .insert(state_fp, Arc::clone(&fps));
                 fps
             }
         };
-        self.stats
-            .record_wall(SessionPhase::Fingerprint, start.elapsed());
+        self.phase_wall(SessionPhase::Fingerprint, start.elapsed());
         fps
     }
 
-    fn cached_call_graph(&mut self, program: &Program, state_fp: u64) -> Rc<CallGraph> {
+    fn cached_call_graph(&self, program: &Program, state_fp: u64) -> Arc<CallGraph> {
         let start = Instant::now();
-        let cg = match self.store.call_graphs.get(&state_fp) {
+        let hit = self
+            .store
+            .call_graphs
+            .read()
+            .unwrap()
+            .get(&state_fp)
+            .cloned();
+        let cg = match hit {
             Some(cg) => {
-                self.stats.hit(SessionPhase::CallGraph);
-                Rc::clone(cg)
+                self.phase_hit(SessionPhase::CallGraph);
+                cg
             }
             None => {
-                self.stats.miss(SessionPhase::CallGraph);
-                let cg = Rc::new(CallGraph::new(program));
-                self.store.call_graphs.insert(state_fp, Rc::clone(&cg));
+                self.phase_miss(SessionPhase::CallGraph);
+                let cg = Arc::new(CallGraph::new(program));
+                self.store
+                    .call_graphs
+                    .write()
+                    .unwrap()
+                    .insert(state_fp, Arc::clone(&cg));
                 cg
             }
         };
-        self.stats
-            .record_wall(SessionPhase::CallGraph, start.elapsed());
+        self.phase_wall(SessionPhase::CallGraph, start.elapsed());
         cg
     }
 
     fn cached_modref(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         state_fp: u64,
         budget: &Budget,
-    ) -> Rc<ModRefInfo> {
+        jobs: usize,
+    ) -> Arc<ModRefInfo> {
         let start = Instant::now();
-        let modref = match self.store.modrefs.get(&state_fp) {
+        let hit = self.store.modrefs.read().unwrap().get(&state_fp).cloned();
+        let modref = match hit {
             Some(cached) => {
-                self.stats.hit(SessionPhase::ModRef);
+                self.phase_hit(SessionPhase::ModRef);
                 budget.checkpoint(Phase::ModRef, cached.fuel);
-                Rc::clone(&cached.value)
+                cached.value
             }
             None => {
-                self.stats.miss(SessionPhase::ModRef);
+                self.phase_miss(SessionPhase::ModRef);
                 let before = budget.fuel_consumed();
-                let modref = Rc::new(compute_modref_budgeted(program, cg, budget));
+                // The wave-parallel fixpoint draws the same fuel as the
+                // sequential pass (and delegates to it at jobs <= 1).
+                let modref = Arc::new(compute_modref_par(program, cg, budget, jobs));
                 let fuel = budget.fuel_consumed() - before;
-                self.store.modrefs.insert(
+                self.store.modrefs.write().unwrap().insert(
                     state_fp,
                     Cached {
-                        value: Rc::clone(&modref),
+                        value: Arc::clone(&modref),
                         fuel,
                     },
                 );
                 modref
             }
         };
-        self.stats
-            .record_wall(SessionPhase::ModRef, start.elapsed());
+        self.phase_wall(SessionPhase::ModRef, start.elapsed());
         modref
     }
 
     fn cached_ssa(
-        &mut self,
+        &self,
         program: &Program,
         pid: ProcId,
         kills: &dyn KillOracle,
         round: &RoundCtx,
-    ) -> Rc<SsaProc> {
+    ) -> Arc<SsaProc> {
         let key = SsaKey {
             closure_fp: round.closure_fps[pid.index()],
             mod_info: round.mod_info,
         };
         let start = Instant::now();
-        let ssa = match self.store.ssas.get(&key) {
+        let hit = self.store.ssas.read().unwrap().get(&key).cloned();
+        let ssa = match hit {
             Some(ssa) => {
-                self.stats.hit(SessionPhase::Ssa);
-                Rc::clone(ssa)
+                self.phase_hit(SessionPhase::Ssa);
+                ssa
             }
             None => {
-                self.stats.miss(SessionPhase::Ssa);
-                let ssa = Rc::new(build_ssa(program, program.proc(pid), kills));
-                self.store.ssas.insert(key, Rc::clone(&ssa));
+                self.phase_miss(SessionPhase::Ssa);
+                let ssa = Arc::new(build_ssa(program, program.proc(pid), kills));
+                self.store
+                    .ssas
+                    .write()
+                    .unwrap()
+                    .insert(key, Arc::clone(&ssa));
                 ssa
             }
         };
-        self.stats.record_wall(SessionPhase::Ssa, start.elapsed());
+        self.phase_wall(SessionPhase::Ssa, start.elapsed());
         ssa
     }
 
-    /// Builds the full return-jump-function table, bottom-up over the
+    /// One procedure's return-jump-function table, cached, with the fuel
+    /// to replay on the main budget. `rjfs` must already hold the final
+    /// tables of every callee outside `pid`'s SCC (and the SCC-local
+    /// partial tables when `pid` is recursive) — exactly what the
+    /// bottom-up SCC order and the wave schedule both guarantee.
+    ///
+    /// Misses compute on a private scratch budget so parallel workers
+    /// never touch the (thread-local) main budget; the caller replays
+    /// the returned fuel in deterministic merge order. Only consumption
+    /// *totals* are observable under unmetered budgets, so the reordering
+    /// is invisible.
+    fn rjf_for_proc(
+        &self,
+        program: &Program,
+        pid: ProcId,
+        rjfs: &ReturnJumpFns,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        options: SymEvalOptions,
+    ) -> (BTreeMap<Slot, JumpFn>, u64) {
+        let key = RjfKey {
+            closure_fp: round.closure_fps[pid.index()],
+            mod_info: round.mod_info,
+            gsa: options.gated_phis,
+        };
+        let hit = self.store.rjf_procs.read().unwrap().get(&key).cloned();
+        if let Some(cached) = hit {
+            self.phase_hit(SessionPhase::ReturnJf);
+            return ((*cached.value).clone(), cached.fuel);
+        }
+        self.phase_miss(SessionPhase::ReturnJf);
+        let scratch = Budget::unlimited();
+        // Mirror the single-shot builder's per-procedure draw.
+        scratch.checkpoint(Phase::ReturnJf, 1);
+        let ssa = self.cached_ssa(program, pid, kills, round);
+        let start = Instant::now();
+        let map = build_rjf_for_proc(program, pid, rjfs, &ssa, options, &scratch);
+        let fuel = scratch.fuel_consumed();
+        self.store.rjf_procs.write().unwrap().insert(
+            key,
+            Cached {
+                value: Arc::new(map.clone()),
+                fuel,
+            },
+        );
+        self.phase_wall(SessionPhase::ReturnJf, start.elapsed());
+        (map, fuel)
+    }
+
+    /// Builds the full return-jump-function table bottom-up over the
     /// call-graph condensation, reusing cached per-procedure tables.
+    ///
+    /// Scheduling runs in SCC *waves*: every SCC of one wave only calls
+    /// into strictly lower (already merged) waves, so all of a wave's
+    /// SCCs build concurrently. Recursive SCCs clone the table as a
+    /// private overlay and run their members in bottom-up order, exactly
+    /// like the sequential pass. Merging per wave in ascending SCC order
+    /// keeps the result and the fuel replay deterministic.
+    #[allow(clippy::too_many_arguments)]
     fn cached_return_jfs(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         round: &RoundCtx,
         kills: &dyn KillOracle,
         options: SymEvalOptions,
         budget: &Budget,
+        jobs: usize,
     ) -> ReturnJumpFns {
         let mut rjfs = ReturnJumpFns::empty(program.procs.len());
-        for scc in cg.sccs() {
-            for &pid in scc {
-                let key = RjfKey {
-                    closure_fp: round.closure_fps[pid.index()],
-                    mod_info: round.mod_info,
-                    gsa: options.gated_phis,
-                };
-                if let Some(cached) = self.store.rjf_procs.get(&key) {
-                    self.stats.hit(SessionPhase::ReturnJf);
-                    budget.checkpoint(Phase::ReturnJf, cached.fuel);
-                    rjfs.set_proc(pid, (*cached.value).clone());
-                    continue;
+        let sccs = cg.sccs();
+        let start = Instant::now();
+        for wave in scc_waves(cg) {
+            // Narrow waves (deep call chains) can't amortize a spawn;
+            // run them inline and save the fork/join for wide levels.
+            let wave_jobs = if wave.len() >= PAR_WAVE_MIN { jobs } else { 1 };
+            let built = par_map(wave_jobs, &wave, |_, &scc_idx| {
+                let scc = &sccs[scc_idx];
+                if let [pid] = scc[..] {
+                    let (map, fuel) = self.rjf_for_proc(program, pid, &rjfs, round, kills, options);
+                    vec![(pid, map, fuel)]
+                } else {
+                    // Recursive SCC: members read each other's partial
+                    // tables, so give the SCC a private overlay and run
+                    // its members in the sequential bottom-up order.
+                    let mut overlay = rjfs.clone();
+                    let mut out = Vec::with_capacity(scc.len());
+                    for &pid in scc {
+                        let (map, fuel) =
+                            self.rjf_for_proc(program, pid, &overlay, round, kills, options);
+                        overlay.set_proc(pid, map.clone());
+                        out.push((pid, map, fuel));
+                    }
+                    out
                 }
-                self.stats.miss(SessionPhase::ReturnJf);
-                let before = budget.fuel_consumed();
-                // Unmetered budgets never fail a checkpoint; mirror the
-                // single-shot builder's per-procedure draw.
-                budget.checkpoint(Phase::ReturnJf, 1);
-                let ssa = self.cached_ssa(program, pid, kills, round);
-                let start = Instant::now();
-                let map = build_rjf_for_proc(program, pid, &rjfs, &ssa, options, budget);
-                let fuel = budget.fuel_consumed() - before;
-                self.store.rjf_procs.insert(
-                    key,
-                    Cached {
-                        value: Rc::new(map.clone()),
-                        fuel,
-                    },
-                );
+            });
+            for (pid, map, fuel) in built.into_iter().flatten() {
+                budget.checkpoint(Phase::ReturnJf, fuel);
                 rjfs.set_proc(pid, map);
-                self.stats
-                    .record_wall(SessionPhase::ReturnJf, start.elapsed());
             }
+        }
+        if jobs > 1 {
+            self.phase_span(SessionPhase::ReturnJf, start.elapsed());
         }
         rjfs
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn cached_sym(
-        &mut self,
+    /// One procedure's symbolic values, cached, with the fuel to replay
+    /// (misses meter on a private scratch budget; see [`Self::rjf_for_proc`]).
+    fn sym_for_proc(
+        &self,
         program: &Program,
         pid: ProcId,
         round: &RoundCtx,
         kills: &dyn KillOracle,
         call_sym: &dyn CallSymbolics,
         options: SymEvalOptions,
-        budget: &Budget,
-    ) -> Rc<SymMap> {
+    ) -> (Arc<SymMap>, u64) {
         let key = SymKey {
             closure_fp: round.closure_fps[pid.index()],
             mod_info: round.mod_info,
             gsa: round.gsa,
             mode: round.mode,
         };
-        if let Some(cached) = self.store.syms.get(&key) {
-            self.stats.hit(SessionPhase::SymVals);
-            budget.checkpoint(Phase::SymEval, cached.fuel);
-            return Rc::clone(&cached.value);
+        let hit = self.store.syms.read().unwrap().get(&key).cloned();
+        if let Some(cached) = hit {
+            self.phase_hit(SessionPhase::SymVals);
+            return (cached.value, cached.fuel);
         }
-        self.stats.miss(SessionPhase::SymVals);
+        self.phase_miss(SessionPhase::SymVals);
         let ssa = self.cached_ssa(program, pid, kills, round);
         let start = Instant::now();
-        let before = budget.fuel_consumed();
-        let sym = Rc::new(symbolic_eval_budgeted(
+        let scratch = Budget::unlimited();
+        let sym = Arc::new(symbolic_eval_budgeted(
             program.proc(pid),
             &ssa,
             call_sym,
             options,
-            budget,
+            &scratch,
         ));
-        let fuel = budget.fuel_consumed() - before;
-        self.store.syms.insert(
+        let fuel = scratch.fuel_consumed();
+        self.store.syms.write().unwrap().insert(
             key,
             Cached {
-                value: Rc::clone(&sym),
+                value: Arc::clone(&sym),
                 fuel,
             },
         );
-        self.stats
-            .record_wall(SessionPhase::SymVals, start.elapsed());
-        sym
+        self.phase_wall(SessionPhase::SymVals, start.elapsed());
+        (sym, fuel)
+    }
+
+    /// One procedure's forward jump-function site vector, cached
+    /// (fuel-free beyond the per-procedure construction checkpoint the
+    /// caller replays).
+    #[allow(clippy::too_many_arguments)]
+    fn forward_sites_for_proc(
+        &self,
+        program: &Program,
+        cg: &CallGraph,
+        modref: &ModRefInfo,
+        kind: JumpFunctionKind,
+        pid: ProcId,
+        round: &RoundCtx,
+        kills: &dyn KillOracle,
+        sym: &SymMap,
+    ) -> Vec<SiteJumpFns> {
+        let key = ForwardKey {
+            closure_fp: round.closure_fps[pid.index()],
+            mod_info: round.mod_info,
+            gsa: round.gsa,
+            mode: round.mode,
+            kind,
+        };
+        let hit = self.store.forward_procs.read().unwrap().get(&key).cloned();
+        if let Some(cached) = hit {
+            self.phase_hit(SessionPhase::ForwardJf);
+            return (*cached.value).clone();
+        }
+        self.phase_miss(SessionPhase::ForwardJf);
+        let ssa = self.cached_ssa(program, pid, kills, round);
+        let start = Instant::now();
+        let sites = site_jfs_for_proc(program, cg, modref, kind, pid, &ssa, sym);
+        self.store.forward_procs.write().unwrap().insert(
+            key,
+            Cached {
+                value: Arc::new(sites.clone()),
+                fuel: 0,
+            },
+        );
+        self.phase_wall(SessionPhase::ForwardJf, start.elapsed());
+        sites
     }
 
     /// Assembles the forward jump function table from cached
-    /// per-procedure site vectors.
+    /// per-procedure site vectors, fanning the per-procedure work
+    /// (symbolic values + site construction) out over the worker pool
+    /// and merging in `ProcId` order.
     #[allow(clippy::too_many_arguments)]
     fn cached_forward_jfs(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         modref: &ModRefInfo,
@@ -880,6 +1079,7 @@ impl AnalysisSession {
         kills: &dyn KillOracle,
         options: SymEvalOptions,
         budget: &Budget,
+        jobs: usize,
     ) -> ForwardJumpFns {
         let const_eval = RjfConstEval { rjfs };
         let composer = RjfComposer { rjfs };
@@ -889,8 +1089,22 @@ impl AnalysisSession {
             CallSymMode::Compose => &composer,
         };
 
-        let mut per_proc = Vec::with_capacity(program.procs.len());
-        for pid in program.proc_ids() {
+        let pids: Vec<ProcId> = program.proc_ids().collect();
+        let start = Instant::now();
+        let built = par_map(jobs, &pids, |_, &pid| {
+            // Symbolic values are resolved (computed or fuel-replayed)
+            // even when the site table hits, so consumption matches the
+            // single-shot builder, which evaluates every procedure.
+            let (sym, sym_fuel) = self.sym_for_proc(program, pid, round, kills, call_sym, options);
+            let sites =
+                self.forward_sites_for_proc(program, cg, modref, kind, pid, round, kills, &sym);
+            (sym_fuel, sites)
+        });
+        if jobs > 1 {
+            self.phase_span(SessionPhase::ForwardJf, start.elapsed());
+        }
+        let mut per_proc = Vec::with_capacity(pids.len());
+        for (pid, (sym_fuel, sites)) in pids.into_iter().zip(built) {
             // The per-procedure construction checkpoint. Unmetered
             // budgets always afford the requested rung, so the precision
             // ladder of the single-shot builder never engages here.
@@ -898,48 +1112,15 @@ impl AnalysisSession {
                 Phase::ForwardJf,
                 kind_weight(kind).saturating_mul(proc_estimate(program.proc(pid))),
             );
-            // Symbolic values are resolved (computed or fuel-replayed)
-            // even when the site table below hits, so consumption
-            // matches the single-shot builder, which evaluates every
-            // procedure.
-            let sym = self.cached_sym(program, pid, round, kills, call_sym, options, budget);
-
-            let key = ForwardKey {
-                closure_fp: round.closure_fps[pid.index()],
-                mod_info: round.mod_info,
-                gsa: round.gsa,
-                mode: round.mode,
-                kind,
-            };
-            let start = Instant::now();
-            match self.store.forward_procs.get(&key) {
-                Some(cached) => {
-                    self.stats.hit(SessionPhase::ForwardJf);
-                    per_proc.push((*cached.value).clone());
-                }
-                None => {
-                    self.stats.miss(SessionPhase::ForwardJf);
-                    let ssa = self.cached_ssa(program, pid, kills, round);
-                    let sites = site_jfs_for_proc(program, cg, modref, kind, pid, &ssa, &sym);
-                    self.store.forward_procs.insert(
-                        key,
-                        Cached {
-                            value: Rc::new(sites.clone()),
-                            fuel: 0,
-                        },
-                    );
-                    per_proc.push(sites);
-                }
-            }
-            self.stats
-                .record_wall(SessionPhase::ForwardJf, start.elapsed());
+            budget.checkpoint(Phase::SymEval, sym_fuel);
+            per_proc.push(sites);
         }
         ForwardJumpFns::from_parts(per_proc)
     }
 
     #[allow(clippy::too_many_arguments)]
     fn cached_solve(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         modref: &ModRefInfo,
@@ -948,7 +1129,7 @@ impl AnalysisSession {
         solver: SolverKind,
         round: &RoundCtx,
         budget: &Budget,
-    ) -> Rc<ValSets> {
+    ) -> Arc<ValSets> {
         let key = SolveKey {
             state_fp: round.state_fp,
             mod_info: round.mod_info,
@@ -958,14 +1139,15 @@ impl AnalysisSession {
             solver,
         };
         let start = Instant::now();
-        let vals = match self.store.solves.get(&key) {
+        let hit = self.store.solves.read().unwrap().get(&key).cloned();
+        let vals = match hit {
             Some(cached) => {
-                self.stats.hit(SessionPhase::Solve);
+                self.phase_hit(SessionPhase::Solve);
                 budget.checkpoint(Phase::Solver, cached.fuel);
-                Rc::clone(&cached.value)
+                cached.value
             }
             None => {
-                self.stats.miss(SessionPhase::Solve);
+                self.phase_miss(SessionPhase::Solve);
                 let before = budget.fuel_consumed();
                 let v = match solver {
                     SolverKind::CallGraph => solve_budgeted(program, cg, modref, jfs, budget),
@@ -974,24 +1156,24 @@ impl AnalysisSession {
                     }
                 };
                 let fuel = budget.fuel_consumed() - before;
-                let v = Rc::new(v);
-                self.store.solves.insert(
+                let v = Arc::new(v);
+                self.store.solves.write().unwrap().insert(
                     key,
                     Cached {
-                        value: Rc::clone(&v),
+                        value: Arc::clone(&v),
                         fuel,
                     },
                 );
                 v
             }
         };
-        self.stats.record_wall(SessionPhase::Solve, start.elapsed());
+        self.phase_wall(SessionPhase::Solve, start.elapsed());
         vals
     }
 
     #[allow(clippy::too_many_arguments)]
     fn cached_subst(
-        &mut self,
+        &self,
         program: &Program,
         cg: &CallGraph,
         calls: &dyn CallLattice,
@@ -999,7 +1181,8 @@ impl AnalysisSession {
         config: &AnalysisConfig,
         round: &RoundCtx,
         kills: &dyn KillOracle,
-    ) -> Rc<SubstitutionCounts> {
+        jobs: usize,
+    ) -> Arc<SubstitutionCounts> {
         let key = SubstKey {
             state_fp: round.state_fp,
             mod_info: round.mod_info,
@@ -1009,45 +1192,57 @@ impl AnalysisSession {
                 .interprocedural
                 .then_some((config.jump_function, config.solver)),
         };
-        if let Some(counts) = self.store.substs.get(&key) {
-            self.stats.hit(SessionPhase::Subst);
-            return Rc::clone(counts);
+        let hit = self.store.substs.read().unwrap().get(&key).cloned();
+        if let Some(counts) = hit {
+            self.phase_hit(SessionPhase::Subst);
+            return counts;
         }
-        self.stats.miss(SessionPhase::Subst);
+        self.phase_miss(SessionPhase::Subst);
         // Prefetch SSA through the cache (substitution counting itself
         // draws no fuel; SSA construction is fuel-free).
-        let ssas: Vec<Rc<SsaProc>> = program
-            .proc_ids()
-            .map(|pid| self.cached_ssa(program, pid, kills, round))
-            .collect();
+        let pids: Vec<ProcId> = program.proc_ids().collect();
+        let ssa_start = Instant::now();
+        let ssas: Vec<Arc<SsaProc>> = par_map(jobs, &pids, |_, &pid| {
+            self.cached_ssa(program, pid, kills, round)
+        });
+        if jobs > 1 {
+            self.phase_span(SessionPhase::Ssa, ssa_start.elapsed());
+        }
         let start = Instant::now();
-        let counts = Rc::new(count_substitutions_with_ssa(
+        let counts = Arc::new(count_substitutions_with_ssa_jobs(
             program,
             cg,
             calls,
             vals,
-            &|pid| Rc::clone(&ssas[pid.index()]),
+            &|pid| Arc::clone(&ssas[pid.index()]),
+            jobs,
         ));
-        self.store.substs.insert(key, Rc::clone(&counts));
-        self.stats.record_wall(SessionPhase::Subst, start.elapsed());
+        self.store
+            .substs
+            .write()
+            .unwrap()
+            .insert(key, Arc::clone(&counts));
+        self.phase_wall(SessionPhase::Subst, start.elapsed());
+        if jobs > 1 {
+            self.phase_span(SessionPhase::Subst, start.elapsed());
+        }
         counts
     }
 
     /// One SCCP + DCE step over a procedure, cached by closure
     /// fingerprint and entry environment: after a DCE round, only
     /// procedures whose IR changed (or whose callees' IR changed, or
-    /// whose entry `VAL` set moved) are re-processed.
-    #[allow(clippy::too_many_arguments)]
-    fn cached_dce_step(
-        &mut self,
+    /// whose entry `VAL` set moved) are re-processed. Returns the step
+    /// and the fuel for the caller to replay in `ProcId` order.
+    fn dce_step_for_proc(
+        &self,
         program: &Program,
         pid: ProcId,
         round: &RoundCtx,
         kills: &dyn KillOracle,
         calls: &dyn CallLattice,
         vals: Option<&ValSets>,
-        budget: &Budget,
-    ) -> DceStep {
+    ) -> (DceStep, u64) {
         let env_fp = fingerprint_debug(&vals.map(|v| v.of(pid)));
         let key = DceKey {
             closure_fp: round.closure_fps[pid.index()],
@@ -1056,17 +1251,21 @@ impl AnalysisSession {
             recovery: round.mode != CallSymMode::Pessimistic,
             env_fp,
         };
-        if let Some(cached) = self.store.dces.get(&key) {
-            self.stats.hit(SessionPhase::Dce);
-            budget.checkpoint(Phase::Sccp, cached.fuel);
-            return DceStep {
-                proc: cached.value.proc.clone(),
-                changed: cached.value.changed,
-            };
+        let hit = self.store.dces.read().unwrap().get(&key).cloned();
+        if let Some(cached) = hit {
+            self.phase_hit(SessionPhase::Dce);
+            return (
+                DceStep {
+                    proc: cached.value.proc.clone(),
+                    changed: cached.value.changed,
+                },
+                cached.fuel,
+            );
         }
-        self.stats.miss(SessionPhase::Dce);
+        self.phase_miss(SessionPhase::Dce);
         let ssa = self.cached_ssa(program, pid, kills, round);
-        let before = budget.fuel_consumed();
+        let start = Instant::now();
+        let scratch = Budget::unlimited();
         let proc_copy = program.proc(pid).clone();
         let result = match vals {
             Some(v) => {
@@ -1078,7 +1277,7 @@ impl AnalysisSession {
                         entry_env: &env,
                         calls,
                     },
-                    budget,
+                    &scratch,
                 )
             }
             None => sccp_budgeted(
@@ -1088,36 +1287,37 @@ impl AnalysisSession {
                     entry_env: &bottom_entry,
                     calls,
                 },
-                budget,
+                &scratch,
             ),
         };
         let mut proc = proc_copy;
         let changed = dce_round(program, &mut proc, &ssa, &result, kills);
-        let fuel = budget.fuel_consumed() - before;
-        let step = DceStep {
-            proc: proc.clone(),
-            changed,
-        };
-        self.store.dces.insert(
+        let fuel = scratch.fuel_consumed();
+        self.store.dces.write().unwrap().insert(
             key,
             Cached {
-                value: Rc::new(DceStep { proc, changed }),
+                value: Arc::new(DceStep {
+                    proc: proc.clone(),
+                    changed,
+                }),
                 fuel,
             },
         );
-        step
+        self.phase_wall(SessionPhase::Dce, start.elapsed());
+        (DceStep { proc, changed }, fuel)
     }
 
     /// The complete-propagation recount over the pristine program,
     /// mirroring the single-shot `counting_pass` (which rebuilds its
     /// side tables with *default* symbolic-evaluation options).
     fn cached_counting_pass(
-        &mut self,
+        &self,
         config: &AnalysisConfig,
         vals: Option<&ValSets>,
         final_fp: u64,
         budget: &Budget,
-    ) -> Rc<SubstitutionCounts> {
+        jobs: usize,
+    ) -> Arc<SubstitutionCounts> {
         let mut orig = self.base.clone();
         let orig_fp = self.base_fp;
         let key = CountingKey {
@@ -1131,18 +1331,19 @@ impl AnalysisSession {
                 .interprocedural
                 .then_some((config.jump_function, config.solver)),
         };
-        if let Some(cached) = self.store.countings.get(&key) {
-            self.stats.hit(SessionPhase::Subst);
+        let hit = self.store.countings.read().unwrap().get(&key).cloned();
+        if let Some(cached) = hit {
+            self.phase_hit(SessionPhase::Subst);
             budget.checkpoint(Phase::ModRef, cached.fuel);
-            return Rc::clone(&cached.value);
+            return cached.value;
         }
-        self.stats.miss(SessionPhase::Subst);
+        self.phase_miss(SessionPhase::Subst);
         let before = budget.fuel_consumed();
 
         let cg = self.cached_call_graph(&orig, orig_fp);
-        let modref = self.cached_modref(&orig, &cg, orig_fp, budget);
+        let modref = self.cached_modref(&orig, &cg, orig_fp, budget, jobs);
         augment_global_vars(&mut orig, &modref);
-        let closure_fps = self.cached_closures(&orig, &cg, orig_fp);
+        let closure_fps = self.cached_closures(&orig, &cg, orig_fp, jobs);
         // The single-shot counting pass builds its return jump functions
         // with default symbolic-evaluation options — gsa facets pinned to
         // their defaults here for the same behaviour.
@@ -1163,7 +1364,15 @@ impl AnalysisSession {
                 &WorstCaseKills
             };
             let rjfs = if config.return_jump_functions {
-                self.cached_return_jfs(orig, &cg, &round, kills, SymEvalOptions::default(), budget)
+                self.cached_return_jfs(
+                    orig,
+                    &cg,
+                    &round,
+                    kills,
+                    SymEvalOptions::default(),
+                    budget,
+                    jobs,
+                )
             } else {
                 ReturnJumpFns::empty(orig.procs.len())
             };
@@ -1173,26 +1382,27 @@ impl AnalysisSession {
             } else {
                 &PessimisticCalls
             };
-            let ssas: Vec<Rc<SsaProc>> = orig
-                .proc_ids()
-                .map(|pid| self.cached_ssa(orig, pid, kills, &round))
-                .collect();
+            let pids: Vec<ProcId> = orig.proc_ids().collect();
+            let ssas: Vec<Arc<SsaProc>> = par_map(jobs, &pids, |_, &pid| {
+                self.cached_ssa(orig, pid, kills, &round)
+            });
             let start = Instant::now();
-            let counts = Rc::new(count_substitutions_with_ssa(
+            let counts = Arc::new(count_substitutions_with_ssa_jobs(
                 orig,
                 &cg,
                 calls,
                 vals,
-                &|pid| Rc::clone(&ssas[pid.index()]),
+                &|pid| Arc::clone(&ssas[pid.index()]),
+                jobs,
             ));
-            self.stats.record_wall(SessionPhase::Subst, start.elapsed());
+            self.phase_wall(SessionPhase::Subst, start.elapsed());
             counts
         };
         let fuel = budget.fuel_consumed() - before;
-        self.store.countings.insert(
+        self.store.countings.write().unwrap().insert(
             key,
             Cached {
-                value: Rc::clone(&counts),
+                value: Arc::clone(&counts),
                 fuel,
             },
         );
@@ -1207,33 +1417,31 @@ impl AnalysisSession {
 /// round it changes exactly for the procedures whose own IR changed plus
 /// their call-graph dependents, which is what makes complete propagation
 /// incremental.
-fn closure_fingerprints(program: &Program, cg: &CallGraph) -> Vec<u64> {
-    let proc_fps: Vec<u64> = program.procs.iter().map(fingerprint_debug).collect();
+fn closure_fingerprints(program: &Program, cg: &CallGraph, jobs: usize) -> Vec<u64> {
+    let proc_fps: Vec<u64> = par_map(jobs, &program.procs, |_, p| fingerprint_debug(p));
     let globals_fp = fingerprint_debug(&(&program.globals, program.main));
-    program
-        .proc_ids()
-        .map(|pid| {
-            let mut seen = vec![false; program.procs.len()];
-            seen[pid.index()] = true;
-            let mut stack = vec![pid];
-            while let Some(p) = stack.pop() {
-                for site in cg.sites(p) {
-                    if !seen[site.callee.index()] {
-                        seen[site.callee.index()] = true;
-                        stack.push(site.callee);
-                    }
+    let pids: Vec<ProcId> = program.proc_ids().collect();
+    par_map(jobs, &pids, |_, &pid| {
+        let mut seen = vec![false; program.procs.len()];
+        seen[pid.index()] = true;
+        let mut stack = vec![pid];
+        while let Some(p) = stack.pop() {
+            for site in cg.sites(p) {
+                if !seen[site.callee.index()] {
+                    seen[site.callee.index()] = true;
+                    stack.push(site.callee);
                 }
             }
-            let mut parts = vec![globals_fp, proc_fps[pid.index()]];
-            for (i, in_closure) in seen.iter().enumerate() {
-                if *in_closure {
-                    parts.push(i as u64);
-                    parts.push(proc_fps[i]);
-                }
+        }
+        let mut parts = vec![globals_fp, proc_fps[pid.index()]];
+        for (i, in_closure) in seen.iter().enumerate() {
+            if *in_closure {
+                parts.push(i as u64);
+                parts.push(proc_fps[i]);
             }
-            combine(parts)
-        })
-        .collect()
+        }
+        combine(parts)
+    })
 }
 
 #[cfg(test)]
@@ -1304,7 +1512,7 @@ main\ncall f(0)\nend\n";
     fn session_sweep_matches_reference_pipeline() {
         for src in [OCEAN_LIKE, DEAD_GUARD] {
             let program = ipcp_ir::compile_to_ir(src).unwrap();
-            let mut session = AnalysisSession::new(&program);
+            let session = AnalysisSession::new(&program);
             for (i, config) in sweep_configs().iter().enumerate() {
                 let got = session.analyze(config);
                 let want = analyze_with_budget_reference(
@@ -1320,7 +1528,7 @@ main\ncall f(0)\nend\n";
     #[test]
     fn repeated_analyses_hit_the_store() {
         let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
-        let mut session = AnalysisSession::new(&program);
+        let session = AnalysisSession::new(&program);
         let first = session.analyze(&AnalysisConfig::default());
         let cold_misses = session.stats().total_misses();
         assert!(cold_misses > 0, "cold run computes artifacts");
@@ -1338,7 +1546,7 @@ main\ncall f(0)\nend\n";
     #[test]
     fn config_sweep_reuses_config_independent_artifacts() {
         let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
-        let mut session = AnalysisSession::new(&program);
+        let session = AnalysisSession::new(&program);
         session.analyze(&AnalysisConfig::default());
         let ssa_misses = session.stats().counter(SessionPhase::Ssa).misses;
         // A different jump-function kind shares SSA, MOD/REF, call graph,
@@ -1362,7 +1570,7 @@ main\ncall f(0)\nend\n";
         // but as a caller of `f` its closure changes — while `f`'s leaf
         // position means round 2 must still re-derive only what changed.
         let program = ipcp_ir::compile_to_ir(DEAD_GUARD).unwrap();
-        let mut session = AnalysisSession::new(&program);
+        let session = AnalysisSession::new(&program);
         let complete = AnalysisConfig {
             complete_propagation: true,
             ..AnalysisConfig::default()
@@ -1380,7 +1588,7 @@ main\ncall f(0)\nend\n";
     #[test]
     fn metered_budgets_take_the_reference_path() {
         let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
-        let mut session = AnalysisSession::new(&program);
+        let session = AnalysisSession::new(&program);
         let config = AnalysisConfig {
             fuel: Some(40),
             ..AnalysisConfig::default()
@@ -1394,7 +1602,7 @@ main\ncall f(0)\nend\n";
 
     #[test]
     fn checked_analysis_propagates_exhaustion_policy() {
-        let mut session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
+        let session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
         let config = AnalysisConfig {
             fuel: Some(3),
             on_exhausted: ExhaustionPolicy::Error,
@@ -1406,7 +1614,7 @@ main\ncall f(0)\nend\n";
 
     #[test]
     fn stats_render_as_json_and_text() {
-        let mut session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
+        let session = AnalysisSession::from_source(OCEAN_LIKE).unwrap();
         session.analyze(&AnalysisConfig::default());
         let json = session.stats().to_json();
         assert!(json.starts_with("{\"analyses\":1,\"rounds\":1,\"phases\":{"));
@@ -1414,5 +1622,57 @@ main\ncall f(0)\nend\n";
         let text = session.stats().to_string();
         assert!(text.contains("phase"));
         assert!(text.contains("ssa"));
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisSession>();
+        assert_send_sync::<ArtifactStore>();
+    }
+
+    #[test]
+    fn jobs_levels_are_bit_identical() {
+        // jobs = 0 (treated as 1), an in-between level, and far more
+        // workers than procedures all reproduce the sequential outcome.
+        let variants = [
+            AnalysisConfig::default(),
+            AnalysisConfig {
+                complete_propagation: true,
+                ..AnalysisConfig::default()
+            },
+            AnalysisConfig {
+                gsa: true,
+                rjf_full_composition: true,
+                ..AnalysisConfig::default()
+            },
+        ];
+        for src in [OCEAN_LIKE, DEAD_GUARD] {
+            let program = ipcp_ir::compile_to_ir(src).unwrap();
+            for base in &variants {
+                let want =
+                    analyze_with_budget_reference(&program, base, &Budget::for_limit(base.fuel));
+                for jobs in [0usize, 2, 8, 64] {
+                    let session = AnalysisSession::new(&program);
+                    let config = AnalysisConfig { jobs, ..*base };
+                    let got = session.analyze(&config);
+                    assert_outcomes_equal(&got, &want, &format!("jobs={jobs}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_sweep_shares_one_store() {
+        let program = ipcp_ir::compile_to_ir(OCEAN_LIKE).unwrap();
+        let session = AnalysisSession::new(&program);
+        let configs = sweep_configs();
+        let outs = par_map(4, &configs, |_, config| session.analyze(config));
+        for (i, (config, got)) in configs.iter().zip(&outs).enumerate() {
+            let want =
+                analyze_with_budget_reference(&program, config, &Budget::for_limit(config.fuel));
+            assert_outcomes_equal(got, &want, &format!("concurrent config #{i}"));
+        }
+        assert!(!session.store().is_empty());
     }
 }

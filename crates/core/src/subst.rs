@@ -40,7 +40,7 @@ pub fn count_substitutions(
     vals: Option<&ValSets>,
 ) -> SubstitutionCounts {
     count_substitutions_with_ssa(program, cg, calls, vals, &|pid| {
-        std::rc::Rc::new(build_ssa(program, program.proc(pid), kills))
+        std::sync::Arc::new(build_ssa(program, program.proc(pid), kills))
     })
 }
 
@@ -53,81 +53,108 @@ pub fn count_substitutions_with_ssa(
     cg: &CallGraph,
     calls: &dyn CallLattice,
     vals: Option<&ValSets>,
-    ssa_of: &dyn Fn(ipcp_ir::ProcId) -> std::rc::Rc<ipcp_ssa::SsaProc>,
+    ssa_of: &(dyn Fn(ipcp_ir::ProcId) -> std::sync::Arc<ipcp_ssa::SsaProc> + Sync),
 ) -> SubstitutionCounts {
-    let mut per_proc = vec![0usize; program.procs.len()];
-    for pid in program.proc_ids() {
+    count_substitutions_with_ssa_jobs(program, cg, calls, vals, ssa_of, 1)
+}
+
+/// [`count_substitutions_with_ssa`] fanned out over up to `jobs` worker
+/// threads. Each procedure's count is independent (the per-proc SCCP is
+/// a pure function of the program, `VAL` sets, and call lattice) and the
+/// per-procedure vector merges in `ProcId` order, so the result is
+/// bit-identical at any thread count.
+pub fn count_substitutions_with_ssa_jobs(
+    program: &Program,
+    cg: &CallGraph,
+    calls: &dyn CallLattice,
+    vals: Option<&ValSets>,
+    ssa_of: &(dyn Fn(ipcp_ir::ProcId) -> std::sync::Arc<ipcp_ssa::SsaProc> + Sync),
+    jobs: usize,
+) -> SubstitutionCounts {
+    let pids: Vec<ipcp_ir::ProcId> = program.proc_ids().collect();
+    let per_proc = ipcp_analysis::par_map(jobs, &pids, |_, &pid| {
         if !cg.is_reachable(pid) {
-            continue;
+            return 0;
         }
-        let proc = program.proc(pid);
-        let ssa = ssa_of(pid);
-        let bottom = ipcp_analysis::sccp::bottom_entry;
-        let result = match vals {
-            Some(v) => {
-                let env = entry_env_of(program, pid, v);
-                sccp(
-                    proc,
-                    &ssa,
-                    &SccpConfig {
-                        entry_env: &env,
-                        calls,
-                    },
-                )
-            }
-            None => sccp(
+        count_one_proc(program, calls, vals, pid, &ssa_of(pid))
+    });
+    let total = per_proc.iter().sum();
+    SubstitutionCounts { per_proc, total }
+}
+
+/// The substitution count of one reachable procedure (see the module
+/// docs for the metric).
+fn count_one_proc(
+    program: &Program,
+    calls: &dyn CallLattice,
+    vals: Option<&ValSets>,
+    pid: ipcp_ir::ProcId,
+    ssa: &ipcp_ssa::SsaProc,
+) -> usize {
+    let proc = program.proc(pid);
+    let bottom = ipcp_analysis::sccp::bottom_entry;
+    let result = match vals {
+        Some(v) => {
+            let env = entry_env_of(program, pid, v);
+            sccp(
                 proc,
-                &ssa,
+                ssa,
                 &SccpConfig {
-                    entry_env: &bottom,
+                    entry_env: &env,
                     calls,
                 },
-            ),
-        };
+            )
+        }
+        None => sccp(
+            proc,
+            ssa,
+            &SccpConfig {
+                entry_env: &bottom,
+                calls,
+            },
+        ),
+    };
 
-        let mut count = 0usize;
-        let countable = |op: SsaOperand| -> bool {
-            let Some(n) = op.as_name() else { return false };
-            if proc.var(ssa.var_of(n)).kind == VarKind::Temp {
-                return false;
-            }
-            matches!(result.values[n.index()], LatticeVal::Const(_))
-        };
-        for (b, blk) in ssa.rpo_blocks() {
-            if !result.executable[b.index()] {
-                continue;
-            }
-            for instr in &blk.instrs {
-                match instr {
-                    SsaInstr::Call { args, .. } => {
-                        for a in args {
-                            // Only by-value actuals are textual value uses.
-                            if a.by_ref_var.is_none() {
-                                if let Some(op) = a.value {
-                                    count += usize::from(countable(op));
-                                }
+    let mut count = 0usize;
+    let countable = |op: SsaOperand| -> bool {
+        let Some(n) = op.as_name() else { return false };
+        if proc.var(ssa.var_of(n)).kind == VarKind::Temp {
+            return false;
+        }
+        matches!(result.values[n.index()], LatticeVal::Const(_))
+    };
+    for (b, blk) in ssa.rpo_blocks() {
+        if !result.executable[b.index()] {
+            continue;
+        }
+        for instr in &blk.instrs {
+            match instr {
+                SsaInstr::Call { args, .. } => {
+                    for a in args {
+                        // Only by-value actuals are textual value uses.
+                        if a.by_ref_var.is_none() {
+                            if let Some(op) = a.value {
+                                count += usize::from(countable(op));
                             }
                         }
                     }
-                    other => {
-                        other.for_each_use(|op| count += usize::from(countable(op)));
-                    }
                 }
-            }
-            match &blk.term {
-                SsaTerminator::Branch { cond, .. } => count += usize::from(countable(*cond)),
-                SsaTerminator::Return {
-                    value: Some(op), ..
-                } => {
-                    count += usize::from(countable(*op));
+                other => {
+                    other.for_each_use(|op| count += usize::from(countable(op)));
                 }
-                _ => {}
             }
         }
-        per_proc[pid.index()] = count;
+        match &blk.term {
+            SsaTerminator::Branch { cond, .. } => count += usize::from(countable(*cond)),
+            SsaTerminator::Return {
+                value: Some(op), ..
+            } => {
+                count += usize::from(countable(*op));
+            }
+            _ => {}
+        }
     }
-    let total = per_proc.iter().sum();
-    SubstitutionCounts { per_proc, total }
+    count
 }
 
 /// Rewrites every substitutable operand (including temporaries) to its

@@ -15,7 +15,10 @@ use ipcp_ir::{BlockId, CallArg, Instr, Operand, ProcId, Procedure, Program, Term
 use std::collections::HashMap;
 
 /// Supplies the caller-side variables a call may redefine.
-pub trait KillOracle {
+///
+/// `Sync` is a supertrait so oracles can be shared by reference with the
+/// per-procedure fan-out workers of the parallel analysis engine.
+pub trait KillOracle: Sync {
     /// Variables of `caller` that the call `callee(args)` may redefine.
     /// Implementations must only return scalar variables (arrays have no
     /// scalar SSA names) and must not depend on the call's program point.

@@ -99,6 +99,10 @@ options:
   --input <a,b,c>                 read() inputs for `run`
   --fuel <N>                      analysis fuel budget (default unlimited);
                                   exhausted phases degrade gracefully
+  --jobs <N>                      worker threads for the parallel analysis
+                                  phases (default: every available core;
+                                  0 or 1 runs sequentially — results are
+                                  bit-identical at any setting)
   --timings                       print per-phase wall-clock + cache stats
                                   of the analysis session (`analyze` only)
   --on-exhausted <degrade|error>  what fuel exhaustion means (default degrade)
@@ -120,7 +124,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         .cloned()
         .ok_or_else(|| UsageError("missing input file".into()))?;
 
-    let mut config = AnalysisConfig::default();
+    // The CLI is a leaf consumer, so it defaults to every available core
+    // (library callers keep the conservative `IPCP_JOBS`-or-1 default).
+    let mut config = AnalysisConfig {
+        jobs: crate::core::Parallelism::auto().jobs,
+        ..AnalysisConfig::default()
+    };
     let mut input = Vec::new();
     let mut clone_procedures = false;
     let mut timings = false;
@@ -160,6 +169,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     n.parse::<u64>()
                         .map_err(|_| UsageError(format!("bad --fuel value `{n}`")))?,
                 );
+            }
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--jobs needs a value".into()))?;
+                config.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("bad --jobs value `{n}`")))?;
             }
             "--on-exhausted" => {
                 let policy = it
@@ -219,7 +236,7 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
     match cli.command {
         Command::Analyze => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
-            let mut session = crate::core::AnalysisSession::new(&program);
+            let session = crate::core::AnalysisSession::new(&program);
             let outcome = session
                 .analyze_checked(&cli.config)
                 .map_err(|e| e.to_string())?;
@@ -347,7 +364,24 @@ mod tests {
         let cli = parse_args(&args(&["analyze", "x.mf"])).unwrap();
         assert_eq!(cli.command, Command::Analyze);
         assert_eq!(cli.file, "x.mf");
-        assert_eq!(cli.config, AnalysisConfig::default());
+        // The CLI upgrades the library's conservative jobs default to
+        // every available core; everything else is untouched.
+        let expected = AnalysisConfig {
+            jobs: crate::core::Parallelism::auto().jobs,
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(cli.config, expected);
+    }
+
+    #[test]
+    fn parse_jobs_flag() {
+        let cli = parse_args(&args(&["analyze", "x.mf", "--jobs", "4"])).unwrap();
+        assert_eq!(cli.config.jobs, 4);
+        let cli = parse_args(&args(&["analyze", "x.mf", "--jobs", "0"])).unwrap();
+        assert_eq!(cli.config.jobs, 0);
+        assert!(parse_args(&args(&["analyze", "x.mf", "--jobs"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--jobs", "many"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--jobs", "-2"])).is_err());
     }
 
     #[test]

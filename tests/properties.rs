@@ -471,7 +471,10 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
         proptest::bool::ANY,
         (proptest::bool::ANY, proptest::bool::ANY),
         proptest::sample::select(vec![SolverKind::CallGraph, SolverKind::BindingGraph]),
-        proptest::sample::select(vec![None, Some(0u64), Some(50), Some(5000)]),
+        (
+            proptest::sample::select(vec![None, Some(0u64), Some(50), Some(5000)]),
+            proptest::sample::select(vec![0usize, 1, 2, 8]),
+        ),
     )
         .prop_map(
             |(
@@ -482,7 +485,7 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
                 interprocedural,
                 (compose, gsa),
                 solver,
-                fuel,
+                (fuel, jobs),
             )| {
                 AnalysisConfig {
                     jump_function,
@@ -493,6 +496,7 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
                     rjf_full_composition: compose,
                     solver,
                     gsa,
+                    jobs,
                     fuel,
                     on_exhausted: ExhaustionPolicy::Degrade,
                 }
@@ -531,7 +535,7 @@ proptest! {
     ) {
         use ipcp::core::{analyze_reference, AnalysisSession};
         let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
-        let mut session = AnalysisSession::new(&ir);
+        let session = AnalysisSession::new(&ir);
         for (i, config) in configs.iter().enumerate() {
             let got = session.analyze(config);
             let want = analyze_reference(&ir, config);
@@ -556,7 +560,7 @@ proptest! {
             gsa,
             ..AnalysisConfig::default()
         };
-        let mut session = AnalysisSession::new(&ir);
+        let session = AnalysisSession::new(&ir);
         let got = session.analyze(&config);
         let want = analyze_reference(&ir, &config);
         assert_outcomes_identical(&got, &want, "complete propagation");
@@ -567,6 +571,24 @@ proptest! {
         let again = session.analyze(&config);
         assert_outcomes_identical(&again, &want, "replay");
         prop_assert_eq!(session.stats().total_misses(), misses, "replay computed artifacts");
+    }
+
+    /// Determinism under parallelism: for any program and configuration,
+    /// running the analysis at 1, 2, and 8 worker threads yields
+    /// byte-identical outcomes — same transformed program, same CONSTANTS
+    /// sets, same substitution counts, same cost stats, same robustness
+    /// report.
+    #[test]
+    fn thread_count_never_changes_the_outcome(
+        src in program(),
+        config in arb_config(),
+    ) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let want = analyze(&ir, &AnalysisConfig { jobs: 1, ..config });
+        for jobs in [2usize, 8] {
+            let got = analyze(&ir, &AnalysisConfig { jobs, ..config });
+            assert_outcomes_identical(&got, &want, &format!("jobs={jobs} vs 1: {config:?}"));
+        }
     }
 }
 
