@@ -45,14 +45,16 @@ pub use alias::{check_aliasing, AliasKind, AliasViolation};
 pub use budget::{Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, RobustnessReport};
 pub use callgraph::{CallGraph, CallSite};
 pub use lattice::LatticeVal;
+pub use modref::compute_modref_obs;
 pub use modref::{
     augment_global_vars, compute_modref, compute_modref_budgeted, compute_modref_par, slot_of_var,
     ModKills, ModRefInfo, Slot,
 };
-pub use par::{par_map, scc_waves, Parallelism, PAR_WAVE_MIN};
+pub use par::{par_map, par_map_obs, scc_waves, Parallelism, PAR_WAVE_MIN};
 pub use poly::{Poly, PolyCaps};
 pub use sccp::{
-    bottom_entry, sccp, sccp_budgeted, CallLattice, PessimisticCalls, SccpConfig, SccpResult,
+    bottom_entry, sccp, sccp_budgeted, sccp_instrumented, CallLattice, PessimisticCalls,
+    SccpConfig, SccpResult,
 };
 pub use subscripts::{classify_subscripts, count_subscripts, SubscriptClass, SubscriptCounts};
 pub use symeval::{

@@ -344,6 +344,29 @@ pub fn compute_modref_par(
     ModRefInfo { mods, refs }
 }
 
+/// [`compute_modref_par`] with a phase span and summary counters
+/// reported to `sink`: `modref.mod_slots` / `modref.ref_slots` total
+/// the computed summary sizes. The returned summaries are the same
+/// bytes at any sink.
+pub fn compute_modref_obs(
+    program: &Program,
+    cg: &CallGraph,
+    budget: &Budget,
+    jobs: usize,
+    sink: &dyn ipcp_obs::ObsSink,
+) -> ModRefInfo {
+    let start = sink.now();
+    let modref = compute_modref_par(program, cg, budget, jobs);
+    if sink.enabled() {
+        sink.span("modref", "phase", start, sink.now().saturating_sub(start));
+        let mods: usize = program.proc_ids().map(|p| modref.mods(p).len()).sum();
+        let refs: usize = program.proc_ids().map(|p| modref.refs(p).len()).sum();
+        sink.count("modref.mod_slots", mods as u64);
+        sink.count("modref.ref_slots", refs as u64);
+    }
+    modref
+}
+
 /// Local (intraprocedural) MOD/REF of one procedure. Scalar slots only.
 fn direct_effects(proc: &Procedure) -> (BTreeSet<Slot>, BTreeSet<Slot>) {
     let mut mods = BTreeSet::new();

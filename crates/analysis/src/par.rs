@@ -134,6 +134,35 @@ where
         .collect()
 }
 
+/// [`par_map`] with one observability span per item.
+///
+/// When `sink` is enabled every item's execution records a span named
+/// `name` (category `par`) from the worker thread that ran it, so
+/// Chrome traces show the actual fan-out schedule; when disabled this
+/// is exactly [`par_map`] — same closure, same merge, same results.
+pub fn par_map_obs<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    sink: &dyn ipcp_obs::ObsSink,
+    name: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if !sink.enabled() {
+        return par_map(jobs, items, f);
+    }
+    par_map(jobs, items, |i, item| {
+        let start = sink.now();
+        let result = f(i, item);
+        sink.span(name, "par", start, sink.now().saturating_sub(start));
+        result
+    })
+}
+
 /// Levels the call graph's SCC condensation into reverse-topological
 /// waves: wave 0 holds the leaf SCCs, and every SCC's callees live in
 /// strictly lower waves. All SCCs of one wave are therefore mutually

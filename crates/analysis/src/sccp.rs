@@ -182,6 +182,32 @@ pub fn sccp_budgeted(
     SccpResult { values, executable }
 }
 
+/// [`sccp_budgeted`] with a span and summary counters reported to
+/// `sink`: `sccp.executable_blocks` and `sccp.const_names` total the
+/// result shape. Identical result bytes at any sink.
+pub fn sccp_instrumented(
+    proc: &Procedure,
+    ssa: &SsaProc,
+    config: &SccpConfig<'_>,
+    budget: &Budget,
+    sink: &dyn ipcp_obs::ObsSink,
+) -> SccpResult {
+    let start = sink.now();
+    let result = sccp_budgeted(proc, ssa, config, budget);
+    if sink.enabled() {
+        sink.span("sccp", "phase", start, sink.now().saturating_sub(start));
+        let executable = result.executable.iter().filter(|&&e| e).count();
+        let consts = result
+            .values
+            .iter()
+            .filter(|v| matches!(v, LatticeVal::Const(_)))
+            .count();
+        sink.count("sccp.executable_blocks", executable as u64);
+        sink.count("sccp.const_names", consts as u64);
+    }
+    result
+}
+
 fn operand_value(values: &[LatticeVal], op: SsaOperand) -> LatticeVal {
     match op {
         SsaOperand::Const(c) => LatticeVal::Const(c),

@@ -17,7 +17,14 @@
 //! Table-2 sweep per program at `jobs = 1` and `jobs = N` (default:
 //! every available core) and write `BENCH_parallel.json` — sweep
 //! wall-clock, speedup, and the per-phase wall/span stats at both
-//! worker counts.
+//! worker counts — plus `BENCH_obs.json` with the traced per-phase
+//! *self* times and counters of one default-configuration run per
+//! program.
+//! Pass `--trace [path]` to instead run the suite with a recording
+//! observability sink and write one combined Chrome trace-event JSON
+//! file (default `trace.json`; one Chrome process per program),
+//! validated before it is written.
+use ipcp_core::obs::{chrome_trace_json_multi, validate_chrome_trace, TraceSink, TraceSnapshot};
 use ipcp_core::AnalysisConfig;
 use std::fmt::Write as _;
 
@@ -75,6 +82,64 @@ fn bench_json(jobs: usize) {
     out.push_str("]}");
     std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json ({jobs} workers)");
+
+    // Per-phase *self* times (span duration minus nested children) of
+    // one traced default-configuration run per program.
+    let mut obs = String::from("{\"bench\":\"obs_self_time\",\"programs\":[");
+    for (i, p) in suite.iter().enumerate() {
+        let sink = TraceSink::new();
+        p.session()
+            .analyze_checked_obs(&AnalysisConfig::default(), &sink)
+            .expect("unlimited fuel never exhausts");
+        let snapshot = sink.snapshot();
+        if i > 0 {
+            obs.push(',');
+        }
+        let _ = write!(
+            obs,
+            "{{\"program\":\"{}\",\"self_time_us\":{{",
+            p.generated.name
+        );
+        for (j, (name, us)) in snapshot.self_times_us().iter().enumerate() {
+            if j > 0 {
+                obs.push(',');
+            }
+            let _ = write!(obs, "\"{name}\":{us}");
+        }
+        obs.push_str("},\"counters\":{");
+        for (j, (name, n)) in snapshot.counters.iter().enumerate() {
+            if j > 0 {
+                obs.push(',');
+            }
+            let _ = write!(obs, "\"{name}\":{n}");
+        }
+        obs.push_str("}}");
+    }
+    obs.push_str("]}");
+    std::fs::write("BENCH_obs.json", &obs).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+}
+
+fn trace_suite(path: &str) {
+    let suite = ipcp_bench::prepare_suite();
+    let config = AnalysisConfig::default();
+    let mut snapshots: Vec<(String, TraceSnapshot)> = Vec::new();
+    for p in &suite {
+        let sink = TraceSink::new();
+        p.session()
+            .analyze_checked_obs(&config, &sink)
+            .expect("unlimited fuel never exhausts");
+        snapshots.push((p.generated.name.clone(), sink.snapshot()));
+    }
+    let parts: Vec<(&str, &TraceSnapshot)> =
+        snapshots.iter().map(|(n, s)| (n.as_str(), s)).collect();
+    let json = chrome_trace_json_multi(&parts);
+    let stats = validate_chrome_trace(&json).expect("exporter emits valid Chrome trace JSON");
+    std::fs::write(path, &json).expect("write trace file");
+    println!(
+        "wrote {path} ({} events, {} spans, {} threads)",
+        stats.events, stats.spans, stats.threads
+    );
 }
 
 fn main() {
@@ -85,6 +150,15 @@ fn main() {
             .and_then(|s| s.parse::<u64>().ok())
             .unwrap_or(10_000);
         robustness_report(fuel);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "trace.json".into());
+        trace_suite(&path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {

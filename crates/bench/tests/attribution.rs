@@ -1,0 +1,47 @@
+//! Golden provenance test: the per-level attribution of every Table-2
+//! configuration sums *exactly* to the pinned substitution totals (the
+//! attribution pass shares the counting pass's SCCP walk, so any drift
+//! is a behaviour change), and every constant the solver produced is
+//! justified by at least one recorded call edge or initializer seed.
+
+use ipcp_bench::{prepare_suite, table2_configs};
+use ipcp_core::analyze_provenance;
+
+/// (program, [poly, pass, intra, literal, poly-noRJF, pass-noRJF]) —
+/// the same pinned cells as `tests/golden.rs`.
+const TABLE2: [(&str, [usize; 6]); 12] = [
+    ("adm", [110, 110, 110, 110, 110, 110]),
+    ("doduc", [289, 289, 289, 286, 287, 287]),
+    ("fpppp", [60, 60, 54, 49, 56, 56]),
+    ("linpackd", [170, 170, 170, 94, 170, 170]),
+    ("matrix300", [138, 138, 122, 71, 138, 138]),
+    ("mdg", [41, 41, 40, 31, 40, 40]),
+    ("ocean", [194, 194, 194, 57, 62, 62]),
+    ("qcd", [180, 180, 180, 180, 180, 180]),
+    ("simple", [183, 183, 179, 174, 183, 183]),
+    ("snasa7", [336, 336, 336, 254, 336, 336]),
+    ("spec77", [137, 137, 137, 104, 137, 137]),
+    ("trfd", [16, 16, 16, 16, 16, 16]),
+];
+
+#[test]
+fn attribution_sums_to_pinned_table2_totals() {
+    let suite = prepare_suite();
+    let configs = table2_configs();
+    for (p, (name, expect)) in suite.iter().zip(TABLE2.iter()) {
+        assert_eq!(&p.generated.name, name);
+        for ((cname, config), want) in configs.iter().zip(expect.iter()) {
+            let prov = analyze_provenance(&p.ir, config);
+            let a = prov.attribution;
+            assert_eq!(a.total(), *want, "{name}/{cname}: {a:?}");
+            // Every solver constant resolves to a provenance chain.
+            assert!(prov.fully_justified(), "{name}/{cname}");
+            // A literal-only jump function implementation cannot owe
+            // anything to pass-through or polynomial representations.
+            if cname.starts_with("lit") {
+                assert_eq!(a.pass_through, 0, "{name}/{cname}: {a:?}");
+                assert_eq!(a.polynomial, 0, "{name}/{cname}: {a:?}");
+            }
+        }
+    }
+}

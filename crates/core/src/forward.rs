@@ -69,6 +69,29 @@ impl ForwardJumpFns {
     pub(crate) fn from_parts(per_proc: Vec<Vec<SiteJumpFns>>) -> Self {
         ForwardJumpFns { per_proc }
     }
+
+    /// Reports summary counters to `sink`: the table size plus a
+    /// breakdown by jump-function representation (`jf.const`,
+    /// `jf.pass_through`, `jf.expr`, `jf.bottom`). No-op when disabled.
+    pub fn emit_counters(&self, sink: &dyn ipcp_obs::ObsSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let (mut consts, mut pass, mut exprs, mut bottoms) = (0u64, 0u64, 0u64, 0u64);
+        for jf in self.per_proc.iter().flatten().flat_map(|s| s.jfs.values()) {
+            match jf {
+                JumpFn::Const(_) => consts += 1,
+                JumpFn::PassThrough(_) => pass += 1,
+                JumpFn::Expr(_) => exprs += 1,
+                JumpFn::Bottom => bottoms += 1,
+            }
+        }
+        sink.count("jf.sites", self.per_proc.iter().flatten().count() as u64);
+        sink.count("jf.const", consts);
+        sink.count("jf.pass_through", pass);
+        sink.count("jf.expr", exprs);
+        sink.count("jf.bottom", bottoms);
+    }
 }
 
 /// Builds forward jump functions of the given kind for the whole program.

@@ -52,6 +52,7 @@ pub mod forward;
 pub mod jump;
 pub mod optimize;
 pub mod parallel;
+pub mod provenance;
 pub mod report;
 pub mod retjf;
 pub mod session;
@@ -62,6 +63,13 @@ pub mod subst;
 /// The constant-propagation lattice (the paper's Figure 1).
 pub mod lattice {
     pub use ipcp_analysis::lattice::LatticeVal;
+}
+
+/// The structured-observability layer (re-exported from [`ipcp_obs`]):
+/// sinks, the in-memory trace recorder, Chrome trace-event export, and
+/// Prometheus-style metrics exposition.
+pub mod obs {
+    pub use ipcp_obs::*;
 }
 
 pub use binding::{solve_binding, solve_binding_budgeted};
@@ -82,6 +90,10 @@ pub use ipcp_analysis::{
 pub use jump::{JumpFn, JumpFunctionKind};
 pub use optimize::{optimize, OptimizeConfig, OptimizeStats};
 pub use parallel::{effective_jobs, Parallelism};
+pub use provenance::{
+    analyze_provenance, analyze_provenance_obs, Attribution, JustifyingEdge, Provenance,
+    RjfRecovery, SlotProvenance,
+};
 pub use retjf::{
     build_return_jfs, build_return_jfs_budgeted, build_return_jfs_with, ReturnJumpFns, RjfComposer,
     RjfConstEval, RjfLattice,

@@ -65,6 +65,28 @@ impl ReturnJumpFns {
     pub(crate) fn set_proc(&mut self, p: ProcId, map: BTreeMap<Slot, JumpFn>) {
         self.per_proc[p.index()] = map;
     }
+
+    /// Records table-shape counters (slot totals per jump-function form)
+    /// into the observability sink. No-op when tracing is disabled.
+    pub fn emit_counters(&self, sink: &dyn ipcp_obs::ObsSink) {
+        if !sink.enabled() {
+            return;
+        }
+        let (mut consts, mut pass, mut exprs, mut bottoms) = (0u64, 0u64, 0u64, 0u64);
+        for jf in self.per_proc.iter().flat_map(|m| m.values()) {
+            match jf {
+                JumpFn::Const(_) => consts += 1,
+                JumpFn::PassThrough(_) => pass += 1,
+                JumpFn::Expr(_) => exprs += 1,
+                JumpFn::Bottom => bottoms += 1,
+            }
+        }
+        sink.count("rjf.useful", self.useful_count() as u64);
+        sink.count("rjf.const", consts);
+        sink.count("rjf.pass_through", pass);
+        sink.count("rjf.expr", exprs);
+        sink.count("rjf.bottom", bottoms);
+    }
 }
 
 /// Builds return jump functions for all procedures, bottom-up over the

@@ -68,7 +68,7 @@ use crate::driver::{
 use crate::forward::{kind_weight, proc_estimate, site_jfs_for_proc, ForwardJumpFns, SiteJumpFns};
 use crate::jump::{JumpFn, JumpFunctionKind};
 use crate::retjf::{build_rjf_for_proc, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice};
-use crate::solver::{entry_env_of, solve_budgeted, ValSets};
+use crate::solver::{entry_env_of, solve_traced, ValSets};
 use crate::subst::{count_substitutions_with_ssa_jobs, SubstitutionCounts};
 use ipcp_analysis::dce::dce_round;
 use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
@@ -76,12 +76,14 @@ use ipcp_analysis::symeval::{
     symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, SymEvalOptions, SymMap,
 };
 use ipcp_analysis::{
-    augment_global_vars, compute_modref_par, par_map, scc_waves, Budget, CallGraph, CallLattice,
-    ExhaustionPolicy, ModKills, ModRefInfo, PessimisticCalls, Phase, Slot, PAR_WAVE_MIN,
+    augment_global_vars, compute_modref_obs, par_map, par_map_obs, scc_waves, Budget, CallGraph,
+    CallLattice, ExhaustionPolicy, ModKills, ModRefInfo, PessimisticCalls, Phase, Slot,
+    PAR_WAVE_MIN,
 };
 use ipcp_ir::fingerprint::{combine, fingerprint_debug};
 use ipcp_ir::{ProcId, Procedure, Program};
 use ipcp_lang::Diagnostics;
+use ipcp_obs::{NoopSink, ObsSink, SpanGuard};
 use ipcp_ssa::{build_ssa, KillOracle, SsaProc, WorstCaseKills};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -256,39 +258,61 @@ impl SessionStats {
 impl fmt::Display for SessionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "analyses: {}; rounds: {}", self.analyses, self.rounds)?;
-        writeln!(
-            f,
-            "{:<12} {:>10} {:>6} {:>7} {:>10} {:>6}",
-            "phase", "wall(µs)", "hits", "misses", "span(µs)", "par×"
-        )?;
-        for phase in SessionPhase::ALL {
-            let c = self.counter(phase);
-            if c == PhaseCounter::default() {
-                continue;
+        // Most expensive phases first: parallel span descending, then
+        // accumulated wall time, then pipeline order as the stable tie.
+        let mut ordered: Vec<(usize, SessionPhase, PhaseCounter)> = SessionPhase::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, p, self.counter(p)))
+            .filter(|(_, _, c)| *c != PhaseCounter::default())
+            .collect();
+        ordered.sort_by(|a, b| {
+            b.2.span_nanos
+                .cmp(&a.2.span_nanos)
+                .then(b.2.wall_nanos.cmp(&a.2.wall_nanos))
+                .then(a.0.cmp(&b.0))
+        });
+        let rows: Vec<[String; 6]> = ordered
+            .into_iter()
+            .map(|(_, phase, c)| {
+                let (span, par) = if c.span_nanos > 0 {
+                    (
+                        (c.span_nanos / 1_000).to_string(),
+                        format!("{:.1}x", c.wall_nanos as f64 / c.span_nanos as f64),
+                    )
+                } else {
+                    ("-".to_string(), "-".to_string())
+                };
+                [
+                    phase.name().to_string(),
+                    (c.wall_nanos / 1_000).to_string(),
+                    c.hits.to_string(),
+                    c.misses.to_string(),
+                    span,
+                    par,
+                ]
+            })
+            .collect();
+        // Columns size to their widest cell (header included), so the
+        // table never shifts when a value outgrows a fixed width.
+        let headers = ["phase", "wall(µs)", "hits", "misses", "span(µs)", "par×"];
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.chars().count());
             }
-            if c.span_nanos > 0 {
-                writeln!(
-                    f,
-                    "{:<12} {:>10} {:>6} {:>7} {:>10} {:>5.1}x",
-                    phase.name(),
-                    c.wall_nanos / 1_000,
-                    c.hits,
-                    c.misses,
-                    c.span_nanos / 1_000,
-                    c.wall_nanos as f64 / c.span_nanos as f64
-                )?;
-            } else {
-                writeln!(
-                    f,
-                    "{:<12} {:>10} {:>6} {:>7} {:>10} {:>6}",
-                    phase.name(),
-                    c.wall_nanos / 1_000,
-                    c.hits,
-                    c.misses,
-                    "-",
-                    "-"
-                )?;
+        }
+        write!(f, "{:<w$}", headers[0], w = widths[0])?;
+        for (h, w) in headers.iter().zip(&widths).skip(1) {
+            write!(f, " {h:>w$}")?;
+        }
+        writeln!(f)?;
+        for row in &rows {
+            write!(f, "{:<w$}", row[0], w = widths[0])?;
+            for (cell, w) in row.iter().zip(&widths).skip(1) {
+                write!(f, " {cell:>w$}")?;
             }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -571,9 +595,47 @@ impl AnalysisSession {
     /// docs on fuel semantics); unmetered budgets use the artifact store
     /// and, with `config.jobs > 1`, the parallel fan-outs.
     pub fn analyze_with_budget(&self, config: &AnalysisConfig, budget: &Budget) -> AnalysisOutcome {
+        self.analyze_with_budget_obs(config, budget, &NoopSink)
+    }
+
+    /// [`Self::analyze_checked`] with structured-event tracing: every
+    /// phase records a span, the solver records lattice transitions, and
+    /// table shapes land in counters. With a [`NoopSink`] this is
+    /// byte-for-byte the untraced analysis — every sink call inlines to
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResourceExhausted`] when the budget ran dry and the
+    /// policy is [`ExhaustionPolicy::Error`].
+    pub fn analyze_checked_obs(
+        &self,
+        config: &AnalysisConfig,
+        sink: &dyn ObsSink,
+    ) -> Result<AnalysisOutcome, ResourceExhausted> {
+        let outcome = self.analyze_with_budget_obs(config, &Budget::for_limit(config.fuel), sink);
+        if config.on_exhausted == ExhaustionPolicy::Error && outcome.robustness.exhausted {
+            return Err(ResourceExhausted {
+                report: outcome.robustness,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// [`Self::analyze_with_budget`] with an observability sink threaded
+    /// through every phase. Metered budgets still route to the reference
+    /// pipeline (wrapped in a single `pipeline` span), so robustness
+    /// accounting is untouched by tracing.
+    pub fn analyze_with_budget_obs(
+        &self,
+        config: &AnalysisConfig,
+        budget: &Budget,
+        sink: &dyn ObsSink,
+    ) -> AnalysisOutcome {
         self.stats.lock().unwrap().analyses += 1;
         if !budget.is_unmetered() {
             let start = Instant::now();
+            let _span = SpanGuard::enter(sink, "pipeline", "phase");
             let outcome = analyze_with_budget_reference(&self.base, config, budget);
             self.phase_wall(SessionPhase::Pipeline, start.elapsed());
             return outcome;
@@ -601,11 +663,17 @@ impl AnalysisSession {
             first_round = false;
             self.phase_wall(SessionPhase::Fingerprint, start.elapsed());
 
-            let cg = self.cached_call_graph(&program, state_fp);
-            let modref = self.cached_modref(&program, &cg, state_fp, budget, jobs);
+            let cg = {
+                let _span = SpanGuard::enter(sink, "call_graph", "phase");
+                self.cached_call_graph(&program, state_fp)
+            };
+            let modref = self.cached_modref(&program, &cg, state_fp, budget, jobs, sink);
             augment_global_vars(&mut program, &modref);
 
-            let closure_fps = self.cached_closures(&program, &cg, state_fp, jobs);
+            let closure_fps = {
+                let _span = SpanGuard::enter(sink, "closures", "phase");
+                self.cached_closures(&program, &cg, state_fp, jobs)
+            };
 
             let round = RoundCtx {
                 state_fp,
@@ -631,37 +699,58 @@ impl AnalysisSession {
                 };
 
                 let rjfs: ReturnJumpFns = if config.return_jump_functions {
-                    self.cached_return_jfs(program, &cg, &round, kills, sym_options, budget, jobs)
-                } else {
-                    ReturnJumpFns::empty(program.procs.len())
-                };
-                stats.return_jfs = rjfs.useful_count();
-
-                let vals: Option<Arc<ValSets>> = if config.interprocedural {
-                    let jfs = self.cached_forward_jfs(
+                    let _span = SpanGuard::enter(sink, "return_jfs", "phase");
+                    self.cached_return_jfs(
                         program,
                         &cg,
-                        &modref,
-                        config.jump_function,
-                        &rjfs,
                         &round,
                         kills,
                         sym_options,
                         budget,
                         jobs,
-                    );
+                        sink,
+                    )
+                } else {
+                    ReturnJumpFns::empty(program.procs.len())
+                };
+                rjfs.emit_counters(sink);
+                stats.return_jfs = rjfs.useful_count();
+
+                let vals: Option<Arc<ValSets>> = if config.interprocedural {
+                    let jfs = {
+                        let _span = SpanGuard::enter(sink, "forward_jfs", "phase");
+                        self.cached_forward_jfs(
+                            program,
+                            &cg,
+                            &modref,
+                            config.jump_function,
+                            &rjfs,
+                            &round,
+                            kills,
+                            sym_options,
+                            budget,
+                            jobs,
+                            sink,
+                        )
+                    };
+                    jfs.emit_counters(sink);
                     stats.forward_jfs = jfs.count();
                     stats.useful_forward_jfs = jfs.useful_count();
-                    let v = self.cached_solve(
-                        program,
-                        &cg,
-                        &modref,
-                        &jfs,
-                        config.jump_function,
-                        config.solver,
-                        &round,
-                        budget,
-                    );
+                    let v = {
+                        let _span = SpanGuard::enter(sink, "solve", "phase");
+                        self.cached_solve(
+                            program,
+                            &cg,
+                            &modref,
+                            &jfs,
+                            config.jump_function,
+                            config.solver,
+                            &round,
+                            budget,
+                            sink,
+                        )
+                    };
+                    sink.count("solver.iterations", v.iterations() as u64);
                     stats.solver_iterations += v.iterations();
                     Some(v)
                 } else {
@@ -675,26 +764,31 @@ impl AnalysisSession {
                     &PessimisticCalls
                 };
 
-                let substitutions = self.cached_subst(
-                    program,
-                    &cg,
-                    calls,
-                    vals.as_deref(),
-                    config,
-                    &round,
-                    kills,
-                    jobs,
-                );
+                let substitutions = {
+                    let _span = SpanGuard::enter(sink, "substitute", "phase");
+                    self.cached_subst(
+                        program,
+                        &cg,
+                        calls,
+                        vals.as_deref(),
+                        config,
+                        &round,
+                        kills,
+                        jobs,
+                    )
+                };
+                sink.count("subst.total", substitutions.total as u64);
 
                 let mut changed = false;
                 let mut new_procs = Vec::new();
                 if config.complete_propagation {
+                    let _span = SpanGuard::enter(sink, "dce", "phase");
                     let start = Instant::now();
                     // Every procedure is rewritten (like the single-shot
                     // loop), not just the changed ones — the `changed`
                     // flag only decides whether another round runs.
                     let pids: Vec<ProcId> = program.proc_ids().collect();
-                    let steps = par_map(jobs, &pids, |_, &pid| {
+                    let steps = par_map_obs(jobs, &pids, sink, "dce.proc", |_, &pid| {
                         self.dce_step_for_proc(program, pid, &round, kills, calls, vals.as_deref())
                     });
                     for (pid, (step, fuel)) in pids.into_iter().zip(steps) {
@@ -726,8 +820,9 @@ impl AnalysisSession {
             // source: recount against the pristine program with the
             // final (DCE-refined) CONSTANTS.
             let substitutions = if stats.dce_rounds > 0 {
+                let _span = SpanGuard::enter(sink, "counting", "phase");
                 let final_fp = fingerprint_debug(&program);
-                self.cached_counting_pass(config, vals.as_deref(), final_fp, budget, jobs)
+                self.cached_counting_pass(config, vals.as_deref(), final_fp, budget, jobs, sink)
             } else {
                 substitutions
             };
@@ -799,6 +894,7 @@ impl AnalysisSession {
         cg
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn cached_modref(
         &self,
         program: &Program,
@@ -806,6 +902,7 @@ impl AnalysisSession {
         state_fp: u64,
         budget: &Budget,
         jobs: usize,
+        sink: &dyn ObsSink,
     ) -> Arc<ModRefInfo> {
         let start = Instant::now();
         let hit = self.store.modrefs.read().unwrap().get(&state_fp).cloned();
@@ -820,7 +917,7 @@ impl AnalysisSession {
                 let before = budget.fuel_consumed();
                 // The wave-parallel fixpoint draws the same fuel as the
                 // sequential pass (and delegates to it at jobs <= 1).
-                let modref = Arc::new(compute_modref_par(program, cg, budget, jobs));
+                let modref = Arc::new(compute_modref_obs(program, cg, budget, jobs, sink));
                 let fuel = budget.fuel_consumed() - before;
                 self.store.modrefs.write().unwrap().insert(
                     state_fp,
@@ -937,6 +1034,7 @@ impl AnalysisSession {
         options: SymEvalOptions,
         budget: &Budget,
         jobs: usize,
+        sink: &dyn ObsSink,
     ) -> ReturnJumpFns {
         let mut rjfs = ReturnJumpFns::empty(program.procs.len());
         let sccs = cg.sccs();
@@ -945,7 +1043,7 @@ impl AnalysisSession {
             // Narrow waves (deep call chains) can't amortize a spawn;
             // run them inline and save the fork/join for wide levels.
             let wave_jobs = if wave.len() >= PAR_WAVE_MIN { jobs } else { 1 };
-            let built = par_map(wave_jobs, &wave, |_, &scc_idx| {
+            let built = par_map_obs(wave_jobs, &wave, sink, "return_jfs.proc", |_, &scc_idx| {
                 let scc = &sccs[scc_idx];
                 if let [pid] = scc[..] {
                     let (map, fuel) = self.rjf_for_proc(program, pid, &rjfs, round, kills, options);
@@ -1080,6 +1178,7 @@ impl AnalysisSession {
         options: SymEvalOptions,
         budget: &Budget,
         jobs: usize,
+        sink: &dyn ObsSink,
     ) -> ForwardJumpFns {
         let const_eval = RjfConstEval { rjfs };
         let composer = RjfComposer { rjfs };
@@ -1091,7 +1190,7 @@ impl AnalysisSession {
 
         let pids: Vec<ProcId> = program.proc_ids().collect();
         let start = Instant::now();
-        let built = par_map(jobs, &pids, |_, &pid| {
+        let built = par_map_obs(jobs, &pids, sink, "forward_jfs.proc", |_, &pid| {
             // Symbolic values are resolved (computed or fuel-replayed)
             // even when the site table hits, so consumption matches the
             // single-shot builder, which evaluates every procedure.
@@ -1129,6 +1228,7 @@ impl AnalysisSession {
         solver: SolverKind,
         round: &RoundCtx,
         budget: &Budget,
+        sink: &dyn ObsSink,
     ) -> Arc<ValSets> {
         let key = SolveKey {
             state_fp: round.state_fp,
@@ -1150,7 +1250,7 @@ impl AnalysisSession {
                 self.phase_miss(SessionPhase::Solve);
                 let before = budget.fuel_consumed();
                 let v = match solver {
-                    SolverKind::CallGraph => solve_budgeted(program, cg, modref, jfs, budget),
+                    SolverKind::CallGraph => solve_traced(program, cg, modref, jfs, budget, sink),
                     SolverKind::BindingGraph => {
                         solve_binding_budgeted(program, cg, modref, jfs, budget)
                     }
@@ -1317,6 +1417,7 @@ impl AnalysisSession {
         final_fp: u64,
         budget: &Budget,
         jobs: usize,
+        sink: &dyn ObsSink,
     ) -> Arc<SubstitutionCounts> {
         let mut orig = self.base.clone();
         let orig_fp = self.base_fp;
@@ -1341,7 +1442,7 @@ impl AnalysisSession {
         let before = budget.fuel_consumed();
 
         let cg = self.cached_call_graph(&orig, orig_fp);
-        let modref = self.cached_modref(&orig, &cg, orig_fp, budget, jobs);
+        let modref = self.cached_modref(&orig, &cg, orig_fp, budget, jobs, sink);
         augment_global_vars(&mut orig, &modref);
         let closure_fps = self.cached_closures(&orig, &cg, orig_fp, jobs);
         // The single-shot counting pass builds its return jump functions
@@ -1372,6 +1473,7 @@ impl AnalysisSession {
                     SymEvalOptions::default(),
                     budget,
                     jobs,
+                    sink,
                 )
             } else {
                 ReturnJumpFns::empty(orig.procs.len())

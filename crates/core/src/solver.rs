@@ -80,6 +80,23 @@ pub fn solve_budgeted(
     jfs: &ForwardJumpFns,
     budget: &Budget,
 ) -> ValSets {
+    solve_traced(program, cg, modref, jfs, budget, &ipcp_obs::NoopSink)
+}
+
+/// [`solve_budgeted`] with every lattice transition reported to `sink`:
+/// the moment a slot's value lowers (⊤→c or c/⊤→⊥), a
+/// [`ipcp_obs::TransitionEvent`] records the justifying call edge —
+/// caller, call site, and the jump function whose evaluation forced the
+/// meet. With a disabled sink this *is* `solve_budgeted` (one shared
+/// code path), so results and fuel draw are identical bytes.
+pub fn solve_traced(
+    program: &Program,
+    cg: &CallGraph,
+    modref: &ModRefInfo,
+    jfs: &ForwardJumpFns,
+    budget: &Budget,
+    sink: &dyn ipcp_obs::ObsSink,
+) -> ValSets {
     let n = program.procs.len();
     let mut vals: Vec<BTreeMap<Slot, LatticeVal>> = Vec::with_capacity(n);
     for pid in program.proc_ids() {
@@ -132,7 +149,7 @@ pub fn solve_budgeted(
         queued[p.index()] = false;
         iterations += 1;
 
-        for site in jfs.sites(p) {
+        for (site_index, site) in jfs.sites(p).iter().enumerate() {
             if !site.reachable {
                 continue;
             }
@@ -156,6 +173,18 @@ pub fn solve_budgeted(
                     .unwrap_or(LatticeVal::Top);
                 let new = old.meet(incoming);
                 if new != old {
+                    if sink.enabled() {
+                        let cs = &cg.sites(p)[site_index];
+                        sink.transition(ipcp_obs::TransitionEvent {
+                            callee: program.proc(q).name.clone(),
+                            slot: crate::report::slot_name(program, q, slot),
+                            caller: program.proc(p).name.clone(),
+                            site: format!("b{}#{}", cs.block.index(), cs.index),
+                            jump_fn: jf.to_string(),
+                            from: old.to_string(),
+                            to: new.to_string(),
+                        });
+                    }
                     vals[q.index()].insert(slot, new);
                     if !queued[q.index()] {
                         queued[q.index()] = true;

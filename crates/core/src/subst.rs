@@ -116,12 +116,29 @@ fn count_one_proc(
     };
 
     let mut count = 0usize;
-    let countable = |op: SsaOperand| -> bool {
-        let Some(n) = op.as_name() else { return false };
+    for_each_counted_use(proc, ssa, &result, &mut |_| count += 1);
+    count
+}
+
+/// Visits every *counted* use of one procedure: each executable textual
+/// use of a named (non-temporary) variable whose SCCP value is constant,
+/// with by-reference actuals skipped. [`count_one_proc`] and the
+/// provenance attribution pass share this walk, so per-level attribution
+/// totals sum to the substitution count by construction.
+pub(crate) fn for_each_counted_use(
+    proc: &ipcp_ir::Procedure,
+    ssa: &ipcp_ssa::SsaProc,
+    result: &ipcp_analysis::SccpResult,
+    f: &mut dyn FnMut(ipcp_ssa::SsaName),
+) {
+    let mut visit = |op: SsaOperand| {
+        let Some(n) = op.as_name() else { return };
         if proc.var(ssa.var_of(n)).kind == VarKind::Temp {
-            return false;
+            return;
         }
-        matches!(result.values[n.index()], LatticeVal::Const(_))
+        if matches!(result.values[n.index()], LatticeVal::Const(_)) {
+            f(n);
+        }
     };
     for (b, blk) in ssa.rpo_blocks() {
         if !result.executable[b.index()] {
@@ -134,27 +151,26 @@ fn count_one_proc(
                         // Only by-value actuals are textual value uses.
                         if a.by_ref_var.is_none() {
                             if let Some(op) = a.value {
-                                count += usize::from(countable(op));
+                                visit(op);
                             }
                         }
                     }
                 }
                 other => {
-                    other.for_each_use(|op| count += usize::from(countable(op)));
+                    other.for_each_use(&mut visit);
                 }
             }
         }
         match &blk.term {
-            SsaTerminator::Branch { cond, .. } => count += usize::from(countable(*cond)),
+            SsaTerminator::Branch { cond, .. } => visit(*cond),
             SsaTerminator::Return {
                 value: Some(op), ..
             } => {
-                count += usize::from(countable(*op));
+                visit(*op);
             }
             _ => {}
         }
     }
-    count
 }
 
 /// Rewrites every substitutable operand (including temporaries) to its

@@ -1,0 +1,560 @@
+//! Chrome trace-event JSON export and validation.
+//!
+//! The exporter emits the [Trace Event Format] subset Perfetto and
+//! `chrome://tracing` load: duration events (`B`/`E` pairs) per worker
+//! thread, instant events (`i`) for solver transitions, and metadata
+//! (`M`) naming processes and threads. The validator re-parses the
+//! produced JSON with a minimal hand-rolled parser (the workspace is
+//! dependency-free) and checks the structural invariants CI enforces:
+//! well-formed events, per-thread monotone timestamps, and matched
+//! `B`/`E` pairs.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::trace::{SpanRecord, TraceSnapshot};
+use std::fmt::Write as _;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one process's snapshot into `out` as trace events.
+fn push_process(out: &mut String, pid: usize, name: &str, snapshot: &TraceSnapshot) {
+    let mut first = out.ends_with('[');
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    sep(out);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"ts\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(name)
+    );
+
+    // Group spans per worker (= Chrome tid) and emit nested B/E pairs.
+    let mut workers: Vec<usize> = snapshot.spans.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for worker in workers {
+        sep(out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{worker},\"ts\":0,\
+             \"name\":\"thread_name\",\"args\":{{\"name\":\"worker-{worker}\"}}}}"
+        );
+        let mut spans: Vec<&SpanRecord> = snapshot
+            .spans
+            .iter()
+            .filter(|s| s.worker == worker)
+            .collect();
+        // Parents (earlier start, longer duration) first.
+        spans.sort_by(|a, b| {
+            (a.start_ns, std::cmp::Reverse(a.duration_ns), a.seq).cmp(&(
+                b.start_ns,
+                std::cmp::Reverse(b.duration_ns),
+                b.seq,
+            ))
+        });
+        // Open-span stack of clamped end timestamps (ns).
+        let mut open: Vec<u64> = Vec::new();
+        for s in spans {
+            let mut end = s.start_ns.saturating_add(s.duration_ns);
+            while let Some(&top) = open.last() {
+                if top > s.start_ns {
+                    break;
+                }
+                open.pop();
+                sep(out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{worker},\"ts\":{}}}",
+                    top / 1_000
+                );
+            }
+            if let Some(&top) = open.last() {
+                // A child may not outlive its parent in a B/E stack.
+                end = end.min(top);
+            }
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{worker},\"ts\":{},\"name\":\"{}\",\
+                 \"cat\":\"{}\"}}",
+                s.start_ns / 1_000,
+                escape_json(&s.name),
+                escape_json(&s.category)
+            );
+            open.push(end);
+        }
+        while let Some(top) = open.pop() {
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{worker},\"ts\":{}}}",
+                top / 1_000
+            );
+        }
+    }
+
+    // Solver transitions: instant events on a dedicated synthetic tid,
+    // in record order (timestamps are already monotone per recording).
+    if !snapshot.transitions.is_empty() {
+        const TRANSITION_TID: usize = 999;
+        sep(out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{TRANSITION_TID},\"ts\":0,\
+             \"name\":\"thread_name\",\"args\":{{\"name\":\"solver-transitions\"}}}}"
+        );
+        let mut last_ts = 0u64;
+        for (ts_ns, _, t) in &snapshot.transitions {
+            let ts = (ts_ns / 1_000).max(last_ts);
+            last_ts = ts;
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{TRANSITION_TID},\"ts\":{ts},\"s\":\"t\",\
+                 \"name\":\"{}\",\"args\":{{\"callee\":\"{}\",\"slot\":\"{}\",\"caller\":\"{}\",\
+                 \"site\":\"{}\",\"jump_fn\":\"{}\"}}}}",
+                escape_json(&format!("{}.{}: {} -> {}", t.callee, t.slot, t.from, t.to)),
+                escape_json(&t.callee),
+                escape_json(&t.slot),
+                escape_json(&t.caller),
+                escape_json(&t.site),
+                escape_json(&t.jump_fn),
+            );
+        }
+    }
+}
+
+/// Renders a single snapshot as a complete Chrome trace JSON document.
+pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
+    chrome_trace_json_multi(&[("ipcp", snapshot)])
+}
+
+/// Renders several snapshots as one trace, one Chrome *process* per
+/// named part (used by the bench reporter: one process per suite
+/// program).
+pub fn chrome_trace_json_multi(parts: &[(&str, &TraceSnapshot)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (pid, (name, snap)) in parts.iter().enumerate() {
+        push_process(&mut out, pid + 1, name, snap);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (validation only — the workspace has no serde).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object, in source order.
+    Object(Vec<(String, Json)>),
+    /// Array.
+    Array(Vec<Json>),
+    /// String.
+    String(String),
+    /// Number (all numbers as f64; trace timestamps fit exactly).
+    Number(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input after document"));
+    }
+    Ok(v)
+}
+
+/// Summary statistics of a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Distinct `(pid, tid)` threads carrying events.
+    pub threads: usize,
+}
+
+/// Validates a Chrome trace document: parses it, then checks that every
+/// event carries `ph`/`pid`/`tid`/`ts`, that timestamps are monotone
+/// non-decreasing per `(pid, tid)` stream, and that `B`/`E` events
+/// match up (no unmatched begin or end) per stream.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    use std::collections::BTreeMap;
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut depth: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))? as u64;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if matches!(ph, "B" | "E" | "i") {
+            let key = (pid, tid);
+            if let Some(&prev) = last_ts.get(&key) {
+                if ts < prev {
+                    return Err(format!(
+                        "event {i}: non-monotone ts {ts} < {prev} on pid {pid} tid {tid}"
+                    ));
+                }
+            }
+            last_ts.insert(key, ts);
+            match ph {
+                "B" => {
+                    if ev.get("name").and_then(Json::as_str).is_none() {
+                        return Err(format!("event {i}: B event without a name"));
+                    }
+                    *depth.entry(key).or_default() += 1;
+                }
+                "E" => {
+                    let d = depth.entry(key).or_default();
+                    if *d == 0 {
+                        return Err(format!("event {i}: E without matching B on tid {tid}"));
+                    }
+                    *d -= 1;
+                    spans += 1;
+                }
+                _ => instants += 1,
+            }
+        }
+    }
+    if let Some(((pid, tid), d)) = depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!(
+            "unmatched B events ({d}) left open on pid {pid} tid {tid}"
+        ));
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        spans,
+        instants,
+        threads: last_ts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{ObsSink, TransitionEvent};
+    use crate::trace::TraceSink;
+
+    fn sample_snapshot() -> crate::trace::TraceSnapshot {
+        let sink = TraceSink::new();
+        sink.span("solve", "phase", 5_000, 20_000);
+        sink.span("pipeline", "phase", 0, 50_000);
+        sink.transition(TransitionEvent {
+            callee: "kernel".into(),
+            slot: "arg0".into(),
+            caller: "main".into(),
+            site: "b0#1".into(),
+            jump_fn: "8".into(),
+            from: "⊤".into(),
+            to: "8".into(),
+        });
+        sink.snapshot()
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let json = chrome_trace_json(&sample_snapshot());
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert!(stats.events >= 5);
+    }
+
+    #[test]
+    fn multi_process_export_validates() {
+        let a = sample_snapshot();
+        let b = sample_snapshot();
+        let json = chrome_trace_json_multi(&[("adm", &a), ("ocean", &b)]);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.spans, 4);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_nonmonotone_streams() {
+        let unbalanced = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":0,"ts":1,"name":"x"}]}"#;
+        assert!(validate_chrome_trace(unbalanced).is_err());
+        let nonmono = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":0,"ts":5,"name":"x"},
+            {"ph":"E","pid":1,"tid":0,"ts":3}]}"#;
+        assert!(validate_chrome_trace(nonmono).is_err());
+        let dangling_end = r#"{"traceEvents":[{"ph":"E","pid":1,"tid":0,"ts":3}]}"#;
+        assert!(validate_chrome_trace(dangling_end).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = parse_json(r#"{"a\n":[1,-2.5,true,null,"A"]}"#).unwrap();
+        let arr = v.get("a\n").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[4].as_str(), Some("A"));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("42 garbage").is_err());
+    }
+}

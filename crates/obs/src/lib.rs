@@ -1,0 +1,33 @@
+//! # ipcp-obs — structured observability for the analysis pipeline
+//!
+//! A zero-dependency event layer the analysis crates report into:
+//!
+//! * [`ObsSink`] — the trait every phase is instrumented against. Its
+//!   methods default to inlined no-ops, and [`NoopSink`] keeps them, so
+//!   an uninstrumented run pays one `enabled()` branch per event site
+//!   and produces bit-identical results.
+//! * [`TraceSink`] — the recording implementation: hierarchical spans
+//!   and counters land in per-worker shards and merge in deterministic
+//!   `(start, seq)` order; the solver's lattice [`TransitionEvent`]s
+//!   are kept in record order.
+//! * Exporters — Chrome trace-event JSON ([`chrome_trace_json`],
+//!   loadable in `chrome://tracing`/Perfetto, with a hand-rolled
+//!   [`validate_chrome_trace`] used by tests and CI) and Prometheus
+//!   text exposition ([`prometheus_text`]).
+//!
+//! The crate sits below `ipcp-analysis` and `ipcp-core` (which
+//! re-exports it as `ipcp_core::obs`); it knows nothing about IR or
+//! lattices — every payload is a pre-rendered string or integer.
+#![deny(missing_docs)]
+
+mod chrome;
+mod metrics;
+mod sink;
+mod trace;
+
+pub use chrome::{
+    chrome_trace_json, chrome_trace_json_multi, parse_json, validate_chrome_trace, Json, TraceStats,
+};
+pub use metrics::prometheus_text;
+pub use sink::{NoopSink, ObsSink, SpanGuard, TransitionEvent};
+pub use trace::{SpanRecord, TraceSink, TraceSnapshot};

@@ -1,0 +1,84 @@
+//! Prometheus-style text exposition of a trace snapshot.
+//!
+//! Renders counters and per-phase self times in the [text exposition
+//! format] (`# HELP`/`# TYPE` preambles, `snake_case` metric names,
+//! `{label="value"}` selectors), so the output can be scraped or
+//! diffed directly.
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::trace::TraceSnapshot;
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the snapshot as Prometheus text exposition.
+pub fn prometheus_text(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+
+    out.push_str("# HELP ipcp_phase_self_time_microseconds Self time per span name (duration minus nested children).\n");
+    out.push_str("# TYPE ipcp_phase_self_time_microseconds gauge\n");
+    for (name, us) in snapshot.self_times_us() {
+        let _ = writeln!(
+            out,
+            "ipcp_phase_self_time_microseconds{{phase=\"{}\"}} {us}",
+            escape_label(&name)
+        );
+    }
+
+    out.push_str("# HELP ipcp_spans_total Spans recorded.\n");
+    out.push_str("# TYPE ipcp_spans_total counter\n");
+    let _ = writeln!(out, "ipcp_spans_total {}", snapshot.spans.len());
+
+    out.push_str(
+        "# HELP ipcp_solver_transitions_total Lattice transitions recorded by the solver.\n",
+    );
+    out.push_str("# TYPE ipcp_solver_transitions_total counter\n");
+    let _ = writeln!(
+        out,
+        "ipcp_solver_transitions_total {}",
+        snapshot.transitions.len()
+    );
+
+    for (name, value) in &snapshot.counters {
+        let metric = format!("ipcp_{}_total", sanitize(name));
+        let _ = writeln!(out, "# HELP {metric} Analysis counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ObsSink;
+    use crate::trace::TraceSink;
+
+    #[test]
+    fn exposition_contains_counters_and_self_times() {
+        let sink = TraceSink::new();
+        sink.span("solve", "phase", 0, 10_000);
+        sink.count("jf.sites", 7);
+        let text = prometheus_text(&sink.snapshot());
+        assert!(text.contains("# TYPE ipcp_phase_self_time_microseconds gauge"));
+        assert!(text.contains("ipcp_phase_self_time_microseconds{phase=\"solve\"} 10"));
+        assert!(text.contains("ipcp_jf_sites_total 7"));
+        assert!(text.contains("ipcp_spans_total 1"));
+        // Every exposed line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`ObsSink`] trait — the single seam through which every analysis
+//! phase reports structured events.
+//!
+//! The default methods are no-ops and `#[inline]`, so code instrumented
+//! against `&dyn ObsSink` pays one virtual call on the `enabled()` guard
+//! and nothing else when observability is off ([`NoopSink`]). All event
+//! payloads are plain strings/integers: the obs crate sits below every
+//! analysis crate and cannot name their types.
+
+/// One solver lattice transition (⊤→c or c→⊥) with its justifying edge.
+///
+/// Recorded by the worklist solver at the exact point a slot's value
+/// changes; all fields are pre-rendered by the caller so the event is
+/// self-describing in exported traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionEvent {
+    /// Procedure whose slot changed.
+    pub callee: String,
+    /// The slot (formal/global/result) that changed, caller-readable.
+    pub slot: String,
+    /// Procedure the justifying call edge originates from.
+    pub caller: String,
+    /// Call-site label inside the caller (block and instruction index).
+    pub site: String,
+    /// Rendered jump function of the justifying edge.
+    pub jump_fn: String,
+    /// Lattice value before the meet.
+    pub from: String,
+    /// Lattice value after the meet.
+    pub to: String,
+}
+
+/// Structured-event consumer. Implementations must be cheap and
+/// thread-safe: spans are reported from worker threads of the parallel
+/// engine.
+pub trait ObsSink: Sync {
+    /// Whether events are recorded at all. Instrumented code guards
+    /// event *construction* (string rendering, counter math) behind
+    /// this, so a disabled sink costs a single predictable branch.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Monotonic nanoseconds since the sink's epoch (0 when disabled).
+    #[inline]
+    fn now(&self) -> u64 {
+        0
+    }
+
+    /// Records one completed span. The recording thread identifies the
+    /// worker; callers do not pass worker ids.
+    #[inline]
+    fn span(&self, _name: &str, _category: &str, _start_ns: u64, _duration_ns: u64) {}
+
+    /// Adds `delta` to the named counter.
+    #[inline]
+    fn count(&self, _name: &str, _delta: u64) {}
+
+    /// Records one solver lattice transition.
+    #[inline]
+    fn transition(&self, _event: TransitionEvent) {}
+}
+
+/// The disabled sink: every method keeps its no-op default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl ObsSink for NoopSink {}
+
+/// RAII span guard: records a span from construction to drop.
+///
+/// When the sink is disabled the guard holds `start = 0` and drop does
+/// nothing, so guards can be created unconditionally.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn ObsSink,
+    name: &'a str,
+    category: &'a str,
+    start: u64,
+    live: bool,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Opens a span on `sink` (no-op when disabled).
+    pub fn enter(sink: &'a dyn ObsSink, name: &'a str, category: &'a str) -> Self {
+        let live = sink.enabled();
+        SpanGuard {
+            sink,
+            name,
+            category,
+            start: if live { sink.now() } else { 0 },
+            live,
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            let end = self.sink.now();
+            self.sink.span(
+                self.name,
+                self.category,
+                self.start,
+                end.saturating_sub(self.start),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let sink = NoopSink;
+        assert!(!sink.enabled());
+        assert_eq!(sink.now(), 0);
+        sink.span("x", "y", 0, 1);
+        sink.count("c", 3);
+        sink.transition(TransitionEvent {
+            callee: "f".into(),
+            slot: "arg0".into(),
+            caller: "main".into(),
+            site: "b0#0".into(),
+            jump_fn: "4".into(),
+            from: "⊤".into(),
+            to: "4".into(),
+        });
+        let _guard = SpanGuard::enter(&sink, "phase", "test");
+    }
+}

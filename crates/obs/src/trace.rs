@@ -1,0 +1,249 @@
+//! [`TraceSink`]: the recording implementation of [`ObsSink`].
+//!
+//! Spans land in one of a fixed set of *shards*, selected by a
+//! thread-local worker slot, so concurrent workers of the parallel
+//! engine never contend on one lock (each shard's mutex is effectively
+//! thread-private while a `par_map` runs). Export merges the per-worker
+//! buffers in a deterministic order — by start time with a global
+//! record sequence number as the tiebreak — the same "fan out freely,
+//! merge in a fixed order" discipline `ipcp_analysis::par` uses for
+//! analysis results.
+
+use crate::sink::{ObsSink, TransitionEvent};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of per-worker span shards. More shards than any realistic
+/// `--jobs` setting, so workers map to distinct shards in practice.
+const SHARDS: usize = 32;
+
+static NEXT_WORKER_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Stable per-thread worker slot, assigned on first use.
+    static WORKER_SLOT: usize = NEXT_WORKER_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+fn worker_slot() -> usize {
+    WORKER_SLOT.with(|w| *w)
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (phase or per-item label).
+    pub name: String,
+    /// Category (e.g. `phase`, `par`).
+    pub category: String,
+    /// Start, nanoseconds since the sink epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Worker slot of the recording thread.
+    pub worker: usize,
+    /// Global record sequence number (deterministic merge tiebreak).
+    pub seq: u64,
+}
+
+/// An immutable snapshot of everything a [`TraceSink`] recorded.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// All spans, merged across worker shards and sorted by
+    /// `(start_ns, seq)`.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals in name order.
+    pub counters: BTreeMap<String, u64>,
+    /// Solver transitions with their record timestamps, in record order.
+    pub transitions: Vec<(u64, usize, TransitionEvent)>,
+}
+
+impl TraceSnapshot {
+    /// Per-span-name *self* time (duration minus same-worker nested
+    /// child spans), microseconds. Nesting is reconstructed per worker
+    /// by interval containment.
+    pub fn self_times_us(&self) -> BTreeMap<String, u64> {
+        let mut by_worker: BTreeMap<usize, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &self.spans {
+            by_worker.entry(s.worker).or_default().push(s);
+        }
+        let mut self_ns: BTreeMap<String, u64> = BTreeMap::new();
+        for (_, mut spans) in by_worker {
+            // Parents first: earlier start, then longer duration.
+            spans.sort_by(|a, b| {
+                (a.start_ns, std::cmp::Reverse(a.duration_ns), a.seq).cmp(&(
+                    b.start_ns,
+                    std::cmp::Reverse(b.duration_ns),
+                    b.seq,
+                ))
+            });
+            // Direct-child time per span, by interval containment.
+            let mut child_ns: Vec<u64> = vec![0; spans.len()];
+            let mut open: Vec<usize> = Vec::new();
+            for (i, s) in spans.iter().enumerate() {
+                while let Some(&j) = open.last() {
+                    let end_j = spans[j].start_ns.saturating_add(spans[j].duration_ns);
+                    if end_j > s.start_ns {
+                        break;
+                    }
+                    open.pop();
+                }
+                if let Some(&j) = open.last() {
+                    // Clamp the child's contribution to the parent span.
+                    let end_j = spans[j].start_ns.saturating_add(spans[j].duration_ns);
+                    let end_i = spans[i].start_ns.saturating_add(spans[i].duration_ns);
+                    let clamped = end_i.min(end_j).saturating_sub(s.start_ns);
+                    child_ns[j] = child_ns[j].saturating_add(clamped);
+                }
+                open.push(i);
+            }
+            for (s, child) in spans.iter().zip(child_ns) {
+                *self_ns.entry(s.name.clone()).or_default() += s.duration_ns.saturating_sub(child);
+            }
+        }
+        self_ns
+            .into_iter()
+            .map(|(name, ns)| (name, ns / 1_000))
+            .collect()
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    spans: Vec<SpanRecord>,
+}
+
+/// The recording sink.
+pub struct TraceSink {
+    epoch: Instant,
+    seq: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    counters: Mutex<BTreeMap<String, u64>>,
+    transitions: Mutex<Vec<(u64, usize, TransitionEvent)>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// Creates an empty sink with its epoch at "now".
+    pub fn new() -> Self {
+        TraceSink {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            counters: Mutex::new(BTreeMap::new()),
+            transitions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshots everything recorded so far, merging the per-worker
+    /// shards in deterministic `(start, seq)` order.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            spans.extend(shard.lock().unwrap().spans.iter().cloned());
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.seq));
+        TraceSnapshot {
+            spans,
+            counters: self.counters.lock().unwrap().clone(),
+            transitions: self.transitions.lock().unwrap().clone(),
+        }
+    }
+}
+
+impl ObsSink for TraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn span(&self, name: &str, category: &str, start_ns: u64, duration_ns: u64) {
+        let worker = worker_slot();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = SpanRecord {
+            name: name.to_string(),
+            category: category.to_string(),
+            start_ns,
+            duration_ns,
+            worker,
+            seq,
+        };
+        self.shards[worker % SHARDS]
+            .lock()
+            .unwrap()
+            .spans
+            .push(record);
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        *self
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default() += delta;
+    }
+
+    fn transition(&self, event: TransitionEvent) {
+        let ts = self.now();
+        self.transitions
+            .lock()
+            .unwrap()
+            .push((ts, worker_slot(), event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_deterministic_order() {
+        let sink = TraceSink::new();
+        sink.span("b", "phase", 10, 5);
+        sink.span("a", "phase", 2, 20);
+        sink.count("widgets", 2);
+        sink.count("widgets", 3);
+        let snap = sink.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "a");
+        assert_eq!(snap.spans[1].name, "b");
+        assert_eq!(snap.counters["widgets"], 5);
+    }
+
+    #[test]
+    fn self_time_subtracts_nested_children() {
+        // parent [0µs, 100µs), child [10µs, 40µs) on the same thread.
+        let sink = TraceSink::new();
+        sink.span("child", "phase", 10_000, 30_000);
+        sink.span("parent", "phase", 0, 100_000);
+        let st = sink.snapshot().self_times_us();
+        assert_eq!(st["parent"], 70);
+        assert_eq!(st["child"], 30);
+    }
+
+    #[test]
+    fn concurrent_spans_survive_sharding() {
+        let sink = TraceSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        sink.span("w", "par", (t * 1000 + i) as u64, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.snapshot().spans.len(), 400);
+    }
+}

@@ -23,6 +23,13 @@ pub struct Cli {
     /// Whether `analyze` should print per-phase wall-clock and cache
     /// statistics from the analysis session (`--timings`).
     pub timings: bool,
+    /// Where `analyze` should write a Chrome trace-event JSON file
+    /// (`--trace-out <path>`); `None` leaves tracing disabled.
+    pub trace_out: Option<String>,
+    /// The procedure `explain` should report on.
+    pub explain_proc: Option<String>,
+    /// The parameter/global/slot name `explain` should narrow to.
+    pub explain_param: Option<String>,
 }
 
 /// Subcommands of the `ipcp` binary.
@@ -43,6 +50,12 @@ pub enum Command {
     Clones,
     /// Check the FORTRAN no-alias rule.
     Lint,
+    /// Explain the provenance of a procedure's interprocedural
+    /// constants (justifying call edges, jump-function levels,
+    /// return-jump-function recoveries).
+    Explain,
+    /// Print Prometheus-style metrics of one traced analysis run.
+    Metrics,
 }
 
 impl Command {
@@ -55,6 +68,8 @@ impl Command {
             "optimize" => Command::Optimize,
             "clones" => Command::Clones,
             "lint" => Command::Lint,
+            "explain" => Command::Explain,
+            "metrics" => Command::Metrics,
             _ => return None,
         })
     }
@@ -85,6 +100,8 @@ commands:
   optimize    full optimizer: substitute + DCE (+ cloning with --clone)
   clones      report procedure-cloning opportunities
   lint        check the FORTRAN no-alias rule
+  explain     explain a constant's provenance: explain <file.mf> <proc> [param]
+  metrics     print Prometheus-style metrics of one traced analysis run
 
 options:
   --jf <literal|intra|pass|poly>  forward jump function kind (default poly)
@@ -105,6 +122,9 @@ options:
                                   bit-identical at any setting)
   --timings                       print per-phase wall-clock + cache stats
                                   of the analysis session (`analyze` only)
+  --trace-out <path>              write a Chrome trace-event JSON file of
+                                  the analysis run (`analyze` only; open
+                                  in chrome://tracing or Perfetto)
   --on-exhausted <degrade|error>  what fuel exhaustion means (default degrade)
 ";
 
@@ -133,6 +153,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut input = Vec::new();
     let mut clone_procedures = false;
     let mut timings = false;
+    let mut trace_out = None;
+    let mut positionals: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--jf" => {
@@ -160,6 +182,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             "--gsa" => config.gsa = true,
             "--clone" => clone_procedures = true,
             "--timings" => timings = true,
+            "--trace-out" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| UsageError("--trace-out needs a path".into()))?;
+                trace_out = Some(path.clone());
+            }
             "--binding-solver" => config.solver = SolverKind::BindingGraph,
             "--fuel" => {
                 let n = it
@@ -206,9 +234,30 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     })
                     .collect::<Result<_, _>>()?;
             }
-            other => return Err(UsageError(format!("unknown option `{other}`"))),
+            other if other.starts_with("--") => {
+                return Err(UsageError(format!("unknown option `{other}`")));
+            }
+            word => positionals.push(word.to_string()),
         }
     }
+
+    let (explain_proc, explain_param) = if command == Command::Explain {
+        let mut pos = positionals.into_iter();
+        let proc = pos
+            .next()
+            .ok_or_else(|| UsageError("explain needs a procedure name".into()))?;
+        let param = pos.next();
+        if let Some(extra) = pos.next() {
+            return Err(UsageError(format!("unexpected argument `{extra}`")));
+        }
+        (Some(proc), param)
+    } else {
+        if let Some(extra) = positionals.first() {
+            return Err(UsageError(format!("unexpected argument `{extra}`")));
+        }
+        (None, None)
+    };
+
     Ok(Cli {
         command,
         file,
@@ -216,6 +265,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         clone_procedures,
         input,
         timings,
+        trace_out,
+        explain_proc,
+        explain_param,
     })
 }
 
@@ -237,9 +289,28 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
         Command::Analyze => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
             let session = crate::core::AnalysisSession::new(&program);
-            let outcome = session
-                .analyze_checked(&cli.config)
-                .map_err(|e| e.to_string())?;
+            let mut trace_note = None;
+            let outcome = match &cli.trace_out {
+                Some(path) => {
+                    let sink = crate::core::obs::TraceSink::new();
+                    let outcome = session
+                        .analyze_checked_obs(&cli.config, &sink)
+                        .map_err(|e| e.to_string())?;
+                    let snapshot = sink.snapshot();
+                    let json = crate::core::obs::chrome_trace_json(&snapshot);
+                    std::fs::write(path, &json)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    trace_note = Some(format!(
+                        "trace: {} spans, {} transitions written to {path}",
+                        snapshot.spans.len(),
+                        snapshot.transitions.len()
+                    ));
+                    outcome
+                }
+                None => session
+                    .analyze_checked(&cli.config)
+                    .map_err(|e| e.to_string())?,
+            };
             let mut out = String::new();
             out.push_str(&report::constants_to_string(&outcome));
             out.push('\n');
@@ -257,6 +328,9 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                     "\nphase timings (analysis session):\n{}",
                     session.stats()
                 );
+            }
+            if let Some(note) = trace_note {
+                let _ = writeln!(out, "\n{note}");
             }
             Ok(out)
         }
@@ -324,6 +398,43 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
             Ok(crate::core::cloning::opportunities_to_string(
                 &program, &ops,
             ))
+        }
+        Command::Explain => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let prov = crate::core::analyze_provenance(&program, &cli.config);
+            let proc = cli.explain_proc.as_deref().expect("parser enforces");
+            let mut out = prov.explain(proc, cli.explain_param.as_deref())?;
+            if cli.explain_param.is_none() {
+                out.push('\n');
+                out.push_str(&prov.attribution_table());
+            }
+            Ok(out)
+        }
+        Command::Metrics => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let session = crate::core::AnalysisSession::new(&program);
+            let sink = crate::core::obs::TraceSink::new();
+            session
+                .analyze_checked_obs(&cli.config, &sink)
+                .map_err(|e| e.to_string())?;
+            let mut out = crate::core::obs::prometheus_text(&sink.snapshot());
+            let prov = crate::core::analyze_provenance(&program, &cli.config);
+            let a = prov.attribution;
+            out.push_str(
+                "# HELP ipcp_substitutions_by_level Substitutions attributed to each \
+                 jump-function provenance level.\n\
+                 # TYPE ipcp_substitutions_by_level gauge\n",
+            );
+            for (label, n) in [
+                ("literal", a.literal),
+                ("intraprocedural", a.intraprocedural),
+                ("pass_through", a.pass_through),
+                ("polynomial", a.polynomial),
+                ("local", a.local),
+            ] {
+                let _ = writeln!(out, "ipcp_substitutions_by_level{{level=\"{label}\"}} {n}");
+            }
+            Ok(out)
         }
         Command::Lint => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
@@ -565,6 +676,79 @@ mod tests {
         let bad = "proc f(a, b)\n  a = 1\nend\nmain\n  call f(x, x)\nend\n";
         let err = execute(&cli, bad).unwrap_err();
         assert!(err.contains("passed by reference"), "{err}");
+    }
+
+    const GLOBALS_PROGRAM: &str = "\
+global n\n\
+proc init()\n  n = 64\nend\n\
+proc compute(k)\n  print(n + k)\nend\n\
+main\n  call init()\n  call compute(8)\nend\n";
+
+    #[test]
+    fn parse_explain_positionals() {
+        let cli = parse_args(&args(&["explain", "x.mf", "compute", "k"])).unwrap();
+        assert_eq!(cli.command, Command::Explain);
+        assert_eq!(cli.explain_proc.as_deref(), Some("compute"));
+        assert_eq!(cli.explain_param.as_deref(), Some("k"));
+        let cli = parse_args(&args(&["explain", "x.mf", "compute"])).unwrap();
+        assert_eq!(cli.explain_param, None);
+        assert!(parse_args(&args(&["explain", "x.mf"])).is_err());
+        assert!(parse_args(&args(&["explain", "x.mf", "a", "b", "c"])).is_err());
+        // Positionals are rejected everywhere else.
+        assert!(parse_args(&args(&["analyze", "x.mf", "stray"])).is_err());
+    }
+
+    #[test]
+    fn execute_explain() {
+        let cli = parse_args(&args(&["explain", "x.mf", "compute", "k"])).unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("compute.k = 8"), "{out}");
+        assert!(out.contains("<- main"), "{out}");
+        // Without a parameter the whole procedure plus the attribution
+        // table is reported.
+        let cli = parse_args(&args(&["explain", "x.mf", "compute"])).unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("compute.n = 64"), "{out}");
+        assert!(out.contains("substitutions by provenance level"), "{out}");
+        // Unknown names are errors.
+        let cli = parse_args(&args(&["explain", "x.mf", "nosuch"])).unwrap();
+        assert!(execute(&cli, GLOBALS_PROGRAM).is_err());
+    }
+
+    #[test]
+    fn execute_metrics() {
+        let cli = parse_args(&args(&["metrics", "x.mf"])).unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("ipcp_spans_total"), "{out}");
+        assert!(out.contains("ipcp_phase_self_time_microseconds"), "{out}");
+        assert!(
+            out.contains("ipcp_substitutions_by_level{level=\"literal\"}"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn parse_trace_out() {
+        let cli = parse_args(&args(&["analyze", "x.mf", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert!(parse_args(&args(&["analyze", "x.mf", "--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn execute_analyze_trace_out_writes_valid_trace() {
+        let path = std::env::temp_dir().join("ipcp_cli_trace_test.json");
+        let path_str = path.to_string_lossy().into_owned();
+        let cli = parse_args(&args(&["analyze", "x.mf", "--trace-out", &path_str])).unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let stats = crate::core::obs::validate_chrome_trace(&json).unwrap();
+        assert!(stats.spans > 0, "{stats:?}");
+        // The analysis result itself is unchanged by tracing.
+        let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let quiet = execute(&plain, GLOBALS_PROGRAM).unwrap();
+        assert!(out.starts_with(&quiet), "traced output must extend plain");
     }
 
     #[test]

@@ -590,6 +590,41 @@ proptest! {
             assert_outcomes_identical(&got, &want, &format!("jobs={jobs} vs 1: {config:?}"));
         }
     }
+
+    /// Observability is free: running the analysis with a recording
+    /// trace sink attached produces an outcome — program, CONSTANTS,
+    /// substitution counts, cost stats, robustness report — identical
+    /// to the untraced run, at 1 and 4 workers and under fuel metering.
+    #[test]
+    fn tracing_never_changes_the_outcome(
+        src in program(),
+        config in arb_config(),
+    ) {
+        use ipcp::core::obs::TraceSink;
+        use ipcp::core::AnalysisSession;
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        for jobs in [1usize, 4] {
+            for fuel in [None, Some(200u64), Some(100_000)] {
+                let config = AnalysisConfig { jobs, fuel, ..config };
+                let plain = AnalysisSession::new(&ir)
+                    .analyze_checked(&config)
+                    .expect("Degrade policy never errors");
+                let sink = TraceSink::new();
+                let traced = AnalysisSession::new(&ir)
+                    .analyze_checked_obs(&config, &sink)
+                    .expect("Degrade policy never errors");
+                assert_outcomes_identical(
+                    &traced,
+                    &plain,
+                    &format!("traced vs plain: {config:?}"),
+                );
+                prop_assert_eq!(
+                    &traced.robustness, &plain.robustness,
+                    "robustness report drifted under tracing: {:?}", config
+                );
+            }
+        }
+    }
 }
 
 // ---- front-end round-trip property ---------------------------------------
