@@ -194,6 +194,10 @@ pub struct RobustnessReport {
     /// Precision-ladder steps taken by jump-function construction,
     /// keyed by `(from, to)` kind names.
     pub ladder_steps: BTreeMap<(String, String), u64>,
+    /// Malformed-but-validated IR shapes the transforms recovered from
+    /// instead of panicking (e.g. a DCE sweep skipped because SSA and IR
+    /// disagreed), keyed by a stable description.
+    pub anomalies: BTreeMap<String, u64>,
 }
 
 impl RobustnessReport {
@@ -202,9 +206,17 @@ impl RobustnessReport {
         self.degradations.values().sum()
     }
 
+    /// Total anomaly events across all descriptions.
+    pub fn total_anomalies(&self) -> u64 {
+        self.anomalies.values().sum()
+    }
+
     /// True when the analysis ran to completion at full precision.
     pub fn is_clean(&self) -> bool {
-        !self.exhausted && self.degradations.is_empty() && self.ladder_steps.is_empty()
+        !self.exhausted
+            && self.degradations.is_empty()
+            && self.ladder_steps.is_empty()
+            && self.anomalies.is_empty()
     }
 
     /// Renders the report as a JSON object (hand-rolled; the workspace
@@ -237,7 +249,16 @@ impl RobustnessReport {
                 "{{\"from\":\"{from}\",\"to\":\"{to}\",\"count\":{count}}}"
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"anomalies\":{");
+        let mut first = true;
+        for (what, count) in &self.anomalies {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{count}", json_escape(what)));
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -260,8 +281,32 @@ impl fmt::Display for RobustnessReport {
         for ((from, to), count) in &self.ladder_steps {
             writeln!(f, "  ladder {from} -> {to}: {count}")?;
         }
+        if !self.anomalies.is_empty() {
+            writeln!(f, "anomalies: {}", self.total_anomalies())?;
+            for (what, count) in &self.anomalies {
+                writeln!(f, "  {what}: {count}")?;
+            }
+        }
         Ok(())
     }
+}
+
+/// Minimal JSON string escaping for anomaly keys (hand-rolled; the
+/// workspace carries no serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 struct BudgetState {
@@ -269,6 +314,7 @@ struct BudgetState {
     exhausted: bool,
     degradations: BTreeMap<Phase, u64>,
     ladder_steps: BTreeMap<(String, String), u64>,
+    anomalies: BTreeMap<String, u64>,
 }
 
 struct BudgetInner {
@@ -300,6 +346,7 @@ impl Budget {
                     exhausted: false,
                     degradations: BTreeMap::new(),
                     ladder_steps: BTreeMap::new(),
+                    anomalies: BTreeMap::new(),
                 }),
             }),
         }
@@ -393,6 +440,14 @@ impl Budget {
             .or_insert(0) += 1;
     }
 
+    /// Records a malformed-IR shape a transform recovered from instead of
+    /// panicking (the transform degrades to a no-op for the affected
+    /// region; the result stays sound, merely less optimized).
+    pub fn record_anomaly(&self, what: &str) {
+        let mut state = self.inner.state.borrow_mut();
+        *state.anomalies.entry(what.to_string()).or_insert(0) += 1;
+    }
+
     /// Snapshots the report accumulated so far.
     pub fn report(&self) -> RobustnessReport {
         let state = self.inner.state.borrow();
@@ -402,6 +457,7 @@ impl Budget {
             exhausted: state.exhausted,
             degradations: state.degradations.clone(),
             ladder_steps: state.ladder_steps.clone(),
+            anomalies: state.anomalies.clone(),
         }
     }
 }
@@ -521,12 +577,42 @@ mod tests {
         assert!(!b.checkpoint(Phase::ModRef, 1));
         b.record_degradation(Phase::ModRef);
         b.record_ladder_step("pass-through", "literal");
+        b.record_anomaly("dce: ssa/ir length mismatch");
         let json = b.report().to_json();
         assert_eq!(
             json,
             "{\"fuel_limit\":4,\"fuel_consumed\":4,\"exhausted\":true,\
              \"degradations\":{\"modref\":1},\
-             \"ladder_steps\":[{\"from\":\"pass-through\",\"to\":\"literal\",\"count\":1}]}"
+             \"ladder_steps\":[{\"from\":\"pass-through\",\"to\":\"literal\",\"count\":1}],\
+             \"anomalies\":{\"dce: ssa/ir length mismatch\":1}}"
+        );
+    }
+
+    #[test]
+    fn anomalies_accumulate_and_spoil_cleanliness() {
+        let b = Budget::unlimited();
+        assert!(b.report().is_clean());
+        b.record_anomaly("ssa: missing by-ref var");
+        b.record_anomaly("ssa: missing by-ref var");
+        b.record_anomaly("dce: unresolvable def site");
+        let report = b.report();
+        assert_eq!(report.total_anomalies(), 3);
+        assert_eq!(report.anomalies["ssa: missing by-ref var"], 2);
+        assert!(!report.is_clean());
+        assert!(!report.exhausted, "anomalies are not exhaustion");
+        let text = report.to_string();
+        assert!(text.contains("anomalies: 3"), "{text}");
+        assert!(text.contains("dce: unresolvable def site"), "{text}");
+    }
+
+    #[test]
+    fn anomaly_keys_are_json_escaped() {
+        let b = Budget::unlimited();
+        b.record_anomaly("weird \"key\" with \\ and \n control");
+        let json = b.report().to_json();
+        assert!(
+            json.contains("\"weird \\\"key\\\" with \\\\ and \\n control\":1"),
+            "{json}"
         );
     }
 

@@ -7,6 +7,7 @@
 //! ⊤ between rounds. These transforms mutate the IR in place; the driver
 //! in `ipcp-core` re-runs the whole analysis afterwards.
 
+use crate::budget::Budget;
 use crate::sccp::SccpResult;
 use ipcp_ir::{Procedure, Terminator, TrapKind};
 use ipcp_lang::ast::BinOp;
@@ -71,7 +72,22 @@ pub fn remove_dead_assignments(
     proc: &mut Procedure,
     kills: &dyn KillOracle,
 ) -> bool {
+    remove_dead_assignments_budgeted(program, proc, kills, &Budget::unlimited())
+}
+
+/// [`remove_dead_assignments`] with anomaly reporting: any malformed-IR
+/// shape encountered mid-sweep is recorded on `budget` and the sweep
+/// degrades to a no-op for the affected procedure instead of panicking.
+pub fn remove_dead_assignments_budgeted(
+    program: &ipcp_ir::Program,
+    proc: &mut Procedure,
+    kills: &dyn KillOracle,
+    budget: &Budget,
+) -> bool {
     let ssa = build_ssa(program, proc, kills);
+    for a in &ssa.anomalies {
+        budget.record_anomaly(a);
+    }
 
     // Mark needed names from effectful roots.
     let mut needed = vec![false; ssa.name_count()];
@@ -119,12 +135,21 @@ pub fn remove_dead_assignments(
 
     // Index defs: name -> (block, instr index) for instruction defs; phi
     // defs handled through the phi list.
+    // If a def site cannot be resolved the liveness marking is incomplete;
+    // deleting anything on incomplete marking would be unsound, so the
+    // sweep degrades to a no-op for this procedure.
     while let Some(n) = work.pop() {
         match ssa.def(n).site {
             ipcp_ssa::DefSite::Entry => {}
             ipcp_ssa::DefSite::Phi { block } => {
-                let blk = ssa.block(block).expect("reachable");
-                let phi = blk.phis.iter().find(|p| p.dst == n).expect("phi exists");
+                let Some(blk) = ssa.block(block) else {
+                    budget.record_anomaly("dce: phi def site in unbuilt block");
+                    return false;
+                };
+                let Some(phi) = blk.phis.iter().find(|p| p.dst == n) else {
+                    budget.record_anomaly("dce: phi def missing from its block");
+                    return false;
+                };
                 for &(_, arg) in &phi.args {
                     if !needed[arg.index()] {
                         needed[arg.index()] = true;
@@ -134,8 +159,15 @@ pub fn remove_dead_assignments(
             }
             ipcp_ssa::DefSite::Instr { block, index }
             | ipcp_ssa::DefSite::CallImplicit { block, index } => {
-                let blk = ssa.block(block).expect("reachable");
-                blk.instrs[index].for_each_use(|op| require(op, &mut needed, &mut work));
+                let Some(blk) = ssa.block(block) else {
+                    budget.record_anomaly("dce: instr def site in unbuilt block");
+                    return false;
+                };
+                let Some(instr) = blk.instrs.get(index) else {
+                    budget.record_anomaly("dce: instr def index out of range");
+                    return false;
+                };
+                instr.for_each_use(|op| require(op, &mut needed, &mut work));
             }
         }
     }
@@ -163,9 +195,18 @@ pub fn remove_dead_assignments(
             continue;
         }
         let block = proc.block_mut(b);
-        debug_assert_eq!(block.instrs.len(), keep.len());
-        let mut it = keep.iter();
-        block.instrs.retain(|_| *it.next().expect("parallel"));
+        if block.instrs.len() != keep.len() {
+            // SSA and IR disagree about this block's shape; sweeping on a
+            // misaligned mask could delete the wrong instruction.
+            budget.record_anomaly("dce: ssa/ir instruction count mismatch");
+            continue;
+        }
+        let mut idx = 0;
+        block.instrs.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
         changed = true;
     }
     changed
@@ -194,9 +235,29 @@ pub fn dce_round(
     sccp: &SccpResult,
     kills: &dyn KillOracle,
 ) -> bool {
+    dce_round_budgeted(program, proc, ssa, sccp, kills, &Budget::unlimited())
+}
+
+/// [`dce_round`] with anomaly reporting: malformed-IR shapes found by any
+/// of the three transforms (or already recorded on `ssa` during its
+/// construction) surface through the budget's [`RobustnessReport`]
+/// instead of aborting the process.
+///
+/// [`RobustnessReport`]: crate::budget::RobustnessReport
+pub fn dce_round_budgeted(
+    program: &ipcp_ir::Program,
+    proc: &mut Procedure,
+    ssa: &SsaProc,
+    sccp: &SccpResult,
+    kills: &dyn KillOracle,
+    budget: &Budget,
+) -> bool {
+    for a in &ssa.anomalies {
+        budget.record_anomaly(a);
+    }
     let mut changed = fold_constant_branches(proc, ssa, sccp);
     changed |= remove_unreachable_code(proc);
-    changed |= remove_dead_assignments(program, proc, kills);
+    changed |= remove_dead_assignments_budgeted(program, proc, kills, budget);
     changed
 }
 
@@ -348,6 +409,44 @@ mod tests {
         let (program, changed) = run_dce(src);
         assert!(changed, "unused assignments must die");
         assert_eq!(outputs(&program, vec![4]), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn malformed_ir_degrades_with_anomaly_instead_of_panicking() {
+        let src = "proc f(n)\nn = n + 1\nend\nmain\nx = 1\ncall f(x)\nprint(x)\nend\n";
+        let mut program = compile_to_ir(src).expect("compiles");
+        let main = program.main;
+        // Corrupt the call: a by-ref actual that is a constant.
+        for block in &mut program.proc_mut(main).blocks {
+            for instr in &mut block.instrs {
+                if let Instr::Call { args, .. } = instr {
+                    args[0].value = ipcp_ir::Operand::Const(1);
+                }
+            }
+        }
+        let budget = crate::budget::Budget::unlimited();
+        let proc_copy = program.proc(main).clone();
+        let ssa = build_ssa(&program, &proc_copy, &WorstCaseKills);
+        let config = SccpConfig {
+            entry_env: &bottom_entry,
+            calls: &PessimisticCalls,
+        };
+        let result = sccp(&proc_copy, &ssa, &config);
+        let mut proc = proc_copy;
+        dce_round_budgeted(&program, &mut proc, &ssa, &result, &WorstCaseKills, &budget);
+        let report = budget.report();
+        assert!(report.total_anomalies() >= 1, "{report}");
+        assert!(
+            report.anomalies.keys().any(|k| k.contains("by-ref")),
+            "{report}"
+        );
+        assert!(!report.is_clean());
+        // The call itself must survive the degraded sweep.
+        assert!(proc
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Call { .. })));
     }
 
     #[test]

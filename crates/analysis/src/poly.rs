@@ -434,6 +434,56 @@ mod tests {
     }
 
     #[test]
+    fn wrapping_agrees_with_interpreter_on_min_edges() {
+        use ipcp_lang::ast::BinOp;
+        use ipcp_lang::interp::eval_binop_int;
+        // Polynomial arithmetic is wrapping i64, exactly like the runtime:
+        // any disagreement here would let the Poly jump functions prove a
+        // "constant" the program never computes.
+        let min = Poly::constant(i64::MIN);
+        let cases = [
+            (BinOp::Mul, i64::MIN, -1),
+            (BinOp::Add, i64::MIN, i64::MIN),
+            (BinOp::Sub, 0, i64::MIN),
+            (BinOp::Mul, i64::MAX, i64::MAX),
+        ];
+        for (op, a, b) in cases {
+            let pa = Poly::constant(a);
+            let pb = Poly::constant(b);
+            let got = match op {
+                BinOp::Add => pa.checked_add(&pb),
+                BinOp::Sub => pa.checked_sub(&pb),
+                BinOp::Mul => pa.checked_mul(&pb),
+                _ => unreachable!(),
+            }
+            .unwrap();
+            let want = eval_binop_int(op, a, b).unwrap();
+            assert_eq!(got.as_const(), Some(want), "{op:?} {a} {b}");
+        }
+        // Negation of i64::MIN wraps back to i64::MIN.
+        assert_eq!(min.neg().as_const(), Some(i64::MIN));
+        // Evaluation at i64::MIN wraps too: (-1) * x at x = MIN is MIN.
+        let p = x().checked_mul(&Poly::constant(-1)).unwrap();
+        let env = |s: Slot| (s == Slot::Formal(0)).then_some(i64::MIN);
+        assert_eq!(p.eval(&env), Some(i64::MIN));
+    }
+
+    #[test]
+    fn division_is_not_a_ring_op() {
+        // Poly deliberately has no division: `/` and `%` only enter symbolic
+        // jump functions through guarded constant folding (see symexpr), so
+        // a divide whose RHS could be zero is never folded away.
+        use ipcp_lang::ast::BinOp;
+        use ipcp_lang::interp::eval_binop_int;
+        assert!(eval_binop_int(BinOp::Div, 1, 0).is_err());
+        assert!(eval_binop_int(BinOp::Rem, 1, 0).is_err());
+        assert_eq!(eval_binop_int(BinOp::Div, i64::MIN, -1), Ok(i64::MIN));
+        assert_eq!(eval_binop_int(BinOp::Rem, i64::MIN, -1), Ok(0));
+        assert_eq!(eval_binop_int(BinOp::Div, -7, 2), Ok(-3));
+        assert_eq!(eval_binop_int(BinOp::Rem, -7, 2), Ok(-1));
+    }
+
+    #[test]
     fn degree_cap_enforced() {
         // x^(MAX_DEGREE+1) fails.
         let mut p = x();

@@ -375,6 +375,70 @@ mod tests {
     }
 
     #[test]
+    fn division_edges_agree_with_interpreter() {
+        use ipcp_lang::ast::BinOp;
+        use ipcp_lang::interp::eval_binop_int;
+        // i64::MIN / -1 wraps to i64::MIN; folding must match the runtime.
+        let src = "main\nx = -9223372036854775808\ny = x / -1\nprint(y)\nend\n";
+        assert_eq!(
+            first_print_value(src, "main"),
+            LatticeVal::Const(eval_binop_int(BinOp::Div, i64::MIN, -1).unwrap())
+        );
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(i64::MIN));
+        // i64::MIN % -1 wraps to 0.
+        let src = "main\nx = -9223372036854775808\ny = x % -1\nprint(y)\nend\n";
+        assert_eq!(
+            first_print_value(src, "main"),
+            LatticeVal::Const(eval_binop_int(BinOp::Rem, i64::MIN, -1).unwrap())
+        );
+        assert_eq!(first_print_value(src, "main"), LatticeVal::Const(0));
+    }
+
+    #[test]
+    fn division_truncates_toward_zero() {
+        // Rust semantics: -7 / 2 == -3 (not -4), and the sign of `%`
+        // follows the dividend: -7 % 2 == -1, 7 % -2 == 1.
+        for (src, want) in [
+            ("main\nx = -7\nprint(x / 2)\nend\n", -3),
+            ("main\nx = 7\nprint(x / -2)\nend\n", -3),
+            ("main\nx = -7\nprint(x % 2)\nend\n", -1),
+            ("main\nx = 7\nprint(x % -2)\nend\n", 1),
+        ] {
+            assert_eq!(
+                first_print_value(src, "main"),
+                LatticeVal::Const(want),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_is_never_folded() {
+        // A compile-time trap is not a constant: the division stays in the
+        // program so the runtime error is preserved.
+        assert_eq!(
+            first_print_value("main\nx = 1\nprint(x / 0)\nend\n", "main"),
+            LatticeVal::Bottom
+        );
+        assert_eq!(
+            first_print_value("main\nx = 1\nprint(x % 0)\nend\n", "main"),
+            LatticeVal::Bottom
+        );
+    }
+
+    #[test]
+    fn divide_with_unknown_rhs_is_never_folded() {
+        // `0 / n` may trap when n == 0: no absorbing shortcut may apply.
+        for src in [
+            "main\nread(n)\nprint(0 / n)\nend\n",
+            "main\nread(n)\nprint(0 % n)\nend\n",
+            "main\nread(n)\nprint(8 / n)\nend\n",
+        ] {
+            assert_eq!(first_print_value(src, "main"), LatticeVal::Bottom, "{src}");
+        }
+    }
+
+    #[test]
     fn read_is_bottom() {
         assert_eq!(
             first_print_value("main\nread(x)\nprint(x)\nend\n", "main"),

@@ -578,6 +578,47 @@ mod tests {
     }
 
     #[test]
+    fn division_edges_fold_like_interpreter() {
+        let min = SymExpr::constant(i64::MIN);
+        // i64::MIN / -1 wraps to i64::MIN, i64::MIN % -1 wraps to 0.
+        assert_eq!(
+            bin(BinOp::Div, &min, &SymExpr::constant(-1)).as_const(),
+            Some(i64::MIN)
+        );
+        assert_eq!(
+            bin(BinOp::Rem, &min, &SymExpr::constant(-1)).as_const(),
+            Some(0)
+        );
+        // Truncation toward zero for negative operands.
+        assert_eq!(
+            bin(BinOp::Div, &SymExpr::constant(-7), &SymExpr::constant(2)).as_const(),
+            Some(-3)
+        );
+        assert_eq!(
+            bin(BinOp::Rem, &SymExpr::constant(-7), &SymExpr::constant(2)).as_const(),
+            Some(-1)
+        );
+    }
+
+    #[test]
+    fn lattice_binop_never_folds_possibly_zero_divisor() {
+        use LatticeVal::*;
+        // Constant trap → Bottom (the divide stays in the program).
+        assert_eq!(lattice_binop(BinOp::Div, Const(1), Const(0)), Bottom);
+        assert_eq!(lattice_binop(BinOp::Rem, Const(1), Const(0)), Bottom);
+        // Unknown RHS: no absorbing shortcut may produce a constant, even
+        // for `0 / n` (which traps when n == 0).
+        assert_eq!(lattice_binop(BinOp::Div, Const(0), Bottom), Bottom);
+        assert_eq!(lattice_binop(BinOp::Rem, Const(0), Bottom), Bottom);
+        assert_eq!(lattice_binop(BinOp::Div, Const(0), Top), Top);
+        // Wrapping edge folds to the runtime value.
+        assert_eq!(
+            lattice_binop(BinOp::Div, Const(i64::MIN), Const(-1)),
+            Const(i64::MIN)
+        );
+    }
+
+    #[test]
     fn polynomial_fragment_stays_canonical() {
         // (x + 1) + (x - 1) = 2x — still a polynomial, commutatively equal.
         let a = bin(BinOp::Add, &x(), &SymExpr::constant(1));

@@ -1,0 +1,45 @@
+//! Standalone differential-fuzzing driver: generates random Minifor
+//! programs and checks that the optimize pipeline preserves semantics at
+//! every jump-function level. Thin wrapper over [`ipcp_suite::fuzz`];
+//! the `ipcp fuzz` subcommand exposes the same campaign with more flags.
+//!
+//! ```text
+//! fuzz [iters] [seed] [jobs] [corpus-dir]
+//! ```
+
+use ipcp_core::obs::NoopSink;
+use ipcp_suite::fuzz::{run_fuzz, FuzzConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = FuzzConfig::default();
+    if let Some(n) = args.first().and_then(|a| a.parse().ok()) {
+        config.iters = n;
+    }
+    if let Some(s) = args.get(1).and_then(|a| a.parse().ok()) {
+        config.seed = s;
+    }
+    if let Some(j) = args.get(2).and_then(|a| a.parse().ok()) {
+        config.jobs = j;
+    }
+    if let Some(dir) = args.get(3) {
+        config.corpus_dir = Some(dir.into());
+    }
+    let report = run_fuzz(&config, &NoopSink);
+    println!("{}", report.summary());
+    for v in &report.violations {
+        println!(
+            "VIOLATION [{} @ {}] seed {:#018x}: {}",
+            v.oracle, v.level, v.seed, v.detail
+        );
+    }
+    for path in &report.repro_paths {
+        println!("repro written: {}", path.display());
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -16,7 +16,7 @@ use crate::retjf::{
 };
 use crate::solver::{entry_env_of, solve_budgeted, ValSets};
 use crate::subst::{count_substitutions, SubstitutionCounts};
-use ipcp_analysis::dce::dce_round;
+use ipcp_analysis::dce::dce_round_budgeted;
 use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
 use ipcp_analysis::symeval::{CallSymbolics, NoCallSymbolics, SymEvalOptions};
 use ipcp_analysis::{
@@ -370,7 +370,8 @@ pub fn analyze_with_budget_reference(
                         ),
                     };
                     let mut proc = proc_copy;
-                    changed |= dce_round(&program, &mut proc, &ssa, &result, kills);
+                    changed |=
+                        dce_round_budgeted(&program, &mut proc, &ssa, &result, kills, budget);
                     new_procs.push((pid, proc));
                 }
             }

@@ -107,6 +107,9 @@ pub fn robustness_to_string(outcome: &AnalysisOutcome) -> String {
     for ((from, to), count) in &r.ladder_steps {
         let _ = writeln!(out, "  ladder {from} -> {to}: {count}");
     }
+    for (what, count) in &r.anomalies {
+        let _ = writeln!(out, "  anomaly {what}: {count}");
+    }
     out
 }
 

@@ -70,7 +70,7 @@ use crate::jump::{JumpFn, JumpFunctionKind};
 use crate::retjf::{build_rjf_for_proc, ReturnJumpFns, RjfComposer, RjfConstEval, RjfLattice};
 use crate::solver::{entry_env_of, solve_traced, ValSets};
 use crate::subst::{count_substitutions_with_ssa_jobs, SubstitutionCounts};
-use ipcp_analysis::dce::dce_round;
+use ipcp_analysis::dce::dce_round_budgeted;
 use ipcp_analysis::sccp::{bottom_entry, sccp_budgeted, SccpConfig};
 use ipcp_analysis::symeval::{
     symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, SymEvalOptions, SymMap,
@@ -1391,7 +1391,7 @@ impl AnalysisSession {
             ),
         };
         let mut proc = proc_copy;
-        let changed = dce_round(program, &mut proc, &ssa, &result, kills);
+        let changed = dce_round_budgeted(program, &mut proc, &ssa, &result, kills, &scratch);
         let fuel = scratch.fuel_consumed();
         self.store.dces.write().unwrap().insert(
             key,

@@ -174,6 +174,12 @@ impl Lexer<'_> {
         } else {
             match text.parse::<i64>() {
                 Ok(v) => self.tokens.push(Token::new(TokenKind::Int(v), span)),
+                // `9223372036854775808` overflows i64 on its own, but is
+                // exactly `-i64::MIN`: emit a marker the parser accepts
+                // only directly under a unary minus.
+                Err(_) if text.parse::<u64>() == Ok(1u64 << 63) => self
+                    .tokens
+                    .push(Token::new(TokenKind::IntMinMagnitude, span)),
                 Err(_) => self.error(start, format!("integer literal `{text}` overflows i64")),
             }
         }
@@ -288,6 +294,22 @@ mod tests {
     fn int_overflow_is_error() {
         let err = lex("99999999999999999999").unwrap_err();
         assert!(err.first().message.contains("overflows"));
+        // One past the magnitude of i64::MIN overflows again.
+        let err = lex("9223372036854775809").unwrap_err();
+        assert!(err.first().message.contains("overflows"));
+    }
+
+    #[test]
+    fn i64_min_magnitude_lexes_as_marker() {
+        assert_eq!(
+            kinds("-9223372036854775808"),
+            vec![Minus, IntMinMagnitude, Newline, Eof]
+        );
+        // i64::MAX still lexes as an ordinary literal.
+        assert_eq!(
+            kinds("9223372036854775807"),
+            vec![Int(i64::MAX), Newline, Eof]
+        );
     }
 
     #[test]

@@ -208,6 +208,10 @@ impl Parser {
                     self.bump();
                     init = Some(if neg { v.wrapping_neg() } else { v });
                 }
+                TokenKind::IntMinMagnitude if neg => {
+                    self.bump();
+                    init = Some(i64::MIN);
+                }
                 other => {
                     return Err(self.error(format!(
                         "global initializer must be an integer literal, found {}",
@@ -671,6 +675,17 @@ impl Parser {
         if self.at(&TokenKind::Minus) {
             let start = self.peek_span();
             self.bump();
+            // `-9223372036854775808` is the one literal whose magnitude
+            // does not fit in i64; the lexer hands it over as a marker
+            // token and the negation lands exactly on `i64::MIN`.
+            if self.at(&TokenKind::IntMinMagnitude) {
+                let end = self.peek_span();
+                self.bump();
+                return Ok(Expr {
+                    kind: ExprKind::IntLit(i64::MIN),
+                    span: start.merge(end),
+                });
+            }
             let operand = self.unary_expr()?;
             let span = start.merge(operand.span);
             // Fold a negated literal immediately so `-5` is a literal (the
@@ -792,6 +807,11 @@ mod tests {
     fn negative_global_init() {
         let p = parse_ok("global n = -7\n");
         assert_eq!(p.globals[0].init, Some(-7));
+        let p = parse_ok("global n = -9223372036854775808\n");
+        assert_eq!(p.globals[0].init, Some(i64::MIN));
+        // The magnitude without the minus still does not fit.
+        let msg = parse_err("global n = 9223372036854775808\n");
+        assert!(msg.contains("integer literal"), "{msg}");
     }
 
     #[test]
@@ -967,6 +987,27 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn i64_min_literal_parses_only_under_unary_minus() {
+        let p = parse_ok("main\nx = -9223372036854775808\ny = 1 - -9223372036854775808\nend\n");
+        match &p.procs[0].body[0].kind {
+            StmtKind::Assign { value, .. } => assert_eq!(value.as_int_lit(), Some(i64::MIN)),
+            other => panic!("{other:?}"),
+        }
+        match &p.procs[0].body[1].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Binary(BinOp::Sub, _, rhs) => {
+                    assert_eq!(rhs.as_int_lit(), Some(i64::MIN));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Without the minus the magnitude is rejected at parse time.
+        let msg = parse_err("main\nx = 9223372036854775808\nend\n");
+        assert!(msg.contains("9223372036854775808"), "{msg}");
     }
 
     #[test]

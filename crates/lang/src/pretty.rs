@@ -238,15 +238,11 @@ fn write_expr(out: &mut String, expr: &Expr, min_prec: u8) {
     }
     match &expr.kind {
         ExprKind::IntLit(v) => {
-            if *v == i64::MIN {
-                // `9223372036854775808` does not lex as an i64 literal, so
-                // spell the minimum value arithmetically.
-                out.push_str("(0 - 9223372036854775807 - 1)");
-            } else {
-                // Negative literals print as `-5`; the parser re-folds the
-                // unary minus into a literal, so this round-trips.
-                let _ = write!(out, "{v}");
-            }
+            // Negative literals print as `-5`; the parser re-folds the
+            // unary minus into a literal (including `-9223372036854775808`,
+            // whose magnitude the lexer special-cases), so this
+            // round-trips for every i64.
+            let _ = write!(out, "{v}");
         }
         ExprKind::RealLit(v) => {
             if v.fract() == 0.0 && v.is_finite() && *v >= 0.0 {
@@ -339,10 +335,17 @@ mod tests {
 
     #[test]
     fn i64_min_literal_roundtrips() {
-        let ast = parse("main\nx = 0 - 9223372036854775807 - 1\nend\n").unwrap();
-        // Constant-fold by hand: build the literal via the parser's unary
-        // folding is impossible (the magnitude overflows), so synthesize it.
-        let mut ast = ast;
+        // The source literal parses straight to `i64::MIN` …
+        let ast = parse("main\nx = -9223372036854775808\nend\n").unwrap();
+        let printed = program_to_string(&ast);
+        assert!(printed.contains("x = -9223372036854775808"), "{printed}");
+        // … and printing is a fixpoint from the first render.
+        let printed2 = program_to_string(&parse(&printed).expect("reparse"));
+        assert_eq!(printed, printed2);
+
+        // Same for a synthesized literal (e.g. produced by constant
+        // substitution) in an arithmetic context.
+        let mut ast = parse("main\nx = 0 - 1 * 2\nend\n").unwrap();
         ast.procs[0].body[0].kind = crate::ast::StmtKind::Assign {
             target: crate::ast::LValue {
                 kind: crate::ast::LValueKind::Scalar("x".into()),
@@ -351,12 +354,13 @@ mod tests {
             value: Expr::int(i64::MIN, crate::span::Span::default()),
         };
         let printed = program_to_string(&ast);
-        // The literal prints as an arithmetic spelling, which reparses as a
-        // subtraction; printing stabilizes from the second render onward.
-        let printed2 = program_to_string(&parse(&printed).expect("reparse"));
-        let printed3 = program_to_string(&parse(&printed2).expect("re-reparse"));
-        assert_eq!(printed2, printed3);
-        assert!(printed.contains("9223372036854775807"), "{printed}");
+        let reparsed = parse(&printed).expect("reparse");
+        assert_eq!(program_to_string(&reparsed), printed);
+        // The reparsed value is exactly i64::MIN again.
+        let crate::ast::StmtKind::Assign { value, .. } = &reparsed.procs[0].body[0].kind else {
+            panic!("assign expected");
+        };
+        assert!(matches!(value.kind, ExprKind::IntLit(i64::MIN)));
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub enum TokenKind {
     Ident(String),
     /// An integer literal. Stored as `i64`; the lexer rejects overflow.
     Int(i64),
+    /// The integer literal `9223372036854775808` (2^63). Its magnitude
+    /// overflows `i64`, but `-9223372036854775808` is `i64::MIN`, so the
+    /// lexer emits this marker and the parser accepts it only directly
+    /// under a unary minus (the classic negate-after-parse corner).
+    IntMinMagnitude,
     /// A real (floating-point) literal such as `1.5`.
     Real(f64),
 
@@ -125,6 +130,9 @@ impl TokenKind {
         match self {
             Ident(name) => format!("identifier `{name}`"),
             Int(v) => format!("integer literal `{v}`"),
+            IntMinMagnitude => "integer literal `9223372036854775808` (only valid \
+                                immediately after a unary `-`)"
+                .into(),
             Real(v) => format!("real literal `{v}`"),
             KwGlobal => "`global`".into(),
             KwProc => "`proc`".into(),

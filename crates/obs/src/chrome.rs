@@ -548,6 +548,69 @@ mod tests {
     }
 
     #[test]
+    fn hostile_span_names_survive_export_and_validation() {
+        // The fuzz harness deliberately records span and category names
+        // containing quotes, backslashes, control characters, and
+        // non-ASCII text — the exporter must escape all of them into a
+        // parseable document that round-trips the original strings.
+        let hostile = "fuzz \"iter\" \\7\\ §деадбиф\t{}[],:\u{1}";
+        let sink = TraceSink::new();
+        sink.span(hostile, "cat\"\\\n", 0, 10_000);
+        let json = chrome_trace_json(&sink.snapshot());
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.spans, 1);
+        let doc = parse_json(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let begin = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .expect("a B event");
+        assert_eq!(begin.get("name").and_then(Json::as_str), Some(hostile));
+        assert_eq!(begin.get("cat").and_then(Json::as_str), Some("cat\"\\\n"));
+    }
+
+    #[test]
+    fn hostile_transition_fields_survive_export() {
+        let sink = TraceSink::new();
+        sink.transition(TransitionEvent {
+            callee: "callee\"x\"".into(),
+            slot: "slot\\y".into(),
+            caller: "главный".into(),
+            site: "b0#1\n".into(),
+            jump_fn: "λx. x".into(),
+            from: "⊤".into(),
+            to: "\"quoted\"".into(),
+        });
+        let json = chrome_trace_json(&sink.snapshot());
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.instants, 1);
+        let doc = parse_json(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("an instant event");
+        let args = inst.get("args").expect("args");
+        assert_eq!(
+            args.get("callee").and_then(Json::as_str),
+            Some("callee\"x\"")
+        );
+        assert_eq!(args.get("slot").and_then(Json::as_str), Some("slot\\y"));
+        assert_eq!(args.get("caller").and_then(Json::as_str), Some("главный"));
+        assert_eq!(args.get("site").and_then(Json::as_str), Some("b0#1\n"));
+    }
+
+    #[test]
+    fn escape_json_covers_every_special_class() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("q\"b\\"), "q\\\"b\\\\");
+        assert_eq!(escape_json("a\nb\rc\td"), "a\\nb\\rc\\td");
+        assert_eq!(escape_json("\u{1}\u{1f}"), "\\u0001\\u001f");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(escape_json("§π√"), "§π√");
+    }
+
+    #[test]
     fn parser_handles_escapes_and_rejects_garbage() {
         let v = parse_json(r#"{"a\n":[1,-2.5,true,null,"A"]}"#).unwrap();
         let arr = v.get("a\n").unwrap().as_array().unwrap();

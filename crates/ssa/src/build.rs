@@ -154,9 +154,11 @@ pub fn build_ssa(program: &Program, proc: &Procedure, kills: &dyn KillOracle) ->
         defs: &mut defs,
         stacks: vec![Vec::new(); nvars],
         entry_names: HashMap::new(),
+        anomalies: Vec::new(),
     };
     renamer.visit(proc.entry());
     let entry_names = renamer.entry_names;
+    let anomalies = renamer.anomalies;
 
     SsaProc {
         blocks,
@@ -164,6 +166,7 @@ pub fn build_ssa(program: &Program, proc: &Procedure, kills: &dyn KillOracle) ->
         entry_names,
         cfg,
         dom,
+        anomalies,
     }
 }
 
@@ -176,6 +179,7 @@ struct Renamer<'a> {
     defs: &'a mut Vec<DefInfo>,
     stacks: Vec<Vec<SsaName>>,
     entry_names: HashMap<VarId, SsaName>,
+    anomalies: Vec<String>,
 }
 
 impl Renamer<'_> {
@@ -210,14 +214,18 @@ impl Renamer<'_> {
     fn visit(&mut self, b: BlockId) {
         let mut pushed: Vec<VarId> = Vec::new();
 
-        // Phi definitions first.
-        let phi_defs: Vec<(VarId, SsaName)> = self.blocks[b.index()]
-            .as_ref()
-            .expect("reachable")
-            .phis
-            .iter()
-            .map(|p| (p.var, p.dst))
-            .collect();
+        // Phi definitions first. A missing skeleton means the dominator
+        // tree reached a block the reachability pass did not — recoverable
+        // malformed IR: record it and leave the block out of the SSA view.
+        let Some(skeleton) = self.blocks[b.index()].as_ref() else {
+            self.anomalies.push(format!(
+                "ssa: dominator tree visited unbuilt block b{b}",
+                b = b.index()
+            ));
+            return;
+        };
+        let phi_defs: Vec<(VarId, SsaName)> =
+            skeleton.phis.iter().map(|p| (p.var, p.dst)).collect();
         for (v, n) in phi_defs {
             self.stacks[v.index()].push(n);
             pushed.push(v);
@@ -263,8 +271,7 @@ impl Renamer<'_> {
             Terminator::Trap(k) => SsaTerminator::Trap(k),
         };
 
-        {
-            let blk = self.blocks[b.index()].as_mut().expect("reachable");
+        if let Some(blk) = self.blocks[b.index()].as_mut() {
             blk.instrs = ssa_instrs;
             blk.term = term;
         }
@@ -274,19 +281,21 @@ impl Renamer<'_> {
             if !self.cfg.is_reachable(s) {
                 continue;
             }
-            let phi_vars: Vec<VarId> = self.blocks[s.index()]
-                .as_ref()
-                .expect("reachable")
-                .phis
-                .iter()
-                .map(|p| p.var)
-                .collect();
+            let Some(succ) = self.blocks[s.index()].as_ref() else {
+                self.anomalies.push(format!(
+                    "ssa: reachable successor b{s} has no skeleton",
+                    s = s.index()
+                ));
+                continue;
+            };
+            let phi_vars: Vec<VarId> = succ.phis.iter().map(|p| p.var).collect();
             for (k, v) in phi_vars.into_iter().enumerate() {
                 let name = self.current(v);
-                let blk = self.blocks[s.index()].as_mut().expect("reachable");
-                // A block can reach the same successor through both branch
-                // edges (`branch c ? x : x`); record one argument per edge.
-                blk.phis[k].args.push((b, name));
+                if let Some(blk) = self.blocks[s.index()].as_mut() {
+                    // A block can reach the same successor through both branch
+                    // edges (`branch c ? x : x`); record one argument per edge.
+                    blk.phis[k].args.push((b, name));
+                }
             }
         }
 
@@ -370,30 +379,40 @@ impl Renamer<'_> {
             },
             Instr::Call { callee, args, dst } => {
                 // Uses first: values flowing into the callee.
-                let ssa_args: Vec<SsaCallArg> = args
-                    .iter()
-                    .map(|a| {
-                        if a.by_ref {
-                            let v = a.value.as_var().expect("validated by-ref var");
-                            if self.proc.var(v).ty.is_array() {
-                                SsaCallArg {
-                                    value: None,
-                                    by_ref_var: Some(v),
-                                }
-                            } else {
-                                SsaCallArg {
-                                    value: Some(SsaOperand::Name(self.current(v))),
-                                    by_ref_var: Some(v),
-                                }
-                            }
-                        } else {
-                            SsaCallArg {
+                let mut ssa_args: Vec<SsaCallArg> = Vec::with_capacity(args.len());
+                for a in args {
+                    if a.by_ref {
+                        let Some(v) = a.value.as_var() else {
+                            // Validation guarantees by-ref actuals are bare
+                            // variables; a constant here is recoverable
+                            // malformed IR. Degrade to by-value so the call
+                            // still gets an SSA form.
+                            self.anomalies
+                                .push("ssa: by-ref actual is not a variable".to_string());
+                            ssa_args.push(SsaCallArg {
                                 value: Some(self.rename_operand(a.value)),
                                 by_ref_var: None,
-                            }
+                            });
+                            continue;
+                        };
+                        if self.proc.var(v).ty.is_array() {
+                            ssa_args.push(SsaCallArg {
+                                value: None,
+                                by_ref_var: Some(v),
+                            });
+                        } else {
+                            ssa_args.push(SsaCallArg {
+                                value: Some(SsaOperand::Name(self.current(v))),
+                                by_ref_var: Some(v),
+                            });
                         }
-                    })
-                    .collect();
+                    } else {
+                        ssa_args.push(SsaCallArg {
+                            value: Some(self.rename_operand(a.value)),
+                            by_ref_var: None,
+                        });
+                    }
+                }
                 // Snapshot the reaching names of scalar globals (implicit
                 // actual parameters), before any kill.
                 let global_vars: Vec<VarId> = self
@@ -618,6 +637,49 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(matches!(ssa.def(last).site, DefSite::Instr { .. }));
+    }
+
+    #[test]
+    fn well_formed_programs_have_no_anomalies() {
+        let (_, ssa) = ssa_of(
+            "proc f(n)\nn = n + 1\nend\nmain\nx = 1\ncall f(x)\nprint(x)\nend\n",
+            "main",
+            &WorstCaseKills,
+        );
+        assert!(ssa.anomalies.is_empty(), "{:?}", ssa.anomalies);
+    }
+
+    #[test]
+    fn malformed_by_ref_actual_degrades_instead_of_panicking() {
+        let src = "proc f(n)\nn = n + 1\nend\nmain\nx = 1\ncall f(x)\nprint(x)\nend\n";
+        let mut program = compile_to_ir(src).expect("compiles");
+        // Corrupt the call: a by-ref actual that is a constant, which
+        // `ipcp_ir::validate` would reject. SSA construction must recover.
+        let main = program.main;
+        for block in &mut program.proc_mut(main).blocks {
+            for instr in &mut block.instrs {
+                if let Instr::Call { args, .. } = instr {
+                    args[0].value = ipcp_ir::Operand::Const(1);
+                    assert!(args[0].by_ref);
+                }
+            }
+        }
+        let pid = program.main;
+        let ssa = build_ssa(&program, program.proc(pid), &WorstCaseKills);
+        assert_eq!(ssa.anomalies.len(), 1, "{:?}", ssa.anomalies);
+        assert!(ssa.anomalies[0].contains("by-ref"), "{:?}", ssa.anomalies);
+        // The call survives with the argument degraded to by-value.
+        let mut saw_call = false;
+        for (_, blk) in ssa.rpo_blocks() {
+            for instr in &blk.instrs {
+                if let SsaInstr::Call { args, .. } = instr {
+                    saw_call = true;
+                    assert!(args[0].by_ref_var.is_none());
+                    assert!(args[0].value.is_some());
+                }
+            }
+        }
+        assert!(saw_call);
     }
 
     #[test]

@@ -332,6 +332,10 @@ pub struct SsaProc {
     pub cfg: Cfg,
     /// Dominator tree used during construction.
     pub dom: DomTree,
+    /// Malformed-but-validated IR shapes construction recovered from
+    /// instead of panicking (each entry is a stable description). Callers
+    /// forward these into the analysis `RobustnessReport`.
+    pub anomalies: Vec<String>,
 }
 
 impl SsaProc {

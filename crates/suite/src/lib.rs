@@ -11,13 +11,19 @@
 //! * [`specs`] — the twelve program specifications (motif counts),
 //! * [`gen`] — the source generator,
 //! * [`stats`] — Table 1 statistics,
-//! * [`paper`] — the paper's reference numbers for side-by-side output.
+//! * [`paper`] — the paper's reference numbers for side-by-side output,
+//! * [`fuzz`] — differential/metamorphic semantic-preservation oracles.
 
+pub mod fuzz;
 pub mod gen;
 pub mod paper;
 pub mod specs;
 pub mod stats;
 
+pub use fuzz::{
+    check_case, parse_repro_input, random_case, run_fuzz, CheckOutcome, FuzzCase, FuzzConfig,
+    FuzzReport, Violation,
+};
 pub use gen::{generate, generate_all, GeneratedProgram};
 pub use paper::{paper_row, PaperRow, PaperSizeRow, PAPER_RESULTS, PAPER_SIZES};
 pub use specs::{all_specs, spec, Spec};

@@ -12,11 +12,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&cli.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read `{}`: {e}", cli.file);
-            return ExitCode::FAILURE;
+    // `fuzz` generates its own programs and parses no input file.
+    let source = if cli.file.is_empty() {
+        String::new()
+    } else {
+        match std::fs::read_to_string(&cli.file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{}`: {e}", cli.file);
+                return ExitCode::FAILURE;
+            }
         }
     };
     match ipcp::cli::execute(&cli, &source) {

@@ -30,6 +30,13 @@ pub struct Cli {
     pub explain_proc: Option<String>,
     /// The parameter/global/slot name `explain` should narrow to.
     pub explain_param: Option<String>,
+    /// Iteration count for `fuzz` (`--iters`).
+    pub fuzz_iters: u64,
+    /// Campaign seed for `fuzz` (`--seed`).
+    pub fuzz_seed: u64,
+    /// Where `fuzz` writes minimized repros (`--corpus-dir`); `None`
+    /// reports violations without writing files.
+    pub fuzz_corpus_dir: Option<String>,
 }
 
 /// Subcommands of the `ipcp` binary.
@@ -56,6 +63,9 @@ pub enum Command {
     Explain,
     /// Print Prometheus-style metrics of one traced analysis run.
     Metrics,
+    /// Differential + metamorphic fuzzing of the optimize pipeline
+    /// (semantic preservation at every jump-function level).
+    Fuzz,
 }
 
 impl Command {
@@ -70,6 +80,7 @@ impl Command {
             "lint" => Command::Lint,
             "explain" => Command::Explain,
             "metrics" => Command::Metrics,
+            "fuzz" => Command::Fuzz,
             _ => return None,
         })
     }
@@ -102,6 +113,8 @@ commands:
   lint        check the FORTRAN no-alias rule
   explain     explain a constant's provenance: explain <file.mf> <proc> [param]
   metrics     print Prometheus-style metrics of one traced analysis run
+  fuzz        differential fuzzing of the optimizer (no file argument);
+              checks semantic preservation at all four jump-function levels
 
 options:
   --jf <literal|intra|pass|poly>  forward jump function kind (default poly)
@@ -126,6 +139,11 @@ options:
                                   the analysis run (`analyze` only; open
                                   in chrome://tracing or Perfetto)
   --on-exhausted <degrade|error>  what fuel exhaustion means (default degrade)
+  --iters <N>                     programs to generate (`fuzz` only, default 100)
+  --seed <N>                      campaign seed (`fuzz` only, default 1993);
+                                  results are independent of --jobs
+  --corpus-dir <path>             write minimized repros here (`fuzz` only;
+                                  default: report without writing files)
 ";
 
 /// Parses the argument list (without the program name).
@@ -139,10 +157,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         .next()
         .and_then(|w| Command::parse(w))
         .ok_or_else(|| UsageError("missing or unknown command".into()))?;
-    let file = it
-        .next()
-        .cloned()
-        .ok_or_else(|| UsageError("missing input file".into()))?;
+    // `fuzz` generates its own programs, so it takes no file argument.
+    let file = if command == Command::Fuzz {
+        String::new()
+    } else {
+        it.next()
+            .cloned()
+            .ok_or_else(|| UsageError("missing input file".into()))?
+    };
 
     // The CLI is a leaf consumer, so it defaults to every available core
     // (library callers keep the conservative `IPCP_JOBS`-or-1 default).
@@ -154,6 +176,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut clone_procedures = false;
     let mut timings = false;
     let mut trace_out = None;
+    let mut fuzz_iters = 100u64;
+    let mut fuzz_seed = 1993u64;
+    let mut fuzz_corpus_dir = None;
     let mut positionals: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -220,6 +245,28 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     }
                 };
             }
+            "--iters" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--iters needs a value".into()))?;
+                fuzz_iters = n
+                    .parse::<u64>()
+                    .map_err(|_| UsageError(format!("bad --iters value `{n}`")))?;
+            }
+            "--seed" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--seed needs a value".into()))?;
+                fuzz_seed = n
+                    .parse::<u64>()
+                    .map_err(|_| UsageError(format!("bad --seed value `{n}`")))?;
+            }
+            "--corpus-dir" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| UsageError("--corpus-dir needs a path".into()))?;
+                fuzz_corpus_dir = Some(path.clone());
+            }
             "--input" => {
                 let list = it
                     .next()
@@ -268,6 +315,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         trace_out,
         explain_proc,
         explain_param,
+        fuzz_iters,
+        fuzz_seed,
+        fuzz_corpus_dir,
     })
 }
 
@@ -435,6 +485,47 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 let _ = writeln!(out, "ipcp_substitutions_by_level{{level=\"{label}\"}} {n}");
             }
             Ok(out)
+        }
+        Command::Fuzz => {
+            use crate::suite::fuzz::{run_fuzz, FuzzConfig};
+            let config = FuzzConfig {
+                iters: cli.fuzz_iters,
+                seed: cli.fuzz_seed,
+                jobs: cli.config.jobs.max(1),
+                corpus_dir: cli.fuzz_corpus_dir.as_ref().map(std::path::PathBuf::from),
+                ..FuzzConfig::default()
+            };
+            let report = match &cli.trace_out {
+                Some(path) => {
+                    let sink = crate::core::obs::TraceSink::new();
+                    let report = run_fuzz(&config, &sink);
+                    let json = crate::core::obs::chrome_trace_json(&sink.snapshot());
+                    std::fs::write(path, &json)
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    report
+                }
+                None => run_fuzz(&config, &crate::core::obs::NoopSink),
+            };
+            let mut out = format!(
+                "fuzz: seed {} at levels literal/intra/pass/poly\n{}\n",
+                cli.fuzz_seed,
+                report.summary()
+            );
+            for v in &report.violations {
+                let _ = writeln!(
+                    out,
+                    "VIOLATION [{} @ {}] seed {:#018x}: {}",
+                    v.oracle, v.level, v.seed, v.detail
+                );
+            }
+            for path in &report.repro_paths {
+                let _ = writeln!(out, "repro written: {}", path.display());
+            }
+            if report.violations.is_empty() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
         }
         Command::Lint => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
@@ -749,6 +840,43 @@ main\n  call init()\n  call compute(8)\nend\n";
         let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
         let quiet = execute(&plain, GLOBALS_PROGRAM).unwrap();
         assert!(out.starts_with(&quiet), "traced output must extend plain");
+    }
+
+    #[test]
+    fn parse_fuzz_takes_no_file() {
+        let cli = parse_args(&args(&["fuzz"])).unwrap();
+        assert_eq!(cli.command, Command::Fuzz);
+        assert!(cli.file.is_empty());
+        assert_eq!(cli.fuzz_iters, 100);
+        assert_eq!(cli.fuzz_seed, 1993);
+        assert_eq!(cli.fuzz_corpus_dir, None);
+        let cli = parse_args(&args(&[
+            "fuzz",
+            "--iters",
+            "25",
+            "--seed",
+            "42",
+            "--jobs",
+            "3",
+            "--corpus-dir",
+            "repros",
+        ]))
+        .unwrap();
+        assert_eq!(cli.fuzz_iters, 25);
+        assert_eq!(cli.fuzz_seed, 42);
+        assert_eq!(cli.config.jobs, 3);
+        assert_eq!(cli.fuzz_corpus_dir.as_deref(), Some("repros"));
+        assert!(parse_args(&args(&["fuzz", "--iters"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--iters", "lots"])).is_err());
+        assert!(parse_args(&args(&["fuzz", "--seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn execute_fuzz_small_campaign_is_clean() {
+        let cli = parse_args(&args(&["fuzz", "--iters", "15", "--seed", "11"])).unwrap();
+        let out = execute(&cli, "").unwrap();
+        assert!(out.contains("0 violations"), "{out}");
+        assert!(out.contains("15 programs"), "{out}");
     }
 
     #[test]

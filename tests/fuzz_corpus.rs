@@ -1,0 +1,63 @@
+//! Replays the checked-in fuzz corpus: every minimized repro in
+//! `tests/fuzz-corpus/` must keep passing both semantic-preservation
+//! oracles at all four jump-function levels. A repro that fails here
+//! means a previously fixed optimizer bug has regressed.
+
+use ipcp::suite::fuzz::{check_case, parse_repro_input, CheckOutcome};
+use ipcp::JumpFunctionKind;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz-corpus")
+}
+
+#[test]
+fn corpus_replays_clean_at_every_level() {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/fuzz-corpus must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mf"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 5,
+        "expected the satellite regressions to be checked in, found {entries:?}"
+    );
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let input = parse_repro_input(&text);
+        let outcome = check_case(&text, &input, &JumpFunctionKind::ALL, 1_000_000);
+        match outcome {
+            CheckOutcome::Pass(class) => {
+                eprintln!("{}: pass ({class})", path.display());
+            }
+            other => panic!("{}: {:?}", path.display(), other),
+        }
+    }
+}
+
+#[test]
+fn corpus_traps_are_the_interesting_ones() {
+    // The corpus is not just trap-free programs: at least one repro must
+    // exercise a runtime trap so trap-equivalence stays covered.
+    let mut classes = Vec::new();
+    for entry in std::fs::read_dir(corpus_dir())
+        .unwrap()
+        .filter_map(|e| e.ok())
+    {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "mf") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let input = parse_repro_input(&text);
+        if let CheckOutcome::Pass(class) =
+            check_case(&text, &input, &JumpFunctionKind::ALL, 1_000_000)
+        {
+            classes.push(class);
+        }
+    }
+    assert!(classes.iter().any(|c| c == "ok"), "{classes:?}");
+    assert!(classes.iter().any(|c| c != "ok"), "{classes:?}");
+}
