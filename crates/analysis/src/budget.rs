@@ -180,6 +180,139 @@ impl FuelSource for FaultInjector {
     }
 }
 
+/// The disk-fault kinds the persistent artifact cache must tolerate.
+///
+/// Each kind models a distinct real-world failure: a crash mid-write
+/// (torn write), a filesystem that lost the file tail (truncation),
+/// media bit rot, a full disk, a permission change, and a rename that
+/// fails across the atomic-publish step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoFaultKind {
+    /// Only a prefix of the intended bytes reaches the disk.
+    TornWrite,
+    /// The file is written whole, then loses its tail.
+    Truncate,
+    /// One bit of the written payload flips.
+    BitFlip,
+    /// The write fails with `ENOSPC` (disk full).
+    Enospc,
+    /// The write fails with `EACCES` (permission denied).
+    Eacces,
+    /// The atomic temp→final rename fails.
+    RenameFail,
+}
+
+impl IoFaultKind {
+    /// All fault kinds, for exhaustive campaigns.
+    pub const ALL: [IoFaultKind; 6] = [
+        IoFaultKind::TornWrite,
+        IoFaultKind::Truncate,
+        IoFaultKind::BitFlip,
+        IoFaultKind::Enospc,
+        IoFaultKind::Eacces,
+        IoFaultKind::RenameFail,
+    ];
+
+    /// Stable lowercase name, used in reports and test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::TornWrite => "torn-write",
+            IoFaultKind::Truncate => "truncate",
+            IoFaultKind::BitFlip => "bit-flip",
+            IoFaultKind::Enospc => "enospc",
+            IoFaultKind::Eacces => "eacces",
+            IoFaultKind::RenameFail => "rename-fail",
+        }
+    }
+
+    /// The operation class this fault can strike.
+    pub fn target_op(self) -> IoOp {
+        match self {
+            IoFaultKind::RenameFail => IoOp::Rename,
+            _ => IoOp::Write,
+        }
+    }
+}
+
+impl fmt::Display for IoFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The I/O operation classes the cache performs (and the injector can
+/// intercept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IoOp {
+    /// Reading an entry file.
+    Read,
+    /// Writing a temp file.
+    Write,
+    /// The atomic temp→final rename.
+    Rename,
+    /// Removing an entry (eviction, clear, quarantine source).
+    Remove,
+}
+
+/// Deterministic disk-fault injector, the I/O analogue of
+/// [`FaultInjector`]: fires `kind` exactly once, at the `trigger`-th
+/// eligible operation. Sweeping `trigger` across a cache session drives
+/// the fault through every write and rename the cache performs.
+///
+/// Unlike the fuel-side injector this one is `Sync` (atomics, not
+/// `RefCell`) because the disk cache is shared across analysis workers.
+#[derive(Debug)]
+pub struct IoFaultInjector {
+    kind: IoFaultKind,
+    trigger: u64,
+    seen: std::sync::atomic::AtomicU64,
+    injected: std::sync::atomic::AtomicU64,
+}
+
+impl IoFaultInjector {
+    /// An injector that fires `kind` at the `trigger`-th eligible
+    /// operation (1-based; a trigger of 0 never fires).
+    pub fn new(kind: IoFaultKind, trigger: u64) -> Self {
+        IoFaultInjector {
+            kind,
+            trigger,
+            seen: std::sync::atomic::AtomicU64::new(0),
+            injected: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The fault this injector delivers.
+    pub fn kind(&self) -> IoFaultKind {
+        self.kind
+    }
+
+    /// Called by the cache's I/O layer before each operation of class
+    /// `op`; returns `true` exactly when the fault should strike now.
+    pub fn should_fire(&self, op: IoOp) -> bool {
+        use std::sync::atomic::Ordering;
+        if op != self.kind.target_op() || self.trigger == 0 {
+            return false;
+        }
+        let nth = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if nth == self.trigger {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many faults have actually been delivered (0 or 1).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many eligible operations have been observed so far.
+    pub fn eligible_ops_seen(&self) -> u64 {
+        self.seen.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Everything the budget learned while the analysis ran.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RobustnessReport {
@@ -632,5 +765,59 @@ mod tests {
     fn for_limit_maps_none_to_unlimited() {
         assert_eq!(Budget::for_limit(None).fuel_remaining(), None);
         assert_eq!(Budget::for_limit(Some(7)).fuel_remaining(), Some(7));
+    }
+
+    #[test]
+    fn io_fault_injector_fires_exactly_once_at_trigger() {
+        let inj = IoFaultInjector::new(IoFaultKind::Enospc, 3);
+        assert!(!inj.should_fire(IoOp::Write));
+        assert!(!inj.should_fire(IoOp::Write));
+        assert!(inj.should_fire(IoOp::Write));
+        assert!(!inj.should_fire(IoOp::Write));
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.eligible_ops_seen(), 4);
+    }
+
+    #[test]
+    fn io_fault_injector_ignores_other_op_classes() {
+        let inj = IoFaultInjector::new(IoFaultKind::RenameFail, 1);
+        assert!(!inj.should_fire(IoOp::Write));
+        assert!(!inj.should_fire(IoOp::Read));
+        assert_eq!(inj.eligible_ops_seen(), 0);
+        assert!(inj.should_fire(IoOp::Rename));
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn io_fault_injector_trigger_zero_never_fires() {
+        let inj = IoFaultInjector::new(IoFaultKind::BitFlip, 0);
+        for _ in 0..10 {
+            assert!(!inj.should_fire(IoOp::Write));
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn io_fault_kinds_have_stable_names_and_targets() {
+        let names: Vec<&str> = IoFaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "torn-write",
+                "truncate",
+                "bit-flip",
+                "enospc",
+                "eacces",
+                "rename-fail"
+            ]
+        );
+        assert_eq!(IoFaultKind::RenameFail.target_op(), IoOp::Rename);
+        assert_eq!(IoFaultKind::TornWrite.target_op(), IoOp::Write);
+    }
+
+    #[test]
+    fn io_fault_injector_is_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<IoFaultInjector>();
     }
 }

@@ -31,6 +31,7 @@
 pub mod alias;
 pub mod budget;
 pub mod callgraph;
+pub mod codec;
 pub mod dce;
 pub mod lattice;
 pub mod modref;
@@ -42,7 +43,10 @@ pub mod symeval;
 pub mod symexpr;
 
 pub use alias::{check_aliasing, AliasKind, AliasViolation};
-pub use budget::{Budget, ExhaustionPolicy, FaultInjector, FuelSource, Phase, RobustnessReport};
+pub use budget::{
+    Budget, ExhaustionPolicy, FaultInjector, FuelSource, IoFaultInjector, IoFaultKind, IoOp, Phase,
+    RobustnessReport,
+};
 pub use callgraph::{CallGraph, CallSite};
 pub use lattice::LatticeVal;
 pub use modref::compute_modref_obs;

@@ -24,9 +24,23 @@
 //! observability sink and write one combined Chrome trace-event JSON
 //! file (default `trace.json`; one Chrome process per program),
 //! validated before it is written.
+//! Pass `--cache-bench [dir]` to instead run the 8-configuration sweep
+//! twice through the persistent disk cache — once cold (empty cache,
+//! fresh sessions) and once warm (fresh sessions, populated cache) —
+//! assert the substitution totals are bit-identical, and write
+//! `BENCH_cache.json` with per-program and total cold/warm wall-clock
+//! and speedup.
 use ipcp_core::obs::{chrome_trace_json_multi, validate_chrome_trace, TraceSink, TraceSnapshot};
-use ipcp_core::AnalysisConfig;
+use ipcp_core::{AnalysisConfig, AnalysisSession, DiskCache};
 use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// `std::fs::write` with the failure turned into a diagnostic instead of
+/// a panic; `main` converts the error into a nonzero exit code.
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
 
 fn robustness_report(fuel: u64) {
     let suite = ipcp_bench::prepare_suite();
@@ -47,7 +61,7 @@ fn robustness_report(fuel: u64) {
     }
 }
 
-fn bench_json(jobs: usize) {
+fn bench_json(jobs: usize) -> Result<(), String> {
     let suite = ipcp_bench::prepare_suite();
     let mut out = String::new();
     let _ = write!(
@@ -80,7 +94,7 @@ fn bench_json(jobs: usize) {
         );
     }
     out.push_str("]}");
-    std::fs::write("BENCH_parallel.json", &out).expect("write BENCH_parallel.json");
+    write_file("BENCH_parallel.json", &out)?;
     println!("wrote BENCH_parallel.json ({jobs} workers)");
 
     // Per-phase *self* times (span duration minus nested children) of
@@ -116,11 +130,12 @@ fn bench_json(jobs: usize) {
         obs.push_str("}}");
     }
     obs.push_str("]}");
-    std::fs::write("BENCH_obs.json", &obs).expect("write BENCH_obs.json");
+    write_file("BENCH_obs.json", &obs)?;
     println!("wrote BENCH_obs.json");
+    Ok(())
 }
 
-fn trace_suite(path: &str) {
+fn trace_suite(path: &str) -> Result<(), String> {
     let suite = ipcp_bench::prepare_suite();
     let config = AnalysisConfig::default();
     let mut snapshots: Vec<(String, TraceSnapshot)> = Vec::new();
@@ -135,14 +150,97 @@ fn trace_suite(path: &str) {
         snapshots.iter().map(|(n, s)| (n.as_str(), s)).collect();
     let json = chrome_trace_json_multi(&parts);
     let stats = validate_chrome_trace(&json).expect("exporter emits valid Chrome trace JSON");
-    std::fs::write(path, &json).expect("write trace file");
+    write_file(path, &json)?;
     println!(
         "wrote {path} ({} events, {} spans, {} threads)",
         stats.events, stats.spans, stats.threads
     );
+    Ok(())
 }
 
-fn main() {
+/// Runs the 8-configuration sweep over the suite through a disk cache
+/// at `dir`: one cold pass against an empty cache, then one warm pass
+/// with fresh sessions against the populated cache. Substitution totals
+/// must be bit-identical across the passes; the wall-clock of both and
+/// the cache traffic go to `BENCH_cache.json`.
+fn cache_bench(dir: &str) -> Result<(), String> {
+    let open = |d: &str| -> Result<Arc<DiskCache>, String> {
+        DiskCache::open(d)
+            .map(Arc::new)
+            .map_err(|e| format!("cannot open cache `{d}`: {e}"))
+    };
+    // Start from a genuinely cold cache even if the directory survives
+    // from an earlier invocation.
+    open(dir)?.clear();
+
+    let suite = ipcp_bench::prepare_suite();
+    let configs = ipcp_bench::sweep_configs(1);
+    // One pass: fresh sessions (no in-memory reuse across passes), all
+    // sharing one disk cache handle, every configuration sequentially.
+    let run_pass = |cache: &Arc<DiskCache>| -> Vec<(u128, Vec<usize>)> {
+        suite
+            .iter()
+            .map(|p| {
+                let mut session = AnalysisSession::new(&p.ir);
+                session.attach_disk_cache(Arc::clone(cache));
+                let start = std::time::Instant::now();
+                let totals: Vec<usize> = configs
+                    .iter()
+                    .map(|(_, c)| session.analyze(c).substitutions.total)
+                    .collect();
+                (start.elapsed().as_micros(), totals)
+            })
+            .collect()
+    };
+
+    let cold_cache = open(dir)?;
+    let cold = run_pass(&cold_cache);
+    let warm_cache = open(dir)?;
+    let warm = run_pass(&warm_cache);
+
+    let mut out = String::new();
+    let _ = write!(out, "{{\"bench\":\"cache_warm_start\",\"programs\":[");
+    let (mut cold_total, mut warm_total) = (0u128, 0u128);
+    for (i, p) in suite.iter().enumerate() {
+        let (cold_us, cold_totals) = &cold[i];
+        let (warm_us, warm_totals) = &warm[i];
+        if cold_totals != warm_totals {
+            return Err(format!(
+                "warm sweep diverged from cold for {}: {cold_totals:?} vs {warm_totals:?}",
+                p.generated.name
+            ));
+        }
+        cold_total += cold_us;
+        warm_total += warm_us;
+        let speedup = *cold_us as f64 / (*warm_us).max(1) as f64;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"program\":\"{}\",\"cold_us\":{cold_us},\"warm_us\":{warm_us},\
+             \"speedup\":{speedup:.2}}}",
+            p.generated.name
+        );
+    }
+    let speedup = cold_total as f64 / warm_total.max(1) as f64;
+    let _ = write!(
+        out,
+        "],\"total\":{{\"cold_us\":{cold_total},\"warm_us\":{warm_total},\
+         \"speedup\":{speedup:.2}}},\"cold_stats\":{},\"warm_stats\":{}}}",
+        cold_cache.stats().to_json(),
+        warm_cache.stats().to_json()
+    );
+    write_file("BENCH_cache.json", &out)?;
+    println!(
+        "wrote BENCH_cache.json (cold {cold_total}us, warm {warm_total}us, \
+         speedup {speedup:.2}x; warm cache: {})",
+        warm_cache.stats()
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--robustness") {
         let fuel = args
@@ -150,7 +248,7 @@ fn main() {
             .and_then(|s| s.parse::<u64>().ok())
             .unwrap_or(10_000);
         robustness_report(fuel);
-        return;
+        return Ok(());
     }
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         let path = args
@@ -158,16 +256,27 @@ fn main() {
             .filter(|p| !p.starts_with("--"))
             .cloned()
             .unwrap_or_else(|| "trace.json".into());
-        trace_suite(&path);
-        return;
+        return trace_suite(&path);
     }
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {
         let jobs = args
             .get(i + 1)
             .and_then(|s| s.parse::<usize>().ok())
             .unwrap_or_else(|| ipcp_core::Parallelism::auto().effective());
-        bench_json(jobs.max(1));
-        return;
+        return bench_json(jobs.max(1));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--cache-bench") {
+        let dir = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                std::env::temp_dir()
+                    .join(format!("ipcp-cache-bench-{}", std::process::id()))
+                    .display()
+                    .to_string()
+            });
+        return cache_bench(&dir);
     }
     let timing = args.iter().any(|a| a == "--timing");
     let jobs = ipcp_core::Parallelism::auto().effective();
@@ -177,5 +286,16 @@ fn main() {
     println!("{}", ipcp_bench::render_table3(&suite, jobs));
     if timing {
         println!("{}", ipcp_bench::render_timings(&suite));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("report: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

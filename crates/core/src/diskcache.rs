@@ -1,0 +1,1013 @@
+//! Crash-safe persistent backing store for the session artifact cache.
+//!
+//! The in-memory [`crate::session::ArtifactStore`] dies with the
+//! process; this module gives analysis outcomes a life across runs. The
+//! design goal is *robustness before speed*: version skew, torn writes,
+//! bit rot, a full disk, permission changes, and concurrent writers must
+//! all degrade to a cold recompute — never a wrong result, never a
+//! panic.
+//!
+//! ## On-disk format
+//!
+//! One file per entry, `<key:016x>.art`, laid out as
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"IPCPART1"
+//!      8     4  format version (u32 LE)
+//!     12     8  toolchain fingerprint (u64 LE)
+//!     20     8  entry key (u64 LE)
+//!     28     8  payload length (u64 LE)
+//!     36     8  FNV-1a checksum over the payload (u64 LE)
+//!     44     —  payload ([`Wire`]-encoded artifact)
+//! ```
+//!
+//! Loads validate every header field *and* the checksum; any mismatch
+//! moves the file into `quarantine/` (for postmortem inspection),
+//! records the event in the cache's [`RobustnessReport`], and reports a
+//! miss so the caller recomputes from scratch.
+//!
+//! ## Crash safety and concurrency
+//!
+//! Writes go to a process-unique temp file followed by an atomic rename,
+//! so a reader never observes a half-written entry even if the writer
+//! dies mid-write. Mutations additionally serialize on an advisory
+//! `.lock` file (created with `O_EXCL`, holding the owner's PID); locks
+//! older than [`LOCK_STALE_SECS`] are presumed dead and broken. A store
+//! that cannot acquire the lock or complete its write simply skips
+//! caching — persistent-cache failures are *never* allowed to fail the
+//! analysis.
+//!
+//! ## Eviction
+//!
+//! After each successful store the cache enforces an optional byte
+//! budget by deleting the least-recently-used entries (mtime order; a
+//! successful load refreshes an entry's mtime).
+//!
+//! All I/O funnels through the [`CacheIo`] trait so tests can wrap the
+//! real filesystem with an [`IoFaultInjector`] and prove every fault
+//! path degrades gracefully.
+
+use crate::driver::{AnalysisConfig, AnalysisOutcome, PhaseStats};
+use crate::subst::SubstitutionCounts;
+use ipcp_analysis::budget::{IoFaultInjector, IoFaultKind, IoOp, RobustnessReport};
+use ipcp_analysis::modref::Slot;
+use ipcp_ir::codec::{ByteReader, ByteWriter, Wire, WireError};
+use ipcp_ir::fingerprint::{combine, fingerprint_debug, Fnv1a};
+use ipcp_ir::Program;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// First 8 bytes of every entry file.
+pub const MAGIC: [u8; 8] = *b"IPCPART1";
+
+/// Bumped whenever the entry layout or any [`Wire`] encoding changes;
+/// old entries are quarantined, not misread.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header size preceding the payload.
+pub const HEADER_LEN: usize = 44;
+
+/// Advisory locks older than this are presumed to belong to a dead
+/// process and are broken.
+pub const LOCK_STALE_SECS: u64 = 10;
+
+/// Fingerprint of everything that invalidates cached artifacts wholesale:
+/// the entry format version and the package version that wrote them.
+pub fn toolchain_fingerprint() -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(u64::from(FORMAT_VERSION));
+    h.write_bytes(env!("CARGO_PKG_VERSION").as_bytes());
+    h.finish()
+}
+
+/// The cache key for a full analysis outcome: the program fingerprint
+/// combined with every result-affecting configuration facet. `jobs` and
+/// fuel take no part — parallelism is bit-identical by design and
+/// metered runs are never cached.
+pub fn outcome_key(base_fp: u64, config: &AnalysisConfig) -> u64 {
+    let facets = (
+        config.jump_function,
+        config.return_jump_functions,
+        config.mod_info,
+        config.complete_propagation,
+        config.interprocedural,
+        config.rjf_full_composition,
+        config.solver,
+        config.gsa,
+    );
+    combine([base_fp, fingerprint_debug(&facets)])
+}
+
+// ---- Wire impls for the persisted artifact --------------------------------
+
+impl Wire for SubstitutionCounts {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.per_proc.encode(w);
+        self.total.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(SubstitutionCounts {
+            per_proc: Vec::<usize>::decode(r)?,
+            total: usize::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PhaseStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.return_jfs.encode(w);
+        self.forward_jfs.encode(w);
+        self.useful_forward_jfs.encode(w);
+        self.solver_iterations.encode(w);
+        self.dce_rounds.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(PhaseStats {
+            return_jfs: usize::decode(r)?,
+            forward_jfs: usize::decode(r)?,
+            useful_forward_jfs: usize::decode(r)?,
+            solver_iterations: usize::decode(r)?,
+            dce_rounds: usize::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AnalysisOutcome {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.program.encode(w);
+        self.constants.encode(w);
+        self.substitutions.encode(w);
+        self.stats.encode(w);
+        self.robustness.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        Ok(AnalysisOutcome {
+            program: Program::decode(r)?,
+            constants: Vec::<BTreeMap<Slot, i64>>::decode(r)?,
+            substitutions: SubstitutionCounts::decode(r)?,
+            stats: PhaseStats::decode(r)?,
+            robustness: RobustnessReport::decode(r)?,
+        })
+    }
+}
+
+// ---- entry framing --------------------------------------------------------
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Frames `payload` into a complete entry file image.
+pub fn encode_entry(key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&toolchain_fingerprint().to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_u64_at(bytes: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Validates a whole entry file image against its expected `key` and
+/// returns the payload slice.
+///
+/// # Errors
+///
+/// A stable human-readable reason — the quarantine classification.
+pub fn validate_entry(key: u64, bytes: &[u8]) -> Result<&[u8], &'static str> {
+    if bytes.len() < HEADER_LEN {
+        return Err("truncated header");
+    }
+    if bytes[..8] != MAGIC {
+        return Err("bad magic");
+    }
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&bytes[8..12]);
+    if u32::from_le_bytes(v) != FORMAT_VERSION {
+        return Err("format version mismatch");
+    }
+    if read_u64_at(bytes, 12) != toolchain_fingerprint() {
+        return Err("toolchain mismatch");
+    }
+    if read_u64_at(bytes, 20) != key {
+        return Err("key mismatch");
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if read_u64_at(bytes, 28) != payload.len() as u64 {
+        return Err("length mismatch");
+    }
+    if read_u64_at(bytes, 36) != checksum(payload) {
+        return Err("checksum mismatch");
+    }
+    Ok(payload)
+}
+
+// ---- pluggable I/O --------------------------------------------------------
+
+/// The filesystem surface the cache touches, abstracted for fault
+/// injection. Implementations must be shareable across analysis workers.
+pub trait CacheIo: Send + Sync {
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error (`NotFound` is the common miss case).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Writes a whole file (the temp half of temp+rename).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` over `to`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates the advisory lock file, failing if it already exists.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` when another process holds the lock.
+    fn create_lock(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+impl CacheIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn create_lock(&self, path: &Path) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        write!(f, "{}", std::process::id())
+    }
+}
+
+/// The real filesystem wrapped with a deterministic [`IoFaultInjector`]:
+/// at the injector's trigger point the configured fault strikes exactly
+/// once.
+pub struct FaultyIo {
+    inner: RealIo,
+    injector: Arc<IoFaultInjector>,
+}
+
+impl FaultyIo {
+    /// Wraps the real filesystem with `injector`.
+    pub fn new(injector: Arc<IoFaultInjector>) -> Self {
+        FaultyIo {
+            inner: RealIo,
+            injector,
+        }
+    }
+}
+
+impl CacheIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.injector.should_fire(IoOp::Write) {
+            return match self.injector.kind() {
+                // A crash mid-write: only a prefix reaches the disk, and
+                // the write call itself appears to succeed.
+                IoFaultKind::TornWrite => self.inner.write(path, &bytes[..bytes.len() / 2]),
+                // The file lands whole, then loses its tail.
+                IoFaultKind::Truncate => {
+                    self.inner.write(path, bytes)?;
+                    let keep = bytes.len().saturating_sub(8);
+                    self.inner.write(path, &bytes[..keep])
+                }
+                // Media bit rot: one bit of the payload flips silently.
+                IoFaultKind::BitFlip => {
+                    let mut corrupt = bytes.to_vec();
+                    if let Some(last) = corrupt.last_mut() {
+                        *last ^= 0x01;
+                    }
+                    self.inner.write(path, &corrupt)
+                }
+                IoFaultKind::Enospc => Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected ENOSPC",
+                )),
+                IoFaultKind::Eacces => Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "injected EACCES",
+                )),
+                IoFaultKind::RenameFail => unreachable!("rename faults target IoOp::Rename"),
+            };
+        }
+        self.inner.write(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.injector.should_fire(IoOp::Rename) {
+            return Err(io::Error::other("injected rename failure"));
+        }
+        self.inner.rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+    fn create_lock(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_lock(path)
+    }
+}
+
+// ---- advisory lock --------------------------------------------------------
+
+struct DirLock<'a> {
+    io: &'a dyn CacheIo,
+    path: PathBuf,
+}
+
+impl<'a> DirLock<'a> {
+    /// Acquires the advisory lock, breaking stale locks and retrying
+    /// briefly against live contenders.
+    fn acquire(io: &'a dyn CacheIo, dir: &Path) -> io::Result<Self> {
+        let path = dir.join(".lock");
+        for attempt in 0..50 {
+            match io.create_lock(&path) {
+                Ok(()) => return Ok(DirLock { io, path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|mtime| mtime.elapsed().ok())
+                        .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS);
+                    if stale {
+                        // Presumed-dead owner: break the lock and retry.
+                        let _ = io.remove(&path);
+                    } else if attempt == 49 {
+                        return Err(e);
+                    } else {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "cache lock contention",
+        ))
+    }
+}
+
+impl Drop for DirLock<'_> {
+    fn drop(&mut self) {
+        let _ = self.io.remove(&self.path);
+    }
+}
+
+// ---- stats ----------------------------------------------------------------
+
+/// Runtime counters for one cache handle's lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries loaded and validated successfully.
+    pub hits: u64,
+    /// Loads that found no (usable) entry.
+    pub misses: u64,
+    /// Entries persisted successfully.
+    pub writes: u64,
+    /// Stores that failed (lock, write, or rename) and were skipped.
+    pub write_errors: u64,
+    /// Entries moved to `quarantine/` after failing validation.
+    pub quarantined: u64,
+    /// Entries deleted by the LRU byte-budget pass.
+    pub evicted: u64,
+}
+
+impl CacheStats {
+    /// Renders the counters as a JSON object (hand-rolled; the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"writes\":{},\"write_errors\":{},\
+             \"quarantined\":{},\"evicted\":{}}}",
+            self.hits, self.misses, self.writes, self.write_errors, self.quarantined, self.evicted
+        )
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {}, misses {}, writes {}, write errors {}, quarantined {}, evicted {}",
+            self.hits, self.misses, self.writes, self.write_errors, self.quarantined, self.evicted
+        )
+    }
+}
+
+/// What `verify` found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Entries that validated end-to-end.
+    pub valid: u64,
+    /// Entries that failed validation and were quarantined.
+    pub quarantined: u64,
+}
+
+// ---- the cache ------------------------------------------------------------
+
+/// A persistent, crash-safe artifact cache rooted at one directory.
+///
+/// Shared across analysis workers behind an [`Arc`]; every failure mode
+/// degrades to a miss (cold recompute) and is counted, never propagated.
+pub struct DiskCache {
+    dir: PathBuf,
+    max_bytes: Option<u64>,
+    io: Box<dyn CacheIo>,
+    stats: Mutex<CacheStats>,
+    anomalies: Mutex<BTreeMap<String, u64>>,
+}
+
+impl fmt::Debug for DiskCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("dir", &self.dir)
+            .field("max_bytes", &self.max_bytes)
+            .finish()
+    }
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// When the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_io(dir, Box::new(RealIo))
+    }
+
+    /// Opens a cache whose filesystem accesses go through `io` — the
+    /// fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// When the directory cannot be created.
+    pub fn with_io(dir: impl Into<PathBuf>, io: Box<dyn CacheIo>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            max_bytes: None,
+            io,
+            stats: Mutex::new(CacheStats::default()),
+            anomalies: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Caps the cache at `max_bytes` of entry data, enforced by LRU
+    /// eviction after each store.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.art"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    fn note_anomaly(&self, what: &str) {
+        let mut anomalies = self.anomalies.lock().expect("cache anomaly lock");
+        *anomalies.entry(what.to_string()).or_insert(0) += 1;
+    }
+
+    /// Moves `path` into `quarantine/`, falling back to deletion when
+    /// even the move fails; the entry must not be loadable again either
+    /// way.
+    fn quarantine_file(&self, path: &Path, reason: &str) {
+        let qdir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&qdir).is_ok()
+            && path
+                .file_name()
+                .is_some_and(|name| self.io.rename(path, &qdir.join(name)).is_ok());
+        if !moved {
+            let _ = self.io.remove(path);
+        }
+        self.stats.lock().expect("cache stats lock").quarantined += 1;
+        self.note_anomaly(&format!("diskcache: quarantined ({reason})"));
+    }
+
+    /// Quarantines `key`'s entry for a reason detected *above* the
+    /// framing layer (e.g. the payload passed its checksum but failed to
+    /// decode — format skew within one format version).
+    pub fn quarantine_key(&self, key: u64, reason: &str) {
+        self.quarantine_file(&self.entry_path(key), reason);
+    }
+
+    /// Loads and validates `key`'s payload. Any failure — missing file,
+    /// unreadable file, header or checksum mismatch — is a miss; corrupt
+    /// entries are quarantined on the way out.
+    pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        let bytes = match self.io.read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.note_anomaly("diskcache: unreadable entry");
+                }
+                self.stats.lock().expect("cache stats lock").misses += 1;
+                return None;
+            }
+        };
+        match validate_entry(key, &bytes) {
+            Ok(payload) => {
+                let payload = payload.to_vec();
+                touch(&path);
+                self.stats.lock().expect("cache stats lock").hits += 1;
+                Some(payload)
+            }
+            Err(reason) => {
+                self.quarantine_file(&path, reason);
+                self.stats.lock().expect("cache stats lock").misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` under `key` via temp-file + atomic rename,
+    /// holding the advisory directory lock. Failures are counted and
+    /// swallowed — the analysis result is already in hand; the cache
+    /// merely failed to remember it.
+    pub fn store(&self, key: u64, payload: &[u8]) {
+        let _lock = match DirLock::acquire(self.io.as_ref(), &self.dir) {
+            Ok(lock) => lock,
+            Err(e) => {
+                self.stats.lock().expect("cache stats lock").write_errors += 1;
+                self.note_anomaly(&format!("diskcache: lock failed ({})", e.kind()));
+                return;
+            }
+        };
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{key:016x}.{}", std::process::id()));
+        let image = encode_entry(key, payload);
+        if let Err(e) = self.io.write(&tmp, &image) {
+            let _ = self.io.remove(&tmp);
+            self.stats.lock().expect("cache stats lock").write_errors += 1;
+            self.note_anomaly(&format!("diskcache: write failed ({})", e.kind()));
+            return;
+        }
+        if let Err(e) = self.io.rename(&tmp, &self.entry_path(key)) {
+            let _ = self.io.remove(&tmp);
+            self.stats.lock().expect("cache stats lock").write_errors += 1;
+            self.note_anomaly(&format!("diskcache: rename failed ({})", e.kind()));
+            return;
+        }
+        self.stats.lock().expect("cache stats lock").writes += 1;
+        self.evict_over_budget();
+    }
+
+    /// Deletes least-recently-used entries until the byte budget holds.
+    fn evict_over_budget(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let mut entries = self.list_entries();
+        let mut total: u64 = entries.iter().map(|e| e.size).sum();
+        // Oldest mtime first; name breaks ties deterministically.
+        entries.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+        let mut evicted = 0;
+        for entry in &entries {
+            if total <= max {
+                break;
+            }
+            if self.io.remove(&entry.path).is_ok() {
+                total -= entry.size;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.stats.lock().expect("cache stats lock").evicted += evicted;
+        }
+    }
+
+    fn list_entries(&self) -> Vec<EntryMeta> {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for dirent in read.flatten() {
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("art") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            out.push(EntryMeta {
+                mtime: meta.modified().ok(),
+                size: meta.len(),
+                path,
+            });
+        }
+        out
+    }
+
+    /// Number of entry files currently on disk.
+    pub fn entry_count(&self) -> u64 {
+        self.list_entries().len() as u64
+    }
+
+    /// Total bytes of entry files currently on disk.
+    pub fn total_bytes(&self) -> u64 {
+        self.list_entries().iter().map(|e| e.size).sum()
+    }
+
+    /// Number of files sitting in `quarantine/`.
+    pub fn quarantine_count(&self) -> u64 {
+        std::fs::read_dir(self.quarantine_dir())
+            .map(|read| read.flatten().count() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Validates every entry on disk, quarantining the ones that fail.
+    pub fn verify(&self) -> VerifyOutcome {
+        let mut outcome = VerifyOutcome::default();
+        for entry in self.list_entries() {
+            let key = entry
+                .path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            let verdict = match (key, self.io.read(&entry.path)) {
+                (Some(key), Ok(bytes)) => validate_entry(key, &bytes).map(|_| ()),
+                (None, _) => Err("unparsable entry name"),
+                (_, Err(_)) => Err("unreadable entry"),
+            };
+            match verdict {
+                Ok(()) => outcome.valid += 1,
+                Err(reason) => {
+                    self.quarantine_file(&entry.path, reason);
+                    outcome.quarantined += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Removes every entry and quarantined file; returns how many files
+    /// were deleted.
+    pub fn clear(&self) -> u64 {
+        let _lock = DirLock::acquire(self.io.as_ref(), &self.dir).ok();
+        let mut removed = 0;
+        for entry in self.list_entries() {
+            if self.io.remove(&entry.path).is_ok() {
+                removed += 1;
+            }
+        }
+        if let Ok(read) = std::fs::read_dir(self.quarantine_dir()) {
+            for dirent in read.flatten() {
+                if self.io.remove(&dirent.path()).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Snapshot of this handle's runtime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().expect("cache stats lock").clone()
+    }
+
+    /// The cache's own robustness ledger: every quarantine, failed
+    /// write, and unreadable entry, as anomaly counts. Kept separate
+    /// from the analysis outcome's report so warm results stay
+    /// bit-identical to cold.
+    pub fn robustness(&self) -> RobustnessReport {
+        RobustnessReport {
+            anomalies: self.anomalies.lock().expect("cache anomaly lock").clone(),
+            ..RobustnessReport::default()
+        }
+    }
+}
+
+struct EntryMeta {
+    mtime: Option<std::time::SystemTime>,
+    size: u64,
+    path: PathBuf,
+}
+
+/// Best-effort LRU touch: refresh `path`'s mtime so eviction sees it as
+/// recently used. Failures are ignored — staler-than-real mtimes only
+/// make eviction marginally less precise.
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::File::options().append(true).open(path) {
+        let now = std::time::SystemTime::now();
+        let _ = f.set_times(std::fs::FileTimes::new().set_modified(now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_ir::codec::{decode_from_slice, encode_to_vec};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipcp-diskcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(7, b"hello artifact");
+        assert_eq!(cache.load(7).as_deref(), Some(&b"hello artifact"[..]));
+        let stats = cache.stats();
+        assert_eq!((stats.writes, stats.hits, stats.misses), (1, 1, 0));
+        assert!(cache.robustness().is_clean());
+        // A fresh handle over the same directory sees the entry (the
+        // whole point of persistence).
+        let reopened = DiskCache::open(&dir).unwrap();
+        assert_eq!(reopened.load(7).as_deref(), Some(&b"hello artifact"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_a_plain_miss() {
+        let dir = temp_dir("miss");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.load(1), None);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.robustness().is_clean(), "a miss is not an anomaly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_quarantine_and_miss() {
+        for (tag, mutate) in [
+            (
+                "truncate",
+                Box::new(|b: &mut Vec<u8>| b.truncate(b.len() - 4)) as Box<dyn Fn(&mut Vec<u8>)>,
+            ),
+            (
+                "bitflip",
+                Box::new(|b: &mut Vec<u8>| {
+                    let last = b.len() - 1;
+                    b[last] ^= 0x80;
+                }),
+            ),
+            ("magic", Box::new(|b: &mut Vec<u8>| b[0] = b'X')),
+            ("version", Box::new(|b: &mut Vec<u8>| b[8] ^= 0xff)),
+            ("header", Box::new(|b: &mut Vec<u8>| b.truncate(10))),
+        ] {
+            let dir = temp_dir(&format!("corrupt-{tag}"));
+            let cache = DiskCache::open(&dir).unwrap();
+            cache.store(3, b"payload bytes");
+            let path = dir.join(format!("{:016x}.art", 3));
+            let mut bytes = std::fs::read(&path).unwrap();
+            mutate(&mut bytes);
+            std::fs::write(&path, &bytes).unwrap();
+
+            assert_eq!(cache.load(3), None, "{tag}: corrupt entry must miss");
+            assert!(!path.exists(), "{tag}: entry must leave the cache dir");
+            assert_eq!(cache.stats().quarantined, 1, "{tag}");
+            assert_eq!(cache.quarantine_count(), 1, "{tag}");
+            let report = cache.robustness();
+            assert_eq!(report.total_anomalies(), 1, "{tag}");
+            // Re-load after quarantine is a plain miss, not a re-quarantine.
+            assert_eq!(cache.load(3), None);
+            assert_eq!(cache.stats().quarantined, 1, "{tag}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn wrong_key_content_is_quarantined() {
+        let dir = temp_dir("wrongkey");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(5, b"five");
+        // Copy entry 5's bytes over entry 9's name: key field mismatch.
+        let bytes = std::fs::read(dir.join(format!("{:016x}.art", 5))).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.art", 9)), &bytes).unwrap();
+        assert_eq!(cache.load(9), None);
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_fault_kind_degrades_to_cold() {
+        for kind in IoFaultKind::ALL {
+            let dir = temp_dir(&format!("fault-{}", kind.name()));
+            let injector = Arc::new(IoFaultInjector::new(kind, 1));
+            let cache =
+                DiskCache::with_io(&dir, Box::new(FaultyIo::new(Arc::clone(&injector)))).unwrap();
+            cache.store(11, b"precious result");
+            assert_eq!(injector.injected(), 1, "{kind}: fault must fire");
+            // Whatever the fault did, a load never returns wrong bytes:
+            // either the entry survived intact (fault hit the temp file
+            // and was caught before publish) or it misses.
+            if let Some(bytes) = cache.load(11) {
+                assert_eq!(bytes, b"precious result", "{kind}");
+            }
+            let stats = cache.stats();
+            assert!(
+                stats.write_errors + stats.quarantined + stats.hits > 0,
+                "{kind}: fault must be visible in stats: {stats}"
+            );
+            // A second store (fault already spent) must succeed.
+            cache.store(11, b"precious result");
+            assert_eq!(
+                cache.load(11).as_deref(),
+                Some(&b"precious result"[..]),
+                "{kind}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn torn_temp_write_never_publishes_a_partial_entry() {
+        let dir = temp_dir("torn-publish");
+        let injector = Arc::new(IoFaultInjector::new(IoFaultKind::TornWrite, 1));
+        let cache = DiskCache::with_io(&dir, Box::new(FaultyIo::new(injector))).unwrap();
+        cache.store(2, b"half of me will be missing");
+        // The torn temp file was renamed into place (the tear was
+        // silent), so the *validator* must catch it at load time.
+        assert_eq!(cache.load(2), None);
+        assert_eq!(cache.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_enforces_byte_budget() {
+        let dir = temp_dir("evict");
+        let entry_size = (HEADER_LEN + 100) as u64;
+        let cache = DiskCache::open(&dir)
+            .unwrap()
+            .with_max_bytes(entry_size * 2);
+        let payload = [0u8; 100];
+        cache.store(1, &payload);
+        cache.store(2, &payload);
+        // Make entry 1 the most recently used, then overflow the budget.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(cache.load(1).is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        cache.store(3, &payload);
+        assert_eq!(cache.stats().evicted, 1);
+        assert_eq!(cache.entry_count(), 2);
+        assert!(cache.load(2).is_none(), "LRU entry 2 must be the victim");
+        assert!(cache.load(1).is_some());
+        assert!(cache.load(3).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_quarantines_bad_entries_and_counts_good_ones() {
+        let dir = temp_dir("verify");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(1, b"good");
+        cache.store(2, b"soon bad");
+        let victim = dir.join(format!("{:016x}.art", 2));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        let outcome = cache.verify();
+        assert_eq!(
+            outcome,
+            VerifyOutcome {
+                valid: 1,
+                quarantined: 1
+            }
+        );
+        assert_eq!(cache.quarantine_count(), 1);
+        // Idempotent: a second verify finds only the good entry.
+        assert_eq!(
+            cache.verify(),
+            VerifyOutcome {
+                valid: 1,
+                quarantined: 0
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_entries_and_quarantine() {
+        let dir = temp_dir("clear");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(1, b"a");
+        cache.store(2, b"b");
+        cache.quarantine_key(1, "test");
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(cache.quarantine_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let dir = temp_dir("stalelock");
+        let cache = DiskCache::open(&dir).unwrap();
+        let lock = dir.join(".lock");
+        std::fs::write(&lock, "99999").unwrap();
+        // Backdate the lock past the staleness horizon.
+        let old = std::time::SystemTime::now() - Duration::from_secs(LOCK_STALE_SECS + 5);
+        let f = std::fs::File::options().append(true).open(&lock).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        drop(f);
+        cache.store(4, b"through the stale lock");
+        assert_eq!(cache.stats().writes, 1);
+        assert_eq!(
+            cache.load(4).as_deref(),
+            Some(&b"through the stale lock"[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_key_separates_programs_and_configs() {
+        let base = AnalysisConfig::default();
+        let other = AnalysisConfig {
+            return_jump_functions: !base.return_jump_functions,
+            ..AnalysisConfig::default()
+        };
+        assert_ne!(outcome_key(1, &base), outcome_key(2, &base));
+        assert_ne!(outcome_key(1, &base), outcome_key(1, &other));
+        // jobs and fuel must NOT affect the key.
+        let tuned = AnalysisConfig {
+            jobs: 8,
+            fuel: Some(1_000_000),
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(outcome_key(1, &base), outcome_key(1, &tuned));
+    }
+
+    #[test]
+    fn analysis_outcome_wire_roundtrip_is_bit_identical() {
+        let outcome = crate::analyze_source(
+            "global n\n\
+             proc f(a)\n  print(a + n)\nend\n\
+             main\n  n = 3\n  call f(4)\nend\n",
+            &AnalysisConfig::default(),
+        )
+        .expect("analyzes");
+        let bytes = encode_to_vec(&outcome);
+        let back: AnalysisOutcome = decode_from_slice(&bytes).expect("decodes");
+        assert_eq!(
+            encode_to_vec(&back),
+            bytes,
+            "re-encode must be bit-identical"
+        );
+        assert_eq!(back.constant_slot_count(), outcome.constant_slot_count());
+        assert_eq!(back.substitutions, outcome.substitutions);
+    }
+}

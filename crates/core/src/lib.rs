@@ -47,6 +47,7 @@
 pub mod binding;
 pub mod cloning;
 pub mod dependence;
+pub mod diskcache;
 pub mod driver;
 pub mod forward;
 pub mod jump;
@@ -75,6 +76,7 @@ pub mod obs {
 pub use binding::{solve_binding, solve_binding_budgeted};
 pub use cloning::{apply_cloning, cloning_opportunities, CloneOpportunity};
 pub use dependence::subscript_counts;
+pub use diskcache::{outcome_key, CacheIo, CacheStats, DiskCache, FaultyIo, RealIo, VerifyOutcome};
 pub use driver::{
     analyze, analyze_checked, analyze_reference, analyze_source, analyze_with_budget,
     analyze_with_budget_reference, AnalysisConfig, AnalysisOutcome, PhaseStats, ResourceExhausted,
@@ -85,7 +87,8 @@ pub use forward::{
     ForwardJumpFns, SiteJumpFns,
 };
 pub use ipcp_analysis::{
-    Budget, ExhaustionPolicy, FaultInjector, FuelSource, LatticeVal, Phase, RobustnessReport, Slot,
+    Budget, ExhaustionPolicy, FaultInjector, FuelSource, IoFaultInjector, IoFaultKind, IoOp,
+    LatticeVal, Phase, RobustnessReport, Slot,
 };
 pub use jump::{JumpFn, JumpFunctionKind};
 pub use optimize::{optimize, OptimizeConfig, OptimizeStats};

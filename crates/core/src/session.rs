@@ -117,11 +117,14 @@ pub enum SessionPhase {
     /// Whole uncached runs routed to the reference pipeline (metered
     /// budgets only).
     Pipeline,
+    /// Persistent cross-run cache traffic (only when a
+    /// [`DiskCache`](crate::diskcache::DiskCache) is attached).
+    DiskCache,
 }
 
 impl SessionPhase {
     /// All phases, in pipeline order.
-    pub const ALL: [SessionPhase; 11] = [
+    pub const ALL: [SessionPhase; 12] = [
         SessionPhase::Fingerprint,
         SessionPhase::CallGraph,
         SessionPhase::ModRef,
@@ -133,6 +136,7 @@ impl SessionPhase {
         SessionPhase::Subst,
         SessionPhase::Dce,
         SessionPhase::Pipeline,
+        SessionPhase::DiskCache,
     ];
 
     /// Stable lowercase name, used in reports and JSON output.
@@ -149,6 +153,7 @@ impl SessionPhase {
             SessionPhase::Subst => "subst",
             SessionPhase::Dce => "dce",
             SessionPhase::Pipeline => "pipeline",
+            SessionPhase::DiskCache => "diskcache",
         }
     }
 }
@@ -509,6 +514,9 @@ pub struct AnalysisSession {
     base_fp: u64,
     store: ArtifactStore,
     stats: Mutex<SessionStats>,
+    /// Optional persistent backing store; outcomes of unmetered runs are
+    /// served from and written through to it.
+    disk: Option<Arc<crate::diskcache::DiskCache>>,
 }
 
 impl AnalysisSession {
@@ -519,7 +527,22 @@ impl AnalysisSession {
             base_fp: fingerprint_debug(program),
             store: ArtifactStore::default(),
             stats: Mutex::new(SessionStats::default()),
+            disk: None,
         }
+    }
+
+    /// Attaches a persistent [`DiskCache`](crate::diskcache::DiskCache):
+    /// unmetered analyses first consult it (validated entries are
+    /// returned verbatim, so warm results are bit-identical to cold) and
+    /// write their outcomes through on a miss. Metered runs bypass it,
+    /// exactly as they bypass the in-memory store.
+    pub fn attach_disk_cache(&mut self, cache: Arc<crate::diskcache::DiskCache>) {
+        self.disk = Some(cache);
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn disk_cache(&self) -> Option<&Arc<crate::diskcache::DiskCache>> {
+        self.disk.as_ref()
     }
 
     /// Compiles Minifor source and opens a session over it.
@@ -640,7 +663,68 @@ impl AnalysisSession {
             self.phase_wall(SessionPhase::Pipeline, start.elapsed());
             return outcome;
         }
+        let Some(disk) = self.disk.as_deref() else {
+            return self.analyze_uncached_obs(config, budget, sink);
+        };
 
+        // Persistent warm path: a validated entry is the cold outcome,
+        // returned verbatim — bit-identity by construction.
+        let key = crate::diskcache::outcome_key(self.base_fp, config);
+        let quarantined_before = disk.stats().quarantined;
+        let start = Instant::now();
+        let cached = {
+            let _span = SpanGuard::enter(sink, "diskcache", "phase");
+            disk.load(key).and_then(|payload| {
+                match ipcp_ir::codec::decode_from_slice::<AnalysisOutcome>(&payload) {
+                    Ok(outcome) => Some(outcome),
+                    Err(_) => {
+                        // Framing validated but the payload didn't parse:
+                        // codec skew within one format version.
+                        disk.quarantine_key(key, "payload decode failed");
+                        None
+                    }
+                }
+            })
+        };
+        let quarantined = disk.stats().quarantined - quarantined_before;
+        if quarantined > 0 {
+            sink.count("diskcache.quarantine", quarantined);
+        }
+        if let Some(outcome) = cached {
+            // Replay the recorded fuel and anomalies into the live
+            // budget so callers inspecting it afterwards see the same
+            // totals a cold run would have left behind.
+            budget.checkpoint(Phase::SymEval, outcome.robustness.fuel_consumed);
+            for (what, count) in &outcome.robustness.anomalies {
+                for _ in 0..*count {
+                    budget.record_anomaly(what);
+                }
+            }
+            self.phase_hit(SessionPhase::DiskCache);
+            self.phase_wall(SessionPhase::DiskCache, start.elapsed());
+            sink.count("diskcache.hit", 1);
+            return outcome;
+        }
+        self.phase_miss(SessionPhase::DiskCache);
+        self.phase_wall(SessionPhase::DiskCache, start.elapsed());
+        sink.count("diskcache.miss", 1);
+
+        let outcome = self.analyze_uncached_obs(config, budget, sink);
+
+        let start = Instant::now();
+        disk.store(key, &ipcp_ir::codec::encode_to_vec(&outcome));
+        self.phase_wall(SessionPhase::DiskCache, start.elapsed());
+        outcome
+    }
+
+    /// The in-memory (single-process) memoized pipeline behind
+    /// [`Self::analyze_with_budget_obs`]; assumes an unmetered budget.
+    fn analyze_uncached_obs(
+        &self,
+        config: &AnalysisConfig,
+        budget: &Budget,
+        sink: &dyn ObsSink,
+    ) -> AnalysisOutcome {
         let jobs = crate::parallel::effective_jobs(config);
         let mut program = self.base.clone();
         let mut stats = PhaseStats::default();

@@ -25,6 +25,7 @@
 //! # }
 //! ```
 
+pub mod codec;
 pub mod eval;
 pub mod fingerprint;
 pub mod ids;

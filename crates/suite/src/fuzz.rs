@@ -111,6 +111,13 @@ pub struct FuzzReport {
     pub trap_classes: BTreeMap<String, u64>,
     /// Repro files written to the corpus directory.
     pub repro_paths: Vec<PathBuf>,
+    /// Corpus repros replayed clean at the start of the campaign.
+    pub corpus_replayed: u64,
+    /// Corpus files skipped as unreadable or malformed (diagnosed on
+    /// stderr; never aborts the campaign).
+    pub corpus_skipped: u64,
+    /// Repro files that could not be written (diagnosed on stderr).
+    pub corpus_write_errors: u64,
 }
 
 impl FuzzReport {
@@ -121,13 +128,26 @@ impl FuzzReport {
             .iter()
             .map(|(k, v)| format!("{k}:{v}"))
             .collect();
-        format!(
+        let mut out = format!(
             "fuzz: {} programs, {} skipped, {} violations [{}]",
             self.iters,
             self.skipped,
             self.violations.len(),
             traps.join(" ")
-        )
+        );
+        if self.corpus_replayed + self.corpus_skipped > 0 {
+            out.push_str(&format!(
+                ", corpus: {} replayed, {} skipped",
+                self.corpus_replayed, self.corpus_skipped
+            ));
+        }
+        if self.corpus_write_errors > 0 {
+            out.push_str(&format!(
+                ", {} repro write errors",
+                self.corpus_write_errors
+            ));
+        }
+        out
     }
 }
 
@@ -755,6 +775,16 @@ fn iter_seed(campaign: u64, i: u64) -> u64 {
 /// every iteration derives its own seed and the iteration fan-out is an
 /// ordered deterministic map.
 pub fn run_fuzz(config: &FuzzConfig, sink: &dyn ObsSink) -> FuzzReport {
+    let mut report = FuzzReport {
+        iters: config.iters,
+        ..FuzzReport::default()
+    };
+    // Replay the existing corpus first: a regression caught by an old
+    // repro is worth more than any number of fresh random programs.
+    if let Some(dir) = &config.corpus_dir {
+        replay_corpus(dir, config, sink, &mut report);
+    }
+
     let seeds: Vec<u64> = (0..config.iters)
         .map(|i| iter_seed(config.seed, i))
         .collect();
@@ -775,10 +805,6 @@ pub fn run_fuzz(config: &FuzzConfig, sink: &dyn ObsSink) -> FuzzReport {
         }
     });
 
-    let mut report = FuzzReport {
-        iters: config.iters,
-        ..FuzzReport::default()
-    };
     for (case, outcome) in outcomes {
         sink.count("fuzz.iters", 1);
         match outcome {
@@ -814,8 +840,16 @@ pub fn run_fuzz(config: &FuzzConfig, sink: &dyn ObsSink) -> FuzzReport {
                     input: case.input,
                 };
                 if let Some(dir) = &config.corpus_dir {
-                    if let Ok(path) = write_repro(dir, &violation) {
-                        report.repro_paths.push(path);
+                    match write_repro(dir, &violation) {
+                        Ok(path) => report.repro_paths.push(path),
+                        Err(e) => {
+                            eprintln!(
+                                "fuzz: cannot write repro for seed {:#018x}: {e}",
+                                violation.seed
+                            );
+                            report.corpus_write_errors += 1;
+                            sink.count("fuzz.corpus.write_errors", 1);
+                        }
                     }
                 }
                 report.violations.push(violation);
@@ -823,6 +857,79 @@ pub fn run_fuzz(config: &FuzzConfig, sink: &dyn ObsSink) -> FuzzReport {
         }
     }
     report
+}
+
+/// Parses the `# seed:` header of a corpus file written by
+/// [`render_repro`]; 0 when absent or unparsable.
+pub fn parse_repro_seed(text: &str) -> u64 {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# seed:") {
+            let word = rest.trim().trim_start_matches("0x");
+            return u64::from_str_radix(word, 16).unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Replays every `.mf` repro in `dir` before the random campaign starts.
+/// A missing directory is fine (nothing to replay yet); an unreadable,
+/// truncated, or malformed file is skipped with a stderr diagnostic and
+/// counted — one bad file must never abort the whole campaign. A repro
+/// that fails its oracle again is a genuine regression and lands in
+/// `violations`.
+fn replay_corpus(dir: &Path, config: &FuzzConfig, sink: &dyn ObsSink, report: &mut FuzzReport) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|d| d.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("mf"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let skip = |why: &str, report: &mut FuzzReport| {
+            eprintln!("fuzz: skipping repro `{}`: {why}", path.display());
+            report.corpus_skipped += 1;
+            sink.count("fuzz.corpus.skipped", 1);
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                skip(&format!("unreadable ({e})"), report);
+                continue;
+            }
+        };
+        // Compile up front: `check_case` would report a malformed file
+        // as a "generator" violation, but a truncated or hand-mangled
+        // repro is corpus damage, not an optimizer bug.
+        if let Err(e) = ipcp_ir::compile_to_ir(&text) {
+            skip(&format!("malformed ({})", e.first().message), report);
+            continue;
+        }
+        let input = parse_repro_input(&text);
+        match check_case(&text, &input, &config.levels, config.max_steps) {
+            CheckOutcome::Fail {
+                oracle,
+                level,
+                detail,
+            } => {
+                sink.count("fuzz.corpus.regressions", 1);
+                report.violations.push(Violation {
+                    seed: parse_repro_seed(&text),
+                    oracle,
+                    level,
+                    detail,
+                    source: text,
+                    input,
+                });
+            }
+            _ => {
+                report.corpus_replayed += 1;
+                sink.count("fuzz.corpus.replayed", 1);
+            }
+        }
+    }
 }
 
 fn write_repro(dir: &Path, v: &Violation) -> std::io::Result<PathBuf> {
@@ -1006,7 +1113,75 @@ mod tests {
         };
         let text = render_repro(&v);
         assert_eq!(parse_repro_input(&text), vec![3, -4, 5]);
+        assert_eq!(parse_repro_seed(&text), 0xabcd);
         // The repro body still compiles (comments are stripped by the lexer).
         assert!(ipcp_ir::compile_to_ir(&text).is_ok());
+    }
+
+    fn temp_corpus(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ipcp-fuzz-corpus-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn corpus_replay_counts_clean_repros() {
+        let dir = temp_corpus("clean");
+        std::fs::write(dir.join("good.mf"), "# input: \nmain\nprint(1)\nend\n").unwrap();
+        let config = FuzzConfig {
+            iters: 2,
+            seed: 5,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config, &NoopSink);
+        assert_eq!(report.corpus_replayed, 1);
+        assert_eq!(report.corpus_skipped, 0);
+        assert!(report.violations.is_empty());
+        assert!(report.summary().contains("corpus: 1 replayed, 0 skipped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_replay_skips_malformed_files_without_aborting() {
+        let dir = temp_corpus("damage");
+        // A truncated repro (no `end`), a syntactically hostile file, and
+        // one good repro: the campaign must survive all three.
+        std::fs::write(dir.join("a-truncated.mf"), "main\nprint(").unwrap();
+        std::fs::write(dir.join("b-garbage.mf"), "\x00\x01 not minifor at all").unwrap();
+        std::fs::write(dir.join("c-good.mf"), "main\nprint(7)\nend\n").unwrap();
+        // Non-.mf files are not corpus entries and are ignored outright.
+        std::fs::write(dir.join("README.txt"), "not a repro").unwrap();
+        let config = FuzzConfig {
+            iters: 1,
+            seed: 9,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config, &NoopSink);
+        assert_eq!(report.corpus_skipped, 2);
+        assert_eq!(report.corpus_replayed, 1);
+        assert!(report.violations.is_empty(), "damage is not a violation");
+        assert!(report.summary().contains("corpus: 1 replayed, 2 skipped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_dir_is_silently_fine() {
+        let dir =
+            std::env::temp_dir().join(format!("ipcp-fuzz-corpus-missing-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FuzzConfig {
+            iters: 2,
+            seed: 13,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config, &NoopSink);
+        assert_eq!(report.corpus_replayed + report.corpus_skipped, 0);
+        assert!(report.violations.is_empty());
+        assert!(!report.summary().contains("corpus:"));
     }
 }

@@ -37,6 +37,33 @@ pub struct Cli {
     /// Where `fuzz` writes minimized repros (`--corpus-dir`); `None`
     /// reports violations without writing files.
     pub fuzz_corpus_dir: Option<String>,
+    /// Persistent artifact cache directory (`--cache-dir`); `None`
+    /// leaves the cross-run cache disabled.
+    pub cache_dir: Option<String>,
+    /// The action for the `cache` command.
+    pub cache_action: Option<CacheAction>,
+}
+
+/// Maintenance actions of the `cache` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Report entry count, total bytes, and quarantine count.
+    Stats,
+    /// Validate every entry, quarantining the ones that fail.
+    Verify,
+    /// Remove every entry and quarantined file.
+    Clear,
+}
+
+impl CacheAction {
+    fn parse(word: &str) -> Option<CacheAction> {
+        Some(match word {
+            "stats" => CacheAction::Stats,
+            "verify" => CacheAction::Verify,
+            "clear" => CacheAction::Clear,
+            _ => return None,
+        })
+    }
 }
 
 /// Subcommands of the `ipcp` binary.
@@ -66,6 +93,8 @@ pub enum Command {
     /// Differential + metamorphic fuzzing of the optimize pipeline
     /// (semantic preservation at every jump-function level).
     Fuzz,
+    /// Inspect or maintain a persistent artifact cache directory.
+    Cache,
 }
 
 impl Command {
@@ -81,6 +110,7 @@ impl Command {
             "explain" => Command::Explain,
             "metrics" => Command::Metrics,
             "fuzz" => Command::Fuzz,
+            "cache" => Command::Cache,
             _ => return None,
         })
     }
@@ -115,6 +145,8 @@ commands:
   metrics     print Prometheus-style metrics of one traced analysis run
   fuzz        differential fuzzing of the optimizer (no file argument);
               checks semantic preservation at all four jump-function levels
+  cache       persistent cache maintenance (no file argument):
+              cache <stats|verify|clear> --cache-dir <dir>
 
 options:
   --jf <literal|intra|pass|poly>  forward jump function kind (default poly)
@@ -144,6 +176,10 @@ options:
                                   results are independent of --jobs
   --corpus-dir <path>             write minimized repros here (`fuzz` only;
                                   default: report without writing files)
+  --cache-dir <path>              persistent artifact cache: `analyze` serves
+                                  unmetered runs from it (corrupt entries are
+                                  quarantined and recomputed cold); required
+                                  by the `cache` command
 ";
 
 /// Parses the argument list (without the program name).
@@ -157,8 +193,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         .next()
         .and_then(|w| Command::parse(w))
         .ok_or_else(|| UsageError("missing or unknown command".into()))?;
-    // `fuzz` generates its own programs, so it takes no file argument.
-    let file = if command == Command::Fuzz {
+    // `fuzz` generates its own programs and `cache` operates on a
+    // directory, so neither takes a file argument.
+    let file = if command == Command::Fuzz || command == Command::Cache {
         String::new()
     } else {
         it.next()
@@ -179,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut fuzz_iters = 100u64;
     let mut fuzz_seed = 1993u64;
     let mut fuzz_corpus_dir = None;
+    let mut cache_dir = None;
     let mut positionals: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -267,6 +305,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     .ok_or_else(|| UsageError("--corpus-dir needs a path".into()))?;
                 fuzz_corpus_dir = Some(path.clone());
             }
+            "--cache-dir" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| UsageError("--cache-dir needs a path".into()))?;
+                cache_dir = Some(path.clone());
+            }
             "--input" => {
                 let list = it
                     .next()
@@ -288,6 +332,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         }
     }
 
+    let mut cache_action = None;
     let (explain_proc, explain_param) = if command == Command::Explain {
         let mut pos = positionals.into_iter();
         let proc = pos
@@ -298,6 +343,23 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             return Err(UsageError(format!("unexpected argument `{extra}`")));
         }
         (Some(proc), param)
+    } else if command == Command::Cache {
+        let mut pos = positionals.into_iter();
+        let action = pos
+            .next()
+            .ok_or_else(|| UsageError("cache needs an action (stats, verify, or clear)".into()))?;
+        cache_action = Some(CacheAction::parse(&action).ok_or_else(|| {
+            UsageError(format!(
+                "unknown cache action `{action}` (expected stats, verify, or clear)"
+            ))
+        })?);
+        if let Some(extra) = pos.next() {
+            return Err(UsageError(format!("unexpected argument `{extra}`")));
+        }
+        if cache_dir.is_none() {
+            return Err(UsageError("cache needs --cache-dir <dir>".into()));
+        }
+        (None, None)
     } else {
         if let Some(extra) = positionals.first() {
             return Err(UsageError(format!("unexpected argument `{extra}`")));
@@ -318,6 +380,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         fuzz_iters,
         fuzz_seed,
         fuzz_corpus_dir,
+        cache_dir,
+        cache_action,
     })
 }
 
@@ -338,7 +402,13 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
     match cli.command {
         Command::Analyze => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
-            let session = crate::core::AnalysisSession::new(&program);
+            let mut session = crate::core::AnalysisSession::new(&program);
+            if let Some(dir) = &cli.cache_dir {
+                let cache = crate::core::DiskCache::open(dir)
+                    .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+                session.attach_disk_cache(std::sync::Arc::new(cache));
+            }
+            let session = session;
             let mut trace_note = None;
             let outcome = match &cli.trace_out {
                 Some(path) => {
@@ -378,6 +448,11 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                     "\nphase timings (analysis session):\n{}",
                     session.stats()
                 );
+                // Cache traffic rides on --timings so default output
+                // stays byte-identical with and without --cache-dir.
+                if let Some(cache) = session.disk_cache() {
+                    let _ = writeln!(out, "disk cache: {}", cache.stats());
+                }
             }
             if let Some(note) = trace_note {
                 let _ = writeln!(out, "\n{note}");
@@ -525,6 +600,31 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 Ok(out)
             } else {
                 Err(out)
+            }
+        }
+        Command::Cache => {
+            let dir = cli.cache_dir.as_deref().expect("parser enforces");
+            let action = cli.cache_action.expect("parser enforces");
+            let cache = crate::core::DiskCache::open(dir)
+                .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            match action {
+                CacheAction::Stats => Ok(format!(
+                    "cache {dir}: {} entries, {} bytes, {} quarantined\n",
+                    cache.entry_count(),
+                    cache.total_bytes(),
+                    cache.quarantine_count()
+                )),
+                CacheAction::Verify => {
+                    let outcome = cache.verify();
+                    Ok(format!(
+                        "cache verify: {} valid, {} quarantined\n",
+                        outcome.valid, outcome.quarantined
+                    ))
+                }
+                CacheAction::Clear => {
+                    let removed = cache.clear();
+                    Ok(format!("cache clear: {removed} files removed\n"))
+                }
             }
         }
         Command::Lint => {
@@ -884,5 +984,121 @@ main\n  call init()\n  call compute(8)\nend\n";
         let cli = parse_args(&args(&["analyze", "x.mf"])).unwrap();
         let err = execute(&cli, "main\ncall nope()\nend\n").unwrap_err();
         assert!(err.contains("unknown procedure"), "{err}");
+    }
+
+    #[test]
+    fn parse_cache_command() {
+        let cli = parse_args(&args(&["cache", "stats", "--cache-dir", "d"])).unwrap();
+        assert_eq!(cli.command, Command::Cache);
+        assert!(cli.file.is_empty());
+        assert_eq!(cli.cache_action, Some(CacheAction::Stats));
+        assert_eq!(cli.cache_dir.as_deref(), Some("d"));
+        let cli = parse_args(&args(&["cache", "verify", "--cache-dir", "d"])).unwrap();
+        assert_eq!(cli.cache_action, Some(CacheAction::Verify));
+        let cli = parse_args(&args(&["cache", "clear", "--cache-dir", "d"])).unwrap();
+        assert_eq!(cli.cache_action, Some(CacheAction::Clear));
+        // Missing action, unknown action, extra args, missing dir.
+        assert!(parse_args(&args(&["cache", "--cache-dir", "d"])).is_err());
+        assert!(parse_args(&args(&["cache", "tidy", "--cache-dir", "d"])).is_err());
+        assert!(parse_args(&args(&["cache", "stats", "extra", "--cache-dir", "d"])).is_err());
+        assert!(parse_args(&args(&["cache", "stats"])).is_err());
+        assert!(parse_args(&args(&["analyze", "x.mf", "--cache-dir"])).is_err());
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipcp-cli-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn execute_analyze_with_cache_dir_is_output_identical_warm_and_cold() {
+        let dir = temp_cache_dir("warm");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let cached = parse_args(&args(&["analyze", "x.mf", "--cache-dir", &dir_str])).unwrap();
+        let golden = execute(&plain, GLOBALS_PROGRAM).unwrap();
+        let cold = execute(&cached, GLOBALS_PROGRAM).unwrap();
+        let warm = execute(&cached, GLOBALS_PROGRAM).unwrap();
+        assert_eq!(cold, golden, "cold cached run must match uncached output");
+        assert_eq!(warm, golden, "warm cached run must match uncached output");
+        // The warm run really came from disk: a fresh process-equivalent
+        // session with --timings reports a diskcache hit.
+        let timed = parse_args(&args(&[
+            "analyze",
+            "x.mf",
+            "--cache-dir",
+            &dir_str,
+            "--timings",
+        ]))
+        .unwrap();
+        let out = execute(&timed, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("diskcache"), "{out}");
+        assert!(out.contains("disk cache: hits 1"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_cache_stats_verify_clear() {
+        let dir = temp_cache_dir("maint");
+        let dir_str = dir.to_string_lossy().into_owned();
+        // Populate the cache with one analysis.
+        let analyze = parse_args(&args(&["analyze", "x.mf", "--cache-dir", &dir_str])).unwrap();
+        execute(&analyze, GLOBALS_PROGRAM).unwrap();
+
+        let stats = parse_args(&args(&["cache", "stats", "--cache-dir", &dir_str])).unwrap();
+        let out = execute(&stats, "").unwrap();
+        assert!(out.contains("1 entries"), "{out}");
+        assert!(out.contains("0 quarantined"), "{out}");
+
+        let verify = parse_args(&args(&["cache", "verify", "--cache-dir", &dir_str])).unwrap();
+        let out = execute(&verify, "").unwrap();
+        assert!(out.contains("1 valid, 0 quarantined"), "{out}");
+
+        // Corrupt the entry; verify must quarantine it.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|d| d.path())
+            .find(|p| p.extension().is_some_and(|e| e == "art"))
+            .unwrap();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&entry, &bytes).unwrap();
+        let out = execute(&verify, "").unwrap();
+        assert!(out.contains("0 valid, 1 quarantined"), "{out}");
+
+        let clear = parse_args(&args(&["cache", "clear", "--cache-dir", &dir_str])).unwrap();
+        let out = execute(&clear, "").unwrap();
+        assert!(out.contains("1 files removed"), "{out}");
+        let out = execute(&stats, "").unwrap();
+        assert!(out.contains("0 entries"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_analyze_recovers_goldenly_from_corrupt_cache() {
+        let dir = temp_cache_dir("corrupt");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let plain = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let cached = parse_args(&args(&["analyze", "x.mf", "--cache-dir", &dir_str])).unwrap();
+        let golden = execute(&plain, GLOBALS_PROGRAM).unwrap();
+        execute(&cached, GLOBALS_PROGRAM).unwrap();
+        // Truncate the entry mid-payload.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|d| d.path())
+            .find(|p| p.extension().is_some_and(|e| e == "art"))
+            .unwrap();
+        let bytes = std::fs::read(&entry).unwrap();
+        std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+        let recovered = execute(&cached, GLOBALS_PROGRAM).unwrap();
+        assert_eq!(recovered, golden, "corruption must fall back to cold");
+        let stats = parse_args(&args(&["cache", "stats", "--cache-dir", &dir_str])).unwrap();
+        let out = execute(&stats, "").unwrap();
+        assert!(out.contains("1 quarantined"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,308 @@
+//! Persistent disk-cache properties.
+//!
+//! Two invariants anchor the crash-safe cache:
+//!
+//! 1. **Warm-start byte identity** — an analysis served from a reopened
+//!    on-disk cache is bit-identical (over the wire encoding of the full
+//!    [`ipcp::core::AnalysisOutcome`]) to both the cold run that
+//!    populated it and a cache-less run, at any worker count, and the
+//!    Table-2 configuration sweep survives a reopen unchanged.
+//! 2. **Faults degrade to cold** — under every [`IoFaultKind`], at every
+//!    eligible trigger point, the analysis neither panics nor changes
+//!    its answer; corrupt entries are quarantined with the damage
+//!    visible in the cache's stats and robustness ledger, and the cache
+//!    self-heals on the recovery pass.
+
+use ipcp::core::{
+    AnalysisConfig, AnalysisSession, DiskCache, FaultyIo, IoFaultInjector, IoFaultKind,
+};
+use ipcp::ir::codec::encode_to_vec;
+use ipcp::JumpFunctionKind;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-unique, sequence-numbered scratch directory (tests in one
+/// binary run concurrently; a shared dir would cross-contaminate).
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ipcp-cache-prop-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &Path) -> Arc<DiskCache> {
+    Arc::new(DiskCache::open(dir).expect("open cache"))
+}
+
+fn cached_session(ir: &ipcp::ir::Program, cache: &Arc<DiskCache>) -> AnalysisSession {
+    let mut session = AnalysisSession::new(ir);
+    session.attach_disk_cache(Arc::clone(cache));
+    session
+}
+
+/// The Table-2 axes: every jump-function kind, with and without return
+/// jump functions. Eight distinct cache keys per program.
+fn sweep_configs() -> Vec<AnalysisConfig> {
+    let mut configs = Vec::new();
+    for kind in JumpFunctionKind::ALL {
+        for rjf in [true, false] {
+            configs.push(AnalysisConfig {
+                jump_function: kind,
+                return_jump_functions: rjf,
+                ..AnalysisConfig::default()
+            });
+        }
+    }
+    configs
+}
+
+// ---- random program generation -------------------------------------------
+
+/// Small random programs with enough interprocedural structure (a leaf
+/// procedure, a function, globals, an optional conflicting second call)
+/// that outcomes genuinely vary across draws and configurations.
+fn small_program() -> impl Strategy<Value = String> {
+    (
+        -9i64..10,       // global initializer
+        -20i64..21,      // leaf offset
+        -5i64..6,        // function multiplier
+        -20i64..21,      // call argument
+        -20i64..21,      // function argument
+        prop::bool::ANY, // second call with a different argument?
+        prop::bool::ANY, // reassign the global in main?
+    )
+        .prop_map(|(g, k, m, a, b, clash, setg)| {
+            let second = if clash {
+                format!("  call leaf({})\n", a + 1)
+            } else {
+                String::new()
+            };
+            let set_global = if setg {
+                format!("  ga = {}\n", g + 2)
+            } else {
+                String::new()
+            };
+            format!(
+                "global ga = {g}\n\
+                 proc leaf(v)\n  print(v + {k})\n  print(ga)\nend\n\
+                 func f0(x)\n  return x * {m}\nend\n\
+                 main\n{set_global}  va = f0({b})\n  call leaf({a})\n{second}  print(va)\nend\n"
+            )
+        })
+}
+
+// ---- warm-start byte identity --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Cold populate, reopen, warm re-analyze: the outcome's wire bytes
+    /// never move, with or without fuel, at 1 and 4 workers — and the
+    /// cache traffic is exactly what the metering policy predicts
+    /// (metered runs bypass the disk entirely).
+    #[test]
+    fn warm_start_is_byte_identical_to_cold(
+        src in small_program(),
+        jobs in proptest::sample::select(vec![1usize, 4]),
+        fuel in proptest::sample::select(vec![None, Some(300u64)]),
+    ) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("generated programs compile");
+        let config = AnalysisConfig { jobs, fuel, ..AnalysisConfig::default() };
+        let plain_bytes = encode_to_vec(&AnalysisSession::new(&ir).analyze(&config));
+        let prov_before = ipcp::core::analyze_provenance(&ir, &AnalysisConfig::default())
+            .attribution_table();
+
+        let dir = temp_dir("warm");
+        let cold_cache = open(&dir);
+        let cold = cached_session(&ir, &cold_cache).analyze(&config);
+        prop_assert_eq!(encode_to_vec(&cold), plain_bytes.clone(), "cold vs plain");
+
+        // Fresh session, fresh cache handle, same directory.
+        let warm_cache = open(&dir);
+        let warm = cached_session(&ir, &warm_cache).analyze(&config);
+        prop_assert_eq!(encode_to_vec(&warm), plain_bytes, "warm vs plain");
+
+        let (cold_stats, warm_stats) = (cold_cache.stats(), warm_cache.stats());
+        if fuel.is_none() {
+            prop_assert_eq!(cold_stats.misses, 1);
+            prop_assert_eq!(cold_stats.writes, 1);
+            prop_assert_eq!(warm_stats.hits, 1);
+            prop_assert_eq!(warm_stats.misses, 0);
+        } else {
+            // Metered budgets route through the reference pipeline and
+            // must leave no disk traffic at all.
+            prop_assert_eq!(cold_stats.writes + cold_stats.misses, 0);
+            prop_assert_eq!(warm_stats.hits + warm_stats.misses, 0);
+        }
+
+        // Attaching a disk cache never perturbs independent analyses
+        // over the same IR.
+        let prov_after = ipcp::core::analyze_provenance(&ir, &AnalysisConfig::default())
+            .attribution_table();
+        prop_assert_eq!(prov_after, prov_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The full 8-configuration Table-2 sweep produces identical
+    /// substitution counts cold, warm across a reopen, and cache-less —
+    /// and the warm pass is pure hit traffic.
+    #[test]
+    fn table2_sweep_counts_survive_reopen(src in small_program()) {
+        let ir = ipcp::ir::compile_to_ir(&src).expect("generated programs compile");
+        let configs = sweep_configs();
+        let plain_session = AnalysisSession::new(&ir);
+        let want: Vec<usize> = configs
+            .iter()
+            .map(|c| plain_session.analyze(c).substitutions.total)
+            .collect();
+
+        let dir = temp_dir("sweep");
+        let cold_cache = open(&dir);
+        let cold_session = cached_session(&ir, &cold_cache);
+        let cold: Vec<usize> = configs
+            .iter()
+            .map(|c| cold_session.analyze(c).substitutions.total)
+            .collect();
+        prop_assert_eq!(&cold, &want, "cold sweep vs plain");
+
+        let warm_cache = open(&dir);
+        let warm_session = cached_session(&ir, &warm_cache);
+        let warm: Vec<usize> = configs
+            .iter()
+            .map(|c| warm_session.analyze(c).substitutions.total)
+            .collect();
+        prop_assert_eq!(&warm, &want, "warm sweep vs plain");
+        prop_assert_eq!(warm_cache.stats().hits, configs.len() as u64);
+        prop_assert_eq!(warm_cache.stats().misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---- deterministic fault-injection campaign ------------------------------
+
+/// Every fault kind × every eligible trigger position × four programs ×
+/// a four-configuration sweep, cold under the fault and warm through the
+/// real filesystem: 768 fault-exposed analyses (the issue's 500-run
+/// floor), zero panics, zero wrong results, and the damage always lands
+/// in the stats/robustness ledger of the cache that absorbed it.
+#[test]
+fn fault_campaign_every_kind_degrades_to_cold() {
+    let programs = [
+        "global ga = 3\nproc leaf(v)\n  print(v + ga)\nend\nmain\n  call leaf(4)\nend\n",
+        "func sq(x)\n  return x * x\nend\nmain\n  va = sq(7)\n  print(va)\nend\n",
+        "global n\nproc init()\n  n = 64\nend\nproc use(k)\n  print(n + k)\nend\n\
+         main\n  call init()\n  call use(8)\nend\n",
+        "proc a(v)\n  call b(v + 1)\nend\nproc b(v)\n  print(v * 2)\nend\n\
+         main\n  call a(5)\n  call a(5)\nend\n",
+    ];
+    // Four distinct cache keys per pass: four eligible writes and four
+    // eligible renames, so triggers 1..=4 always find their op.
+    let configs: Vec<AnalysisConfig> = JumpFunctionKind::ALL
+        .into_iter()
+        .map(|kind| AnalysisConfig {
+            jump_function: kind,
+            ..AnalysisConfig::default()
+        })
+        .collect();
+
+    let mut iterations = 0u64;
+    for (pi, src) in programs.iter().enumerate() {
+        let ir = ipcp::ir::compile_to_ir(src).expect("campaign programs compile");
+        let plain = AnalysisSession::new(&ir);
+        let golden: Vec<Vec<u8>> = configs
+            .iter()
+            .map(|c| encode_to_vec(&plain.analyze(c)))
+            .collect();
+
+        for kind in IoFaultKind::ALL {
+            for trigger in 1..=4u64 {
+                let dir = temp_dir(&format!("campaign-{pi}"));
+
+                // Cold pass with the fault armed.
+                let injector = Arc::new(IoFaultInjector::new(kind, trigger));
+                let faulty = Box::new(FaultyIo::new(Arc::clone(&injector)));
+                let cold_cache =
+                    Arc::new(DiskCache::with_io(&dir, faulty).expect("open faulty cache"));
+                let cold_session = cached_session(&ir, &cold_cache);
+                for (c, want) in configs.iter().zip(&golden) {
+                    iterations += 1;
+                    let got = encode_to_vec(&cold_session.analyze(c));
+                    assert_eq!(&got, want, "cold wrong under {kind} @{trigger} (prog {pi})");
+                }
+                assert_eq!(
+                    injector.injected(),
+                    1,
+                    "{kind} @{trigger} never fired (prog {pi})"
+                );
+                let cold_stats = cold_cache.stats();
+                match kind {
+                    // Errors surface at store time, in the cold ledger.
+                    IoFaultKind::Enospc | IoFaultKind::Eacces | IoFaultKind::RenameFail => {
+                        assert_eq!(cold_stats.write_errors, 1, "{kind} @{trigger}");
+                        assert!(
+                            !cold_cache.robustness().anomalies.is_empty(),
+                            "{kind} @{trigger}: store failure left no anomaly"
+                        );
+                    }
+                    // Silent corruption publishes a bad entry; it is only
+                    // discoverable on the next read.
+                    IoFaultKind::TornWrite | IoFaultKind::Truncate | IoFaultKind::BitFlip => {
+                        assert_eq!(cold_stats.write_errors, 0, "{kind} @{trigger}");
+                    }
+                }
+
+                // Warm pass through the real filesystem: whatever the
+                // fault left behind, the answers match cold exactly.
+                let warm_cache = open(&dir);
+                let warm_session = cached_session(&ir, &warm_cache);
+                for (c, want) in configs.iter().zip(&golden) {
+                    iterations += 1;
+                    let got = encode_to_vec(&warm_session.analyze(c));
+                    assert_eq!(&got, want, "warm wrong under {kind} @{trigger} (prog {pi})");
+                }
+                let warm_stats = warm_cache.stats();
+                assert_eq!(
+                    warm_stats.hits + warm_stats.misses,
+                    configs.len() as u64,
+                    "{kind} @{trigger}"
+                );
+                match kind {
+                    // The corrupt entry is quarantined, recorded, and
+                    // recomputed; the other three entries hit.
+                    IoFaultKind::TornWrite | IoFaultKind::Truncate | IoFaultKind::BitFlip => {
+                        assert_eq!(warm_stats.quarantined, 1, "{kind} @{trigger}");
+                        assert_eq!(warm_stats.misses, 1, "{kind} @{trigger}");
+                        assert!(
+                            !warm_cache.robustness().anomalies.is_empty(),
+                            "{kind} @{trigger}: quarantine left no anomaly"
+                        );
+                    }
+                    // The failed store simply never published: one plain
+                    // miss, nothing to quarantine.
+                    IoFaultKind::Enospc | IoFaultKind::Eacces | IoFaultKind::RenameFail => {
+                        assert_eq!(warm_stats.quarantined, 0, "{kind} @{trigger}");
+                        assert_eq!(warm_stats.misses, 1, "{kind} @{trigger}");
+                    }
+                }
+
+                // The warm pass self-healed the cache: every entry now
+                // validates and nothing is left to quarantine.
+                let verify = open(&dir).verify();
+                assert_eq!(verify.valid, configs.len() as u64, "{kind} @{trigger}");
+                assert_eq!(verify.quarantined, 0, "{kind} @{trigger}");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+    assert!(
+        iterations >= 500,
+        "campaign ran only {iterations} fault-exposed analyses"
+    );
+}
