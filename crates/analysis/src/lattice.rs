@@ -4,7 +4,16 @@
 //! single integer constant, and ⊥ (known non-constant). The lattice is
 //! infinite but of bounded depth: any value can be lowered at most twice
 //! (⊤ → c → ⊥), which bounds every fixpoint iteration built on it.
+//!
+//! This module is also the single source of truth for the operator
+//! transfer functions over the lattice ([`lattice_binop`] /
+//! [`lattice_unop`]): SCCP, symbolic-expression evaluation, and the
+//! dataflow framework all fold constants through these two functions, so
+//! the interpreter-matching semantics (wrapping arithmetic, trapping
+//! division) live in exactly one place.
 
+use ipcp_lang::ast::{BinOp, UnOp};
+use ipcp_lang::interp::eval_binop_int;
 use std::fmt;
 
 /// A value in the constant-propagation lattice.
@@ -68,6 +77,49 @@ impl LatticeVal {
             LatticeVal::Const(_) => 1,
             LatticeVal::Bottom => 2,
         }
+    }
+}
+
+/// Lattice transfer function of one binary operator, including the
+/// absorbing shortcuts.
+///
+/// Constant × constant folds through the interpreter's own
+/// [`eval_binop_int`] (so folded semantics can never drift from runtime
+/// semantics); a compile-time trap (division by a zero constant) is not
+/// a constant and degrades to ⊥. The absorbing shortcuts (`0 * x`,
+/// `0 and x`, `c≠0 or x`) are sound under wrapping semantics even when
+/// the other operand is unknown.
+pub fn lattice_binop(op: BinOp, l: LatticeVal, r: LatticeVal) -> LatticeVal {
+    use LatticeVal::*;
+    if let (Const(a), Const(b)) = (l, r) {
+        return match eval_binop_int(op, a, b) {
+            Ok(v) => Const(v),
+            Err(_) => Bottom, // a compile-time trap is not a constant
+        };
+    }
+    // Absorbing shortcuts (sound under wrapping semantics).
+    match op {
+        BinOp::Mul | BinOp::And if l == Const(0) || r == Const(0) => return Const(0),
+        BinOp::Or if matches!(l, Const(c) if c != 0) || matches!(r, Const(c) if c != 0) => {
+            return Const(1);
+        }
+        _ => {}
+    }
+    if l == Bottom || r == Bottom {
+        Bottom
+    } else {
+        Top
+    }
+}
+
+/// Lattice transfer function of one unary operator: ⊤ and ⊥ pass
+/// through, constants fold with the interpreter's wrapping semantics.
+pub fn lattice_unop(op: UnOp, v: LatticeVal) -> LatticeVal {
+    match (op, v) {
+        (_, LatticeVal::Top) => LatticeVal::Top,
+        (_, LatticeVal::Bottom) => LatticeVal::Bottom,
+        (UnOp::Neg, LatticeVal::Const(c)) => LatticeVal::Const(c.wrapping_neg()),
+        (UnOp::Not, LatticeVal::Const(c)) => LatticeVal::Const(i64::from(c == 0)),
     }
 }
 
@@ -142,5 +194,93 @@ mod tests {
         assert_eq!(Top.to_string(), "⊤");
         assert_eq!(Bottom.to_string(), "⊥");
         assert_eq!(Const(-3).to_string(), "-3");
+    }
+
+    const ALL_BINOPS: [BinOp; 11] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::And,
+        BinOp::Or,
+    ];
+
+    const CONSTS: [i64; 7] = [i64::MIN, -7, -1, 0, 1, 2, i64::MAX];
+
+    #[test]
+    fn binop_transfer_agrees_with_interpreter() {
+        for op in ALL_BINOPS {
+            for a in CONSTS {
+                for b in CONSTS {
+                    let want = match eval_binop_int(op, a, b) {
+                        Ok(v) => Const(v),
+                        Err(_) => Bottom,
+                    };
+                    assert_eq!(
+                        lattice_binop(op, Const(a), Const(b)),
+                        want,
+                        "{op:?} {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binop_transfer_agrees_with_symexpr_folding() {
+        // The symbolic-expression folder and the lattice transfer are two
+        // views of the same semantics: wherever SymExpr::binop folds two
+        // constants, lattice_binop must produce the same constant, and a
+        // fold failure (trap) must be ⊥ on the lattice side.
+        use crate::symexpr::SymExpr;
+        for op in ALL_BINOPS {
+            for a in CONSTS {
+                for b in CONSTS {
+                    let sym = SymExpr::binop(op, &SymExpr::constant(a), &SymExpr::constant(b));
+                    let lat = lattice_binop(op, Const(a), Const(b));
+                    match sym.as_ref().and_then(SymExpr::as_const) {
+                        Some(v) => assert_eq!(lat, Const(v), "{op:?} {a} {b}"),
+                        None => assert_eq!(lat, Bottom, "{op:?} {a} {b}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unop_transfer_agrees_with_symexpr_folding() {
+        use crate::symexpr::SymExpr;
+        for c in CONSTS {
+            let e = SymExpr::constant(c);
+            assert_eq!(
+                lattice_unop(UnOp::Neg, Const(c)),
+                Const(SymExpr::neg(&e).and_then(|r| r.as_const()).unwrap())
+            );
+            assert_eq!(
+                lattice_unop(UnOp::Not, Const(c)),
+                Const(SymExpr::not(&e).and_then(|r| r.as_const()).unwrap())
+            );
+        }
+        for op in [UnOp::Neg, UnOp::Not] {
+            assert_eq!(lattice_unop(op, Top), Top);
+            assert_eq!(lattice_unop(op, Bottom), Bottom);
+        }
+    }
+
+    #[test]
+    fn absorbing_shortcuts_fire_on_unknowns() {
+        for unknown in [Top, Bottom] {
+            assert_eq!(lattice_binop(BinOp::Mul, Const(0), unknown), Const(0));
+            assert_eq!(lattice_binop(BinOp::And, unknown, Const(0)), Const(0));
+            assert_eq!(lattice_binop(BinOp::Or, Const(3), unknown), Const(1));
+        }
+        // No shortcut for division: `0 / n` may trap when n == 0.
+        assert_eq!(lattice_binop(BinOp::Div, Const(0), Bottom), Bottom);
+        assert_eq!(lattice_binop(BinOp::Div, Const(0), Top), Top);
     }
 }

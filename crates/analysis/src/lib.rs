@@ -48,7 +48,7 @@ pub use budget::{
     RobustnessReport,
 };
 pub use callgraph::{CallGraph, CallSite};
-pub use lattice::LatticeVal;
+pub use lattice::{lattice_binop, lattice_unop, LatticeVal};
 pub use modref::compute_modref_obs;
 pub use modref::{
     augment_global_vars, compute_modref, compute_modref_budgeted, compute_modref_par, slot_of_var,
@@ -64,4 +64,4 @@ pub use subscripts::{classify_subscripts, count_subscripts, SubscriptClass, Subs
 pub use symeval::{
     symbolic_eval, symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, Sym, SymMap,
 };
-pub use symexpr::{lattice_binop, ExprCaps, SymExpr};
+pub use symexpr::{ExprCaps, SymExpr};

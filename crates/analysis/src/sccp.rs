@@ -17,11 +17,9 @@
 //!   return-jump-function evaluation with them).
 
 use crate::budget::{Budget, Phase};
-use crate::lattice::LatticeVal;
+use crate::lattice::{lattice_binop, lattice_unop, LatticeVal};
 use crate::modref::Slot;
-use crate::symexpr::lattice_binop;
 use ipcp_ir::{BlockId, GlobalId, ProcId, Procedure, VarId, VarKind};
-use ipcp_lang::ast::UnOp;
 use ipcp_ssa::{SsaInstr, SsaName, SsaOperand, SsaProc, SsaTerminator};
 use std::collections::HashSet;
 
@@ -239,13 +237,7 @@ fn eval_instr(
         }
         SsaInstr::Unary { dst, op, src } => {
             let v = operand_value(values, *src);
-            let r = match (op, v) {
-                (_, LatticeVal::Top) => LatticeVal::Top,
-                (_, LatticeVal::Bottom) => LatticeVal::Bottom,
-                (UnOp::Neg, LatticeVal::Const(c)) => LatticeVal::Const(c.wrapping_neg()),
-                (UnOp::Not, LatticeVal::Const(c)) => LatticeVal::Const(i64::from(c == 0)),
-            };
-            set(*dst, r, values, &mut changed);
+            set(*dst, lattice_unop(*op, v), values, &mut changed);
         }
         SsaInstr::Binary { dst, op, lhs, rhs } => {
             let l = operand_value(values, *lhs);

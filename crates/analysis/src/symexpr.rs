@@ -422,10 +422,9 @@ impl SymExpr {
                 let r = rhs.eval_lattice(env);
                 lattice_binop(*op, l, r)
             }
-            SymExpr::Not { inner, .. } => match inner.eval_lattice(env) {
-                LatticeVal::Const(c) => LatticeVal::Const(i64::from(c == 0)),
-                other => other,
-            },
+            SymExpr::Not { inner, .. } => {
+                crate::lattice::lattice_unop(ipcp_lang::ast::UnOp::Not, inner.eval_lattice(env))
+            }
             SymExpr::Gate {
                 cond,
                 then_val,
@@ -489,30 +488,9 @@ impl SymExpr {
     }
 }
 
-/// Lattice transfer function of one binary operator, including the
-/// absorbing shortcuts.
-pub fn lattice_binop(op: BinOp, l: LatticeVal, r: LatticeVal) -> LatticeVal {
-    use LatticeVal::*;
-    if let (Const(a), Const(b)) = (l, r) {
-        return match eval_binop_int(op, a, b) {
-            Ok(v) => Const(v),
-            Err(_) => Bottom, // a compile-time trap is not a constant
-        };
-    }
-    // Absorbing shortcuts (sound under wrapping semantics).
-    match op {
-        BinOp::Mul | BinOp::And if l == Const(0) || r == Const(0) => return Const(0),
-        BinOp::Or if matches!(l, Const(c) if c != 0) || matches!(r, Const(c) if c != 0) => {
-            return Const(1);
-        }
-        _ => {}
-    }
-    if l == Bottom || r == Bottom {
-        Bottom
-    } else {
-        Top
-    }
-}
+// The lattice transfer functions live beside the lattice itself; the
+// re-export keeps the historical `symexpr::lattice_binop` path working.
+pub use crate::lattice::{lattice_binop, lattice_unop};
 
 impl fmt::Display for SymExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -28,6 +28,11 @@
 //! twice through the persistent disk cache — once cold (empty cache,
 //! fresh sessions) and once warm (fresh sessions, populated cache) —
 //! assert the substitution totals are bit-identical, and write
+//! Pass `--framework-bench` to check the generic value-context engine
+//! against the golden pins and the pre-refactor solver loop, writing
+//! `BENCH_framework.json` with the measured overhead (plus the
+//! separately-costed conditional-propagation sweep).
+//!
 //! `BENCH_cache.json` with per-program and total cold/warm wall-clock
 //! and speedup.
 use ipcp_core::obs::{chrome_trace_json_multi, validate_chrome_trace, TraceSink, TraceSnapshot};
@@ -240,8 +245,149 @@ fn cache_bench(dir: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Quantifies what the generic value-context engine costs against the
+/// code it replaced, and writes `BENCH_framework.json`:
+///
+/// 1. the full Table-2 sweep through the engine, cell-checked against
+///    the golden pins (a wrong number fails the run),
+/// 2. a solver-only microbenchmark — the verbatim pre-refactor loop
+///    ([`ipcp_bench::legacy_solve`]) vs the engine-driven
+///    [`ipcp_core::solve`] on identical inputs with identical results —
+///    reporting the relative overhead (target: ≤5% on the sweep), and
+/// 3. the conditional-propagation sweep, reported separately: `cond`
+///    does strictly more work (feasibility SCCP per context), so its
+///    cost is not part of the legacy-parity budget.
+fn framework_bench() -> Result<(), String> {
+    let suite = ipcp_bench::prepare_suite();
+    let configs = ipcp_bench::table2_configs();
+
+    // Phase 1: the Table-2 sweep through fresh sessions, pinned.
+    let mut sweep = String::from("[");
+    let start = std::time::Instant::now();
+    for (i, (p, (name, expect))) in suite
+        .iter()
+        .zip(ipcp_bench::TABLE2_GOLDEN.iter())
+        .enumerate()
+    {
+        let session = AnalysisSession::new(&p.ir);
+        let totals: Vec<usize> = configs
+            .iter()
+            .map(|(_, c)| session.analyze(c).substitutions.total)
+            .collect();
+        if totals != expect.to_vec() {
+            return Err(format!(
+                "{name}: engine sweep diverged from golden pins: {totals:?} vs {expect:?}"
+            ));
+        }
+        if i > 0 {
+            sweep.push(',');
+        }
+        let cells: Vec<String> = totals.iter().map(usize::to_string).collect();
+        let _ = write!(
+            sweep,
+            "{{\"program\":\"{name}\",\"totals\":[{}]}}",
+            cells.join(",")
+        );
+    }
+    let sweep_us = start.elapsed().as_micros();
+    sweep.push(']');
+
+    // Phase 2: solver-only microbenchmark, legacy loop vs engine.
+    const REPEATS: u32 = 30;
+    let mut micro = String::from("[");
+    let (mut legacy_total, mut engine_total) = (0u128, 0u128);
+    for (i, p) in suite.iter().enumerate() {
+        let inputs = ipcp_bench::solver_inputs(&p.ir, true);
+        let engine = ipcp_core::solve(&inputs.program, &inputs.cg, &inputs.modref, &inputs.jfs);
+        let legacy =
+            ipcp_bench::legacy_solve(&inputs.program, &inputs.cg, &inputs.modref, &inputs.jfs);
+        ipcp_bench::assert_solver_agreement(&inputs.program, &engine, &legacy);
+
+        let start = std::time::Instant::now();
+        for _ in 0..REPEATS {
+            std::hint::black_box(ipcp_bench::legacy_solve(
+                &inputs.program,
+                &inputs.cg,
+                &inputs.modref,
+                &inputs.jfs,
+            ));
+        }
+        let legacy_us = start.elapsed().as_micros();
+        let start = std::time::Instant::now();
+        for _ in 0..REPEATS {
+            std::hint::black_box(ipcp_core::solve(
+                &inputs.program,
+                &inputs.cg,
+                &inputs.modref,
+                &inputs.jfs,
+            ));
+        }
+        let engine_us = start.elapsed().as_micros();
+        legacy_total += legacy_us;
+        engine_total += engine_us;
+        if i > 0 {
+            micro.push(',');
+        }
+        let _ = write!(
+            micro,
+            "{{\"program\":\"{}\",\"legacy_us\":{legacy_us},\"engine_us\":{engine_us},\
+             \"iterations\":{}}}",
+            p.generated.name,
+            engine.iterations()
+        );
+    }
+    micro.push(']');
+    // Two views of the same delta: relative to the solver phase alone,
+    // and amortized over the full Table-2 sweep it is part of — the
+    // ≤5% acceptance target applies to the sweep, where the solver is a
+    // sub-millisecond slice of a multi-second pipeline.
+    let solver_overhead_pct =
+        (engine_total as f64 - legacy_total as f64) / legacy_total.max(1) as f64 * 100.0;
+    let extra_us_per_solve = (engine_total as f64 - legacy_total as f64) / f64::from(REPEATS);
+    let sweep_overhead_pct =
+        extra_us_per_solve * configs.len() as f64 / sweep_us.max(1) as f64 * 100.0;
+
+    // Phase 3: conditional propagation, costed separately.
+    let mut cond = String::from("[");
+    let cond_config = AnalysisConfig::conditional();
+    let start = std::time::Instant::now();
+    for (i, p) in suite.iter().enumerate() {
+        let outcome = p.session().analyze(&cond_config);
+        if i > 0 {
+            cond.push(',');
+        }
+        let _ = write!(
+            cond,
+            "{{\"program\":\"{}\",\"substitutions\":{},\"pruned_call_edges\":{}}}",
+            p.generated.name, outcome.substitutions.total, outcome.stats.pruned_call_edges
+        );
+    }
+    let cond_us = start.elapsed().as_micros();
+    cond.push(']');
+
+    let out = format!(
+        "{{\"bench\":\"framework_overhead\",\
+         \"table2_sweep\":{{\"all_pinned\":true,\"wall_us\":{sweep_us},\"programs\":{sweep}}},\
+         \"solver_microbench\":{{\"repeats\":{REPEATS},\"legacy_total_us\":{legacy_total},\
+         \"engine_total_us\":{engine_total},\"solver_overhead_pct\":{solver_overhead_pct:.2},\
+         \"sweep_overhead_pct\":{sweep_overhead_pct:.4},\"target_sweep_pct\":5.0,\
+         \"programs\":{micro}}},\
+         \"cond_sweep\":{{\"wall_us\":{cond_us},\"programs\":{cond}}}}}"
+    );
+    write_file("BENCH_framework.json", &out)?;
+    println!(
+        "wrote BENCH_framework.json (sweep pinned in {sweep_us}us; engine vs legacy loop: \
+         {solver_overhead_pct:.2}% on the solver phase alone, {sweep_overhead_pct:.4}% \
+         amortized over the Table-2 sweep [target <=5%]; cond sweep {cond_us}us)"
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--framework-bench") {
+        return framework_bench();
+    }
     if let Some(i) = args.iter().position(|a| a == "--robustness") {
         let fuel = args
             .get(i + 1)

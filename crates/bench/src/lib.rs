@@ -16,6 +16,13 @@ use ipcp_core::{analyze, analyze_reference, AnalysisConfig, AnalysisSession, Jum
 use ipcp_suite::{all_specs, generate, paper_row, program_stats, GeneratedProgram, PAPER_SIZES};
 use std::fmt::Write as _;
 
+pub mod framework;
+
+pub use framework::{
+    assert_solver_agreement, legacy_solve, solver_inputs, SolverInputs, TABLE2_GOLDEN,
+    TABLE3_GOLDEN,
+};
+
 /// A generated benchmark plus its compiled IR and an open analysis
 /// session, so every table column measured over the program reuses the
 /// configuration-independent artifacts (call graph, MOD/REF, SSA,

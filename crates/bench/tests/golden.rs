@@ -2,45 +2,16 @@
 //! (fixed generator seeds, deterministic analyzer), so any change to
 //! these numbers is a behaviour change that EXPERIMENTS.md must track.
 
-use ipcp_bench::{measure, measure_reference, prepare_suite, table2_configs, table3_configs};
-
-/// (program, [poly, pass, intra, literal, poly-noRJF, pass-noRJF]).
-const TABLE2: [(&str, [usize; 6]); 12] = [
-    ("adm", [110, 110, 110, 110, 110, 110]),
-    ("doduc", [289, 289, 289, 286, 287, 287]),
-    ("fpppp", [60, 60, 54, 49, 56, 56]),
-    ("linpackd", [170, 170, 170, 94, 170, 170]),
-    ("matrix300", [138, 138, 122, 71, 138, 138]),
-    ("mdg", [41, 41, 40, 31, 40, 40]),
-    ("ocean", [194, 194, 194, 57, 62, 62]),
-    ("qcd", [180, 180, 180, 180, 180, 180]),
-    ("simple", [183, 183, 179, 174, 183, 183]),
-    ("snasa7", [336, 336, 336, 254, 336, 336]),
-    ("spec77", [137, 137, 137, 104, 137, 137]),
-    ("trfd", [16, 16, 16, 16, 16, 16]),
-];
-
-/// (program, [poly w/o MOD, poly w/ MOD, complete, intraprocedural]).
-const TABLE3: [(&str, [usize; 4]); 12] = [
-    ("adm", [25, 110, 110, 105]),
-    ("doduc", [286, 289, 289, 3]),
-    ("fpppp", [34, 60, 60, 38]),
-    ("linpackd", [33, 170, 170, 74]),
-    ("matrix300", [18, 138, 138, 69]),
-    ("mdg", [31, 41, 41, 31]),
-    ("ocean", [62, 194, 204, 55]),
-    ("qcd", [169, 180, 180, 179]),
-    ("simple", [3, 183, 183, 173]),
-    ("snasa7", [303, 336, 336, 254]),
-    ("spec77", [76, 137, 141, 82]),
-    ("trfd", [10, 16, 16, 15]),
-];
+use ipcp_bench::{
+    measure, measure_reference, prepare_suite, table2_configs, table3_configs, TABLE2_GOLDEN,
+    TABLE3_GOLDEN,
+};
 
 #[test]
 fn table2_numbers_are_pinned() {
     let mut suite = prepare_suite();
     let configs = table2_configs();
-    for (p, (name, expect)) in suite.iter_mut().zip(TABLE2.iter()) {
+    for (p, (name, expect)) in suite.iter_mut().zip(TABLE2_GOLDEN.iter()) {
         assert_eq!(&p.generated.name, name);
         let measured = measure(p, &configs);
         assert_eq!(measured, expect.to_vec(), "{name}");
@@ -51,7 +22,7 @@ fn table2_numbers_are_pinned() {
 fn table3_numbers_are_pinned() {
     let mut suite = prepare_suite();
     let configs = table3_configs();
-    for (p, (name, expect)) in suite.iter_mut().zip(TABLE3.iter()) {
+    for (p, (name, expect)) in suite.iter_mut().zip(TABLE3_GOLDEN.iter()) {
         assert_eq!(&p.generated.name, name);
         let measured = measure(p, &configs);
         assert_eq!(measured, expect.to_vec(), "{name}");

@@ -66,8 +66,11 @@ use std::time::Duration;
 pub const MAGIC: [u8; 8] = *b"IPCPART1";
 
 /// Bumped whenever the entry layout or any [`Wire`] encoding changes;
-/// old entries are quarantined, not misread.
-pub const FORMAT_VERSION: u32 = 1;
+/// old entries are quarantined, not misread. Version 2: the generic
+/// value-context engine (pruned_call_edges in [`PhaseStats`], the
+/// `branch_feasibility` key facet) — pre-framework artifacts must not
+/// be silently reused.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Fixed header size preceding the payload.
 pub const HEADER_LEN: usize = 44;
@@ -99,6 +102,7 @@ pub fn outcome_key(base_fp: u64, config: &AnalysisConfig) -> u64 {
         config.rjf_full_composition,
         config.solver,
         config.gsa,
+        config.branch_feasibility,
     );
     combine([base_fp, fingerprint_debug(&facets)])
 }
@@ -125,6 +129,7 @@ impl Wire for PhaseStats {
         self.useful_forward_jfs.encode(w);
         self.solver_iterations.encode(w);
         self.dce_rounds.encode(w);
+        self.pruned_call_edges.encode(w);
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         Ok(PhaseStats {
@@ -133,6 +138,7 @@ impl Wire for PhaseStats {
             useful_forward_jfs: usize::decode(r)?,
             solver_iterations: usize::decode(r)?,
             dce_rounds: usize::decode(r)?,
+            pruned_call_edges: usize::decode(r)?,
         })
     }
 }
@@ -982,6 +988,12 @@ mod tests {
         };
         assert_ne!(outcome_key(1, &base), outcome_key(2, &base));
         assert_ne!(outcome_key(1, &base), outcome_key(1, &other));
+        let cond = AnalysisConfig::conditional();
+        let plain = AnalysisConfig {
+            branch_feasibility: false,
+            ..AnalysisConfig::conditional()
+        };
+        assert_ne!(outcome_key(1, &cond), outcome_key(1, &plain));
         // jobs and fuel must NOT affect the key.
         let tuned = AnalysisConfig {
             jobs: 8,

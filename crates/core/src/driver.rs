@@ -9,6 +9,7 @@
 //! scratch.
 
 use crate::binding::solve_binding_budgeted;
+use crate::cond::solve_cond_budgeted;
 use crate::forward::{build_forward_jfs_budgeted, ForwardJumpFns};
 use crate::jump::JumpFunctionKind;
 use crate::retjf::{
@@ -71,6 +72,16 @@ pub struct AnalysisConfig {
     /// of what complete propagation buys, without iterating dead code
     /// elimination. Off by default.
     pub gsa: bool,
+    /// Extension beyond the paper: conditional constant propagation with
+    /// interprocedural branch feasibility (`--level cond`). The solver
+    /// prunes call edges sitting in branches whose predicates are proven
+    /// constant under the caller's entry context (SCCP executable-edge
+    /// tracking lifted across calls; see [`crate::cond`]), sharpening
+    /// callee contexts. Always solves over the call graph regardless of
+    /// [`AnalysisConfig::solver`] (the binding-graph formulation has no
+    /// per-procedure visit at which to re-decide feasibility). Off by
+    /// default.
+    pub branch_feasibility: bool,
     /// Worker threads for the session's parallel fan-outs (0 is treated
     /// as 1; see [`ipcp_analysis::Parallelism`]). Results are
     /// bit-identical at every setting — parallelism only changes
@@ -101,6 +112,7 @@ impl Default for AnalysisConfig {
             rjf_full_composition: false,
             solver: SolverKind::CallGraph,
             gsa: false,
+            branch_feasibility: false,
             jobs: ipcp_analysis::Parallelism::default_jobs(),
             fuel: None,
             on_exhausted: ExhaustionPolicy::Degrade,
@@ -126,6 +138,16 @@ impl AnalysisConfig {
             ..Self::default()
         }
     }
+
+    /// Conditional constant propagation (`--level cond`): polynomial
+    /// jump functions plus interprocedural branch feasibility.
+    pub fn conditional() -> Self {
+        AnalysisConfig {
+            jump_function: JumpFunctionKind::Polynomial,
+            branch_feasibility: true,
+            ..Self::default()
+        }
+    }
 }
 
 /// Aggregate cost/size statistics of one analysis run.
@@ -141,6 +163,9 @@ pub struct PhaseStats {
     pub solver_iterations: usize,
     /// Complete-propagation rounds that found dead code.
     pub dce_rounds: usize,
+    /// Call edges pruned as infeasible by conditional propagation
+    /// (always 0 unless [`AnalysisConfig::branch_feasibility`]).
+    pub pruned_call_edges: usize,
 }
 
 /// Everything an analysis run produces.
@@ -301,6 +326,16 @@ pub fn analyze_with_budget_reference(
                 &const_eval
             };
 
+            // Call effects for the counting/DCE SCCP — and for the
+            // feasibility SCCP of conditional propagation (same no-MOD
+            // rule).
+            let rjf_lattice = RjfLattice { rjfs: &rjfs };
+            let calls: &dyn CallLattice = if rjf_recovery {
+                &rjf_lattice
+            } else {
+                &PessimisticCalls
+            };
+
             // Forward jump functions and interprocedural propagation.
             let vals: Option<ValSets> = if config.interprocedural {
                 let jfs: ForwardJumpFns = build_forward_jfs_budgeted(
@@ -315,24 +350,23 @@ pub fn analyze_with_budget_reference(
                 );
                 stats.forward_jfs = jfs.count();
                 stats.useful_forward_jfs = jfs.useful_count();
-                let v = match config.solver {
-                    SolverKind::CallGraph => solve_budgeted(&program, &cg, &modref, &jfs, budget),
-                    SolverKind::BindingGraph => {
-                        solve_binding_budgeted(&program, &cg, &modref, &jfs, budget)
+                let v = if config.branch_feasibility {
+                    solve_cond_budgeted(&program, &cg, &modref, &jfs, kills, calls, budget)
+                } else {
+                    match config.solver {
+                        SolverKind::CallGraph => {
+                            solve_budgeted(&program, &cg, &modref, &jfs, budget)
+                        }
+                        SolverKind::BindingGraph => {
+                            solve_binding_budgeted(&program, &cg, &modref, &jfs, budget)
+                        }
                     }
                 };
                 stats.solver_iterations += v.iterations();
+                stats.pruned_call_edges += v.pruned_call_edges();
                 Some(v)
             } else {
                 None
-            };
-
-            // Call effects for the counting/DCE SCCP (same no-MOD rule).
-            let rjf_lattice = RjfLattice { rjfs: &rjfs };
-            let calls: &dyn CallLattice = if rjf_recovery {
-                &rjf_lattice
-            } else {
-                &PessimisticCalls
             };
 
             let substitutions = count_substitutions(&program, &cg, kills, calls, vals.as_ref());

@@ -17,6 +17,7 @@
 //! Call sites in CFG-unreachable code get no jump functions and are
 //! skipped by the solver (they can never execute).
 
+use crate::framework::{run_budgeted_pass, BudgetedProcPass, Rung};
 use crate::jump::{JumpFn, JumpFunctionKind};
 use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, SymEvalOptions};
 use ipcp_analysis::{Budget, CallGraph, ModRefInfo, Phase, Slot};
@@ -211,51 +212,87 @@ pub fn build_forward_jfs_budgeted(
     budget: &Budget,
 ) -> ForwardJumpFns {
     let mut per_proc = Vec::with_capacity(program.procs.len());
-    for pid in program.proc_ids() {
-        let proc = program.proc(pid);
-        let estimate = proc_estimate(proc);
+    let pass = ForwardPass {
+        program,
+        cg,
+        modref,
+        kind,
+        kills,
+        call_sym,
+        options,
+    };
+    run_budgeted_pass(&pass, &mut per_proc, budget);
+    ForwardJumpFns { per_proc }
+}
 
-        // Slide down the ladder until a rung fits the remaining fuel.
-        let mut effective = Some(kind);
-        if let Some(remaining) = budget.fuel_remaining() {
-            while let Some(k) = effective {
-                if kind_weight(k).saturating_mul(estimate) <= remaining {
-                    break;
-                }
-                let lower = next_rung_down(k);
-                budget.record_ladder_step(
-                    &k.to_string(),
-                    &lower.map_or("⊥".to_string(), |l| l.to_string()),
-                );
-                effective = lower;
-            }
-        }
-        let affordable = match effective {
-            Some(k) => budget.checkpoint(Phase::ForwardJf, kind_weight(k).saturating_mul(estimate)),
-            None => false,
-        };
-        if !affordable {
-            if let Some(k) = effective {
-                // The checkpoint itself failed (shared tank drained by a
-                // concurrent phase or a fault injector): fall to ⊥.
-                budget.record_ladder_step(&k.to_string(), "⊥");
-            }
-            budget.record_degradation(Phase::ForwardJf);
-            per_proc.push(bottom_sites_for_proc(program, cg, modref, pid));
-            continue;
-        }
-        let effective = effective.expect("affordable rung");
-        if effective != kind {
-            budget.record_degradation(Phase::ForwardJf);
-        }
+/// Forward jump function construction as a problem definition for
+/// [`run_budgeted_pass`]: the §3.1.5 precision ladder from the requested
+/// kind down to Literal, per-instruction cost estimates, and all-⊥ site
+/// tables as the exhaustion fallback.
+struct ForwardPass<'a> {
+    program: &'a Program,
+    cg: &'a CallGraph,
+    modref: &'a ModRefInfo,
+    kind: JumpFunctionKind,
+    kills: &'a dyn KillOracle,
+    call_sym: &'a dyn CallSymbolics,
+    options: SymEvalOptions,
+}
 
-        let ssa = build_ssa(program, proc, kills);
-        let sym = symbolic_eval_budgeted(proc, &ssa, call_sym, options, budget);
-        per_proc.push(site_jfs_for_proc(
-            program, cg, modref, effective, pid, &ssa, &sym,
+impl BudgetedProcPass for ForwardPass<'_> {
+    type Acc = Vec<Vec<SiteJumpFns>>;
+    type Kind = JumpFunctionKind;
+
+    fn phase(&self) -> Phase {
+        Phase::ForwardJf
+    }
+
+    fn order(&self) -> Vec<ProcId> {
+        self.program.proc_ids().collect()
+    }
+
+    fn ladder(&self) -> Vec<Rung<JumpFunctionKind>> {
+        let mut rungs = Vec::new();
+        let mut next = Some(self.kind);
+        while let Some(k) = next {
+            rungs.push(Rung {
+                kind: k,
+                name: k.to_string(),
+                weight: kind_weight(k),
+            });
+            next = next_rung_down(k);
+        }
+        rungs
+    }
+
+    fn estimate(&self, p: ProcId) -> u64 {
+        proc_estimate(self.program.proc(p))
+    }
+
+    fn build(
+        &self,
+        acc: &mut Vec<Vec<SiteJumpFns>>,
+        p: ProcId,
+        kind: JumpFunctionKind,
+        budget: &Budget,
+    ) {
+        let proc = self.program.proc(p);
+        let ssa = build_ssa(self.program, proc, self.kills);
+        let sym = symbolic_eval_budgeted(proc, &ssa, self.call_sym, self.options, budget);
+        acc.push(site_jfs_for_proc(
+            self.program,
+            self.cg,
+            self.modref,
+            kind,
+            p,
+            &ssa,
+            &sym,
         ));
     }
-    ForwardJumpFns { per_proc }
+
+    fn fallback(&self, acc: &mut Vec<Vec<SiteJumpFns>>, p: ProcId) {
+        acc.push(bottom_sites_for_proc(self.program, self.cg, self.modref, p));
+    }
 }
 
 /// The per-procedure fuel estimate of forward jump function construction

@@ -1,0 +1,417 @@
+//! The pluggable interprocedural dataflow framework.
+//!
+//! The paper's four jump-function implementations — and every analysis
+//! the ROADMAP wants after them — are specializations of one scheme: a
+//! *value context* per procedure (a map from entry slots to elements of
+//! a bounded lattice), transfer functions attached to call edges, and a
+//! worklist fixpoint over the call graph (Padhye & Khedker's
+//! value-contexts method, restricted to the paper's one-context-per-
+//! procedure regime). This module extracts that scheme into two generic
+//! drivers so a new analysis is a *problem definition*, not a new
+//! solver:
+//!
+//! * [`DataflowProblem`] + [`solve_value_contexts`] — the worklist
+//!   engine. A problem supplies the lattice (top/bottom/meet), the
+//!   context shape per procedure, the root seeding, the call-edge
+//!   transfer functions, and (optionally) an edge *feasibility* hook —
+//!   the extension point behind conditional constant propagation, where
+//!   a constant-valued predicate proves a call edge dead and the engine
+//!   prunes it. The engine owns the worklist discipline, the fuel
+//!   accounting (one [`Phase`] unit per pop, with the sound
+//!   collapse-to-⊥ degradation on exhaustion), and lattice-transition
+//!   observability.
+//! * [`BudgetedProcPass`] + [`run_budgeted_pass`] — the per-procedure
+//!   construction driver shared by forward and return jump function
+//!   generation: a build order (flat or bottom-up over SCCs), a
+//!   *precision ladder* of rungs with §3.1.5 cost weights, fuel
+//!   checkpoints per procedure, ladder-step/degradation bookkeeping,
+//!   and a sound fallback when even the cheapest rung is unaffordable.
+//!
+//! Both drivers reproduce the bespoke loops they replaced bit for bit:
+//! same iteration order, same fuel draws, same degradation records, same
+//! observability events (`crates/bench/tests/framework_golden.rs` pins
+//! all 72 Table-2 cells through this engine).
+
+use ipcp_analysis::{Budget, Phase, Slot};
+use ipcp_ir::{ProcId, Program};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// The mutable engine state a problem's edge transfer evaluates against.
+///
+/// Reads ([`EdgeSink::caller_value`]) and writes
+/// ([`EdgeSink::meet_into`]) go through the *live* contexts: an update
+/// to the callee is visible to the very next transfer evaluation of the
+/// same pop — required for bit-identical convergence on self-recursive
+/// procedures, where caller and callee share one context.
+pub trait EdgeSink<V> {
+    /// Current value of `slot` in the caller's entry context (the
+    /// problem's missing-slot fallback when untracked).
+    fn caller_value(&self, slot: Slot) -> V;
+
+    /// Meets `incoming` into the callee's `slot`, enqueueing the callee
+    /// when its context lowers. `transfer` is only rendered when a
+    /// tracing sink is attached (it names the justifying jump function
+    /// in the transition event).
+    fn meet_into(&mut self, slot: Slot, incoming: V, transfer: &dyn fmt::Display);
+}
+
+/// An interprocedural dataflow problem: a bounded lattice, a value
+/// context per procedure, and transfer functions on call edges. The
+/// generic engine ([`solve_value_contexts`]) drives any implementation
+/// to its least fixpoint.
+pub trait DataflowProblem {
+    /// The lattice element propagated along call edges.
+    type Value: Copy + PartialEq + fmt::Display;
+
+    /// ⊤ — the optimistic initial element of every context slot.
+    fn top(&self) -> Self::Value;
+
+    /// ⊥ — the sound worst case. Every tracked slot collapses here when
+    /// the fuel budget exhausts mid-solve (the widening bound: leaving
+    /// optimistic intermediates in place would be unsound, because a
+    /// slot still at ⊤ or a constant may not have seen all its edges).
+    fn bottom(&self) -> Self::Value;
+
+    /// The meet of the bounded lattice.
+    fn meet(&self, a: Self::Value, b: Self::Value) -> Self::Value;
+
+    /// Fallback value when an edge transfer reads a slot absent from
+    /// the caller's context.
+    fn missing_value(&self) -> Self::Value;
+
+    /// The slots forming `p`'s value context.
+    fn context_slots(&self, program: &Program, p: ProcId) -> Vec<Slot>;
+
+    /// Seed of one root (`main`) context slot — the root has no callers,
+    /// so its context is fixed by the problem, not by propagation.
+    fn root_value(&self, program: &Program, slot: Slot) -> Self::Value;
+
+    /// Whether `p` is reachable from the root: reachable procedures are
+    /// seeded onto the worklist so their call sites are evaluated at
+    /// least once even when their own context never changes.
+    fn seeded(&self, p: ProcId) -> bool;
+
+    /// Number of call sites of `p`; the engine walks them in order.
+    fn site_count(&self, p: ProcId) -> usize;
+
+    /// Callee of site `s` of `p`, or `None` when the site sits in
+    /// statically unreachable code (its edges never fire).
+    fn site_target(&self, p: ProcId, s: usize) -> Option<ProcId>;
+
+    /// Whether the edge is feasible under the caller's *current* entry
+    /// context — the conditional-propagation hook. A pruned edge
+    /// contributes nothing this visit; because contexts only descend
+    /// and implementations must be monotone in `env` (lower contexts
+    /// prune no more edges), pruning is sound. Default: all edges
+    /// feasible (plain constant propagation).
+    fn site_feasible(&self, p: ProcId, s: usize, env: &dyn Fn(Slot) -> Self::Value) -> bool {
+        let _ = (p, s, env);
+        true
+    }
+
+    /// Evaluates every (callee slot → transfer function) pair of edge
+    /// `s` of `p` against the live engine state, in slot order:
+    /// `sink.caller_value` reads the caller context, `sink.meet_into`
+    /// lowers the callee context.
+    fn eval_edge(&self, p: ProcId, s: usize, sink: &mut dyn EdgeSink<Self::Value>);
+
+    /// The fuel phase one worklist pop draws a unit from.
+    fn phase(&self) -> Phase {
+        Phase::Solver
+    }
+
+    /// Procedure name, for transition events (rendered lazily).
+    fn proc_name(&self, p: ProcId) -> &str;
+
+    /// Human-readable name of `slot` of `q`, for transition events.
+    fn slot_name(&self, q: ProcId, slot: Slot) -> String;
+
+    /// Label of call site `s` of `p` (e.g. `b2#0`), for transition
+    /// events.
+    fn site_label(&self, p: ProcId, s: usize) -> String;
+}
+
+/// The engine's result: one value context per procedure plus the cost
+/// counters.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome<V> {
+    /// Per-procedure contexts, indexed by [`ProcId`].
+    pub contexts: Vec<BTreeMap<Slot, V>>,
+    /// Worklist pops taken (the solver's cost proxy).
+    pub iterations: usize,
+    /// Call-edge visits skipped by [`DataflowProblem::site_feasible`].
+    pub pruned_edges: usize,
+}
+
+/// Engine state threaded through edge evaluation; implements
+/// [`EdgeSink`] over the live contexts, the worklist, and the trace
+/// sink.
+struct EngineState<'a, P: DataflowProblem> {
+    problem: &'a P,
+    contexts: &'a mut Vec<BTreeMap<Slot, P::Value>>,
+    queued: &'a mut Vec<bool>,
+    work: &'a mut VecDeque<ProcId>,
+    sink: &'a dyn ipcp_obs::ObsSink,
+    /// Caller being popped.
+    p: ProcId,
+    /// Callee of the edge under evaluation.
+    q: ProcId,
+    /// Site index of the edge under evaluation.
+    s: usize,
+}
+
+impl<P: DataflowProblem> EdgeSink<P::Value> for EngineState<'_, P> {
+    fn caller_value(&self, slot: Slot) -> P::Value {
+        debug_assert!(
+            self.contexts[self.p.index()].contains_key(&slot) || matches!(slot, Slot::Result),
+            "transfer function support slot {slot} missing from caller {}",
+            self.problem.proc_name(self.p)
+        );
+        self.contexts[self.p.index()]
+            .get(&slot)
+            .copied()
+            .unwrap_or_else(|| self.problem.missing_value())
+    }
+
+    fn meet_into(&mut self, slot: Slot, incoming: P::Value, transfer: &dyn fmt::Display) {
+        let old = self.contexts[self.q.index()]
+            .get(&slot)
+            .copied()
+            .unwrap_or_else(|| self.problem.top());
+        let new = self.problem.meet(old, incoming);
+        if new != old {
+            if self.sink.enabled() {
+                self.sink.transition(ipcp_obs::TransitionEvent {
+                    callee: self.problem.proc_name(self.q).to_string(),
+                    slot: self.problem.slot_name(self.q, slot),
+                    caller: self.problem.proc_name(self.p).to_string(),
+                    site: self.problem.site_label(self.p, self.s),
+                    jump_fn: transfer.to_string(),
+                    from: old.to_string(),
+                    to: new.to_string(),
+                });
+            }
+            self.contexts[self.q.index()].insert(slot, new);
+            if !self.queued[self.q.index()] {
+                self.queued[self.q.index()] = true;
+                self.work.push_back(self.q);
+            }
+        }
+    }
+}
+
+/// Runs `problem` to its least fixpoint: the generic value-context
+/// worklist engine.
+///
+/// Every context starts ⊤ (the root's is seeded by the problem), every
+/// seeded procedure is visited at least once, each pop draws one unit of
+/// the problem's fuel phase, and on exhaustion every tracked slot is
+/// lowered to ⊥ — an always-sound (if useless) fixpoint. Lattice
+/// transitions are reported to `sink` with their justifying call edge.
+pub fn solve_value_contexts<P: DataflowProblem>(
+    program: &Program,
+    problem: &P,
+    budget: &Budget,
+    sink: &dyn ipcp_obs::ObsSink,
+) -> EngineOutcome<P::Value> {
+    let n = program.procs.len();
+    let mut contexts: Vec<BTreeMap<Slot, P::Value>> = Vec::with_capacity(n);
+    for pid in program.proc_ids() {
+        let mut map = BTreeMap::new();
+        for slot in problem.context_slots(program, pid) {
+            map.insert(slot, problem.top());
+        }
+        contexts.push(map);
+    }
+
+    // Seed the root's context: it has no incoming edges, so its values
+    // come from the problem (global initializers for constant
+    // propagation), not from propagation.
+    let main = program.main;
+    let main_slots: Vec<Slot> = contexts[main.index()].keys().copied().collect();
+    for slot in main_slots {
+        let v = problem.root_value(program, slot);
+        contexts[main.index()].insert(slot, v);
+    }
+
+    // Seed the worklist with every procedure reachable from the root
+    // (root first): a procedure's call sites must be evaluated at least
+    // once even if its own context never changes (e.g. it has no slots
+    // at all).
+    let mut queued = vec![false; n];
+    let mut work: VecDeque<ProcId> = VecDeque::new();
+    work.push_back(main);
+    queued[main.index()] = true;
+    for pid in program.proc_ids() {
+        if problem.seeded(pid) && !queued[pid.index()] {
+            queued[pid.index()] = true;
+            work.push_back(pid);
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut pruned_edges = 0usize;
+    while let Some(p) = work.pop_front() {
+        if !budget.checkpoint(problem.phase(), 1) {
+            budget.record_degradation(problem.phase());
+            for map in &mut contexts {
+                for v in map.values_mut() {
+                    *v = problem.bottom();
+                }
+            }
+            break;
+        }
+        queued[p.index()] = false;
+        iterations += 1;
+
+        for s in 0..problem.site_count(p) {
+            let Some(q) = problem.site_target(p, s) else {
+                continue;
+            };
+            {
+                let ctx = &contexts[p.index()];
+                let env = |slot: Slot| -> P::Value {
+                    ctx.get(&slot)
+                        .copied()
+                        .unwrap_or_else(|| problem.missing_value())
+                };
+                if !problem.site_feasible(p, s, &env) {
+                    pruned_edges += 1;
+                    continue;
+                }
+            }
+            let mut state = EngineState {
+                problem,
+                contexts: &mut contexts,
+                queued: &mut queued,
+                work: &mut work,
+                sink,
+                p,
+                q,
+                s,
+            };
+            problem.eval_edge(p, s, &mut state);
+        }
+    }
+
+    EngineOutcome {
+        contexts,
+        iterations,
+        pruned_edges,
+    }
+}
+
+// ---- budgeted per-procedure construction ----------------------------------
+
+/// One rung of a precision ladder: the kind built at that rung, its
+/// display name (for ladder-step records), and its relative §3.1.5 cost
+/// weight.
+#[derive(Debug, Clone)]
+pub struct Rung<K> {
+    /// What this rung builds.
+    pub kind: K,
+    /// Display name recorded in ladder steps.
+    pub name: String,
+    /// Relative cost weight (multiplied by the per-procedure estimate).
+    pub weight: u64,
+}
+
+/// A per-procedure transfer-function construction pass under a fuel
+/// budget — the shape shared by forward jump function generation (a
+/// four-rung precision ladder over a flat procedure order) and return
+/// jump function generation (a single rung over the bottom-up SCC
+/// order, accumulating callee tables as it goes).
+pub trait BudgetedProcPass {
+    /// The accumulated output table.
+    type Acc;
+    /// The rung descriptor (a jump-function kind; `()` for single-rung
+    /// passes).
+    type Kind: Copy;
+
+    /// The fuel phase this pass draws from.
+    fn phase(&self) -> Phase;
+
+    /// Procedures in build order (bottom-up SCC order when later builds
+    /// compose earlier results).
+    fn order(&self) -> Vec<ProcId>;
+
+    /// The descending precision ladder, starting at the requested rung.
+    /// Single-rung passes return one entry; below the last rung sits ⊥
+    /// (the fallback).
+    fn ladder(&self) -> Vec<Rung<Self::Kind>>;
+
+    /// Fuel estimate of building `p` (multiplied by the rung weight).
+    fn estimate(&self, p: ProcId) -> u64;
+
+    /// Builds `p` at `kind` into the accumulator. `budget` meters any
+    /// inner symbolic evaluation.
+    fn build(&self, acc: &mut Self::Acc, p: ProcId, kind: Self::Kind, budget: &Budget);
+
+    /// Installs the sound ⊥ fallback for `p` (fuel could not afford even
+    /// the cheapest rung).
+    fn fallback(&self, acc: &mut Self::Acc, p: ProcId);
+
+    /// Whether fuel-driven rung slides are recorded as ladder steps (and
+    /// a cheaper-than-requested rung as a degradation). Forward jump
+    /// functions track their precision ladder; the single-rung return
+    /// pass degrades silently to its fallback, as its bespoke loop did.
+    fn tracks_ladder(&self) -> bool {
+        true
+    }
+}
+
+/// Drives a [`BudgetedProcPass`] over its procedures: slides down the
+/// precision ladder until a rung fits the remaining fuel (recording
+/// every ladder step when the pass
+/// [tracks its ladder](BudgetedProcPass::tracks_ladder)), checkpoints
+/// the rung's cost, records a degradation whenever the requested rung
+/// was not built, and installs the ⊥ fallback when nothing was
+/// affordable.
+pub fn run_budgeted_pass<P: BudgetedProcPass>(pass: &P, acc: &mut P::Acc, budget: &Budget) {
+    let ladder = pass.ladder();
+    let tracked = pass.tracks_ladder();
+    for p in pass.order() {
+        let estimate = pass.estimate(p);
+
+        // Slide down the ladder until a rung fits the remaining fuel.
+        let mut rung = Some(0usize);
+        if tracked {
+            if let Some(remaining) = budget.fuel_remaining() {
+                while let Some(i) = rung {
+                    if ladder[i].weight.saturating_mul(estimate) <= remaining {
+                        break;
+                    }
+                    let lower = (i + 1 < ladder.len()).then_some(i + 1);
+                    budget.record_ladder_step(
+                        &ladder[i].name,
+                        &lower.map_or("⊥".to_string(), |j| ladder[j].name.clone()),
+                    );
+                    rung = lower;
+                }
+            }
+        }
+        let affordable = match rung {
+            Some(i) => budget.checkpoint(pass.phase(), ladder[i].weight.saturating_mul(estimate)),
+            None => false,
+        };
+        if !affordable {
+            if tracked {
+                if let Some(i) = rung {
+                    // The checkpoint itself failed (shared tank drained
+                    // by a concurrent phase or a fault injector): fall
+                    // to ⊥.
+                    budget.record_ladder_step(&ladder[i].name, "⊥");
+                }
+            }
+            budget.record_degradation(pass.phase());
+            pass.fallback(acc, p);
+            continue;
+        }
+        let i = rung.expect("affordable rung");
+        if tracked && i != 0 {
+            budget.record_degradation(pass.phase());
+        }
+        pass.build(acc, p, ladder[i].kind, budget);
+    }
+}

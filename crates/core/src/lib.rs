@@ -46,10 +46,12 @@
 
 pub mod binding;
 pub mod cloning;
+pub mod cond;
 pub mod dependence;
 pub mod diskcache;
 pub mod driver;
 pub mod forward;
+pub mod framework;
 pub mod jump;
 pub mod optimize;
 pub mod parallel;
@@ -75,6 +77,7 @@ pub mod obs {
 
 pub use binding::{solve_binding, solve_binding_budgeted};
 pub use cloning::{apply_cloning, cloning_opportunities, CloneOpportunity};
+pub use cond::{solve_cond, solve_cond_budgeted, solve_cond_traced};
 pub use dependence::subscript_counts;
 pub use diskcache::{outcome_key, CacheIo, CacheStats, DiskCache, FaultyIo, RealIo, VerifyOutcome};
 pub use driver::{
@@ -85,6 +88,10 @@ pub use driver::{
 pub use forward::{
     build_forward_jfs, build_forward_jfs_budgeted, build_forward_jfs_with, build_literal_jfs_fast,
     ForwardJumpFns, SiteJumpFns,
+};
+pub use framework::{
+    run_budgeted_pass, solve_value_contexts, BudgetedProcPass, DataflowProblem, EdgeSink,
+    EngineOutcome, Rung,
 };
 pub use ipcp_analysis::{
     Budget, ExhaustionPolicy, FaultInjector, FuelSource, IoFaultInjector, IoFaultKind, IoOp,

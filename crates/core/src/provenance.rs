@@ -210,6 +210,16 @@ pub fn analyze_provenance_obs(
         &const_eval
     };
 
+    // Conditional propagation's feasibility SCCP models calls through
+    // the same lattice the driver uses: return-jump-function recovery
+    // when available, pessimistic otherwise.
+    let rjf_lattice = RjfLattice { rjfs: &rjfs };
+    let feas_calls: &dyn CallLattice = if rjf_recovery {
+        &rjf_lattice
+    } else {
+        &PessimisticCalls
+    };
+
     let solved: Option<(ForwardJumpFns, ValSets)> = if config.interprocedural {
         let jfs = build_forward_jfs_budgeted(
             &program,
@@ -221,10 +231,20 @@ pub fn analyze_provenance_obs(
             sym_options,
             &budget,
         );
-        let vals = match config.solver {
-            SolverKind::CallGraph => solve_traced(&program, &cg, &modref, &jfs, &budget, sink),
-            SolverKind::BindingGraph => {
-                solve_binding_budgeted(&program, &cg, &modref, &jfs, &budget)
+        let vals = if config.branch_feasibility {
+            // Pruned (infeasible) edges either evaluate away from the
+            // final constant — and drop out of the ledger by the exact
+            // match below — or agree with it, in which case listing
+            // them as justification is harmless.
+            crate::cond::solve_cond_traced(
+                &program, &cg, &modref, &jfs, kills, feas_calls, &budget, sink,
+            )
+        } else {
+            match config.solver {
+                SolverKind::CallGraph => solve_traced(&program, &cg, &modref, &jfs, &budget, sink),
+                SolverKind::BindingGraph => {
+                    solve_binding_budgeted(&program, &cg, &modref, &jfs, &budget)
+                }
             }
         };
         Some((jfs, vals))

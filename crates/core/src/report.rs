@@ -50,7 +50,7 @@ pub fn constants_to_string(outcome: &AnalysisOutcome) -> String {
 
 /// Renders a one-line summary of an outcome.
 pub fn summary_line(outcome: &AnalysisOutcome) -> String {
-    format!(
+    let mut line = format!(
         "constants: {} slots, substitutions: {}, return JFs: {}, forward JFs: {}/{} useful, solver iterations: {}, DCE rounds: {}",
         outcome.constant_slot_count(),
         outcome.substitutions.total,
@@ -59,7 +59,16 @@ pub fn summary_line(outcome: &AnalysisOutcome) -> String {
         outcome.stats.forward_jfs,
         outcome.stats.solver_iterations,
         outcome.stats.dce_rounds,
-    )
+    );
+    // Only conditional propagation prunes edges; the default output of
+    // every other level stays byte-identical.
+    if outcome.stats.pruned_call_edges > 0 {
+        line.push_str(&format!(
+            ", pruned call edges: {}",
+            outcome.stats.pruned_call_edges
+        ));
+    }
+    line
 }
 
 /// Renders per-procedure substitution counts (procedures with zero counts

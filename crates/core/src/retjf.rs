@@ -18,6 +18,7 @@
 //! [`RjfComposer`] (full symbolic composition) is also available as an
 //! extension toggle in the driver.
 
+use crate::framework::{run_budgeted_pass, BudgetedProcPass, Rung};
 use crate::jump::{JumpFn, JumpFunctionKind};
 use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, Sym, SymEvalOptions};
 use ipcp_analysis::{Budget, CallGraph, LatticeVal, Phase, Slot};
@@ -115,6 +116,12 @@ pub fn build_return_jfs_with(
 /// on exhaustion the procedure's table stays empty — every lookup misses
 /// and call effects degrade to ⊥, exactly the "no return jump functions"
 /// configuration.
+///
+/// This is the bottom-up construction expressed as a single-rung
+/// [`BudgetedProcPass`]: the SCC condensation supplies the build order
+/// (members of a recursive SCC see ⊥ for in-SCC callees, whose entries
+/// are still empty when processed), and the generic driver supplies the
+/// fuel checkpoints and degradation records.
 pub fn build_return_jfs_budgeted(
     program: &Program,
     cg: &CallGraph,
@@ -123,20 +130,63 @@ pub fn build_return_jfs_budgeted(
     budget: &Budget,
 ) -> ReturnJumpFns {
     let mut rjfs = ReturnJumpFns::empty(program.procs.len());
-    for scc in cg.sccs() {
-        // Members of a recursive SCC see ⊥ for in-SCC callees (their
-        // entries are still empty when processed).
-        for &pid in scc {
-            if !budget.checkpoint(Phase::ReturnJf, 1) {
-                budget.record_degradation(Phase::ReturnJf);
-                continue;
-            }
-            let ssa = build_ssa(program, program.proc(pid), kills);
-            let map = build_rjf_for_proc(program, pid, &rjfs, &ssa, options, budget);
-            rjfs.per_proc[pid.index()] = map;
-        }
-    }
+    let pass = RjfPass {
+        program,
+        cg,
+        kills,
+        options,
+    };
+    run_budgeted_pass(&pass, &mut rjfs, budget);
     rjfs
+}
+
+/// The return-jump-function construction as a problem definition for
+/// [`run_budgeted_pass`]: one rung of unit weight per procedure, the
+/// bottom-up SCC order, and the empty table as the exhaustion fallback.
+struct RjfPass<'a> {
+    program: &'a Program,
+    cg: &'a CallGraph,
+    kills: &'a dyn KillOracle,
+    options: SymEvalOptions,
+}
+
+impl BudgetedProcPass for RjfPass<'_> {
+    type Acc = ReturnJumpFns;
+    type Kind = ();
+
+    fn phase(&self) -> Phase {
+        Phase::ReturnJf
+    }
+
+    fn order(&self) -> Vec<ProcId> {
+        self.cg.sccs().iter().flatten().copied().collect()
+    }
+
+    fn ladder(&self) -> Vec<Rung<()>> {
+        vec![Rung {
+            kind: (),
+            name: "rjf".to_string(),
+            weight: 1,
+        }]
+    }
+
+    fn estimate(&self, _p: ProcId) -> u64 {
+        1
+    }
+
+    fn build(&self, acc: &mut ReturnJumpFns, p: ProcId, _kind: (), budget: &Budget) {
+        let ssa = build_ssa(self.program, self.program.proc(p), self.kills);
+        let map = build_rjf_for_proc(self.program, p, acc, &ssa, self.options, budget);
+        acc.set_proc(p, map);
+    }
+
+    fn fallback(&self, _acc: &mut ReturnJumpFns, _p: ProcId) {
+        // The entry stays empty: every lookup misses, call effects are ⊥.
+    }
+
+    fn tracks_ladder(&self) -> bool {
+        false
+    }
 }
 
 /// Builds the return-jump-function table of one procedure from its

@@ -385,6 +385,9 @@ struct SolveKey {
     mode: CallSymMode,
     kind: JumpFunctionKind,
     solver: SolverKind,
+    /// Conditional propagation (branch feasibility) changes the `VAL`
+    /// sets the solve produces.
+    cond: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -393,9 +396,10 @@ struct SubstKey {
     mod_info: bool,
     gsa: bool,
     mode: CallSymMode,
-    /// `(jump_function, solver)` when interprocedural propagation seeded
-    /// the count; `None` for the intraprocedural baseline.
-    forward: Option<(JumpFunctionKind, SolverKind)>,
+    /// `(jump_function, solver, branch_feasibility)` when
+    /// interprocedural propagation seeded the count; `None` for the
+    /// intraprocedural baseline.
+    forward: Option<(JumpFunctionKind, SolverKind, bool)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -424,7 +428,7 @@ struct CountingKey {
     gsa: bool,
     mode: CallSymMode,
     rjf: bool,
-    forward: Option<(JumpFunctionKind, SolverKind)>,
+    forward: Option<(JumpFunctionKind, SolverKind, bool)>,
 }
 
 /// A cached artifact plus the fuel its computation consumed, replayed on
@@ -800,6 +804,13 @@ impl AnalysisSession {
                 rjfs.emit_counters(sink);
                 stats.return_jfs = rjfs.useful_count();
 
+                let rjf_lattice = RjfLattice { rjfs: &rjfs };
+                let calls: &dyn CallLattice = if round.mode != CallSymMode::Pessimistic {
+                    &rjf_lattice
+                } else {
+                    &PessimisticCalls
+                };
+
                 let vals: Option<Arc<ValSets>> = if config.interprocedural {
                     let jfs = {
                         let _span = SpanGuard::enter(sink, "forward_jfs", "phase");
@@ -823,29 +834,15 @@ impl AnalysisSession {
                     let v = {
                         let _span = SpanGuard::enter(sink, "solve", "phase");
                         self.cached_solve(
-                            program,
-                            &cg,
-                            &modref,
-                            &jfs,
-                            config.jump_function,
-                            config.solver,
-                            &round,
-                            budget,
-                            sink,
+                            program, &cg, &modref, &jfs, config, &round, kills, calls, budget, sink,
                         )
                     };
                     sink.count("solver.iterations", v.iterations() as u64);
                     stats.solver_iterations += v.iterations();
+                    stats.pruned_call_edges += v.pruned_call_edges();
                     Some(v)
                 } else {
                     None
-                };
-
-                let rjf_lattice = RjfLattice { rjfs: &rjfs };
-                let calls: &dyn CallLattice = if round.mode != CallSymMode::Pessimistic {
-                    &rjf_lattice
-                } else {
-                    &PessimisticCalls
                 };
 
                 let substitutions = {
@@ -1308,9 +1305,10 @@ impl AnalysisSession {
         cg: &CallGraph,
         modref: &ModRefInfo,
         jfs: &ForwardJumpFns,
-        kind: JumpFunctionKind,
-        solver: SolverKind,
+        config: &AnalysisConfig,
         round: &RoundCtx,
+        kills: &dyn KillOracle,
+        calls: &dyn CallLattice,
         budget: &Budget,
         sink: &dyn ObsSink,
     ) -> Arc<ValSets> {
@@ -1319,8 +1317,9 @@ impl AnalysisSession {
             mod_info: round.mod_info,
             gsa: round.gsa,
             mode: round.mode,
-            kind,
-            solver,
+            kind: config.jump_function,
+            solver: config.solver,
+            cond: config.branch_feasibility,
         };
         let start = Instant::now();
         let hit = self.store.solves.read().unwrap().get(&key).cloned();
@@ -1333,10 +1332,18 @@ impl AnalysisSession {
             None => {
                 self.phase_miss(SessionPhase::Solve);
                 let before = budget.fuel_consumed();
-                let v = match solver {
-                    SolverKind::CallGraph => solve_traced(program, cg, modref, jfs, budget, sink),
-                    SolverKind::BindingGraph => {
-                        solve_binding_budgeted(program, cg, modref, jfs, budget)
+                let v = if config.branch_feasibility {
+                    crate::cond::solve_cond_traced(
+                        program, cg, modref, jfs, kills, calls, budget, sink,
+                    )
+                } else {
+                    match config.solver {
+                        SolverKind::CallGraph => {
+                            solve_traced(program, cg, modref, jfs, budget, sink)
+                        }
+                        SolverKind::BindingGraph => {
+                            solve_binding_budgeted(program, cg, modref, jfs, budget)
+                        }
                     }
                 };
                 let fuel = budget.fuel_consumed() - before;
@@ -1372,9 +1379,11 @@ impl AnalysisSession {
             mod_info: round.mod_info,
             gsa: round.gsa,
             mode: round.mode,
-            forward: config
-                .interprocedural
-                .then_some((config.jump_function, config.solver)),
+            forward: config.interprocedural.then_some((
+                config.jump_function,
+                config.solver,
+                config.branch_feasibility,
+            )),
         };
         let hit = self.store.substs.read().unwrap().get(&key).cloned();
         if let Some(counts) = hit {
@@ -1512,9 +1521,11 @@ impl AnalysisSession {
             gsa: config.gsa,
             mode: call_sym_mode(config),
             rjf: config.return_jump_functions,
-            forward: config
-                .interprocedural
-                .then_some((config.jump_function, config.solver)),
+            forward: config.interprocedural.then_some((
+                config.jump_function,
+                config.solver,
+                config.branch_feasibility,
+            )),
         };
         let hit = self.store.countings.read().unwrap().get(&key).cloned();
         if let Some(cached) = hit {
@@ -1691,6 +1702,7 @@ main\ncall f(0)\nend\n";
             solver: SolverKind::BindingGraph,
             ..AnalysisConfig::default()
         });
+        configs.push(AnalysisConfig::conditional());
         configs
     }
 
@@ -1832,6 +1844,7 @@ main\ncall f(0)\nend\n";
                 rjf_full_composition: true,
                 ..AnalysisConfig::default()
             },
+            AnalysisConfig::conditional(),
         ];
         for src in [OCEAN_LIKE, DEAD_GUARD] {
             let program = ipcp_ir::compile_to_ir(src).unwrap();

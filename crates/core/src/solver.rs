@@ -11,15 +11,17 @@
 //! terminates; the paper reports the same scheme "converged quickly".
 
 use crate::forward::ForwardJumpFns;
-use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Phase, Slot};
+use crate::framework::{solve_value_contexts, DataflowProblem, EdgeSink, EngineOutcome};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Slot};
 use ipcp_ir::{ProcId, Program, VarKind};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// The solver's result: per-procedure `VAL` sets.
 #[derive(Debug, Clone)]
 pub struct ValSets {
     vals: Vec<BTreeMap<Slot, LatticeVal>>,
     iterations: usize,
+    pruned: usize,
 }
 
 impl ValSets {
@@ -51,9 +53,108 @@ impl ValSets {
         self.iterations
     }
 
+    /// Call edges pruned as infeasible by conditional propagation
+    /// (always 0 for the unconditional solvers).
+    pub fn pruned_call_edges(&self) -> usize {
+        self.pruned
+    }
+
     /// Assembles a result (used by the alternative solver formulations).
     pub(crate) fn from_parts(vals: Vec<BTreeMap<Slot, LatticeVal>>, iterations: usize) -> ValSets {
-        ValSets { vals, iterations }
+        ValSets {
+            vals,
+            iterations,
+            pruned: 0,
+        }
+    }
+
+    /// Assembles a result from a generic-engine outcome.
+    pub(crate) fn from_engine(outcome: EngineOutcome<LatticeVal>) -> ValSets {
+        ValSets {
+            vals: outcome.contexts,
+            iterations: outcome.iterations,
+            pruned: outcome.pruned_edges,
+        }
+    }
+}
+
+/// The paper's interprocedural constant propagation as a
+/// [`DataflowProblem`]: the Figure-1 lattice over `VAL` contexts
+/// (formals + transitively-touched globals), forward jump functions as
+/// the call-edge transfers, and global initializers seeding `main`.
+pub(crate) struct ConstProp<'a> {
+    pub program: &'a Program,
+    pub cg: &'a CallGraph,
+    pub modref: &'a ModRefInfo,
+    pub jfs: &'a ForwardJumpFns,
+}
+
+impl DataflowProblem for ConstProp<'_> {
+    type Value = LatticeVal;
+
+    fn top(&self) -> LatticeVal {
+        LatticeVal::Top
+    }
+
+    fn bottom(&self) -> LatticeVal {
+        LatticeVal::Bottom
+    }
+
+    fn meet(&self, a: LatticeVal, b: LatticeVal) -> LatticeVal {
+        a.meet(b)
+    }
+
+    fn missing_value(&self) -> LatticeVal {
+        LatticeVal::Bottom
+    }
+
+    fn context_slots(&self, program: &Program, p: ProcId) -> Vec<Slot> {
+        self.modref.param_slots(program, p)
+    }
+
+    fn root_value(&self, program: &Program, slot: Slot) -> LatticeVal {
+        // Global initializers are constants, uninitialized globals are ⊥
+        // (FORTRAN-undefined). Main has no formals; anything else stays ⊤.
+        match slot {
+            Slot::Global(g) => match program.global(g).init {
+                Some(c) => LatticeVal::Const(c),
+                None => LatticeVal::Bottom,
+            },
+            _ => LatticeVal::Top,
+        }
+    }
+
+    fn seeded(&self, p: ProcId) -> bool {
+        self.cg.is_reachable(p)
+    }
+
+    fn site_count(&self, p: ProcId) -> usize {
+        self.jfs.sites(p).len()
+    }
+
+    fn site_target(&self, p: ProcId, s: usize) -> Option<ProcId> {
+        let site = &self.jfs.sites(p)[s];
+        site.reachable.then_some(site.callee)
+    }
+
+    fn eval_edge(&self, p: ProcId, s: usize, sink: &mut dyn EdgeSink<LatticeVal>) {
+        for (&slot, jf) in &self.jfs.sites(p)[s].jfs {
+            let incoming = jf.eval_lattice(&|sl| sink.caller_value(sl));
+            sink.meet_into(slot, incoming, jf);
+        }
+    }
+
+    fn proc_name(&self, p: ProcId) -> &str {
+        &self.program.proc(p).name
+    }
+
+    fn slot_name(&self, q: ProcId, slot: Slot) -> String {
+        crate::report::slot_name(self.program, q, slot)
+    }
+
+    fn site_label(&self, p: ProcId, s: usize) -> String {
+        let cs = &self.cg.sites(p)[s];
+        format!("b{}#{}", cs.block.index(), cs.index)
     }
 }
 
@@ -89,6 +190,11 @@ pub fn solve_budgeted(
 /// caller, call site, and the jump function whose evaluation forced the
 /// meet. With a disabled sink this *is* `solve_budgeted` (one shared
 /// code path), so results and fuel draw are identical bytes.
+///
+/// This is the [`ConstProp`] problem run through the generic
+/// value-context engine ([`crate::framework::solve_value_contexts`]);
+/// the bespoke worklist loop it replaced is bit-identical to the
+/// engine's.
 pub fn solve_traced(
     program: &Program,
     cg: &CallGraph,
@@ -97,105 +203,13 @@ pub fn solve_traced(
     budget: &Budget,
     sink: &dyn ipcp_obs::ObsSink,
 ) -> ValSets {
-    let n = program.procs.len();
-    let mut vals: Vec<BTreeMap<Slot, LatticeVal>> = Vec::with_capacity(n);
-    for pid in program.proc_ids() {
-        let mut map = BTreeMap::new();
-        for slot in modref.param_slots(program, pid) {
-            map.insert(slot, LatticeVal::Top);
-        }
-        vals.push(map);
-    }
-
-    // Seed main's entry environment: global initializers are constants,
-    // uninitialized globals are ⊥ (FORTRAN-undefined). Main has no formals.
-    let main = program.main;
-    let main_slots: Vec<Slot> = vals[main.index()].keys().copied().collect();
-    for slot in main_slots {
-        if let Slot::Global(g) = slot {
-            let v = match program.global(g).init {
-                Some(c) => LatticeVal::Const(c),
-                None => LatticeVal::Bottom,
-            };
-            vals[main.index()].insert(slot, v);
-        }
-    }
-
-    // Seed the worklist with every procedure reachable from main (main
-    // first): a procedure's call sites must be evaluated at least once
-    // even if its own VAL set never changes (e.g. it has no slots at all).
-    let mut queued = vec![false; n];
-    let mut work: VecDeque<ProcId> = VecDeque::new();
-    work.push_back(main);
-    queued[main.index()] = true;
-    for pid in program.proc_ids() {
-        if cg.is_reachable(pid) && !queued[pid.index()] {
-            queued[pid.index()] = true;
-            work.push_back(pid);
-        }
-    }
-
-    let mut iterations = 0usize;
-    while let Some(p) = work.pop_front() {
-        if !budget.checkpoint(Phase::Solver, 1) {
-            budget.record_degradation(Phase::Solver);
-            for map in &mut vals {
-                for v in map.values_mut() {
-                    *v = LatticeVal::Bottom;
-                }
-            }
-            break;
-        }
-        queued[p.index()] = false;
-        iterations += 1;
-
-        for (site_index, site) in jfs.sites(p).iter().enumerate() {
-            if !site.reachable {
-                continue;
-            }
-            let q = site.callee;
-            for (&slot, jf) in &site.jfs {
-                let env = |s: Slot| -> LatticeVal {
-                    debug_assert!(
-                        vals[p.index()].contains_key(&s) || matches!(s, Slot::Result),
-                        "jump function support slot {s} missing from caller {}",
-                        program.proc(p).name
-                    );
-                    vals[p.index()]
-                        .get(&s)
-                        .copied()
-                        .unwrap_or(LatticeVal::Bottom)
-                };
-                let incoming = jf.eval_lattice(&env);
-                let old = vals[q.index()]
-                    .get(&slot)
-                    .copied()
-                    .unwrap_or(LatticeVal::Top);
-                let new = old.meet(incoming);
-                if new != old {
-                    if sink.enabled() {
-                        let cs = &cg.sites(p)[site_index];
-                        sink.transition(ipcp_obs::TransitionEvent {
-                            callee: program.proc(q).name.clone(),
-                            slot: crate::report::slot_name(program, q, slot),
-                            caller: program.proc(p).name.clone(),
-                            site: format!("b{}#{}", cs.block.index(), cs.index),
-                            jump_fn: jf.to_string(),
-                            from: old.to_string(),
-                            to: new.to_string(),
-                        });
-                    }
-                    vals[q.index()].insert(slot, new);
-                    if !queued[q.index()] {
-                        queued[q.index()] = true;
-                        work.push_back(q);
-                    }
-                }
-            }
-        }
-    }
-
-    ValSets { vals, iterations }
+    let problem = ConstProp {
+        program,
+        cg,
+        modref,
+        jfs,
+    };
+    ValSets::from_engine(solve_value_contexts(program, &problem, budget, sink))
 }
 
 /// Builds a per-variable entry environment for SCCP from a procedure's
@@ -236,7 +250,7 @@ mod tests {
     use crate::jump::JumpFunctionKind;
     use crate::retjf::{build_return_jfs, RjfConstEval};
     use ipcp_analysis::symeval::NoCallSymbolics;
-    use ipcp_analysis::{augment_global_vars, compute_modref, ModKills};
+    use ipcp_analysis::{augment_global_vars, compute_modref, ModKills, Phase};
     use ipcp_ir::compile_to_ir;
 
     fn run(src: &str, kind: JumpFunctionKind, rjf: bool) -> (Program, ValSets) {

@@ -16,7 +16,12 @@
 //! 2. **Metamorphic (precision monotonicity)**: raising the
 //!    jump-function level along the paper's ladder (Literal ⊆ Intra ⊆
 //!    Pass ⊆ Poly) must never lose a proven constant and never change
-//!    program output.
+//!    program output. Conditional propagation (`cond`, layered on
+//!    Poly) is held to a per-procedure variant of the same rule: it may
+//!    prove every incoming edge of a procedure infeasible — dropping
+//!    *all* of that procedure's constants at once — but any procedure
+//!    where it keeps a constant must preserve every Poly constant with
+//!    an identical value.
 //!
 //! Failing programs are reduced by a greedy line-removal shrinker and
 //! written to a corpus directory as self-describing `.mf` repros that
@@ -45,6 +50,60 @@ pub struct FuzzCase {
     pub input: Vec<i64>,
 }
 
+/// One precision level of the fuzzing ladder: the paper's four forward
+/// jump-function kinds plus conditional propagation (`cond`), which
+/// layers interprocedural branch feasibility on polynomial jump
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzLevel {
+    /// A plain forward jump-function level.
+    Forward(JumpFunctionKind),
+    /// Conditional constant propagation (`--level cond`).
+    Conditional,
+}
+
+impl FuzzLevel {
+    /// The four forward levels in increasing precision order — the
+    /// default campaign ladder.
+    pub const FORWARD: [FuzzLevel; 4] = [
+        FuzzLevel::Forward(JumpFunctionKind::Literal),
+        FuzzLevel::Forward(JumpFunctionKind::IntraproceduralConstant),
+        FuzzLevel::Forward(JumpFunctionKind::PassThrough),
+        FuzzLevel::Forward(JumpFunctionKind::Polynomial),
+    ];
+
+    /// Every level, conditional propagation included.
+    pub const ALL: [FuzzLevel; 5] = [
+        FuzzLevel::Forward(JumpFunctionKind::Literal),
+        FuzzLevel::Forward(JumpFunctionKind::IntraproceduralConstant),
+        FuzzLevel::Forward(JumpFunctionKind::PassThrough),
+        FuzzLevel::Forward(JumpFunctionKind::Polynomial),
+        FuzzLevel::Conditional,
+    ];
+
+    /// The stable name used in reports, repro headers, and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzLevel::Forward(JumpFunctionKind::Literal) => "literal",
+            FuzzLevel::Forward(JumpFunctionKind::IntraproceduralConstant) => "intra",
+            FuzzLevel::Forward(JumpFunctionKind::PassThrough) => "pass",
+            FuzzLevel::Forward(JumpFunctionKind::Polynomial) => "poly",
+            FuzzLevel::Conditional => "cond",
+        }
+    }
+
+    /// The analysis configuration this level runs under.
+    pub fn config(self) -> AnalysisConfig {
+        match self {
+            FuzzLevel::Forward(kind) => AnalysisConfig {
+                jump_function: kind,
+                ..AnalysisConfig::default()
+            },
+            FuzzLevel::Conditional => AnalysisConfig::conditional(),
+        }
+    }
+}
+
 /// Fuzzing campaign configuration.
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
@@ -55,8 +114,8 @@ pub struct FuzzConfig {
     pub seed: u64,
     /// Worker threads for the iteration fan-out.
     pub jobs: usize,
-    /// Jump-function levels to check, in increasing precision order.
-    pub levels: Vec<JumpFunctionKind>,
+    /// Precision levels to check, in increasing precision order.
+    pub levels: Vec<FuzzLevel>,
     /// Where minimized repros are written (`None` disables writing).
     pub corpus_dir: Option<PathBuf>,
     /// Interpreter step budget per run.
@@ -71,7 +130,7 @@ impl Default for FuzzConfig {
             iters: 100,
             seed: 1993,
             jobs: 1,
-            levels: JumpFunctionKind::ALL.to_vec(),
+            levels: FuzzLevel::FORWARD.to_vec(),
             corpus_dir: None,
             max_steps: 2_000_000,
             shrink_budget: 2_000,
@@ -169,15 +228,6 @@ pub enum CheckOutcome {
     },
 }
 
-fn level_name(kind: JumpFunctionKind) -> &'static str {
-    match kind {
-        JumpFunctionKind::Literal => "literal",
-        JumpFunctionKind::IntraproceduralConstant => "intra",
-        JumpFunctionKind::PassThrough => "pass",
-        JumpFunctionKind::Polynomial => "poly",
-    }
-}
-
 fn trap_class(e: &InterpError) -> &'static str {
     match e {
         InterpError::DivByZero => "div-by-zero",
@@ -216,7 +266,7 @@ fn render_behavior(r: &Result<Vec<Value>, InterpError>) -> String {
 pub fn check_case(
     source: &str,
     input: &[i64],
-    levels: &[JumpFunctionKind],
+    levels: &[FuzzLevel],
     max_steps: u64,
 ) -> CheckOutcome {
     let program = match ipcp_ir::compile_to_ir(source) {
@@ -239,10 +289,7 @@ pub fn check_case(
     // ---- differential oracle -------------------------------------------
     for &level in levels {
         let config = OptimizeConfig {
-            analysis: AnalysisConfig {
-                jump_function: level,
-                ..AnalysisConfig::default()
-            },
+            analysis: level.config(),
             clone_procedures: false,
             max_rounds: 8,
         };
@@ -253,7 +300,7 @@ pub fn check_case(
         if got != base {
             return CheckOutcome::Fail {
                 oracle: "differential".into(),
-                level: level_name(level).into(),
+                level: level.name().into(),
                 detail: format!(
                     "before: {} / after: {}",
                     render_behavior(&base),
@@ -268,34 +315,36 @@ pub fn check_case(
     // equality across levels is already transitively covered above).
     let outcomes: Vec<_> = levels
         .iter()
-        .map(|&level| {
-            analyze(
-                &program,
-                &AnalysisConfig {
-                    jump_function: level,
-                    ..AnalysisConfig::default()
-                },
-            )
-        })
+        .map(|&level| analyze(&program, &level.config()))
         .collect();
-    for pair in outcomes.windows(2) {
+    for (w, pair) in outcomes.windows(2).enumerate() {
         let (lower, higher) = (&pair[0], &pair[1]);
+        let (lo, hi) = (levels[w], levels[w + 1]);
         for (pid, consts) in lower.constants.iter().enumerate() {
+            // Conditional propagation may prove every incoming edge of
+            // a procedure infeasible, legitimately dropping ALL of that
+            // procedure's constants at once (its context stays ⊤). A
+            // procedure that keeps any constant kept feasible incoming
+            // edges, and jump-function monotonicity then guarantees
+            // every lower-level constant survives with an equal value.
+            if hi == FuzzLevel::Conditional
+                && higher.constants[pid].is_empty()
+                && !consts.is_empty()
+            {
+                continue;
+            }
             for (slot, v) in consts {
                 match higher.constants[pid].get(slot) {
                     Some(w) if w == v => {}
                     other => {
-                        let li = levels[outcomes
-                            .iter()
-                            .position(|o| std::ptr::eq(o, lower))
-                            .unwrap_or(0)];
                         return CheckOutcome::Fail {
                             oracle: "monotonic-constants".into(),
-                            level: level_name(li).into(),
+                            level: lo.name().into(),
                             detail: format!(
-                                "proc #{pid} slot {slot:?}: {v} at {} but {:?} one level up",
-                                level_name(li),
-                                other
+                                "proc #{pid} slot {slot:?}: {v} at {} but {:?} at {}",
+                                lo.name(),
+                                other,
+                                hi.name()
                             ),
                         };
                     }
@@ -688,7 +737,7 @@ fn same_failure(outcome: &CheckOutcome, oracle: &str, level: &str) -> bool {
 pub fn shrink(
     source: &str,
     input: &[i64],
-    levels: &[JumpFunctionKind],
+    levels: &[FuzzLevel],
     max_steps: u64,
     oracle: &str,
     level: &str,
@@ -1038,19 +1087,63 @@ mod tests {
     }
 
     #[test]
+    fn cond_ladder_campaign_is_clean() {
+        // The full ladder including conditional propagation: both
+        // oracles (differential at cond, per-procedure monotonicity
+        // poly→cond) must hold over a seeded random campaign.
+        let config = FuzzConfig {
+            iters: 40,
+            seed: 1993,
+            levels: FuzzLevel::ALL.to_vec(),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config, &NoopSink);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn check_case_accepts_an_infeasible_branch_prune() {
+        // `dispatch(1)` makes the else-branch infeasible, so cond
+        // sharpens kernel.k from ⊥ (3 ∧ 9) to Const(3) — strictly more
+        // constants than poly, which the per-procedure metamorphic rule
+        // must accept (and the differential oracle must find sound).
+        let src = "proc kernel(k)\nprint((k + 1))\nend\n\
+                   proc dispatch(mode)\nif (mode == 1) then\ncall kernel(3)\n\
+                   else\ncall kernel(9)\nend\nend\n\
+                   main\ncall dispatch(1)\nend\n";
+        assert_eq!(
+            check_case(src, &[], &FuzzLevel::ALL, 100_000),
+            CheckOutcome::Pass("ok".into())
+        );
+        let program = ipcp_ir::compile_to_ir(src).unwrap();
+        let poly = analyze(
+            &program,
+            &FuzzLevel::Forward(JumpFunctionKind::Polynomial).config(),
+        );
+        let cond = analyze(&program, &FuzzLevel::Conditional.config());
+        let count = |o: &ipcp_core::AnalysisOutcome| -> usize {
+            o.constants
+                .iter()
+                .map(std::collections::BTreeMap::len)
+                .sum()
+        };
+        assert!(count(&cond) > count(&poly), "cond must sharpen dispatch");
+    }
+
+    #[test]
     fn check_case_flags_a_seeded_semantic_break() {
         // Sanity-check the differential oracle itself: a program whose
         // optimized form we corrupt by hand must be flagged. Simulate by
         // checking two different programs through the same comparator.
         let src = "main\nx = 4\nprint((x / 2))\nend\n";
         assert_eq!(
-            check_case(src, &[], &JumpFunctionKind::ALL, 100_000),
+            check_case(src, &[], &FuzzLevel::ALL, 100_000),
             CheckOutcome::Pass("ok".into())
         );
         // And a trap-class baseline is classified, not an error.
         let trap = "main\nread(n)\nprint((1 / n))\nend\n";
         assert_eq!(
-            check_case(trap, &[0], &JumpFunctionKind::ALL, 100_000),
+            check_case(trap, &[0], &FuzzLevel::ALL, 100_000),
             CheckOutcome::Pass("div-by-zero".into())
         );
     }
@@ -1061,20 +1154,12 @@ mod tests {
         // uncompilable program stays uncompilable while irrelevant lines
         // are stripped.
         let src = "main\nx = 1\nprint(x)\ny = (2 +\nend\n";
-        let outcome = check_case(src, &[], &JumpFunctionKind::ALL, 10_000);
+        let outcome = check_case(src, &[], &FuzzLevel::ALL, 10_000);
         assert!(same_failure(&outcome, "generator", "-"), "{outcome:?}");
-        let small = shrink(
-            src,
-            &[],
-            &JumpFunctionKind::ALL,
-            10_000,
-            "generator",
-            "-",
-            500,
-        );
+        let small = shrink(src, &[], &FuzzLevel::ALL, 10_000, "generator", "-", 500);
         assert!(small.lines().count() < src.lines().count());
         assert!(same_failure(
-            &check_case(&small, &[], &JumpFunctionKind::ALL, 10_000),
+            &check_case(&small, &[], &FuzzLevel::ALL, 10_000),
             "generator",
             "-"
         ));

@@ -22,7 +22,7 @@ pub mod stats;
 
 pub use fuzz::{
     check_case, parse_repro_input, random_case, run_fuzz, CheckOutcome, FuzzCase, FuzzConfig,
-    FuzzReport, Violation,
+    FuzzLevel, FuzzReport, Violation,
 };
 pub use gen::{generate, generate_all, GeneratedProgram};
 pub use paper::{paper_row, PaperRow, PaperSizeRow, PAPER_RESULTS, PAPER_SIZES};

@@ -5,6 +5,7 @@
 //! wrapper.
 
 use crate::core::{AnalysisConfig, ExhaustionPolicy, JumpFunctionKind, SolverKind};
+use crate::suite::fuzz::FuzzLevel;
 use std::fmt;
 
 /// A parsed command line.
@@ -37,6 +38,9 @@ pub struct Cli {
     /// Where `fuzz` writes minimized repros (`--corpus-dir`); `None`
     /// reports violations without writing files.
     pub fuzz_corpus_dir: Option<String>,
+    /// Precision ladder `fuzz` checks (from `--level`, which caps the
+    /// ladder at the named level; default: the four forward levels).
+    pub fuzz_levels: Vec<FuzzLevel>,
     /// Persistent artifact cache directory (`--cache-dir`); `None`
     /// leaves the cross-run cache disabled.
     pub cache_dir: Option<String>,
@@ -145,10 +149,21 @@ commands:
   metrics     print Prometheus-style metrics of one traced analysis run
   fuzz        differential fuzzing of the optimizer (no file argument);
               checks semantic preservation at all four jump-function levels
+              (add --level cond to extend the ladder to conditional
+              propagation with its per-procedure monotonicity oracle)
   cache       persistent cache maintenance (no file argument):
               cache <stats|verify|clear> --cache-dir <dir>
 
 options:
+  --level <literal|intra|pass|poly|cond>
+                                  analysis precision level: the four forward
+                                  jump-function kinds, or `cond` = conditional
+                                  constant propagation (polynomial jump
+                                  functions + interprocedural branch
+                                  feasibility; infeasible call edges are
+                                  pruned, sharpening callee constants).
+                                  for `fuzz`, checks the whole ladder up to
+                                  and including the named level
   --jf <literal|intra|pass|poly>  forward jump function kind (default poly)
   --no-rjf                        disable return jump functions
   --no-mod                        drop interprocedural MOD information
@@ -216,6 +231,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut fuzz_iters = 100u64;
     let mut fuzz_seed = 1993u64;
     let mut fuzz_corpus_dir = None;
+    let mut fuzz_levels = FuzzLevel::FORWARD.to_vec();
     let mut cache_dir = None;
     let mut positionals: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
@@ -233,6 +249,31 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                         return Err(UsageError(format!("unknown jump function `{other}`")));
                     }
                 };
+            }
+            "--level" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| UsageError("--level needs a value".into()))?;
+                let level = match name.as_str() {
+                    "literal" => FuzzLevel::Forward(JumpFunctionKind::Literal),
+                    "intra" => FuzzLevel::Forward(JumpFunctionKind::IntraproceduralConstant),
+                    "pass" => FuzzLevel::Forward(JumpFunctionKind::PassThrough),
+                    "poly" => FuzzLevel::Forward(JumpFunctionKind::Polynomial),
+                    "cond" => FuzzLevel::Conditional,
+                    other => {
+                        return Err(UsageError(format!("unknown level `{other}`")));
+                    }
+                };
+                // `--level` reconfigures the analysis for file commands
+                // and caps the fuzzing ladder for `fuzz`.
+                let lcfg = level.config();
+                config.jump_function = lcfg.jump_function;
+                config.branch_feasibility = lcfg.branch_feasibility;
+                let cut = FuzzLevel::ALL
+                    .iter()
+                    .position(|&l| l == level)
+                    .unwrap_or(FuzzLevel::ALL.len() - 1);
+                fuzz_levels = FuzzLevel::ALL[..=cut].to_vec();
             }
             "--no-rjf" => config.return_jump_functions = false,
             "--no-mod" => config.mod_info = false,
@@ -380,6 +421,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         fuzz_iters,
         fuzz_seed,
         fuzz_corpus_dir,
+        fuzz_levels,
         cache_dir,
         cache_action,
     })
@@ -567,6 +609,7 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 iters: cli.fuzz_iters,
                 seed: cli.fuzz_seed,
                 jobs: cli.config.jobs.max(1),
+                levels: cli.fuzz_levels.clone(),
                 corpus_dir: cli.fuzz_corpus_dir.as_ref().map(std::path::PathBuf::from),
                 ..FuzzConfig::default()
             };
@@ -581,9 +624,11 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 }
                 None => run_fuzz(&config, &crate::core::obs::NoopSink),
             };
+            let ladder: Vec<&str> = config.levels.iter().map(|l| l.name()).collect();
             let mut out = format!(
-                "fuzz: seed {} at levels literal/intra/pass/poly\n{}\n",
+                "fuzz: seed {} at levels {}\n{}\n",
                 cli.fuzz_seed,
+                ladder.join("/"),
                 report.summary()
             );
             for v in &report.violations {
@@ -799,6 +844,35 @@ mod tests {
         let out = execute(&cli, PROGRAM).unwrap();
         assert!(out.contains("CONSTANTS(f)"), "{out}");
         assert!(out.contains("a = 5"), "{out}");
+    }
+
+    /// A constant predicate guards a dispatch: only `--level cond` may
+    /// prune the dead call edge and recover the callee constant.
+    const DISPATCH: &str = "proc kernel(k)\n  print((k + 1))\nend\nproc dispatch(mode)\n  if (mode == 1) then\n    call kernel(3)\n  else\n    call kernel(9)\n  end\nend\nmain\n  call dispatch(1)\nend\n";
+
+    #[test]
+    fn execute_analyze_level_cond_prunes_infeasible_edges() {
+        let poly = parse_args(&args(&["analyze", "x.mf", "--level", "poly"])).unwrap();
+        let out = execute(&poly, DISPATCH).unwrap();
+        assert!(!out.contains("CONSTANTS(kernel)"), "{out}");
+        assert!(!out.contains("pruned call edges"), "{out}");
+
+        let cond = parse_args(&args(&["analyze", "x.mf", "--level", "cond"])).unwrap();
+        let out = execute(&cond, DISPATCH).unwrap();
+        assert!(out.contains("CONSTANTS(kernel)"), "{out}");
+        assert!(out.contains("k = 3"), "{out}");
+        assert!(out.contains("pruned call edges: 1"), "{out}");
+    }
+
+    #[test]
+    fn execute_explain_level_cond_justifies_the_surviving_edge() {
+        let cli = parse_args(&args(&[
+            "explain", "x.mf", "kernel", "k", "--level", "cond",
+        ]))
+        .unwrap();
+        let out = execute(&cli, DISPATCH).unwrap();
+        assert!(out.contains("kernel.k = 3"), "{out}");
+        assert!(out.contains("dispatch"), "{out}");
     }
 
     #[test]

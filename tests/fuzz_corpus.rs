@@ -1,10 +1,10 @@
 //! Replays the checked-in fuzz corpus: every minimized repro in
 //! `tests/fuzz-corpus/` must keep passing both semantic-preservation
-//! oracles at all four jump-function levels. A repro that fails here
-//! means a previously fixed optimizer bug has regressed.
+//! oracles at the full precision ladder — the four forward
+//! jump-function levels plus conditional propagation. A repro that
+//! fails here means a previously fixed optimizer bug has regressed.
 
-use ipcp::suite::fuzz::{check_case, parse_repro_input, CheckOutcome};
-use ipcp::JumpFunctionKind;
+use ipcp::suite::fuzz::{check_case, parse_repro_input, CheckOutcome, FuzzLevel};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -27,7 +27,7 @@ fn corpus_replays_clean_at_every_level() {
     for path in entries {
         let text = std::fs::read_to_string(&path).unwrap();
         let input = parse_repro_input(&text);
-        let outcome = check_case(&text, &input, &JumpFunctionKind::ALL, 1_000_000);
+        let outcome = check_case(&text, &input, &FuzzLevel::ALL, 1_000_000);
         match outcome {
             CheckOutcome::Pass(class) => {
                 eprintln!("{}: pass ({class})", path.display());
@@ -35,6 +35,28 @@ fn corpus_replays_clean_at_every_level() {
             other => panic!("{}: {:?}", path.display(), other),
         }
     }
+}
+
+#[test]
+fn corpus_exercises_an_infeasible_branch_prune() {
+    // At least one repro must drive conditional propagation's edge
+    // pruning, so the cond oracle path stays covered on every replay.
+    let text = std::fs::read_to_string(corpus_dir().join("cond-infeasible-branch-prune.mf"))
+        .expect("the cond repro must be checked in");
+    let program = ipcp::ir::compile_to_ir(&text).unwrap();
+    let poly = ipcp::analyze(
+        &program,
+        &FuzzLevel::Forward(ipcp::JumpFunctionKind::Polynomial).config(),
+    );
+    let cond = ipcp::analyze(&program, &FuzzLevel::Conditional.config());
+    assert!(cond.stats.pruned_call_edges > 0, "{:?}", cond.stats);
+    let count = |o: &ipcp::AnalysisOutcome| -> usize { o.constants.iter().map(|m| m.len()).sum() };
+    assert!(
+        count(&cond) > count(&poly),
+        "cond must find strictly more constants: {} vs {}",
+        count(&cond),
+        count(&poly)
+    );
 }
 
 #[test]
@@ -52,9 +74,7 @@ fn corpus_traps_are_the_interesting_ones() {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let input = parse_repro_input(&text);
-        if let CheckOutcome::Pass(class) =
-            check_case(&text, &input, &JumpFunctionKind::ALL, 1_000_000)
-        {
+        if let CheckOutcome::Pass(class) = check_case(&text, &input, &FuzzLevel::ALL, 1_000_000) {
             classes.push(class);
         }
     }

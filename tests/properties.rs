@@ -469,7 +469,11 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
         proptest::bool::ANY,
         proptest::bool::ANY,
         proptest::bool::ANY,
-        (proptest::bool::ANY, proptest::bool::ANY),
+        (
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
         proptest::sample::select(vec![SolverKind::CallGraph, SolverKind::BindingGraph]),
         (
             proptest::sample::select(vec![None, Some(0u64), Some(50), Some(5000)]),
@@ -483,7 +487,7 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
                 mod_info,
                 complete,
                 interprocedural,
-                (compose, gsa),
+                (compose, gsa, branch_feasibility),
                 solver,
                 (fuel, jobs),
             )| {
@@ -496,6 +500,7 @@ fn arb_config() -> impl Strategy<Value = AnalysisConfig> {
                     rjf_full_composition: compose,
                     solver,
                     gsa,
+                    branch_feasibility,
                     jobs,
                     fuel,
                     on_exhausted: ExhaustionPolicy::Degrade,
