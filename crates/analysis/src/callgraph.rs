@@ -42,7 +42,15 @@ impl CallGraph {
         let mut callees: Vec<Vec<ProcId>> = vec![Vec::new(); n];
         let mut callers: Vec<Vec<ProcId>> = vec![Vec::new(); n];
 
+        // Stamp arrays instead of `Vec::contains` scans: at 100k
+        // procedures with wide fan-out the linear dedup is quadratic.
+        // Procedures are visited in id order, so a callee (resp. caller)
+        // edge can only be duplicated within one caller's visit — one
+        // stamp slot per procedure, stamped with the current caller's
+        // id + 1, dedups in O(1) while preserving first-occurrence order.
+        let mut edge_stamp = vec![0u32; n];
         for pid in program.proc_ids() {
+            let stamp = pid.0 + 1;
             let proc = program.proc(pid);
             for b in proc.block_ids() {
                 for (i, instr) in proc.block(b).instrs.iter().enumerate() {
@@ -52,10 +60,9 @@ impl CallGraph {
                             index: i,
                             callee: *callee,
                         });
-                        if !callees[pid.index()].contains(callee) {
+                        if edge_stamp[callee.index()] != stamp {
+                            edge_stamp[callee.index()] = stamp;
                             callees[pid.index()].push(*callee);
-                        }
-                        if !callers[callee.index()].contains(&pid) {
                             callers[callee.index()].push(pid);
                         }
                     }

@@ -33,6 +33,7 @@ pub mod budget;
 pub mod callgraph;
 pub mod codec;
 pub mod dce;
+pub mod dense;
 pub mod lattice;
 pub mod modref;
 pub mod par;
@@ -48,13 +49,14 @@ pub use budget::{
     RobustnessReport,
 };
 pub use callgraph::{CallGraph, CallSite};
+pub use dense::SlotTable;
 pub use lattice::{lattice_binop, lattice_unop, LatticeVal};
 pub use modref::compute_modref_obs;
 pub use modref::{
     augment_global_vars, compute_modref, compute_modref_budgeted, compute_modref_par, slot_of_var,
     ModKills, ModRefInfo, Slot,
 };
-pub use par::{par_map, par_map_obs, scc_waves, Parallelism, PAR_WAVE_MIN};
+pub use par::{par_map, par_map_obs, scc_waves, wave_jobs, Parallelism, PAR_SPAWN_COST_UNITS};
 pub use poly::{Poly, PolyCaps};
 pub use sccp::{
     bottom_entry, sccp, sccp_budgeted, sccp_instrumented, CallLattice, PessimisticCalls,

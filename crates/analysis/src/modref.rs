@@ -249,6 +249,17 @@ fn scc_transitive_step(
         .iter()
         .map(|&p| (p, mods[p.index()].clone(), refs[p.index()].clone()))
         .collect();
+    // Sorted member index: the per-callee `position` scan is quadratic in
+    // the SCC size, which matters for deep recursion towers.
+    let mut member_idx: Vec<(ProcId, usize)> =
+        members.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    member_idx.sort_unstable_by_key(|&(p, _)| p);
+    let find = |c: ProcId| -> Option<usize> {
+        member_idx
+            .binary_search_by_key(&c, |&(p, _)| p)
+            .ok()
+            .map(|k| member_idx[k].1)
+    };
     let mut changed = false;
     for idx in 0..members.len() {
         let pid = members[idx];
@@ -256,11 +267,11 @@ fn scc_transitive_step(
         let (new_mods, new_refs) = transitive_effects(
             proc,
             cg.sites(pid),
-            &|c| match members.iter().position(|&m| m == c) {
+            &|c| match find(c) {
                 Some(j) => local[j].1.clone(),
                 None => mods[c.index()].clone(),
             },
-            &|c| match members.iter().position(|&m| m == c) {
+            &|c| match find(c) {
                 Some(j) => local[j].2.clone(),
                 None => refs[c.index()].clone(),
             },
@@ -308,6 +319,18 @@ pub fn compute_modref_par(
 
     let sccs = cg.sccs();
     let waves = crate::par::scc_waves(cg);
+    // Per-procedure work estimate (≈ instruction visits) for the
+    // cost-based wave gate; computed once, summed per wave below.
+    let est: Vec<u64> = pids
+        .iter()
+        .map(|&pid| {
+            let proc = program.proc(pid);
+            proc.block_ids()
+                .map(|b| proc.block(b).instrs.len() as u64 + 1)
+                .sum::<u64>()
+                .max(1)
+        })
+        .collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -323,11 +346,12 @@ pub fn compute_modref_par(
                     }
                 }
             }
-            let wave_jobs = if wave.len() >= crate::par::PAR_WAVE_MIN {
-                jobs
-            } else {
-                1
-            };
+            let units: u64 = wave
+                .iter()
+                .flat_map(|&si| sccs[si].iter())
+                .map(|&pid| est[pid.index()])
+                .sum();
+            let wave_jobs = crate::par::wave_jobs(jobs, wave.len(), units);
             let results = crate::par::par_map(wave_jobs, wave, |_, &si| {
                 scc_transitive_step(program, cg, &sccs[si], &mods, &refs)
             });

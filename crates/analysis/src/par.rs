@@ -18,10 +18,31 @@
 use crate::callgraph::CallGraph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Minimum wave width worth a fork/join: a thread spawn costs tens of
-/// microseconds, so narrow waves (deep call chains degenerate to one SCC
-/// per level) run inline and only wide levels fan out.
-pub const PAR_WAVE_MIN: usize = 4;
+/// Estimated work units (≈ one instruction visit each) that amortize one
+/// thread spawn: a spawn costs tens of microseconds, an instruction
+/// visit tens of nanoseconds.
+pub const PAR_SPAWN_COST_UNITS: u64 = 2048;
+
+/// Cost-based wave gate: the worker count a wave of `items` units of
+/// estimated work (`est_units`, ≈ instruction visits) should fan out to.
+///
+/// Replaces the old static `PAR_WAVE_MIN = 4` width gate, which
+/// parallelized four one-instruction stubs (pure spawn overhead) and ran
+/// a three-SCC wave of 10k-line procedures inline. The decision is now
+/// work-based: fan out only when every spawned worker can amortize its
+/// own spawn cost ([`PAR_SPAWN_COST_UNITS`]), and never spawn more
+/// workers than items. At 100k-procedure scale nearly every wave clears
+/// the bar, making parallel wave scheduling the default; tiny programs
+/// stay inline and fast. Results are identical either way — the gate
+/// only picks the wall-clock strategy.
+pub fn wave_jobs(jobs: usize, items: usize, est_units: u64) -> usize {
+    let jobs = jobs.max(1).min(items.max(1));
+    if jobs <= 1 {
+        return 1;
+    }
+    let affordable = (est_units / PAR_SPAWN_COST_UNITS).min(jobs as u64) as usize;
+    affordable.max(1)
+}
 
 /// Degree of parallelism for the analysis engine.
 ///

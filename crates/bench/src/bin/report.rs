@@ -28,6 +28,12 @@
 //! twice through the persistent disk cache — once cold (empty cache,
 //! fresh sessions) and once warm (fresh sessions, populated cache) —
 //! assert the substitution totals are bit-identical, and write
+//! Pass `--scale-bench [max_procs]` to instead run the scaling study:
+//! generated programs of 1k/10k/100k procedures (capped at
+//! `max_procs`) analyzed at worker counts {1, 4, 8}, writing
+//! `BENCH_scale.json` with wall-clock, peak RSS, the jump-function
+//! arena high-water mark, and the measured growth exponent between
+//! sizes (which must stay sub-quadratic).
 //! Pass `--framework-bench` to check the generic value-context engine
 //! against the golden pins and the pre-refactor solver loop, writing
 //! `BENCH_framework.json` with the measured overhead (plus the
@@ -383,10 +389,173 @@ fn framework_bench() -> Result<(), String> {
     Ok(())
 }
 
+/// Resets the process's peak-RSS high-water mark so per-run readings
+/// don't just echo the largest earlier run. Best effort: requires Linux
+/// ≥ 4.0; on failure subsequent readings are cumulative (still an upper
+/// bound, and sizes ascend, so the last reading per size is meaningful).
+fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The scaling study (`--scale-bench [max_procs]`): analyze generated
+/// programs of 1k/10k/100k procedures (capped at `max_procs`) at worker
+/// counts {1, 4, 8}, recording wall-clock, peak RSS, the jump-function
+/// arena high-water mark, and the growth exponent between sizes —
+/// written to `BENCH_scale.json`. Substitution totals must be
+/// bit-identical across worker counts; growth at jobs=1 must stay
+/// sub-quadratic (exponent < 2).
+fn scale_bench(max_procs: usize) -> Result<(), String> {
+    const SEED: u64 = 0xC0DE;
+    let sizes: Vec<usize> = [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= max_procs)
+        .collect();
+    if sizes.is_empty() {
+        return Err(format!(
+            "--scale-bench {max_procs}: below the smallest size (1000)"
+        ));
+    }
+    // The default sweep; `IPCP_SCALE_JOBS=1,2` (comma-separated) swaps
+    // in another worker-count list — CI's jobs-2 smoke uses this. The
+    // first entry is the substitution-equality baseline.
+    let jobs_sweep: Vec<usize> = std::env::var("IPCP_SCALE_JOBS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 8]);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let shape = ipcp_suite::ScaleSpec::with_procs(sizes[sizes.len() - 1], SEED);
+    let mut out = format!(
+        "{{\"bench\":\"scale\",\"available_parallelism\":{cores},\
+         \"generator\":{{\"seed\":{SEED},\"tower_height\":{},\"fanout\":{},\"globals\":{}}},\
+         \"sizes\":[",
+        shape.tower_height, shape.fanout, shape.globals
+    );
+    // (size, jobs=1 analysis wall) pairs feeding the growth exponents.
+    let mut seq_walls: Vec<(usize, u128)> = Vec::new();
+    for (i, &procs) in sizes.iter().enumerate() {
+        let spec = ipcp_suite::ScaleSpec::with_procs(procs, SEED);
+        let generated = ipcp_suite::generate_scale(&spec);
+        let start = std::time::Instant::now();
+        let ir = ipcp_ir::compile_to_ir(&generated.source)
+            .map_err(|e| format!("{}: {e:?}", generated.name))?;
+        let compile_us = start.elapsed().as_micros();
+
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"procs\":{procs},\"ir_procs\":{},\"compile_us\":{compile_us},\"runs\":[",
+            ir.procs.len()
+        );
+        // One discarded warm-up analysis per size: the first run over a
+        // fresh program pays allocator growth and first-touch page
+        // faults for the whole working set; without the warm-up that
+        // one-time cost lands on whichever jobs value runs first and
+        // swamps the comparison.
+        {
+            let config = AnalysisConfig::default();
+            let session = AnalysisSession::new(&ir);
+            let _ = session.analyze(&config);
+        }
+        let mut baseline: Option<usize> = None;
+        let mut walls: Vec<u128> = Vec::new();
+        for (j, &jobs) in jobs_sweep.iter().enumerate() {
+            reset_peak_rss();
+            let config = AnalysisConfig {
+                jobs,
+                ..AnalysisConfig::default()
+            };
+            let session = AnalysisSession::new(&ir);
+            let start = std::time::Instant::now();
+            let outcome = session.analyze(&config);
+            let wall_us = start.elapsed().as_micros();
+            let subs = outcome.substitutions.total;
+            match baseline {
+                None => baseline = Some(subs),
+                Some(want) if want == subs => {}
+                Some(want) => {
+                    return Err(format!(
+                        "{procs} procs: jobs={jobs} diverged ({subs} vs {want} substitutions)"
+                    ));
+                }
+            }
+            if jobs == 1 {
+                seq_walls.push((procs, wall_us));
+            }
+            walls.push(wall_us);
+            let peak_kib = ipcp_core::obs::peak_rss_bytes().map_or(0, |b| b / 1024);
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"jobs\":{jobs},\"wall_us\":{wall_us},\"peak_rss_kib\":{peak_kib},\
+                 \"arena_high_water\":{},\"substitutions\":{subs}}}",
+                ipcp_core::arena_high_water()
+            );
+            println!(
+                "scale {procs} procs, jobs={jobs}: {wall_us}us, peak RSS {peak_kib} KiB, \
+                 {subs} substitutions"
+            );
+            if std::env::var_os("IPCP_SCALE_PHASES").is_some() {
+                println!("  phases: {}", session.stats().to_json());
+            }
+        }
+        out.push(']');
+        if let Some(k) = jobs_sweep.iter().position(|&j| j == 4) {
+            let speedup4 = walls[0] as f64 / walls[k].max(1) as f64;
+            let _ = write!(out, ",\"speedup_jobs4\":{speedup4:.2}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"growth_jobs1\":[");
+    for (i, pair) in seq_walls.windows(2).enumerate() {
+        let (size_a, wall_a) = pair[0];
+        let (size_b, wall_b) = pair[1];
+        let exponent =
+            (wall_b as f64 / wall_a.max(1) as f64).ln() / (size_b as f64 / size_a as f64).ln();
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"from_procs\":{size_a},\"to_procs\":{size_b},\"exponent\":{exponent:.3}}}"
+        );
+        println!("scale growth {size_a} -> {size_b} procs: exponent {exponent:.3}");
+        if exponent >= 2.0 {
+            return Err(format!(
+                "super-quadratic growth from {size_a} to {size_b} procs (exponent {exponent:.3})"
+            ));
+        }
+    }
+    out.push_str("]}");
+    write_file("BENCH_scale.json", &out)?;
+    println!(
+        "wrote BENCH_scale.json ({} sizes, jobs {jobs_sweep:?})",
+        sizes.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--framework-bench") {
         return framework_bench();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--scale-bench") {
+        let max_procs = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(100_000);
+        return scale_bench(max_procs);
     }
     if let Some(i) = args.iter().position(|a| a == "--robustness") {
         let fuel = args

@@ -1,0 +1,73 @@
+//! Property pins for the dense-table solver refactor: on random
+//! programs, the flat `SlotTable`-backed engine must be bit-identical to
+//! the pre-flattening map-based loop (the [`ipcp_bench::legacy_solve`]
+//! replica), and full session outcomes must be identical at worker
+//! counts {1, 2, 8}, with and without a fuel budget.
+
+use ipcp_bench::{assert_solver_agreement, legacy_solve, solver_inputs};
+use ipcp_core::{solve, solve_budgeted, AnalysisConfig, AnalysisSession};
+use ipcp_suite::random_case;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn flat_solver_matches_the_map_solver(seed in 0u64..(1u64 << 48)) {
+        let case = random_case(seed);
+        let ir = ipcp_ir::compile_to_ir(&case.source).expect("fuzz cases compile");
+
+        // Solver level: flat tables vs the verbatim map-based loop.
+        let inputs = solver_inputs(&ir, true);
+        let engine = solve(&inputs.program, &inputs.cg, &inputs.modref, &inputs.jfs);
+        let legacy = legacy_solve(&inputs.program, &inputs.cg, &inputs.modref, &inputs.jfs);
+        assert_solver_agreement(&inputs.program, &engine, &legacy);
+
+        // A generously budgeted solve draws fuel but must not change a
+        // single lattice value or iteration.
+        let budget = ipcp_analysis::Budget::with_fuel(1 << 40);
+        let budgeted = solve_budgeted(
+            &inputs.program,
+            &inputs.cg,
+            &inputs.modref,
+            &inputs.jfs,
+            &budget,
+        );
+        assert_solver_agreement(&inputs.program, &budgeted, &legacy);
+    }
+
+    #[test]
+    fn session_outcomes_are_identical_across_worker_counts(seed in 0u64..(1u64 << 48)) {
+        let case = random_case(seed);
+        let ir = ipcp_ir::compile_to_ir(&case.source).expect("fuzz cases compile");
+        for fuel in [None, Some(1u64 << 34)] {
+            let base = AnalysisConfig {
+                jobs: 1,
+                fuel,
+                ..AnalysisConfig::default()
+            };
+            let want = AnalysisSession::new(&ir).analyze(&base);
+            for jobs in [2usize, 8] {
+                let config = AnalysisConfig { jobs, ..base };
+                let got = AnalysisSession::new(&ir).analyze(&config);
+                prop_assert_eq!(&got.program, &want.program, "jobs={} fuel={:?}", jobs, fuel);
+                prop_assert_eq!(&got.constants, &want.constants, "jobs={} fuel={:?}", jobs, fuel);
+                prop_assert_eq!(
+                    &got.substitutions,
+                    &want.substitutions,
+                    "jobs={} fuel={:?}",
+                    jobs,
+                    fuel
+                );
+                prop_assert_eq!(&got.stats, &want.stats, "jobs={} fuel={:?}", jobs, fuel);
+                prop_assert_eq!(
+                    &got.robustness,
+                    &want.robustness,
+                    "jobs={} fuel={:?}",
+                    jobs,
+                    fuel
+                );
+            }
+        }
+    }
+}

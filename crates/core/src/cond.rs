@@ -121,6 +121,7 @@ pub fn solve_cond_traced(
         kills,
         calls,
         ssa_cache: RefCell::new(vec![None; program.procs.len()]),
+        slots_cache: RefCell::new(vec![None; program.procs.len()]),
         feasibility: RefCell::new(HashMap::new()),
     };
     ValSets::from_engine(solve_value_contexts(program, &problem, budget, sink))
@@ -139,10 +140,23 @@ struct CondProp<'a> {
     /// SSA per procedure, built lazily (feasibility only needs the
     /// procedures the solver actually pops).
     ssa_cache: RefCell<Vec<Option<Rc<SsaProc>>>>,
+    /// Context slots per procedure, built lazily: [`site_feasible`]
+    /// (DataflowProblem::site_feasible) runs on every call-site visit and
+    /// recomputing the slot universe each time is a hot-path allocation.
+    slots_cache: RefCell<Vec<Option<Rc<Vec<Slot>>>>>,
     feasibility: RefCell<FeasibilityMemo>,
 }
 
 impl CondProp<'_> {
+    fn slots_of(&self, p: ProcId) -> Rc<Vec<Slot>> {
+        let mut cache = self.slots_cache.borrow_mut();
+        let entry = &mut cache[p.index()];
+        if entry.is_none() {
+            *entry = Some(Rc::new(self.base.context_slots(self.base.program, p)));
+        }
+        Rc::clone(entry.as_ref().expect("just built"))
+    }
+
     fn ssa_of(&self, p: ProcId) -> Rc<SsaProc> {
         let mut cache = self.ssa_cache.borrow_mut();
         let entry = &mut cache[p.index()];
@@ -254,7 +268,7 @@ impl DataflowProblem for CondProp<'_> {
     }
 
     fn site_feasible(&self, p: ProcId, s: usize, env: &dyn Fn(Slot) -> LatticeVal) -> bool {
-        let slots = self.base.context_slots(self.base.program, p);
+        let slots = self.slots_of(p);
         let key: Vec<LatticeVal> = slots.iter().map(|&sl| env(sl)).collect();
         let flags = self.feasible_sites(p, &slots, key);
         flags.get(s).copied().unwrap_or(true)

@@ -173,8 +173,9 @@ pub struct PhaseStats {
 pub struct AnalysisOutcome {
     /// The analyzed program (transformed when complete propagation ran).
     pub program: Program,
-    /// `CONSTANTS(p)` per procedure (empty maps for the intraprocedural
-    /// baseline).
+    /// `CONSTANTS(p)` per procedure. Empty (zero-length) for the
+    /// intraprocedural baseline — no per-procedure placeholder maps are
+    /// materialized; index through [`AnalysisOutcome::constants_of`].
     pub constants: Vec<BTreeMap<Slot, i64>>,
     /// Substitution counts — the study's effectiveness metric.
     pub substitutions: SubstitutionCounts,
@@ -186,11 +187,22 @@ pub struct AnalysisOutcome {
     pub robustness: RobustnessReport,
 }
 
+/// The shared empty `CONSTANTS` set returned for baseline outcomes —
+/// one static map instead of one placeholder per procedure.
+static NO_CONSTANTS: BTreeMap<Slot, i64> = BTreeMap::new();
+
 impl AnalysisOutcome {
     /// Total number of interprocedural constants across all `CONSTANTS`
     /// sets.
     pub fn constant_slot_count(&self) -> usize {
         self.constants.iter().map(BTreeMap::len).sum()
+    }
+
+    /// `CONSTANTS(p)`: the procedure's entry in [`Self::constants`], or
+    /// the shared empty set when the run tracked none (intraprocedural
+    /// baseline).
+    pub fn constants_of(&self, p: ipcp_ir::ProcId) -> &BTreeMap<Slot, i64> {
+        self.constants.get(p.index()).unwrap_or(&NO_CONSTANTS)
     }
 }
 
@@ -422,7 +434,7 @@ pub fn analyze_with_budget_reference(
 
         let constants: Vec<BTreeMap<Slot, i64>> = match vals.as_ref() {
             Some(v) => program.proc_ids().map(|p| v.constants(p)).collect(),
-            None => vec![BTreeMap::new(); program.procs.len()],
+            None => Vec::new(),
         };
 
         // Complete propagation substitutes into the *original* source:

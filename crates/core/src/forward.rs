@@ -20,10 +20,9 @@
 use crate::framework::{run_budgeted_pass, BudgetedProcPass, Rung};
 use crate::jump::{JumpFn, JumpFunctionKind};
 use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, SymEvalOptions};
-use ipcp_analysis::{Budget, CallGraph, ModRefInfo, Phase, Slot};
+use ipcp_analysis::{Budget, CallGraph, ModRefInfo, Phase, Slot, SlotTable};
 use ipcp_ir::{ProcId, Program, VarKind};
 use ipcp_ssa::{build_ssa, KillOracle, SsaInstr, SsaOperand};
-use std::collections::BTreeMap;
 
 /// Jump functions of one call site.
 #[derive(Debug, Clone)]
@@ -33,8 +32,10 @@ pub struct SiteJumpFns {
     /// Whether the site sits in CFG-reachable code; unreachable sites
     /// never propagate.
     pub reachable: bool,
-    /// Callee slot → jump function over the *caller's* entry slots.
-    pub jfs: BTreeMap<Slot, JumpFn>,
+    /// Callee slot → jump function over the *caller's* entry slots —
+    /// a dense table: slots and jump functions in two contiguous,
+    /// slot-ordered vectors instead of a map of heap nodes.
+    pub jfs: SlotTable<JumpFn>,
 }
 
 /// Forward jump functions for every call site of every procedure,
@@ -324,7 +325,7 @@ pub(crate) fn site_jfs_for_proc(
             sites.push(SiteJumpFns {
                 callee: site.callee,
                 reachable: false,
-                jfs: BTreeMap::new(),
+                jfs: SlotTable::new(),
             });
             continue;
         };
@@ -339,7 +340,7 @@ pub(crate) fn site_jfs_for_proc(
         };
         debug_assert_eq!(*callee, site.callee);
 
-        let mut jfs = BTreeMap::new();
+        let mut jfs = SlotTable::new();
         for slot in modref.param_slots(program, site.callee) {
             let jf = match slot {
                 Slot::Formal(k) => {
@@ -402,7 +403,7 @@ pub fn build_literal_jfs_fast(
                 sites.push(SiteJumpFns {
                     callee: site.callee,
                     reachable: false,
-                    jfs: BTreeMap::new(),
+                    jfs: SlotTable::new(),
                 });
                 continue;
             }
@@ -410,7 +411,7 @@ pub fn build_literal_jfs_fast(
             else {
                 unreachable!("call site indexes a call instruction");
             };
-            let mut jfs = BTreeMap::new();
+            let mut jfs = SlotTable::new();
             for slot in modref.param_slots(program, site.callee) {
                 let jf = match slot {
                     Slot::Formal(k) => match args.get(k as usize) {

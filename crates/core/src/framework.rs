@@ -32,9 +32,9 @@
 //! observability events (`crates/bench/tests/framework_golden.rs` pins
 //! all 72 Table-2 cells through this engine).
 
-use ipcp_analysis::{Budget, Phase, Slot};
+use ipcp_analysis::{Budget, Phase, Slot, SlotTable};
 use ipcp_ir::{ProcId, Program};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The mutable engine state a problem's edge transfer evaluates against.
@@ -136,8 +136,10 @@ pub trait DataflowProblem {
 /// counters.
 #[derive(Debug, Clone)]
 pub struct EngineOutcome<V> {
-    /// Per-procedure contexts, indexed by [`ProcId`].
-    pub contexts: Vec<BTreeMap<Slot, V>>,
+    /// Per-procedure contexts, indexed by [`ProcId`] — dense slot
+    /// tables, iterated in the same ascending slot order as the
+    /// `BTreeMap`s they replaced.
+    pub contexts: Vec<SlotTable<V>>,
     /// Worklist pops taken (the solver's cost proxy).
     pub iterations: usize,
     /// Call-edge visits skipped by [`DataflowProblem::site_feasible`].
@@ -149,7 +151,7 @@ pub struct EngineOutcome<V> {
 /// sink.
 struct EngineState<'a, P: DataflowProblem> {
     problem: &'a P,
-    contexts: &'a mut Vec<BTreeMap<Slot, P::Value>>,
+    contexts: &'a mut Vec<SlotTable<P::Value>>,
     queued: &'a mut Vec<bool>,
     work: &'a mut VecDeque<ProcId>,
     sink: &'a dyn ipcp_obs::ObsSink,
@@ -216,13 +218,12 @@ pub fn solve_value_contexts<P: DataflowProblem>(
     sink: &dyn ipcp_obs::ObsSink,
 ) -> EngineOutcome<P::Value> {
     let n = program.procs.len();
-    let mut contexts: Vec<BTreeMap<Slot, P::Value>> = Vec::with_capacity(n);
+    let mut contexts: Vec<SlotTable<P::Value>> = Vec::with_capacity(n);
     for pid in program.proc_ids() {
-        let mut map = BTreeMap::new();
-        for slot in problem.context_slots(program, pid) {
-            map.insert(slot, problem.top());
-        }
-        contexts.push(map);
+        contexts.push(SlotTable::from_universe(
+            problem.context_slots(program, pid),
+            problem.top(),
+        ));
     }
 
     // Seed the root's context: it has no incoming edges, so its values

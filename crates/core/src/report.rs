@@ -29,7 +29,7 @@ pub fn constants_to_string(outcome: &AnalysisOutcome) -> String {
     let program = &outcome.program;
     let mut out = String::new();
     for pid in program.proc_ids() {
-        let consts = &outcome.constants[pid.index()];
+        let consts = outcome.constants_of(pid);
         if consts.is_empty() {
             continue;
         }

@@ -19,18 +19,24 @@
 //! extension toggle in the driver.
 
 use crate::framework::{run_budgeted_pass, BudgetedProcPass, Rung};
-use crate::jump::{JumpFn, JumpFunctionKind};
+use crate::jump::{JumpFn, JumpFnArena, JumpFnRef, JumpFunctionKind};
 use ipcp_analysis::symeval::{symbolic_eval_budgeted, CallSymbolics, Sym, SymEvalOptions};
-use ipcp_analysis::{Budget, CallGraph, LatticeVal, Phase, Slot};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, Phase, Slot, SlotTable};
 use ipcp_ir::{GlobalId, ProcId, Program};
 use ipcp_ssa::{build_ssa, KillOracle, SsaTerminator};
 use std::collections::BTreeMap;
 
 /// Return jump functions of every procedure, keyed by slot and expressed
 /// over the owning procedure's entry slots.
+///
+/// Storage is arena-flat: every jump function of the table lives in one
+/// [`JumpFnArena`] slab, and the per-procedure tables are dense
+/// [`SlotTable`]s of [`JumpFnRef`] index handles — two contiguous
+/// allocations per procedure instead of a `BTreeMap` of heap nodes.
 #[derive(Debug, Clone, Default)]
 pub struct ReturnJumpFns {
-    per_proc: Vec<BTreeMap<Slot, JumpFn>>,
+    arena: JumpFnArena,
+    per_proc: Vec<SlotTable<JumpFnRef>>,
 }
 
 impl ReturnJumpFns {
@@ -38,18 +44,24 @@ impl ReturnJumpFns {
     /// every lookup misses, so every call effect is ⊥).
     pub fn empty(proc_count: usize) -> Self {
         ReturnJumpFns {
-            per_proc: vec![BTreeMap::new(); proc_count],
+            arena: JumpFnArena::new(),
+            per_proc: vec![SlotTable::new(); proc_count],
         }
     }
 
     /// The return jump function of `(p, slot)`, if one was built.
     pub fn get(&self, p: ProcId, slot: Slot) -> Option<&JumpFn> {
-        self.per_proc.get(p.index()).and_then(|m| m.get(&slot))
+        self.per_proc
+            .get(p.index())
+            .and_then(|m| m.get(&slot))
+            .map(|&r| self.arena.get(r))
     }
 
     /// Iterates over the slots of `p` with return jump functions.
     pub fn slots(&self, p: ProcId) -> impl Iterator<Item = (&Slot, &JumpFn)> {
-        self.per_proc[p.index()].iter()
+        self.per_proc[p.index()]
+            .iter()
+            .map(|(s, &r)| (s, self.arena.get(r)))
     }
 
     /// Total number of non-⊥ return jump functions.
@@ -57,14 +69,17 @@ impl ReturnJumpFns {
         self.per_proc
             .iter()
             .flat_map(|m| m.values())
-            .filter(|jf| !jf.is_bottom())
+            .filter(|&&r| !self.arena.get(r).is_bottom())
             .count()
     }
 
     /// Installs the slot table of `p` (used by the session when it
     /// assembles a table from cached per-procedure pieces).
     pub(crate) fn set_proc(&mut self, p: ProcId, map: BTreeMap<Slot, JumpFn>) {
-        self.per_proc[p.index()] = map;
+        self.per_proc[p.index()] = map
+            .into_iter()
+            .map(|(s, jf)| (s, self.arena.alloc(jf)))
+            .collect();
     }
 
     /// Records table-shape counters (slot totals per jump-function form)
@@ -74,7 +89,12 @@ impl ReturnJumpFns {
             return;
         }
         let (mut consts, mut pass, mut exprs, mut bottoms) = (0u64, 0u64, 0u64, 0u64);
-        for jf in self.per_proc.iter().flat_map(|m| m.values()) {
+        for jf in self
+            .per_proc
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|&r| self.arena.get(r))
+        {
             match jf {
                 JumpFn::Const(_) => consts += 1,
                 JumpFn::PassThrough(_) => pass += 1,
@@ -196,13 +216,13 @@ impl BudgetedProcPass for RjfPass<'_> {
 pub(crate) fn build_rjf_for_proc(
     program: &Program,
     pid: ProcId,
-    rjfs: &ReturnJumpFns,
+    rjfs: &dyn RjfSource,
     ssa: &ipcp_ssa::SsaProc,
     options: SymEvalOptions,
     budget: &Budget,
 ) -> BTreeMap<Slot, JumpFn> {
     let proc = program.proc(pid);
-    let composer = RjfComposer { rjfs };
+    let composer = SourceComposer { src: rjfs };
     let sym = symbolic_eval_budgeted(proc, ssa, &composer, options, budget);
 
     // Meet the exit snapshots of every reachable return.
@@ -265,6 +285,54 @@ pub(crate) fn build_rjf_for_proc(
     map
 }
 
+/// A return-jump-function lookup source: the complete shared table, or a
+/// copy-free SCC overlay layered on top of it.
+pub(crate) trait RjfSource: Sync {
+    /// The return jump function of `(p, slot)`, if one was built.
+    fn lookup(&self, p: ProcId, slot: Slot) -> Option<&JumpFn>;
+}
+
+impl RjfSource for ReturnJumpFns {
+    fn lookup(&self, p: ProcId, slot: Slot) -> Option<&JumpFn> {
+        self.get(p, slot)
+    }
+}
+
+/// A recursive SCC's private view of the table under construction:
+/// entries of members already processed this SCC shadow the shared base.
+/// Lookups scan the (SCC-sized) local list first — the base is never
+/// cloned, so building an SCC costs O(SCC), not O(program).
+pub(crate) struct SccOverlay<'a> {
+    base: &'a ReturnJumpFns,
+    local: Vec<(ProcId, BTreeMap<Slot, JumpFn>)>,
+}
+
+impl<'a> SccOverlay<'a> {
+    /// An overlay with no local entries yet.
+    pub(crate) fn new(base: &'a ReturnJumpFns) -> Self {
+        SccOverlay {
+            base,
+            local: Vec::new(),
+        }
+    }
+
+    /// Records `p`'s freshly built table; later members see it.
+    pub(crate) fn push(&mut self, p: ProcId, map: BTreeMap<Slot, JumpFn>) {
+        self.local.push((p, map));
+    }
+}
+
+impl RjfSource for SccOverlay<'_> {
+    fn lookup(&self, p: ProcId, slot: Slot) -> Option<&JumpFn> {
+        for (member, map) in &self.local {
+            if *member == p {
+                return map.get(&slot);
+            }
+        }
+        self.base.get(p, slot)
+    }
+}
+
 /// Full symbolic composition of return jump functions into a caller's
 /// value numbering — used while *generating* the caller's own return jump
 /// functions ("to expose as many return jump functions as possible in the
@@ -283,24 +351,55 @@ impl CallSymbolics for RjfComposer<'_> {
         arg_sym: &dyn Fn(u32) -> Sym,
         global_sym: &dyn Fn(GlobalId) -> Sym,
     ) -> Sym {
-        let Some(jf) = self.rjfs.get(callee, slot) else {
-            return Sym::Bottom;
-        };
-        if let Some(c) = jf.as_const() {
-            return Sym::constant(c);
-        }
-        let Some(expr) = jf.to_expr() else {
-            return Sym::Bottom;
-        };
-        let substituted = expr.subst(&|s| match s {
-            Slot::Formal(k) => arg_sym(k).as_expr().cloned(),
-            Slot::Global(g) => global_sym(g).as_expr().cloned(),
-            Slot::Result => None,
-        });
-        match substituted {
-            Some(e) => Sym::Expr(e),
-            None => Sym::Bottom,
-        }
+        compose_after_call(self.rjfs, callee, slot, arg_sym, global_sym)
+    }
+}
+
+/// [`RjfComposer`] over any [`RjfSource`] — the crate-internal face used
+/// by the bottom-up builder, where a recursive SCC composes against its
+/// overlay instead of a clone of the whole table.
+struct SourceComposer<'a> {
+    src: &'a dyn RjfSource,
+}
+
+impl CallSymbolics for SourceComposer<'_> {
+    fn slot_after_call(
+        &self,
+        callee: ProcId,
+        slot: Slot,
+        arg_sym: &dyn Fn(u32) -> Sym,
+        global_sym: &dyn Fn(GlobalId) -> Sym,
+    ) -> Sym {
+        compose_after_call(self.src, callee, slot, arg_sym, global_sym)
+    }
+}
+
+/// The composition shared by both composer fronts: substitute the call's
+/// argument and global symbolics into the callee's return jump function.
+fn compose_after_call(
+    src: &dyn RjfSource,
+    callee: ProcId,
+    slot: Slot,
+    arg_sym: &dyn Fn(u32) -> Sym,
+    global_sym: &dyn Fn(GlobalId) -> Sym,
+) -> Sym {
+    let Some(jf) = src.lookup(callee, slot) else {
+        return Sym::Bottom;
+    };
+    if let Some(c) = jf.as_const() {
+        return Sym::constant(c);
+    }
+    let Some(expr) = jf.to_expr() else {
+        return Sym::Bottom;
+    };
+    let substituted = expr.subst(&|s| match s {
+        Slot::Formal(k) => arg_sym(k).as_expr().cloned(),
+        Slot::Global(g) => global_sym(g).as_expr().cloned(),
+        Slot::Result => None,
+    });
+    match substituted {
+        Some(e) => Sym::Expr(e),
+        None => Sym::Bottom,
     }
 }
 

@@ -76,9 +76,8 @@ use ipcp_analysis::symeval::{
     symbolic_eval_budgeted, CallSymbolics, NoCallSymbolics, SymEvalOptions, SymMap,
 };
 use ipcp_analysis::{
-    augment_global_vars, compute_modref_obs, par_map, par_map_obs, scc_waves, Budget, CallGraph,
-    CallLattice, ExhaustionPolicy, ModKills, ModRefInfo, PessimisticCalls, Phase, Slot,
-    PAR_WAVE_MIN,
+    augment_global_vars, compute_modref_obs, par_map, par_map_obs, scc_waves, wave_jobs, Budget,
+    CallGraph, CallLattice, ExhaustionPolicy, ModKills, ModRefInfo, PessimisticCalls, Phase, Slot,
 };
 use ipcp_ir::fingerprint::{combine, fingerprint_debug};
 use ipcp_ir::{ProcId, Procedure, Program};
@@ -894,7 +893,7 @@ impl AnalysisSession {
 
             let constants: Vec<BTreeMap<Slot, i64>> = match vals.as_deref() {
                 Some(v) => program.proc_ids().map(|p| v.constants(p)).collect(),
-                None => vec![BTreeMap::new(); program.procs.len()],
+                None => Vec::new(),
             };
 
             // Complete propagation substitutes into the *original*
@@ -1062,7 +1061,7 @@ impl AnalysisSession {
         &self,
         program: &Program,
         pid: ProcId,
-        rjfs: &ReturnJumpFns,
+        rjfs: &dyn crate::retjf::RjfSource,
         round: &RoundCtx,
         kills: &dyn KillOracle,
         options: SymEvalOptions,
@@ -1101,9 +1100,9 @@ impl AnalysisSession {
     ///
     /// Scheduling runs in SCC *waves*: every SCC of one wave only calls
     /// into strictly lower (already merged) waves, so all of a wave's
-    /// SCCs build concurrently. Recursive SCCs clone the table as a
-    /// private overlay and run their members in bottom-up order, exactly
-    /// like the sequential pass. Merging per wave in ascending SCC order
+    /// SCCs build concurrently. Recursive SCCs layer a copy-free
+    /// [`crate::retjf::SccOverlay`] over the shared table and run their
+    /// members in bottom-up order, exactly like the sequential pass. Merging per wave in ascending SCC order
     /// keeps the result and the fuel replay deterministic.
     #[allow(clippy::too_many_arguments)]
     fn cached_return_jfs(
@@ -1119,11 +1118,29 @@ impl AnalysisSession {
     ) -> ReturnJumpFns {
         let mut rjfs = ReturnJumpFns::empty(program.procs.len());
         let sccs = cg.sccs();
+        // Per-procedure work estimate (≈ instruction visits) for the
+        // cost-based wave gate.
+        let est: Vec<u64> = program
+            .proc_ids()
+            .map(|pid| {
+                let proc = program.proc(pid);
+                proc.block_ids()
+                    .map(|b| proc.block(b).instrs.len() as u64 + 1)
+                    .sum::<u64>()
+                    .max(1)
+            })
+            .collect();
         let start = Instant::now();
         for wave in scc_waves(cg) {
-            // Narrow waves (deep call chains) can't amortize a spawn;
-            // run them inline and save the fork/join for wide levels.
-            let wave_jobs = if wave.len() >= PAR_WAVE_MIN { jobs } else { 1 };
+            // Narrow or featherweight waves can't amortize a spawn; the
+            // cost gate runs them inline and saves the fork/join for
+            // levels with real work.
+            let units: u64 = wave
+                .iter()
+                .flat_map(|&si| sccs[si].iter())
+                .map(|&pid| est[pid.index()])
+                .sum();
+            let wave_jobs = wave_jobs(jobs, wave.len(), units);
             let built = par_map_obs(wave_jobs, &wave, sink, "return_jfs.proc", |_, &scc_idx| {
                 let scc = &sccs[scc_idx];
                 if let [pid] = scc[..] {
@@ -1131,14 +1148,14 @@ impl AnalysisSession {
                     vec![(pid, map, fuel)]
                 } else {
                     // Recursive SCC: members read each other's partial
-                    // tables, so give the SCC a private overlay and run
+                    // tables, so give the SCC a copy-free overlay and run
                     // its members in the sequential bottom-up order.
-                    let mut overlay = rjfs.clone();
+                    let mut overlay = crate::retjf::SccOverlay::new(&rjfs);
                     let mut out = Vec::with_capacity(scc.len());
                     for &pid in scc {
                         let (map, fuel) =
                             self.rjf_for_proc(program, pid, &overlay, round, kills, options);
-                        overlay.set_proc(pid, map.clone());
+                        overlay.push(pid, map.clone());
                         out.push((pid, map, fuel));
                     }
                     out
@@ -1617,28 +1634,43 @@ impl AnalysisSession {
 fn closure_fingerprints(program: &Program, cg: &CallGraph, jobs: usize) -> Vec<u64> {
     let proc_fps: Vec<u64> = par_map(jobs, &program.procs, |_, p| fingerprint_debug(p));
     let globals_fp = fingerprint_debug(&(&program.globals, program.main));
-    let pids: Vec<ProcId> = program.proc_ids().collect();
-    par_map(jobs, &pids, |_, &pid| {
-        let mut seen = vec![false; program.procs.len()];
-        seen[pid.index()] = true;
-        let mut stack = vec![pid];
-        while let Some(p) = stack.pop() {
-            for site in cg.sites(p) {
-                if !seen[site.callee.index()] {
-                    seen[site.callee.index()] = true;
-                    stack.push(site.callee);
+
+    // Merkle hash over the SCC condensation instead of one reachability
+    // DFS per procedure (which is O(procs × edges) — quadratic on the
+    // deep call towers of 100k-procedure programs). `sccs()` is
+    // bottom-up, so every callee SCC's closure hash is final before its
+    // callers fold it in; a hash of child closure hashes changes exactly
+    // when some transitively reachable procedure's IR changes, which is
+    // all a cache key needs. Child SCCs are deduplicated with a stamp
+    // array in first-occurrence order, keeping the digest deterministic.
+    let sccs = cg.sccs();
+    let mut scc_fp = vec![0u64; sccs.len()];
+    let mut child_stamp = vec![usize::MAX; sccs.len()];
+    for (i, scc) in sccs.iter().enumerate() {
+        let mut parts = Vec::with_capacity(scc.len() * 2 + 2);
+        parts.push(globals_fp);
+        for &pid in scc {
+            parts.push(pid.index() as u64);
+            parts.push(proc_fps[pid.index()]);
+        }
+        for &pid in scc {
+            for site in cg.sites(pid) {
+                let c = cg.scc_of(site.callee);
+                if c != i && child_stamp[c] != i {
+                    child_stamp[c] = i;
+                    parts.push(scc_fp[c]);
                 }
             }
         }
-        let mut parts = vec![globals_fp, proc_fps[pid.index()]];
-        for (i, in_closure) in seen.iter().enumerate() {
-            if *in_closure {
-                parts.push(i as u64);
-                parts.push(proc_fps[i]);
-            }
-        }
-        combine(parts)
-    })
+        scc_fp[i] = combine(parts);
+    }
+
+    // Procedures of one SCC share a closure; their keys differ by the
+    // procedure's own fingerprint, exactly as the DFS scheme's did.
+    program
+        .proc_ids()
+        .map(|pid| combine([scc_fp[cg.scc_of(pid)], proc_fps[pid.index()]]))
+        .collect()
 }
 
 #[cfg(test)]

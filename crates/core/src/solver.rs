@@ -12,21 +12,22 @@
 
 use crate::forward::ForwardJumpFns;
 use crate::framework::{solve_value_contexts, DataflowProblem, EdgeSink, EngineOutcome};
-use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Slot};
+use ipcp_analysis::{Budget, CallGraph, LatticeVal, ModRefInfo, Slot, SlotTable};
 use ipcp_ir::{ProcId, Program, VarKind};
 use std::collections::BTreeMap;
 
-/// The solver's result: per-procedure `VAL` sets.
+/// The solver's result: per-procedure `VAL` sets, stored as dense
+/// [`SlotTable`]s (ascending slot order, as the maps they replaced).
 #[derive(Debug, Clone)]
 pub struct ValSets {
-    vals: Vec<BTreeMap<Slot, LatticeVal>>,
+    vals: Vec<SlotTable<LatticeVal>>,
     iterations: usize,
     pruned: usize,
 }
 
 impl ValSets {
     /// The `VAL` set of `p`.
-    pub fn of(&self, p: ProcId) -> &BTreeMap<Slot, LatticeVal> {
+    pub fn of(&self, p: ProcId) -> &SlotTable<LatticeVal> {
         &self.vals[p.index()]
     }
 
@@ -62,7 +63,7 @@ impl ValSets {
     /// Assembles a result (used by the alternative solver formulations).
     pub(crate) fn from_parts(vals: Vec<BTreeMap<Slot, LatticeVal>>, iterations: usize) -> ValSets {
         ValSets {
-            vals,
+            vals: vals.into_iter().map(SlotTable::from_map).collect(),
             iterations,
             pruned: 0,
         }

@@ -65,6 +65,17 @@ impl Validator<'_> {
     }
 
     fn run(&mut self) {
+        // Dense-id bounds: analyses index `Vec` tables by `ProcId` /
+        // `GlobalId` (and build them with `from_index`), so both id
+        // spaces must stay within the 32-bit newtypes.
+        if self.program.procs.len() > u32::MAX as usize {
+            self.error("procedure table exceeds the dense 32-bit ProcId space");
+            return;
+        }
+        if self.program.globals.len() > u32::MAX as usize {
+            self.error("global table exceeds the dense 32-bit GlobalId space");
+            return;
+        }
         if self.program.main.index() >= self.program.procs.len() {
             self.error("main procedure id out of range");
             return;
@@ -90,6 +101,10 @@ impl Validator<'_> {
         if proc.kind == ProcKind::Main && proc.num_formals != 0 {
             self.error("main must have no formals");
         }
+        // One binding per global: slot-keyed tables (`Slot::Global(g)`)
+        // assume a procedure's global vars map to *distinct* dense ids —
+        // a duplicate binding would alias two variables onto one slot.
+        let mut global_seen = vec![false; self.program.globals.len()];
         for (i, var) in proc.vars.iter().enumerate() {
             match var.kind {
                 VarKind::Formal(k) => {
@@ -102,6 +117,11 @@ impl Validator<'_> {
                         self.error(format!("global id {g} out of range for `{}`", var.name));
                     } else if self.program.global(g).ty != var.ty {
                         self.error(format!("global `{}` type mismatch", var.name));
+                    } else if std::mem::replace(&mut global_seen[g.index()], true) {
+                        self.error(format!(
+                            "global id {g} bound twice (again by `{}`)",
+                            var.name
+                        ));
                     }
                 }
                 VarKind::Local | VarKind::Temp => {
@@ -472,6 +492,28 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| e.message.contains("different base types")));
+    }
+
+    #[test]
+    fn duplicate_global_binding_rejected() {
+        let mut p = valid_main();
+        p.globals.push(crate::program::GlobalVar {
+            name: "g".into(),
+            ty: Ty::INT,
+            init: None,
+        });
+        for name in ["g_a", "g_b"] {
+            p.procs[0].add_var(VarDecl {
+                name: name.into(),
+                ty: Ty::INT,
+                kind: VarKind::Global(GlobalId(0)),
+            });
+        }
+        let errs = validate(&p).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.message.contains("bound twice")),
+            "{errs:?}"
+        );
     }
 
     #[test]

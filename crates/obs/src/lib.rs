@@ -22,6 +22,7 @@
 
 mod chrome;
 mod metrics;
+mod rss;
 mod sink;
 mod trace;
 
@@ -29,5 +30,6 @@ pub use chrome::{
     chrome_trace_json, chrome_trace_json_multi, parse_json, validate_chrome_trace, Json, TraceStats,
 };
 pub use metrics::prometheus_text;
+pub use rss::peak_rss_bytes;
 pub use sink::{NoopSink, ObsSink, SpanGuard, TransitionEvent};
 pub use trace::{SpanRecord, TraceSink, TraceSnapshot};

@@ -1,0 +1,58 @@
+//! Peak resident-set-size introspection.
+//!
+//! The scaling study reports memory alongside wall-clock. The workspace
+//! is dependency-free, so the reading comes straight from the kernel's
+//! `/proc/self/status` `VmHWM` line (the process's resident high-water
+//! mark); on platforms without procfs the probe reports `None` and
+//! consumers omit the figure.
+
+/// The process's peak resident set size in bytes, when the platform
+/// exposes it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parses the `VmHWM:  <n> kB` line of a `/proc/<pid>/status` rendering.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_status_rendering() {
+        let status = "Name:\tipcp\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_lines_probe_as_none() {
+        assert_eq!(parse_vm_hwm("Name:\tipcp\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_probe_reports_a_positive_figure() {
+        let peak = peak_rss_bytes().expect("procfs available on linux");
+        assert!(peak > 0);
+    }
+}

@@ -327,14 +327,12 @@ pub fn check_case(
             // procedure that keeps any constant kept feasible incoming
             // edges, and jump-function monotonicity then guarantees
             // every lower-level constant survives with an equal value.
-            if hi == FuzzLevel::Conditional
-                && higher.constants[pid].is_empty()
-                && !consts.is_empty()
-            {
+            let higher_consts = higher.constants_of(ipcp_ir::ProcId::from_index(pid));
+            if hi == FuzzLevel::Conditional && higher_consts.is_empty() && !consts.is_empty() {
                 continue;
             }
             for (slot, v) in consts {
-                match higher.constants[pid].get(slot) {
+                match higher_consts.get(slot) {
                     Some(w) if w == v => {}
                     other => {
                         return CheckOutcome::Fail {

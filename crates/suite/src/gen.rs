@@ -101,6 +101,152 @@ pub fn generate_all() -> Vec<GeneratedProgram> {
     crate::specs::all_specs().iter().map(generate).collect()
 }
 
+/// Shape of a scale-study program: a synthetic call graph stressing the
+/// analysis pipeline at 10⁵-procedure size rather than reproducing a
+/// Table 1 benchmark. Three structural stressors, all configurable:
+///
+/// * **deep SCC towers** — stacked mutually-recursive pairs whose
+///   condensation is a long chain, forcing many narrow solver/RJF waves;
+/// * **wide fan-out hubs** — procedures with dozens of distinct callees,
+///   forcing broad waves and big per-wave merges;
+/// * **heavy globals** — an init routine assigning constants to a large
+///   global table read throughout, growing every procedure's MOD/REF and
+///   slot universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleSpec {
+    /// Target procedure count (floored to 16).
+    pub procs: usize,
+    /// RNG seed for constant arguments and global wiring.
+    pub seed: u64,
+    /// Procedures per recursive tower; the condensation depth is about
+    /// half this (procedures pair into 2-cycles).
+    pub tower_height: usize,
+    /// Distinct callees per fan-out hub.
+    pub fanout: usize,
+    /// Globals initialized to constants and read program-wide.
+    pub globals: usize,
+}
+
+impl ScaleSpec {
+    /// The default shape at `procs` procedures: 64-high towers, 32-wide
+    /// hubs, a 256-entry global table (each clamped down for tiny sizes).
+    pub fn with_procs(procs: usize, seed: u64) -> Self {
+        let procs = procs.max(16);
+        ScaleSpec {
+            procs,
+            seed,
+            tower_height: 64.min(procs / 4).max(2),
+            fanout: 32.min(procs / 4).max(2),
+            globals: 256.min(procs / 4).max(1),
+        }
+    }
+}
+
+/// Generates the scale-study program described by `spec`. Deterministic:
+/// the same spec yields byte-identical source. The program is for
+/// *analysis* benchmarking — it validates and would terminate if run,
+/// but it is not part of the Table 1 suite and reads no input.
+pub fn generate_scale(spec: &ScaleSpec) -> GeneratedProgram {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5ca1e);
+    let procs = spec.procs.max(16);
+    let height = spec.tower_height.max(2);
+    let fanout = spec.fanout.max(2);
+    let nglobals = spec.globals.max(1);
+
+    let mut globals = String::new();
+    let mut body = String::new();
+    let mut main_body = String::new();
+    let mut emitted = 0usize;
+
+    // Heavy globals: one init routine assigns constants to the whole
+    // table; readers below meet them across procedures.
+    for j in 0..nglobals {
+        let _ = writeln!(globals, "global gs{j}");
+    }
+    body.push_str("proc sinit()\n");
+    for j in 0..nglobals {
+        let _ = writeln!(body, "  gs{j} = {}", (j as i64 % 97) * 3 + 1);
+    }
+    body.push_str("end\n");
+    emitted += 1;
+    main_body.push_str("  call sinit()\n");
+
+    // Deep SCC towers: ~30% of the budget. Procedure `i` descends to
+    // `i + 1`; every odd `i` also climbs back to `i - 1`, pairing the
+    // tower into stacked 2-SCCs whose condensation is a chain of depth
+    // height/2 — the worst case for wave scheduling.
+    let tower_budget = procs.saturating_sub(emitted + 1) * 3 / 10;
+    let towers = (tower_budget / height).max(1);
+    for t in 0..towers {
+        for i in 0..height {
+            let _ = writeln!(body, "proc twr{t}x{i}(n, v)");
+            if i + 1 < height {
+                let _ = writeln!(body, "  if n > 0 then");
+                let _ = writeln!(body, "    call twr{t}x{}(n - 1, v + 1)", i + 1);
+                let _ = writeln!(body, "  end");
+            } else {
+                let _ = writeln!(body, "  print(v + n)");
+            }
+            if i % 2 == 1 {
+                let _ = writeln!(body, "  if n > 1 then");
+                let _ = writeln!(body, "    call twr{t}x{}(n - 2, v)", i - 1);
+                let _ = writeln!(body, "  end");
+            }
+            body.push_str("end\n");
+            emitted += 1;
+        }
+        let depth = rng.gen_range(3..9);
+        let cv = rng.gen_range(1..100);
+        let _ = writeln!(main_body, "  call twr{t}x0({depth}, {cv})");
+    }
+
+    // Wide fan-out hubs: ~50% of the remaining budget. Every hub calls
+    // `fanout` distinct leaves with constant arguments; each leaf reads
+    // one global, so constants flow through both formals and the table.
+    let hub_budget = procs.saturating_sub(emitted + 1) / 2;
+    let hubs = (hub_budget / (fanout + 1)).max(1);
+    for h in 0..hubs {
+        for j in 0..fanout {
+            let g = rng.gen_range(0..nglobals);
+            let _ = writeln!(body, "proc fl{h}x{j}(p)");
+            let _ = writeln!(body, "  print(p + gs{g})");
+            body.push_str("end\n");
+            emitted += 1;
+        }
+        let _ = writeln!(body, "proc hub{h}()");
+        for j in 0..fanout {
+            let c = rng.gen_range(1..1000);
+            let _ = writeln!(body, "  call fl{h}x{j}({c})");
+        }
+        body.push_str("end\n");
+        emitted += 1;
+        let _ = writeln!(main_body, "  call hub{h}()");
+    }
+
+    // Global readers fill the rest of the budget.
+    let readers = procs.saturating_sub(emitted + 1);
+    for r in 0..readers {
+        let a = rng.gen_range(0..nglobals);
+        let b = rng.gen_range(0..nglobals);
+        let _ = writeln!(body, "proc rdr{r}()");
+        let _ = writeln!(body, "  print(gs{a} + gs{b})");
+        body.push_str("end\n");
+        let _ = writeln!(main_body, "  call rdr{r}()");
+    }
+
+    let mut source = globals;
+    source.push_str(&body);
+    source.push_str("main\n");
+    source.push_str(&main_body);
+    source.push_str("end\n");
+
+    GeneratedProgram {
+        name: format!("scale-{}p-s{}", procs, spec.seed),
+        source,
+        reads_needed: 0,
+    }
+}
+
 struct Gen {
     globals: String,
     procs: String,
@@ -480,5 +626,58 @@ mod tests {
         for program in generate_all() {
             assert_eq!(program.input().len(), program.reads_needed);
         }
+    }
+
+    #[test]
+    fn scale_program_compiles_validates_and_hits_the_proc_target() {
+        let spec = ScaleSpec::with_procs(1000, 42);
+        let program = generate_scale(&spec);
+        let ir = ipcp_ir::compile_to_ir(&program.source).unwrap_or_else(|e| {
+            panic!(
+                "scale program does not compile:\n{}",
+                e.render(&program.source)
+            )
+        });
+        ipcp_ir::validate::validate(&ir).expect("scale IR valid");
+        // main + emitted procedures land within a hub-granule of target.
+        assert!(
+            ir.procs.len().abs_diff(spec.procs) <= spec.fanout + 1,
+            "{} procs vs target {}",
+            ir.procs.len(),
+            spec.procs
+        );
+        // Structural stressors are present: a deep condensation (the SCC
+        // towers) and recursive pairs.
+        let cg = ipcp_analysis::CallGraph::new(&ir);
+        assert!(cg.sccs().iter().any(|s| s.len() == 2), "paired SCCs");
+        let waves = ipcp_analysis::scc_waves(&cg);
+        assert!(
+            waves.len() >= spec.tower_height / 2,
+            "condensation depth {} vs tower height {}",
+            waves.len(),
+            spec.tower_height
+        );
+    }
+
+    #[test]
+    fn scale_generation_is_deterministic_and_seed_sensitive() {
+        let spec = ScaleSpec::with_procs(300, 7);
+        assert_eq!(generate_scale(&spec).source, generate_scale(&spec).source);
+        let other = ScaleSpec { seed: 8, ..spec };
+        assert_ne!(generate_scale(&spec).source, generate_scale(&other).source);
+    }
+
+    #[test]
+    fn scale_program_terminates_when_run() {
+        let spec = ScaleSpec::with_procs(64, 3);
+        let program = generate_scale(&spec);
+        let ir = ipcp_ir::compile_to_ir(&program.source).expect("compiles");
+        let config = InterpConfig {
+            input: program.input(),
+            max_steps: 50_000_000,
+            ..InterpConfig::default()
+        };
+        let out = ipcp_ir::eval::run(&ir, &config).expect("runs");
+        assert!(!out.output.is_empty());
     }
 }

@@ -24,7 +24,7 @@ pub use fuzz::{
     check_case, parse_repro_input, random_case, run_fuzz, CheckOutcome, FuzzCase, FuzzConfig,
     FuzzLevel, FuzzReport, Violation,
 };
-pub use gen::{generate, generate_all, GeneratedProgram};
+pub use gen::{generate, generate_all, generate_scale, GeneratedProgram, ScaleSpec};
 pub use paper::{paper_row, PaperRow, PaperSizeRow, PAPER_RESULTS, PAPER_SIZES};
 pub use specs::{all_specs, spec, Spec};
 pub use stats::{program_stats, ProgramStats};

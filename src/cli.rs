@@ -495,6 +495,17 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 if let Some(cache) = session.disk_cache() {
                     let _ = writeln!(out, "disk cache: {}", cache.stats());
                 }
+                // Memory figures of the scaling study: process peak RSS
+                // (when procfs exposes it) and the jump-function arena's
+                // high-water mark.
+                if let Some(peak) = crate::core::obs::peak_rss_bytes() {
+                    let _ = writeln!(out, "peak RSS: {} KiB", peak / 1024);
+                }
+                let _ = writeln!(
+                    out,
+                    "jump-function arena high-water: {} entries",
+                    crate::core::arena_high_water()
+                );
             }
             if let Some(note) = trace_note {
                 let _ = writeln!(out, "\n{note}");
@@ -600,6 +611,23 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 ("local", a.local),
             ] {
                 let _ = writeln!(out, "ipcp_substitutions_by_level{{level=\"{label}\"}} {n}");
+            }
+            out.push_str(
+                "# HELP ipcp_jumpfn_arena_high_water Peak jump-function arena size \
+                 (entries) across the process.\n\
+                 # TYPE ipcp_jumpfn_arena_high_water gauge\n",
+            );
+            let _ = writeln!(
+                out,
+                "ipcp_jumpfn_arena_high_water {}",
+                crate::core::arena_high_water()
+            );
+            if let Some(peak) = crate::core::obs::peak_rss_bytes() {
+                out.push_str(
+                    "# HELP ipcp_peak_rss_bytes Process peak resident set size.\n\
+                     # TYPE ipcp_peak_rss_bytes gauge\n",
+                );
+                let _ = writeln!(out, "ipcp_peak_rss_bytes {peak}");
             }
             Ok(out)
         }
