@@ -34,6 +34,12 @@
 //! `BENCH_scale.json` with wall-clock, peak RSS, the jump-function
 //! arena high-water mark, and the measured growth exponent between
 //! sizes (which must stay sub-quadratic).
+//! Pass `--obs-bench` to instead measure the cost of the observability
+//! stack itself — every suite program analyzed with tracing off and
+//! with a recording sink (spans, counters, latency histograms),
+//! min-of-repeats — and rewrite `BENCH_obs.json` with the self-time
+//! section plus the measured overhead; the run fails if tracing costs
+//! more than 5%.
 //! Pass `--framework-bench` to check the generic value-context engine
 //! against the golden pins and the pre-refactor solver loop, writing
 //! `BENCH_framework.json` with the measured overhead (plus the
@@ -110,7 +116,19 @@ fn bench_json(jobs: usize) -> Result<(), String> {
 
     // Per-phase *self* times (span duration minus nested children) of
     // one traced default-configuration run per program.
-    let mut obs = String::from("{\"bench\":\"obs_self_time\",\"programs\":[");
+    let obs = format!(
+        "{{\"bench\":\"obs_self_time\",\"programs\":{}}}",
+        obs_self_time_programs(&suite)
+    );
+    write_file("BENCH_obs.json", &obs)?;
+    println!("wrote BENCH_obs.json");
+    Ok(())
+}
+
+/// The `programs` array of `BENCH_obs.json`: per-phase self times and
+/// counters of one traced default-configuration run per suite program.
+fn obs_self_time_programs(suite: &[ipcp_bench::PreparedProgram]) -> String {
+    let mut obs = String::from("[");
     for (i, p) in suite.iter().enumerate() {
         let sink = TraceSink::new();
         p.session()
@@ -140,9 +158,99 @@ fn bench_json(jobs: usize) -> Result<(), String> {
         }
         obs.push_str("}}");
     }
-    obs.push_str("]}");
-    write_file("BENCH_obs.json", &obs)?;
-    println!("wrote BENCH_obs.json");
+    obs.push(']');
+    obs
+}
+
+/// The observability overhead gate (`--obs-bench`): analyze every suite
+/// program with tracing off and with a recording [`TraceSink`] (which
+/// now also feeds the latency histograms), min-of-`REPEATS` per variant
+/// over fresh sessions, and fail unless the traced total stays within
+/// 5% of the plain total. Writes `BENCH_obs.json` with the per-phase
+/// self-time section plus the measured overhead.
+fn obs_bench() -> Result<(), String> {
+    const REPEATS: u32 = 7;
+    const TARGET_PCT: f64 = 5.0;
+    let suite = ipcp_bench::prepare_suite();
+    let config = AnalysisConfig::default();
+
+    let mut programs = String::from("[");
+    let (mut plain_total, mut traced_total) = (0u128, 0u128);
+    for (i, p) in suite.iter().enumerate() {
+        let mut plain_us = u128::MAX;
+        let mut traced_us = u128::MAX;
+        let mut want = None;
+        for _ in 0..REPEATS {
+            let session = AnalysisSession::new(&p.ir);
+            let start = std::time::Instant::now();
+            let outcome = std::hint::black_box(
+                session
+                    .analyze_checked(&config)
+                    .expect("unlimited fuel never exhausts"),
+            );
+            plain_us = plain_us.min(start.elapsed().as_micros());
+
+            let sink = TraceSink::new();
+            let session = AnalysisSession::new(&p.ir);
+            let start = std::time::Instant::now();
+            let traced = std::hint::black_box(
+                session
+                    .analyze_checked_obs(&config, &sink)
+                    .expect("unlimited fuel never exhausts"),
+            );
+            traced_us = traced_us.min(start.elapsed().as_micros());
+            let got = (traced.substitutions.total, traced.constant_slot_count());
+            let plain_key = (outcome.substitutions.total, outcome.constant_slot_count());
+            if got != plain_key {
+                return Err(format!(
+                    "{}: traced outcome diverged from plain: {got:?} vs {plain_key:?}",
+                    p.generated.name
+                ));
+            }
+            match want {
+                None => want = Some(got),
+                Some(w) if w == got => {}
+                Some(w) => {
+                    return Err(format!(
+                        "{}: outcome drifted across repeats: {got:?} vs {w:?}",
+                        p.generated.name
+                    ));
+                }
+            }
+        }
+        plain_total += plain_us;
+        traced_total += traced_us;
+        if i > 0 {
+            programs.push(',');
+        }
+        let _ = write!(
+            programs,
+            "{{\"program\":\"{}\",\"plain_us\":{plain_us},\"traced_us\":{traced_us}}}",
+            p.generated.name
+        );
+    }
+    programs.push(']');
+
+    let overhead_pct =
+        (traced_total as f64 - plain_total as f64) / plain_total.max(1) as f64 * 100.0;
+    let out = format!(
+        "{{\"bench\":\"obs_self_time\",\"programs\":{},\
+         \"overhead\":{{\"repeats\":{REPEATS},\"plain_total_us\":{plain_total},\
+         \"traced_total_us\":{traced_total},\"overhead_pct\":{overhead_pct:.2},\
+         \"target_pct\":{TARGET_PCT},\"programs\":{programs}}}}}",
+        obs_self_time_programs(&suite)
+    );
+    write_file("BENCH_obs.json", &out)?;
+    println!(
+        "wrote BENCH_obs.json (plain {plain_total}us, traced {traced_total}us, \
+         overhead {overhead_pct:.2}% [target <={TARGET_PCT}%], min of {REPEATS} repeats)"
+    );
+    if overhead_pct > TARGET_PCT {
+        return Err(format!(
+            "observability overhead {overhead_pct:.2}% exceeds the {TARGET_PCT}% budget \
+             (plain {plain_total}us vs traced {traced_total}us)"
+        ));
+    }
     Ok(())
 }
 
@@ -545,10 +653,39 @@ fn scale_bench(max_procs: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a `generate_scale` corpus to disk (`--emit-scale [procs]
+/// [path]`) so shell-driven scenarios — CI's `ipcp why` edit test —
+/// can run the scaling generator's programs through the CLI.
+fn emit_scale(procs: usize, path: &str) -> Result<(), String> {
+    const SEED: u64 = 0xC0DE;
+    let generated = ipcp_suite::generate_scale(&ipcp_suite::ScaleSpec::with_procs(procs, SEED));
+    write_file(path, &generated.source)?;
+    println!(
+        "wrote {path} ({}, {} bytes)",
+        generated.name,
+        generated.source.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--framework-bench") {
         return framework_bench();
+    }
+    if args.iter().any(|a| a == "--obs-bench") {
+        return obs_bench();
+    }
+    if let Some(i) = args.iter().position(|a| a == "--emit-scale") {
+        let procs = args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1_000);
+        let path = args
+            .get(i + 2)
+            .filter(|p| !p.starts_with("--"))
+            .map_or("scale.mf", String::as_str);
+        return emit_scale(procs, path);
     }
     if let Some(i) = args.iter().position(|a| a == "--scale-bench") {
         let max_procs = args

@@ -447,6 +447,18 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Why a [`DiskCache::load_classified`] call came up empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMiss {
+    /// No entry file exists for the key.
+    Absent,
+    /// The entry file exists but could not be read (permissions, I/O).
+    Unreadable,
+    /// The entry failed validation and was quarantined; carries the
+    /// stable quarantine reason (e.g. `"checksum mismatch"`).
+    Invalid(&'static str),
+}
+
 /// What `verify` found on disk.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VerifyOutcome {
@@ -560,15 +572,29 @@ impl DiskCache {
     /// unreadable file, header or checksum mismatch — is a miss; corrupt
     /// entries are quarantined on the way out.
     pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        self.load_classified(key).ok()
+    }
+
+    /// Like [`DiskCache::load`], but a miss reports *why* the entry was
+    /// unusable so callers can attribute the recomputation. Stats and
+    /// quarantine side effects are identical to `load`.
+    ///
+    /// # Errors
+    ///
+    /// The [`LoadMiss`] classification of the failed load.
+    pub fn load_classified(&self, key: u64) -> Result<Vec<u8>, LoadMiss> {
         let path = self.entry_path(key);
         let bytes = match self.io.read(&path) {
             Ok(bytes) => bytes,
             Err(e) => {
-                if e.kind() != io::ErrorKind::NotFound {
+                let miss = if e.kind() == io::ErrorKind::NotFound {
+                    LoadMiss::Absent
+                } else {
                     self.note_anomaly("diskcache: unreadable entry");
-                }
+                    LoadMiss::Unreadable
+                };
                 self.stats.lock().expect("cache stats lock").misses += 1;
-                return None;
+                return Err(miss);
             }
         };
         match validate_entry(key, &bytes) {
@@ -576,12 +602,12 @@ impl DiskCache {
                 let payload = payload.to_vec();
                 touch(&path);
                 self.stats.lock().expect("cache stats lock").hits += 1;
-                Some(payload)
+                Ok(payload)
             }
             Err(reason) => {
                 self.quarantine_file(&path, reason);
                 self.stats.lock().expect("cache stats lock").misses += 1;
-                None
+                Err(LoadMiss::Invalid(reason))
             }
         }
     }

@@ -296,6 +296,15 @@ pub fn solve_value_contexts<P: DataflowProblem>(
         }
     }
 
+    // Per-procedure context size is the scalability telemetry the
+    // value-contexts literature reports; feed it to the sink's value
+    // histogram (one sample per procedure).
+    if sink.enabled() {
+        for ctx in &contexts {
+            sink.value("framework.context_slots", ctx.len() as u64);
+        }
+    }
+
     EngineOutcome {
         contexts,
         iterations,

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod audit;
 pub mod binding;
 pub mod cloning;
 pub mod cond;
@@ -75,11 +76,14 @@ pub mod obs {
     pub use ipcp_obs::*;
 }
 
+pub use audit::{IncrementalAudit, Ledger, MissReason, PhaseAudit};
 pub use binding::{solve_binding, solve_binding_budgeted};
 pub use cloning::{apply_cloning, cloning_opportunities, CloneOpportunity};
 pub use cond::{solve_cond, solve_cond_budgeted, solve_cond_traced};
 pub use dependence::subscript_counts;
-pub use diskcache::{outcome_key, CacheIo, CacheStats, DiskCache, FaultyIo, RealIo, VerifyOutcome};
+pub use diskcache::{
+    outcome_key, CacheIo, CacheStats, DiskCache, FaultyIo, LoadMiss, RealIo, VerifyOutcome,
+};
 pub use driver::{
     analyze, analyze_checked, analyze_reference, analyze_source, analyze_with_budget,
     analyze_with_budget_reference, AnalysisConfig, AnalysisOutcome, PhaseStats, ResourceExhausted,

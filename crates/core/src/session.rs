@@ -60,6 +60,10 @@
 //! deterministic, so a racing double-compute inserts the same bytes;
 //! only hit/miss counters can differ under concurrent sweeps.
 
+use crate::audit::{
+    classify_disk_miss, diff_ledgers, outcome_facets_changed, render_facets, DiskOutcome,
+    IncrementalAudit, Ledger, LedgerProc,
+};
 use crate::binding::solve_binding_budgeted;
 use crate::driver::{
     analyze_with_budget_reference, AnalysisConfig, AnalysisOutcome, PhaseStats, ResourceExhausted,
@@ -189,6 +193,10 @@ pub struct SessionStats {
     /// Pipeline rounds executed (≥ 1 per cached analysis; complete
     /// propagation adds one per DCE iteration).
     pub rounds: u64,
+    /// Recomputed-artifact totals by
+    /// [`MissReason::label`](crate::audit::MissReason::label),
+    /// accumulated from every run's incrementality audit.
+    pub miss_reasons: BTreeMap<String, u64>,
     counters: BTreeMap<SessionPhase, PhaseCounter>,
 }
 
@@ -254,7 +262,20 @@ impl SessionStats {
             }
             out.push('}');
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.miss_reasons.is_empty() {
+            out.push_str(",\"miss_reasons\":{");
+            let mut first = true;
+            for (label, n) in &self.miss_reasons {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{label}\":{n}"));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }
@@ -466,7 +487,7 @@ pub struct ArtifactStore {
     /// Per-procedure closure fingerprints of the *augmented* program, by
     /// pre-augmentation state fingerprint (augmentation is deterministic,
     /// so the state fingerprint determines them).
-    closures: RwLock<HashMap<u64, Arc<Vec<u64>>>>,
+    closures: RwLock<HashMap<u64, Arc<ClosureData>>>,
     ssas: RwLock<HashMap<SsaKey, Arc<SsaProc>>>,
     rjf_procs: RwLock<HashMap<RjfKey, Cached<BTreeMap<Slot, JumpFn>>>>,
     syms: RwLock<HashMap<SymKey, Cached<SymMap>>>,
@@ -499,11 +520,41 @@ impl ArtifactStore {
     }
 }
 
+/// The fingerprint components of one program state: per-procedure own
+/// and closure fingerprints plus the global-table fingerprint. Cache
+/// keys read the closures (via `Index`); the incrementality audit's
+/// ledger records all three.
+struct ClosureData {
+    /// Closure fingerprints, indexed by `ProcId::index()`.
+    closures: Vec<u64>,
+    /// Own-IR fingerprints, indexed by `ProcId::index()`.
+    own: Vec<u64>,
+    /// Fingerprint of the global table and entry procedure.
+    globals: u64,
+}
+
+impl std::ops::Index<usize> for ClosureData {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.closures[i]
+    }
+}
+
+/// Audit inputs threaded into the uncached pipeline: the previous
+/// run's ledger and what the disk-cache consult (if any) observed.
+struct AuditCtx {
+    prev: Option<Ledger>,
+    disk: Option<DiskOutcome>,
+    /// The disk-cache outcome key this run will store under, remembered
+    /// in the ledger so a later absence can be read as an eviction.
+    outcome_key: Option<u64>,
+}
+
 /// Per-round derived context: the program-state fingerprint and the
 /// per-procedure closure fingerprints all cache keys build on.
 struct RoundCtx {
     state_fp: u64,
-    closure_fps: Arc<Vec<u64>>,
+    closure_fps: Arc<ClosureData>,
     mod_info: bool,
     gsa: bool,
     mode: CallSymMode,
@@ -520,6 +571,15 @@ pub struct AnalysisSession {
     /// Optional persistent backing store; outcomes of unmetered runs are
     /// served from and written through to it.
     disk: Option<Arc<crate::diskcache::DiskCache>>,
+    /// Label under which the incrementality-audit ledger persists next
+    /// to the disk cache (typically the analyzed file's path). Without
+    /// one — or without a disk cache — the ledger lives in memory only.
+    audit_label: Option<String>,
+    /// The previous run's ledger (in-memory fallback when no disk cache
+    /// or label is set).
+    prev_ledger: Mutex<Option<Ledger>>,
+    /// The most recent run's incrementality audit (unmetered runs only).
+    last_audit: Mutex<Option<Arc<IncrementalAudit>>>,
 }
 
 impl AnalysisSession {
@@ -531,7 +591,52 @@ impl AnalysisSession {
             store: ArtifactStore::default(),
             stats: Mutex::new(SessionStats::default()),
             disk: None,
+            audit_label: None,
+            prev_ledger: Mutex::new(None),
+            last_audit: Mutex::new(None),
         }
+    }
+
+    /// Names this session's work for the incrementality audit. With a
+    /// disk cache attached, the ledger persists under
+    /// `audit/<label>.ledger` in the cache directory, so a later process
+    /// analyzing under the same label can attribute its recomputation to
+    /// the exact procedures and facets that changed. The analyzed file's
+    /// path is the natural label.
+    pub fn set_audit_label(&mut self, label: &str) {
+        self.audit_label = Some(label.to_string());
+    }
+
+    /// The incrementality audit of the most recent unmetered analysis,
+    /// if one has run.
+    pub fn last_audit(&self) -> Option<Arc<IncrementalAudit>> {
+        self.last_audit.lock().unwrap().clone()
+    }
+
+    /// The previous run's ledger: the persisted one under the audit
+    /// label when a disk cache is attached, else the in-memory one from
+    /// this session's last analysis.
+    fn previous_ledger(&self) -> Option<Ledger> {
+        if let (Some(disk), Some(label)) = (self.disk.as_deref(), self.audit_label.as_deref()) {
+            return crate::audit::load_ledger(disk.dir(), label);
+        }
+        self.prev_ledger.lock().unwrap().clone()
+    }
+
+    /// Records one run's audit and advances the ledger (to disk when a
+    /// cache and label are attached, and always in memory).
+    fn commit_audit(&self, audit: IncrementalAudit, ledger: Ledger) {
+        {
+            let mut stats = self.stats.lock().unwrap();
+            for (label, n) in audit.miss_reason_totals() {
+                *stats.miss_reasons.entry(label).or_insert(0) += n;
+            }
+        }
+        *self.last_audit.lock().unwrap() = Some(Arc::new(audit));
+        if let (Some(disk), Some(label)) = (self.disk.as_deref(), self.audit_label.as_deref()) {
+            crate::audit::store_ledger(disk.dir(), label, &ledger);
+        }
+        *self.prev_ledger.lock().unwrap() = Some(ledger);
     }
 
     /// Attaches a persistent [`DiskCache`](crate::diskcache::DiskCache):
@@ -667,24 +772,30 @@ impl AnalysisSession {
             return outcome;
         }
         let Some(disk) = self.disk.as_deref() else {
-            return self.analyze_uncached_obs(config, budget, sink);
+            let audit = AuditCtx {
+                prev: self.previous_ledger(),
+                disk: None,
+                outcome_key: None,
+            };
+            return self.analyze_uncached_obs(config, budget, sink, audit);
         };
 
         // Persistent warm path: a validated entry is the cold outcome,
         // returned verbatim — bit-identity by construction.
         let key = crate::diskcache::outcome_key(self.base_fp, config);
+        let prev_ledger = self.previous_ledger();
         let quarantined_before = disk.stats().quarantined;
         let start = Instant::now();
-        let cached = {
+        let loaded = {
             let _span = SpanGuard::enter(sink, "diskcache", "phase");
-            disk.load(key).and_then(|payload| {
+            disk.load_classified(key).and_then(|payload| {
                 match ipcp_ir::codec::decode_from_slice::<AnalysisOutcome>(&payload) {
-                    Ok(outcome) => Some(outcome),
+                    Ok(outcome) => Ok(outcome),
                     Err(_) => {
                         // Framing validated but the payload didn't parse:
                         // codec skew within one format version.
                         disk.quarantine_key(key, "payload decode failed");
-                        None
+                        Err(crate::diskcache::LoadMiss::Invalid("payload decode failed"))
                     }
                 }
             })
@@ -693,26 +804,55 @@ impl AnalysisSession {
         if quarantined > 0 {
             sink.count("diskcache.quarantine", quarantined);
         }
-        if let Some(outcome) = cached {
-            // Replay the recorded fuel and anomalies into the live
-            // budget so callers inspecting it afterwards see the same
-            // totals a cold run would have left behind.
-            budget.checkpoint(Phase::SymEval, outcome.robustness.fuel_consumed);
-            for (what, count) in &outcome.robustness.anomalies {
-                for _ in 0..*count {
-                    budget.record_anomaly(what);
+        let miss = match loaded {
+            Ok(outcome) => {
+                // Replay the recorded fuel and anomalies into the live
+                // budget so callers inspecting it afterwards see the same
+                // totals a cold run would have left behind.
+                budget.checkpoint(Phase::SymEval, outcome.robustness.fuel_consumed);
+                for (what, count) in &outcome.robustness.anomalies {
+                    for _ in 0..*count {
+                        budget.record_anomaly(what);
+                    }
                 }
+                self.phase_hit(SessionPhase::DiskCache);
+                self.phase_wall(SessionPhase::DiskCache, start.elapsed());
+                sink.count("diskcache.hit", 1);
+                // A served entry means nothing was recomputed: the audit
+                // is all-up-to-date and the ledger advances not at all
+                // (a later edit still diffs against the run that wrote
+                // the entry).
+                *self.last_audit.lock().unwrap() = Some(Arc::new(crate::audit::warm_hit_audit(
+                    self.base.procs.len() as u64,
+                )));
+                return outcome;
             }
-            self.phase_hit(SessionPhase::DiskCache);
-            self.phase_wall(SessionPhase::DiskCache, start.elapsed());
-            sink.count("diskcache.hit", 1);
-            return outcome;
-        }
+            Err(miss) => miss,
+        };
         self.phase_miss(SessionPhase::DiskCache);
         self.phase_wall(SessionPhase::DiskCache, start.elapsed());
         sink.count("diskcache.miss", 1);
 
-        let outcome = self.analyze_uncached_obs(config, budget, sink);
+        let base_changed = prev_ledger
+            .as_ref()
+            .is_some_and(|p| p.base_fp != self.base_fp);
+        let facets_changed = prev_ledger
+            .as_ref()
+            .map(|p| outcome_facets_changed(p, config))
+            .unwrap_or_default();
+        let reason = classify_disk_miss(
+            prev_ledger.as_ref(),
+            &miss,
+            key,
+            base_changed,
+            &facets_changed,
+        );
+        let audit = AuditCtx {
+            prev: prev_ledger,
+            disk: Some(DiskOutcome::Miss(reason)),
+            outcome_key: Some(key),
+        };
+        let outcome = self.analyze_uncached_obs(config, budget, sink, audit);
 
         let start = Instant::now();
         disk.store(key, &ipcp_ir::codec::encode_to_vec(&outcome));
@@ -727,11 +867,13 @@ impl AnalysisSession {
         config: &AnalysisConfig,
         budget: &Budget,
         sink: &dyn ObsSink,
+        audit: AuditCtx,
     ) -> AnalysisOutcome {
         let jobs = crate::parallel::effective_jobs(config);
         let mut program = self.base.clone();
         let mut stats = PhaseStats::default();
         let mut first_round = true;
+        let mut audit = Some(audit);
 
         loop {
             self.stats.lock().unwrap().rounds += 1;
@@ -769,6 +911,40 @@ impl AnalysisSession {
                 gsa: config.gsa,
                 mode: call_sym_mode(config),
             };
+
+            // Incrementality audit, round 0 only: the pristine program's
+            // key components are the ones worth diffing (DCE rounds feed
+            // on round-0 artifacts). Attribute every would-be
+            // recomputation to the component that moved.
+            if let Some(actx) = audit.take() {
+                let start = Instant::now();
+                let mut ledger = Ledger {
+                    base_fp: self.base_fp,
+                    globals_fp: round.closure_fps.globals,
+                    procs: program
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| LedgerProc {
+                            name: p.name.clone(),
+                            own_fp: round.closure_fps.own[i],
+                            closure_fp: round.closure_fps.closures[i],
+                        })
+                        .collect(),
+                    facets: render_facets(config),
+                    outcome_keys: actx
+                        .prev
+                        .as_ref()
+                        .map(|p| p.outcome_keys.clone())
+                        .unwrap_or_default(),
+                };
+                if let Some(key) = actx.outcome_key {
+                    ledger.remember_outcome_key(key);
+                }
+                let report = diff_ledgers(actx.prev.as_ref(), &ledger, actx.disk);
+                self.commit_audit(report, ledger);
+                self.phase_wall(SessionPhase::Fingerprint, start.elapsed());
+            }
 
             // Everything below borrows `program` immutably; DCE rewrites
             // are collected and applied after the borrows end.
@@ -926,7 +1102,7 @@ impl AnalysisSession {
         cg: &CallGraph,
         state_fp: u64,
         jobs: usize,
-    ) -> Arc<Vec<u64>> {
+    ) -> Arc<ClosureData> {
         let start = Instant::now();
         let hit = self.store.closures.read().unwrap().get(&state_fp).cloned();
         let fps = match hit {
@@ -1631,7 +1807,7 @@ impl AnalysisSession {
 /// round it changes exactly for the procedures whose own IR changed plus
 /// their call-graph dependents, which is what makes complete propagation
 /// incremental.
-fn closure_fingerprints(program: &Program, cg: &CallGraph, jobs: usize) -> Vec<u64> {
+fn closure_fingerprints(program: &Program, cg: &CallGraph, jobs: usize) -> ClosureData {
     let proc_fps: Vec<u64> = par_map(jobs, &program.procs, |_, p| fingerprint_debug(p));
     let globals_fp = fingerprint_debug(&(&program.globals, program.main));
 
@@ -1667,10 +1843,15 @@ fn closure_fingerprints(program: &Program, cg: &CallGraph, jobs: usize) -> Vec<u
 
     // Procedures of one SCC share a closure; their keys differ by the
     // procedure's own fingerprint, exactly as the DFS scheme's did.
-    program
+    let closures = program
         .proc_ids()
         .map(|pid| combine([scc_fp[cg.scc_of(pid)], proc_fps[pid.index()]]))
-        .collect()
+        .collect();
+    ClosureData {
+        closures,
+        own: proc_fps,
+        globals: globals_fp,
+    }
 }
 
 #[cfg(test)]

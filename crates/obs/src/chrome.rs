@@ -51,15 +51,25 @@ fn push_process(out: &mut String, pid: usize, name: &str, snapshot: &TraceSnapsh
     );
 
     // Group spans per worker (= Chrome tid) and emit nested B/E pairs.
-    let mut workers: Vec<usize> = snapshot.spans.iter().map(|s| s.worker).collect();
-    workers.sort_unstable();
-    workers.dedup();
+    // Worker slots come from a process-global counter, so their raw
+    // values depend on thread start-up order; remap them to dense tids
+    // by first appearance in the deterministic merged span order so the
+    // exported document is byte-identical across runs.
+    let mut tid_of: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut workers: Vec<usize> = Vec::new();
+    for s in &snapshot.spans {
+        if !tid_of.contains_key(&s.worker) {
+            tid_of.insert(s.worker, tid_of.len() + 1);
+            workers.push(s.worker);
+        }
+    }
     for worker in workers {
+        let tid = tid_of[&worker];
         sep(out);
         let _ = write!(
             out,
-            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{worker},\"ts\":0,\
-             \"name\":\"thread_name\",\"args\":{{\"name\":\"worker-{worker}\"}}}}"
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"ts\":0,\
+             \"name\":\"thread_name\",\"args\":{{\"name\":\"worker-{tid}\"}}}}"
         );
         let mut spans: Vec<&SpanRecord> = snapshot
             .spans
@@ -86,7 +96,7 @@ fn push_process(out: &mut String, pid: usize, name: &str, snapshot: &TraceSnapsh
                 sep(out);
                 let _ = write!(
                     out,
-                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{worker},\"ts\":{}}}",
+                    "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}}}",
                     top / 1_000
                 );
             }
@@ -97,7 +107,7 @@ fn push_process(out: &mut String, pid: usize, name: &str, snapshot: &TraceSnapsh
             sep(out);
             let _ = write!(
                 out,
-                "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{worker},\"ts\":{},\"name\":\"{}\",\
+                "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{}\",\
                  \"cat\":\"{}\"}}",
                 s.start_ns / 1_000,
                 escape_json(&s.name),
@@ -109,7 +119,7 @@ fn push_process(out: &mut String, pid: usize, name: &str, snapshot: &TraceSnapsh
             sep(out);
             let _ = write!(
                 out,
-                "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{worker},\"ts\":{}}}",
+                "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{}}}",
                 top / 1_000
             );
         }

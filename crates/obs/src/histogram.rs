@@ -1,0 +1,260 @@
+//! Mergeable log-linear histograms with bounded relative error.
+//!
+//! A [`Histogram`] buckets positive values geometrically: bucket `i`
+//! covers `(γ^(i-1), γ^i]` with `γ = (1+α)/(1-α)`, so any quantile
+//! estimate is within relative error `α` of the true sample quantile
+//! (the DDSketch construction). Zero gets its own exact bucket. Buckets
+//! are sparse (only non-empty indices are stored) and merging is a
+//! bucket-wise sum — commutative and associative — so per-worker shards
+//! can be merged in any order with a deterministic result, the same
+//! discipline [`crate::TraceSink`] uses for spans.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error bound for quantile estimates (1%).
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// A log-linear histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    zero: u64,
+    buckets: BTreeMap<i64, u64>,
+    sum: u128,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with the default relative-error bound.
+    pub fn new() -> Self {
+        Self::with_relative_error(DEFAULT_RELATIVE_ERROR)
+    }
+
+    /// An empty histogram whose quantile estimates stay within
+    /// `alpha` relative error. `alpha` must be in `(0, 1)`.
+    pub fn with_relative_error(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "relative error must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Histogram {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            zero: 0,
+            buckets: BTreeMap::new(),
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn relative_error(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket index for a positive value: `ceil(ln v / ln γ)`.
+    fn index_of(&self, value: u64) -> i64 {
+        ((value as f64).ln() / self.ln_gamma).ceil() as i64
+    }
+
+    /// Upper bound `γ^i` of bucket `i`.
+    fn upper_bound(&self, index: i64) -> f64 {
+        self.gamma.powi(index as i32)
+    }
+
+    /// Midpoint estimate `2γ^i / (γ+1)` for bucket `i`; within `α`
+    /// relative error of every value the bucket covers.
+    fn estimate(&self, index: i64) -> f64 {
+        2.0 * self.gamma.powi(index as i32) / (self.gamma + 1.0)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        if value == 0 {
+            self.zero += n;
+        } else {
+            *self.buckets.entry(self.index_of(value)).or_default() += n;
+        }
+    }
+
+    /// Folds `other` into `self` bucket-wise. Both histograms must use
+    /// the same relative-error bound (same bucket boundaries).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge histograms with different relative errors ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        self.zero += other.zero;
+        self.sum += other.sum;
+        self.count += other.count;
+        for (&i, &n) in &other.buckets {
+            *self.buckets.entry(i).or_default() += n;
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// The estimate is within `relative_error()` of the exact sample
+    /// quantile `sorted[⌊q·(count−1)⌋]`; the zero bucket is exact.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64) as u64;
+        let mut cumulative = self.zero;
+        if cumulative > rank {
+            return Some(0.0);
+        }
+        for (&i, &n) in &self.buckets {
+            cumulative += n;
+            if cumulative > rank {
+                return Some(self.estimate(i));
+            }
+        }
+        // Unreachable when counts are consistent; fall back to the top
+        // bucket's estimate.
+        self.buckets.keys().next_back().map(|&i| self.estimate(i))
+    }
+
+    /// Cumulative bucket boundaries for exposition: `(upper_bound,
+    /// cumulative_count)` pairs in increasing bound order, starting with
+    /// the zero bucket and covering every non-empty bucket. The caller
+    /// appends the implicit `+Inf` bound (`= count()`).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cumulative = self.zero;
+        out.push((0.0, cumulative));
+        for (&i, &n) in &self.buckets {
+            cumulative += n;
+            out.push((self.upper_bound(i), cumulative));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_exact_values_within_the_bound() {
+        let mut h = Histogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        // Deterministic spread over five orders of magnitude.
+        let mut x = 7u64;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = x % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = samples[(q * (samples.len() - 1) as f64) as usize];
+            let est = h.quantile(q).unwrap();
+            if exact == 0 {
+                assert_eq!(est, 0.0);
+            } else {
+                let err = (est - exact as f64).abs() / exact as f64;
+                assert!(err <= h.relative_error() + 1e-9, "q={q}: {est} vs {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_matches_single_recording() {
+        let values: Vec<u64> = (0..200).map(|i| i * i % 977).collect();
+        let mut single = Histogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        let mut shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 4].record(v);
+        }
+        let mut fwd = Histogram::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = Histogram::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, single);
+        assert_eq!(rev, single);
+        assert_eq!(single.count(), 200);
+        assert_eq!(single.sum(), values.iter().map(|&v| v as u128).sum());
+    }
+
+    #[test]
+    fn zero_and_empty_cases_are_exact() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        h.record_n(0, 10);
+        assert_eq!(h.quantile(0.99), Some(0.0));
+        assert_eq!(h.cumulative_buckets(), vec![(0.0, 10)]);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_end_at_count() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 50, 5_000, 5_000, 5_001, u64::MAX / 3] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different relative errors")]
+    fn merging_mismatched_bounds_panics() {
+        let mut a = Histogram::new();
+        let b = Histogram::with_relative_error(0.05);
+        a.merge(&b);
+    }
+}

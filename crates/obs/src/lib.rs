@@ -9,7 +9,9 @@
 //! * [`TraceSink`] — the recording implementation: hierarchical spans
 //!   and counters land in per-worker shards and merge in deterministic
 //!   `(start, seq)` order; the solver's lattice [`TransitionEvent`]s
-//!   are kept in record order.
+//!   are kept in record order. Span durations and [`ObsSink::value`]
+//!   samples additionally aggregate into mergeable log-linear
+//!   [`Histogram`]s with bounded-relative-error quantiles.
 //! * Exporters — Chrome trace-event JSON ([`chrome_trace_json`],
 //!   loadable in `chrome://tracing`/Perfetto, with a hand-rolled
 //!   [`validate_chrome_trace`] used by tests and CI) and Prometheus
@@ -21,6 +23,7 @@
 #![deny(missing_docs)]
 
 mod chrome;
+mod histogram;
 mod metrics;
 mod rss;
 mod sink;
@@ -29,6 +32,7 @@ mod trace;
 pub use chrome::{
     chrome_trace_json, chrome_trace_json_multi, parse_json, validate_chrome_trace, Json, TraceStats,
 };
+pub use histogram::{Histogram, DEFAULT_RELATIVE_ERROR};
 pub use metrics::prometheus_text;
 pub use rss::peak_rss_bytes;
 pub use sink::{NoopSink, ObsSink, SpanGuard, TransitionEvent};

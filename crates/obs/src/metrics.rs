@@ -1,13 +1,18 @@
 //! Prometheus-style text exposition of a trace snapshot.
 //!
-//! Renders counters and per-phase self times in the [text exposition
-//! format] (`# HELP`/`# TYPE` preambles, `snake_case` metric names,
-//! `{label="value"}` selectors), so the output can be scraped or
-//! diffed directly.
+//! Renders counters, per-phase self times, and latency/value histograms
+//! in the [text exposition format] (`# HELP`/`# TYPE` preambles,
+//! `snake_case` metric names, `{label="value"}` selectors,
+//! `_bucket`/`_sum`/`_count` histogram series), so the output can be
+//! scraped or diffed directly. Output order is fully deterministic:
+//! every family is emitted in name order, and sanitize collisions are
+//! resolved with stable numeric suffixes instead of duplicate series.
 //!
 //! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
 
+use crate::histogram::Histogram;
 use crate::trace::TraceSnapshot;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 fn sanitize(name: &str) -> String {
@@ -16,8 +21,62 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Escapes a label value: backslash, double quote, and newline are the
+/// three characters the exposition format requires escaping.
 fn escape_label(value: &str) -> String {
-    value.replace('\\', "\\\\").replace('"', "\\\"")
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes free text in a `# HELP` line (backslash and newline).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Maps raw names to unique sanitized metric stems: when two raw names
+/// sanitize to the same stem, later names (in raw-name order) get `_2`,
+/// `_3`, … suffixes, so the exposition never emits one metric family
+/// twice.
+fn unique_stems<'a>(raw: impl Iterator<Item = &'a String>) -> BTreeMap<&'a String, String> {
+    let mut used: BTreeMap<String, u64> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for name in raw {
+        let base = sanitize(name);
+        let n = used.entry(base.clone()).or_default();
+        *n += 1;
+        let stem = if *n == 1 { base } else { format!("{base}_{n}") };
+        out.insert(name, stem);
+    }
+    out
+}
+
+/// Appends one histogram family (`_bucket`/`_sum`/`_count`) with an
+/// optional extra label selector (e.g. `span="solve"`).
+fn push_histogram(out: &mut String, metric: &str, selector: &str, hist: &Histogram) {
+    let labels = |le: &str| {
+        if selector.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{{{selector},le=\"{le}\"}}")
+        }
+    };
+    for (le, cumulative) in hist.cumulative_buckets() {
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{} {cumulative}",
+            labels(&le.to_string())
+        );
+    }
+    let _ = writeln!(out, "{metric}_bucket{} {}", labels("+Inf"), hist.count());
+    let tail = if selector.is_empty() {
+        String::new()
+    } else {
+        format!("{{{selector}}}")
+    };
+    let _ = writeln!(out, "{metric}_sum{tail} {}", hist.sum());
+    let _ = writeln!(out, "{metric}_count{tail} {}", hist.count());
 }
 
 /// Renders the snapshot as Prometheus text exposition.
@@ -48,11 +107,39 @@ pub fn prometheus_text(snapshot: &TraceSnapshot) -> String {
         snapshot.transitions.len()
     );
 
+    let counter_stems = unique_stems(snapshot.counters.keys());
     for (name, value) in &snapshot.counters {
-        let metric = format!("ipcp_{}_total", sanitize(name));
-        let _ = writeln!(out, "# HELP {metric} Analysis counter `{name}`.");
+        let metric = format!("ipcp_{}_total", counter_stems[name]);
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Analysis counter `{}`.",
+            escape_help(name)
+        );
         let _ = writeln!(out, "# TYPE {metric} counter");
         let _ = writeln!(out, "{metric} {value}");
+    }
+
+    if !snapshot.duration_histograms.is_empty() {
+        out.push_str(
+            "# HELP ipcp_span_duration_nanoseconds Span duration distribution per span name (log-linear buckets, bounded relative error).\n",
+        );
+        out.push_str("# TYPE ipcp_span_duration_nanoseconds histogram\n");
+        for (name, hist) in &snapshot.duration_histograms {
+            let selector = format!("span=\"{}\"", escape_label(name));
+            push_histogram(&mut out, "ipcp_span_duration_nanoseconds", &selector, hist);
+        }
+    }
+
+    let value_stems = unique_stems(snapshot.value_histograms.keys());
+    for (name, hist) in &snapshot.value_histograms {
+        let metric = format!("ipcp_{}", value_stems[name]);
+        let _ = writeln!(
+            out,
+            "# HELP {metric} Value distribution `{}` (log-linear buckets, bounded relative error).",
+            escape_help(name)
+        );
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        push_histogram(&mut out, &metric, "", hist);
     }
     out
 }
@@ -80,5 +167,86 @@ mod tests {
                 "bad exposition line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn histograms_expose_bucket_sum_count_series() {
+        let sink = TraceSink::new();
+        sink.span("solve", "phase", 0, 10_000);
+        sink.span("solve", "phase", 20_000, 20_000);
+        sink.value("framework.context_slots", 3);
+        sink.value("framework.context_slots", 0);
+        let text = prometheus_text(&sink.snapshot());
+        assert!(text.contains("# TYPE ipcp_span_duration_nanoseconds histogram"));
+        assert!(
+            text.contains("ipcp_span_duration_nanoseconds_bucket{span=\"solve\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("ipcp_span_duration_nanoseconds_sum{span=\"solve\"} 30000"));
+        assert!(text.contains("ipcp_span_duration_nanoseconds_count{span=\"solve\"} 2"));
+        assert!(text.contains("# TYPE ipcp_framework_context_slots histogram"));
+        assert!(text.contains("ipcp_framework_context_slots_bucket{le=\"0\"} 1"));
+        assert!(text.contains("ipcp_framework_context_slots_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ipcp_framework_context_slots_sum 3"));
+        assert!(text.contains("ipcp_framework_context_slots_count 2"));
+        // Bucket series are cumulative, hence monotone non-decreasing.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("ipcp_span_duration_nanoseconds_bucket{span=\"solve\""))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.len() >= 3);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_and_never_break_line_structure() {
+        // The PR 6 hostile-name corpus: quotes, backslashes, control
+        // characters, newlines, and non-ASCII text.
+        let hostile = "fuzz \"iter\" \\7\\ §деадбиф\t{}[],:\u{1}";
+        let sink = TraceSink::new();
+        sink.span(hostile, "cat\"\\\n", 0, 10_000);
+        sink.count("evil\ncounter\\\"", 1);
+        sink.value("evil\nvalue", 9);
+        let text = prometheus_text(&sink.snapshot());
+        // No raw newline may leak out of a name: every line must be a
+        // comment or start with a clean `ipcp_…` metric-name token and
+        // end with a numeric value.
+        for line in text.lines() {
+            assert!(!line.is_empty(), "empty line in exposition");
+            if line.starts_with('#') {
+                continue;
+            }
+            let name_end = line.find([' ', '{']).expect("metric name token");
+            assert!(
+                line[..name_end]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in line: {line}"
+            );
+            assert!(
+                line.rsplit(' ').next().unwrap().parse::<f64>().is_ok(),
+                "line does not end in a value: {line}"
+            );
+        }
+        assert!(text.contains("\\\"iter\\\""), "quotes must be escaped");
+        assert!(text.contains("\\\\7\\\\"), "backslashes must be escaped");
+        assert!(!text.contains("evil\ncounter"), "raw newline leaked");
+        assert!(text.contains("ipcp_evil_counter___total 1"));
+        assert!(text.contains("ipcp_evil_value_count 1"));
+    }
+
+    #[test]
+    fn sanitize_collisions_get_stable_distinct_names() {
+        let sink = TraceSink::new();
+        sink.count("jf.sites", 1);
+        sink.count("jf/sites", 2);
+        sink.count("jf sites", 3);
+        let text = prometheus_text(&sink.snapshot());
+        // Raw-name (BTreeMap) order: "jf sites" < "jf.sites" < "jf/sites".
+        assert!(text.contains("ipcp_jf_sites_total 3"));
+        assert!(text.contains("ipcp_jf_sites_2_total 1"));
+        assert!(text.contains("ipcp_jf_sites_3_total 2"));
+        // Rendering twice is byte-identical.
+        assert_eq!(text, prometheus_text(&sink.snapshot()));
     }
 }

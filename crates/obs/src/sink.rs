@@ -57,6 +57,12 @@ pub trait ObsSink: Sync {
     #[inline]
     fn count(&self, _name: &str, _delta: u64) {}
 
+    /// Records one sample into the named value distribution (e.g. a
+    /// per-procedure context count). Recording sinks aggregate these
+    /// into bounded-relative-error histograms.
+    #[inline]
+    fn value(&self, _name: &str, _value: u64) {}
+
     /// Records one solver lattice transition.
     #[inline]
     fn transition(&self, _event: TransitionEvent) {}
@@ -119,6 +125,7 @@ mod tests {
         assert_eq!(sink.now(), 0);
         sink.span("x", "y", 0, 1);
         sink.count("c", 3);
+        sink.value("v", 42);
         sink.transition(TransitionEvent {
             callee: "f".into(),
             slot: "arg0".into(),

@@ -9,6 +9,7 @@
 //! merge in a fixed order" discipline `ipcp_analysis::par` uses for
 //! analysis results.
 
+use crate::histogram::Histogram;
 use crate::sink::{ObsSink, TransitionEvent};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -57,6 +58,12 @@ pub struct TraceSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Solver transitions with their record timestamps, in record order.
     pub transitions: Vec<(u64, usize, TransitionEvent)>,
+    /// Per-span-name duration histograms (nanoseconds), merged across
+    /// worker shards (bucket-wise, so merge order cannot matter).
+    pub duration_histograms: BTreeMap<String, Histogram>,
+    /// Named value histograms fed through [`ObsSink::value`], merged
+    /// across worker shards.
+    pub value_histograms: BTreeMap<String, Histogram>,
 }
 
 impl TraceSnapshot {
@@ -112,6 +119,14 @@ impl TraceSnapshot {
 #[derive(Default)]
 struct Shard {
     spans: Vec<SpanRecord>,
+    durations: BTreeMap<String, Histogram>,
+    values: BTreeMap<String, Histogram>,
+}
+
+fn merge_histograms(into: &mut BTreeMap<String, Histogram>, from: &BTreeMap<String, Histogram>) {
+    for (name, hist) in from {
+        into.entry(name.clone()).or_default().merge(hist);
+    }
 }
 
 /// The recording sink.
@@ -145,14 +160,21 @@ impl TraceSink {
     /// shards in deterministic `(start, seq)` order.
     pub fn snapshot(&self) -> TraceSnapshot {
         let mut spans: Vec<SpanRecord> = Vec::new();
+        let mut duration_histograms = BTreeMap::new();
+        let mut value_histograms = BTreeMap::new();
         for shard in &self.shards {
-            spans.extend(shard.lock().unwrap().spans.iter().cloned());
+            let shard = shard.lock().unwrap();
+            spans.extend(shard.spans.iter().cloned());
+            merge_histograms(&mut duration_histograms, &shard.durations);
+            merge_histograms(&mut value_histograms, &shard.values);
         }
         spans.sort_by_key(|s| (s.start_ns, s.seq));
         TraceSnapshot {
             spans,
             counters: self.counters.lock().unwrap().clone(),
             transitions: self.transitions.lock().unwrap().clone(),
+            duration_histograms,
+            value_histograms,
         }
     }
 }
@@ -177,11 +199,23 @@ impl ObsSink for TraceSink {
             worker,
             seq,
         };
-        self.shards[worker % SHARDS]
+        let mut shard = self.shards[worker % SHARDS].lock().unwrap();
+        shard
+            .durations
+            .entry(name.to_string())
+            .or_default()
+            .record(duration_ns);
+        shard.spans.push(record);
+    }
+
+    fn value(&self, name: &str, value: u64) {
+        self.shards[worker_slot() % SHARDS]
             .lock()
             .unwrap()
-            .spans
-            .push(record);
+            .values
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 
     fn count(&self, name: &str, delta: u64) {
@@ -229,6 +263,38 @@ mod tests {
         let st = sink.snapshot().self_times_us();
         assert_eq!(st["parent"], 70);
         assert_eq!(st["child"], 30);
+    }
+
+    #[test]
+    fn histograms_aggregate_spans_and_values_across_shards() {
+        let sink = TraceSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.span("w", "par", t * 1000 + i, i + 1);
+                        sink.value("ctx", i % 7);
+                    }
+                });
+            }
+        });
+        let snap = sink.snapshot();
+        let durations = &snap.duration_histograms["w"];
+        assert_eq!(durations.count(), 400);
+        // Shard-merged recording matches one histogram fed directly.
+        let mut single = Histogram::new();
+        for _ in 0..8 {
+            for i in 0..50u64 {
+                single.record(i + 1);
+            }
+        }
+        assert_eq!(*durations, single);
+        assert_eq!(snap.value_histograms["ctx"].count(), 400);
+        assert_eq!(
+            snap.value_histograms["ctx"].sum(),
+            8 * (0..50u64).map(|i| (i % 7) as u128).sum::<u128>()
+        );
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Cross-shard merge determinism when the worker count exceeds the
+//! fixed shard count (32): exported Chrome trace JSON and Prometheus
+//! text must be byte-identical across runs even though thread start-up
+//! order — and therefore raw worker-slot assignment and shard packing —
+//! differs every time.
+
+use ipcp_obs::{chrome_trace_json, prometheus_text, validate_chrome_trace, ObsSink, TraceSink};
+
+/// Records a fixed workload from `jobs` concurrent threads: every span
+/// has a globally unique deterministic start time, so the merged
+/// `(start_ns, seq)` order is independent of recording interleaving.
+fn record(jobs: usize) -> (String, String) {
+    let sink = TraceSink::new();
+    std::thread::scope(|scope| {
+        for t in 0..jobs {
+            let sink = &sink;
+            scope.spawn(move || {
+                for i in 0..20u64 {
+                    let start = (t as u64) * 100_000 + i * 100;
+                    sink.span(&format!("item-{t}-{i}"), "par", start, 40 + i);
+                    sink.value("work.units", i % 11);
+                }
+                sink.count("items", 20);
+            });
+        }
+    });
+    let snap = sink.snapshot();
+    (chrome_trace_json(&snap), prometheus_text(&snap))
+}
+
+#[test]
+fn exports_are_byte_identical_across_runs_at_every_worker_count() {
+    // 31 (under), 32 (exactly the shard count), 33 and 64 (over: several
+    // workers share a shard and merge order inside a shard is racy).
+    for jobs in [31usize, 32, 33, 64] {
+        let (chrome_a, prom_a) = record(jobs);
+        let (chrome_b, prom_b) = record(jobs);
+        assert_eq!(chrome_a, chrome_b, "chrome trace diverged at jobs={jobs}");
+        assert_eq!(prom_a, prom_b, "prometheus text diverged at jobs={jobs}");
+        let stats = validate_chrome_trace(&chrome_a).expect("valid trace");
+        assert_eq!(stats.spans, jobs * 20);
+        assert!(prom_a.contains(&format!("ipcp_work_units_count {}", jobs * 20)));
+    }
+}

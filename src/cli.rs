@@ -29,6 +29,8 @@ pub struct Cli {
     pub trace_out: Option<String>,
     /// The procedure `explain` should report on.
     pub explain_proc: Option<String>,
+    /// Optional phase or procedure filter for `why`.
+    pub why_filter: Option<String>,
     /// The parameter/global/slot name `explain` should narrow to.
     pub explain_param: Option<String>,
     /// Iteration count for `fuzz` (`--iters`).
@@ -94,6 +96,9 @@ pub enum Command {
     Explain,
     /// Print Prometheus-style metrics of one traced analysis run.
     Metrics,
+    /// Explain what an incremental re-analysis recomputed and why,
+    /// against the audit ledger persisted next to the disk cache.
+    Why,
     /// Differential + metamorphic fuzzing of the optimize pipeline
     /// (semantic preservation at every jump-function level).
     Fuzz,
@@ -113,6 +118,7 @@ impl Command {
             "lint" => Command::Lint,
             "explain" => Command::Explain,
             "metrics" => Command::Metrics,
+            "why" => Command::Why,
             "fuzz" => Command::Fuzz,
             "cache" => Command::Cache,
             _ => return None,
@@ -147,6 +153,10 @@ commands:
   lint        check the FORTRAN no-alias rule
   explain     explain a constant's provenance: explain <file.mf> <proc> [param]
   metrics     print Prometheus-style metrics of one traced analysis run
+  why         re-analyze against the persistent cache and explain every
+              recomputed phase: why <file.mf> [phase|proc] --cache-dir <dir>
+              (names the changed procedures/globals or config facets; the
+              audit ledger lives under <dir>/audit/)
   fuzz        differential fuzzing of the optimizer (no file argument);
               checks semantic preservation at all four jump-function levels
               (add --level cond to extend the ladder to conditional
@@ -374,6 +384,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     }
 
     let mut cache_action = None;
+    let mut why_filter = None;
     let (explain_proc, explain_param) = if command == Command::Explain {
         let mut pos = positionals.into_iter();
         let proc = pos
@@ -401,6 +412,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             return Err(UsageError("cache needs --cache-dir <dir>".into()));
         }
         (None, None)
+    } else if command == Command::Why {
+        let mut pos = positionals.into_iter();
+        why_filter = pos.next();
+        if let Some(extra) = pos.next() {
+            return Err(UsageError(format!("unexpected argument `{extra}`")));
+        }
+        if cache_dir.is_none() {
+            return Err(UsageError("why needs --cache-dir <dir>".into()));
+        }
+        (None, None)
     } else {
         if let Some(extra) = positionals.first() {
             return Err(UsageError(format!("unexpected argument `{extra}`")));
@@ -417,6 +438,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         timings,
         trace_out,
         explain_proc,
+        why_filter,
         explain_param,
         fuzz_iters,
         fuzz_seed,
@@ -450,6 +472,7 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                     .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
                 session.attach_disk_cache(std::sync::Arc::new(cache));
             }
+            session.set_audit_label(&cli.file);
             let session = session;
             let mut trace_note = None;
             let outcome = match &cli.trace_out {
@@ -494,6 +517,16 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 // stays byte-identical with and without --cache-dir.
                 if let Some(cache) = session.disk_cache() {
                     let _ = writeln!(out, "disk cache: {}", cache.stats());
+                }
+                // Miss-reason attribution from the incrementality audit
+                // (`ipcp why` has the per-phase breakdown).
+                let miss_reasons = session.stats().miss_reasons;
+                if !miss_reasons.is_empty() {
+                    let rendered: Vec<String> = miss_reasons
+                        .iter()
+                        .map(|(label, n)| format!("{label} {n}"))
+                        .collect();
+                    let _ = writeln!(out, "miss reasons: {}", rendered.join(", "));
                 }
                 // Memory figures of the scaling study: process peak RSS
                 // (when procfs exposes it) and the jump-function arena's
@@ -590,7 +623,14 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
         }
         Command::Metrics => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
-            let session = crate::core::AnalysisSession::new(&program);
+            let mut session = crate::core::AnalysisSession::new(&program);
+            if let Some(dir) = &cli.cache_dir {
+                let cache = crate::core::DiskCache::open(dir)
+                    .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+                session.attach_disk_cache(std::sync::Arc::new(cache));
+            }
+            session.set_audit_label(&cli.file);
+            let session = session;
             let sink = crate::core::obs::TraceSink::new();
             session
                 .analyze_checked_obs(&cli.config, &sink)
@@ -629,7 +669,53 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                 );
                 let _ = writeln!(out, "ipcp_peak_rss_bytes {peak}");
             }
+            let miss_reasons = session.stats().miss_reasons;
+            if !miss_reasons.is_empty() {
+                out.push_str(
+                    "# HELP ipcp_miss_reason_total Recomputed artifacts by miss reason \
+                     (incrementality audit).\n\
+                     # TYPE ipcp_miss_reason_total counter\n",
+                );
+                for (label, n) in &miss_reasons {
+                    let _ = writeln!(out, "ipcp_miss_reason_total{{reason=\"{label}\"}} {n}");
+                }
+            }
+            if let Some(cache) = session.disk_cache() {
+                let cs = cache.stats();
+                out.push_str(
+                    "# HELP ipcp_diskcache_operations_total Persistent-cache traffic of \
+                     this run.\n\
+                     # TYPE ipcp_diskcache_operations_total counter\n",
+                );
+                for (op, n) in [
+                    ("hits", cs.hits),
+                    ("misses", cs.misses),
+                    ("writes", cs.writes),
+                    ("write_errors", cs.write_errors),
+                    ("quarantined", cs.quarantined),
+                    ("evicted", cs.evicted),
+                ] {
+                    let _ = writeln!(out, "ipcp_diskcache_operations_total{{op=\"{op}\"}} {n}");
+                }
+            }
             Ok(out)
+        }
+        Command::Why => {
+            let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
+            let mut session = crate::core::AnalysisSession::new(&program);
+            let dir = cli.cache_dir.as_deref().expect("parser enforces");
+            let cache = crate::core::DiskCache::open(dir)
+                .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
+            session.attach_disk_cache(std::sync::Arc::new(cache));
+            session.set_audit_label(&cli.file);
+            let session = session;
+            session
+                .analyze_checked(&cli.config)
+                .map_err(|e| e.to_string())?;
+            let audit = session
+                .last_audit()
+                .ok_or_else(|| "no incrementality audit available (metered run?)".to_string())?;
+            Ok(audit.render(cli.why_filter.as_deref()))
         }
         Command::Fuzz => {
             use crate::suite::fuzz::{run_fuzz, FuzzConfig};
@@ -1018,6 +1104,92 @@ main\n  call init()\n  call compute(8)\nend\n";
             out.contains("ipcp_substitutions_by_level{level=\"literal\"}"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn parse_why() {
+        let cli = parse_args(&args(&["why", "x.mf", "--cache-dir", "d"])).unwrap();
+        assert_eq!(cli.command, Command::Why);
+        assert_eq!(cli.why_filter, None);
+        assert_eq!(cli.cache_dir.as_deref(), Some("d"));
+        let cli = parse_args(&args(&["why", "x.mf", "ssa", "--cache-dir", "d"])).unwrap();
+        assert_eq!(cli.why_filter.as_deref(), Some("ssa"));
+        // --cache-dir is mandatory and at most one filter is accepted.
+        assert!(parse_args(&args(&["why", "x.mf"])).is_err());
+        assert!(parse_args(&args(&["why", "x.mf", "a", "b", "--cache-dir", "d"])).is_err());
+    }
+
+    #[test]
+    fn execute_why_attributes_an_edit() {
+        let dir = temp_cache_dir("why");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let why = parse_args(&args(&["why", "x.mf", "--cache-dir", &dir_str])).unwrap();
+        let cold = execute(&why, GLOBALS_PROGRAM).unwrap();
+        assert!(cold.contains("first analysis under this label"), "{cold}");
+        assert!(cold.contains("first computation"), "{cold}");
+        // Edit only `compute`; its closure is itself plus its caller.
+        let edited = GLOBALS_PROGRAM.replace("print(n + k)", "print(n * k)");
+        let out = execute(&why, &edited).unwrap();
+        assert!(out.contains("changed procedures: compute"), "{out}");
+        assert!(out.contains("input changed (procs: compute)"), "{out}");
+        assert!(!out.contains("first computation"), "{out}");
+        assert!(
+            !out.contains("init:"),
+            "init is outside the closure:\n{out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timings_reports_miss_reasons_with_cache_dir() {
+        let dir = temp_cache_dir("timings-reasons");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let cli = parse_args(&args(&[
+            "analyze",
+            "x.mf",
+            "--cache-dir",
+            &dir_str,
+            "--timings",
+        ]))
+        .unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(out.contains("miss reasons: first-computation"), "{out}");
+        // A warm re-run recomputes nothing, so the line disappears.
+        let warm = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(!warm.contains("miss reasons:"), "{warm}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_metrics_with_cache_dir_reports_disk_counters() {
+        let dir = temp_cache_dir("metrics-disk");
+        let dir_str = dir.to_string_lossy().into_owned();
+        let cli = parse_args(&args(&["metrics", "x.mf", "--cache-dir", &dir_str])).unwrap();
+        let out = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(
+            out.contains("ipcp_miss_reason_total{reason=\"first-computation\"}"),
+            "{out}"
+        );
+        assert!(
+            out.contains("ipcp_diskcache_operations_total{op=\"misses\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("ipcp_diskcache_operations_total{op=\"writes\"} 1"),
+            "{out}"
+        );
+        // Warm run: served from disk, nothing recomputed.
+        let warm = execute(&cli, GLOBALS_PROGRAM).unwrap();
+        assert!(
+            warm.contains("ipcp_diskcache_operations_total{op=\"hits\"} 1"),
+            "{warm}"
+        );
+        assert!(!warm.contains("ipcp_miss_reason_total"), "{warm}");
+        // Without --cache-dir the disk counter family is absent.
+        let plain = parse_args(&args(&["metrics", "x.mf"])).unwrap();
+        let out = execute(&plain, GLOBALS_PROGRAM).unwrap();
+        assert!(!out.contains("ipcp_diskcache_operations_total"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Acceptance scenario for the incrementality audit: on a ~1000-procedure
+//! generated corpus, editing one procedure's body and re-analyzing against
+//! the persistent cache must attribute every recomputed phase to exactly
+//! that procedure's closure — zero `first computation` misses anywhere —
+//! and a second run must report everything up to date.
+
+use ipcp::cli::{execute, parse_args};
+use ipcp::suite::gen::{generate_scale, ScaleSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ipcp-audit-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn argv(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Replaces the single body line of `proc {name}()` with `replacement`.
+fn edit_proc_body(source: &str, name: &str, replacement: &str) -> String {
+    let marker = format!("proc {name}()\n");
+    let at = source.find(&marker).expect("proc present in corpus") + marker.len();
+    let line_end = at + source[at..].find('\n').expect("body line terminated") + 1;
+    format!("{}{replacement}\n{}", &source[..at], &source[line_end..])
+}
+
+/// The recomputed-unit names listed under one `phase {name}:` section.
+fn phase_entries(report: &str, phase: &str) -> Vec<String> {
+    let header = format!("phase {phase}:");
+    let mut out = Vec::new();
+    let mut inside = false;
+    for line in report.lines() {
+        if line.starts_with("phase ") {
+            inside = line.starts_with(&header);
+            continue;
+        }
+        if inside && line.starts_with("  ") {
+            if let Some((name, _)) = line.trim_start().split_once(':') {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn one_proc_edit_attributes_exactly_its_closure() {
+    let dir = temp_dir("edit");
+    let dir_str = dir.to_string_lossy().into_owned();
+    let base = generate_scale(&ScaleSpec::with_procs(1000, 7)).source;
+
+    // Cold run populates the cache and writes the audit ledger.
+    let analyze = parse_args(&argv(&["analyze", "scale.mf", "--cache-dir", &dir_str])).unwrap();
+    execute(&analyze, &base).unwrap();
+
+    // Edit exactly one leaf procedure's body. Its closure is itself plus
+    // its only caller, `main`.
+    let edited = edit_proc_body(&base, "rdr0", "  print(424242)");
+    assert_ne!(base, edited);
+
+    let why = parse_args(&argv(&["why", "scale.mf", "--cache-dir", &dir_str])).unwrap();
+    let out = execute(&why, &edited).unwrap();
+
+    assert!(out.contains("changed procedures: rdr0\n"), "{out}");
+    assert!(
+        !out.contains("first computation"),
+        "an incremental edit must produce zero first-computation misses:\n{out}"
+    );
+    assert!(out.contains("input changed (procs: rdr0)"), "{out}");
+    // Every proc-scoped phase recomputes exactly the edited closure.
+    for phase in ["ssa", "retjf", "symvals", "forward-jf", "dce"] {
+        let mut entries = phase_entries(&out, phase);
+        entries.sort();
+        assert_eq!(
+            entries,
+            ["main", "rdr0"],
+            "phase {phase} must recompute exactly the edited closure:\n{out}"
+        );
+    }
+    // Program-scoped phases attribute their single unit to the edit too.
+    for phase in ["callgraph", "modref", "solve", "subst"] {
+        assert_eq!(
+            phase_entries(&out, phase),
+            [phase],
+            "program-scoped phase {phase} must recompute once:\n{out}"
+        );
+    }
+
+    // `why` advanced the ledger and repopulated the cache, so a second
+    // run over the same source is served entirely from disk.
+    let again = execute(&why, &edited).unwrap();
+    assert!(!again.contains("changed procedures"), "{again}");
+    assert!(!again.contains("input changed"), "{again}");
+    assert!(!again.contains("first computation"), "{again}");
+    assert!(again.contains("0 recomputed"), "{again}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn why_first_run_and_filters() {
+    let dir = temp_dir("filters");
+    let dir_str = dir.to_string_lossy().into_owned();
+    let base = generate_scale(&ScaleSpec::with_procs(40, 11)).source;
+
+    // A first run under a fresh label is all first-computation.
+    let why = parse_args(&argv(&["why", "small.mf", "--cache-dir", &dir_str])).unwrap();
+    let cold = execute(&why, &base).unwrap();
+    assert!(cold.contains("first analysis under this label"), "{cold}");
+    assert!(cold.contains("first computation"), "{cold}");
+
+    let edited = edit_proc_body(&base, "rdr1", "  print(7)");
+
+    // A phase filter narrows the report to that phase's full list.
+    let ssa_only = parse_args(&argv(&["why", "small.mf", "ssa", "--cache-dir", &dir_str])).unwrap();
+    let out = execute(&ssa_only, &edited).unwrap();
+    assert!(out.contains("phase ssa:"), "{out}");
+    for phase in ["callgraph", "modref", "solve", "subst", "diskcache"] {
+        assert!(
+            !out.contains(&format!("phase {phase}:")),
+            "phase filter must hide {phase}:\n{out}"
+        );
+    }
+    let mut entries = phase_entries(&out, "ssa");
+    entries.sort();
+    assert_eq!(entries, ["main", "rdr1"], "{out}");
+
+    // A proc filter keeps only phases that recomputed that unit; after
+    // the run above the ledger is current, so nothing is recomputed.
+    let proc_only =
+        parse_args(&argv(&["why", "small.mf", "rdr1", "--cache-dir", &dir_str])).unwrap();
+    let out = execute(&proc_only, &edited).unwrap();
+    assert!(out.contains("nothing recomputed for `rdr1`"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

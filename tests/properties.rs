@@ -630,6 +630,56 @@ proptest! {
             }
         }
     }
+
+    /// The full observability stack — trace sink, latency histograms,
+    /// and the disk cache's audit ledger — never changes the outcome:
+    /// cold and warm cached+traced runs match the plain run byte for
+    /// byte, and the warm run's audit reports nothing recomputed.
+    #[test]
+    fn cache_and_tracing_together_never_change_the_outcome(
+        src in program(),
+        config in arb_config(),
+    ) {
+        use ipcp::core::obs::TraceSink;
+        use ipcp::core::{AnalysisSession, DiskCache};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let ir = ipcp::ir::compile_to_ir(&src).expect("compiles");
+        let config = AnalysisConfig { fuel: None, ..config };
+        let plain = AnalysisSession::new(&ir)
+            .analyze_checked(&config)
+            .expect("Degrade policy never errors");
+        let dir = std::env::temp_dir().join(format!(
+            "ipcp-prop-obs-cache-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        for pass in ["cold", "warm"] {
+            let mut session = AnalysisSession::new(&ir);
+            session.attach_disk_cache(Arc::new(DiskCache::open(&dir).expect("cache opens")));
+            session.set_audit_label("prop.mf");
+            let session = session;
+            let sink = TraceSink::new();
+            let got = session
+                .analyze_checked_obs(&config, &sink)
+                .expect("Degrade policy never errors");
+            assert_outcomes_identical(
+                &got,
+                &plain,
+                &format!("{pass} cached+traced vs plain: {config:?}"),
+            );
+            let audit = session.last_audit().expect("unmetered run always audits");
+            if pass == "warm" {
+                prop_assert_eq!(
+                    audit.total_recomputed(), 0,
+                    "warm cached run recomputed artifacts: {:?}", config
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 // ---- front-end round-trip property ---------------------------------------
