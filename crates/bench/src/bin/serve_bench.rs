@@ -1,0 +1,184 @@
+//! Load generator for the `ipcp serve` daemon.
+//!
+//! Spawns an in-process daemon on a temp socket, then drives it with
+//! N ∈ {1, 4, 16} concurrent clients: a *cold* phase where every client
+//! analyzes its own previously-unseen program (full pipeline per
+//! request) and a *warm* phase re-requesting the same programs (served
+//! from the resident tenants' memo). Client-observed latencies go to
+//! `BENCH_serve.json` as req/s plus p50/p99 per phase; every response —
+//! cold and warm — is asserted byte-identical to one-shot `ipcp
+//! analyze` output, and warm p50 must beat cold p50 by at least 5×.
+//!
+//! Usage: `cargo run --release -p ipcp-bench --bin serve_bench`
+
+use ipcp_core::serve::{spawn, Client, ServeConfig};
+use ipcp_core::{analyze_source, AnalysisConfig};
+use ipcp_suite::{generate_scale, ScaleSpec};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Warm re-requests per client.
+const WARM_ITERS: usize = 50;
+/// Procedures per generated tenant program. Sized so one cold analysis
+/// dominates a warm memo hit by a wide margin even on one core.
+const PROGRAM_PROCS: usize = 300;
+
+struct PhaseStats {
+    requests: usize,
+    elapsed_us: u128,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+impl PhaseStats {
+    fn req_per_s(&self) -> f64 {
+        self.requests as f64 / (self.elapsed_us.max(1) as f64 / 1_000_000.0)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"elapsed_us\":{},\"req_per_s\":{:.1},\
+             \"p50_us\":{},\"p99_us\":{}}}",
+            self.requests,
+            self.elapsed_us,
+            self.req_per_s(),
+            self.p50_us,
+            self.p99_us
+        )
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn stats(mut latencies: Vec<u64>, elapsed_us: u128) -> PhaseStats {
+    latencies.sort_unstable();
+    PhaseStats {
+        requests: latencies.len(),
+        elapsed_us,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+/// One client's requests in one phase: `iters` analyzes of `source`,
+/// each asserted byte-identical to `golden`. Returns the latencies.
+fn drive(socket: &Path, source: &str, golden: &str, iters: usize) -> Vec<u64> {
+    let mut client = Client::connect(socket).expect("client connects");
+    let mut latencies = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let start = Instant::now();
+        let out = client
+            .call(i as u64, "analyze", &[("source", source)])
+            .expect("transport")
+            .into_result()
+            .expect("analyze succeeds");
+        latencies.push(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        assert_eq!(
+            out, golden,
+            "daemon response diverged from one-shot `ipcp analyze` output"
+        );
+    }
+    latencies
+}
+
+/// Runs one scenario at `clients` concurrent connections; returns the
+/// cold- and warm-phase stats.
+fn scenario(clients: usize, programs: &[(String, String)]) -> (PhaseStats, PhaseStats) {
+    let socket = std::env::temp_dir().join(format!(
+        "ipcp_serve_bench_{}_{clients}.sock",
+        std::process::id()
+    ));
+    let handle = spawn(ServeConfig::new(&socket)).expect("daemon starts");
+
+    let run_phase = |iters: usize| -> PhaseStats {
+        let started = Instant::now();
+        let latencies: Vec<u64> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let (source, golden) = &programs[c];
+                    let socket = &socket;
+                    scope.spawn(move || drive(socket, source, golden, iters))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("client thread"))
+                .collect()
+        });
+        stats(latencies, started.elapsed().as_micros())
+    };
+
+    let cold = run_phase(1);
+    let warm = run_phase(WARM_ITERS);
+
+    let mut control = Client::connect(&socket).expect("control connects");
+    control
+        .call(0, "shutdown", &[])
+        .expect("transport")
+        .into_result()
+        .expect("shutdown succeeds");
+    let summary = handle.join().expect("clean daemon exit");
+    assert_eq!(summary.overloaded, 0, "bench load must never shed");
+    assert_eq!(summary.tenants, clients, "one tenant per client");
+    (cold, warm)
+}
+
+fn main() -> ExitCode {
+    // One distinct program per client slot, plus its one-shot golden
+    // output (computed outside any timed phase).
+    let max_clients = 16;
+    let programs: Vec<(String, String)> = (0..max_clients)
+        .map(|seed| {
+            let source = generate_scale(&ScaleSpec::with_procs(PROGRAM_PROCS, seed as u64)).source;
+            let outcome =
+                analyze_source(&source, &AnalysisConfig::default()).expect("program analyzes");
+            let golden = ipcp_core::report::analyze_to_string(&outcome);
+            (source, golden)
+        })
+        .collect();
+
+    let mut out = String::from("{\"bench\":\"serve\",\"scenarios\":[");
+    let mut ok = true;
+    for (i, &clients) in [1usize, 4, 16].iter().enumerate() {
+        let (cold, warm) = scenario(clients, &programs);
+        let speedup = cold.p50_us as f64 / warm.p50_us.max(1) as f64;
+        println!(
+            "{clients:>2} clients: cold p50 {}us p99 {}us ({:.1} req/s), \
+             warm p50 {}us p99 {}us ({:.1} req/s), warm speedup {speedup:.1}x",
+            cold.p50_us,
+            cold.p99_us,
+            cold.req_per_s(),
+            warm.p50_us,
+            warm.p99_us,
+            warm.req_per_s(),
+        );
+        if speedup < 5.0 {
+            eprintln!("FAIL: warm p50 must be >= 5x faster than cold at {clients} clients");
+            ok = false;
+        }
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"clients\":{clients},\"cold\":{},\"warm\":{},\"warm_speedup\":{speedup:.1}}}",
+            cold.to_json(),
+            warm.to_json()
+        );
+    }
+    out.push_str("],\"warm_identical\":true}\n");
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write("BENCH_serve.json", &out) {
+        eprintln!("cannot write BENCH_serve.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote BENCH_serve.json");
+    ExitCode::SUCCESS
+}

@@ -367,6 +367,18 @@ struct DirLock<'a> {
     path: PathBuf,
 }
 
+/// The lock file's mtime, if it can be observed at all.
+fn lock_mtime(path: &Path) -> Option<std::time::SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// Whether a lock with this mtime is past the staleness horizon.
+fn lock_is_stale(mtime: Option<std::time::SystemTime>) -> bool {
+    mtime
+        .and_then(|m| m.elapsed().ok())
+        .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS)
+}
+
 impl<'a> DirLock<'a> {
     /// Acquires the advisory lock, breaking stale locks and retrying
     /// briefly against live contenders.
@@ -376,14 +388,12 @@ impl<'a> DirLock<'a> {
             match io.create_lock(&path) {
                 Ok(()) => return Ok(DirLock { io, path }),
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let stale = std::fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|mtime| mtime.elapsed().ok())
-                        .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS);
-                    if stale {
-                        // Presumed-dead owner: break the lock and retry.
-                        let _ = io.remove(&path);
+                    let judged = lock_mtime(&path);
+                    if lock_is_stale(judged) {
+                        // Presumed-dead owner: break the lock under the
+                        // break mutex, then loop straight back to the
+                        // O_EXCL create so exactly one breaker wins.
+                        Self::break_stale(io, dir, &path, judged);
                     } else if attempt == 49 {
                         return Err(e);
                     } else {
@@ -397,6 +407,53 @@ impl<'a> DirLock<'a> {
             io::ErrorKind::WouldBlock,
             "cache lock contention",
         ))
+    }
+
+    /// Breaks a `.lock` judged stale at mtime `judged`. Unlink + O_EXCL
+    /// create is not atomic, so a naive break lets two contenders both
+    /// unlink and one of them delete a lock a third party just
+    /// legitimately re-created. All unlinks of `.lock` therefore
+    /// serialize on a second O_EXCL file, `.lock.break`, and the winner
+    /// re-verifies — while holding the break mutex — that the lock it is
+    /// about to unlink is byte-for-byte the one it judged stale: same
+    /// mtime, still past the horizon. A fresh lock can only appear
+    /// *after* an unlink, and unlinks only happen inside the mutex, so
+    /// no live owner's lock is ever removed.
+    fn break_stale(
+        io: &dyn CacheIo,
+        dir: &Path,
+        path: &Path,
+        judged: Option<std::time::SystemTime>,
+    ) {
+        let breaker = dir.join(".lock.break");
+        match io.create_lock(&breaker) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                // The break mutex is held only across two stats and an
+                // unlink — never across blocking work — so a stale one
+                // belongs to a breaker that died mid-break.
+                if lock_is_stale(lock_mtime(&breaker)) {
+                    let _ = io.remove(&breaker);
+                }
+                // Someone else is (or was) breaking; let them finish.
+                std::thread::sleep(Duration::from_millis(2));
+                return;
+            }
+            Err(_) => return,
+        }
+        let current = lock_mtime(path);
+        if current == judged && lock_is_stale(current) {
+            let _ = io.remove(path);
+        }
+        let _ = io.remove(&breaker);
+    }
+
+    /// Refreshes the lock's mtime, marking the owner as alive. Long
+    /// multi-entry operations (eviction sweeps, `clear`) call this
+    /// periodically so a legitimate holder working past
+    /// [`LOCK_STALE_SECS`] is not presumed dead and broken mid-flight.
+    fn refresh(&self) {
+        touch(&self.path);
     }
 }
 
@@ -617,7 +674,7 @@ impl DiskCache {
     /// swallowed — the analysis result is already in hand; the cache
     /// merely failed to remember it.
     pub fn store(&self, key: u64, payload: &[u8]) {
-        let _lock = match DirLock::acquire(self.io.as_ref(), &self.dir) {
+        let lock = match DirLock::acquire(self.io.as_ref(), &self.dir) {
             Ok(lock) => lock,
             Err(e) => {
                 self.stats.lock().expect("cache stats lock").write_errors += 1;
@@ -642,20 +699,30 @@ impl DiskCache {
             return;
         }
         self.stats.lock().expect("cache stats lock").writes += 1;
-        self.evict_over_budget();
+        self.evict_over_budget(&lock);
     }
 
     /// Deletes least-recently-used entries until the byte budget holds.
-    fn evict_over_budget(&self) {
+    /// Only canonical payload entries (see [`payload_key`]) are counted
+    /// or deleted; audit ledgers, quarantined files, the advisory lock,
+    /// and anything else sharing the directory are out of scope.
+    fn evict_over_budget(&self, lock: &DirLock<'_>) {
+        self.sweep_dead_temps();
         let Some(max) = self.max_bytes else { return };
         let mut entries = self.list_entries();
         let mut total: u64 = entries.iter().map(|e| e.size).sum();
         // Oldest mtime first; name breaks ties deterministically.
         entries.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
         let mut evicted = 0;
-        for entry in &entries {
+        for (i, entry) in entries.iter().enumerate() {
             if total <= max {
                 break;
+            }
+            // A sweep over many entries can outlast the staleness
+            // horizon; keep marking the lock alive so contenders don't
+            // presume us dead and break it mid-sweep.
+            if i % 64 == 0 {
+                lock.refresh();
             }
             if self.io.remove(&entry.path).is_ok() {
                 total -= entry.size;
@@ -667,6 +734,32 @@ impl DiskCache {
         }
     }
 
+    /// Deletes `.tmp-*` files older than the staleness horizon: a
+    /// crashed writer's torn temp is never published, but left alone it
+    /// would consume disk forever while staying invisible to the byte
+    /// budget. Fresh temps belong to in-flight writers and are kept.
+    fn sweep_dead_temps(&self) {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for dirent in read.flatten() {
+            let name = dirent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(".tmp-") {
+                continue;
+            }
+            let dead = dirent
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| mtime.elapsed().ok())
+                .is_some_and(|age| age.as_secs() >= LOCK_STALE_SECS);
+            if dead {
+                let _ = self.io.remove(&dirent.path());
+            }
+        }
+    }
+
     fn list_entries(&self) -> Vec<EntryMeta> {
         let Ok(read) = std::fs::read_dir(&self.dir) else {
             return Vec::new();
@@ -674,12 +767,15 @@ impl DiskCache {
         let mut out = Vec::new();
         for dirent in read.flatten() {
             let path = dirent.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("art") {
+            if payload_key(&path).is_none() {
                 continue;
             }
             let Ok(meta) = dirent.metadata() else {
                 continue;
             };
+            if !meta.is_file() {
+                continue;
+            }
             out.push(EntryMeta {
                 mtime: meta.modified().ok(),
                 size: meta.len(),
@@ -734,9 +830,14 @@ impl DiskCache {
     /// Removes every entry and quarantined file; returns how many files
     /// were deleted.
     pub fn clear(&self) -> u64 {
-        let _lock = DirLock::acquire(self.io.as_ref(), &self.dir).ok();
+        let lock = DirLock::acquire(self.io.as_ref(), &self.dir).ok();
         let mut removed = 0;
-        for entry in self.list_entries() {
+        for (i, entry) in self.list_entries().iter().enumerate() {
+            if i % 64 == 0 {
+                if let Some(lock) = &lock {
+                    lock.refresh();
+                }
+            }
             if self.io.remove(&entry.path).is_ok() {
                 removed += 1;
             }
@@ -772,6 +873,22 @@ struct EntryMeta {
     mtime: Option<std::time::SystemTime>,
     size: u64,
     path: PathBuf,
+}
+
+/// The key of a canonical payload entry — a file named exactly
+/// `<key:016x>.art` — or `None` for everything else. This is the scope
+/// test for eviction and entry listings: the advisory `.lock`, the
+/// `audit/` ledgers, `quarantine/`, in-flight `.tmp-*` files, and any
+/// foreign file a user drops next to the cache all fall outside it.
+fn payload_key(path: &Path) -> Option<u64> {
+    if path.extension().and_then(|e| e.to_str()) != Some("art") {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    if stem.len() != 16 || !stem.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
 }
 
 /// Best-effort LRU touch: refresh `path`'s mtime so eviction sees it as
@@ -1001,6 +1118,216 @@ mod tests {
         assert_eq!(
             cache.load(4).as_deref(),
             Some(&b"through the stale lock"[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn backdate(path: &Path) {
+        let old = std::time::SystemTime::now() - Duration::from_secs(LOCK_STALE_SECS + 5);
+        let f = std::fs::File::options().append(true).open(path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(old))
+            .unwrap();
+    }
+
+    /// [`RealIo`] whose removals of a *stale* `.lock` are artificially
+    /// staggered, widening the judge→unlink window the pre-fix breaking
+    /// code raced on: contender B's delayed unlink lands after contender
+    /// A already re-created the lock, letting C in alongside A.
+    struct StaggeredBreakIo {
+        inner: RealIo,
+        seq: std::sync::atomic::AtomicUsize,
+    }
+
+    impl CacheIo for StaggeredBreakIo {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.inner.write(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove(&self, path: &Path) -> io::Result<()> {
+            let is_lock = path.file_name().and_then(|n| n.to_str()) == Some(".lock");
+            if is_lock && lock_is_stale(lock_mtime(path)) {
+                // Delay even the first unlink so every contender gets to
+                // judge the old lock stale before any of them removes it.
+                let n = self
+                    .seq
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+                    .min(8);
+                std::thread::sleep(Duration::from_millis(10 * (n as u64 + 1)));
+            }
+            self.inner.remove(path)
+        }
+        fn create_lock(&self, path: &Path) -> io::Result<()> {
+            self.inner.create_lock(path)
+        }
+    }
+
+    #[test]
+    fn breaking_a_stale_lock_admits_exactly_one_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = temp_dir("break-race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock = dir.join(".lock");
+        std::fs::write(&lock, "99999").unwrap();
+        backdate(&lock);
+        let io: Arc<StaggeredBreakIo> = Arc::new(StaggeredBreakIo {
+            inner: RealIo,
+            seq: AtomicUsize::new(0),
+        });
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (io, active, peak, dir) = (&io, &active, &peak, &dir);
+                scope.spawn(move || {
+                    let guard = DirLock::acquire(io.as_ref() as &dyn CacheIo, dir)
+                        .expect("every contender eventually acquires");
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(25));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                });
+            }
+        });
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "two contenders held the advisory lock at once"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// [`RealIo`] that simulates the legitimate owner's refresh landing
+    /// in the window between a contender judging the lock stale and
+    /// unlinking it: the moment the contender wins the break mutex, the
+    /// lock's mtime moves. The breaker must notice and decline.
+    struct RefreshRacingIo {
+        inner: RealIo,
+        lock: PathBuf,
+    }
+
+    impl CacheIo for RefreshRacingIo {
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.inner.write(path, bytes)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.inner.rename(from, to)
+        }
+        fn remove(&self, path: &Path) -> io::Result<()> {
+            self.inner.remove(path)
+        }
+        fn create_lock(&self, path: &Path) -> io::Result<()> {
+            let created = self.inner.create_lock(path);
+            if created.is_ok() && path.file_name().and_then(|n| n.to_str()) == Some(".lock.break") {
+                touch(&self.lock);
+            }
+            created
+        }
+    }
+
+    #[test]
+    fn a_lock_refreshed_after_being_judged_stale_is_never_unlinked() {
+        let dir = temp_dir("refresh-race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let lock = dir.join(".lock");
+        std::fs::write(&lock, "99999").unwrap();
+        backdate(&lock);
+        let io = RefreshRacingIo {
+            inner: RealIo,
+            lock: lock.clone(),
+        };
+        // The owner keeps refreshing (via the interposed IO), so the
+        // contender must give up rather than break a live lock.
+        assert!(DirLock::acquire(&io, &dir).is_err());
+        assert!(lock.exists(), "the refreshed lock must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_marks_a_long_holder_alive() {
+        let dir = temp_dir("refresh");
+        std::fs::create_dir_all(&dir).unwrap();
+        let io = RealIo;
+        let guard = DirLock::acquire(&io, &dir).unwrap();
+        backdate(&guard.path);
+        assert!(lock_is_stale(lock_mtime(&guard.path)));
+        guard.refresh();
+        assert!(
+            !lock_is_stale(lock_mtime(&guard.path)),
+            "refresh must move the lock out of the staleness horizon"
+        );
+    }
+
+    #[test]
+    fn eviction_touches_only_canonical_payload_entries() {
+        let dir = temp_dir("evict-scope");
+        let cache = DiskCache::open(&dir).unwrap().with_max_bytes(0);
+        // Populate every kind of neighbour that shares the directory.
+        let audit_dir = dir.join("audit");
+        std::fs::create_dir_all(&audit_dir).unwrap();
+        let ledger = audit_dir.join("00000000deadbeef.ledger");
+        std::fs::write(&ledger, "ledger").unwrap();
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir).unwrap();
+        let quarantined = qdir.join(format!("{:016x}.art", 1));
+        std::fs::write(&quarantined, "poison").unwrap();
+        let stray = dir.join("stray.art");
+        std::fs::write(&stray, "a user file that merely ends in .art").unwrap();
+        let fresh_tmp = dir.join(format!(".tmp-{:016x}.99999", 2));
+        std::fs::write(&fresh_tmp, "in-flight writer").unwrap();
+        let dead_tmp = dir.join(format!(".tmp-{:016x}.88888", 3));
+        std::fs::write(&dead_tmp, "crashed writer").unwrap();
+        backdate(&dead_tmp);
+        // A store over budget 0 must evict — but only its own kind.
+        cache.store(7, b"payload");
+        assert_eq!(cache.entry_count(), 0, "the payload entry is evicted");
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(ledger.exists(), "audit ledgers are not eviction fodder");
+        assert!(
+            quarantined.exists(),
+            "quarantined files are kept for postmortems"
+        );
+        assert!(stray.exists(), "foreign *.art files are outside the sweep");
+        assert!(fresh_tmp.exists(), "a live writer's temp file survives");
+        assert!(!dead_tmp.exists(), "a crashed writer's stale temp is swept");
+        assert!(
+            !dir.join(".lock").exists(),
+            "the lock was released, never evicted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_zero_churn_still_attributes_eviction_in_the_audit() {
+        use crate::session::AnalysisSession;
+        let dir = temp_dir("evict-why");
+        let source = "main\n  x = 1\n  print(x)\nend\n";
+        let run = || {
+            let cache = Arc::new(DiskCache::open(&dir).unwrap().with_max_bytes(0));
+            let mut session = AnalysisSession::from_source(source).unwrap();
+            session.attach_disk_cache(cache);
+            session.set_audit_label("churn.mf");
+            let session = session;
+            session.analyze(&AnalysisConfig::default());
+            session.last_audit().expect("audit available")
+        };
+        run();
+        // The second run finds its outcome evicted (budget 0), and the
+        // ledger-backed audit says so — `ipcp why` keeps attributing
+        // correctly even while eviction churns around the ledger.
+        let audit = run();
+        let rendered = audit.render(None);
+        assert!(
+            rendered.contains("evicted"),
+            "expected an eviction attribution, got:\n{rendered}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -59,6 +59,7 @@ pub mod parallel;
 pub mod provenance;
 pub mod report;
 pub mod retjf;
+pub mod serve;
 pub mod session;
 pub mod solver;
 pub mod source_transform;
@@ -112,6 +113,7 @@ pub use retjf::{
     build_return_jfs, build_return_jfs_budgeted, build_return_jfs_with, ReturnJumpFns, RjfComposer,
     RjfConstEval, RjfLattice,
 };
+pub use serve::{ServeConfig, ServeHandle, ServeSummary};
 pub use session::{AnalysisSession, ArtifactStore, PhaseCounter, SessionPhase, SessionStats};
 pub use solver::{solve, solve_budgeted, ValSets};
 pub use source_transform::{transform_source, TransformedSource};

@@ -86,6 +86,24 @@ pub fn substitutions_to_string(outcome: &AnalysisOutcome) -> String {
     out
 }
 
+/// The complete default output of an `analyze` run: constants,
+/// substitution counts, the summary line, and — only when something
+/// degraded — the robustness report. The CLI and the `ipcp serve`
+/// daemon both render through this one function, which is what makes a
+/// daemon response byte-identical to one-shot CLI output.
+pub fn analyze_to_string(outcome: &AnalysisOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&constants_to_string(outcome));
+    out.push('\n');
+    out.push_str(&substitutions_to_string(outcome));
+    let _ = writeln!(out, "\n{}", summary_line(outcome));
+    let robustness = robustness_to_string(outcome);
+    if !robustness.is_empty() {
+        let _ = write!(out, "\n{robustness}");
+    }
+    out
+}
+
 /// Renders the robustness report of a fuel-limited run: consumption,
 /// per-phase degradation counts, and precision-ladder steps. Returns the
 /// empty string for a clean run, so default output stays untouched.

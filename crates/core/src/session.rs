@@ -667,6 +667,30 @@ impl AnalysisSession {
         &self.base
     }
 
+    /// The pristine program's fingerprint — the identity every cache key
+    /// (in-memory and on-disk) builds on.
+    pub fn base_fingerprint(&self) -> u64 {
+        self.base_fp
+    }
+
+    /// A cheap order-of-magnitude estimate of the session's resident
+    /// footprint: the base program plus the accumulated artifact store.
+    /// Used by byte-budgeted session registries (the `serve` tenant
+    /// cache) the same way entry sizes drive disk-cache eviction; it
+    /// only needs to rank sessions and track growth, not be exact.
+    pub fn approx_footprint_bytes(&self) -> u64 {
+        let instrs: usize = self
+            .base
+            .procs
+            .iter()
+            .map(|p| p.blocks.iter().map(|b| b.instrs.len() + 1).sum::<usize>())
+            .sum();
+        // ~64 bytes per IR instruction, ~2 KiB per cached artifact
+        // (outcomes dominate; per-proc artifacts are much smaller), plus
+        // a fixed base for the session itself.
+        instrs as u64 * 64 + self.store.len() as u64 * 2048 + 4096
+    }
+
     /// A snapshot of the observability counters accumulated so far.
     pub fn stats(&self) -> SessionStats {
         self.stats.lock().unwrap().clone()

@@ -48,6 +48,14 @@ pub struct Cli {
     pub cache_dir: Option<String>,
     /// The action for the `cache` command.
     pub cache_action: Option<CacheAction>,
+    /// Unix socket path for `serve` (`--socket`).
+    pub socket: Option<String>,
+    /// Bound on concurrently executing analysis requests for `serve`
+    /// (`--max-inflight`); excess requests get an `overloaded` error.
+    pub max_inflight: usize,
+    /// Byte budget for resident tenant sessions in `serve`
+    /// (`--max-tenant-bytes`); `None` never evicts.
+    pub max_tenant_bytes: Option<u64>,
 }
 
 /// Maintenance actions of the `cache` command.
@@ -104,6 +112,8 @@ pub enum Command {
     Fuzz,
     /// Inspect or maintain a persistent artifact cache directory.
     Cache,
+    /// Run the resident multi-tenant analysis daemon on a Unix socket.
+    Serve,
 }
 
 impl Command {
@@ -121,6 +131,7 @@ impl Command {
             "why" => Command::Why,
             "fuzz" => Command::Fuzz,
             "cache" => Command::Cache,
+            "serve" => Command::Serve,
             _ => return None,
         })
     }
@@ -163,6 +174,12 @@ commands:
               propagation with its per-procedure monotonicity oracle)
   cache       persistent cache maintenance (no file argument):
               cache <stats|verify|clear> --cache-dir <dir>
+  serve       resident analysis daemon (no file argument):
+              serve --socket <path> [--cache-dir <dir>] [--max-inflight <N>]
+              [--max-tenant-bytes <N>]; accepts line-delimited JSON requests
+              ({\"id\":1,\"op\":\"analyze\",\"source\":\"...\"}) with ops
+              analyze/explain/why/metrics/shutdown; responses are
+              byte-identical to one-shot output
 
 options:
   --level <literal|intra|pass|poly|cond>
@@ -204,7 +221,16 @@ options:
   --cache-dir <path>              persistent artifact cache: `analyze` serves
                                   unmetered runs from it (corrupt entries are
                                   quarantined and recomputed cold); required
-                                  by the `cache` command
+                                  by the `cache` command; shared by every
+                                  tenant under `serve`
+  --socket <path>                 Unix socket the `serve` daemon listens on
+                                  (required by `serve`)
+  --max-inflight <N>              analysis requests allowed in flight at once
+                                  (`serve` only, default 64); excess requests
+                                  fail fast with an `overloaded` error
+  --max-tenant-bytes <N>          byte budget for resident tenant sessions
+                                  (`serve` only, default unlimited); least
+                                  recently used sessions are evicted
 ";
 
 /// Parses the argument list (without the program name).
@@ -218,9 +244,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         .next()
         .and_then(|w| Command::parse(w))
         .ok_or_else(|| UsageError("missing or unknown command".into()))?;
-    // `fuzz` generates its own programs and `cache` operates on a
-    // directory, so neither takes a file argument.
-    let file = if command == Command::Fuzz || command == Command::Cache {
+    // `fuzz` generates its own programs, `cache` operates on a
+    // directory, and `serve` receives sources over its socket, so none
+    // of them takes a file argument.
+    let file = if matches!(command, Command::Fuzz | Command::Cache | Command::Serve) {
         String::new()
     } else {
         it.next()
@@ -243,6 +270,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
     let mut fuzz_corpus_dir = None;
     let mut fuzz_levels = FuzzLevel::FORWARD.to_vec();
     let mut cache_dir = None;
+    let mut socket = None;
+    let mut max_inflight = crate::core::serve::DEFAULT_MAX_INFLIGHT;
+    let mut max_tenant_bytes = None;
     let mut positionals: Vec<String> = Vec::new();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -362,6 +392,29 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
                     .ok_or_else(|| UsageError("--cache-dir needs a path".into()))?;
                 cache_dir = Some(path.clone());
             }
+            "--socket" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| UsageError("--socket needs a path".into()))?;
+                socket = Some(path.clone());
+            }
+            "--max-inflight" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--max-inflight needs a value".into()))?;
+                max_inflight = n
+                    .parse::<usize>()
+                    .map_err(|_| UsageError(format!("bad --max-inflight value `{n}`")))?;
+            }
+            "--max-tenant-bytes" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| UsageError("--max-tenant-bytes needs a value".into()))?;
+                max_tenant_bytes = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| UsageError(format!("bad --max-tenant-bytes value `{n}`")))?,
+                );
+            }
             "--input" => {
                 let list = it
                     .next()
@@ -422,6 +475,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
             return Err(UsageError("why needs --cache-dir <dir>".into()));
         }
         (None, None)
+    } else if command == Command::Serve {
+        if let Some(extra) = positionals.first() {
+            return Err(UsageError(format!("unexpected argument `{extra}`")));
+        }
+        if socket.is_none() {
+            return Err(UsageError("serve needs --socket <path>".into()));
+        }
+        (None, None)
     } else {
         if let Some(extra) = positionals.first() {
             return Err(UsageError(format!("unexpected argument `{extra}`")));
@@ -446,7 +507,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, UsageError> {
         fuzz_levels,
         cache_dir,
         cache_action,
+        socket,
+        max_inflight,
+        max_tenant_bytes,
     })
+}
+
+/// A drift between `parse_args` and `execute`: an invariant the parser
+/// should have enforced did not hold at execution time (e.g. a library
+/// caller constructed a [`Cli`] by hand). Degrades to a diagnostic with
+/// nonzero exit, never a panic.
+fn internal_usage(what: &str) -> String {
+    format!("internal usage error: {what} (parse_args/execute drift — please report this)")
 }
 
 /// Executes a parsed command against source text; returns the output to
@@ -496,17 +568,10 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                     .analyze_checked(&cli.config)
                     .map_err(|e| e.to_string())?,
             };
-            let mut out = String::new();
-            out.push_str(&report::constants_to_string(&outcome));
-            out.push('\n');
-            out.push_str(&report::substitutions_to_string(&outcome));
-            let _ = writeln!(out, "\n{}", report::summary_line(&outcome));
-            // Only fuel-limited runs that actually degraded say anything
-            // extra; default output is untouched.
-            let robustness = report::robustness_to_string(&outcome);
-            if !robustness.is_empty() {
-                let _ = write!(out, "\n{robustness}");
-            }
+            // One renderer for the CLI and the serve daemon keeps their
+            // outputs byte-identical (only fuel-limited runs that
+            // actually degraded say anything beyond the default).
+            let mut out = report::analyze_to_string(&outcome);
             if cli.timings {
                 let _ = write!(
                     out,
@@ -612,14 +677,16 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
         }
         Command::Explain => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
-            let prov = crate::core::analyze_provenance(&program, &cli.config);
-            let proc = cli.explain_proc.as_deref().expect("parser enforces");
-            let mut out = prov.explain(proc, cli.explain_param.as_deref())?;
-            if cli.explain_param.is_none() {
-                out.push('\n');
-                out.push_str(&prov.attribution_table());
-            }
-            Ok(out)
+            let proc = cli
+                .explain_proc
+                .as_deref()
+                .ok_or_else(|| internal_usage("explain reached execution without a procedure"))?;
+            crate::core::serve::render_explain(
+                &program,
+                &cli.config,
+                proc,
+                cli.explain_param.as_deref(),
+            )
         }
         Command::Metrics => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
@@ -703,7 +770,10 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
         Command::Why => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
             let mut session = crate::core::AnalysisSession::new(&program);
-            let dir = cli.cache_dir.as_deref().expect("parser enforces");
+            let dir = cli
+                .cache_dir
+                .as_deref()
+                .ok_or_else(|| internal_usage("why reached execution without --cache-dir"))?;
             let cache = crate::core::DiskCache::open(dir)
                 .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
             session.attach_disk_cache(std::sync::Arc::new(cache));
@@ -762,8 +832,13 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
             }
         }
         Command::Cache => {
-            let dir = cli.cache_dir.as_deref().expect("parser enforces");
-            let action = cli.cache_action.expect("parser enforces");
+            let dir = cli
+                .cache_dir
+                .as_deref()
+                .ok_or_else(|| internal_usage("cache reached execution without --cache-dir"))?;
+            let action = cli
+                .cache_action
+                .ok_or_else(|| internal_usage("cache reached execution without an action"))?;
             let cache = crate::core::DiskCache::open(dir)
                 .map_err(|e| format!("cannot open cache `{dir}`: {e}"))?;
             match action {
@@ -785,6 +860,25 @@ pub fn execute(cli: &Cli, source: &str) -> Result<String, String> {
                     Ok(format!("cache clear: {removed} files removed\n"))
                 }
             }
+        }
+        Command::Serve => {
+            let socket = cli
+                .socket
+                .as_deref()
+                .ok_or_else(|| internal_usage("serve reached execution without --socket"))?;
+            let config = crate::core::serve::ServeConfig {
+                socket: socket.into(),
+                cache_dir: cli.cache_dir.as_deref().map(Into::into),
+                max_tenant_bytes: cli.max_tenant_bytes,
+                max_inflight: cli.max_inflight,
+                jobs: cli.config.jobs,
+            };
+            let summary = crate::core::serve::run(config).map_err(|e| format!("serve: {e}"))?;
+            Ok(format!(
+                "serve: {} requests served ({} overloaded), {} tenants resident, \
+                 {} evicted; clean shutdown\n",
+                summary.requests, summary.overloaded, summary.tenants, summary.evictions
+            ))
         }
         Command::Lint => {
             let program = crate::ir::compile_to_ir(source).map_err(render_diag)?;
@@ -1117,6 +1211,83 @@ main\n  call init()\n  call compute(8)\nend\n";
         // --cache-dir is mandatory and at most one filter is accepted.
         assert!(parse_args(&args(&["why", "x.mf"])).is_err());
         assert!(parse_args(&args(&["why", "x.mf", "a", "b", "--cache-dir", "d"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        let cli = parse_args(&args(&["serve", "--socket", "/tmp/ipcp.sock"])).unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.socket.as_deref(), Some("/tmp/ipcp.sock"));
+        assert_eq!(cli.max_inflight, crate::core::serve::DEFAULT_MAX_INFLIGHT);
+        assert_eq!(cli.max_tenant_bytes, None);
+        let cli = parse_args(&args(&[
+            "serve",
+            "--socket",
+            "s.sock",
+            "--max-inflight",
+            "3",
+            "--max-tenant-bytes",
+            "4096",
+            "--cache-dir",
+            "d",
+        ]))
+        .unwrap();
+        assert_eq!(cli.max_inflight, 3);
+        assert_eq!(cli.max_tenant_bytes, Some(4096));
+        assert_eq!(cli.cache_dir.as_deref(), Some("d"));
+        // --socket is mandatory, positionals are rejected, and the
+        // numeric flags validate their arguments.
+        assert!(parse_args(&args(&["serve"])).is_err());
+        assert!(parse_args(&args(&["serve", "x.mf", "--socket", "s"])).is_err());
+        assert!(parse_args(&args(&["serve", "--socket", "s", "--max-inflight", "lots"])).is_err());
+        assert!(parse_args(&args(&["serve", "--socket", "s", "--max-tenant-bytes"])).is_err());
+    }
+
+    /// The four execution arms that rely on parser-enforced invariants
+    /// must degrade to a usage error — never panic — when handed a
+    /// hand-constructed [`Cli`] that violates them (e.g. from a library
+    /// caller bypassing `parse_args`).
+    #[test]
+    fn execute_degrades_gracefully_on_parser_executor_drift() {
+        let base = parse_args(&args(&["analyze", "x.mf"])).unwrap();
+        let cases = [
+            Cli {
+                command: Command::Explain,
+                explain_proc: None,
+                ..base.clone()
+            },
+            Cli {
+                command: Command::Why,
+                cache_dir: None,
+                ..base.clone()
+            },
+            Cli {
+                command: Command::Cache,
+                cache_dir: None,
+                cache_action: Some(CacheAction::Stats),
+                ..base.clone()
+            },
+            Cli {
+                command: Command::Cache,
+                cache_dir: Some("unused".into()),
+                cache_action: None,
+                ..base.clone()
+            },
+            Cli {
+                command: Command::Serve,
+                socket: None,
+                ..base.clone()
+            },
+        ];
+        for cli in cases {
+            let err = execute(&cli, PROGRAM)
+                .expect_err(&format!("{:?} must fail, not succeed", cli.command));
+            assert!(
+                err.contains("internal usage error"),
+                "{:?}: {err}",
+                cli.command
+            );
+        }
     }
 
     #[test]
